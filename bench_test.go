@@ -1,0 +1,347 @@
+// Benchmarks regenerating the paper's figures (one per figure, see
+// DESIGN.md §4) plus the ablations of §5. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/buck"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/emi"
+	"repro/internal/geom"
+	"repro/internal/mna"
+	"repro/internal/netlist"
+	"repro/internal/peec"
+	"repro/internal/place"
+	"repro/internal/rules"
+	"repro/internal/transient"
+	"repro/internal/workload"
+)
+
+// --- Figure benchmarks -------------------------------------------------
+
+// BenchmarkFig05CapCoupling measures one coupling-factor evaluation of the
+// Figure 5 sweep (two X2 capacitors, parallel axes).
+func BenchmarkFig05CapCoupling(b *testing.B) {
+	m := components.NewX2Cap("X2", 1.5e-6)
+	ia := &components.Instance{Ref: "C1", Model: m}
+	ib := &components.Instance{Ref: "C2", Model: m, Center: geom.V2(0, 0.03)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		components.CouplingFactor(ia, ib, peec.DefaultOrder)
+	}
+}
+
+// BenchmarkFig06RotationRule measures the PEMD derivation of Figure 6.
+func BenchmarkFig06RotationRule(b *testing.B) {
+	m := components.NewX2Cap("X2", 1.5e-6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.DerivePEMD(m, m, rules.DeriveOptions{KMax: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig07ChokeCoupling measures a bobbin-choke pair coupling of
+// Figure 7 (full winding discretisation).
+func BenchmarkFig07ChokeCoupling(b *testing.B) {
+	small := components.NewBobbinChoke("s", 10, 3e-3)
+	big := components.NewBobbinChoke("b", 10, 5e-3)
+	ia := &components.Instance{Ref: "L1", Model: small}
+	ib := &components.Instance{Ref: "L2", Model: big, Center: geom.V2(0.03, 0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		components.CouplingFactor(ia, ib, peec.DefaultOrder)
+	}
+}
+
+// BenchmarkFig08CMChokeMap measures one effective-coupling evaluation of
+// the Figure 8 position scan (phasor-weighted winding mutuals).
+func BenchmarkFig08CMChokeMap(b *testing.B) {
+	cm := components.NewCMChoke3("CM3")
+	victim := components.NewX2Cap("X2", 1e-6).Conductor(0).Translate(geom.V3(0.035, 0, 0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.EffectiveCouplingTo(victim, 0, peec.DefaultOrder)
+	}
+}
+
+// BenchmarkFig09AutoPlace29 measures the paper's headline placement
+// experiment: 29 devices, 100 minimum distances, 3 functional groups.
+func BenchmarkFig09AutoPlace29(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := workload.Complex29()
+		if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13NoCoupling measures the full-band emission prediction of
+// the buck converter with couplings neglected (Figure 13).
+func BenchmarkFig13NoCoupling(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(core.PredictOptions{WithCouplings: false}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14WithCoupling measures the coupled prediction of Figure 14
+// including the PEEC extraction of all 28 pair couplings.
+func BenchmarkFig14WithCoupling(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig02OptimizedEmission measures the rule-honouring placement +
+// emission check that produces Figure 2.
+func BenchmarkFig02OptimizedEmission(b *testing.B) {
+	ref := buck.Project()
+	if err := buck.Unfavorable(ref); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := buck.DeriveAllRules(ref, 0.01, 3, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := buck.Project()
+		p.Design.Rules = ref.Design.Rules
+		if _, err := buck.Optimize(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig16BuckAutoPlace isolates the automatic placement of the buck
+// board (the paper reports < 1 s).
+func BenchmarkFig16BuckAutoPlace(b *testing.B) {
+	ref := buck.Project()
+	if err := buck.Unfavorable(ref); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := buck.DeriveAllRules(ref, 0.01, 3, 0.01); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := buck.Project()
+		p.Design.Rules = ref.Design.Rules
+		if _, err := buck.Optimize(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) --------------------------------
+
+// Neumann quadrature order: accuracy/speed trade of the mutual-inductance
+// integral between two choke windings.
+func benchmarkNeumannOrder(b *testing.B, order int) {
+	l1 := components.NewBobbinChoke("a", 10, 4e-3).Conductor(0)
+	l2 := components.NewBobbinChoke("b", 10, 4e-3).Conductor(0).Translate(geom.V3(0.025, 0, 0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		peec.Mutual(l1, l2, order)
+	}
+}
+
+func BenchmarkAblationNeumannOrder2(b *testing.B)  { benchmarkNeumannOrder(b, 2) }
+func BenchmarkAblationNeumannOrder8(b *testing.B)  { benchmarkNeumannOrder(b, 8) }
+func BenchmarkAblationNeumannOrder16(b *testing.B) { benchmarkNeumannOrder(b, 16) }
+
+// Rotation step on/off: feasibility and speed of the 29-device placement.
+func BenchmarkAblationRotationOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := workload.Complex29()
+		// Without step 1 the full parallel-axis EMD sum may not fit; the
+		// error is part of the measured behaviour.
+		_, _ = place.AutoPlace(d, place.Options{SkipRotation: true})
+	}
+}
+
+// Candidate raster density: runtime vs grid step.
+func benchmarkGrid(b *testing.B, stepMM float64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := workload.Complex29()
+		if _, err := place.AutoPlace(d, place.Options{GridStep: stepMM * 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGrid2mm(b *testing.B) { benchmarkGrid(b, 2) }
+func BenchmarkAblationGrid4mm(b *testing.B) { benchmarkGrid(b, 4) }
+
+// Sequential placement alone vs with simulated-annealing refinement: the
+// quality/runtime trade of the global heuristic (wirelength+compactness
+// cost is reported per op via custom metrics).
+func BenchmarkAblationSequentialOnly(b *testing.B) {
+	b.ReportAllocs()
+	cost := 0.0
+	for i := 0; i < b.N; i++ {
+		d := workload.Complex29()
+		if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range d.Nets {
+			cost += d.NetLength(n)
+		}
+	}
+	b.ReportMetric(cost/float64(b.N)*1e3, "mm-wirelength/op")
+}
+
+func BenchmarkAblationSequentialPlusAnneal(b *testing.B) {
+	b.ReportAllocs()
+	cost := 0.0
+	for i := 0; i < b.N; i++ {
+		d := workload.Complex29()
+		if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := place.Anneal(d, 0, place.AnnealOptions{Seed: 42, Iterations: 4000}); err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range d.Nets {
+			cost += d.NetLength(n)
+		}
+	}
+	b.ReportMetric(cost/float64(b.N)*1e3, "mm-wirelength/op")
+}
+
+// Sensitivity pruning on/off: number of field extractions needed.
+func BenchmarkAblationSensitivityPruning(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rank, err := p.RankCouplings(0.01, 30e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs := rank.Relevant(3).Pairs()
+		if _, err := p.ExtractCouplings(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNoPruning(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ExtractCouplings(p.AllPairs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Placement runtime scaling with device count (fixed rule/group density).
+func benchmarkPlaceScaling(b *testing.B, n int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := workload.Synthetic(n, 3*n, 3, 0.2, 0.16)
+		if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlaceScaling10(b *testing.B) { benchmarkPlaceScaling(b, 10) }
+func BenchmarkPlaceScaling20(b *testing.B) { benchmarkPlaceScaling(b, 20) }
+func BenchmarkPlaceScaling40(b *testing.B) { benchmarkPlaceScaling(b, 40) }
+
+// --- Substrate benchmarks ----------------------------------------------
+
+// BenchmarkMNASolve measures one AC solve of the buck EMI circuit.
+func BenchmarkMNASolve(b *testing.B) {
+	p := buck.Project()
+	an, err := mna.NewAnalyzer(p.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Solve(1e6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientBuckPeriod measures simulating one switching period of
+// a discrete buck power stage in the time domain.
+func BenchmarkTransientBuckPeriod(b *testing.B) {
+	c := &netlist.Circuit{}
+	c.AddV("Vin", "in", "0", netlist.Source{DC: 12})
+	c.AddSwitch("S1", "in", "sw", 0.01, 1e7, netlist.Schedule{Period: 5e-6, OnTime: 2e-6})
+	c.AddDiode("D1", "0", "sw", 0.01, 1e7)
+	c.AddL("L1", "sw", "out", 47e-6)
+	c.AddC("C1", "out", "0", 47e-6)
+	c.AddR("RL", "out", "0", 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Simulate(c, transient.Options{Step: 25e-9, End: 5e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBodyCapacitance measures one panel-method coupling capacitance
+// (extension figure 19).
+func BenchmarkBodyCapacitance(b *testing.B) {
+	m := components.NewX2Cap("X2", 1.5e-6)
+	ia := &components.Instance{Ref: "C1", Model: m}
+	ib := &components.Instance{Ref: "C2", Model: m, Center: geom.V2(0.025, 0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := components.BodyCapacitance(ia, ib, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpectrumDBuV measures the dBµV conversion hot path.
+func BenchmarkSpectrumDBuV(b *testing.B) {
+	b.ReportAllocs()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += emi.DBuV(math.Abs(math.Sin(float64(i))) * 1e-3)
+	}
+	_ = sink
+}

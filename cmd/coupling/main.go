@@ -1,0 +1,139 @@
+// Command coupling computes PEEC magnetic coupling factors between two
+// catalog components over distance and rotation — the raw data behind the
+// paper's Figures 5–8 and the PEMD rule derivation.
+//
+// Component specs:
+//
+//	x2cap:<farad>        film X capacitor, e.g. x2cap:1.5u
+//	tantalum:<farad>     SMD tantalum, e.g. tantalum:100u
+//	mlcc:<farad>         ceramic capacitor
+//	bobbin:<turns>:<radius_mm>  drum-core choke, e.g. bobbin:10:4
+//	cmchoke2 | cmchoke3  common-mode chokes
+//
+// Usage:
+//
+//	coupling -a x2cap:1.5u -b x2cap:1.5u -from 16 -to 60 -step 4
+//	coupling -a x2cap:1.5u -b x2cap:1.5u -dist 25 -rotsweep
+//	coupling -a x2cap:1.5u -b bobbin:10:4 -dist 30 -pemd 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/components"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/peec"
+	"repro/internal/rules"
+)
+
+func main() {
+	specA := flag.String("a", "", "first component spec")
+	specB := flag.String("b", "", "second component spec")
+	from := flag.Float64("from", 16, "sweep start distance in mm")
+	to := flag.Float64("to", 60, "sweep end distance in mm")
+	step := flag.Float64("step", 4, "sweep step in mm")
+	dist := flag.Float64("dist", 0, "single distance in mm (overrides sweep)")
+	rotsweep := flag.Bool("rotsweep", false, "sweep rotation of b at fixed -dist")
+	pemd := flag.Float64("pemd", 0, "derive the PEMD rule for the given k_max")
+	flag.Parse()
+
+	a, err := parseSpec(*specA)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := parseSpec(*specB)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *pemd > 0 {
+		d, err := rules.DerivePEMD(a, b, rules.DeriveOptions{KMax: *pemd})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PEMD(%s, %s, k_max=%g) = %.1f mm\n", a.Name(), b.Name(), *pemd, d*1e3)
+		return
+	}
+
+	ia := &components.Instance{Ref: "A", Model: a}
+	if *rotsweep {
+		if *dist <= 0 {
+			fatal(fmt.Errorf("-rotsweep needs -dist"))
+		}
+		fmt.Println("rot_deg\tcoupling_factor")
+		for deg := 0; deg <= 90; deg += 10 {
+			ib := &components.Instance{
+				Ref: "B", Model: b,
+				Center: geom.V2(0, *dist*1e-3),
+				Rot:    geom.Rad(float64(deg)),
+			}
+			k := components.CouplingFactor(ia, ib, peec.DefaultOrder)
+			fmt.Printf("%d\t%.6f\n", deg, math.Abs(k))
+		}
+		return
+	}
+	if *dist > 0 {
+		*from, *to, *step = *dist, *dist, 1
+	}
+	fmt.Println("distance_mm\tcoupling_factor")
+	for mm := *from; mm <= *to+1e-9; mm += *step {
+		ib := &components.Instance{Ref: "B", Model: b, Center: geom.V2(0, mm*1e-3)}
+		k := components.CouplingFactor(ia, ib, peec.DefaultOrder)
+		fmt.Printf("%.1f\t%.6f\n", mm, math.Abs(k))
+	}
+}
+
+// parseSpec builds a component model from its textual spec.
+func parseSpec(s string) (components.Model, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing component spec")
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "x2cap", "tantalum", "mlcc":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s needs a capacitance, e.g. %s:1.5u", parts[0], parts[0])
+		}
+		c, err := netlist.ParseValue(parts[1])
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad capacitance %q", parts[1])
+		}
+		switch parts[0] {
+		case "x2cap":
+			return components.NewX2Cap(s, c), nil
+		case "tantalum":
+			return components.NewSMDTantalum(s, c), nil
+		default:
+			return components.NewMLCC(s, c), nil
+		}
+	case "bobbin":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bobbin needs turns and radius_mm, e.g. bobbin:10:4")
+		}
+		turns, err := strconv.Atoi(parts[1])
+		if err != nil || turns < 1 {
+			return nil, fmt.Errorf("bad turns %q", parts[1])
+		}
+		rmm, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rmm <= 0 {
+			return nil, fmt.Errorf("bad radius %q", parts[2])
+		}
+		return components.NewBobbinChoke(s, turns, rmm*1e-3), nil
+	case "cmchoke2":
+		return components.NewCMChoke2(s), nil
+	case "cmchoke3":
+		return components.NewCMChoke3(s), nil
+	}
+	return nil, fmt.Errorf("unknown component spec %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coupling:", err)
+	os.Exit(1)
+}

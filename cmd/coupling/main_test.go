@@ -1,0 +1,59 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/components"
+)
+
+func TestParseSpecCatalog(t *testing.T) {
+	cases := []struct {
+		spec string
+		kind string
+	}{
+		{"x2cap:1.5u", "*components.Capacitor"},
+		{"tantalum:100u", "*components.Capacitor"},
+		{"mlcc:1u", "*components.Capacitor"},
+		{"bobbin:10:4", "*components.BobbinChoke"},
+		{"cmchoke2", "*components.CMChoke"},
+		{"cmchoke3", "*components.CMChoke"},
+	}
+	for _, c := range cases {
+		m, err := parseSpec(c.spec)
+		if err != nil {
+			t.Errorf("parseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		w, l, h := m.Size()
+		if w <= 0 || l <= 0 || h <= 0 {
+			t.Errorf("parseSpec(%q): degenerate body", c.spec)
+		}
+	}
+	// Value propagation.
+	m, err := parseSpec("x2cap:1.5u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap, ok := m.(*components.Capacitor); !ok || math.Abs(cap.C-1.5e-6) > 1e-12 {
+		t.Errorf("capacitance = %+v", m)
+	}
+	b, err := parseSpec("bobbin:12:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch, ok := b.(*components.BobbinChoke); !ok || ch.Turns != 12 || math.Abs(ch.CoilR-5e-3) > 1e-12 {
+		t.Errorf("bobbin = %+v", b)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "nope", "x2cap", "x2cap:abc", "x2cap:-1u",
+		"bobbin:10", "bobbin:x:4", "bobbin:10:x", "bobbin:0:4", "bobbin:10:-4",
+	} {
+		if _, err := parseSpec(bad); err == nil {
+			t.Errorf("parseSpec(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+func testDesign() *layout.Design {
+	d := &layout.Design{
+		Name:      "advisor test",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "b", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.08, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	for i, ref := range []string{"C1", "C2"} {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 0.018, L: 0.008, H: 0.014, Axis: geom.V3(0, 1, 0),
+			Placed: true, Center: geom.V2(0.02+float64(i)*0.04, 0.025),
+		})
+	}
+	d.Rules.Add(rules.Rule{RefA: "C1", RefB: "C2", PEMD: 0.024})
+	return d
+}
+
+func TestREPLSession(t *testing.T) {
+	d := testDesign()
+	script := strings.Join([]string{
+		"help",
+		"pairs",
+		"try C2 32 25 0",   // too close at parallel axes → RED
+		"move C2 36 25 90", // rotated and clear of C1's body → GREEN
+		"move C2 32 25 0",  // back into violation
+		"legalize",
+		"bbox",
+		"undo",
+		"report",
+		"auto",
+		"compact",
+		"bogus",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	if err := repl(d, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"commands:",
+		"GREEN C1-C2", // initial pairs listing is green
+		"RED\n",       // the try
+		"GREEN\n",     // the rotated move
+		"undone",
+		"re-placed",
+		"placed 2 components",
+		"moves, area",
+		"unknown command",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("session output missing %q:\n%s", want, got)
+		}
+	}
+	// The undo restored the pre-move rotation.
+	if d.Find("C2").Rot != 0 && d.Find("C2").Placed {
+		// auto re-placed everything afterwards, so only check it's legal.
+		t.Log("layout re-placed by 'auto'")
+	}
+}
+
+func TestREPLArgumentErrors(t *testing.T) {
+	d := testDesign()
+	script := "move C2 a b c\nmove C2 1\ntry zz 1 1 0\nsave\nquit\n"
+	var out strings.Builder
+	if err := repl(d, strings.NewReader(script), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"bad coordinates", "usage: move", "error:", "usage: save"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

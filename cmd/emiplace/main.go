@@ -1,0 +1,141 @@
+// Command emiplace is the placement tool: it reads a design in the ASCII
+// file interface (board areas, keepouts, components, nets, PEMD rules),
+// runs the three-step automatic placement method, reports the design-rule
+// check with red/green pair status, and writes the placed design back (and
+// optionally an SVG rendering).
+//
+// Usage:
+//
+//	emiplace -in design.txt -out placed.txt [-svg layout.svg]
+//	         [-baseline] [-skip-rotation] [-partition] [-grid mm]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/drc"
+	"repro/internal/layout"
+	"repro/internal/place"
+	"repro/internal/render"
+	"repro/internal/route"
+)
+
+func main() {
+	in := flag.String("in", "", "input design file (ASCII interface)")
+	out := flag.String("out", "", "output design file with placements")
+	svg := flag.String("svg", "", "optional SVG rendering of board 0")
+	baseline := flag.Bool("baseline", false, "ignore EMD rules (wirelength-only baseline)")
+	skipRot := flag.Bool("skip-rotation", false, "skip the optimal-rotation step")
+	part := flag.Bool("partition", false, "partition a two-board design")
+	grid := flag.Float64("grid", 0, "candidate raster in mm (0 = auto)")
+	compact := flag.Bool("compact", false, "compact the legal layout (volume minimisation)")
+	routes := flag.Bool("routes", false, "print Manhattan star routes with trace inductances")
+	jsonOut := flag.Bool("json", false, "print the DRC report as JSON (for CI pipelines)")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "emiplace: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := layout.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := place.AutoPlace(d, place.Options{
+		IgnoreEMD:    *baseline,
+		SkipRotation: *skipRot,
+		Partition:    *part,
+		GridStep:     *grid * 1e-3,
+	})
+	if res != nil {
+		fmt.Printf("placed %d components in %v", res.Placed, res.Elapsed)
+		if res.RotationPasses > 0 {
+			fmt.Printf(" (rotation: Σ EMD %.0f mm → %.0f mm in %d passes)",
+				res.EMDSumBefore*1e3, res.EMDSumAfter*1e3, res.RotationPasses)
+		}
+		fmt.Println()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compact && !*baseline {
+		for b := 0; b < d.Boards; b++ {
+			cres, err := place.Compact(d, b, 0)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("compacted board %d: %d moves, bounding area %.1f → %.1f cm²\n",
+				b, cres.Moves, cres.AreaBefore*1e4, cres.AreaAfter*1e4)
+		}
+	}
+
+	rep := drc.Check(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Green      bool
+			Checks     int
+			Violations []drc.Violation
+			Pairs      []drc.PairStatus
+		}{rep.Green(), rep.Checks, rep.Violations, rep.Pairs}); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+
+	if *routes {
+		rts, err := route.Nets(d, route.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(route.Report(rts))
+	}
+
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := layout.Write(g, d); err != nil {
+			fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *svg != "" {
+		g, err := os.Create(*svg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render.SVG(g, d, rep, render.Options{ShowRules: true, ShowAxes: true}); err != nil {
+			fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *svg)
+	}
+	if !rep.Green() && !*baseline {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emiplace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command emipredict computes the conducted-emission spectrum of a
+// converter netlist: the paper's interference prediction. The netlist must
+// contain the switching equivalent sources as V/I elements with PULSE
+// waveforms and (typically) a LISN whose receiver node is measured. K
+// elements carry the magnetic couplings; -no-couplings strips them to show
+// the prediction the paper's Figure 13 warns about.
+//
+// Usage:
+//
+//	emipredict -circuit buck.cir -measure lisn_meas -sources IQ1,VD1
+//	           [-max 108e6] [-no-couplings] [-every 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/emi"
+	"repro/internal/netlist"
+)
+
+func main() {
+	circuit := flag.String("circuit", "", "netlist file")
+	measure := flag.String("measure", "", "measurement node (e.g. the LISN receiver)")
+	sources := flag.String("sources", "", "comma-separated switching source names")
+	maxFreq := flag.Float64("max", emi.BandStop, "highest frequency in Hz")
+	noCoup := flag.Bool("no-couplings", false, "strip K elements before predicting")
+	every := flag.Int("every", 1, "print every n-th harmonic")
+	tsv := flag.String("tsv", "", "also write the full spectrum as TSV to this file")
+	flag.Parse()
+
+	if *circuit == "" || *measure == "" || *sources == "" {
+		fmt.Fprintln(os.Stderr, "emipredict: -circuit, -measure and -sources are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*circuit)
+	if err != nil {
+		fatal(err)
+	}
+	ckt, err := netlist.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *noCoup {
+		ckt.RemoveCouplings()
+	}
+	p := &emi.Predictor{
+		Circuit:     ckt,
+		Sources:     strings.Split(*sources, ","),
+		MeasureNode: *measure,
+		MaxFreq:     *maxFreq,
+	}
+	s, err := p.Spectrum()
+	if err != nil {
+		fatal(err)
+	}
+	if *tsv != "" {
+		f, err := os.Create(*tsv)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.WriteTSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *tsv)
+	}
+	fmt.Println("freq_Hz\tlevel_dBuV\tlimit_dBuV\tin_service_band")
+	n := *every
+	if n < 1 {
+		n = 1
+	}
+	for i, fr := range s.Freqs {
+		if i%n != 0 {
+			continue
+		}
+		limit, inBand := emi.Limit(fr)
+		fmt.Printf("%.0f\t%.1f\t%.1f\t%v\n", fr, s.DB[i], limit, inBand)
+	}
+	fmt.Printf("# worst margin vs CISPR 25 class 5: %.1f dB, violations: %d\n",
+		s.WorstMargin(), len(s.Violations()))
+	for _, v := range s.Violations() {
+		fmt.Printf("# VIOLATION %.3f MHz: %.1f dBuV > limit %.1f dBuV\n",
+			v.Freq/1e6, v.Level, v.LimitDB)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emipredict:", err)
+	os.Exit(1)
+}

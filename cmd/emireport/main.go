@@ -1,0 +1,170 @@
+// Command emireport runs the complete EMI design flow on the reference
+// automotive buck converter and writes a self-contained HTML report:
+// conducted-emission spectra against the CISPR 25 limits, the sensitivity
+// ranking, the derived minimum-distance rules, both layouts with their
+// red/green rule circles, routed nets, and the final verdict.
+//
+// Usage:
+//
+//	emireport -out report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"html"
+	"os"
+	"strings"
+
+	"repro/internal/buck"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/render"
+	"repro/internal/route"
+)
+
+func main() {
+	out := flag.String("out", "emireport.html", "output HTML file")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "emireport:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func run(outPath string) error {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">
+<title>EMI design report — automotive buck converter</title>
+<style>
+body { font-family: sans-serif; max-width: 880px; margin: 2em auto; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: 6px; }
+h2 { margin-top: 1.6em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+td, th { border: 1px solid #bbb; padding: 4px 10px; font-size: 14px; }
+th { background: #eee; }
+.green { color: #182; font-weight: bold; }
+.red { color: #c22; font-weight: bold; }
+figure { margin: 1em 0; }
+figcaption { font-size: 13px; color: #555; }
+</style></head><body>
+<h1>EMI design report — automotive buck converter</h1>
+<p>Methodical EMI design flow after Stube, Schroeder, Hoene &amp; Lissner
+(DATE 2008): coupled field/circuit prediction, sensitivity analysis,
+minimum-distance rule derivation and rule-honouring automatic placement.</p>
+`)
+
+	// ---- Flow: unfavourable baseline ----
+	unfav := buck.Project()
+	if err := buck.Unfavorable(unfav); err != nil {
+		return err
+	}
+	pairs, err := buck.DeriveAllRules(unfav, 0.01, 3, 0.01)
+	if err != nil {
+		return err
+	}
+	sUnfav, err := unfav.Predict(core.PredictOptions{WithCouplings: true})
+	if err != nil {
+		return err
+	}
+	rank, err := unfav.RankCouplings(0.01, 30e6)
+	if err != nil {
+		return err
+	}
+
+	// ---- Flow: optimised ----
+	opt := buck.Project()
+	opt.Design.Rules = unfav.Design.Rules
+	res, err := buck.Optimize(opt)
+	if err != nil {
+		return err
+	}
+	sOpt, err := opt.Predict(core.PredictOptions{WithCouplings: true})
+	if err != nil {
+		return err
+	}
+
+	// ---- Spectra ----
+	b.WriteString("<h2>Conducted emissions (CISPR 25 Class 5, dashed limits)</h2>\n<figure>")
+	if err := render.SpectrumSVG(&b, []render.SpectrumSeries{
+		{Name: "unfavourable placement", Spectrum: sUnfav},
+		{Name: "optimized placement", Spectrum: sOpt},
+	}, "Same components, same topology — only the placement differs"); err != nil {
+		return err
+	}
+	maxRed := 0.0
+	for i := range sUnfav.DB {
+		if d := sUnfav.DB[i] - sOpt.DB[i]; d > maxRed {
+			maxRed = d
+		}
+	}
+	fmt.Fprintf(&b, `<figcaption>Unfavourable: %d violations, worst margin %.1f dB.
+Optimized: %d violations, worst margin %+.1f dB. Reduction up to %.1f dB.</figcaption></figure>`,
+		len(sUnfav.Violations()), sUnfav.WorstMargin(),
+		len(sOpt.Violations()), sOpt.WorstMargin(), maxRed)
+
+	// ---- Sensitivity ranking ----
+	b.WriteString("<h2>Sensitivity analysis</h2>\n<table><tr><th>rank</th><th>pair</th><th>worst-case influence</th></tr>\n")
+	for i, pr := range rank {
+		if i >= 8 {
+			break
+		}
+		fmt.Fprintf(&b, "<tr><td>%d</td><td>%s / %s</td><td>%+.1f dB</td></tr>\n",
+			i+1, html.EscapeString(pr.LA), html.EscapeString(pr.LB), pr.DeltaDB)
+	}
+	fmt.Fprintf(&b, "</table><p>%d of %d pairs were relevant (&ge; 3 dB) and received a field extraction and a placement rule.</p>\n",
+		len(pairs), len(unfav.AllPairs()))
+
+	// ---- Rules ----
+	b.WriteString("<h2>Derived minimum-distance rules</h2>\n<table><tr><th>pair</th><th>PEMD (parallel axes)</th></tr>\n")
+	for _, r := range unfav.Design.Rules.Rules {
+		fmt.Fprintf(&b, "<tr><td>%s / %s</td><td>%.1f mm</td></tr>\n",
+			html.EscapeString(r.RefA), html.EscapeString(r.RefB), r.PEMD*1e3)
+	}
+	b.WriteString("</table>\n<p>Effective distance shrinks with rotation: EMD = PEMD·|cos&nbsp;&alpha;|.</p>\n")
+
+	// ---- Layouts ----
+	writeLayout := func(title string, p *core.Project, rep *drc.Report) error {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<figure>", html.EscapeString(title))
+		if err := render.SVG(&b, p.Design, rep, render.Options{ShowRules: true, ShowAxes: true, PixPerMM: 6}); err != nil {
+			return err
+		}
+		verdict := `<span class="green">GREEN — all rules met</span>`
+		if !rep.Green() {
+			verdict = fmt.Sprintf(`<span class="red">RED — %d violations</span>`, len(rep.Violations))
+		}
+		fmt.Fprintf(&b, "<figcaption>%s (%d checks)</figcaption></figure>\n", verdict, rep.Checks)
+		return nil
+	}
+	if err := writeLayout("Unfavourable layout (red circles: violated EMD rules)", unfav, unfav.Verify()); err != nil {
+		return err
+	}
+	if err := writeLayout(fmt.Sprintf("Optimized layout (automatic placement, %v)", res.Elapsed.Round(1000000)), opt, opt.Verify()); err != nil {
+		return err
+	}
+
+	// ---- Routes ----
+	routes, err := route.Nets(opt.Design, route.Options{})
+	if err != nil {
+		return err
+	}
+	b.WriteString("<h2>Routed nets (Manhattan star estimate)</h2>\n<table><tr><th>net</th><th>length</th><th>trace inductance</th></tr>\n")
+	for i := range routes {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%.1f mm</td><td>%.1f nH</td></tr>\n",
+			html.EscapeString(routes[i].Net), routes[i].Length()*1e3, routes[i].Inductance()*1e9)
+	}
+	b.WriteString("</table>\n")
+
+	// ---- Verdict ----
+	b.WriteString("<h2>Verdict</h2>\n")
+	if len(sOpt.Violations()) == 0 && opt.Verify().Green() {
+		fmt.Fprintf(&b, `<p class="green">The optimized placement passes CISPR 25 Class 5 with %.1f dB margin using the identical bill of materials.</p>`,
+			sOpt.WorstMargin())
+	} else {
+		b.WriteString(`<p class="red">The design does not pass; see the violations above.</p>`)
+	}
+	b.WriteString("\n</body></html>\n")
+
+	return os.WriteFile(outPath, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full flow run")
+	}
+	out := filepath.Join(t.TempDir(), "report.html")
+	if err := run(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htmlStr := string(data)
+	for _, want := range []string{
+		"<!DOCTYPE html",
+		"Conducted emissions",
+		"Sensitivity analysis",
+		"minimum-distance rules",
+		"Routed nets",
+		"Verdict",
+		"<svg",
+		"GREEN — all rules met",
+		"passes CISPR 25",
+	} {
+		if !strings.Contains(htmlStr, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The unfavourable layout must show red rule circles.
+	if !strings.Contains(htmlStr, "RED") {
+		t.Error("report should show the unfavourable layout's violations")
+	}
+}

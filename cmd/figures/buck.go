@@ -1,0 +1,263 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/buck"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/emi"
+	"repro/internal/render"
+)
+
+// buckState caches the expensive buck flow across figures in one run.
+type buckState struct {
+	unfav    *core.Project
+	opt      *core.Project
+	sUnfav   *emi.Spectrum // unfavourable, with couplings
+	sOpt     *emi.Spectrum // optimised, with couplings
+	sNoCoup  *emi.Spectrum // unfavourable, couplings neglected
+	measured *emi.Spectrum
+	pairs    [][2]string
+}
+
+var buckCache *buckState
+
+// buckFlow runs the whole paper flow once and caches the artifacts.
+func buckFlow() (*buckState, error) {
+	if buckCache != nil {
+		return buckCache, nil
+	}
+	st := &buckState{}
+
+	// Unfavourable project: EMI-blind baseline placement, then rules
+	// derived so the DRC can show the red circles of Figure 15.
+	st.unfav = buck.Project()
+	if err := buck.Unfavorable(st.unfav); err != nil {
+		return nil, err
+	}
+	pairs, err := buck.DeriveAllRules(st.unfav, 0.01, 3, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	st.pairs = pairs
+	if st.sUnfav, err = st.unfav.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+		return nil, err
+	}
+	if st.sNoCoup, err = st.unfav.Predict(core.PredictOptions{WithCouplings: false}); err != nil {
+		return nil, err
+	}
+	if st.measured, err = st.unfav.VirtualMeasurement(emi.BandStop, 2, 2008); err != nil {
+		return nil, err
+	}
+
+	// Optimised project: same rules, automatic placement.
+	st.opt = buck.Project()
+	st.opt.Design.Rules = st.unfav.Design.Rules
+	if _, err := buck.Optimize(st.opt); err != nil {
+		return nil, err
+	}
+	if st.sOpt, err = st.opt.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+		return nil, err
+	}
+	buckCache = st
+	return st, nil
+}
+
+// printSpectrum emits a spectrum with the applicable CISPR 25 limits.
+func printSpectrum(s *emi.Spectrum, every int) {
+	fmt.Println("freq_kHz\tlevel_dBuV\tlimit_dBuV\tin_service_band")
+	for i, f := range s.Freqs {
+		if i%every != 0 {
+			continue
+		}
+		limit, inBand := emi.Limit(f)
+		fmt.Printf("%.0f\t%.1f\t%.1f\t%v\n", f/1e3, s.DB[i], limit, inBand)
+	}
+}
+
+// writeSpectrumSVG plots spectra into svgdir if set.
+func writeSpectrumSVG(svgdir, name, title string, series []render.SpectrumSeries) error {
+	if svgdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(svgdir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render.SpectrumSVG(f, series, title); err != nil {
+		return err
+	}
+	fmt.Printf("# SVG written to %s\n", filepath.Join(svgdir, name))
+	return nil
+}
+
+func fig1(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	printSpectrum(st.sUnfav, 20)
+	v := st.sUnfav.Violations()
+	fmt.Printf("# CISPR 25 class 5 violations: %d, worst margin %.1f dB\n",
+		len(v), st.sUnfav.WorstMargin())
+	return writeSpectrumSVG(svgdir, "fig01_unfavorable_spectrum.svg",
+		"Conducted noise, unfavourable placement (CISPR 25 limits dashed)",
+		[]render.SpectrumSeries{{Name: "unfavourable", Spectrum: st.sUnfav}})
+}
+
+func fig2(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	printSpectrum(st.sOpt, 20)
+	maxRed := 0.0
+	for i := range st.sUnfav.DB {
+		if d := st.sUnfav.DB[i] - st.sOpt.DB[i]; d > maxRed {
+			maxRed = d
+		}
+	}
+	fmt.Printf("# violations: %d, worst margin %.1f dB, reduction up to %.1f dB vs Figure 1\n",
+		len(st.sOpt.Violations()), st.sOpt.WorstMargin(), maxRed)
+	return writeSpectrumSVG(svgdir, "fig02_optimized_spectrum.svg",
+		"Optimized placement reduces emissions — same components",
+		[]render.SpectrumSeries{
+			{Name: "unfavourable", Spectrum: st.sUnfav},
+			{Name: "optimized", Spectrum: st.sOpt},
+		})
+}
+
+func fig11(string) error {
+	p := buck.Project()
+	fmt.Println("ref\tmodel\tbody_mm\tsegments\tself_L")
+	for _, ref := range []string{"CIN1", "CIN2", "CB1", "LF1", "L1", "CO1", "LF2", "CX1", "Q1", "D1", "U1"} {
+		m := p.Models[ref]
+		w, l, h := m.Size()
+		cond := m.Conductor(0)
+		selfL := "-"
+		if len(cond.Segments) > 0 {
+			selfL = fmt.Sprintf("%.1f nH", cond.SelfInductance()*1e9)
+		}
+		fmt.Printf("%s\t%s\t%.1f×%.1f×%.1f\t%d\t%s\n",
+			ref, m.Name(), w*1e3, l*1e3, h*1e3, len(cond.Segments), selfL)
+	}
+	fmt.Printf("# circuit: %d elements, %d nodes, sources %v, measured at %s\n",
+		len(p.Circuit.Elements), len(p.Circuit.Nodes()), p.Sources, p.MeasureNode)
+	return nil
+}
+
+func fig12(string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	printSpectrum(st.measured, 20)
+	fmt.Println("# virtual CISPR 25 measurement of the unfavourable layout (full coupled model + receiver ripple)")
+	return nil
+}
+
+func fig13(string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	printSpectrum(st.sNoCoup, 20)
+	c := emi.Compare(st.measured, st.sNoCoup)
+	fmt.Printf("# vs measurement: levels off by up to %.1f dB (mean %.1f dB) — prediction unusable without couplings\n",
+		c.MaxAbsDelta, c.MeanAbsDelta)
+	return nil
+}
+
+func fig14(string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	printSpectrum(st.sUnfav, 20)
+	c := emi.Compare(st.measured, st.sUnfav)
+	fmt.Printf("# vs measurement: within %.1f dB everywhere (mean %.1f dB, correlation %.3f) — good coincidence\n",
+		c.MaxAbsDelta, c.MeanAbsDelta, c.Correlation)
+	return nil
+}
+
+// writeLayoutSVG renders a project layout if svgdir is set.
+func writeLayoutSVG(svgdir, name string, p *core.Project, rep *drc.Report) error {
+	if svgdir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(svgdir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render.SVG(f, p.Design, rep, render.Options{ShowRules: true, ShowAxes: true}); err != nil {
+		return err
+	}
+	fmt.Printf("# SVG written to %s\n", filepath.Join(svgdir, name))
+	return nil
+}
+
+func fig15(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	rep := st.unfav.Verify()
+	fmt.Print(rep)
+	fmt.Printf("# red EMD circles: %d of %d rules violated in the original layout\n",
+		len(rep.ByKind(drc.KindEMD)), st.unfav.Design.RuleCount())
+	return writeLayoutSVG(svgdir, "fig15_unfavorable.svg", st.unfav, rep)
+}
+
+func fig16(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	fmt.Println("ref\tx_mm\ty_mm\trot_deg\tgroup")
+	for _, c := range st.opt.Design.Comps {
+		fmt.Printf("%s\t%.1f\t%.1f\t%.0f\t%s\n",
+			c.Ref, c.Center.X*1e3, c.Center.Y*1e3, c.Rot*180/3.141592653589793, c.Group)
+	}
+	return writeLayoutSVG(svgdir, "fig16_optimized.svg", st.opt, st.opt.Verify())
+}
+
+func fig17(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	rep := st.opt.Verify()
+	fmt.Print(rep)
+	green := 0
+	for _, p := range rep.Pairs {
+		if p.OK {
+			green++
+		}
+	}
+	fmt.Printf("# %d of %d EMD circles green, violations: %d\n",
+		green, len(rep.Pairs), len(rep.Violations))
+	return writeLayoutSVG(svgdir, "fig17_rules_met.svg", st.opt, rep)
+}
+
+func fig18(svgdir string) error {
+	st, err := buckFlow()
+	if err != nil {
+		return err
+	}
+	d := st.opt.Design
+	for _, g := range d.GroupNames() {
+		fmt.Printf("group %s:", g)
+		for _, c := range d.Groups()[g] {
+			fmt.Printf(" %s(%.0f,%.0f)", c.Ref, c.Center.X*1e3, c.Center.Y*1e3)
+		}
+		fmt.Println()
+	}
+	rep := st.opt.Verify()
+	fmt.Printf("# group-coherence violations: %d\n", len(rep.ByKind(drc.KindGroup)))
+	return writeLayoutSVG(svgdir, "fig18_groups.svg", st.opt, rep)
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns the output.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	return out
+}
+
+// TestGoldenFigures pins the exact numeric series of the deterministic
+// headline figures (the coupling-vs-distance curve of Figure 5 and the
+// EMD cosine table of Figure 10). Any numerics change that shifts these
+// lines shows up here; regenerate with -update after a deliberate change.
+func TestGoldenFigures(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") == "1"
+	for _, tc := range []struct {
+		name string
+		fn   figureFunc
+	}{
+		{"fig05", fig5},
+		{"fig10", fig10},
+	} {
+		got := captureStdout(t, func() error { return tc.fn("") })
+		golden := filepath.Join("..", "..", "testdata", tc.name+".golden")
+		if update {
+			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("%s output drifted from golden:\n--- got ---\n%s--- want ---\n%s",
+				tc.name, got, want)
+		}
+	}
+}

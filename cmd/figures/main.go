@@ -1,0 +1,98 @@
+// Command figures regenerates every figure of the paper's evaluation as
+// printed data series (and optionally SVG renderings of the layout
+// figures). See DESIGN.md §4 for the experiment index.
+//
+// Usage:
+//
+//	figures -fig 5            # one figure
+//	figures -all              # all figures
+//	figures -all -svgdir out  # also write layout SVGs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// figureFunc renders one figure's data to stdout; svgdir may be empty.
+type figureFunc func(svgdir string) error
+
+var figures = map[int]struct {
+	title string
+	fn    figureFunc
+}{
+	1:  {"Conducted noise of the buck converter, unfavourable placement", fig1},
+	2:  {"Optimized placement reduces emissions (same components)", fig2},
+	4:  {"Magnetic stray-field map of two coupled bobbin inductors", fig4},
+	5:  {"Coupling factor vs distance, two 1.5 µF X-capacitors", fig5},
+	6:  {"Placement rules for two capacitors: rotation shrinks the distance", fig6},
+	7:  {"Coupling factor of two bobbin coils of different size", fig7},
+	8:  {"Capacitor positions around 2- and 3-winding CM chokes", fig8},
+	9:  {"Automatic placement: 29 devices, 100 min distances, 3 groups", fig9},
+	10: {"Effective minimum distance EMD = PEMD·cos(alpha)", fig10},
+	11: {"Buck converter PEEC model inventory", fig11},
+	12: {"Measured conducted noise (virtual measurement)", fig12},
+	13: {"Simulated interference neglecting magnetic coupling", fig13},
+	14: {"Prediction including magnetic couplings", fig14},
+	15: {"Magnetic coupling violations of the original layout (red circles)", fig15},
+	16: {"Result of the automatic placement function (buck board)", fig16},
+	17: {"All distance rules met after automatic placement (green circles)", fig17},
+	18: {"Functional groups placed in coherent areas", fig18},
+	// Extensions beyond the paper's figures.
+	19: {"EXTENSION: capacitive body coupling vs frequency band", fig19},
+	20: {"EXTENSION: shielding-plane dependency of the PEMD rules", fig20},
+	21: {"EXTENSION: time-domain vs harmonic-domain cross-validation", fig21},
+	22: {"EXTENSION: common-mode path, CM choke and Y-cap placement", fig22},
+	23: {"EXTENSION: three-phase inverter CM with 3-winding choke", fig23},
+	24: {"EXTENSION: virtual near-field scan of the buck board", fig24},
+}
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate")
+	all := flag.Bool("all", false, "regenerate every figure")
+	svgdir := flag.String("svgdir", "", "directory for SVG renderings of layout figures")
+	flag.Parse()
+
+	if *svgdir != "" {
+		if err := os.MkdirAll(*svgdir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	var nums []int
+	if *all {
+		for n := range figures {
+			nums = append(nums, n)
+		}
+		sort.Ints(nums)
+	} else if f, ok := figures[*fig]; ok {
+		_ = f
+		nums = []int{*fig}
+	} else {
+		fmt.Fprintln(os.Stderr, "usage: figures -fig N | -all   (figures:",
+			func() []int {
+				var ks []int
+				for k := range figures {
+					ks = append(ks, k)
+				}
+				sort.Ints(ks)
+				return ks
+			}(), ")")
+		os.Exit(2)
+	}
+
+	for _, n := range nums {
+		f := figures[n]
+		fmt.Printf("== Figure %d: %s ==\n", n, f.title)
+		if err := f.fn(*svgdir); err != nil {
+			fatal(fmt.Errorf("figure %d: %w", n, err))
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFastFiguresRun exercises the cheap figure generators end to end (the
+// buck-flow figures are covered by internal/buck's integration tests and
+// would dominate the test time here).
+func TestFastFiguresRun(t *testing.T) {
+	// Silence stdout while running the generators.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	for _, n := range []int{4, 5, 6, 10, 11} {
+		if err := figures[n].fn(""); err != nil {
+			t.Errorf("figure %d: %v", n, err)
+		}
+	}
+}
+
+// TestBuckFlowFigures exercises the figure generators that share the
+// cached buck flow (the flow runs once, then every figure renders from
+// it), plus the placement figure, against a temp SVG directory.
+func TestBuckFlowFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full buck flow")
+	}
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+
+	dir := t.TempDir()
+	for _, n := range []int{1, 2, 12, 13, 14, 15, 16, 17, 18, 9} {
+		if err := figures[n].fn(dir); err != nil {
+			t.Errorf("figure %d: %v", n, err)
+		}
+	}
+	// The layout figures wrote their SVGs.
+	for _, name := range []string{
+		"fig15_unfavorable.svg", "fig16_optimized.svg",
+		"fig17_rules_met.svg", "fig18_groups.svg", "fig09_complex29.svg",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestFigureRegistryComplete(t *testing.T) {
+	// Every evaluation figure of the paper (1–18 except the photographs
+	// 3 and the GUI-only sub-figures) must be registered.
+	for _, n := range []int{1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18} {
+		f, ok := figures[n]
+		if !ok {
+			t.Errorf("figure %d missing from the registry", n)
+			continue
+		}
+		if f.title == "" || f.fn == nil {
+			t.Errorf("figure %d incomplete", n)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A Novel Approach for
+// EMI Design of Power Electronics" (Stube, Schroeder, Hoene, Lissner —
+// DATE 2008): a coupled field/circuit EMI prediction flow (PEEC partial
+// inductances + modified nodal analysis), a sensitivity analysis that
+// prunes the couplings worth extracting, derivation of pairwise
+// minimum-distance placement rules EMD = PEMD·|cos α|, and a dedicated
+// constraint-driven placement tool with an interactive adviser.
+//
+// The root package holds the benchmark harness (one benchmark per paper
+// figure plus the ablations of DESIGN.md §5); all functionality lives in
+// the internal packages, the command-line tools in cmd/, and runnable
+// walkthroughs in examples/. See README.md for the tour, DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-reproduction results.
+package repro

@@ -1,0 +1,92 @@
+// Interactive placement adviser (the paper's "online design rule checks
+// visualize design rule violations immediately").
+//
+// The example drives the adviser API the way a GUI would: it moves a
+// capacitor stepwise towards another one, watching the EMD rule flip from
+// green to red, then cures the violation by rotating the part 90° — the
+// paper's Figure 6 trick — and finally compacts the layout while the
+// online check guards every move.
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/place"
+	"repro/internal/rules"
+)
+
+func main() {
+	d := &layout.Design{
+		Name:      "advisor demo",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.08, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	for _, ref := range []string{"C1", "C2"} {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 18e-3, L: 8e-3, H: 14e-3, Axis: geom.V3(0, 1, 0),
+		})
+	}
+	d.Rules.Add(rules.Rule{RefA: "C1", RefB: "C2", PEMD: 24e-3})
+
+	c1 := d.Find("C1")
+	c1.Placed, c1.Center = true, geom.V2(0.02, 0.025)
+	c2 := d.Find("C2")
+	c2.Placed, c2.Center = true, geom.V2(0.06, 0.025)
+
+	adv := place.NewAdviser(d)
+	fmt.Println("rule: PEMD(C1,C2) = 24 mm at parallel axes")
+	fmt.Println("\ndragging C2 towards C1:")
+	for _, mm := range []float64{55, 48, 44, 42, 36} {
+		rep, err := adv.Move("C2", geom.V2(mm*1e-3, 0.025), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "GREEN"
+		if !rep.Green() {
+			status = "RED  "
+		}
+		p := rep.Pairs[0]
+		fmt.Printf("  C2 at x=%2.0f mm → %s (need %.1f mm, have %.1f mm)\n",
+			mm, status, p.Required*1e3, p.Actual*1e3)
+	}
+
+	fmt.Println("\nthe online check is red — rotate C2 by 90° instead of moving away:")
+	rep, err := adv.Move("C2", geom.V2(0.036, 0.025), geom.Rad(90))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := rep.Pairs[0]
+	fmt.Printf("  C2 rotated 90° at x=36 mm → green: %v (EMD need %.1f mm, have %.1f mm)\n",
+		rep.Green(), p.Required*1e3, p.Actual*1e3)
+
+	fmt.Println("\ncompacting: how close can C2 go with orthogonal axes?")
+	for _, mm := range []float64{35, 34, 33} {
+		rep, err := adv.Try("C2", geom.V2(mm*1e-3, 0.025), geom.Rad(90))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "clearance violated"
+		if rep.Green() {
+			verdict = "legal"
+		}
+		fmt.Printf("  try x=%2.0f mm → %s\n", mm, verdict)
+		if rep.Green() {
+			if _, err := adv.Move("C2", geom.V2(mm*1e-3, 0.025), geom.Rad(90)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	final := adv.Report()
+	bb := adv.BoundingBox(0)
+	fmt.Printf("\nfinal layout green: %v, bounding box %.0f × %.0f mm — EMC-clean and compact.\n",
+		final.Green(), bb.W()*1e3, bb.H()*1e3)
+}

@@ -1,0 +1,118 @@
+// The paper's full case study: an automotive buck converter with input and
+// output EMI filters, measured behind a CISPR 25 LISN.
+//
+// The example walks the complete methodical EMI design flow:
+//
+//  1. baseline ("trial and error") placement → conducted noise over limits,
+//
+//  2. prediction with/without couplings vs a virtual measurement,
+//
+//  3. sensitivity analysis → relevant coupling pairs,
+//
+//  4. PEMD rule derivation,
+//
+//  5. automatic rule-honouring placement → emissions under the limits.
+//
+//     go run ./examples/buckconverter
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/buck"
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/emi"
+	"repro/internal/render"
+)
+
+func main() {
+	p := buck.Project()
+	fmt.Printf("design %q: %d components, %d nets, 3 functional groups\n",
+		p.Design.Name, len(p.Design.Comps), len(p.Design.Nets))
+
+	// --- 1. Unfavourable placement (EMI-blind baseline). ---
+	if err := buck.Unfavorable(p); err != nil {
+		log.Fatal(err)
+	}
+	sUnfav, err := p.Predict(core.PredictOptions{WithCouplings: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 1 — unfavourable placement: worst margin %.1f dB, %d CISPR 25 violations\n",
+		sUnfav.WorstMargin(), len(sUnfav.Violations()))
+
+	// --- 2. Why prediction must include couplings (Figures 12–14). ---
+	meas, err := p.VirtualMeasurement(emi.BandStop, 2, 2008)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sNo, err := p.Predict(core.PredictOptions{WithCouplings: false})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cNo := emi.Compare(meas, sNo)
+	cYes := emi.Compare(meas, sUnfav)
+	fmt.Printf("prediction neglecting couplings: off by up to %.1f dB from measurement\n", cNo.MaxAbsDelta)
+	fmt.Printf("prediction including couplings:  within %.1f dB — usable for design\n", cYes.MaxAbsDelta)
+
+	// --- 3+4. Sensitivity analysis and rule derivation. ---
+	rank, err := p.RankCouplings(0.01, 30e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsensitivity ranking (top 5 of", len(rank), "pairs):")
+	for i, pr := range rank {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-4s / %-4s  +%.1f dB\n", pr.LA, pr.LB, pr.DeltaDB)
+	}
+	relevant := rank.Relevant(3).Pairs()
+	if _, err := p.DeriveRules(relevant, 0.01); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived %d minimum-distance rules for the %d relevant pairs:\n",
+		p.Design.RuleCount(), len(relevant))
+	for _, r := range p.Design.Rules.Rules {
+		fmt.Printf("  PEMD %-4s %-4s %5.1f mm\n", r.RefA, r.RefB, r.PEMD*1e3)
+	}
+
+	// The unfavourable layout seen through the new rules: red circles.
+	rep := p.Verify()
+	fmt.Printf("\nFigure 15 — original layout: %d of %d EMD rules violated\n",
+		len(rep.ByKind(drc.KindEMD)), p.Design.RuleCount())
+
+	// --- 5. Automatic placement with the rules. ---
+	res, err := buck.Optimize(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep = p.Verify()
+	fmt.Printf("Figure 16/17 — automatic placement in %v, DRC green: %v\n",
+		res.Elapsed, rep.Green())
+
+	sOpt, err := p.Predict(core.PredictOptions{WithCouplings: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxRed := 0.0
+	for i := range sUnfav.DB {
+		if d := sUnfav.DB[i] - sOpt.DB[i]; d > maxRed {
+			maxRed = d
+		}
+	}
+	fmt.Printf("\nFigure 2 — optimised placement: worst margin %+.1f dB, %d violations,\n",
+		sOpt.WorstMargin(), len(sOpt.Violations()))
+	fmt.Printf("           emissions reduced by up to %.1f dB with the SAME components.\n", maxRed)
+
+	// Render the result if a writable directory is available.
+	if f, err := os.Create("buck_optimized.svg"); err == nil {
+		if err := render.SVG(f, p.Design, rep, render.Options{ShowRules: true, ShowAxes: true}); err == nil {
+			fmt.Println("\nwrote buck_optimized.svg")
+		}
+		f.Close()
+	}
+}

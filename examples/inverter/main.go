@@ -1,0 +1,59 @@
+// Three-phase inverter common-mode study (second case study).
+//
+// Three half-bridge legs pump common-mode current through their device-tab
+// capacitances; a three-winding current-compensated choke — the component
+// whose rotating stray field the paper's Figure 8 discusses — filters the
+// motor-cable path. The example shows two orthogonal EMC levers:
+//
+//   - 120° leg interleave cancels every harmonic not divisible by three,
+//
+//   - the CM choke attenuates what remains.
+//
+//     go run ./examples/inverter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/inverter"
+)
+
+func main() {
+	variants := []struct {
+		name string
+		opt  inverter.Options
+	}{
+		{"synchronized, no choke", inverter.Options{}},
+		{"synchronized, with choke", inverter.Options{WithChoke: true}},
+		{"interleaved, with choke", inverter.Options{Interleaved: true, WithChoke: true}},
+	}
+	fmt.Println("common-mode level at the supply LISN, first PWM harmonics [dBµV]:")
+	fmt.Printf("%-26s", "")
+	for _, k := range []int{1, 2, 3, 5, 7, 9} {
+		fmt.Printf("  h%-4d", k)
+	}
+	fmt.Println()
+	for _, v := range variants {
+		s, err := inverter.Predict(v.opt, 2e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s", v.name)
+		for _, k := range []int{1, 2, 3, 5, 7, 9} {
+			db, err := inverter.HarmonicLevel(s, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if db <= -150 {
+				fmt.Printf("  %5s", "—")
+			} else {
+				fmt.Printf("  %5.1f", db)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n'—' marks harmonics cancelled below the numeric floor: balanced")
+	fmt.Println("120° interleave nulls all non-triplen harmonics; even harmonics")
+	fmt.Println("are already absent at 50 % duty. The choke carries the rest.")
+}

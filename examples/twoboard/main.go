@@ -1,0 +1,108 @@
+// Two-board placement: the paper's tool supports "1 or 2 rigid connected
+// boards" with an optional partitioning step that assigns circuit
+// partitions to board sides.
+//
+// This example builds a mixed filter/control design, lets the automatic
+// method partition it across two boards (functional groups travel as one
+// unit, preplaced parts anchor their side), and shows the bonus effect:
+// EMD rules between components on different boards dissolve.
+//
+//	go run ./examples/twoboard
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/place"
+	"repro/internal/rules"
+)
+
+func main() {
+	d := &layout.Design{
+		Name:      "two-board converter",
+		Boards:    2,
+		Clearance: 0.8e-3,
+		Areas: []layout.Area{
+			{Name: "powerboard", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.07, 0.05))},
+			{Name: "ctrlboard", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.07, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+
+	// Power-side magnetics in one functional group …
+	for _, ref := range []string{"CF1", "CF2", "LP1"} {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 0.016, L: 0.008, H: 0.013,
+			Axis: geom.V3(0, 1, 0), Group: "power-filter",
+		})
+	}
+	// … control-side parts in another, plus loose glue parts.
+	for _, ref := range []string{"U1", "U2"} {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 0.009, L: 0.009, H: 0.002, Group: "control",
+		})
+	}
+	for _, ref := range []string{"R1", "R2", "CX9"} {
+		d.Comps = append(d.Comps, &layout.Component{Ref: ref, W: 0.004, L: 0.003, H: 0.002})
+	}
+	// The supply connector is preplaced on the power board.
+	conn := &layout.Component{
+		Ref: "J1", W: 0.012, L: 0.02, H: 0.011,
+		Preplaced: true, Placed: true, Center: geom.V2(0.008, 0.025), Board: 0,
+	}
+	d.Comps = append(d.Comps, conn)
+
+	// Dense power nets, one thin cross-domain net.
+	d.Nets = []layout.Net{
+		{Name: "vin", Refs: []string{"J1", "CF1", "LP1"}},
+		{Name: "vdd", Refs: []string{"LP1", "CF2"}},
+		{Name: "ctrl", Refs: []string{"U1", "U2", "R1", "R2"}},
+		{Name: "fb", Refs: []string{"U1", "CF2"}}, // crosses the boards
+		{Name: "aux", Refs: []string{"R1", "CX9"}},
+	}
+	// EMD rules among the magnetics, including one to a control-side part
+	// that partitioning can dissolve.
+	d.Rules.Add(rules.Rule{RefA: "CF1", RefB: "CF2", PEMD: 0.022})
+	d.Rules.Add(rules.Rule{RefA: "CF1", RefB: "LP1", PEMD: 0.018})
+	d.Rules.Add(rules.Rule{RefA: "CF2", RefB: "LP1", PEMD: 0.018})
+
+	res, err := place.AutoPlace(d, place.Options{Partition: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d components on 2 boards in %v\n", res.Placed, res.Elapsed)
+	fmt.Printf("nets crossing the boards after partitioning: %d\n", res.CutNets)
+	for b := 0; b < 2; b++ {
+		fmt.Printf("\nboard %d:\n", b)
+		for _, c := range d.Comps {
+			if c.Board == b {
+				marker := " "
+				if c.Preplaced {
+					marker = "*"
+				}
+				fmt.Printf("  %s%-4s (%4.0f, %4.0f) mm  %s\n",
+					marker, c.Ref, c.Center.X*1e3, c.Center.Y*1e3, c.Group)
+			}
+		}
+	}
+	rep := place.Verify(d)
+	fmt.Printf("\nDRC green: %v (%d checks)\n", rep.Green(), rep.Checks)
+	if !rep.Green() {
+		fmt.Print(rep)
+	}
+	// Group integrity across the partition.
+	g := d.Groups()
+	for _, name := range d.GroupNames() {
+		b := g[name][0].Board
+		whole := true
+		for _, m := range g[name] {
+			if m.Board != b {
+				whole = false
+			}
+		}
+		fmt.Printf("group %-13s on board %d, intact: %v\n", name, b, whole)
+	}
+}

@@ -1,0 +1,150 @@
+package buck
+
+import (
+	"math"
+
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/electro"
+	"repro/internal/emi"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/rules"
+)
+
+// Common-mode variant of the case study. CISPR 25 measures each supply
+// line against the vehicle chassis through its own LISN; the dominant
+// high-frequency mechanism is common-mode current pumped by the switch-
+// node dv/dt through the transistor tab's parasitic capacitance to the
+// heatsink/chassis, returning through both LISNs. The filter against it is
+// the current-compensated (CM) choke plus Y-capacitors — the components of
+// the paper's Figure 8, whose relative placement this model exposes as a
+// coupling factor between the choke winding and the Y-capacitor ESL.
+
+// CM circuit parameters.
+const (
+	CMChokeL     = 1e-3 // per-winding inductance of the CM choke (closed core)
+	CMChokeK     = 0.98 // winding coupling of the current-compensated choke
+	YCapacitance = 2.2e-9
+)
+
+// Heatsink mounting geometry: a D2PAK tab on a filled-silicone thermal pad.
+const (
+	tabW, tabL = 10e-3, 12e-3
+	padThick   = 0.3e-3
+	padEpsR    = 5.0
+)
+
+// HeatsinkCapacitance returns the parasitic capacitance between the
+// switching transistor's tab and the grounded heatsink it is mounted on.
+// The thin uniform pad gap is a parallel-plate problem (the electrostatic
+// panel method needs panels finer than the gap there, see
+// electro.MutualCapacitance); a 15 % allowance covers the edge fringe
+// field.
+func HeatsinkCapacitance() float64 {
+	plate := electro.Eps0 * padEpsR * tabW * tabL / padThick
+	return plate * 1.15
+}
+
+// CMProject assembles the common-mode analysis: two LISNs (supply and
+// return line), CM choke, X- and Y-capacitors, and the switch-node dv/dt
+// source driving the heatsink capacitance.
+//
+// yCapChokeK is the magnetic coupling factor between the CM choke winding
+// and the Y-capacitor ESL — the quantity the paper's Figure 8 position
+// scan produces. 0 models a Y-capacitor at a decoupled position of the
+// two-winding choke; a few hundredths model an unfavourable position.
+func CMProject(yCapChokeK float64) (*core.Project, error) {
+	cpar := HeatsinkCapacitance()
+
+	c := &netlist.Circuit{Title: "buck converter common-mode model"}
+	c.AddV("Vbat", "batp", "batn", netlist.Source{DC: VIn})
+	// One artificial network per line, both referenced to chassis (node 0).
+	measP := emi.AddLISN(c, "lisnp", "batp", "vinp")
+	emi.AddLISN(c, "lisnn", "batn", "vinn")
+
+	// Current-compensated choke: two coupled windings.
+	c.AddL("Lcma", "vinp", "vp2", CMChokeL)
+	c.AddL("Lcmb", "vinn", "vn2", CMChokeL)
+	c.AddK("Kcm", "Lcma", "Lcmb", CMChokeK)
+
+	// X capacitor between the lines (differential) with parasitics.
+	xc := components.NewX2Cap("X2-cm", 1.5e-6)
+	c.AddC("Cx", "vp2", "x1", xc.C)
+	c.AddR("Rx", "x1", "x2", xc.ESR)
+	c.AddL("Lx", "x2", "vn2", xc.EffectiveESL())
+
+	// Y capacitors line-to-chassis with their loop ESL.
+	yc := components.NewYCap("Y1-cm", YCapacitance)
+	c.AddC("Cy1", "vp2", "y1", yc.C)
+	c.AddL("Ly1", "y1", "0", yc.EffectiveESL())
+	c.AddC("Cy2", "vn2", "y2", yc.C)
+	c.AddL("Ly2", "y2", "0", yc.EffectiveESL())
+
+	// The converter's differential input load.
+	c.AddR("Rdm", "vp2", "vn2", VIn*Duty/ILoad*2)
+
+	// Switch-node dv/dt source (drain-source voltage against the return
+	// rail) driving the heatsink capacitance to chassis.
+	period := 1 / FSwitch
+	c.AddV("Vds", "sw", "vn2", netlist.Source{Pulse: &netlist.Pulse{
+		V1: 0, V2: VIn, Rise: RiseTime, Fall: FallTime,
+		Width: Duty*period - RiseTime, Period: period,
+	}})
+	c.AddC("Cpar", "sw", "hs", cpar)
+	c.AddL("Lhs", "hs", "0", 20e-9) // heatsink strap inductance
+
+	// The placement-dependent stray coupling between the choke winding
+	// and the Y-capacitor ESL (Figure 8's red/green positions).
+	if yCapChokeK != 0 {
+		c.AddK("Kyc", "Lcma", "Ly1", yCapChokeK)
+	}
+
+	// Minimal placement view: the CM filter corner of the board.
+	cm2 := components.NewCMChoke2("CM2")
+	d := &layout.Design{
+		Name:      "buck CM filter",
+		Boards:    1,
+		Clearance: 1e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	for ref, m := range map[string]components.Model{"LCM1": cm2, "CY1": yc, "CY2": yc, "CX1": xc} {
+		w, l, h := m.Size()
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: w, L: l, H: h, Axis: m.MagneticAxis(0), Group: "cm-filter",
+		})
+	}
+
+	p := &core.Project{
+		Design:  d,
+		Circuit: c,
+		Models: map[string]components.Model{
+			"LCM1": cm2, "CY1": yc, "CY2": yc, "CX1": xc,
+		},
+		InductorOf: map[string]string{
+			"CY1": "Ly1",
+			"CY2": "Ly2",
+			"CX1": "Lx",
+		},
+		Sources:     []string{"Vds"},
+		MeasureNode: measP,
+	}
+	return p, nil
+}
+
+// YCapPositionCoupling evaluates the Figure 8 scenario for the circuit: it
+// places a Y-capacitor at the given angle (radians) on a 35 mm orbit
+// around the two-winding CM choke, with its axis pointing at the choke,
+// and returns the effective coupling magnitude the placement produces.
+func YCapPositionCoupling(angle float64) float64 {
+	cm2 := components.NewCMChoke2("CM2")
+	yc := components.NewYCap("Y1", YCapacitance)
+	const dist = 0.035
+	pos := geom.V2(dist*math.Cos(angle), dist*math.Sin(angle))
+	victim := yc.Conductor(angle + math.Pi/2).Translate(pos.Lift(0))
+	return cm2.EffectiveCouplingTo(victim, 0, 0)
+}

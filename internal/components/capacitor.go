@@ -1,0 +1,148 @@
+package components
+
+import (
+	"repro/internal/geom"
+	"repro/internal/peec"
+)
+
+// Capacitor models a two-terminal filter capacitor. Its field-generating
+// structure is the equivalent current loop spanned by the two pins and the
+// internal current path (cf. the paper's X-ray/PEEC picture of the SMD
+// tantalum capacitor, Figure 3): a rectangular loop of width Pitch standing
+// LoopH above the board in the pin plane.
+//
+// At rotation 0 the pins lie along the x axis, so the loop normal — the
+// magnetic axis — points along y.
+type Capacitor struct {
+	ModelName string
+	C         float64 // capacitance in F
+	ESR       float64 // equivalent series resistance in Ω
+	ESL       float64 // equivalent series inductance in H; 0 = derive from the loop
+	BodyW     float64 // body extent along the pin direction
+	BodyL     float64 // body extent across the pins
+	BodyH     float64 // body height
+	Pitch     float64 // pin-to-pin distance
+	LoopH     float64 // height of the equivalent current loop
+	WireR     float64 // equivalent conductor radius of the loop
+}
+
+// Name implements Model.
+func (c *Capacitor) Name() string { return c.ModelName }
+
+// Size implements Model.
+func (c *Capacitor) Size() (float64, float64, float64) { return c.BodyW, c.BodyL, c.BodyH }
+
+// Conductor implements Model: the rectangular equivalent current loop.
+func (c *Capacitor) Conductor(rotZ float64) *peec.Conductor {
+	p, h := c.Pitch/2, c.LoopH
+	pts := []geom.Vec3{
+		{X: -p, Z: 0},
+		{X: -p, Z: h},
+		{X: p, Z: h},
+		{X: p, Z: 0},
+	}
+	loop := peec.NewLoop(pts, c.wireR())
+	return loop.RotZAround(geom.Vec3{}, rotZ)
+}
+
+// MagneticAxis implements Model: the loop normal, +y at rotation 0.
+func (c *Capacitor) MagneticAxis(rotZ float64) geom.Vec3 {
+	return geom.V3(0, 1, 0).RotZ(rotZ)
+}
+
+// EffectiveESL returns the series inductance used in circuit simulation:
+// the explicit ESL if set, otherwise the self-inductance of the equivalent
+// loop — the paper's way of obtaining parasitics from the 3D model.
+func (c *Capacitor) EffectiveESL() float64 {
+	if c.ESL > 0 {
+		return c.ESL
+	}
+	return c.Conductor(0).SelfInductance()
+}
+
+func (c *Capacitor) wireR() float64 {
+	if c.WireR > 0 {
+		return c.WireR
+	}
+	return 0.4e-3
+}
+
+// NewX2Cap returns a film X-capacitor of the given capacitance, the
+// component of the paper's Figure 5 distance study (1.5 µF there). The
+// geometry follows a typical 305 VAC X2 box film part.
+func NewX2Cap(name string, c float64) *Capacitor {
+	return &Capacitor{
+		ModelName: name,
+		C:         c,
+		ESR:       0.015,
+		BodyW:     18e-3,
+		BodyL:     8e-3,
+		BodyH:     14e-3,
+		Pitch:     15e-3,
+		LoopH:     11e-3,
+		WireR:     0.4e-3,
+	}
+}
+
+// NewSMDTantalum returns an SMD tantalum electrolytic capacitor (D case),
+// the part X-rayed in the paper's Figure 3.
+func NewSMDTantalum(name string, c float64) *Capacitor {
+	return &Capacitor{
+		ModelName: name,
+		C:         c,
+		ESR:       0.08,
+		BodyW:     7.3e-3,
+		BodyL:     4.3e-3,
+		BodyH:     2.8e-3,
+		Pitch:     6.0e-3,
+		LoopH:     1.6e-3,
+		WireR:     0.5e-3,
+	}
+}
+
+// NewElectrolytic returns a radial aluminium electrolytic can capacitor:
+// tall body, short pin pitch, relatively high ESR.
+func NewElectrolytic(name string, c float64) *Capacitor {
+	return &Capacitor{
+		ModelName: name,
+		C:         c,
+		ESR:       0.25,
+		BodyW:     10e-3,
+		BodyL:     10e-3,
+		BodyH:     16e-3,
+		Pitch:     5e-3,
+		LoopH:     13e-3,
+		WireR:     0.4e-3,
+	}
+}
+
+// NewYCap returns a small Y-class disc safety capacitor (line-to-ground
+// filtering).
+func NewYCap(name string, c float64) *Capacitor {
+	return &Capacitor{
+		ModelName: name,
+		C:         c,
+		ESR:       0.05,
+		BodyW:     9e-3,
+		BodyL:     5e-3,
+		BodyH:     10e-3,
+		Pitch:     7.5e-3,
+		LoopH:     8e-3,
+		WireR:     0.3e-3,
+	}
+}
+
+// NewMLCC returns an SMD multilayer ceramic capacitor (1210 size).
+func NewMLCC(name string, c float64) *Capacitor {
+	return &Capacitor{
+		ModelName: name,
+		C:         c,
+		ESR:       0.01,
+		BodyW:     3.2e-3,
+		BodyL:     2.5e-3,
+		BodyH:     1.8e-3,
+		Pitch:     2.8e-3,
+		LoopH:     0.9e-3,
+		WireR:     0.3e-3,
+	}
+}

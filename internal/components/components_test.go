@@ -1,0 +1,374 @@
+package components
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/peec"
+)
+
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestCapacitorGeometry(t *testing.T) {
+	c := NewX2Cap("X2-1u5", 1.5e-6)
+	w, l, h := c.Size()
+	if w <= 0 || l <= 0 || h <= 0 {
+		t.Fatal("degenerate body")
+	}
+	cond := c.Conductor(0)
+	if len(cond.Segments) != 4 {
+		t.Fatalf("loop segments = %d, want 4", len(cond.Segments))
+	}
+	// Loop in the xz plane ⇒ magnetic axis along ±y at rotation 0.
+	ax := c.MagneticAxis(0)
+	if math.Abs(ax.Y) != 1 {
+		t.Errorf("axis = %v, want ±y", ax)
+	}
+	// Model axis must agree with the dipole axis of the PEEC structure.
+	dip := cond.MagneticAxis()
+	if geom.AxisAngle(ax, dip) > 1e-9 {
+		t.Errorf("declared axis %v vs dipole axis %v", ax, dip)
+	}
+	// Rotation by 90° turns the axis to ±x.
+	ax90 := c.MagneticAxis(math.Pi / 2)
+	if math.Abs(ax90.X) < 0.999 {
+		t.Errorf("rotated axis = %v", ax90)
+	}
+}
+
+func TestCapacitorESL(t *testing.T) {
+	c := NewX2Cap("X2", 1.5e-6)
+	esl := c.EffectiveESL()
+	// A 15 mm pitch, 11 mm tall loop has tens of nH of loop inductance.
+	if esl < 5e-9 || esl > 80e-9 {
+		t.Errorf("derived ESL = %v H", esl)
+	}
+	c.ESL = 12e-9
+	if c.EffectiveESL() != 12e-9 {
+		t.Error("explicit ESL must win")
+	}
+	// The small MLCC has much lower ESL than the big film cap.
+	m := NewMLCC("MLCC", 1e-6)
+	if m.EffectiveESL() >= esl {
+		t.Errorf("MLCC ESL %v not below X2 ESL %v", m.EffectiveESL(), esl)
+	}
+}
+
+func TestCapacitorCouplingDecaysWithDistance(t *testing.T) {
+	// Two 1.5 µF X-caps with parallel magnetic axes — the Figure 5 setup.
+	m := NewX2Cap("X2", 1.5e-6)
+	a := &Instance{Ref: "C1", Model: m}
+	prev := math.Inf(1)
+	for _, d := range []float64{0.02, 0.03, 0.05, 0.08} {
+		b := &Instance{Ref: "C2", Model: m, Center: geom.V2(0, d)}
+		k := math.Abs(CouplingFactor(a, b, peec.DefaultOrder))
+		if k <= 0 {
+			t.Fatalf("no coupling at %v", d)
+		}
+		if k >= prev {
+			t.Errorf("k(%v) = %v did not decay below %v", d, k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestCapacitorOrthogonalRotationDecouples(t *testing.T) {
+	// The Figure 6 rule: rotating one capacitor by 90° puts the equivalent
+	// current paths perpendicular and removes the coupling.
+	m := NewX2Cap("X2", 1.5e-6)
+	a := &Instance{Ref: "C1", Model: m}
+	bPar := &Instance{Ref: "C2", Model: m, Center: geom.V2(0, 0.025)}
+	bOrth := &Instance{Ref: "C2", Model: m, Center: geom.V2(0, 0.025), Rot: math.Pi / 2}
+	kp := math.Abs(CouplingFactor(a, bPar, peec.DefaultOrder))
+	ko := math.Abs(CouplingFactor(a, bOrth, peec.DefaultOrder))
+	if ko > 0.1*kp {
+		t.Errorf("orthogonal k = %v not well below parallel k = %v", ko, kp)
+	}
+	if got := AxisAngle(a, bOrth); relErr(got, math.Pi/2) > 1e-9 {
+		t.Errorf("axis angle = %v", got)
+	}
+}
+
+func TestInstanceFootprintRotation(t *testing.T) {
+	m := NewX2Cap("X2", 1.5e-6)
+	in := &Instance{Ref: "C1", Model: m, Center: geom.V2(0.01, 0.02)}
+	fp := in.Footprint()
+	if relErr(fp.W(), 18e-3) > 1e-9 || relErr(fp.H(), 8e-3) > 1e-9 {
+		t.Errorf("footprint = %v", fp)
+	}
+	in.Rot = math.Pi / 2
+	fp = in.Footprint()
+	if relErr(fp.W(), 8e-3) > 1e-9 || relErr(fp.H(), 18e-3) > 1e-9 {
+		t.Errorf("rotated footprint = %v", fp)
+	}
+	body := in.Body()
+	if relErr(body.Height(), 14e-3) > 1e-9 || body.Z0 != 0 {
+		t.Errorf("body = %+v", body)
+	}
+}
+
+func TestBodyModelIsNonMagnetic(t *testing.T) {
+	b := &BodyModel{ModelName: "MOSFET", W: 10e-3, L: 10e-3, H: 4.5e-3}
+	if len(b.Conductor(0).Segments) != 0 {
+		t.Error("body must have no field structure")
+	}
+	if b.MagneticAxis(0) != (geom.Vec3{}) {
+		t.Error("body must have no magnetic axis")
+	}
+	a := &Instance{Ref: "Q1", Model: b}
+	c := &Instance{Ref: "C1", Model: NewX2Cap("X2", 1e-6), Center: geom.V2(0.02, 0)}
+	if CouplingFactor(a, c, peec.DefaultOrder) != 0 {
+		t.Error("coupling with body must be 0")
+	}
+	if AxisAngle(a, c) != math.Pi/2 {
+		t.Error("axis angle with body must be π/2 (decoupled)")
+	}
+}
+
+func TestBobbinChokeInductance(t *testing.T) {
+	ch := NewBobbinChoke("L1", 20, 4e-3)
+	l := ch.Inductance()
+	// 20 turns on an 8 mm drum with µeff 25: order 10–100 µH.
+	if l < 1e-6 || l > 500e-6 {
+		t.Errorf("L = %v H", l)
+	}
+	// More turns ⇒ more inductance, superlinear (≈ N²).
+	ch2 := NewBobbinChoke("L2", 40, 4e-3)
+	if ch2.Inductance() < 2.5*l {
+		t.Errorf("N² scaling violated: %v vs %v", ch2.Inductance(), l)
+	}
+}
+
+func TestBobbinChokeAxisRotates(t *testing.T) {
+	ch := NewBobbinChoke("L1", 10, 4e-3)
+	if ax := ch.MagneticAxis(0); math.Abs(ax.Y) != 1 {
+		t.Errorf("axis at rot 0 = %v", ax)
+	}
+	ax := ch.MagneticAxis(math.Pi / 2)
+	if math.Abs(ax.X) < 0.999 {
+		t.Errorf("axis at rot 90° = %v", ax)
+	}
+	// Dipole axis of the field structure agrees with the declared axis.
+	dip := ch.Conductor(0.3).MagneticAxis()
+	if geom.AxisAngle(dip, ch.MagneticAxis(0.3)) > 1e-6 {
+		t.Errorf("dipole %v vs declared %v", dip, ch.MagneticAxis(0.3))
+	}
+}
+
+func TestBobbinChokeCouplingSizeDependence(t *testing.T) {
+	// Figure 7: coupling of two bobbin coils; values vary with size and
+	// must be recomputed per combination.
+	small := NewBobbinChoke("Ls", 12, 3e-3)
+	big := NewBobbinChoke("Lb", 12, 6e-3)
+	d := 0.03
+	a := &Instance{Ref: "L1", Model: small}
+	bSmall := &Instance{Ref: "L2", Model: small, Center: geom.V2(d, 0)}
+	bBig := &Instance{Ref: "L3", Model: big, Center: geom.V2(d, 0)}
+	kSS := math.Abs(CouplingFactor(a, bSmall, peec.DefaultOrder))
+	kSB := math.Abs(CouplingFactor(a, bBig, peec.DefaultOrder))
+	if kSS == 0 || kSB == 0 {
+		t.Fatal("chokes must couple")
+	}
+	if relErr(kSS, kSB) < 0.05 {
+		t.Errorf("size should change the coupling: %v vs %v", kSS, kSB)
+	}
+}
+
+func TestTraceInductanceRuleOfThumb(t *testing.T) {
+	tr := &Trace{
+		Points: []geom.Vec3{{}, {X: 0.1}},
+		Width:  1e-3,
+	}
+	l := tr.Inductance()
+	// ≈ 1 nH/mm for a narrow trace.
+	if l < 60e-9 || l > 160e-9 {
+		t.Errorf("trace L = %v H", l)
+	}
+	if relErr(tr.Length(), 0.1) > 1e-12 {
+		t.Errorf("length = %v", tr.Length())
+	}
+}
+
+func TestViaInductance(t *testing.T) {
+	v := &Via{At: geom.V2(0, 0), Z0: 0, Z1: 1.6e-3, Drill: 0.3e-3}
+	l := v.Inductance()
+	// A 1.6 mm via is of order 1 nH.
+	if l < 0.2e-9 || l > 3e-9 {
+		t.Errorf("via L = %v H", l)
+	}
+}
+
+func TestCMChokeWindingCount(t *testing.T) {
+	c2 := NewCMChoke2("CM2")
+	c3 := NewCMChoke3("CM3")
+	if c2.windings() != 2 || c3.windings() != 3 {
+		t.Fatalf("winding counts: %d, %d", c2.windings(), c3.windings())
+	}
+	if len(c2.WindingPhases()) != 2 || c2.WindingPhases()[0] != 0 || c2.WindingPhases()[1] != 0 {
+		t.Errorf("2-winding phases = %v", c2.WindingPhases())
+	}
+	p3 := c3.WindingPhases()
+	if relErr(p3[1], 2*math.Pi/3) > 1e-12 || relErr(p3[2], 4*math.Pi/3) > 1e-12 {
+		t.Errorf("3-winding phases = %v", p3)
+	}
+}
+
+func TestCMChokeDecoupledPositions(t *testing.T) {
+	// Figure 8: scan a test capacitor around each choke. The 2-winding
+	// design must show positions with strongly reduced effective coupling;
+	// the 3-winding design under three-phase excitation must not.
+	victimModel := NewX2Cap("X2", 1e-6)
+	scan := func(c *CMChoke) (min, max float64) {
+		min, max = math.Inf(1), 0.0
+		const d = 0.035
+		for deg := 0; deg < 360; deg += 15 {
+			phi := geom.Rad(float64(deg))
+			pos := geom.V2(d*math.Cos(phi), d*math.Sin(phi))
+			// Victim axis oriented radially towards the choke.
+			victim := victimModel.Conductor(phi + math.Pi/2).Translate(pos.Lift(0))
+			k := c.EffectiveCouplingTo(victim, 0, peec.DefaultOrder)
+			if k < min {
+				min = k
+			}
+			if k > max {
+				max = k
+			}
+		}
+		return min, max
+	}
+	min2, max2 := scan(NewCMChoke2("CM2"))
+	min3, max3 := scan(NewCMChoke3("CM3"))
+	if max2 == 0 || max3 == 0 {
+		t.Fatal("chokes must couple somewhere")
+	}
+	ratio2 := min2 / max2
+	ratio3 := min3 / max3
+	if ratio2 > 0.01 {
+		t.Errorf("2-winding should have a decoupled position: min/max = %.4g", ratio2)
+	}
+	if ratio3 < 0.1 {
+		t.Errorf("3-winding should have no decoupled position: min/max = %.4g", ratio3)
+	}
+}
+
+func TestCatalogNamesAndSizes(t *testing.T) {
+	models := []Model{
+		NewX2Cap("X2", 1.5e-6),
+		NewSMDTantalum("TAN", 100e-6),
+		NewMLCC("MLCC", 1e-6),
+		NewElectrolytic("ELKO", 220e-6),
+		NewYCap("Y1", 2.2e-9),
+		NewBobbinChoke("DR", 10, 4e-3),
+		NewSMDPowerInductor("SHD", 10, 4e-3),
+		NewCMChoke2("CM2"),
+		NewCMChoke3("CM3"),
+		&BodyModel{ModelName: "BODY", W: 1e-3, L: 1e-3, H: 1e-3},
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+		if seen[m.Name()] {
+			t.Errorf("duplicate catalog name %q", m.Name())
+		}
+		seen[m.Name()] = true
+		w, l, h := m.Size()
+		if w <= 0 || l <= 0 || h <= 0 {
+			t.Errorf("%s: degenerate size %g×%g×%g", m.Name(), w, l, h)
+		}
+	}
+}
+
+func TestShieldedInductorStray(t *testing.T) {
+	open := NewBobbinChoke("DR", 10, 4e-3)
+	shielded := NewSMDPowerInductor("SHD", 10, 4e-3)
+	// Shielding must not change the inductance…
+	twin := *shielded
+	twin.Shield = 0
+	if relErr(shielded.Inductance(), twin.Inductance()) > 1e-12 {
+		t.Error("shield factor changed the inductance")
+	}
+	// …but must cut the coupling. Compare a shielded pair against the
+	// same geometry unshielded: factor Shield² = 0.0225.
+	a := &Instance{Ref: "L1", Model: shielded}
+	b := &Instance{Ref: "L2", Model: shielded, Center: geom.V2(0.025, 0)}
+	at := &Instance{Ref: "L1", Model: &twin}
+	bt := &Instance{Ref: "L2", Model: &twin, Center: geom.V2(0.025, 0)}
+	kS := CouplingFactor(a, b, peec.DefaultOrder)
+	kO := CouplingFactor(at, bt, peec.DefaultOrder)
+	if relErr(kS, kO*0.15*0.15) > 1e-9 {
+		t.Errorf("shielded k = %v, want %v", kS, kO*0.0225)
+	}
+	// The vertical axis is rotation invariant: the EMD rule cannot be
+	// cured by rotating the part.
+	if ax := shielded.MagneticAxis(1.234); geom.AxisAngle(ax, geom.V3(0, 0, 1)) > 1e-12 {
+		t.Errorf("vertical axis rotated: %v", ax)
+	}
+	_ = open
+}
+
+func TestElectrolyticAndYCap(t *testing.T) {
+	elko := NewElectrolytic("ELKO", 220e-6)
+	if esl := elko.EffectiveESL(); esl < 5e-9 || esl > 60e-9 {
+		t.Errorf("electrolytic ESL = %v", esl)
+	}
+	y := NewYCap("Y1", 2.2e-9)
+	if esl := y.EffectiveESL(); esl < 3e-9 || esl > 40e-9 {
+		t.Errorf("Y-cap ESL = %v", esl)
+	}
+	if elko.ESR <= y.ESR {
+		t.Error("electrolytic should have the higher ESR")
+	}
+}
+
+func TestCMChokeMagneticAxis(t *testing.T) {
+	// The CM-excited structure has a small but defined net dipole; the
+	// axis must be a unit vector (or zero) and rotate with the part.
+	c := NewCMChoke2("CM2")
+	ax := c.MagneticAxis(0)
+	if n := ax.Norm(); n != 0 && math.Abs(n-1) > 1e-9 {
+		t.Errorf("axis norm = %v", n)
+	}
+}
+
+func TestBodyCapacitanceDirect(t *testing.T) {
+	m := NewX2Cap("X2", 1.5e-6)
+	a := &Instance{Ref: "C1", Model: m}
+	b := &Instance{Ref: "C2", Model: m, Center: geom.V2(0.025, 0)}
+	c, err := BodyCapacitance(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 1e-15 || c > 10e-12 {
+		t.Errorf("body capacitance = %v F", c)
+	}
+	// Finer panels refine, not explode.
+	c2, err := BodyCapacitance(a, b, 2.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(c2, c) > 0.3 {
+		t.Errorf("panel refinement unstable: %v vs %v", c2, c)
+	}
+}
+
+func TestCMChokeConductorMuEffAppliedOnce(t *testing.T) {
+	c := NewCMChoke2("CM2")
+	merged := c.Conductor(0)
+	if merged.MuEff != c.muEff() {
+		t.Errorf("merged MuEff = %v", merged.MuEff)
+	}
+	// Windings inside the merged structure must not double-scale: total
+	// segments = windings × turns × ringSegs.
+	want := c.windings() * c.TurnsPer * c.ringSegs()
+	if len(merged.Segments) != want {
+		t.Errorf("segments = %d, want %d", len(merged.Segments), want)
+	}
+}

@@ -1,0 +1,59 @@
+package components
+
+import (
+	"repro/internal/geom"
+	"repro/internal/peec"
+)
+
+// Trace is a PCB copper trace, modelled as a filament polyline whose
+// equivalent round radius follows the geometric-mean-distance rule for a
+// rectangular cross-section, r ≈ 0.2235·(w + t) (Rosa/Grover).
+type Trace struct {
+	Points    []geom.Vec3
+	Width     float64
+	Thickness float64
+}
+
+// EquivalentRadius returns the GMD-equivalent round-wire radius of the
+// rectangular trace cross-section.
+func (t *Trace) EquivalentRadius() float64 {
+	th := t.Thickness
+	if th == 0 {
+		th = 35e-6 // 1 oz copper
+	}
+	return 0.2235 * (t.Width + th)
+}
+
+// Conductor returns the trace's PEEC structure (an open polyline).
+func (t *Trace) Conductor() *peec.Conductor {
+	return peec.NewPolyline(t.Points, t.EquivalentRadius())
+}
+
+// Inductance returns the partial inductance of the trace run — the "line
+// inductance" parasitic the paper includes in its circuit simulation.
+func (t *Trace) Inductance() float64 {
+	return t.Conductor().SelfInductance()
+}
+
+// Length returns the total routed length of the trace.
+func (t *Trace) Length() float64 { return t.Conductor().TotalLength() }
+
+// Via is a vertical interconnect between layers, modelled as a short
+// vertical filament.
+type Via struct {
+	At     geom.Vec2
+	Z0, Z1 float64
+	Drill  float64 // drill diameter
+}
+
+// Conductor returns the via's PEEC structure.
+func (v *Via) Conductor() *peec.Conductor {
+	r := v.Drill / 2
+	if r == 0 {
+		r = 0.15e-3
+	}
+	return peec.NewPolyline([]geom.Vec3{v.At.Lift(v.Z0), v.At.Lift(v.Z1)}, r)
+}
+
+// Inductance returns the via's partial self-inductance.
+func (v *Via) Inductance() float64 { return v.Conductor().SelfInductance() }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/peec"
+)
+
+// FieldScan is a virtual near-field scan: the magnetic stray field of all
+// placed, magnetically active components, sampled on a grid at probe
+// height above the board — the simulation counterpart of the near-field
+// scanners used to locate EMI hot spots on real boards (and the board-level
+// generalisation of the paper's Figure 4 flux picture).
+type FieldScan struct {
+	Window geom.Rect   // scanned region
+	Height float64     // probe height above the board
+	Grid   [][]float64 // |B| in tesla per ampere of reference current, [iy][ix]
+}
+
+// MaxAt returns the strongest sample and its position.
+func (f *FieldScan) MaxAt() (geom.Vec2, float64) {
+	best := geom.Vec2{}
+	max := 0.0
+	ny := len(f.Grid)
+	if ny == 0 {
+		return best, 0
+	}
+	nx := len(f.Grid[0])
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			if f.Grid[iy][ix] > max {
+				max = f.Grid[iy][ix]
+				best = geom.V2(
+					f.Window.Min.X+f.Window.W()*float64(ix)/float64(nx-1),
+					f.Window.Min.Y+f.Window.H()*float64(iy)/float64(ny-1),
+				)
+			}
+		}
+	}
+	return best, max
+}
+
+// ScanFields computes the near-field scan of the project's board at the
+// given probe height with an nx×ny grid. Every mapped component's PEEC
+// structure contributes with unit current (a relative hot-spot map; the
+// absolute field scales with the actual branch currents).
+func (p *Project) ScanFields(board int, height float64, nx, ny int) (*FieldScan, error) {
+	var conductors []*peec.Conductor
+	for _, ref := range p.MappedRefs() {
+		c := p.Design.Find(ref)
+		if c == nil || !c.Placed || c.Board != board {
+			continue
+		}
+		inst, err := p.InstanceOf(ref)
+		if err != nil {
+			return nil, err
+		}
+		cond := inst.Conductor()
+		if len(cond.Segments) > 0 {
+			conductors = append(conductors, cond)
+		}
+	}
+	if len(conductors) == 0 {
+		return nil, fmt.Errorf("core: no magnetic components placed on board %d", board)
+	}
+	var window geom.Rect
+	first := true
+	for _, a := range p.Design.AreasOf(board, "") {
+		if first {
+			window = a.Poly.BBox()
+			first = false
+		} else {
+			window = window.Union(a.Poly.BBox())
+		}
+	}
+	scan := &FieldScan{
+		Window: window,
+		Height: height,
+		Grid:   peec.FieldMap(conductors, window, height, nx, ny),
+	}
+	return scan, nil
+}
+
+// HeatmapSVG renders the scan as a color-mapped SVG with a dB scale
+// relative to the peak.
+func (f *FieldScan) HeatmapSVG() string {
+	ny := len(f.Grid)
+	if ny == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	nx := len(f.Grid[0])
+	_, peak := f.MaxAt()
+	if peak == 0 {
+		peak = 1
+	}
+	const cell = 8.0
+	out := fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f">`,
+		float64(nx)*cell, float64(ny)*cell)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			db := 20 * math.Log10(math.Max(f.Grid[iy][ix], peak*1e-4)/peak) // 0..-80 dB
+			t := 1 + db/80                                                  // 1 at peak, 0 at -80 dB
+			if t < 0 {
+				t = 0
+			}
+			r := int(255 * t)
+			b := int(255 * (1 - t))
+			out += fmt.Sprintf(`<rect x="%.0f" y="%.0f" width="%.0f" height="%.0f" fill="rgb(%d,40,%d)"/>`,
+				float64(ix)*cell, float64(ny-1-iy)*cell, cell, cell, r, b)
+		}
+	}
+	return out + "</svg>"
+}

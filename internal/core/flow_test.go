@@ -1,0 +1,476 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/components"
+	"repro/internal/emi"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rules"
+)
+
+// testProject builds a minimal two-capacitor filter project: small, fast,
+// and exercising every step of the flow.
+func testProject() *Project {
+	capModel := components.NewX2Cap("X2", 1e-6)
+	models := map[string]components.Model{
+		"C1": capModel,
+		"C2": capModel,
+	}
+
+	d := &layout.Design{
+		Name:      "mini filter",
+		Boards:    1,
+		Clearance: 1e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.08, 0.06))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	for _, ref := range []string{"C1", "C2"} {
+		w, l, h := capModel.Size()
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: w, L: l, H: h, Axis: capModel.MagneticAxis(0),
+		})
+	}
+
+	c := &netlist.Circuit{Title: "mini"}
+	c.AddV("Vbat", "bat", "0", netlist.Source{DC: 12})
+	emi.AddLISN(c, "lisn", "bat", "vin")
+	c.AddC("Cc1", "vin", "x1", capModel.C)
+	c.AddL("Lc1", "x1", "0", capModel.EffectiveESL())
+	c.AddL("Lf", "vin", "vdd", 22e-6)
+	c.AddC("Cc2", "vdd", "x2", capModel.C)
+	c.AddL("Lc2", "x2", "0", capModel.EffectiveESL())
+	c.AddV("Vsw", "sw", "0", netlist.Source{Pulse: &netlist.Pulse{
+		V1: 0, V2: 12, Rise: 30e-9, Fall: 30e-9, Width: 2e-6, Period: 5e-6,
+	}})
+	c.AddL("Lloop", "sw", "swl", 40e-9)
+	c.AddR("Rloop", "swl", "vdd", 0.2)
+
+	return &Project{
+		Design:  d,
+		Circuit: c,
+		Models:  models,
+		InductorOf: map[string]string{
+			"C1": "Lc1",
+			"C2": "Lc2",
+		},
+		Sources:     []string{"Vsw"},
+		MeasureNode: "lisn_meas",
+	}
+}
+
+func placeBoth(p *Project, d2 float64, rot2 float64) {
+	c1, c2 := p.Design.Find("C1"), p.Design.Find("C2")
+	c1.Placed, c1.Center = true, geom.V2(0.02, 0.03)
+	c2.Placed, c2.Center, c2.Rot = true, geom.V2(0.02+d2, 0.03), rot2
+}
+
+func TestValidateCatchesInconsistencies(t *testing.T) {
+	p := testProject()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid project rejected: %v", err)
+	}
+	p1 := testProject()
+	p1.InductorOf["C9"] = "Lc1"
+	if err := p1.Validate(); err == nil {
+		t.Error("unknown component in InductorOf not caught")
+	}
+	p2 := testProject()
+	p2.InductorOf["C1"] = "Rloop"
+	if err := p2.Validate(); err == nil {
+		t.Error("non-inductor mapping not caught")
+	}
+	p3 := testProject()
+	delete(p3.Models, "C1")
+	if err := p3.Validate(); err == nil {
+		t.Error("missing model not caught")
+	}
+	p4 := testProject()
+	p4.Sources = []string{"Rloop"}
+	if err := p4.Validate(); err == nil {
+		t.Error("bad source not caught")
+	}
+}
+
+func TestInstanceOfRequiresPlacement(t *testing.T) {
+	p := testProject()
+	if _, err := p.InstanceOf("C1"); err == nil {
+		t.Error("unplaced instance should error")
+	}
+	placeBoth(p, 0.02, 0)
+	inst, err := p.InstanceOf("C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Center != geom.V2(0.02, 0.03) {
+		t.Errorf("instance center = %v", inst.Center)
+	}
+	if _, err := p.InstanceOf("zz"); err == nil {
+		t.Error("unknown ref should error")
+	}
+}
+
+func TestExtractCouplingsGeometryDependence(t *testing.T) {
+	p := testProject()
+	placeBoth(p, 0.02, 0)
+	near, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kNear := math.Abs(near[[2]string{"C1", "C2"}])
+	if kNear == 0 {
+		t.Fatal("no coupling extracted")
+	}
+	// Further apart: weaker.
+	placeBoth(p, 0.05, 0)
+	far, _ := p.ExtractCouplings(p.AllPairs())
+	if kFar := math.Abs(far[[2]string{"C1", "C2"}]); kFar >= kNear {
+		t.Errorf("k did not decay: %v vs %v", kFar, kNear)
+	}
+	// Orthogonal rotation: near zero.
+	placeBoth(p, 0.02, math.Pi/2)
+	orth, _ := p.ExtractCouplings(p.AllPairs())
+	if kOrth := math.Abs(orth[[2]string{"C1", "C2"}]); kOrth > 0.05*kNear {
+		t.Errorf("orthogonal k = %v not << %v", kOrth, kNear)
+	}
+}
+
+func TestPredictWithAndWithoutCouplings(t *testing.T) {
+	p := testProject()
+	placeBoth(p, 0.022, 0) // close, parallel: strong coupling
+	sNo, err := p.Predict(PredictOptions{WithCouplings: false, MaxFreq: 60e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sYes, err := p.Predict(PredictOptions{WithCouplings: true, MaxFreq: 60e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Couplings must raise the high-frequency emissions substantially —
+	// the Figure 12/13 divergence.
+	_, hNo := sNo.InBand(10e6, 60e6).Max()
+	_, hYes := sYes.InBand(10e6, 60e6).Max()
+	if hYes < hNo+6 {
+		t.Errorf("couplings should raise HF levels: %v vs %v", hYes, hNo)
+	}
+	// The virtual measurement correlates with the coupled prediction
+	// (Figure 14) and deviates from the uncoupled one (Figure 13).
+	meas, err := p.VirtualMeasurement(60e6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpYes := emi.Compare(meas, sYes)
+	cmpNo := emi.Compare(meas, sNo)
+	if cmpYes.MaxAbsDelta > 2.5 {
+		t.Errorf("coupled prediction should track measurement: %+v", cmpYes)
+	}
+	if cmpNo.MaxAbsDelta < 2*cmpYes.MaxAbsDelta {
+		t.Errorf("uncoupled prediction should deviate: %+v vs %+v", cmpNo, cmpYes)
+	}
+}
+
+func TestRankCouplingsMapsRefs(t *testing.T) {
+	p := testProject()
+	rank, err := p.RankCouplings(0.01, 30e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != 1 {
+		t.Fatalf("rank = %+v", rank)
+	}
+	if rank[0].LA != "C1" || rank[0].LB != "C2" {
+		t.Errorf("pair = %s/%s, want component refs", rank[0].LA, rank[0].LB)
+	}
+	if rank[0].DeltaDB <= 0 {
+		t.Errorf("influence = %v", rank[0].DeltaDB)
+	}
+}
+
+func TestDeriveRulesAndAutoPlace(t *testing.T) {
+	p := testProject()
+	n, err := p.DeriveRules(p.AllPairs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || p.Design.RuleCount() != 1 {
+		t.Fatalf("rules derived = %d", n)
+	}
+	pemd, ok := p.Design.Rules.Lookup("C1", "C2")
+	if !ok || pemd < 5e-3 || pemd > 0.1 {
+		t.Errorf("PEMD = %v", pemd)
+	}
+	res, err := p.AutoPlace(place.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placed != 2 {
+		t.Errorf("placed = %d", res.Placed)
+	}
+	if rep := p.Verify(); !rep.Green() {
+		t.Errorf("placed design not green:\n%s", rep)
+	}
+}
+
+func TestCircuitWithCouplingsDeterministic(t *testing.T) {
+	p := testProject()
+	ks := map[[2]string]float64{{"C1", "C2"}: 0.042}
+	c1 := p.CircuitWithCouplings(ks)
+	k := c1.Find("K_Lc1_Lc2")
+	if k == nil {
+		// Name may differ; look for any K element.
+		for _, e := range c1.Elements {
+			if e.Kind == netlist.K {
+				k = e
+			}
+		}
+	}
+	if k == nil || k.Coup != 0.042 {
+		t.Fatalf("K element = %+v", k)
+	}
+	// The source circuit is untouched.
+	for _, e := range p.Circuit.Elements {
+		if e.Kind == netlist.K {
+			t.Error("CircuitWithCouplings mutated the project circuit")
+		}
+	}
+}
+
+func TestScanFields(t *testing.T) {
+	p := testProject()
+	placeBoth(p, 0.03, 0)
+	scan, err := p.ScanFields(0, 0.005, 17, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Grid) != 13 || len(scan.Grid[0]) != 17 {
+		t.Fatalf("grid = %dx%d", len(scan.Grid), len(scan.Grid[0]))
+	}
+	pos, peak := scan.MaxAt()
+	if peak <= 0 {
+		t.Fatal("no field found")
+	}
+	// The hot spot sits near one of the two capacitors, not at a corner.
+	d1 := pos.Dist(p.Design.Find("C1").Center)
+	d2 := pos.Dist(p.Design.Find("C2").Center)
+	if math.Min(d1, d2) > 0.015 {
+		t.Errorf("hot spot at %v far from both components", pos)
+	}
+	// The heatmap renders.
+	svg := scan.HeatmapSVG()
+	if len(svg) < 100 || svg[:4] != "<svg" {
+		t.Errorf("heatmap SVG malformed")
+	}
+	// Unplaced project errors.
+	p2 := testProject()
+	if _, err := p2.ScanFields(0, 0.005, 5, 5); err == nil {
+		t.Error("scan of unplaced design should fail")
+	}
+}
+
+func TestGroundPlaneChangesExtraction(t *testing.T) {
+	p := testProject()
+	placeBoth(p, 0.022, 0)
+	free, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := -0.5e-3
+	p.GroundPlane = &z
+	shielded, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf := free[[2]string{"C1", "C2"}]
+	ks := shielded[[2]string{"C1", "C2"}]
+	if kf == ks {
+		t.Errorf("ground plane had no effect: %v", kf)
+	}
+	// A very distant plane converges to free space.
+	zFar := -1.0
+	p.GroundPlane = &zFar
+	far, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(far[[2]string{"C1", "C2"}]-kf) > 1e-3*math.Abs(kf) {
+		t.Errorf("distant plane should converge to free space: %v vs %v",
+			far[[2]string{"C1", "C2"}], kf)
+	}
+}
+
+func TestCapPairsAndCapacitiveValidation(t *testing.T) {
+	p := testProject()
+	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid hot nodes rejected: %v", err)
+	}
+	pairs := p.CapPairs()
+	if len(pairs) != 1 || pairs[0] != [2]string{"C1", "C2"} {
+		t.Errorf("CapPairs = %v", pairs)
+	}
+	// Same-node pairs are excluded.
+	p.HotNodeOf["C2"] = "vin"
+	if len(p.CapPairs()) != 0 {
+		t.Error("same-node pair should be excluded")
+	}
+	// Validation catches bad mappings.
+	p.HotNodeOf = map[string]string{"C9": "vin"}
+	if err := p.Validate(); err == nil {
+		t.Error("unknown component in HotNodeOf not caught")
+	}
+	p.HotNodeOf = map[string]string{"C1": "nowhere"}
+	if err := p.Validate(); err == nil {
+		t.Error("unknown node in HotNodeOf not caught")
+	}
+}
+
+func TestExtractBodyCapacitances(t *testing.T) {
+	p := testProject()
+	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
+	placeBoth(p, 0.025, 0)
+	cs, err := p.ExtractBodyCapacitances(p.CapPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNear := cs[[2]string{"C1", "C2"}]
+	if cNear < 1e-15 || cNear > 10e-12 {
+		t.Fatalf("body capacitance = %v F", cNear)
+	}
+	// Farther apart: smaller; beyond the extraction horizon: skipped.
+	placeBoth(p, 0.045, 0)
+	cs, _ = p.ExtractBodyCapacitances(p.CapPairs())
+	if cFar := cs[[2]string{"C1", "C2"}]; cFar >= cNear {
+		t.Errorf("capacitance did not decay: %v vs %v", cFar, cNear)
+	}
+	c2 := p.Design.Find("C2")
+	c2.Center = geom.V2(0.02+0.08, 0.03) // 80 mm: beyond the horizon
+	cs, _ = p.ExtractBodyCapacitances(p.CapPairs())
+	if _, ok := cs[[2]string{"C1", "C2"}]; ok {
+		t.Error("distant pair should be skipped")
+	}
+}
+
+func TestPredictWithCapacitive(t *testing.T) {
+	p := testProject()
+	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
+	placeBoth(p, 0.022, math.Pi/2) // orthogonal: magnetics quiet
+	sBase, err := p.Predict(PredictOptions{WithCouplings: true, MaxFreq: 108e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCap, err := p.Predict(PredictOptions{WithCouplings: true, WithCapacitive: true, MaxFreq: 108e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The body capacitance is a high-frequency mechanism: it must move
+	// the top of the band measurably while leaving the low band alone.
+	// (The direction on this contrived two-node circuit depends on
+	// resonance detuning; the realistic aggressor-victim direction is
+	// asserted in internal/buck.)
+	_, loBase := sBase.InBand(150e3, 2e6).Max()
+	_, loCap := sCap.InBand(150e3, 2e6).Max()
+	if math.Abs(loCap-loBase) > 0.5 {
+		t.Errorf("capacitive path should not move the low band: %.1f vs %.1f dBµV", loCap, loBase)
+	}
+	_, hiBase := sBase.InBand(50e6, 108e6).Max()
+	_, hiCap := sCap.InBand(50e6, 108e6).Max()
+	if math.Abs(hiCap-hiBase) < 1 {
+		t.Errorf("capacitive path should move the HF band: %.1f vs %.1f dBµV", hiCap, hiBase)
+	}
+}
+
+// dampedProject builds a project whose circuit has no high-Q resonance, so
+// the time-domain simulation reaches periodic steady state within a few
+// switching periods — the clean setting for cross-validating the two
+// prediction paths.
+func dampedProject() *Project {
+	capModel := components.NewMLCC("MLCC", 100e-9)
+	d := &layout.Design{
+		Name:   "damped",
+		Boards: 1,
+		Areas: []layout.Area{
+			{Name: "b", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.05, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	w, l, h := capModel.Size()
+	d.Comps = append(d.Comps, &layout.Component{Ref: "C1", W: w, L: l, H: h, Axis: capModel.MagneticAxis(0)})
+
+	c := &netlist.Circuit{Title: "damped"}
+	c.AddV("Vsw", "sw", "0", netlist.Source{Pulse: &netlist.Pulse{
+		V1: 0, V2: 5, Rise: 50e-9, Fall: 50e-9, Width: 2e-6, Period: 5e-6,
+	}})
+	c.AddR("R1", "sw", "mid", 220)
+	c.AddC("C1", "mid", "0", 100e-9)
+	c.AddR("R2", "mid", "meas", 100)
+	c.AddR("Rm", "meas", "0", 50)
+	return &Project{
+		Design:      d,
+		Circuit:     c,
+		Models:      map[string]components.Model{"C1": capModel},
+		InductorOf:  map[string]string{},
+		Sources:     []string{"Vsw"},
+		MeasureNode: "meas",
+	}
+}
+
+// TestTransientCrossValidatesPredictor is the strongest internal
+// consistency check of the repository: the harmonic-domain predictor (MNA
+// per harmonic, analytic trapezoid Fourier coefficients) and the
+// time-domain path (trapezoidal integration + CISPR-16-style receiver)
+// are fully independent implementations and must agree on a circuit that
+// reaches periodic steady state.
+func TestTransientCrossValidatesPredictor(t *testing.T) {
+	p := dampedProject()
+	const nHarm = 8
+	sFreq, err := p.Predict(PredictOptions{MaxFreq: float64(nHarm+1) * 200e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sTime, err := p.PredictTransient(PredictOptions{}, 80, 5e-9, emi.Peak, nHarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < nHarm; k++ {
+		if d := math.Abs(sTime.DB[k] - sFreq.DB[k]); d > 2 {
+			t.Errorf("harmonic %d (%.0f kHz): freq %.1f vs time %.1f dBµV (Δ %.1f)",
+				k+1, sFreq.Freqs[k]/1e3, sFreq.DB[k], sTime.DB[k], d)
+		}
+	}
+}
+
+func TestPredictTransientErrors(t *testing.T) {
+	p := dampedProject()
+	p.Sources = nil
+	if _, err := p.PredictTransient(PredictOptions{}, 10, 5e-9, emi.Peak, 2); err == nil {
+		t.Error("no sources should fail")
+	}
+	p = dampedProject()
+	p.Sources = []string{"Rm"}
+	if _, err := p.PredictTransient(PredictOptions{}, 10, 5e-9, emi.Peak, 2); err == nil {
+		t.Error("non-pulse source should fail")
+	}
+	p = dampedProject()
+	p.MeasureNode = "nope"
+	if _, err := p.PredictTransient(PredictOptions{}, 10, 5e-9, emi.Peak, 2); err == nil {
+		t.Error("unknown measure node should fail")
+	}
+}
+
+func TestMappedRefsAndAllPairs(t *testing.T) {
+	p := testProject()
+	refs := p.MappedRefs()
+	if len(refs) != 2 || refs[0] != "C1" || refs[1] != "C2" {
+		t.Errorf("MappedRefs = %v", refs)
+	}
+	pairs := p.AllPairs()
+	if len(pairs) != 1 || pairs[0] != [2]string{"C1", "C2"} {
+		t.Errorf("AllPairs = %v", pairs)
+	}
+}

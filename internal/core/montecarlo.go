@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/emi"
+	"repro/internal/netlist"
+)
+
+// ToleranceOptions configures the Monte-Carlo yield analysis.
+type ToleranceOptions struct {
+	N           int     // samples; 0 = 100
+	Seed        int64   // RNG seed (deterministic)
+	RLCTol      float64 // relative uniform tolerance on R/L/C values; 0 = 0.10
+	CouplingTol float64 // relative uniform tolerance on extracted k; 0 = 0.20
+	MaxFreq     float64 // 0 = CISPR band stop
+
+	// Exclude skips elements from perturbation (calibrated measurement
+	// equipment). nil excludes every element whose name contains "lisn".
+	Exclude func(name string) bool
+}
+
+// YieldResult summarises the Monte-Carlo run.
+type YieldResult struct {
+	N            int
+	Pass         int       // samples meeting the CISPR limits everywhere
+	WorstMargins []float64 // per-sample worst margin, sorted ascending
+}
+
+// Yield returns the pass fraction.
+func (y *YieldResult) Yield() float64 {
+	if y.N == 0 {
+		return 0
+	}
+	return float64(y.Pass) / float64(y.N)
+}
+
+// Percentile returns the q-quantile (0..1) of the worst margins.
+func (y *YieldResult) Percentile(q float64) float64 {
+	if len(y.WorstMargins) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(y.WorstMargins)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(y.WorstMargins) {
+		idx = len(y.WorstMargins) - 1
+	}
+	return y.WorstMargins[idx]
+}
+
+// ToleranceYield runs a Monte-Carlo tolerance analysis of the coupled
+// prediction: component values and extracted coupling factors are
+// perturbed uniformly within their tolerances and the CISPR 25 worst
+// margin is evaluated per sample. This turns the paper's "statement on
+// achievable performance with the given components" into a pass yield.
+func (p *Project) ToleranceYield(opt ToleranceOptions) (*YieldResult, error) {
+	n := opt.N
+	if n <= 0 {
+		n = 100
+	}
+	rlcTol := opt.RLCTol
+	if rlcTol == 0 {
+		rlcTol = 0.10
+	}
+	kTol := opt.CouplingTol
+	if kTol == 0 {
+		kTol = 0.20
+	}
+	exclude := opt.Exclude
+	if exclude == nil {
+		exclude = func(name string) bool {
+			return strings.Contains(strings.ToLower(name), "lisn")
+		}
+	}
+
+	ks, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]string, 0, len(ks))
+	for pair := range ks {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	jitter := func(tol float64) float64 { return 1 + tol*(2*rng.Float64()-1) }
+
+	res := &YieldResult{N: n}
+	for s := 0; s < n; s++ {
+		ckt := p.CircuitWithCouplings(ks)
+		for _, e := range ckt.Elements {
+			switch e.Kind {
+			case netlist.R, netlist.L, netlist.C:
+				if !exclude(e.Name) {
+					e.Value *= jitter(rlcTol)
+				}
+			case netlist.K:
+				e.Coup *= jitter(kTol)
+				if e.Coup > 1 {
+					e.Coup = 1
+				} else if e.Coup < -1 {
+					e.Coup = -1
+				}
+			}
+		}
+		spec, err := (&emi.Predictor{
+			Circuit:     ckt,
+			Sources:     p.Sources,
+			MeasureNode: p.MeasureNode,
+			MaxFreq:     opt.MaxFreq,
+		}).Spectrum()
+		if err != nil {
+			return nil, fmt.Errorf("core: sample %d: %w", s, err)
+		}
+		m := spec.WorstMargin()
+		res.WorstMargins = append(res.WorstMargins, m)
+		if m >= 0 {
+			res.Pass++
+		}
+	}
+	sort.Float64s(res.WorstMargins)
+	return res, nil
+}

@@ -1,0 +1,295 @@
+// Package drc implements the design-rule checks of the placement tool:
+// pairwise effective-minimum-distance (EMD) rules, clearances, placement-
+// area containment, 3D keepout collisions, functional-group coherence and
+// net-length limits. The interactive adviser runs these checks online
+// after every move; the paper visualises the EMD results as red (violated)
+// or green (met) circles — PairStatus carries exactly that.
+package drc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Kind classifies a violation.
+type Kind string
+
+// Violation kinds.
+const (
+	KindUnplaced    Kind = "unplaced"
+	KindEMD         Kind = "emd"
+	KindClearance   Kind = "clearance"
+	KindContainment Kind = "containment"
+	KindKeepout     Kind = "keepout"
+	KindGroup       Kind = "group"
+	KindNetLength   Kind = "netlength"
+)
+
+// Violation is one broken design rule.
+type Violation struct {
+	Kind   Kind
+	Refs   []string // involved references (components, nets, keepouts)
+	Detail string
+	Amount float64 // violation magnitude in meters (0 if not applicable)
+}
+
+// PairStatus is the evaluation of one minimum-distance rule — one circle in
+// the paper's visualisation.
+type PairStatus struct {
+	RefA, RefB string
+	Required   float64 // EMD at current rotations
+	Actual     float64 // center-to-center distance
+	OK         bool
+}
+
+// Report is the result of a DRC run.
+type Report struct {
+	Violations []Violation
+	Pairs      []PairStatus // every EMD rule, met or not
+	Checks     int          // number of individual checks performed
+}
+
+// Green reports whether the design is free of violations.
+func (r *Report) Green() bool { return len(r.Violations) == 0 }
+
+// ByKind filters the violations.
+func (r *Report) ByKind(k Kind) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the report with the red/green markers of the paper's GUI.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Green() {
+		fmt.Fprintf(&b, "GREEN: all %d checks passed\n", r.Checks)
+	} else {
+		fmt.Fprintf(&b, "RED: %d violation(s) in %d checks\n", len(r.Violations), r.Checks)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  [RED] %-11s %-12s %s\n", v.Kind, strings.Join(v.Refs, ","), v.Detail)
+		}
+	}
+	for _, p := range r.Pairs {
+		mark := "[GREEN]"
+		if !p.OK {
+			mark = "[RED]"
+		}
+		fmt.Fprintf(&b, "  %s EMD %s-%s need %.1f mm have %.1f mm\n",
+			mark, p.RefA, p.RefB, p.Required*1e3, p.Actual*1e3)
+	}
+	return b.String()
+}
+
+// Check runs the full rule set on the design.
+func Check(d *layout.Design) *Report {
+	r := &Report{}
+	checkPlaced(d, r)
+	checkEMD(d, r)
+	checkClearance(d, r)
+	checkContainment(d, r)
+	checkKeepouts(d, r)
+	checkGroups(d, r)
+	checkNets(d, r)
+	return r
+}
+
+// CheckMove evaluates a hypothetical placement of one component without
+// mutating the design — the adviser's online check during interactive
+// movement/rotation.
+func CheckMove(d *layout.Design, ref string, center geom.Vec2, rot float64) (*Report, error) {
+	c := d.Find(ref)
+	if c == nil {
+		return nil, fmt.Errorf("drc: unknown component %q", ref)
+	}
+	saved := *c
+	c.Center, c.Rot, c.Placed = center, rot, true
+	rep := Check(d)
+	*c = saved
+	return rep, nil
+}
+
+func checkPlaced(d *layout.Design, r *Report) {
+	for _, c := range d.Comps {
+		r.Checks++
+		if !c.Placed {
+			r.Violations = append(r.Violations, Violation{
+				Kind: KindUnplaced, Refs: []string{c.Ref},
+				Detail: "component has no placement",
+			})
+		}
+	}
+}
+
+func checkEMD(d *layout.Design, r *Report) {
+	if d.Rules == nil {
+		return
+	}
+	for _, rule := range d.Rules.Rules {
+		a, b := d.Find(rule.RefA), d.Find(rule.RefB)
+		if a == nil || b == nil || !a.Placed || !b.Placed {
+			continue
+		}
+		r.Checks++
+		if a.Board != b.Board {
+			// Different boards decouple by construction.
+			r.Pairs = append(r.Pairs, PairStatus{RefA: a.Ref, RefB: b.Ref, OK: true})
+			continue
+		}
+		need := d.EMDBetween(a, b, a.Rot, b.Rot)
+		have := a.Center.Dist(b.Center)
+		ok := have >= need-1e-9
+		r.Pairs = append(r.Pairs, PairStatus{
+			RefA: a.Ref, RefB: b.Ref, Required: need, Actual: have, OK: ok,
+		})
+		if !ok {
+			r.Violations = append(r.Violations, Violation{
+				Kind: KindEMD, Refs: []string{a.Ref, b.Ref},
+				Detail: fmt.Sprintf("distance %.1f mm below EMD %.1f mm", have*1e3, need*1e3),
+				Amount: need - have,
+			})
+		}
+	}
+	sort.Slice(r.Pairs, func(i, j int) bool {
+		if r.Pairs[i].RefA != r.Pairs[j].RefA {
+			return r.Pairs[i].RefA < r.Pairs[j].RefA
+		}
+		return r.Pairs[i].RefB < r.Pairs[j].RefB
+	})
+}
+
+func checkClearance(d *layout.Design, r *Report) {
+	for i, a := range d.Comps {
+		if !a.Placed {
+			continue
+		}
+		for _, b := range d.Comps[i+1:] {
+			if !b.Placed || a.Board != b.Board {
+				continue
+			}
+			r.Checks++
+			sep := a.Footprint().Separation(b.Footprint())
+			overlap := a.Footprint().Overlaps(b.Footprint())
+			if overlap || sep < d.Clearance-1e-9 {
+				detail := fmt.Sprintf("separation %.2f mm below clearance %.2f mm", sep*1e3, d.Clearance*1e3)
+				if overlap {
+					detail = "footprints overlap"
+				}
+				r.Violations = append(r.Violations, Violation{
+					Kind: KindClearance, Refs: []string{a.Ref, b.Ref},
+					Detail: detail,
+					Amount: d.Clearance - sep,
+				})
+			}
+		}
+	}
+}
+
+func checkContainment(d *layout.Design, r *Report) {
+	for _, c := range d.Comps {
+		if !c.Placed {
+			continue
+		}
+		r.Checks++
+		ok := false
+		fp := c.Footprint().Inflate(d.EdgeClearance)
+		for _, a := range d.AreasOf(c.Board, c.AreaName) {
+			if a.Poly.ContainsRect(fp) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			where := "any placement area"
+			if c.AreaName != "" {
+				where = fmt.Sprintf("area %q", c.AreaName)
+			}
+			r.Violations = append(r.Violations, Violation{
+				Kind: KindContainment, Refs: []string{c.Ref},
+				Detail: "footprint not inside " + where,
+			})
+		}
+	}
+}
+
+func checkKeepouts(d *layout.Design, r *Report) {
+	for _, c := range d.Comps {
+		if !c.Placed {
+			continue
+		}
+		body := c.Body()
+		for _, k := range d.Keepouts {
+			if k.Board != c.Board {
+				continue
+			}
+			r.Checks++
+			if body.Overlaps(k.Box) {
+				r.Violations = append(r.Violations, Violation{
+					Kind: KindKeepout, Refs: []string{c.Ref, k.Name},
+					Detail: fmt.Sprintf("body intersects keepout %q", k.Name),
+				})
+			}
+		}
+	}
+}
+
+// checkGroups enforces coherent functional-group areas: the bounding box of
+// a group must not contain the center of any foreign placed component on
+// the same board.
+func checkGroups(d *layout.Design, r *Report) {
+	groups := d.Groups()
+	for _, name := range d.GroupNames() {
+		members := groups[name]
+		perBoard := map[int]geom.Rect{}
+		placed := map[int]bool{}
+		for _, m := range members {
+			if !m.Placed {
+				continue
+			}
+			if !placed[m.Board] {
+				perBoard[m.Board] = m.Footprint()
+				placed[m.Board] = true
+			} else {
+				perBoard[m.Board] = perBoard[m.Board].Union(m.Footprint())
+			}
+		}
+		for board, bbox := range perBoard {
+			for _, c := range d.Comps {
+				if !c.Placed || c.Board != board || c.Group == name {
+					continue
+				}
+				r.Checks++
+				if bbox.Contains(c.Center) {
+					r.Violations = append(r.Violations, Violation{
+						Kind: KindGroup, Refs: []string{c.Ref, name},
+						Detail: fmt.Sprintf("%s sits inside group %q area", c.Ref, name),
+					})
+				}
+			}
+		}
+	}
+}
+
+func checkNets(d *layout.Design, r *Report) {
+	for _, n := range d.Nets {
+		if n.MaxLength <= 0 {
+			continue
+		}
+		r.Checks++
+		if l := d.NetLength(n); l > n.MaxLength {
+			r.Violations = append(r.Violations, Violation{
+				Kind: KindNetLength, Refs: []string{n.Name},
+				Detail: fmt.Sprintf("net length %.1f mm exceeds %.1f mm", l*1e3, n.MaxLength*1e3),
+				Amount: l - n.MaxLength,
+			})
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package drc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+// design builds a simple 100×80 mm single-board problem with two magnetic
+// caps under a 20 mm PEMD rule, one mechanical part, a keepout and a net.
+func design() *layout.Design {
+	d := &layout.Design{
+		Name:      "drc test",
+		Boards:    1,
+		Clearance: 1e-3,
+		Areas: []layout.Area{
+			{Name: "main", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.1, 0.08))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	d.Comps = append(d.Comps,
+		&layout.Component{Ref: "C1", W: 0.018, L: 0.008, H: 0.014, Axis: geom.V3(0, 1, 0)},
+		&layout.Component{Ref: "C2", W: 0.018, L: 0.008, H: 0.014, Axis: geom.V3(0, 1, 0)},
+		&layout.Component{Ref: "Q1", W: 0.010, L: 0.010, H: 0.004},
+	)
+	d.Rules.Add(rules.Rule{RefA: "C1", RefB: "C2", PEMD: 0.02})
+	d.Nets = append(d.Nets, layout.Net{Name: "n1", MaxLength: 0.05, Refs: []string{"C1", "C2"}})
+	return d
+}
+
+func place(d *layout.Design, ref string, x, y, rot float64) {
+	c := d.Find(ref)
+	c.Placed = true
+	c.Center = geom.V2(x, y)
+	c.Rot = rot
+}
+
+func placeAll(d *layout.Design) {
+	place(d, "C1", 0.02, 0.04, 0)
+	place(d, "C2", 0.05, 0.04, 0)
+	place(d, "Q1", 0.08, 0.04, 0)
+}
+
+func TestGreenDesign(t *testing.T) {
+	d := design()
+	placeAll(d)
+	r := Check(d)
+	if !r.Green() {
+		t.Fatalf("expected green:\n%s", r)
+	}
+	if len(r.Pairs) != 1 || !r.Pairs[0].OK {
+		t.Errorf("pair status = %+v", r.Pairs)
+	}
+	if !strings.Contains(r.String(), "[GREEN]") {
+		t.Error("report should show green markers")
+	}
+}
+
+func TestUnplacedViolation(t *testing.T) {
+	d := design()
+	r := Check(d)
+	if got := r.ByKind(KindUnplaced); len(got) != 3 {
+		t.Errorf("unplaced = %d", len(got))
+	}
+}
+
+func TestEMDViolationAndRotationCure(t *testing.T) {
+	d := design()
+	placeAll(d)
+	// Move C2 within 20 mm of C1 with parallel axes: EMD violated.
+	place(d, "C2", 0.032, 0.04, 0)
+	r := Check(d)
+	v := r.ByKind(KindEMD)
+	if len(v) != 1 {
+		t.Fatalf("EMD violations = %d\n%s", len(v), r)
+	}
+	if v[0].Amount < 0.007 || v[0].Amount > 0.009 {
+		t.Errorf("violation amount = %v m", v[0].Amount)
+	}
+	if !strings.Contains(r.String(), "[RED]") {
+		t.Error("report should show red markers")
+	}
+	// The paper's Figure 6 cure: rotate one capacitor by 90° — the EMD
+	// collapses and the same distance becomes legal.
+	place(d, "C2", 0.032, 0.04, math.Pi/2)
+	r = Check(d)
+	if len(r.ByKind(KindEMD)) != 0 {
+		t.Errorf("rotation should cure the EMD violation:\n%s", r)
+	}
+}
+
+func TestEMDAcrossBoardsIsOK(t *testing.T) {
+	d := design()
+	d.Boards = 2
+	d.Areas = append(d.Areas, layout.Area{
+		Name: "b1", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.1, 0.08)),
+	})
+	placeAll(d)
+	d.Find("C2").Board = 1
+	place(d, "C2", 0.021, 0.04, 0) // would violate on the same board
+	r := Check(d)
+	if len(r.ByKind(KindEMD)) != 0 {
+		t.Errorf("cross-board pair should not violate:\n%s", r)
+	}
+}
+
+func TestClearanceViolation(t *testing.T) {
+	d := design()
+	placeAll(d)
+	place(d, "Q1", 0.0605, 0.04, 0) // 0.5 mm gap to C2's right edge
+	r := Check(d)
+	v := r.ByKind(KindClearance)
+	if len(v) != 1 {
+		t.Fatalf("clearance violations = %d\n%s", len(v), r)
+	}
+	// Overlapping bodies are reported distinctly.
+	place(d, "Q1", 0.05, 0.04, 0)
+	r = Check(d)
+	v = r.ByKind(KindClearance)
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "overlap") {
+		t.Errorf("overlap detail = %+v", v)
+	}
+}
+
+func TestContainmentViolation(t *testing.T) {
+	d := design()
+	placeAll(d)
+	place(d, "Q1", 0.098, 0.04, 0) // sticks out of the board
+	r := Check(d)
+	if len(r.ByKind(KindContainment)) != 1 {
+		t.Errorf("containment violations:\n%s", r)
+	}
+	// Component constrained to a named area.
+	d2 := design()
+	d2.Areas = append(d2.Areas, layout.Area{
+		Name: "corner", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.02, 0.02)),
+	})
+	d2.Find("Q1").AreaName = "corner"
+	placeAll(d2)
+	place(d2, "Q1", 0.01, 0.01, 0)
+	if r := Check(d2); !r.Green() {
+		t.Errorf("Q1 in its area should be green:\n%s", r)
+	}
+	place(d2, "Q1", 0.05, 0.04, 0) // inside board but outside its area
+	if r := Check(d2); len(r.ByKind(KindContainment)) != 1 {
+		t.Error("area-restricted component outside its area should violate")
+	}
+}
+
+func TestEdgeClearance(t *testing.T) {
+	d := design()
+	d.EdgeClearance = 2e-3
+	placeAll(d)
+	// Q1 (10×10 mm) with its edge 1 mm from the board edge: violates the
+	// 2 mm edge clearance.
+	place(d, "Q1", 0.094, 0.04, 0) // right edge at 99 mm, board ends at 100 mm
+	r := Check(d)
+	if len(r.ByKind(KindContainment)) != 1 {
+		t.Errorf("edge clearance not enforced:\n%s", r)
+	}
+	// 3 mm away from the edge: fine.
+	place(d, "Q1", 0.092, 0.04, 0)
+	if r := Check(d); !r.Green() {
+		t.Errorf("3 mm edge distance should pass:\n%s", r)
+	}
+}
+
+func TestKeepoutZOffset(t *testing.T) {
+	d := design()
+	// A keepout hovering 6 mm above the board (e.g. housing rib).
+	d.Keepouts = append(d.Keepouts, layout.Keepout{
+		Name: "rib", Board: 0,
+		Box: geom.CuboidOf(geom.R(0.07, 0.03, 0.09, 0.05), 0.006, 0.01),
+	})
+	placeAll(d)
+	// Q1 is 4 mm tall: fits under the rib.
+	r := Check(d)
+	if len(r.ByKind(KindKeepout)) != 0 {
+		t.Errorf("low part under hovering keepout should pass:\n%s", r)
+	}
+	// C2 is 14 mm tall: collides if moved under the rib.
+	place(d, "C2", 0.08, 0.04, 0)
+	place(d, "Q1", 0.05, 0.04, 0)
+	r = Check(d)
+	if len(r.ByKind(KindKeepout)) != 1 {
+		t.Errorf("tall part under keepout should violate:\n%s", r)
+	}
+}
+
+func TestGroupCoherence(t *testing.T) {
+	d := design()
+	d.Find("C1").Group = "filter"
+	d.Find("C2").Group = "filter"
+	placeAll(d)
+	// Q1 between the group members: inside the group bbox.
+	place(d, "Q1", 0.035, 0.04, 0)
+	r := Check(d)
+	if len(r.ByKind(KindGroup)) != 1 {
+		t.Errorf("interleaved foreign part should violate:\n%s", r)
+	}
+	place(d, "Q1", 0.08, 0.04, 0)
+	if r := Check(d); len(r.ByKind(KindGroup)) != 0 {
+		t.Errorf("separated part should pass:\n%s", r)
+	}
+}
+
+func TestNetLengthRule(t *testing.T) {
+	d := design()
+	placeAll(d)
+	place(d, "C2", 0.09, 0.07, 0) // far from C1: net longer than 50 mm
+	r := Check(d)
+	if len(r.ByKind(KindNetLength)) != 1 {
+		t.Errorf("long net should violate:\n%s", r)
+	}
+}
+
+func TestCheckMoveDoesNotMutate(t *testing.T) {
+	d := design()
+	placeAll(d)
+	before := *d.Find("C2")
+	rep, err := CheckMove(d, "C2", geom.V2(0.021, 0.04), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ByKind(KindEMD)) != 1 {
+		t.Error("hypothetical move should violate EMD")
+	}
+	after := *d.Find("C2")
+	if before.Center != after.Center || before.Rot != after.Rot || before.Placed != after.Placed {
+		t.Error("CheckMove mutated the component")
+	}
+	if _, err := CheckMove(d, "nope", geom.V2(0, 0), 0); err == nil {
+		t.Error("unknown ref should error")
+	}
+}

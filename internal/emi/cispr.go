@@ -1,0 +1,112 @@
+// Package emi turns circuit models into conducted-emission spectra and
+// judges them against CISPR 25 limits — the measurement context of the
+// paper's buck-converter case study (its Figures 1, 2, 12–14).
+package emi
+
+import (
+	"math"
+)
+
+// Conducted-emission band of CISPR 25 (voltage method).
+const (
+	BandStart = 150e3
+	BandStop  = 108e6
+)
+
+// ServiceBand is one protected broadcast/mobile band of CISPR 25 with its
+// Class-5 peak-detector voltage limit.
+type ServiceBand struct {
+	Name    string
+	F0, F1  float64 // band edges in Hz
+	LimitDB float64 // Class 5 peak limit in dBµV
+
+	// ClassStep is the limit relaxation per class below 5: the class-c
+	// limit is LimitDB + (5-c)·ClassStep (CISPR 25 grades its classes in
+	// fixed per-band steps).
+	ClassStep float64
+}
+
+// CISPR25Class5 lists the conducted-voltage service bands of CISPR 25
+// (4th ed., voltage method, Class 5, peak detector) with the per-class
+// relaxation steps.
+var CISPR25Class5 = []ServiceBand{
+	{"LW", 150e3, 300e3, 70, 10},
+	{"MW", 530e3, 1.8e6, 54, 8},
+	{"SW", 5.9e6, 6.2e6, 53, 6},
+	{"CB", 26e6, 28e6, 44, 6},
+	{"VHF", 30e6, 54e6, 44, 6},
+	{"FM", 76e6, 108e6, 38, 6},
+}
+
+// LimitClass returns the peak limit at frequency f for the given CISPR 25
+// class (1 = most permissive … 5 = strictest). Classes outside 1–5 clamp.
+// The interpolation between service bands follows Limit.
+func LimitClass(class int, f float64) (limitDB float64, inBand bool) {
+	if class < 1 {
+		class = 1
+	}
+	if class > 5 {
+		class = 5
+	}
+	base, inBand := Limit(f)
+	// The relaxation step of the nearest applicable band.
+	step := CISPR25Class5[len(CISPR25Class5)-1].ClassStep
+	for i, b := range CISPR25Class5 {
+		if f <= b.F1 || i == len(CISPR25Class5)-1 {
+			step = b.ClassStep
+			break
+		}
+		if i+1 < len(CISPR25Class5) && f < CISPR25Class5[i+1].F0 {
+			// Between bands: use the stricter (next) band's step.
+			step = CISPR25Class5[i+1].ClassStep
+			break
+		}
+	}
+	return base + float64(5-class)*step, inBand
+}
+
+// Limit returns the applicable Class-5 peak limit at frequency f. Between
+// the protected service bands CISPR 25 specifies no limit; there the
+// function interpolates the neighbouring band limits on a log-frequency
+// axis (a common engineering envelope) and reports inBand = false.
+func Limit(f float64) (limitDB float64, inBand bool) {
+	bands := CISPR25Class5
+	if f < bands[0].F0 {
+		return bands[0].LimitDB, false
+	}
+	if f > bands[len(bands)-1].F1 {
+		return bands[len(bands)-1].LimitDB, false
+	}
+	for i, b := range bands {
+		if f >= b.F0 && f <= b.F1 {
+			return b.LimitDB, true
+		}
+		if i+1 < len(bands) && f > b.F1 && f < bands[i+1].F0 {
+			// Log-frequency interpolation between band limits.
+			next := bands[i+1]
+			t := (math.Log10(f) - math.Log10(b.F1)) /
+				(math.Log10(next.F0) - math.Log10(b.F1))
+			return b.LimitDB + t*(next.LimitDB-b.LimitDB), false
+		}
+	}
+	return bands[len(bands)-1].LimitDB, false
+}
+
+// DBuV converts an RMS voltage in volts to dBµV. Non-positive input maps to
+// a floor of -200 dBµV rather than -Inf so downstream arithmetic stays
+// finite.
+func DBuV(vrms float64) float64 {
+	if vrms <= 0 {
+		return -200
+	}
+	db := 20 * math.Log10(vrms/1e-6)
+	if db < -200 {
+		return -200
+	}
+	return db
+}
+
+// FromDBuV converts dBµV back to an RMS voltage in volts.
+func FromDBuV(db float64) float64 {
+	return 1e-6 * math.Pow(10, db/20)
+}

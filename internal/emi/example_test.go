@@ -1,0 +1,31 @@
+package emi_test
+
+import (
+	"fmt"
+
+	"repro/internal/emi"
+)
+
+// CISPR 25 protects specific broadcast/mobile service bands; between them
+// no limit applies.
+func ExampleLimit() {
+	for _, f := range []float64{200e3, 1e6, 100e6, 400e3} {
+		limit, inBand := emi.Limit(f)
+		fmt.Printf("%7.2f MHz: limit %.0f dBµV (service band: %v)\n", f/1e6, limit, inBand)
+	}
+	// Output:
+	//    0.20 MHz: limit 70 dBµV (service band: true)
+	//    1.00 MHz: limit 54 dBµV (service band: true)
+	//  100.00 MHz: limit 38 dBµV (service band: true)
+	//    0.40 MHz: limit 62 dBµV (service band: false)
+}
+
+func ExampleDBuV() {
+	fmt.Printf("1 µV  = %.0f dBµV\n", emi.DBuV(1e-6))
+	fmt.Printf("1 mV  = %.0f dBµV\n", emi.DBuV(1e-3))
+	fmt.Printf("1 V   = %.0f dBµV\n", emi.DBuV(1))
+	// Output:
+	// 1 µV  = 0 dBµV
+	// 1 mV  = 60 dBµV
+	// 1 V   = 120 dBµV
+}

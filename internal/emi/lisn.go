@@ -1,0 +1,43 @@
+package emi
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// LISN parameters of the CISPR 25 5 µH artificial network.
+const (
+	LISNInductance  = 5e-6   // series inductor
+	LISNCouplingCap = 0.1e-6 // measurement coupling capacitor
+	LISNSupplyCap   = 1e-6   // supply-side capacitor
+	LISNMeasureR    = 50.0   // receiver input impedance
+	LISNSupplyR     = 1.0    // damping resistor on the supply cap
+)
+
+// AddLISN inserts a CISPR 25 artificial network between the supply node and
+// the equipment node. The conducted noise is measured at the returned node
+// (voltage across the 50 Ω receiver). prefix namespaces the element names
+// so two LISNs (e.g. positive and return line) can coexist. Element names
+// start with their kind letter (L/C/R) so the netlist stays parseable.
+func AddLISN(c *netlist.Circuit, prefix, supplyNode, equipmentNode string) (measureNode string) {
+	measureNode = prefix + "_meas"
+	mid := prefix + "_cap"
+	c.AddL("L"+prefix, supplyNode, equipmentNode, LISNInductance)
+	c.AddC("Cs"+prefix, supplyNode, mid, LISNSupplyCap)
+	c.AddR("Rs"+prefix, mid, "0", LISNSupplyR)
+	c.AddC("Cc"+prefix, equipmentNode, measureNode, LISNCouplingCap)
+	c.AddR("Rm"+prefix, measureNode, "0", LISNMeasureR)
+	return measureNode
+}
+
+// ValidateLISN checks that the named LISN is present and intact in the
+// circuit — a guard for harnesses assembling circuits from parts.
+func ValidateLISN(c *netlist.Circuit, prefix string) error {
+	for _, name := range []string{"L", "Cs", "Rs", "Cc", "Rm"} {
+		if c.Find(name+prefix) == nil {
+			return fmt.Errorf("emi: LISN %q is missing element %s", prefix, name+prefix)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package emi
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/mna"
+	"repro/internal/netlist"
+)
+
+// Spectrum is a conducted-emission spectrum in dBµV over discrete
+// frequencies (ascending).
+type Spectrum struct {
+	Freqs []float64
+	DB    []float64 // dBµV (RMS convention)
+}
+
+// Predictor computes the conducted-emission spectrum of a converter
+// circuit: the paper's interference prediction. Each switching device is
+// represented by a V or I element carrying a PULSE description — the
+// standard equivalent-source substitution, e.g. a voltage source in the
+// diode position and a current source in the transistor position. All
+// pulse sources must share the same switching period; the spectrum is
+// obtained by solving the circuit at every harmonic of that frequency
+// (with all sources driven coherently by their own Fourier coefficients)
+// and reading the measurement node — typically a LISN receiver port.
+type Predictor struct {
+	Circuit     *netlist.Circuit
+	SourceName  string   // single switching source (legacy convenience)
+	Sources     []string // all switching sources; empty = [SourceName]
+	MeasureNode string
+	Harmonics   int     // number of harmonics; 0 = enough to reach BandStop
+	MaxFreq     float64 // 0 = BandStop
+}
+
+// Spectrum runs the prediction. The circuit is not modified.
+func (p *Predictor) Spectrum() (*Spectrum, error) {
+	ckt := p.Circuit.Clone()
+	names := p.Sources
+	if len(names) == 0 {
+		names = []string{p.SourceName}
+	}
+	var srcs []*netlist.Element
+	for _, name := range names {
+		e := ckt.Find(name)
+		if e == nil || (e.Kind != netlist.V && e.Kind != netlist.I) ||
+			e.Src == nil || e.Src.Pulse == nil || e.Src.Pulse.Period <= 0 {
+			return nil, fmt.Errorf("emi: %q is not a periodic PULSE source", name)
+		}
+		srcs = append(srcs, e)
+	}
+	period := srcs[0].Src.Pulse.Period
+	for _, e := range srcs[1:] {
+		if e.Src.Pulse.Period != period {
+			return nil, fmt.Errorf("emi: source %q period %g differs from %g",
+				e.Name, e.Src.Pulse.Period, period)
+		}
+	}
+	f1 := 1 / period
+	maxF := p.MaxFreq
+	if maxF <= 0 {
+		maxF = BandStop
+	}
+	n := p.Harmonics
+	if n <= 0 {
+		n = int(maxF / f1)
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	// Collect the harmonic grid.
+	var ks []int
+	for k := 1; k <= n; k++ {
+		if float64(k)*f1 > maxF {
+			break
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("emi: no harmonics below %g Hz", maxF)
+	}
+
+	// The harmonics are independent AC solves: fan them out over a worker
+	// pool. Each worker gets its own circuit clone and analyzer because
+	// the source phasors are set per harmonic.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ks) {
+		workers = len(ks)
+	}
+	dbs := make([]float64, len(ks))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := ckt.Clone()
+			var wsrcs []*netlist.Element
+			for _, name := range names {
+				wsrcs = append(wsrcs, wc.Find(name))
+			}
+			an, err := mna.NewAnalyzer(wc)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for i := w; i < len(ks); i += workers {
+				k := ks[i]
+				f := float64(k) * f1
+				for _, e := range wsrcs {
+					ck := TrapezoidHarmonic(e.Src.Pulse, k)
+					// Drive each source with its harmonic's RMS phasor;
+					// the solve superposes them coherently.
+					e.Src.ACMag = math.Sqrt2 * cmplx.Abs(ck)
+					e.Src.ACPhase = cmplx.Phase(ck)
+				}
+				sol, err := an.Solve(f)
+				if err != nil {
+					errs[w] = fmt.Errorf("emi: harmonic %d: %w", k, err)
+					return
+				}
+				dbs[i] = DBuV(cmplx.Abs(sol.NodeVoltage(p.MeasureNode)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Spectrum{}
+	for i, k := range ks {
+		out.Freqs = append(out.Freqs, float64(k)*f1)
+		out.DB = append(out.DB, dbs[i])
+	}
+	return out, nil
+}
+
+// InBand returns the sub-spectrum within [lo, hi].
+func (s *Spectrum) InBand(lo, hi float64) *Spectrum {
+	out := &Spectrum{}
+	for i, f := range s.Freqs {
+		if f >= lo && f <= hi {
+			out.Freqs = append(out.Freqs, f)
+			out.DB = append(out.DB, s.DB[i])
+		}
+	}
+	return out
+}
+
+// Max returns the highest level and its frequency.
+func (s *Spectrum) Max() (f, db float64) {
+	db = math.Inf(-1)
+	for i, v := range s.DB {
+		if v > db {
+			db, f = v, s.Freqs[i]
+		}
+	}
+	return f, db
+}
+
+// Violation is a spectrum point exceeding its CISPR limit.
+type Violation struct {
+	Freq    float64
+	Level   float64
+	LimitDB float64
+}
+
+// Violations returns all in-service-band points above the Class-5 limit.
+func (s *Spectrum) Violations() []Violation {
+	var out []Violation
+	for i, f := range s.Freqs {
+		limit, inBand := Limit(f)
+		if inBand && s.DB[i] > limit {
+			out = append(out, Violation{Freq: f, Level: s.DB[i], LimitDB: limit})
+		}
+	}
+	return out
+}
+
+// WorstMargin returns the smallest (limit − level) over the protected
+// bands; negative means a violation. An empty overlap returns +Inf.
+func (s *Spectrum) WorstMargin() float64 {
+	margin := math.Inf(1)
+	for i, f := range s.Freqs {
+		limit, inBand := Limit(f)
+		if !inBand {
+			continue
+		}
+		if m := limit - s.DB[i]; m < margin {
+			margin = m
+		}
+	}
+	return margin
+}
+
+// Comparison quantifies the agreement of two spectra on a shared frequency
+// grid — how the paper judges prediction vs measurement (Figures 12–14).
+type Comparison struct {
+	MaxAbsDelta  float64 // worst disagreement in dB
+	MeanAbsDelta float64 // average disagreement in dB
+	Correlation  float64 // Pearson correlation of the dB traces
+	N            int
+}
+
+// Compare evaluates both spectra at the frequencies they share.
+func Compare(a, b *Spectrum) Comparison {
+	bIdx := map[float64]int{}
+	for i, f := range b.Freqs {
+		bIdx[f] = i
+	}
+	var da, db []float64
+	for i, f := range a.Freqs {
+		if j, ok := bIdx[f]; ok {
+			da = append(da, a.DB[i])
+			db = append(db, b.DB[j])
+		}
+	}
+	out := Comparison{N: len(da)}
+	if len(da) == 0 {
+		return out
+	}
+	var sumAbs, maxAbs float64
+	var ma, mb float64
+	for i := range da {
+		d := math.Abs(da[i] - db[i])
+		sumAbs += d
+		if d > maxAbs {
+			maxAbs = d
+		}
+		ma += da[i]
+		mb += db[i]
+	}
+	n := float64(len(da))
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range da {
+		cov += (da[i] - ma) * (db[i] - mb)
+		va += (da[i] - ma) * (da[i] - ma)
+		vb += (db[i] - mb) * (db[i] - mb)
+	}
+	out.MaxAbsDelta = maxAbs
+	out.MeanAbsDelta = sumAbs / n
+	if va > 0 && vb > 0 {
+		out.Correlation = cov / math.Sqrt(va*vb)
+	}
+	return out
+}
+
+// Measured derives a virtual measurement from a reference spectrum: the
+// complete coupled model plus a deterministic, seeded receiver ripple of
+// the given peak amplitude in dB. This stands in for the paper's CISPR 25
+// lab measurement (see DESIGN.md §2).
+func Measured(ref *Spectrum, rippleDB float64, seed uint64) *Spectrum {
+	out := &Spectrum{
+		Freqs: append([]float64(nil), ref.Freqs...),
+		DB:    make([]float64, len(ref.DB)),
+	}
+	state := seed*2862933555777941757 + 3037000493
+	for i, db := range ref.DB {
+		// xorshift-style deterministic noise in [-1, 1].
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		u := float64(state%2000)/1000 - 1
+		out.DB[i] = db + rippleDB*u
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package emi
+
+import (
+	"math"
+	"testing"
+)
+
+// tone synthesises A·sin(2πft) sampled at fs for dur seconds.
+func tone(a, f, fs, dur float64) ([]float64, float64) {
+	dt := 1 / fs
+	n := int(dur * fs)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = a * math.Sin(2*math.Pi*f*float64(i)*dt)
+	}
+	return out, dt
+}
+
+// fastBand is a receiver band with shortened QP time constants so unit
+// tests settle within short synthetic waveforms.
+var fastBand = ReceiverBand{Name: "test", RBW: 9e3, ChargeTC: 50e-6, DischargeTC: 2e-3, MeterTC: 1e-3}
+
+func TestCWToneReadsEquallyOnAllDetectors(t *testing.T) {
+	// CISPR: a continuous sinusoid reads the same on peak, quasi-peak and
+	// average detectors, equal to its RMS level.
+	a := 1e-3 // 1 mV peak = 57.0 dBµV RMS
+	samples, dt := tone(a, 1e6, 20e6, 20e-3)
+	want := DBuV(a / math.Sqrt2)
+	for _, det := range []Detector{Peak, QuasiPeak, Average} {
+		got, err := MeasureWaveform(samples, dt, 1e6, fastBand, det)
+		if err != nil {
+			t.Fatalf("%v: %v", det, err)
+		}
+		if math.Abs(got-want) > 0.6 {
+			t.Errorf("%v reads %.1f dBµV, want %.1f", det, got, want)
+		}
+	}
+}
+
+func TestPulsedSignalDetectorOrdering(t *testing.T) {
+	// A pulsed carrier (low duty) must read Peak > QuasiPeak > Average —
+	// the defining property of the CISPR weighting chain.
+	fs, f := 20e6, 1e6
+	dt := 1 / fs
+	n := int(40e-3 * fs)
+	samples := make([]float64, n)
+	// 100 µs bursts every 2 ms.
+	for i := range samples {
+		tt := float64(i) * dt
+		if math.Mod(tt, 2e-3) < 100e-6 {
+			samples[i] = 1e-3 * math.Sin(2*math.Pi*f*tt)
+		}
+	}
+	pk, err := MeasureWaveform(samples, dt, f, fastBand, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := MeasureWaveform(samples, dt, f, fastBand, QuasiPeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := MeasureWaveform(samples, dt, f, fastBand, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pk > qp+1 && qp > avg+1) {
+		t.Errorf("detector ordering violated: PK %.1f, QP %.1f, AVG %.1f", pk, qp, avg)
+	}
+}
+
+func TestOffTuneRejection(t *testing.T) {
+	// A tone 20×RBW away from the tuned frequency must be strongly
+	// suppressed by the IF selectivity.
+	a := 1e-3
+	samples, dt := tone(a, 1e6, 20e6, 10e-3)
+	on, err := MeasureWaveform(samples, dt, 1e6, fastBand, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := MeasureWaveform(samples, dt, 1e6+20*fastBand.RBW, fastBand, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on-off < 30 {
+		t.Errorf("selectivity too weak: on-tune %.1f vs off-tune %.1f dBµV", on, off)
+	}
+}
+
+func TestTwoToneSelectivity(t *testing.T) {
+	// Tuning picks out the right component of a two-tone signal.
+	fs := 50e6
+	dt := 1 / fs
+	n := int(10e-3 * fs)
+	samples := make([]float64, n)
+	for i := range samples {
+		tt := float64(i) * dt
+		samples[i] = 1e-3*math.Sin(2*math.Pi*1e6*tt) + 0.1e-3*math.Sin(2*math.Pi*3e6*tt)
+	}
+	big, err := MeasureWaveform(samples, dt, 1e6, fastBand, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := MeasureWaveform(samples, dt, 3e6, fastBand, Peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((big-small)-20) > 1.5 {
+		t.Errorf("level difference = %.1f dB, want 20", big-small)
+	}
+}
+
+func TestBandFor(t *testing.T) {
+	if b := BandFor(100e3); b.Name != "A" {
+		t.Errorf("100 kHz → band %s", b.Name)
+	}
+	if b := BandFor(1e6); b.Name != "B" || b.RBW != 9e3 {
+		t.Errorf("1 MHz → band %s", b.Name)
+	}
+	if b := BandFor(50e6); b.Name != "C/D" || b.RBW != 120e3 {
+		t.Errorf("50 MHz → band %s", b.Name)
+	}
+}
+
+func TestMeasureWaveformErrors(t *testing.T) {
+	samples, dt := tone(1, 1e6, 20e6, 1e-3)
+	if _, err := MeasureWaveform(nil, dt, 1e6, fastBand, Peak); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := MeasureWaveform(samples, 0, 1e6, fastBand, Peak); err == nil {
+		t.Error("zero dt should fail")
+	}
+	if _, err := MeasureWaveform(samples, dt, 15e6, fastBand, Peak); err == nil {
+		t.Error("above-Nyquist tune should fail")
+	}
+	if _, err := MeasureWaveform(samples, dt, 1e6, fastBand, Detector(99)); err == nil {
+		t.Error("unknown detector should fail")
+	}
+}
+
+func TestMeasureSpectrum(t *testing.T) {
+	a := 1e-3
+	samples, dt := tone(a, 1e6, 20e6, 10e-3)
+	s, err := MeasureSpectrum(samples, dt, []float64{0.5e6, 1e6, 2e6}, Peak, &fastBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Freqs) != 3 {
+		t.Fatalf("spectrum size = %d", len(s.Freqs))
+	}
+	// The 1 MHz bin dominates.
+	if !(s.DB[1] > s.DB[0]+20 && s.DB[1] > s.DB[2]+20) {
+		t.Errorf("spectrum = %v", s.DB)
+	}
+}
+
+func TestDetectorString(t *testing.T) {
+	if Peak.String() != "PK" || QuasiPeak.String() != "QP" || Average.String() != "AVG" {
+		t.Error("detector names")
+	}
+	if Detector(9).String() != "?" {
+		t.Error("unknown detector name")
+	}
+}

@@ -1,0 +1,66 @@
+package emi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTSV serialises a spectrum as tab-separated frequency/level pairs
+// with a header line — the interchange format of the CLI tools, trivially
+// plottable with any external tool.
+func (s *Spectrum) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "freq_hz\tlevel_dbuv"); err != nil {
+		return err
+	}
+	for i, f := range s.Freqs {
+		if _, err := fmt.Fprintf(w, "%g\t%g\n", f, s.DB[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTSV parses the WriteTSV format (the header is optional; '#' comments
+// are skipped). Frequencies must be positive and strictly ascending.
+func ReadTSV(r io.Reader) (*Spectrum, error) {
+	out := &Spectrum{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("emi: tsv line %d: want 2 fields, got %d", line, len(fields))
+		}
+		f, errF := strconv.ParseFloat(fields[0], 64)
+		db, errD := strconv.ParseFloat(fields[1], 64)
+		if errF != nil || errD != nil {
+			if line == 1 && strings.EqualFold(fields[0], "freq_hz") {
+				continue // header
+			}
+			return nil, fmt.Errorf("emi: tsv line %d: bad numbers %q", line, text)
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("emi: tsv line %d: non-positive frequency %g", line, f)
+		}
+		if n := len(out.Freqs); n > 0 && f <= out.Freqs[n-1] {
+			return nil, fmt.Errorf("emi: tsv line %d: frequencies must ascend", line)
+		}
+		out.Freqs = append(out.Freqs, f)
+		out.DB = append(out.DB, db)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Freqs) == 0 {
+		return nil, fmt.Errorf("emi: tsv: no data rows")
+	}
+	return out, nil
+}

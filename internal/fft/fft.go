@@ -1,0 +1,189 @@
+// Package fft provides the discrete Fourier transform machinery used to
+// turn simulated time-domain converter waveforms into conducted-emission
+// spectra: an iterative radix-2 Cooley–Tukey transform, Bluestein's
+// algorithm for arbitrary lengths, window functions and single-sided
+// amplitude spectra.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x (any length; the input is
+// not modified). Power-of-two lengths use radix-2 Cooley–Tukey directly;
+// other lengths go through Bluestein's chirp-z reduction.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		out := make([]complex128, n)
+		copy(out, x)
+		radix2(out, false)
+		return out
+	}
+	return bluestein(x)
+}
+
+// IFFT returns the inverse DFT of x, normalised by 1/N.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	y := FFT(conj)
+	inv := complex(1/float64(n), 0)
+	for i, v := range y {
+		y[i] = cmplx.Conj(v) * inv
+	}
+	return y
+}
+
+// radix2 transforms x in place; x must have power-of-two length.
+func radix2(x []complex128, _ bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		wBase := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution evaluated
+// with power-of-two FFTs.
+func bluestein(x []complex128) []complex128 {
+	n := len(x)
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	// Chirp: c_k = exp(-iπ k² / n). Compute k² mod 2n to avoid float
+	// blow-up for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, -math.Pi*float64(kk)/float64(n))
+	}
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b := make([]complex128, m)
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		v := cmplx.Conj(chirp[k])
+		b[k] = v
+		b[m-k] = v
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	// Inverse of length m.
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	radix2(a, false)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = cmplx.Conj(a[k]*inv) * chirp[k]
+	}
+	return out
+}
+
+// Hann returns the n-point Hann window. Its coherent gain is 0.5, which
+// AmplitudeSpectrum compensates.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Rectangular returns the all-ones window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// AmplitudeSpectrum computes the single-sided amplitude spectrum of a real
+// waveform sampled at interval dt, applying the given window with
+// coherent-gain correction. It returns the frequency axis and the peak
+// amplitudes (volts if the input is volts): bin magnitudes are scaled by
+// 2/(N·G) except DC, where the factor is 1/(N·G), with G the mean window
+// value.
+func AmplitudeSpectrum(samples []float64, dt float64, window []float64) (freqs, amps []float64) {
+	n := len(samples)
+	if n == 0 || dt <= 0 {
+		return nil, nil
+	}
+	if window == nil {
+		window = Rectangular(n)
+	}
+	gain := 0.0
+	x := make([]complex128, n)
+	for i, s := range samples {
+		w := 1.0
+		if i < len(window) {
+			w = window[i]
+		}
+		gain += w
+		x[i] = complex(s*w, 0)
+	}
+	gain /= float64(n)
+	if gain == 0 {
+		gain = 1
+	}
+	y := FFT(x)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	amps = make([]float64, half)
+	df := 1 / (dt * float64(n))
+	for k := 0; k < half; k++ {
+		freqs[k] = float64(k) * df
+		scale := 2 / (float64(n) * gain)
+		if k == 0 || (n%2 == 0 && k == n/2) {
+			scale = 1 / (float64(n) * gain)
+		}
+		amps[k] = cmplx.Abs(y[k]) * scale
+	}
+	return freqs, amps
+}

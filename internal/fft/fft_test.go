@@ -1,0 +1,183 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += x[j] * cmplx.Rect(1, -2*math.Pi*float64(k*j)/float64(n))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func maxDiff(a, b []complex128) float64 {
+	max := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func randomSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	// Cover radix-2 sizes, odd sizes, primes and 1.
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 64, 100} {
+		x := randomSignal(n, int64(n))
+		got := FFT(x)
+		want := naiveDFT(x)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %v", n, d)
+		}
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	if FFT(nil) != nil || IFFT(nil) != nil {
+		t.Error("empty transforms should be nil")
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 10, 37, 128} {
+		x := randomSignal(n, int64(1000+n))
+		y := IFFT(FFT(x))
+		if d := maxDiff(x, y); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: round-trip diff %v", n, d)
+		}
+	}
+}
+
+func TestFFTDoesNotMutateInput(t *testing.T) {
+	x := randomSignal(8, 1)
+	orig := make([]complex128, len(x))
+	copy(orig, x)
+	FFT(x)
+	if maxDiff(x, orig) != 0 {
+		t.Error("FFT mutated its input")
+	}
+}
+
+func TestParsevalTheorem(t *testing.T) {
+	for _, n := range []int{16, 33} {
+		x := randomSignal(n, int64(7*n))
+		y := FFT(x)
+		var tEnergy, fEnergy float64
+		for _, v := range x {
+			tEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range y {
+			fEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fEnergy /= float64(n)
+		if math.Abs(tEnergy-fEnergy)/tEnergy > 1e-9 {
+			t.Errorf("n=%d: Parseval violated: %v vs %v", n, tEnergy, fEnergy)
+		}
+	}
+}
+
+func TestHannWindow(t *testing.T) {
+	w := Hann(101)
+	if w[0] > 1e-12 || w[100] > 1e-12 {
+		t.Error("Hann endpoints must be 0")
+	}
+	if math.Abs(w[50]-1) > 1e-12 {
+		t.Error("Hann center must be 1")
+	}
+	if Hann(1)[0] != 1 {
+		t.Error("Hann(1) must be [1]")
+	}
+	for _, x := range Rectangular(5) {
+		if x != 1 {
+			t.Error("rectangular window must be 1s")
+		}
+	}
+}
+
+func TestAmplitudeSpectrumPureTone(t *testing.T) {
+	// A 1 kHz, 2 V sine sampled coherently: the spectrum shows 2 V at
+	// exactly the 1 kHz bin, both with and without a window.
+	fs := 64000.0
+	n := 640 // 10 full cycles of 1 kHz
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = 2 * math.Sin(2*math.Pi*1000*float64(i)/fs)
+	}
+	for _, win := range [][]float64{nil, Hann(n)} {
+		freqs, amps := AmplitudeSpectrum(samples, 1/fs, win)
+		// Locate the 1 kHz bin.
+		best := 0
+		for k := range freqs {
+			if math.Abs(freqs[k]-1000) < math.Abs(freqs[best]-1000) {
+				best = k
+			}
+		}
+		if math.Abs(freqs[best]-1000) > 1e-6 {
+			t.Fatalf("no 1 kHz bin: %v", freqs[best])
+		}
+		if math.Abs(amps[best]-2) > 0.02 {
+			t.Errorf("tone amplitude = %v, want 2", amps[best])
+		}
+	}
+}
+
+func TestAmplitudeSpectrumDCOffset(t *testing.T) {
+	samples := make([]float64, 256)
+	for i := range samples {
+		samples[i] = 3
+	}
+	_, amps := AmplitudeSpectrum(samples, 1e-3, nil)
+	if math.Abs(amps[0]-3) > 1e-9 {
+		t.Errorf("DC bin = %v, want 3", amps[0])
+	}
+	for _, a := range amps[1:] {
+		if a > 1e-9 {
+			t.Errorf("non-DC bin = %v, want 0", a)
+		}
+	}
+}
+
+func TestAmplitudeSpectrumDegenerate(t *testing.T) {
+	if f, a := AmplitudeSpectrum(nil, 1e-3, nil); f != nil || a != nil {
+		t.Error("empty input")
+	}
+	if f, _ := AmplitudeSpectrum([]float64{1}, 0, nil); f != nil {
+		t.Error("zero dt")
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := randomSignal(1024, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein1000(b *testing.B) {
+	x := randomSignal(1000, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}

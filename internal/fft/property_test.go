@@ -1,0 +1,108 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// boundedComplexSlice maps arbitrary float pairs into a short signal.
+func boundedComplexSlice(re, im []float64) []complex128 {
+	n := len(re)
+	if len(im) < n {
+		n = len(im)
+	}
+	if n == 0 {
+		return nil
+	}
+	if n > 64 {
+		n = 64
+	}
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		r, q := re[i], im[i]
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			r = 0
+		}
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			q = 0
+		}
+		out[i] = complex(math.Mod(r, 100), math.Mod(q, 100))
+	}
+	return out
+}
+
+func TestQuickFFTLinearity(t *testing.T) {
+	// FFT(a·x + y) = a·FFT(x) + FFT(y) on same-length signals.
+	f := func(re1, im1 []float64, scale float64) bool {
+		x := boundedComplexSlice(re1, im1)
+		if len(x) < 2 {
+			return true
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			scale = 1
+		}
+		a := complex(math.Mod(scale, 10), 0)
+		y := make([]complex128, len(x))
+		for i := range y {
+			y[i] = complex(float64(i%5)-2, float64(i%3))
+		}
+		mixed := make([]complex128, len(x))
+		for i := range mixed {
+			mixed[i] = a*x[i] + y[i]
+		}
+		fx, fy, fm := FFT(x), FFT(y), FFT(mixed)
+		for i := range fm {
+			want := a*fx[i] + fy[i]
+			if cmplx.Abs(fm[i]-want) > 1e-6*(cmplx.Abs(want)+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIFFTInverts(t *testing.T) {
+	f := func(re, im []float64) bool {
+		x := boundedComplexSlice(re, im)
+		if len(x) == 0 {
+			return true
+		}
+		y := IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-y[i]) > 1e-7*(cmplx.Abs(x[i])+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseval(t *testing.T) {
+	f := func(re, im []float64) bool {
+		x := boundedComplexSlice(re, im)
+		if len(x) == 0 {
+			return true
+		}
+		y := FFT(x)
+		var te, fe float64
+		for _, v := range x {
+			te += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range y {
+			fe += real(v)*real(v) + imag(v)*imag(v)
+		}
+		fe /= float64(len(x))
+		return math.Abs(te-fe) <= 1e-7*(te+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,39 @@
+package geom
+
+// Cuboid is an axis-aligned box used for the 3D aspects of placement:
+// component bodies and "3D keepouts with/without z-offset" from the paper.
+type Cuboid struct {
+	Base Rect    // footprint on the board plane
+	Z0   float64 // bottom height above the board surface (the z-offset)
+	Z1   float64 // top height
+}
+
+// CuboidOf builds a cuboid from a footprint, z-offset and height.
+func CuboidOf(base Rect, zOffset, height float64) Cuboid {
+	return Cuboid{Base: base, Z0: zOffset, Z1: zOffset + height}
+}
+
+// Height returns the vertical extent of c.
+func (c Cuboid) Height() float64 { return c.Z1 - c.Z0 }
+
+// Volume returns the volume of c.
+func (c Cuboid) Volume() float64 { return c.Base.Area() * c.Height() }
+
+// Overlaps reports whether c and d share interior volume. Two cuboids whose
+// z intervals merely touch (e.g. a keepout hovering exactly at a component's
+// top face) do not overlap — this is what allows routing a keepout *above*
+// low components, per the paper's z-offset keepouts.
+func (c Cuboid) Overlaps(d Cuboid) bool {
+	return c.Base.Overlaps(d.Base) && c.Z0 < d.Z1 && d.Z0 < c.Z1
+}
+
+// Contains reports whether point p lies inside c (boundary inclusive).
+func (c Cuboid) Contains(p Vec3) bool {
+	return c.Base.Contains(p.XY()) && p.Z >= c.Z0 && p.Z <= c.Z1
+}
+
+// Translate shifts the cuboid footprint by d in the plane.
+func (c Cuboid) Translate(d Vec2) Cuboid {
+	c.Base = c.Base.Translate(d)
+	return c
+}

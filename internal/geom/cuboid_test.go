@@ -1,0 +1,65 @@
+package geom
+
+import "testing"
+
+func TestCuboidOf(t *testing.T) {
+	c := CuboidOf(R(0, 0, 2, 3), 0.5, 1.5)
+	if c.Z0 != 0.5 || c.Z1 != 2.0 {
+		t.Errorf("z = [%v,%v]", c.Z0, c.Z1)
+	}
+	if c.Height() != 1.5 {
+		t.Errorf("Height = %v", c.Height())
+	}
+	if !close(c.Volume(), 9, eps) {
+		t.Errorf("Volume = %v", c.Volume())
+	}
+}
+
+func TestCuboidOverlapZOffset(t *testing.T) {
+	// A keepout hovering above a low component must not collide — this is
+	// the paper's "3D keepouts with z-offset" feature.
+	component := CuboidOf(R(0, 0, 1, 1), 0, 1)
+	hover := CuboidOf(R(0, 0, 1, 1), 2, 1)
+	if component.Overlaps(hover) {
+		t.Error("hovering keepout must not overlap low component")
+	}
+	touching := CuboidOf(R(0, 0, 1, 1), 1, 1) // z intervals touch at 1
+	if component.Overlaps(touching) {
+		t.Error("z-touching cuboids must not overlap")
+	}
+	intersecting := CuboidOf(R(0.5, 0.5, 2, 2), 0.5, 1)
+	if !component.Overlaps(intersecting) {
+		t.Error("interpenetrating cuboids must overlap")
+	}
+	// Same z-range, disjoint footprints.
+	aside := CuboidOf(R(5, 5, 6, 6), 0, 1)
+	if component.Overlaps(aside) {
+		t.Error("disjoint footprints must not overlap")
+	}
+}
+
+func TestCuboidContains(t *testing.T) {
+	c := CuboidOf(R(0, 0, 2, 2), 1, 1)
+	if !c.Contains(V3(1, 1, 1.5)) {
+		t.Error("interior point")
+	}
+	if !c.Contains(V3(0, 0, 1)) {
+		t.Error("corner point (boundary inclusive)")
+	}
+	if c.Contains(V3(1, 1, 0.5)) {
+		t.Error("below z-offset")
+	}
+	if c.Contains(V3(3, 1, 1.5)) {
+		t.Error("outside footprint")
+	}
+}
+
+func TestCuboidTranslate(t *testing.T) {
+	c := CuboidOf(R(0, 0, 1, 1), 0, 2).Translate(V2(3, 4))
+	if c.Base != R(3, 4, 4, 5) {
+		t.Errorf("Translate base = %v", c.Base)
+	}
+	if c.Z0 != 0 || c.Z1 != 2 {
+		t.Error("Translate must not change z")
+	}
+}

@@ -1,0 +1,188 @@
+package geom
+
+import "math"
+
+// Polygon is a simple (non self-intersecting) polygon given by its vertices
+// in order (either winding). It models the paper's "different arbitrary shaped
+// placement areas".
+type Polygon []Vec2
+
+// RectPolygon returns the polygon of rectangle r.
+func RectPolygon(r Rect) Polygon {
+	c := r.Corners()
+	return Polygon{c[0], c[1], c[2], c[3]}
+}
+
+// BBox returns the axis-aligned bounding box of p.
+func (p Polygon) BBox() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	out := Rect{p[0], p[0]}
+	for _, v := range p[1:] {
+		out.Min.X = math.Min(out.Min.X, v.X)
+		out.Min.Y = math.Min(out.Min.Y, v.Y)
+		out.Max.X = math.Max(out.Max.X, v.X)
+		out.Max.Y = math.Max(out.Max.Y, v.Y)
+	}
+	return out
+}
+
+// Area returns the absolute area of p (shoelace formula).
+func (p Polygon) Area() float64 {
+	if len(p) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i, v := range p {
+		w := p[(i+1)%len(p)]
+		sum += v.Cross(w)
+	}
+	return math.Abs(sum) / 2
+}
+
+// Contains reports whether pt lies inside p or on its boundary, using the
+// even-odd ray-casting rule with an explicit boundary test so that points on
+// edges count as inside (placement areas are boundary-inclusive).
+func (p Polygon) Contains(pt Vec2) bool {
+	n := len(p)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if onSegment(p[i], p[(i+1)%n], pt) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := p[i], p[j]
+		if (vi.Y > pt.Y) != (vj.Y > pt.Y) {
+			x := vj.X + (pt.Y-vj.Y)*(vi.X-vj.X)/(vi.Y-vj.Y)
+			if pt.X < x {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// ContainsRect reports whether rectangle r lies entirely inside p.
+// It requires all four corners inside and no polygon edge crossing any
+// rectangle edge, which is exact for simple polygons.
+func (p Polygon) ContainsRect(r Rect) bool {
+	for _, c := range r.Corners() {
+		if !p.Contains(c) {
+			return false
+		}
+	}
+	cs := r.Corners()
+	n := len(p)
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		for j := 0; j < 4; j++ {
+			c, d := cs[j], cs[(j+1)%4]
+			if segmentsCrossStrictly(a, b, c, d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IntersectsRect reports whether p and r share any area or boundary.
+func (p Polygon) IntersectsRect(r Rect) bool {
+	if !p.BBox().Overlaps(r.Inflate(1e-15)) {
+		return false
+	}
+	for _, c := range r.Corners() {
+		if p.Contains(c) {
+			return true
+		}
+	}
+	for _, v := range p {
+		if r.Contains(v) {
+			return true
+		}
+	}
+	cs := r.Corners()
+	n := len(p)
+	for i := 0; i < n; i++ {
+		a, b := p[i], p[(i+1)%n]
+		for j := 0; j < 4; j++ {
+			if segmentsIntersect(a, b, cs[j], cs[(j+1)%4]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Centroid returns the area centroid of p (vertex mean for degenerate p).
+func (p Polygon) Centroid() Vec2 {
+	if len(p) < 3 {
+		var s Vec2
+		for _, v := range p {
+			s = s.Add(v)
+		}
+		if len(p) == 0 {
+			return Vec2{}
+		}
+		return s.Scale(1 / float64(len(p)))
+	}
+	var cx, cy, a float64
+	for i, v := range p {
+		w := p[(i+1)%len(p)]
+		cr := v.Cross(w)
+		cx += (v.X + w.X) * cr
+		cy += (v.Y + w.Y) * cr
+		a += cr
+	}
+	if a == 0 {
+		return p.BBox().Center()
+	}
+	return Vec2{cx / (3 * a), cy / (3 * a)}
+}
+
+const segEps = 1e-12
+
+func onSegment(a, b, p Vec2) bool {
+	if math.Abs(b.Sub(a).Cross(p.Sub(a))) > segEps*math.Max(1, a.Dist(b)) {
+		return false
+	}
+	return p.X >= math.Min(a.X, b.X)-segEps && p.X <= math.Max(a.X, b.X)+segEps &&
+		p.Y >= math.Min(a.Y, b.Y)-segEps && p.Y <= math.Max(a.Y, b.Y)+segEps
+}
+
+func orient(a, b, c Vec2) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	switch {
+	case v > segEps:
+		return 1
+	case v < -segEps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// segmentsIntersect reports whether segments ab and cd share any point.
+func segmentsIntersect(a, b, c, d Vec2) bool {
+	o1, o2 := orient(a, b, c), orient(a, b, d)
+	o3, o4 := orient(c, d, a), orient(c, d, b)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	return (o1 == 0 && onSegment(a, b, c)) ||
+		(o2 == 0 && onSegment(a, b, d)) ||
+		(o3 == 0 && onSegment(c, d, a)) ||
+		(o4 == 0 && onSegment(c, d, b))
+}
+
+// segmentsCrossStrictly reports whether ab and cd cross at a single interior
+// point of both (touching endpoints or collinear overlap do not count).
+func segmentsCrossStrictly(a, b, c, d Vec2) bool {
+	o1, o2 := orient(a, b, c), orient(a, b, d)
+	o3, o4 := orient(c, d, a), orient(c, d, b)
+	return o1*o2 < 0 && o3*o4 < 0
+}

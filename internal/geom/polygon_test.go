@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func lShape() Polygon {
+	// L-shaped board outline, a typical "arbitrary shaped placement area".
+	return Polygon{
+		{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4},
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := lShape().Area(); !close(a, 12, eps) {
+		t.Errorf("L area = %v", a)
+	}
+	sq := RectPolygon(R(0, 0, 3, 3))
+	if a := sq.Area(); !close(a, 9, eps) {
+		t.Errorf("square area = %v", a)
+	}
+	if a := (Polygon{{0, 0}, {1, 1}}).Area(); a != 0 {
+		t.Errorf("degenerate area = %v", a)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := lShape()
+	in := []Vec2{{1, 1}, {3, 1}, {1, 3}, {0.01, 0.01}}
+	out := []Vec2{{3, 3}, {5, 1}, {-1, 0}, {2.5, 2.5}}
+	for _, pt := range in {
+		if !p.Contains(pt) {
+			t.Errorf("should contain %v", pt)
+		}
+	}
+	for _, pt := range out {
+		if p.Contains(pt) {
+			t.Errorf("should not contain %v", pt)
+		}
+	}
+	// Boundary points count as inside.
+	for _, pt := range []Vec2{{0, 0}, {2, 3}, {4, 1}, {1, 0}} {
+		if !p.Contains(pt) {
+			t.Errorf("boundary point %v should be inside", pt)
+		}
+	}
+}
+
+func TestPolygonContainsRect(t *testing.T) {
+	p := lShape()
+	if !p.ContainsRect(R(0.5, 0.5, 1.5, 1.5)) {
+		t.Error("rect in lower arm should fit")
+	}
+	if !p.ContainsRect(R(0.5, 2.5, 1.5, 3.5)) {
+		t.Error("rect in upper arm should fit")
+	}
+	// Rect spanning the notch: all 4 corners inside, but crosses the
+	// re-entrant corner region.
+	if p.ContainsRect(R(1, 1, 3, 3)) {
+		t.Error("rect across the L notch must not fit")
+	}
+	if p.ContainsRect(R(3, 3, 3.5, 3.5)) {
+		t.Error("rect fully in the notch must not fit")
+	}
+	// Exactly fills the lower arm (boundary inclusive).
+	if !p.ContainsRect(R(0, 0, 4, 2)) {
+		t.Error("exact lower arm should fit")
+	}
+}
+
+func TestPolygonIntersectsRect(t *testing.T) {
+	p := lShape()
+	if !p.IntersectsRect(R(3, 1, 5, 3)) {
+		t.Error("partially overlapping rect should intersect")
+	}
+	if p.IntersectsRect(R(3, 3, 4, 4)) {
+		t.Error("rect in the notch should not intersect")
+	}
+	if !p.IntersectsRect(R(-1, -1, 5, 5)) {
+		t.Error("enclosing rect should intersect")
+	}
+	if p.IntersectsRect(R(10, 10, 11, 11)) {
+		t.Error("far rect should not intersect")
+	}
+}
+
+func TestPolygonBBoxCentroid(t *testing.T) {
+	p := lShape()
+	if bb := p.BBox(); bb != R(0, 0, 4, 4) {
+		t.Errorf("BBox = %v", bb)
+	}
+	sq := RectPolygon(R(2, 2, 6, 4))
+	c := sq.Centroid()
+	if !close(c.X, 4, eps) || !close(c.Y, 3, eps) {
+		t.Errorf("centroid = %v", c)
+	}
+	if (Polygon{}).Centroid() != V2(0, 0) {
+		t.Error("empty centroid")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Vec2
+		want       bool
+	}{
+		{V2(0, 0), V2(2, 2), V2(0, 2), V2(2, 0), true},  // X cross
+		{V2(0, 0), V2(1, 0), V2(2, 0), V2(3, 0), false}, // collinear disjoint
+		{V2(0, 0), V2(2, 0), V2(1, 0), V2(3, 0), true},  // collinear overlap
+		{V2(0, 0), V2(1, 1), V2(1, 1), V2(2, 0), true},  // shared endpoint
+		{V2(0, 0), V2(1, 0), V2(0, 1), V2(1, 1), false}, // parallel
+		{V2(0, 0), V2(2, 0), V2(1, 0), V2(1, 1), true},  // T touch
+		{V2(0, 0), V2(2, 0), V2(1, 0.1), V2(1, 1), false},
+	}
+	for i, c := range cases {
+		if got := segmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSegmentsCrossStrictly(t *testing.T) {
+	if !segmentsCrossStrictly(V2(0, 0), V2(2, 2), V2(0, 2), V2(2, 0)) {
+		t.Error("X cross should cross strictly")
+	}
+	if segmentsCrossStrictly(V2(0, 0), V2(2, 0), V2(1, 0), V2(1, 1)) {
+		t.Error("T touch must not cross strictly")
+	}
+	if segmentsCrossStrictly(V2(0, 0), V2(1, 1), V2(1, 1), V2(2, 0)) {
+		t.Error("shared endpoint must not cross strictly")
+	}
+}
+
+func TestPolygonRectAgreement(t *testing.T) {
+	// For a rectangle-as-polygon, ContainsRect must agree with Rect.ContainsRect.
+	outer := R(0, 0, 10, 10)
+	poly := RectPolygon(outer)
+	cases := []Rect{
+		R(1, 1, 2, 2), R(0, 0, 10, 10), R(-1, 1, 2, 2), R(9, 9, 11, 11),
+	}
+	for _, r := range cases {
+		if poly.ContainsRect(r) != outer.ContainsRect(r) {
+			t.Errorf("disagreement for %v", r)
+		}
+	}
+}
+
+func TestPolygonContainsMatchesBBoxForConvex(t *testing.T) {
+	sq := RectPolygon(R(0, 0, 5, 5))
+	f := func(x, y float64) bool {
+		x, y = math.Mod(x, 10), math.Mod(y, 10)
+		return sq.Contains(V2(x, y)) == sq.BBox().Contains(V2(x, y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rect is an axis-aligned rectangle on the board plane.
+// A valid Rect has Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Vec2
+}
+
+// R constructs a normalized rectangle from two opposite corners.
+func R(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Vec2{x0, y0}, Vec2{x1, y1}}
+}
+
+// RectAround builds the rectangle with the given center and dimensions.
+func RectAround(center Vec2, w, h float64) Rect {
+	return R(center.X-w/2, center.Y-h/2, center.X+w/2, center.Y+h/2)
+}
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.W() * r.H() }
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Vec2 {
+	return Vec2{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Empty reports whether r has zero (or negative) area.
+func (r Rect) Empty() bool { return r.W() <= 0 || r.H() <= 0 }
+
+// Contains reports whether p lies in r (boundary inclusive).
+func (r Rect) Contains(p Vec2) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r (boundary inclusive).
+func (r Rect) ContainsRect(s Rect) bool {
+	return r.Contains(s.Min) && r.Contains(s.Max)
+}
+
+// Overlaps reports whether r and s share interior area.
+// Rectangles that merely touch at an edge or corner do not overlap.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Min.X < s.Max.X && s.Min.X < r.Max.X &&
+		r.Min.Y < s.Max.Y && s.Min.Y < r.Max.Y
+}
+
+// Intersect returns the intersection of r and s; the result may be Empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Vec2{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Vec2{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Min.X > out.Max.X || out.Min.Y > out.Max.Y {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Vec2{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Vec2{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Inflate grows r by d on every side (shrinks for d < 0). The result is
+// normalized, so over-shrinking collapses to a degenerate rectangle at the
+// center rather than an inverted one.
+func (r Rect) Inflate(d float64) Rect {
+	out := Rect{
+		Vec2{r.Min.X - d, r.Min.Y - d},
+		Vec2{r.Max.X + d, r.Max.Y + d},
+	}
+	c := r.Center()
+	if out.Min.X > out.Max.X {
+		out.Min.X, out.Max.X = c.X, c.X
+	}
+	if out.Min.Y > out.Max.Y {
+		out.Min.Y, out.Max.Y = c.Y, c.Y
+	}
+	return out
+}
+
+// Translate shifts r by d.
+func (r Rect) Translate(d Vec2) Rect {
+	return Rect{r.Min.Add(d), r.Max.Add(d)}
+}
+
+// Corners returns the four corners of r in counter-clockwise order starting
+// at Min.
+func (r Rect) Corners() [4]Vec2 {
+	return [4]Vec2{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Separation returns the minimum Euclidean distance between the boundaries of
+// r and s, or 0 if they touch or overlap. This is the clearance metric used
+// by the design-rule checker.
+func (r Rect) Separation(s Rect) float64 {
+	dx := math.Max(0, math.Max(s.Min.X-r.Max.X, r.Min.X-s.Max.X))
+	dy := math.Max(0, math.Max(s.Min.Y-r.Max.Y, r.Min.Y-s.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// RotatedAABB returns the axis-aligned bounding box of a w×h rectangle
+// centered at center after rotation by rad. This implements the paper's
+// rectilinear approximation of rotated components.
+func RotatedAABB(center Vec2, w, h, rad float64) Rect {
+	s, c := math.Sincos(rad)
+	hw := (math.Abs(c)*w + math.Abs(s)*h) / 2
+	hh := (math.Abs(s)*w + math.Abs(c)*h) / 2
+	return R(center.X-hw, center.Y-hh, center.X+hw, center.Y+hh)
+}
+
+// String implements fmt.Stringer with millimeter output for readability.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.2f,%.2f → %.2f,%.2f]mm",
+		r.Min.X*1e3, r.Min.Y*1e3, r.Max.X*1e3, r.Max.Y*1e3)
+}

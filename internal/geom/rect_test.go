@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNormalizes(t *testing.T) {
+	r := R(3, 4, 1, 2)
+	if r.Min != V2(1, 2) || r.Max != V2(3, 4) {
+		t.Errorf("R did not normalize: %+v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 2, 4)
+	if r.W() != 2 || r.H() != 4 || r.Area() != 8 {
+		t.Errorf("W/H/Area = %v %v %v", r.W(), r.H(), r.Area())
+	}
+	if r.Center() != V2(1, 2) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !(Rect{}).Empty() {
+		t.Error("zero rect not empty")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 1, 1)
+	for _, p := range []Vec2{{0, 0}, {1, 1}, {0.5, 0.5}, {1, 0}} {
+		if !r.Contains(p) {
+			t.Errorf("should contain %v", p)
+		}
+	}
+	for _, p := range []Vec2{{-0.1, 0}, {1.1, 1}, {0.5, 2}} {
+		if r.Contains(p) {
+			t.Errorf("should not contain %v", p)
+		}
+	}
+}
+
+func TestRectOverlapTouchingEdges(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	b := R(1, 0, 2, 1) // shares an edge
+	if a.Overlaps(b) {
+		t.Error("edge-touching rects must not overlap")
+	}
+	c := R(0.99, 0, 2, 1)
+	if !a.Overlaps(c) {
+		t.Error("interior-sharing rects must overlap")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 2, 2)
+	b := R(1, 1, 3, 3)
+	got := a.Intersect(b)
+	if got != R(1, 1, 2, 2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != R(0, 0, 3, 3) {
+		t.Errorf("Union = %v", u)
+	}
+	// Disjoint intersection is empty.
+	if got := a.Intersect(R(5, 5, 6, 6)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v", got)
+	}
+	// Union with empty.
+	if u := (Rect{}).Union(a); u != a {
+		t.Errorf("Union with empty = %v", u)
+	}
+}
+
+func TestRectInflate(t *testing.T) {
+	r := R(0, 0, 2, 2).Inflate(0.5)
+	if r != R(-0.5, -0.5, 2.5, 2.5) {
+		t.Errorf("Inflate = %v", r)
+	}
+	// Over-shrink collapses to center, not inverted.
+	s := R(0, 0, 2, 2).Inflate(-2)
+	if !s.Empty() || s.Center() != V2(1, 1) {
+		t.Errorf("over-shrunk = %v", s)
+	}
+}
+
+func TestRectSeparation(t *testing.T) {
+	a := R(0, 0, 1, 1)
+	if d := a.Separation(R(2, 0, 3, 1)); d != 1 {
+		t.Errorf("horizontal gap = %v", d)
+	}
+	if d := a.Separation(R(2, 2, 3, 3)); !close(d, math.Sqrt2, eps) {
+		t.Errorf("diagonal gap = %v", d)
+	}
+	if d := a.Separation(R(0.5, 0.5, 2, 2)); d != 0 {
+		t.Errorf("overlapping separation = %v", d)
+	}
+	if d := a.Separation(R(1, 0, 2, 1)); d != 0 {
+		t.Errorf("touching separation = %v", d)
+	}
+}
+
+func TestRotatedAABB(t *testing.T) {
+	// 90° rotation swaps width and height.
+	r := RotatedAABB(V2(0, 0), 4, 2, math.Pi/2)
+	if !close(r.W(), 2, 1e-12) || !close(r.H(), 4, 1e-12) {
+		t.Errorf("90°: W=%v H=%v", r.W(), r.H())
+	}
+	// 0° keeps them.
+	r = RotatedAABB(V2(1, 1), 4, 2, 0)
+	if r != R(-1, 0, 3, 2) {
+		t.Errorf("0° = %v", r)
+	}
+	// 45° of a square grows by √2.
+	r = RotatedAABB(V2(0, 0), 2, 2, math.Pi/4)
+	if !close(r.W(), 2*math.Sqrt2, 1e-12) {
+		t.Errorf("45° W = %v", r.W())
+	}
+}
+
+func TestRotatedAABBProperties(t *testing.T) {
+	// AABB area never smaller than the rect's own area; center preserved.
+	m := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 10)
+	}
+	f := func(cx, cy, w, h, ang float64) bool {
+		cx, cy = m(cx), m(cy)
+		w, h = math.Abs(m(w)), math.Abs(m(h))
+		ang = math.Mod(m(ang), 2*math.Pi)
+		r := RotatedAABB(V2(cx, cy), w, h, ang)
+		if r.Area() < w*h-1e-9 {
+			return false
+		}
+		c := r.Center()
+		return close(c.X, cx, 1e-9*(1+math.Abs(cx))) && close(c.Y, cy, 1e-9*(1+math.Abs(cy)))
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeparationSymmetric(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		m := func(x float64) float64 { return math.Mod(x, 100) }
+		a := R(m(a0), m(a1), m(a2), m(a3))
+		b := R(m(b0), m(b1), m(b2), m(b3))
+		return close(a.Separation(b), b.Separation(a), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

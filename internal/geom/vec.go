@@ -1,0 +1,160 @@
+// Package geom provides the 2D/3D geometric primitives used throughout the
+// EMI design flow: vectors, rotations, rectangles, polygons and cuboids.
+//
+// The placement tool of the paper works on the continuous plane and
+// approximates all placement-relevant objects rectilinearly by rectangles or
+// cuboids; this package supplies exactly those primitives plus the 3D vector
+// algebra needed by the PEEC field solver.
+//
+// All coordinates are in SI meters unless a name says otherwise.
+package geom
+
+import "math"
+
+// Vec2 is a point or direction in the board plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{x, y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s*v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{s * v.X, s * v.Y} }
+
+// Dot returns the scalar product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3D cross product of v and w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Normalize returns v/|v|, or the zero vector if |v| == 0.
+func (v Vec2) Normalize() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Rot returns v rotated by angle rad (counter-clockwise).
+func (v Vec2) Rot(rad float64) Vec2 {
+	s, c := math.Sincos(rad)
+	return Vec2{c*v.X - s*v.Y, s*v.X + c*v.Y}
+}
+
+// Vec3 is a point or direction in 3D space.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the scalar product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Normalize returns v/|v|, or the zero vector if |v| == 0.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// RotZ returns v rotated by rad around the z axis.
+func (v Vec3) RotZ(rad float64) Vec3 {
+	s, c := math.Sincos(rad)
+	return Vec3{c*v.X - s*v.Y, s*v.X + c*v.Y, v.Z}
+}
+
+// RotAxis returns v rotated by rad around the unit axis n (Rodrigues formula).
+// The axis is normalized internally; a zero axis returns v unchanged.
+func (v Vec3) RotAxis(n Vec3, rad float64) Vec3 {
+	n = n.Normalize()
+	if n == (Vec3{}) {
+		return v
+	}
+	s, c := math.Sincos(rad)
+	return v.Scale(c).
+		Add(n.Cross(v).Scale(s)).
+		Add(n.Scale(n.Dot(v) * (1 - c)))
+}
+
+// XY projects v onto the board plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// Lift raises a 2D point to height z.
+func (v Vec2) Lift(z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// AngleBetween returns the unsigned angle in [0, π] between two 3D vectors.
+// If either vector is zero the result is 0.
+func AngleBetween(a, b Vec3) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (na * nb)
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c)
+}
+
+// AxisAngle returns the unsigned acute angle in [0, π/2] between two axis
+// directions (orientation lines rather than vectors): axes a and -a are the
+// same magnetic axis, so the angle is folded into the first quadrant.
+//
+// This is the alpha_ij of the paper's EMD rule EMD = PEMD * cos(alpha).
+func AxisAngle(a, b Vec3) float64 {
+	ang := AngleBetween(a, b)
+	if ang > math.Pi/2 {
+		ang = math.Pi - ang
+	}
+	return ang
+}
+
+// Deg converts radians to degrees.
+func Deg(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Rad converts degrees to radians.
+func Rad(deg float64) float64 { return deg * math.Pi / 180 }

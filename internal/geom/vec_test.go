@@ -1,0 +1,171 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Basics(t *testing.T) {
+	a, b := V2(1, 2), V2(3, -4)
+	if got := a.Add(b); got != V2(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V2(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(b); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := b.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := V2(0, 3).Dist(V2(4, 0)); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+}
+
+func TestVec2Rot(t *testing.T) {
+	v := V2(1, 0).Rot(math.Pi / 2)
+	if !close(v.X, 0, eps) || !close(v.Y, 1, eps) {
+		t.Errorf("Rot 90° = %v", v)
+	}
+	v = V2(1, 1).Rot(math.Pi)
+	if !close(v.X, -1, eps) || !close(v.Y, -1, eps) {
+		t.Errorf("Rot 180° = %v", v)
+	}
+}
+
+func TestVec2Normalize(t *testing.T) {
+	if got := V2(0, 0).Normalize(); got != V2(0, 0) {
+		t.Errorf("Normalize zero = %v", got)
+	}
+	n := V2(3, 4).Normalize()
+	if !close(n.Norm(), 1, eps) {
+		t.Errorf("Normalize |v| = %v", n.Norm())
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	a, b := V3(1, 0, 0), V3(0, 1, 0)
+	if got := a.Cross(b); got != V3(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := b.Cross(a); got != V3(0, 0, -1) {
+		t.Errorf("Cross reversed = %v", got)
+	}
+	if got := V3(1, 2, 2).Norm(); got != 3 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Dot(b); got != 0 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVec3RotZ(t *testing.T) {
+	v := V3(1, 0, 5).RotZ(math.Pi / 2)
+	if !close(v.X, 0, eps) || !close(v.Y, 1, eps) || v.Z != 5 {
+		t.Errorf("RotZ = %v", v)
+	}
+}
+
+func TestVec3RotAxis(t *testing.T) {
+	// Rotating around z must match RotZ.
+	v := V3(1, 2, 3)
+	a := v.RotAxis(V3(0, 0, 1), 0.7)
+	b := v.RotZ(0.7)
+	if a.Dist(b) > 1e-12 {
+		t.Errorf("RotAxis z mismatch: %v vs %v", a, b)
+	}
+	// Rotating x-axis around y by 90° gives -z.
+	w := V3(1, 0, 0).RotAxis(V3(0, 1, 0), math.Pi/2)
+	if !close(w.X, 0, eps) || !close(w.Z, -1, eps) {
+		t.Errorf("RotAxis y = %v", w)
+	}
+	// Zero axis is identity.
+	if got := v.RotAxis(V3(0, 0, 0), 1); got != v {
+		t.Errorf("RotAxis zero axis = %v", got)
+	}
+}
+
+func TestRotAxisPreservesNorm(t *testing.T) {
+	m := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return math.Mod(x, 100)
+	}
+	f := func(x, y, z, ax, ay, az, ang float64) bool {
+		v := V3(m(x), m(y), m(z))
+		w := v.RotAxis(V3(m(ax), m(ay), m(az)), m(ang))
+		return close(v.Norm(), w.Norm(), 1e-9*(1+v.Norm()))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	if got := AngleBetween(V3(1, 0, 0), V3(0, 1, 0)); !close(got, math.Pi/2, eps) {
+		t.Errorf("90° = %v", got)
+	}
+	if got := AngleBetween(V3(1, 0, 0), V3(-1, 0, 0)); !close(got, math.Pi, eps) {
+		t.Errorf("180° = %v", got)
+	}
+	if got := AngleBetween(V3(0, 0, 0), V3(1, 0, 0)); got != 0 {
+		t.Errorf("zero vector = %v", got)
+	}
+	// Numerically parallel vectors must not NaN from acos(>1).
+	a := V3(1, 1, 1).Scale(1e-7)
+	if got := AngleBetween(a, a); math.IsNaN(got) || !close(got, 0, 1e-6) {
+		t.Errorf("parallel = %v", got)
+	}
+}
+
+func TestAxisAngleFolds(t *testing.T) {
+	// Axis and its negation are the same magnetic axis.
+	if got := AxisAngle(V3(1, 0, 0), V3(-1, 0, 0)); !close(got, 0, eps) {
+		t.Errorf("antiparallel axes = %v", got)
+	}
+	if got := AxisAngle(V3(1, 0, 0), V3(0, 1, 0)); !close(got, math.Pi/2, eps) {
+		t.Errorf("orthogonal axes = %v", got)
+	}
+	got := AxisAngle(V3(1, 0, 0), V3(-1, 1, 0)) // 135° folds to 45°
+	if !close(got, math.Pi/4, 1e-12) {
+		t.Errorf("135° folds to %v", Deg(got))
+	}
+}
+
+func TestDegRadRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		x = math.Mod(x, 1e6)
+		return close(Rad(Deg(x)), x, 1e-9*(1+math.Abs(x)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiftXY(t *testing.T) {
+	p := V2(2, 3).Lift(7)
+	if p != V3(2, 3, 7) {
+		t.Errorf("Lift = %v", p)
+	}
+	if p.XY() != V2(2, 3) {
+		t.Errorf("XY = %v", p.XY())
+	}
+}

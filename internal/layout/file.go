@@ -1,0 +1,374 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// The ASCII file interface of the placement tool. Lengths are millimeters,
+// angles degrees. Grammar (one statement per line, '#' comments):
+//
+//	DESIGN <name>
+//	BOARDS <1|2>
+//	CLEARANCE <mm>
+//	EDGECLEARANCE <mm>
+//	AREA <name> <board> <x1> <y1> <x2> <y2> [<x3> <y3> ...]   (>= 3 vertices)
+//	KEEPOUT <name> <board> <zoff> <height> <x0> <y0> <x1> <y1>
+//	COMP <ref> <w> <l> <h> [GROUP <g>] [AXIS <x> <y> <z>] [ROT <d1,d2,...>]
+//	     [AREA <name>] [BOARD <b>] [PREPLACED <x> <y> <rotdeg>]
+//	     [AT <x> <y> <rotdeg>]
+//	NET <name> <maxlen|0> <ref1> <ref2> [...]
+//	PEMD <refA> <refB> <mm>
+//	END
+//
+// AT records a (movable) placement result; PREPLACED additionally fixes it.
+func Read(r io.Reader) (*Design, error) {
+	d := &Design{Boards: 1, Rules: rules.NewSet(nil)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	done := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if done {
+			return nil, fmt.Errorf("layout: line %d: content after END", lineNo)
+		}
+		f := strings.Fields(line)
+		var err error
+		switch strings.ToUpper(f[0]) {
+		case "DESIGN":
+			if len(f) < 2 {
+				err = fmt.Errorf("DESIGN needs a name")
+			} else {
+				d.Name = strings.Join(f[1:], " ")
+			}
+		case "BOARDS":
+			err = parseInt(f, 1, &d.Boards)
+		case "CLEARANCE":
+			err = parseMM(f, 1, &d.Clearance)
+		case "EDGECLEARANCE":
+			err = parseMM(f, 1, &d.EdgeClearance)
+		case "AREA":
+			err = parseArea(d, f)
+		case "KEEPOUT":
+			err = parseKeepout(d, f)
+		case "COMP":
+			err = parseComp(d, f)
+		case "NET":
+			err = parseNet(d, f)
+		case "PEMD":
+			err = parsePEMD(d, f)
+		case "END":
+			done = true
+		default:
+			err = fmt.Errorf("unknown statement %q", f[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("layout: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadString is Read on a string.
+func ReadString(s string) (*Design, error) { return Read(strings.NewReader(s)) }
+
+func parseInt(f []string, i int, out *int) error {
+	if len(f) <= i {
+		return fmt.Errorf("missing value")
+	}
+	v, err := strconv.Atoi(f[i])
+	if err != nil {
+		return fmt.Errorf("bad integer %q", f[i])
+	}
+	*out = v
+	return nil
+}
+
+func parseMM(f []string, i int, out *float64) error {
+	if len(f) <= i {
+		return fmt.Errorf("missing value")
+	}
+	v, err := strconv.ParseFloat(f[i], 64)
+	if err != nil {
+		return fmt.Errorf("bad number %q", f[i])
+	}
+	*out = v * 1e-3
+	return nil
+}
+
+func parseFloats(f []string) ([]float64, error) {
+	out := make([]float64, len(f))
+	for i, s := range f {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseArea(d *Design, f []string) error {
+	if len(f) < 9 || (len(f)-3)%2 != 0 {
+		return fmt.Errorf("AREA needs a name, board and >= 3 vertex pairs")
+	}
+	board, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad board %q", f[2])
+	}
+	vals, err := parseFloats(f[3:])
+	if err != nil {
+		return err
+	}
+	poly := make(geom.Polygon, len(vals)/2)
+	for i := range poly {
+		poly[i] = geom.V2(vals[2*i]*1e-3, vals[2*i+1]*1e-3)
+	}
+	d.Areas = append(d.Areas, Area{Name: f[1], Board: board, Poly: poly})
+	return nil
+}
+
+func parseKeepout(d *Design, f []string) error {
+	if len(f) != 9 {
+		return fmt.Errorf("KEEPOUT needs name board zoff height x0 y0 x1 y1")
+	}
+	board, err := strconv.Atoi(f[2])
+	if err != nil {
+		return fmt.Errorf("bad board %q", f[2])
+	}
+	vals, err := parseFloats(f[3:])
+	if err != nil {
+		return err
+	}
+	box := geom.CuboidOf(
+		geom.R(vals[2]*1e-3, vals[3]*1e-3, vals[4]*1e-3, vals[5]*1e-3),
+		vals[0]*1e-3, vals[1]*1e-3)
+	d.Keepouts = append(d.Keepouts, Keepout{Name: f[1], Board: board, Box: box})
+	return nil
+}
+
+func parseComp(d *Design, f []string) error {
+	if len(f) < 5 {
+		return fmt.Errorf("COMP needs ref w l h")
+	}
+	dims, err := parseFloats(f[2:5])
+	if err != nil {
+		return err
+	}
+	c := &Component{
+		Ref: f[1],
+		W:   dims[0] * 1e-3, L: dims[1] * 1e-3, H: dims[2] * 1e-3,
+	}
+	i := 5
+	for i < len(f) {
+		switch strings.ToUpper(f[i]) {
+		case "GROUP":
+			if i+1 >= len(f) {
+				return fmt.Errorf("GROUP needs a name")
+			}
+			c.Group = f[i+1]
+			i += 2
+		case "AXIS":
+			if i+3 >= len(f) {
+				return fmt.Errorf("AXIS needs x y z")
+			}
+			v, err := parseFloats(f[i+1 : i+4])
+			if err != nil {
+				return err
+			}
+			c.Axis = geom.V3(v[0], v[1], v[2]).Normalize()
+			i += 4
+		case "ROT":
+			if i+1 >= len(f) {
+				return fmt.Errorf("ROT needs a degree list")
+			}
+			for _, s := range strings.Split(f[i+1], ",") {
+				deg, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return fmt.Errorf("bad rotation %q", s)
+				}
+				c.AllowedRot = append(c.AllowedRot, geom.Rad(deg))
+			}
+			i += 2
+		case "AREA":
+			if i+1 >= len(f) {
+				return fmt.Errorf("AREA needs a name")
+			}
+			c.AreaName = f[i+1]
+			i += 2
+		case "BOARD":
+			if i+1 >= len(f) {
+				return fmt.Errorf("BOARD needs an index")
+			}
+			b, err := strconv.Atoi(f[i+1])
+			if err != nil {
+				return fmt.Errorf("bad board %q", f[i+1])
+			}
+			c.Board = b
+			i += 2
+		case "PREPLACED", "AT":
+			if i+3 >= len(f) {
+				return fmt.Errorf("%s needs x y rotdeg", f[i])
+			}
+			v, err := parseFloats(f[i+1 : i+4])
+			if err != nil {
+				return err
+			}
+			c.Center = geom.V2(v[0]*1e-3, v[1]*1e-3)
+			c.Rot = geom.Rad(v[2])
+			c.Placed = true
+			c.Preplaced = strings.EqualFold(f[i], "PREPLACED")
+			i += 4
+		default:
+			return fmt.Errorf("unknown COMP attribute %q", f[i])
+		}
+	}
+	d.Comps = append(d.Comps, c)
+	return nil
+}
+
+func parseNet(d *Design, f []string) error {
+	if len(f) < 5 {
+		return fmt.Errorf("NET needs name maxlen and >= 2 refs")
+	}
+	maxMM, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return fmt.Errorf("bad max length %q", f[2])
+	}
+	d.Nets = append(d.Nets, Net{Name: f[1], MaxLength: maxMM * 1e-3, Refs: f[3:]})
+	return nil
+}
+
+func parsePEMD(d *Design, f []string) error {
+	if len(f) != 4 {
+		return fmt.Errorf("PEMD needs refA refB mm")
+	}
+	mm, err := strconv.ParseFloat(f[3], 64)
+	if err != nil || mm < 0 {
+		return fmt.Errorf("bad distance %q", f[3])
+	}
+	d.Rules.Add(rules.Rule{RefA: f[1], RefB: f[2], PEMD: mm * 1e-3})
+	return nil
+}
+
+// Write serialises the design in the ASCII format of Read, including any
+// placement state (AT/PREPLACED), so layouts round-trip.
+func Write(w io.Writer, d *Design) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("DESIGN %s\nBOARDS %d\nCLEARANCE %.4f\n", d.Name, d.Boards, d.Clearance*1e3); err != nil {
+		return err
+	}
+	if d.EdgeClearance > 0 {
+		if err := p("EDGECLEARANCE %.4f\n", d.EdgeClearance*1e3); err != nil {
+			return err
+		}
+	}
+	for _, a := range d.Areas {
+		if err := p("AREA %s %d", a.Name, a.Board); err != nil {
+			return err
+		}
+		for _, v := range a.Poly {
+			if err := p(" %.4f %.4f", v.X*1e3, v.Y*1e3); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+	for _, k := range d.Keepouts {
+		if err := p("KEEPOUT %s %d %.4f %.4f %.4f %.4f %.4f %.4f\n",
+			k.Name, k.Board, k.Box.Z0*1e3, k.Box.Height()*1e3,
+			k.Box.Base.Min.X*1e3, k.Box.Base.Min.Y*1e3,
+			k.Box.Base.Max.X*1e3, k.Box.Base.Max.Y*1e3); err != nil {
+			return err
+		}
+	}
+	for _, c := range d.Comps {
+		if err := p("COMP %s %.4f %.4f %.4f", c.Ref, c.W*1e3, c.L*1e3, c.H*1e3); err != nil {
+			return err
+		}
+		if c.Group != "" {
+			if err := p(" GROUP %s", c.Group); err != nil {
+				return err
+			}
+		}
+		if c.Axis != (geom.Vec3{}) {
+			if err := p(" AXIS %.6f %.6f %.6f", c.Axis.X, c.Axis.Y, c.Axis.Z); err != nil {
+				return err
+			}
+		}
+		if len(c.AllowedRot) > 0 {
+			degs := make([]string, len(c.AllowedRot))
+			for i, r := range c.AllowedRot {
+				degs[i] = strconv.FormatFloat(geom.Deg(r), 'f', -1, 64)
+			}
+			if err := p(" ROT %s", strings.Join(degs, ",")); err != nil {
+				return err
+			}
+		}
+		if c.AreaName != "" {
+			if err := p(" AREA %s", c.AreaName); err != nil {
+				return err
+			}
+		}
+		if c.Board != 0 {
+			if err := p(" BOARD %d", c.Board); err != nil {
+				return err
+			}
+		}
+		if c.Placed {
+			kw := "AT"
+			if c.Preplaced {
+				kw = "PREPLACED"
+			}
+			if err := p(" %s %.4f %.4f %.4f", kw, c.Center.X*1e3, c.Center.Y*1e3, geom.Deg(c.Rot)); err != nil {
+				return err
+			}
+		}
+		if err := p("\n"); err != nil {
+			return err
+		}
+	}
+	for _, n := range d.Nets {
+		if err := p("NET %s %.4f %s\n", n.Name, n.MaxLength*1e3, strings.Join(n.Refs, " ")); err != nil {
+			return err
+		}
+	}
+	if d.Rules != nil {
+		rs := append([]rules.Rule(nil), d.Rules.Rules...)
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].RefA != rs[j].RefA {
+				return rs[i].RefA < rs[j].RefA
+			}
+			return rs[i].RefB < rs[j].RefB
+		})
+		for _, r := range rs {
+			if err := p("PEMD %s %s %.4f\n", r.RefA, r.RefB, r.PEMD*1e3); err != nil {
+				return err
+			}
+		}
+	}
+	return p("END\n")
+}

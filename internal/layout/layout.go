@@ -1,0 +1,292 @@
+// Package layout models the placement tool's view of a design: one or two
+// rigidly connected boards, arbitrary placement areas (keepins), 3D
+// keepouts with z-offset, components with allowed rotation angles and
+// functional groups, electrical nets with length limits, and the pairwise
+// minimum-distance rules produced by the EMI prediction — everything the
+// paper lists as design rules its tool handles.
+//
+// All geometry is SI meters internally; the ASCII file interface uses
+// millimeters (and degrees for angles) as is conventional in PCB tooling.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+// DefaultRotations is the standard set of allowed component rotations.
+var DefaultRotations = []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+
+// Component is a placeable part.
+type Component struct {
+	Ref     string
+	W, L, H float64 // body at rotation 0: extent in x, y, z
+
+	// Magnetic axis in the local frame at rotation 0; zero for parts
+	// without a field structure. Only the direction matters.
+	Axis geom.Vec3
+
+	Group      string    // functional group name; "" = none
+	AreaName   string    // required placement area; "" = any area of its board
+	AllowedRot []float64 // allowed rotations in radians; nil = DefaultRotations
+
+	Preplaced bool // fixed by the user; the placer must not move it
+
+	// Placement state.
+	Placed bool
+	Center geom.Vec2
+	Rot    float64
+	Board  int // 0 or 1
+}
+
+// Rotations returns the allowed rotations (defaulted).
+func (c *Component) Rotations() []float64 {
+	if len(c.AllowedRot) == 0 {
+		return DefaultRotations
+	}
+	return c.AllowedRot
+}
+
+// Footprint returns the rectilinear approximation of the rotated body at
+// its current placement.
+func (c *Component) Footprint() geom.Rect {
+	return geom.RotatedAABB(c.Center, c.W, c.L, c.Rot)
+}
+
+// FootprintAt returns the footprint for a hypothetical placement.
+func (c *Component) FootprintAt(center geom.Vec2, rot float64) geom.Rect {
+	return geom.RotatedAABB(center, c.W, c.L, rot)
+}
+
+// Body returns the component's cuboid at its current placement.
+func (c *Component) Body() geom.Cuboid {
+	return geom.CuboidOf(c.Footprint(), 0, c.H)
+}
+
+// MagneticAxis returns the placed magnetic axis (zero if non-magnetic).
+func (c *Component) MagneticAxis() geom.Vec3 {
+	return c.AxisAt(c.Rot)
+}
+
+// AxisAt returns the magnetic axis for a hypothetical rotation.
+func (c *Component) AxisAt(rot float64) geom.Vec3 {
+	if c.Axis == (geom.Vec3{}) {
+		return geom.Vec3{}
+	}
+	return c.Axis.RotZ(rot)
+}
+
+// Area is a named placement region (keepin) on a board.
+type Area struct {
+	Name  string
+	Board int
+	Poly  geom.Polygon
+}
+
+// Keepout is a forbidden volume on a board; Z0 > 0 models keepouts that
+// hover above low components ("3D keepouts with/without z-offset").
+type Keepout struct {
+	Name  string
+	Board int
+	Box   geom.Cuboid
+}
+
+// Net connects component references; MaxLength (0 = unlimited) bounds the
+// net's star length from the component centers.
+type Net struct {
+	Name      string
+	Refs      []string
+	MaxLength float64
+}
+
+// Design is a complete placement problem and, once solved, its solution.
+type Design struct {
+	Name      string
+	Boards    int // 1 or 2
+	Clearance float64
+
+	// EdgeClearance is the minimum distance between any component
+	// footprint and the placement-area boundary (board edge); 0 allows
+	// parts to touch the edge.
+	EdgeClearance float64
+	Areas         []Area
+	Keepouts      []Keepout
+	Comps         []*Component
+	Nets          []Net
+	Rules         *rules.Set
+}
+
+// Find returns the component with the given reference, or nil.
+func (d *Design) Find(ref string) *Component {
+	for _, c := range d.Comps {
+		if c.Ref == ref {
+			return c
+		}
+	}
+	return nil
+}
+
+// AreasOf returns the placement areas on the given board, restricted to the
+// named area when name is non-empty.
+func (d *Design) AreasOf(board int, name string) []Area {
+	var out []Area
+	for _, a := range d.Areas {
+		if a.Board != board {
+			continue
+		}
+		if name != "" && a.Name != name {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Groups returns group name → member components, sorted by name.
+func (d *Design) Groups() map[string][]*Component {
+	out := map[string][]*Component{}
+	for _, c := range d.Comps {
+		if c.Group != "" {
+			out[c.Group] = append(out[c.Group], c)
+		}
+	}
+	return out
+}
+
+// GroupNames returns the group names in sorted order.
+func (d *Design) GroupNames() []string {
+	g := d.Groups()
+	names := make([]string, 0, len(g))
+	for n := range g {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NetLength returns the star length of a net: the sum of distances from
+// the members' centers to their centroid. Unplaced members are skipped.
+func (d *Design) NetLength(n Net) float64 {
+	var pts []geom.Vec2
+	for _, ref := range n.Refs {
+		if c := d.Find(ref); c != nil && c.Placed {
+			pts = append(pts, c.Center)
+		}
+	}
+	if len(pts) < 2 {
+		return 0
+	}
+	var centroid geom.Vec2
+	for _, p := range pts {
+		centroid = centroid.Add(p)
+	}
+	centroid = centroid.Scale(1 / float64(len(pts)))
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Dist(centroid)
+	}
+	return sum
+}
+
+// Validate checks structural consistency of the problem definition.
+func (d *Design) Validate() error {
+	if d.Boards < 1 || d.Boards > 2 {
+		return fmt.Errorf("layout: boards = %d, want 1 or 2", d.Boards)
+	}
+	if d.Clearance < 0 {
+		return fmt.Errorf("layout: negative clearance")
+	}
+	if d.EdgeClearance < 0 {
+		return fmt.Errorf("layout: negative edge clearance")
+	}
+	if len(d.Areas) == 0 {
+		return fmt.Errorf("layout: no placement areas")
+	}
+	areaNames := map[string]bool{}
+	for _, a := range d.Areas {
+		if a.Board < 0 || a.Board >= d.Boards {
+			return fmt.Errorf("layout: area %q on invalid board %d", a.Name, a.Board)
+		}
+		if len(a.Poly) < 3 || a.Poly.Area() == 0 {
+			return fmt.Errorf("layout: area %q has a degenerate polygon", a.Name)
+		}
+		areaNames[a.Name] = true
+	}
+	for _, k := range d.Keepouts {
+		if k.Board < 0 || k.Board >= d.Boards {
+			return fmt.Errorf("layout: keepout %q on invalid board %d", k.Name, k.Board)
+		}
+	}
+	refs := map[string]bool{}
+	for _, c := range d.Comps {
+		if c.Ref == "" {
+			return fmt.Errorf("layout: component with empty reference")
+		}
+		if refs[c.Ref] {
+			return fmt.Errorf("layout: duplicate reference %q", c.Ref)
+		}
+		refs[c.Ref] = true
+		if c.W <= 0 || c.L <= 0 || c.H < 0 {
+			return fmt.Errorf("layout: %s has degenerate body %g×%g×%g", c.Ref, c.W, c.L, c.H)
+		}
+		if c.AreaName != "" && !areaNames[c.AreaName] {
+			return fmt.Errorf("layout: %s requires unknown area %q", c.Ref, c.AreaName)
+		}
+		if c.Board < 0 || c.Board >= d.Boards {
+			return fmt.Errorf("layout: %s on invalid board %d", c.Ref, c.Board)
+		}
+		if c.Preplaced && !c.Placed {
+			return fmt.Errorf("layout: %s is preplaced but has no position", c.Ref)
+		}
+	}
+	for _, n := range d.Nets {
+		if len(n.Refs) < 2 {
+			return fmt.Errorf("layout: net %q has fewer than 2 pins", n.Name)
+		}
+		for _, r := range n.Refs {
+			if !refs[r] {
+				return fmt.Errorf("layout: net %q references unknown component %q", n.Name, r)
+			}
+		}
+	}
+	if d.Rules != nil {
+		for _, r := range d.Rules.Rules {
+			if !refs[r.RefA] || !refs[r.RefB] {
+				return fmt.Errorf("layout: rule %s/%s references unknown component", r.RefA, r.RefB)
+			}
+			if r.PEMD < 0 {
+				return fmt.Errorf("layout: rule %s/%s has negative PEMD", r.RefA, r.RefB)
+			}
+		}
+	}
+	return nil
+}
+
+// RuleCount returns the number of minimum-distance rules.
+func (d *Design) RuleCount() int {
+	if d.Rules == nil {
+		return 0
+	}
+	return len(d.Rules.Rules)
+}
+
+// EMDBetween returns the effective minimum distance currently required
+// between two components given their (possibly hypothetical) rotations.
+func (d *Design) EMDBetween(a, b *Component, rotA, rotB float64) float64 {
+	if d.Rules == nil {
+		return 0
+	}
+	pemd, ok := d.Rules.Lookup(a.Ref, b.Ref)
+	if !ok || pemd == 0 {
+		return 0
+	}
+	axA, axB := a.AxisAt(rotA), b.AxisAt(rotB)
+	if axA == (geom.Vec3{}) || axB == (geom.Vec3{}) {
+		return 0
+	}
+	return rules.EMD(pemd, geom.AxisAngle(axA, axB))
+}

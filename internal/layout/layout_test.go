@@ -1,0 +1,245 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rules"
+)
+
+func sampleDesign() *Design {
+	d := &Design{
+		Name:      "test",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []Area{
+			{Name: "main", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.1, 0.08))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	d.Comps = append(d.Comps,
+		&Component{Ref: "C1", W: 0.018, L: 0.008, H: 0.014, Axis: geom.V3(0, 1, 0), Group: "in"},
+		&Component{Ref: "C2", W: 0.018, L: 0.008, H: 0.014, Axis: geom.V3(0, 1, 0), Group: "in"},
+		&Component{Ref: "Q1", W: 0.010, L: 0.010, H: 0.005, Group: "sw"},
+	)
+	d.Nets = append(d.Nets, Net{Name: "vin", MaxLength: 0.1, Refs: []string{"C1", "C2"}})
+	d.Rules.Add(rules.Rule{RefA: "C1", RefB: "C2", PEMD: 0.02})
+	return d
+}
+
+func TestComponentGeometry(t *testing.T) {
+	c := &Component{Ref: "X", W: 0.02, L: 0.01, H: 0.005, Center: geom.V2(0.05, 0.05)}
+	fp := c.Footprint()
+	if math.Abs(fp.W()-0.02) > 1e-12 || math.Abs(fp.H()-0.01) > 1e-12 {
+		t.Errorf("footprint = %v", fp)
+	}
+	c.Rot = math.Pi / 2
+	fp = c.Footprint()
+	if math.Abs(fp.W()-0.01) > 1e-12 || math.Abs(fp.H()-0.02) > 1e-12 {
+		t.Errorf("rotated footprint = %v", fp)
+	}
+	b := c.Body()
+	if b.Z0 != 0 || math.Abs(b.Height()-0.005) > 1e-12 {
+		t.Errorf("body = %+v", b)
+	}
+	if got := c.Rotations(); len(got) != 4 {
+		t.Errorf("default rotations = %v", got)
+	}
+	c.AllowedRot = []float64{0, math.Pi}
+	if got := c.Rotations(); len(got) != 2 {
+		t.Errorf("explicit rotations = %v", got)
+	}
+}
+
+func TestMagneticAxisRotation(t *testing.T) {
+	c := &Component{Ref: "L1", W: 0.01, L: 0.01, H: 0.01, Axis: geom.V3(0, 1, 0)}
+	if ax := c.MagneticAxis(); math.Abs(ax.Y-1) > 1e-12 {
+		t.Errorf("axis = %v", ax)
+	}
+	c.Rot = math.Pi / 2
+	if ax := c.MagneticAxis(); math.Abs(ax.X+1) > 1e-12 {
+		t.Errorf("rotated axis = %v", ax)
+	}
+	nc := &Component{Ref: "Q1", W: 0.01, L: 0.01, H: 0.01}
+	if nc.MagneticAxis() != (geom.Vec3{}) {
+		t.Error("non-magnetic axis must be zero")
+	}
+}
+
+func TestEMDBetween(t *testing.T) {
+	d := sampleDesign()
+	c1, c2 := d.Find("C1"), d.Find("C2")
+	// Parallel axes: full PEMD.
+	if got := d.EMDBetween(c1, c2, 0, 0); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("EMD parallel = %v", got)
+	}
+	// Orthogonal: zero.
+	if got := d.EMDBetween(c1, c2, 0, math.Pi/2); math.Abs(got) > 1e-12 {
+		t.Errorf("EMD orthogonal = %v", got)
+	}
+	// 180°: full again.
+	if got := d.EMDBetween(c1, c2, 0, math.Pi); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("EMD 180° = %v", got)
+	}
+	// Pair without rule: zero.
+	if got := d.EMDBetween(c1, d.Find("Q1"), 0, 0); got != 0 {
+		t.Errorf("EMD unruled = %v", got)
+	}
+}
+
+func TestNetLength(t *testing.T) {
+	d := sampleDesign()
+	d.Find("C1").Placed = true
+	d.Find("C1").Center = geom.V2(0, 0)
+	d.Find("C2").Placed = true
+	d.Find("C2").Center = geom.V2(0.03, 0)
+	// Two pins: star length = 2 × half distance = full distance.
+	if got := d.NetLength(d.Nets[0]); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("net length = %v", got)
+	}
+	// Unplaced member is skipped.
+	d.Find("C2").Placed = false
+	if got := d.NetLength(d.Nets[0]); got != 0 {
+		t.Errorf("partial net length = %v", got)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	d := sampleDesign()
+	g := d.Groups()
+	if len(g["in"]) != 2 || len(g["sw"]) != 1 {
+		t.Errorf("groups = %v", g)
+	}
+	names := d.GroupNames()
+	if len(names) != 2 || names[0] != "in" || names[1] != "sw" {
+		t.Errorf("group names = %v", names)
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	ok := sampleDesign()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid design rejected: %v", err)
+	}
+	check := func(name string, mutate func(*Design)) {
+		d := sampleDesign()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("%s not caught", name)
+		}
+	}
+	check("bad boards", func(d *Design) { d.Boards = 3 })
+	check("negative clearance", func(d *Design) { d.Clearance = -1 })
+	check("no areas", func(d *Design) { d.Areas = nil })
+	check("degenerate area", func(d *Design) { d.Areas[0].Poly = geom.Polygon{{X: 0}, {X: 1}} })
+	check("area on bad board", func(d *Design) { d.Areas[0].Board = 1 })
+	check("duplicate ref", func(d *Design) { d.Comps = append(d.Comps, &Component{Ref: "C1", W: 1, L: 1}) })
+	check("degenerate body", func(d *Design) { d.Comps[0].W = 0 })
+	check("unknown comp area", func(d *Design) { d.Comps[0].AreaName = "nope" })
+	check("comp on bad board", func(d *Design) { d.Comps[0].Board = 1 })
+	check("preplaced without position", func(d *Design) { d.Comps[0].Preplaced = true })
+	check("short net", func(d *Design) { d.Nets = append(d.Nets, Net{Name: "x", Refs: []string{"C1"}}) })
+	check("net with unknown ref", func(d *Design) { d.Nets = append(d.Nets, Net{Name: "x", Refs: []string{"C1", "zz"}}) })
+	check("rule with unknown ref", func(d *Design) { d.Rules.Add(rules.Rule{RefA: "C1", RefB: "zz", PEMD: 0.01}) })
+	check("keepout on bad board", func(d *Design) {
+		d.Keepouts = append(d.Keepouts, Keepout{Name: "k", Board: 1})
+	})
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := sampleDesign()
+	d.Keepouts = append(d.Keepouts, Keepout{
+		Name: "conn", Board: 0,
+		Box: geom.CuboidOf(geom.R(0.08, 0, 0.1, 0.02), 0.002, 0.01),
+	})
+	d.Comps[0].Placed = true
+	d.Comps[0].Preplaced = true
+	d.Comps[0].Center = geom.V2(0.02, 0.03)
+	d.Comps[0].Rot = math.Pi / 2
+	d.Comps[1].Placed = true
+	d.Comps[1].Center = geom.V2(0.06, 0.03)
+	d.Comps[1].AllowedRot = []float64{0, math.Pi / 2}
+	d.Comps[2].AreaName = "main"
+
+	var b strings.Builder
+	if err := Write(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadString(b.String())
+	if err != nil {
+		t.Fatalf("Read(Write): %v\n%s", err, b.String())
+	}
+	if got.Name != "test" || got.Boards != 1 {
+		t.Errorf("header = %q %d", got.Name, got.Boards)
+	}
+	if math.Abs(got.Clearance-0.5e-3) > 1e-9 {
+		t.Errorf("clearance = %v", got.Clearance)
+	}
+	if len(got.Areas) != 1 || len(got.Keepouts) != 1 || len(got.Comps) != 3 || len(got.Nets) != 1 {
+		t.Fatalf("counts: %d areas %d keepouts %d comps %d nets",
+			len(got.Areas), len(got.Keepouts), len(got.Comps), len(got.Nets))
+	}
+	c1 := got.Find("C1")
+	if !c1.Preplaced || !c1.Placed {
+		t.Error("C1 preplacement lost")
+	}
+	if c1.Center.Dist(geom.V2(0.02, 0.03)) > 1e-7 || math.Abs(c1.Rot-math.Pi/2) > 1e-6 {
+		t.Errorf("C1 position = %v rot %v", c1.Center, c1.Rot)
+	}
+	if math.Abs(c1.Axis.Y-1) > 1e-6 {
+		t.Errorf("C1 axis = %v", c1.Axis)
+	}
+	c2 := got.Find("C2")
+	if c2.Preplaced || !c2.Placed {
+		t.Error("C2 AT placement lost or promoted")
+	}
+	if len(c2.AllowedRot) != 2 {
+		t.Errorf("C2 rotations = %v", c2.AllowedRot)
+	}
+	if got.Find("Q1").AreaName != "main" {
+		t.Error("Q1 area lost")
+	}
+	if pemd, ok := got.Rules.Lookup("C1", "C2"); !ok || math.Abs(pemd-0.02) > 1e-7 {
+		t.Errorf("rule = %v %v", pemd, ok)
+	}
+	ko := got.Keepouts[0]
+	if math.Abs(ko.Box.Z0-0.002) > 1e-9 || math.Abs(ko.Box.Height()-0.01) > 1e-9 {
+		t.Errorf("keepout z = %v h %v", ko.Box.Z0, ko.Box.Height())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"BOGUS x",
+		"AREA a 0 0 0 10 0",             // too few vertices
+		"KEEPOUT k 0 0 5 0 0 10",        // wrong arity
+		"COMP",                          // too short
+		"COMP X 10 10 2 WHAT ever",      // unknown attribute
+		"NET n 0 C1",                    // single pin (also unknown)
+		"PEMD a b",                      // short
+		"DESIGN d\nEND\nCOMP X 10 10 2", // content after END
+		"AREA a 0 0 0 10 0 10 10 0 10\nCOMP X 10 10 2 ROT x",
+	}
+	for _, s := range bad {
+		if _, err := ReadString(s + "\n"); err == nil {
+			t.Errorf("ReadString(%q) should fail", s)
+		}
+	}
+}
+
+func TestAreasOf(t *testing.T) {
+	d := sampleDesign()
+	d.Boards = 2
+	d.Areas = append(d.Areas, Area{Name: "top", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.05, 0.05))})
+	if got := d.AreasOf(0, ""); len(got) != 1 || got[0].Name != "main" {
+		t.Errorf("AreasOf(0) = %v", got)
+	}
+	if got := d.AreasOf(1, "top"); len(got) != 1 {
+		t.Errorf("AreasOf(1,top) = %v", got)
+	}
+	if got := d.AreasOf(0, "top"); len(got) != 0 {
+		t.Errorf("AreasOf(0,top) = %v", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package linalg provides the dense LU solvers shared by the circuit
+// solvers (real transient, complex AC) and the electrostatic panel method.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Real is a dense real matrix with a flat backing slice.
+type Real struct {
+	N int
+	V []float64
+}
+
+// NewReal allocates an n×n zero matrix.
+func NewReal(n int) *Real { return &Real{N: n, V: make([]float64, n*n)} }
+
+// At returns element (i, j).
+func (m *Real) At(i, j int) float64 { return m.V[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Real) Set(i, j int, x float64) { m.V[i*m.N+j] = x }
+
+// Add accumulates into element (i, j).
+func (m *Real) Add(i, j int, x float64) { m.V[i*m.N+j] += x }
+
+// Solve performs in-place LU decomposition with partial pivoting and solves
+// m·x = b. The matrix contents are destroyed; b is not modified.
+func (m *Real) Solve(b []float64) ([]float64, error) {
+	n := m.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		best, bestAbs := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(m.At(r, col)); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if bestAbs < 1e-30 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if best != col {
+			for j := 0; j < n; j++ {
+				m.V[col*n+j], m.V[best*n+j] = m.V[best*n+j], m.V[col*n+j]
+			}
+			x[col], x[best] = x[best], x[col]
+		}
+		piv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			m.V[r*n+col] = 0
+			for j := col + 1; j < n; j++ {
+				m.V[r*n+j] -= f * m.V[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m.At(i, j) * x[j]
+		}
+		x[i] = sum / m.At(i, i)
+	}
+	return x, nil
+}
+
+// Complex is a dense complex matrix with a flat backing slice.
+type Complex struct {
+	N int
+	V []complex128
+}
+
+// NewComplex allocates an n×n zero matrix.
+func NewComplex(n int) *Complex { return &Complex{N: n, V: make([]complex128, n*n)} }
+
+// At returns element (i, j).
+func (m *Complex) At(i, j int) complex128 { return m.V[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Complex) Set(i, j int, x complex128) { m.V[i*m.N+j] = x }
+
+// Add accumulates into element (i, j).
+func (m *Complex) Add(i, j int, x complex128) { m.V[i*m.N+j] += x }
+
+// Solve performs in-place LU decomposition with partial pivoting and solves
+// m·x = b. The matrix contents are destroyed; b is not modified.
+func (m *Complex) Solve(b []complex128) ([]complex128, error) {
+	n := m.N
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), n)
+	}
+	x := make([]complex128, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		best, bestAbs := col, cmplx.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := cmplx.Abs(m.At(r, col)); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if bestAbs < 1e-30 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if best != col {
+			for j := 0; j < n; j++ {
+				m.V[col*n+j], m.V[best*n+j] = m.V[best*n+j], m.V[col*n+j]
+			}
+			x[col], x[best] = x[best], x[col]
+		}
+		piv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			m.V[r*n+col] = 0
+			for j := col + 1; j < n; j++ {
+				m.V[r*n+j] -= f * m.V[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= m.At(i, j) * x[j]
+		}
+		x[i] = sum / m.At(i, i)
+	}
+	return x, nil
+}

@@ -1,0 +1,152 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRealKnownSystem(t *testing.T) {
+	// [2 1; 1 3] x = [5; 10] → x = [1; 3].
+	m := NewReal(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := m.Solve([]float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestRealRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		m := &Real{N: n, V: append([]float64(nil), a...)}
+		x, err := m.Solve(b)
+		if err != nil {
+			continue // singular random draw
+		}
+		// Residual against the original matrix.
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+				t.Fatalf("trial %d: residual row %d = %v", trial, i, sum-b[i])
+			}
+		}
+	}
+}
+
+func TestRealSingular(t *testing.T) {
+	m := NewReal(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := m.Solve([]float64{1, 2}); err == nil {
+		t.Error("singular matrix should error")
+	}
+	if _, err := NewReal(2).Solve([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestRealPivoting(t *testing.T) {
+	// Zero pivot in (0,0) requires a row swap.
+	m := NewReal(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := m.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestComplexKnownSystem(t *testing.T) {
+	// (1+i)·x = 2 → x = 1-i.
+	m := NewComplex(1)
+	m.Set(0, 0, complex(1, 1))
+	x, err := m.Solve([]complex128{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(1, -1)) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestComplexRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		a := make([]complex128, n*n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		m := &Complex{N: n, V: append([]complex128(nil), a...)}
+		x, err := m.Solve(b)
+		if err != nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			var sum complex128
+			for j := 0; j < n; j++ {
+				sum += a[i*n+j] * x[j]
+			}
+			if cmplx.Abs(sum-b[i]) > 1e-8*(1+cmplx.Abs(b[i])) {
+				t.Fatalf("trial %d: residual row %d = %v", trial, i, sum-b[i])
+			}
+		}
+	}
+}
+
+func TestSolveDoesNotModifyRHS(t *testing.T) {
+	f := func(a, b, c, d, r1, r2 float64) bool {
+		bound := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 1
+			}
+			return math.Mod(x, 100)
+		}
+		m := NewReal(2)
+		m.Set(0, 0, bound(a)+10) // diagonally dominant, non-singular
+		m.Set(0, 1, bound(b))
+		m.Set(1, 0, bound(c))
+		m.Set(1, 1, bound(d)+200)
+		rhs := []float64{bound(r1), bound(r2)}
+		orig := append([]float64(nil), rhs...)
+		if _, err := m.Solve(rhs); err != nil {
+			return true
+		}
+		return rhs[0] == orig[0] && rhs[1] == orig[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

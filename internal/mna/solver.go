@@ -1,0 +1,217 @@
+// Package mna implements frequency-domain circuit analysis by modified
+// nodal analysis with complex arithmetic. Inductors and voltage sources
+// contribute branch-current unknowns (group 2), which lets mutual
+// inductances — the PEEC coupling results — be stamped directly, exactly as
+// the paper inserts coupling factors between circuit inductances.
+package mna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+)
+
+// Gmin is the conductance added from every node to ground to keep
+// matrices well-conditioned in the presence of floating subcircuits.
+const Gmin = 1e-12
+
+// Analyzer prepares a circuit for repeated AC solves.
+type Analyzer struct {
+	ckt       *netlist.Circuit
+	nodeIdx   map[string]int
+	nodes     []string
+	branches  []*netlist.Element // elements with branch currents: L and V
+	branchIdx map[string]int
+	couplings []coupling
+	n         int // total unknowns = len(nodes) + len(branches)
+}
+
+// coupling is a resolved mutual inductance between two inductor branches.
+type coupling struct {
+	bi, bj int
+	m      float64
+}
+
+// NewAnalyzer validates and indexes the circuit.
+func NewAnalyzer(c *netlist.Circuit) (*Analyzer, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		ckt:       c,
+		nodeIdx:   map[string]int{},
+		branchIdx: map[string]int{},
+	}
+	a.nodes = c.Nodes()
+	for i, n := range a.nodes {
+		a.nodeIdx[n] = i
+	}
+	for _, e := range c.Elements {
+		if e.Kind == netlist.L || e.Kind == netlist.V {
+			a.branchIdx[e.Name] = len(a.branches)
+			a.branches = append(a.branches, e)
+		}
+	}
+	for _, e := range c.Elements {
+		if e.Kind != netlist.K {
+			continue
+		}
+		la, lb := c.Find(e.LA), c.Find(e.LB)
+		m := e.Coup * math.Sqrt(la.Value*lb.Value)
+		a.couplings = append(a.couplings, coupling{
+			bi: a.branchIdx[e.LA],
+			bj: a.branchIdx[e.LB],
+			m:  m,
+		})
+	}
+	a.n = len(a.nodes) + len(a.branches)
+	return a, nil
+}
+
+// Solution holds one AC operating point.
+type Solution struct {
+	Freq float64
+	a    *Analyzer
+	x    []complex128
+}
+
+// node returns the index of a node, or -1 for ground.
+func (a *Analyzer) node(name string) int {
+	if name == "0" {
+		return -1
+	}
+	return a.nodeIdx[name]
+}
+
+// Solve performs one AC analysis at frequency f (Hz). At f = 0 the DC
+// values of the sources drive the circuit (inductors short, capacitors
+// open); otherwise the AC magnitudes and phases do.
+func (a *Analyzer) Solve(f float64) (*Solution, error) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("mna: invalid frequency %g", f)
+	}
+	omega := 2 * math.Pi * f
+	nn := len(a.nodes)
+	m := linalg.NewComplex(a.n)
+	rhs := make([]complex128, a.n)
+
+	// Gmin to ground on every node.
+	for i := 0; i < nn; i++ {
+		m.Add(i, i, complex(Gmin, 0))
+	}
+
+	stampConductance := func(n1, n2 int, y complex128) {
+		if n1 >= 0 {
+			m.Add(n1, n1, y)
+		}
+		if n2 >= 0 {
+			m.Add(n2, n2, y)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			m.Add(n1, n2, -y)
+			m.Add(n2, n1, -y)
+		}
+	}
+
+	for _, e := range a.ckt.Elements {
+		n1, n2 := a.node(e.N1), a.node(e.N2)
+		switch e.Kind {
+		case netlist.R:
+			stampConductance(n1, n2, complex(1/e.Value, 0))
+		case netlist.SW:
+			// In AC analysis the switch is its on-resistance; the EMI flow
+			// replaces switching devices by equivalent noise sources.
+			stampConductance(n1, n2, complex(1/e.Value, 0))
+		case netlist.D:
+			// Diodes are blocking in small-signal EMI analysis.
+			stampConductance(n1, n2, complex(1/e.Roff, 0))
+		case netlist.C:
+			stampConductance(n1, n2, complex(0, omega*e.Value))
+		case netlist.L, netlist.V:
+			b := nn + a.branchIdx[e.Name]
+			// KCL: branch current leaves N1 and enters N2.
+			if n1 >= 0 {
+				m.Add(n1, b, 1)
+				m.Add(b, n1, 1)
+			}
+			if n2 >= 0 {
+				m.Add(n2, b, -1)
+				m.Add(b, n2, -1)
+			}
+			if e.Kind == netlist.L {
+				m.Add(b, b, complex(0, -omega*e.Value))
+			} else {
+				rhs[b] = sourceValue(e.Src, f)
+			}
+		case netlist.I:
+			v := sourceValue(e.Src, f)
+			if n1 >= 0 {
+				rhs[n1] -= v
+			}
+			if n2 >= 0 {
+				rhs[n2] += v
+			}
+		case netlist.K:
+			// handled below via a.couplings
+		}
+	}
+	for _, cp := range a.couplings {
+		bi, bj := nn+cp.bi, nn+cp.bj
+		y := complex(0, -omega*cp.m)
+		m.Add(bi, bj, y)
+		m.Add(bj, bi, y)
+	}
+
+	x, err := m.Solve(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, err)
+	}
+	return &Solution{Freq: f, a: a, x: x}, nil
+}
+
+// sourceValue returns the complex excitation of a source at frequency f.
+func sourceValue(s *netlist.Source, f float64) complex128 {
+	if f == 0 {
+		return complex(s.DC, 0)
+	}
+	return cmplx.Rect(s.ACMag, s.ACPhase)
+}
+
+// NodeVoltage returns the complex voltage of the named node (ground is 0).
+func (s *Solution) NodeVoltage(name string) complex128 {
+	if name == "0" {
+		return 0
+	}
+	i, ok := s.a.nodeIdx[name]
+	if !ok {
+		return cmplx.NaN()
+	}
+	return s.x[i]
+}
+
+// BranchCurrent returns the complex current through the named inductor or
+// voltage source (flowing N1 → N2), or NaN for other elements.
+func (s *Solution) BranchCurrent(name string) complex128 {
+	b, ok := s.a.branchIdx[name]
+	if !ok {
+		return cmplx.NaN()
+	}
+	return s.x[len(s.a.nodes)+b]
+}
+
+// SweepNode solves the circuit at each frequency and returns the complex
+// voltage at the named node.
+func (a *Analyzer) SweepNode(freqs []float64, node string) ([]complex128, error) {
+	out := make([]complex128, len(freqs))
+	for i, f := range freqs {
+		sol, err := a.Solve(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sol.NodeVoltage(node)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package netlist_test
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Circuits round-trip through the SPICE-like text format; engineering
+// suffixes are accepted on input.
+func ExampleParseString() {
+	ckt, err := netlist.ParseString(`* demo filter
+V1 in 0 AC 1
+L1 in out 10u
+C1 out 0 100n
+R1 out 0 50
+K1 L1 L1x 0.0
+L1x aux 0 1u
+.end
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("title:", ckt.Title)
+	fmt.Println("elements:", len(ckt.Elements))
+	fmt.Printf("L1 = %.0f µH\n", ckt.Find("L1").Value*1e6)
+	// Output:
+	// title: demo filter
+	// elements: 6
+	// L1 = 10 µH
+}
+
+func ExampleCircuit_SetCoupling() {
+	ckt := &netlist.Circuit{}
+	ckt.AddL("L1", "a", "0", 1e-6)
+	ckt.AddL("L2", "b", "0", 1e-6)
+	ckt.SetCoupling("L1", "L2", 0.05) // insert
+	ckt.SetCoupling("L2", "L1", 0.08) // update the same pair
+	for _, e := range ckt.Elements {
+		if e.Kind == netlist.K {
+			fmt.Printf("%s k=%.2f\n", e.Name, e.Coup)
+		}
+	}
+	// Output:
+	// K_L1_L2 k=0.08
+}

@@ -1,0 +1,292 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a circuit in the SPICE-like text format produced by
+// Circuit.String. Supported lines:
+//
+//   - comment                       (also lines starting with ';' or '#')
+//     Rname n1 n2 value               resistor
+//     Lname n1 n2 value               inductor
+//     Cname n1 n2 value               capacitor
+//     Kname La Lb k                   mutual coupling
+//     Vname n1 n2 [DC v] [AC mag [ph]] [PULSE(v1 v2 d tr tf w per)]
+//     Iname n1 n2 [DC v] [AC mag [ph]]
+//     Sname n1 n2 ron roff SCHED(delay period ontime)
+//     Dname n1 n2 ron roff            diode
+//     .end                            terminator (optional)
+//
+// Values accept SPICE engineering suffixes (f p n u m k meg g t).
+func Parse(r io.Reader) (*Circuit, error) {
+	c := &Circuit{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch line[0] {
+		case '*', ';', '#':
+			if c.Title == "" {
+				c.Title = strings.TrimSpace(line[1:])
+			}
+			continue
+		}
+		if strings.EqualFold(line, ".end") {
+			break
+		}
+		if err := parseLine(c, line); err != nil {
+			return nil, fmt.Errorf("netlist line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseString is Parse on a string.
+func ParseString(s string) (*Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseLine(c *Circuit, line string) error {
+	fields := tokenize(line)
+	if len(fields) < 4 {
+		return fmt.Errorf("too few fields in %q", line)
+	}
+	name := fields[0]
+	switch strings.ToUpper(name[:1]) {
+	case "R", "L", "C":
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		kind := map[string]Kind{"R": R, "L": L, "C": C}[strings.ToUpper(name[:1])]
+		c.add(&Element{Kind: kind, Name: name, N1: fields[1], N2: fields[2], Value: v})
+	case "K":
+		k, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		c.AddK(name, fields[1], fields[2], k)
+	case "V", "I":
+		src, err := parseSource(fields[3:])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		kind := V
+		if strings.ToUpper(name[:1]) == "I" {
+			kind = I
+		}
+		c.add(&Element{Kind: kind, Name: name, N1: fields[1], N2: fields[2], Src: src})
+	case "S":
+		if len(fields) < 6 {
+			return fmt.Errorf("%s: switch needs ron roff SCHED(...)", name)
+		}
+		ron, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("%s ron: %w", name, err)
+		}
+		roff, err := ParseValue(fields[4])
+		if err != nil {
+			return fmt.Errorf("%s roff: %w", name, err)
+		}
+		args, ok := fnArgs(fields[5], "SCHED")
+		if !ok || len(args) != 3 {
+			return fmt.Errorf("%s: malformed SCHED", name)
+		}
+		c.add(&Element{
+			Kind: SW, Name: name, N1: fields[1], N2: fields[2],
+			Value: ron, Roff: roff,
+			Sched: &Schedule{Delay: args[0], Period: args[1], OnTime: args[2]},
+		})
+	case "D":
+		if len(fields) < 5 {
+			return fmt.Errorf("%s: diode needs ron roff", name)
+		}
+		ron, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("%s ron: %w", name, err)
+		}
+		roff, err := ParseValue(fields[4])
+		if err != nil {
+			return fmt.Errorf("%s roff: %w", name, err)
+		}
+		c.add(&Element{Kind: D, Name: name, N1: fields[1], N2: fields[2], Value: ron, Roff: roff})
+	default:
+		return fmt.Errorf("unknown element prefix in %q", name)
+	}
+	return nil
+}
+
+// parseSource interprets the tail of a V/I line.
+func parseSource(fields []string) (*Source, error) {
+	src := &Source{}
+	i := 0
+	for i < len(fields) {
+		f := strings.ToUpper(fields[i])
+		switch {
+		case f == "DC":
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("DC needs a value")
+			}
+			v, err := ParseValue(fields[i+1])
+			if err != nil {
+				return nil, err
+			}
+			src.DC = v
+			i += 2
+		case f == "AC":
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("AC needs a magnitude")
+			}
+			v, err := ParseValue(fields[i+1])
+			if err != nil {
+				return nil, err
+			}
+			src.ACMag = v
+			i += 2
+			if i < len(fields) {
+				if ph, err := ParseValue(fields[i]); err == nil {
+					src.ACPhase = ph
+					i++
+				}
+			}
+		case strings.HasPrefix(f, "PULSE"):
+			args, ok := fnArgs(fields[i], "PULSE")
+			if !ok || len(args) != 7 {
+				return nil, fmt.Errorf("malformed PULSE in %q", fields[i])
+			}
+			src.Pulse = &Pulse{
+				V1: args[0], V2: args[1], Delay: args[2],
+				Rise: args[3], Fall: args[4], Width: args[5], Period: args[6],
+			}
+			i++
+		default:
+			// Bare number: treat as DC, SPICE style.
+			v, err := ParseValue(fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("unexpected token %q", fields[i])
+			}
+			src.DC = v
+			i++
+		}
+	}
+	return src, nil
+}
+
+// tokenize splits a line into fields but keeps FN(...) groups together even
+// when they contain spaces.
+func tokenize(line string) []string {
+	var out []string
+	var cur strings.Builder
+	depth := 0
+	for _, r := range line {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t' || r == ',') && depth == 0:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// fnArgs extracts the numeric arguments of NAME(a b c ...).
+func fnArgs(tok, name string) ([]float64, bool) {
+	up := strings.ToUpper(tok)
+	if !strings.HasPrefix(up, name+"(") || !strings.HasSuffix(tok, ")") {
+		return nil, false
+	}
+	inner := tok[len(name)+1 : len(tok)-1]
+	parts := strings.FieldsFunc(inner, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := ParseValue(p)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+// ParseValue parses a number with optional SPICE engineering suffix:
+// f(-15) p(-12) n(-9) u(-6) m(-3) k(3) meg(6) g(9) t(12). Any trailing
+// unit letters after the suffix are ignored (e.g. "10uF", "5kOhm").
+func ParseValue(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	low := strings.ToLower(s)
+	// Longest numeric prefix.
+	end := len(low)
+	for end > 0 {
+		if _, err := strconv.ParseFloat(low[:end], 64); err == nil {
+			break
+		}
+		end--
+	}
+	if end == 0 {
+		return 0, fmt.Errorf("unparseable value %q", s)
+	}
+	num, _ := strconv.ParseFloat(low[:end], 64)
+	suffix := low[end:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+		mult = 1
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		mult = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		mult = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		mult = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		mult = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		mult = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		mult = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		mult = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		mult = 1e12
+	default:
+		// Unit-only suffix like "v" or "hz": ignore.
+		mult = 1
+	}
+	v := num * mult
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}

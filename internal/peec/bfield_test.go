@@ -1,0 +1,124 @@
+package peec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSegmentBFieldLongWireLimit(t *testing.T) {
+	// Near the middle of a long wire the field approaches µ0·I/(2π·d).
+	s := Segment{geom.V3(-1, 0, 0), geom.V3(1, 0, 0), 1e-3}
+	i, d := 2.0, 0.01
+	b := SegmentBField(s, i, geom.V3(0, d, 0))
+	want := Mu0 * i / (2 * math.Pi * d)
+	if relErr(b.Norm(), want) > 1e-3 {
+		t.Errorf("|B| = %v, want %v", b.Norm(), want)
+	}
+	// Right-hand rule: current +x, point +y ⇒ B along +z.
+	if b.Z <= 0 || math.Abs(b.X) > 1e-15 || math.Abs(b.Y) > 1e-15 {
+		t.Errorf("B direction = %v, want +z", b)
+	}
+}
+
+func TestSegmentBFieldOnAxisZero(t *testing.T) {
+	s := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 1e-3}
+	if b := SegmentBField(s, 1, geom.V3(2, 0, 0)); b != (geom.Vec3{}) {
+		t.Errorf("on-axis B = %v, want 0", b)
+	}
+	if b := SegmentBField(Segment{}, 1, geom.V3(1, 1, 1)); b != (geom.Vec3{}) {
+		t.Errorf("degenerate segment B = %v", b)
+	}
+}
+
+func TestLoopCenterField(t *testing.T) {
+	// B at the center of a circular loop: µ0·I/(2R).
+	R, i := 0.01, 1.5
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 64, 0.2e-3)
+	b := ring.BField(i, geom.V3(0, 0, 0))
+	want := Mu0 * i / (2 * R)
+	if relErr(b.Norm(), want) > 0.01 {
+		t.Errorf("|B center| = %v, want %v", b.Norm(), want)
+	}
+	if math.Abs(b.Z)/b.Norm() < 0.999 {
+		t.Errorf("center field not axial: %v", b)
+	}
+}
+
+func TestLoopFarFieldDipole(t *testing.T) {
+	// On the loop axis far away: B = µ0·m/(2π·z³) with m = I·A.
+	R, i := 0.005, 1.0
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 48, 0.2e-3)
+	z := 0.1
+	b := ring.BField(i, geom.V3(0, 0, z))
+	m := i * ring.DipoleMoment().Norm()
+	want := Mu0 * m / (2 * math.Pi * z * z * z)
+	if relErr(b.Norm(), want) > 0.01 {
+		t.Errorf("axial far field = %v, want %v", b.Norm(), want)
+	}
+}
+
+func TestBFieldSuperposition(t *testing.T) {
+	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	b := Ring(geom.V3(0.02, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	p := geom.V3(0.01, 0.005, 0.002)
+	sum := a.BField(1, p).Add(b.BField(1, p))
+	both := &Conductor{MuEff: 1}
+	both.Append(a)
+	both.Append(b)
+	if sum.Dist(both.BField(1, p)) > 1e-15 {
+		t.Error("superposition violated")
+	}
+}
+
+func TestBFieldMuEff(t *testing.T) {
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	cored := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	cored.MuEff = 50
+	p := geom.V3(0.02, 0, 0)
+	if relErr(cored.BField(1, p).Norm(), 50*ring.BField(1, p).Norm()) > 1e-12 {
+		t.Error("µeff must scale the stray field")
+	}
+}
+
+func TestFieldMapShape(t *testing.T) {
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	m := FieldMap([]*Conductor{ring}, geom.R(-0.02, -0.02, 0.02, 0.02), 0.001, 9, 7)
+	if len(m) != 7 || len(m[0]) != 9 {
+		t.Fatalf("grid = %dx%d", len(m), len(m[0]))
+	}
+	// The field is strongest near the ring center (middle of the grid).
+	center := m[3][4]
+	corner := m[0][0]
+	if center <= corner {
+		t.Errorf("center %v not stronger than corner %v", center, corner)
+	}
+	// Degenerate grid sizes are clamped.
+	m2 := FieldMap([]*Conductor{ring}, geom.R(-0.01, -0.01, 0.01, 0.01), 0, 1, 1)
+	if len(m2) != 2 || len(m2[0]) != 2 {
+		t.Errorf("clamped grid = %dx%d", len(m2), len(m2[0]))
+	}
+}
+
+func TestMirrorZImage(t *testing.T) {
+	s := Segment{geom.V3(0, 0, 0.003), geom.V3(0.01, 0, 0.003), 1e-3}
+	img := s.MirrorZ(0)
+	if img.A.Z != -0.003 || img.B.Z != -0.003 {
+		t.Errorf("image z = %v, %v", img.A.Z, img.B.Z)
+	}
+	// The image current direction is reversed in x.
+	if img.Dir().X != -s.Dir().X {
+		t.Errorf("image direction = %v", img.Dir())
+	}
+	// Tangential B cancels at the plane surface: Bx,By of source+image ≈
+	// doubled normal? For a horizontal wire the field AT the plane from
+	// wire+image must be purely vertical-free: check tangential-only
+	// component cancellation of Bz is not expected; instead check the
+	// normal component Bz cancels (perfect electric conductor boundary).
+	p := geom.V3(0.005, 0.004, 0)
+	bsum := SegmentBField(s, 1, p).Add(SegmentBField(img, 1, p))
+	if math.Abs(bsum.Z) > 1e-12*bsum.Norm() {
+		t.Errorf("normal B at plane = %v, want 0", bsum.Z)
+	}
+}

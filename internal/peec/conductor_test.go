@@ -1,0 +1,190 @@
+package peec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRingSelfInductanceAnalytic(t *testing.T) {
+	// Circular loop: L = µ0·R·(ln(8R/a) − 1.75) with internal inductance,
+	// matching the per-segment Rosa constant −0.75 used here. The wire must
+	// stay thin relative to the segment length for the thin-wire formula.
+	R, a := 0.01, 0.1e-3
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 64, a)
+	got := ring.SelfInductance()
+	want := Mu0 * R * (math.Log(8*R/a) - 1.75)
+	if relErr(got, want) > 0.08 {
+		t.Errorf("ring L = %v vs analytic %v (relerr %.3f)", got, want, relErr(got, want))
+	}
+}
+
+func TestRingSelfInductanceConverges(t *testing.T) {
+	R, a := 0.01, 0.1e-3
+	l16 := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 16, a).SelfInductance()
+	l64 := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 64, a).SelfInductance()
+	want := Mu0 * R * (math.Log(8*R/a) - 1.75)
+	if relErr(l64, want) > relErr(l16, want)+1e-6 {
+		t.Errorf("finer discretisation further from analytic: n=16 %.3f, n=64 %.3f",
+			relErr(l16, want), relErr(l64, want))
+	}
+}
+
+func TestCoaxialLoopsDipoleLimit(t *testing.T) {
+	// Far-separated coaxial loops: M → µ0·π·a²·b² / (2·d³).
+	a, b := 0.005, 0.004
+	ra := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), a, 32, 0.2e-3)
+	for _, d := range []float64{0.05, 0.08, 0.12} {
+		rb := Ring(geom.V3(0, 0, d), geom.V3(0, 0, 1), b, 32, 0.2e-3)
+		got := Mutual(ra, rb, DefaultOrder)
+		want := Mu0 * math.Pi * a * a * b * b / (2 * d * d * d)
+		if relErr(got, want) > 0.05 {
+			t.Errorf("d=%v: M=%v vs dipole %v (relerr %.3f)", d, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestCouplingFactorProperties(t *testing.T) {
+	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
+	b := Ring(geom.V3(0.03, 0, 0), geom.V3(0, 0, 1), 0.004, 24, 0.2e-3)
+	k := CouplingFactor(a, b, DefaultOrder)
+	if math.Abs(k) > 1 {
+		t.Errorf("|k| = %v > 1", k)
+	}
+	if k == 0 {
+		t.Error("coplanar parallel-axis loops must couple")
+	}
+	// Symmetry.
+	k2 := CouplingFactor(b, a, DefaultOrder)
+	if relErr(k, k2) > 1e-9 {
+		t.Errorf("k(a,b)=%v != k(b,a)=%v", k, k2)
+	}
+	// Monotone decay with distance (the paper's Figure 5 behaviour).
+	prev := math.Abs(k)
+	for _, d := range []float64{0.05, 0.08, 0.12} {
+		bb := Ring(geom.V3(d, 0, 0), geom.V3(0, 0, 1), 0.004, 24, 0.2e-3)
+		kk := math.Abs(CouplingFactor(a, bb, DefaultOrder))
+		if kk >= prev {
+			t.Errorf("|k| did not decay at d=%v: %v >= %v", d, kk, prev)
+		}
+		prev = kk
+	}
+}
+
+func TestOrthogonalAxesDecouple(t *testing.T) {
+	// Rotating one loop's axis by 90° must collapse the coupling — the
+	// physical basis of the paper's EMD = PEMD·cos(alpha) rule.
+	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 32, 0.2e-3)
+	parallel := Ring(geom.V3(0.02, 0, 0), geom.V3(0, 0, 1), 0.005, 32, 0.2e-3)
+	orthogonal := Ring(geom.V3(0.02, 0, 0), geom.V3(0, 1, 0), 0.005, 32, 0.2e-3)
+	kp := math.Abs(CouplingFactor(a, parallel, DefaultOrder))
+	ko := math.Abs(CouplingFactor(a, orthogonal, DefaultOrder))
+	if ko > 0.05*kp {
+		t.Errorf("orthogonal k=%v not << parallel k=%v", ko, kp)
+	}
+}
+
+func TestMuEffScaling(t *testing.T) {
+	air := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
+	cored := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
+	cored.MuEff = 100
+	la, lc := air.SelfInductance(), cored.SelfInductance()
+	if relErr(lc, 100*la) > 1e-12 {
+		t.Errorf("µeff scaling: %v vs %v", lc, 100*la)
+	}
+	// Coupling factor is invariant under the effective-permeability
+	// correction (both L and M scale together).
+	other := Ring(geom.V3(0.03, 0, 0), geom.V3(0, 0, 1), 0.004, 24, 0.2e-3)
+	ka := CouplingFactor(air, other, DefaultOrder)
+	kc := CouplingFactor(cored, other, DefaultOrder)
+	if relErr(ka, kc) > 1e-9 {
+		t.Errorf("k changed under µeff: %v vs %v", ka, kc)
+	}
+}
+
+func TestGroundPlaneReducesCoupling(t *testing.T) {
+	// An ideal shield plane below two coplanar loops must reduce |M| —
+	// the paper's observation that ground planes relax minimum distances.
+	h := 0.002 // loops 2 mm above the plane
+	a := Ring(geom.V3(0, 0, h), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
+	b := Ring(geom.V3(0.02, 0, h), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
+	m := Mutual(a, b, DefaultOrder)
+	mp := MutualWithPlane(a, b, 0, DefaultOrder)
+	if math.Abs(mp) >= math.Abs(m) {
+		t.Errorf("plane did not reduce coupling: %v vs %v", mp, m)
+	}
+}
+
+func TestDipoleMomentRing(t *testing.T) {
+	// m = I·A·n for a planar loop; per unit current, |m| = π·R².
+	R := 0.01
+	ring := Ring(geom.V3(0.002, -0.001, 0.05), geom.V3(0, 0, 1), R, 64, 0.2e-3)
+	m := ring.DipoleMoment()
+	// Polygon area is slightly below the circle area.
+	polyArea := 0.5 * 64 * R * R * math.Sin(2*math.Pi/64)
+	if relErr(m.Norm(), polyArea) > 1e-9 {
+		t.Errorf("|m| = %v, want polygon area %v", m.Norm(), polyArea)
+	}
+	ax := ring.MagneticAxis()
+	if relErr(math.Abs(ax.Z), 1) > 1e-9 {
+		t.Errorf("axis = %v, want ±z", ax)
+	}
+	// Axis follows ring orientation.
+	tilted := Ring(geom.V3(0, 0, 0), geom.V3(1, 0, 1), R, 64, 0.2e-3)
+	ta := tilted.MagneticAxis()
+	want := geom.V3(1, 0, 1).Normalize()
+	if geom.AxisAngle(ta, want) > 1e-6 {
+		t.Errorf("tilted axis = %v, want %v", ta, want)
+	}
+}
+
+func TestDipoleMomentOriginIndependent(t *testing.T) {
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.008, 32, 0.2e-3)
+	moved := ring.Translate(geom.V3(1, 2, 3))
+	if ring.DipoleMoment().Dist(moved.DipoleMoment()) > 1e-12 {
+		t.Error("closed-loop dipole moment must be translation invariant")
+	}
+}
+
+func TestConductorTransforms(t *testing.T) {
+	c := NewPolyline([]geom.Vec3{{X: 0}, {X: 1}}, 1e-3)
+	moved := c.Translate(geom.V3(0, 1, 0))
+	if moved.Segments[0].A != geom.V3(0, 1, 0) {
+		t.Errorf("Translate: %v", moved.Segments[0])
+	}
+	rot := c.RotZAround(geom.V3(0, 0, 0), math.Pi/2)
+	if rot.Segments[0].B.Dist(geom.V3(0, 1, 0)) > 1e-12 {
+		t.Errorf("RotZAround: %v", rot.Segments[0])
+	}
+	// Transforms preserve inductance.
+	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
+	l0 := ring.SelfInductance()
+	l1 := ring.Translate(geom.V3(0.1, 0.2, 0.3)).RotZAround(geom.V3(0, 0, 0), 1.1).SelfInductance()
+	if relErr(l0, l1) > 1e-9 {
+		t.Errorf("rigid transform changed L: %v vs %v", l0, l1)
+	}
+}
+
+func TestNewLoopClosesPolyline(t *testing.T) {
+	pts := []geom.Vec3{{}, {X: 1}, {X: 1, Y: 1}}
+	loop := NewLoop(pts, 1e-3)
+	if len(loop.Segments) != 3 {
+		t.Fatalf("loop segments = %d, want 3", len(loop.Segments))
+	}
+	last := loop.Segments[2]
+	if last.B != pts[0] {
+		t.Errorf("loop not closed: %v", last)
+	}
+	// Too few points: no closing segment.
+	if n := len(NewLoop(pts[:2], 1e-3).Segments); n != 1 {
+		t.Errorf("2-point loop segments = %d", n)
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	c := NewLoop([]geom.Vec3{{}, {X: 1}, {X: 1, Y: 1}, {Y: 1}}, 1e-3)
+	if got := c.TotalLength(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("TotalLength = %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package peec
+
+import "math"
+
+// EllipticKE returns the complete elliptic integrals K(k) and E(k) of
+// modulus k (0 <= k < 1), computed with the arithmetic–geometric mean
+// iteration — the classical fast path for loop-inductance formulas.
+func EllipticKE(k float64) (K, E float64) {
+	if k < 0 || k >= 1 {
+		return math.NaN(), math.NaN()
+	}
+	if k == 0 {
+		return math.Pi / 2, math.Pi / 2
+	}
+	a, b := 1.0, math.Sqrt(1-k*k)
+	c := k
+	sum := c * c / 2
+	pow := 1.0
+	for i := 0; i < 64 && math.Abs(c) > 1e-17; i++ {
+		an := (a + b) / 2
+		bn := math.Sqrt(a * b)
+		c = (a - b) / 2
+		a, b = an, bn
+		pow *= 2
+		sum += pow * c * c / 2
+	}
+	K = math.Pi / (2 * a)
+	E = K * (1 - sum)
+	return K, E
+}
+
+// MutualCoaxialLoops returns the exact mutual inductance of two coaxial
+// circular filament loops of radii ra and rb whose planes are d apart
+// (Maxwell's formula):
+//
+//	M = µ0·√(ra·rb) · [ (2/k − k)·K(k) − (2/k)·E(k) ],
+//	k² = 4·ra·rb / ((ra+rb)² + d²)
+//
+// It anchors the segmented-ring Neumann sums and serves as a fast path for
+// coaxial winding stacks. Degenerate inputs return 0.
+func MutualCoaxialLoops(ra, rb, d float64) float64 {
+	if ra <= 0 || rb <= 0 {
+		return 0
+	}
+	k2 := 4 * ra * rb / ((ra+rb)*(ra+rb) + d*d)
+	if k2 >= 1 { // touching coincident filaments: singular
+		return math.Inf(1)
+	}
+	k := math.Sqrt(k2)
+	K, E := EllipticKE(k)
+	return Mu0 * math.Sqrt(ra*rb) * ((2/k-k)*K - (2/k)*E)
+}

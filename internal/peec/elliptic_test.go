@@ -1,0 +1,85 @@
+package peec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestEllipticKnownValues(t *testing.T) {
+	// K(0) = E(0) = π/2.
+	K, E := EllipticKE(0)
+	if relErr(K, math.Pi/2) > 1e-15 || relErr(E, math.Pi/2) > 1e-15 {
+		t.Errorf("k=0: K=%v E=%v", K, E)
+	}
+	// Reference values (Abramowitz & Stegun) for k² = 0.5:
+	// K ≈ 1.85407467730137, E ≈ 1.35064388104768.
+	K, E = EllipticKE(math.Sqrt(0.5))
+	if relErr(K, 1.85407467730137) > 1e-12 {
+		t.Errorf("K(√0.5) = %.14f", K)
+	}
+	if relErr(E, 1.35064388104768) > 1e-12 {
+		t.Errorf("E(√0.5) = %.14f", E)
+	}
+	// K diverges, E → 1 as k → 1.
+	K, E = EllipticKE(0.999999)
+	if K < 7 || E < 1 || E > 1.01 {
+		t.Errorf("near k=1: K=%v E=%v", K, E)
+	}
+	// Out of domain.
+	if K, _ := EllipticKE(1); !math.IsNaN(K) {
+		t.Error("k=1 should be NaN")
+	}
+	if K, _ := EllipticKE(-0.1); !math.IsNaN(K) {
+		t.Error("negative k should be NaN")
+	}
+}
+
+func TestMutualCoaxialLoopsAgainstNeumann(t *testing.T) {
+	// The segmented-ring Neumann quadrature must converge to Maxwell's
+	// exact filament formula.
+	cases := []struct{ ra, rb, d float64 }{
+		{5e-3, 5e-3, 10e-3},
+		{5e-3, 4e-3, 6e-3},
+		{8e-3, 3e-3, 12e-3},
+		{5e-3, 5e-3, 50e-3},
+	}
+	for _, c := range cases {
+		exact := MutualCoaxialLoops(c.ra, c.rb, c.d)
+		a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), c.ra, 64, 0.05e-3)
+		b := Ring(geom.V3(0, 0, c.d), geom.V3(0, 0, 1), c.rb, 64, 0.05e-3)
+		num := Mutual(a, b, DefaultOrder)
+		if relErr(num, exact) > 0.01 {
+			t.Errorf("ra=%v rb=%v d=%v: Neumann %v vs Maxwell %v (relerr %.4f)",
+				c.ra, c.rb, c.d, num, exact, relErr(num, exact))
+		}
+	}
+}
+
+func TestMutualCoaxialLoopsLimits(t *testing.T) {
+	// Far field → dipole formula µ0·π·ra²·rb²/(2·d³).
+	ra, rb, d := 4e-3, 3e-3, 0.1
+	exact := MutualCoaxialLoops(ra, rb, d)
+	dip := Mu0 * math.Pi * ra * ra * rb * rb / (2 * d * d * d)
+	if relErr(exact, dip) > 0.01 {
+		t.Errorf("far field %v vs dipole %v", exact, dip)
+	}
+	// Degenerate inputs.
+	if MutualCoaxialLoops(0, 1e-3, 1e-3) != 0 {
+		t.Error("zero radius should give 0")
+	}
+	// Coincident filaments are singular.
+	if !math.IsInf(MutualCoaxialLoops(5e-3, 5e-3, 0), 1) {
+		t.Error("coincident loops should be +Inf")
+	}
+	// Monotone decay with separation.
+	prev := math.Inf(1)
+	for _, dd := range []float64{1e-3, 3e-3, 1e-2, 3e-2} {
+		m := MutualCoaxialLoops(5e-3, 5e-3, dd)
+		if m >= prev {
+			t.Errorf("not decaying at d=%v", dd)
+		}
+		prev = m
+	}
+}

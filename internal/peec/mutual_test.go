@@ -1,0 +1,146 @@
+package peec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// relErr returns |a-b| / |b|.
+func relErr(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestMutualParallelAgainstGrover(t *testing.T) {
+	// Two equal parallel filaments: the quadrature must reproduce the
+	// analytic Grover formula over a wide range of distance/length ratios.
+	const l = 0.05 // 50 mm
+	for _, d := range []float64{0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2} {
+		a := Segment{geom.V3(0, 0, 0), geom.V3(l, 0, 0), 0.1e-3}
+		b := Segment{geom.V3(0, d, 0), geom.V3(l, d, 0), 0.1e-3}
+		got := MutualFilaments(a, b, DefaultOrder)
+		want := MutualParallelFilaments(l, d)
+		if relErr(got, want) > 0.02 {
+			t.Errorf("d=%v: quadrature %v vs Grover %v (relerr %.3f)",
+				d, got, want, relErr(got, want))
+		}
+	}
+}
+
+func TestMutualPerpendicularIsZero(t *testing.T) {
+	a := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 1e-3}
+	b := Segment{geom.V3(0, 0.01, 0), geom.V3(0, 0.01, 1), 1e-3}
+	if m := MutualFilaments(a, b, DefaultOrder); m != 0 {
+		t.Errorf("perpendicular mutual = %v, want 0", m)
+	}
+}
+
+func TestMutualAntiParallelNegative(t *testing.T) {
+	a := Segment{geom.V3(0, 0, 0), geom.V3(0.05, 0, 0), 0.1e-3}
+	b := Segment{geom.V3(0.05, 0.01, 0), geom.V3(0, 0.01, 0), 0.1e-3}
+	m := MutualFilaments(a, b, DefaultOrder)
+	if m >= 0 {
+		t.Errorf("anti-parallel mutual = %v, want < 0", m)
+	}
+	// Magnitude must equal the parallel case.
+	mp := MutualFilaments(a, b.Reversed(), DefaultOrder)
+	if relErr(-m, mp) > 1e-12 {
+		t.Errorf("|anti-parallel| %v != parallel %v", -m, mp)
+	}
+}
+
+func TestMutualSymmetric(t *testing.T) {
+	a := Segment{geom.V3(0, 0, 0), geom.V3(0.03, 0.01, 0), 0.2e-3}
+	b := Segment{geom.V3(0.01, 0.02, 0.005), geom.V3(0.05, 0.03, 0.01), 0.2e-3}
+	m1 := MutualFilaments(a, b, DefaultOrder)
+	m2 := MutualFilaments(b, a, DefaultOrder)
+	if relErr(m1, m2) > 1e-9 {
+		t.Errorf("M(a,b)=%v != M(b,a)=%v", m1, m2)
+	}
+}
+
+func TestMutualDegenerateSegments(t *testing.T) {
+	a := Segment{geom.V3(0, 0, 0), geom.V3(0, 0, 0), 1e-3} // zero length
+	b := Segment{geom.V3(0, 0.01, 0), geom.V3(0.05, 0.01, 0), 1e-3}
+	if m := MutualFilaments(a, b, DefaultOrder); m != 0 {
+		t.Errorf("degenerate mutual = %v", m)
+	}
+}
+
+func TestMutualTouchingFilamentsFinite(t *testing.T) {
+	// Collinear filaments sharing an endpoint: the GMD regularisation must
+	// keep the integral finite and positive.
+	a := Segment{geom.V3(0, 0, 0), geom.V3(0.01, 0, 0), 0.5e-3}
+	b := Segment{geom.V3(0.01, 0, 0), geom.V3(0.02, 0, 0), 0.5e-3}
+	m := MutualFilaments(a, b, DefaultOrder)
+	if math.IsNaN(m) || math.IsInf(m, 0) || m <= 0 {
+		t.Errorf("touching collinear mutual = %v", m)
+	}
+}
+
+func TestMutualDecaysWithDistance(t *testing.T) {
+	const l = 0.02
+	prev := math.Inf(1)
+	for _, d := range []float64{0.005, 0.01, 0.02, 0.04, 0.08} {
+		a := Segment{geom.V3(0, 0, 0), geom.V3(l, 0, 0), 0.1e-3}
+		b := Segment{geom.V3(0, d, 0), geom.V3(l, d, 0), 0.1e-3}
+		m := MutualFilaments(a, b, DefaultOrder)
+		if m >= prev {
+			t.Errorf("mutual did not decay at d=%v: %v >= %v", d, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestGroverKnownValue(t *testing.T) {
+	// Two parallel 100 mm wires 10 mm apart: a textbook value of ≈ 46 nH
+	// (Grover). Check the closed form lands in that neighbourhood.
+	m := MutualParallelFilaments(0.1, 0.01)
+	if m < 40e-9 || m > 52e-9 {
+		t.Errorf("Grover 100mm/10mm = %v H, want ≈ 46 nH", m)
+	}
+}
+
+func TestSelfInductanceStraightWire(t *testing.T) {
+	// 100 mm of 1 mm-diameter wire ≈ 100 nH (the 1 µH/m rule of thumb the
+	// EMI community uses, also quoted in the paper's context [5]).
+	l := SelfInductance(0.1, 0.5e-3)
+	if l < 80e-9 || l > 130e-9 {
+		t.Errorf("L(100mm wire) = %v, want ≈ 100 nH", l)
+	}
+	// Longer wire has more inductance per length (log term).
+	if SelfInductance(0.2, 0.5e-3) <= 2*l*0.99 {
+		t.Error("inductance should grow slightly super-linearly with length")
+	}
+	// Degenerate inputs.
+	if SelfInductance(0, 1e-3) != 0 || SelfInductance(0.1, 0) != 0 {
+		t.Error("degenerate self inductance must be 0")
+	}
+	if SelfInductance(1e-4, 1e-3) != 0 {
+		t.Error("l <= r must yield 0")
+	}
+}
+
+func TestSegmentMinDistance(t *testing.T) {
+	a := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0}
+	cases := []struct {
+		b    Segment
+		want float64
+	}{
+		{Segment{geom.V3(0, 1, 0), geom.V3(1, 1, 0), 0}, 1},      // parallel
+		{Segment{geom.V3(0.5, 2, 0), geom.V3(0.5, 1, 0), 0}, 1},  // perpendicular above
+		{Segment{geom.V3(2, 0, 0), geom.V3(3, 0, 0), 0}, 1},      // collinear gap
+		{Segment{geom.V3(0.5, 0, 0), geom.V3(0.5, 1, 0), 0}, 0},  // touching
+		{Segment{geom.V3(0.2, -1, 0), geom.V3(0.2, 1, 0), 0}, 0}, // crossing
+		{Segment{geom.V3(0, 3, 4), geom.V3(1, 3, 4), 0}, 5},      // 3D offset
+	}
+	for i, c := range cases {
+		if got := segmentMinDistance(a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("case %d: dist = %v, want %v", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package place
+
+import (
+	"fmt"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Adviser provides the interactive placement functionality of the tool:
+// move or rotate a selected component and get the online design-rule check
+// back immediately, so the user sees violations (the red circles) while
+// dragging and can minimise the system volume under live constraint
+// control. Moves are undoable.
+type Adviser struct {
+	d       *layout.Design
+	history []moveRecord
+}
+
+type moveRecord struct {
+	ref    string
+	center geom.Vec2
+	rot    float64
+	placed bool
+}
+
+// NewAdviser wraps a design for interactive editing.
+func NewAdviser(d *layout.Design) *Adviser {
+	return &Adviser{d: d}
+}
+
+// Design returns the underlying design.
+func (a *Adviser) Design() *layout.Design { return a.d }
+
+// Report runs the full DRC on the current state.
+func (a *Adviser) Report() *drc.Report { return drc.Check(a.d) }
+
+// Try evaluates a hypothetical move without applying it.
+func (a *Adviser) Try(ref string, center geom.Vec2, rot float64) (*drc.Report, error) {
+	return drc.CheckMove(a.d, ref, center, rot)
+}
+
+// Move applies a move/rotation to a component and returns the online check
+// result. Preplaced components refuse to move.
+func (a *Adviser) Move(ref string, center geom.Vec2, rot float64) (*drc.Report, error) {
+	c := a.d.Find(ref)
+	if c == nil {
+		return nil, fmt.Errorf("adviser: unknown component %q", ref)
+	}
+	if c.Preplaced {
+		return nil, fmt.Errorf("adviser: %q is preplaced and cannot move", ref)
+	}
+	a.history = append(a.history, moveRecord{ref: ref, center: c.Center, rot: c.Rot, placed: c.Placed})
+	c.Center, c.Rot, c.Placed = center, rot, true
+	return drc.Check(a.d), nil
+}
+
+// Undo reverts the most recent Move. It reports whether there was anything
+// to undo.
+func (a *Adviser) Undo() bool {
+	if len(a.history) == 0 {
+		return false
+	}
+	m := a.history[len(a.history)-1]
+	a.history = a.history[:len(a.history)-1]
+	c := a.d.Find(m.ref)
+	if c != nil {
+		c.Center, c.Rot, c.Placed = m.center, m.rot, m.placed
+	}
+	return true
+}
+
+// BoundingBox returns the bounding box of all placed footprints on a board
+// — the quantity a user minimises when compacting the system volume.
+func (a *Adviser) BoundingBox(board int) geom.Rect {
+	var bb geom.Rect
+	first := true
+	for _, c := range a.d.Comps {
+		if !c.Placed || c.Board != board {
+			continue
+		}
+		if first {
+			bb = c.Footprint()
+			first = false
+		} else {
+			bb = bb.Union(c.Footprint())
+		}
+	}
+	return bb
+}

@@ -1,0 +1,145 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// AnnealOptions tunes the simulated-annealing refinement.
+type AnnealOptions struct {
+	Seed       int64   // RNG seed (deterministic for a given seed)
+	Iterations int     // proposal count; 0 = 400 per movable component
+	StartTemp  float64 // initial temperature in cost units; 0 = auto
+	EndTemp    float64 // final temperature; 0 = StartTemp/1000
+
+	// Weights of the cost terms (defaults as in Options).
+	WirelengthWeight float64
+	CompactWeight    float64
+}
+
+// AnnealResult reports the refinement outcome.
+type AnnealResult struct {
+	Accepted              int
+	Proposals             int
+	CostBefore, CostAfter float64
+}
+
+// Anneal refines a legal layout by simulated annealing: random move and
+// rotate proposals are accepted by the Metropolis criterion on a
+// wirelength + compactness cost, but only if the full design-rule set
+// stays green — the annealer explores strictly inside the legal space, so
+// the layout never regresses below legality. The paper classifies layout
+// as NP-hard and reaches for heuristics; this is the classic global
+// heuristic, provided as the quality benchmark for the fast sequential
+// method (see the ablation benchmarks).
+func Anneal(d *layout.Design, board int, opt AnnealOptions) (*AnnealResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if rep := drc.Check(d); !rep.Green() {
+		return nil, &PlaceError{Refs: []string{"(design not legal before annealing)"}}
+	}
+	var movable []*layout.Component
+	for _, c := range d.Comps {
+		if c.Placed && !c.Preplaced && c.Board == board {
+			movable = append(movable, c)
+		}
+	}
+	res := &AnnealResult{}
+	if len(movable) == 0 {
+		return res, nil
+	}
+	iters := opt.Iterations
+	if iters == 0 {
+		iters = 400 * len(movable)
+	}
+	wWire := opt.WirelengthWeight
+	if wWire == 0 {
+		wWire = 1
+	}
+	wCompact := opt.CompactWeight
+	if wCompact == 0 {
+		wCompact = 0.25
+	}
+
+	cost := func() float64 {
+		sum := 0.0
+		for _, n := range d.Nets {
+			sum += wWire * d.NetLength(n)
+		}
+		sum += wCompact * math.Sqrt(boundingArea(d, board))
+		return sum
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cur := cost()
+	res.CostBefore = cur
+
+	t0 := opt.StartTemp
+	if t0 == 0 {
+		t0 = cur * 0.05
+		if t0 == 0 {
+			t0 = 1e-3
+		}
+	}
+	t1 := opt.EndTemp
+	if t1 == 0 {
+		t1 = t0 / 1000
+	}
+	bb := d.AreasOf(board, "")[0].Poly.BBox()
+	for _, a := range d.AreasOf(board, "") {
+		bb = bb.Union(a.Poly.BBox())
+	}
+
+	for it := 0; it < iters; it++ {
+		temp := t0 * math.Pow(t1/t0, float64(it)/float64(iters))
+		c := movable[rng.Intn(len(movable))]
+		oldCenter, oldRot := c.Center, c.Rot
+
+		// Proposal: local jitter (shrinking with temperature), a jump, or
+		// a rotation change.
+		var newCenter geom.Vec2
+		newRot := oldRot
+		switch rng.Intn(4) {
+		case 0: // rotation
+			rots := c.Rotations()
+			newRot = rots[rng.Intn(len(rots))]
+			newCenter = oldCenter
+		case 1: // global jump
+			newCenter = geom.V2(
+				bb.Min.X+rng.Float64()*bb.W(),
+				bb.Min.Y+rng.Float64()*bb.H(),
+			)
+		default: // local move, radius ∝ temperature
+			r := 0.002 + 0.05*temp/t0
+			newCenter = oldCenter.Add(geom.V2(
+				(rng.Float64()*2-1)*r,
+				(rng.Float64()*2-1)*r,
+			))
+		}
+
+		res.Proposals++
+		rep, err := drc.CheckMove(d, c.Ref, newCenter, newRot)
+		if err != nil {
+			return res, err
+		}
+		if !rep.Green() {
+			continue
+		}
+		c.Center, c.Rot = newCenter, newRot
+		nc := cost()
+		delta := nc - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = nc
+			res.Accepted++
+		} else {
+			c.Center, c.Rot = oldCenter, oldRot
+		}
+	}
+	res.CostAfter = cur
+	return res, nil
+}

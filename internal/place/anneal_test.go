@@ -1,0 +1,116 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// placementSnapshot captures positions and rotations for comparison.
+func placementSnapshot(d *layout.Design) map[string][3]float64 {
+	out := map[string][3]float64{}
+	for _, c := range d.Comps {
+		out[c.Ref] = [3]float64{c.Center.X, c.Center.Y, c.Rot}
+	}
+	return out
+}
+
+func snapshotsEqual(a, b map[string][3]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAnnealImprovesCostAndStaysLegal(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(d, 0, AnnealOptions{Seed: 1, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposals == 0 || res.Accepted == 0 {
+		t.Fatalf("annealer did nothing: %+v", res)
+	}
+	if res.CostAfter > res.CostBefore {
+		t.Errorf("cost worsened: %.4f → %.4f", res.CostBefore, res.CostAfter)
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Fatalf("annealed layout not legal:\n%s", rep)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) map[string][3]float64 {
+		d := smallDesign()
+		if _, err := AutoPlace(d, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Anneal(d, 0, AnnealOptions{Seed: seed, Iterations: 1000}); err != nil {
+			t.Fatal(err)
+		}
+		return placementSnapshot(d)
+	}
+	a, b := mk(7), mk(7)
+	if !snapshotsEqual(a, b) {
+		t.Error("same seed produced different layouts")
+	}
+	c := mk(8)
+	if snapshotsEqual(a, c) {
+		t.Error("different seeds should explore differently")
+	}
+}
+
+func TestAnnealRejectsIllegalStart(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Anneal(d, 0, AnnealOptions{Seed: 1, Iterations: 100}); err == nil {
+		t.Error("annealing an illegal layout should error")
+	}
+}
+
+func TestAnnealRespectsPreplaced(t *testing.T) {
+	d := smallDesign()
+	q := d.Find("Q1")
+	q.Preplaced = true
+	q.Placed = true
+	q.Center = geom.V2(0.05, 0.04)
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := q.Center
+	if _, err := Anneal(d, 0, AnnealOptions{Seed: 3, Iterations: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Center != before {
+		t.Error("annealer moved a preplaced part")
+	}
+}
+
+func TestAnnealEmptyBoardNoop(t *testing.T) {
+	d := smallDesign()
+	d.Boards = 2
+	d.Areas = append(d.Areas, layout.Area{
+		Name: "b1", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.05)),
+	})
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anneal(d, 1, AnnealOptions{Seed: 1, Iterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proposals != 0 {
+		t.Errorf("empty board should be a no-op: %+v", res)
+	}
+}

@@ -1,0 +1,138 @@
+package place
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// CompactResult reports what the compaction pass achieved.
+type CompactResult struct {
+	Moves      int     // accepted component moves
+	AreaBefore float64 // bounding-box area before, m²
+	AreaAfter  float64 // bounding-box area after, m²
+}
+
+// Compact shrinks a legal layout towards a smaller system volume — the
+// paper's motivation for the interactive adviser ("a minimization of the
+// system volume is possible since relevant constraints are controlled
+// simultaneously"), automated: components are pulled stepwise towards the
+// occupied-area centroid, accepting only moves that keep the full design
+// rule set green. The design must be legal on entry; the result stays
+// legal. Preplaced parts do not move.
+func Compact(d *layout.Design, board int, maxPasses int) (*CompactResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if maxPasses <= 0 {
+		maxPasses = 6
+	}
+	res := &CompactResult{
+		AreaBefore: boundingArea(d, board),
+	}
+	if rep := drc.Check(d); !rep.Green() {
+		res.AreaAfter = res.AreaBefore
+		return res, &PlaceError{Refs: []string{"(design not legal before compaction)"}}
+	}
+
+	// Movable components, outermost first (they gain the most).
+	for pass := 0; pass < maxPasses; pass++ {
+		target := occupiedCentroid(d, board)
+		order := movableByDistance(d, board, target)
+		improved := false
+		for _, c := range order {
+			dir := target.Sub(c.Center)
+			dist := dir.Norm()
+			if dist < 1e-4 {
+				continue
+			}
+			dir = dir.Scale(1 / dist)
+			// Try progressively smaller steps towards the centroid.
+			for _, frac := range []float64{0.5, 0.25, 0.1} {
+				step := dist * frac
+				if step < 2e-4 {
+					break
+				}
+				cand := c.Center.Add(dir.Scale(step))
+				rep, err := drc.CheckMove(d, c.Ref, cand, c.Rot)
+				if err != nil {
+					return res, err
+				}
+				if rep.Green() {
+					c.Center = cand
+					res.Moves++
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.AreaAfter = boundingArea(d, board)
+	return res, nil
+}
+
+// boundingArea returns the area of the bounding box of the placed
+// footprints on a board.
+func boundingArea(d *layout.Design, board int) float64 {
+	var bb geom.Rect
+	first := true
+	for _, c := range d.Comps {
+		if !c.Placed || c.Board != board {
+			continue
+		}
+		if first {
+			bb = c.Footprint()
+			first = false
+		} else {
+			bb = bb.Union(c.Footprint())
+		}
+	}
+	if first {
+		return 0
+	}
+	return bb.Area()
+}
+
+// occupiedCentroid returns the area-weighted centroid of the placed parts.
+func occupiedCentroid(d *layout.Design, board int) geom.Vec2 {
+	var sum geom.Vec2
+	total := 0.0
+	for _, c := range d.Comps {
+		if !c.Placed || c.Board != board {
+			continue
+		}
+		a := c.W * c.L
+		sum = sum.Add(c.Center.Scale(a))
+		total += a
+	}
+	if total == 0 {
+		return geom.Vec2{}
+	}
+	return sum.Scale(1 / total)
+}
+
+// movableByDistance lists non-preplaced placed components of the board,
+// farthest from the target first.
+func movableByDistance(d *layout.Design, board int, target geom.Vec2) []*layout.Component {
+	var out []*layout.Component
+	for _, c := range d.Comps {
+		if c.Placed && !c.Preplaced && c.Board == board {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di := out[i].Center.Dist(target)
+		dj := out[j].Center.Dist(target)
+		if math.Abs(di-dj) > 1e-12 {
+			return di > dj
+		}
+		return out[i].Ref < out[j].Ref
+	})
+	return out
+}

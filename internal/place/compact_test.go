@@ -1,0 +1,91 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestCompactShrinksLayout(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Artificially spread the parts to the corners first so compaction has
+	// something to do, keeping legality.
+	spread := map[string]geom.Vec2{
+		"C1": {X: 0.010, Y: 0.010},
+		"C2": {X: 0.050, Y: 0.010},
+		"C3": {X: 0.010, Y: 0.042},
+		"C4": {X: 0.050, Y: 0.042},
+		"Q1": {X: 0.030, Y: 0.026},
+	}
+	for ref, pos := range spread {
+		d.Find(ref).Center = pos
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Fatalf("spread layout not legal:\n%s", rep)
+	}
+	res, err := Compact(d, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Moves == 0 {
+		t.Fatal("compaction made no moves")
+	}
+	if res.AreaAfter >= res.AreaBefore {
+		t.Errorf("area did not shrink: %.1f → %.1f cm²",
+			res.AreaBefore*1e4, res.AreaAfter*1e4)
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Fatalf("compacted layout not legal:\n%s", rep)
+	}
+}
+
+func TestCompactRespectsPreplaced(t *testing.T) {
+	d := smallDesign()
+	q := d.Find("Q1")
+	q.Preplaced = true
+	q.Placed = true
+	q.Center = geom.V2(0.052, 0.042)
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := q.Center
+	if _, err := Compact(d, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if q.Center != before {
+		t.Error("compaction moved a preplaced part")
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Fatalf("layout not legal after compaction:\n%s", rep)
+	}
+}
+
+func TestCompactRejectsIllegalInput(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The baseline layout violates EMD rules; compaction must refuse.
+	if _, err := Compact(d, 0, 3); err == nil {
+		t.Error("compaction of an illegal layout should error")
+	}
+}
+
+func TestCompactEmptyBoard(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Board 0 only exists; asking for board 1 is invalid per Validate
+	// (single-board design), so work on a legal but empty selection by
+	// checking boundingArea directly.
+	if a := boundingArea(d, 1); a != 0 {
+		t.Errorf("empty board area = %v", a)
+	}
+	if c := occupiedCentroid(d, 1); c != (geom.Vec2{}) {
+		t.Errorf("empty centroid = %v", c)
+	}
+}

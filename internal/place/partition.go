@@ -1,0 +1,190 @@
+package place
+
+import (
+	"sort"
+
+	"repro/internal/layout"
+)
+
+// partition implements step 2 of the automatic method for two rigidly
+// connected boards: the circuit is bipartitioned and the partitions are
+// assigned to board sides. A Fiduccia–Mattheyses-style pass-based local
+// search minimises the number of nets crossing the boards while keeping the
+// body-area balance within tolerance. Functional groups move as one unit
+// (they must end up in coherent areas) and preplaced components anchor
+// their side. Returns the resulting cut size.
+func partition(d *layout.Design) int {
+	// Build move units: one per functional group plus one per loose
+	// component.
+	type unit struct {
+		refs   []string
+		area   float64
+		board  int
+		locked bool
+	}
+	var units []*unit
+	unitOf := map[string]*unit{}
+
+	groups := d.Groups()
+	var groupNames []string
+	for name := range groups {
+		groupNames = append(groupNames, name)
+	}
+	sort.Strings(groupNames)
+	for _, name := range groupNames {
+		u := &unit{}
+		for _, c := range groups[name] {
+			u.refs = append(u.refs, c.Ref)
+			u.area += c.W * c.L
+			if c.Preplaced {
+				u.locked = true
+				u.board = c.Board
+			}
+			unitOf[c.Ref] = u
+		}
+		units = append(units, u)
+	}
+	for _, c := range d.Comps {
+		if unitOf[c.Ref] != nil {
+			continue
+		}
+		u := &unit{refs: []string{c.Ref}, area: c.W * c.L}
+		if c.Preplaced {
+			u.locked = true
+			u.board = c.Board
+		}
+		unitOf[c.Ref] = u
+		units = append(units, u)
+	}
+
+	// Initial assignment: keep locked sides; distribute the rest by
+	// descending area, preferring the side that avoids new cut nets
+	// (connectivity attraction) and falling back to the lighter side.
+	totalArea := 0.0
+	for _, u := range units {
+		totalArea += u.area
+	}
+	sideArea := [2]float64{}
+	assigned := map[*unit]bool{}
+	for _, u := range units {
+		if u.locked {
+			sideArea[u.board] += u.area
+			assigned[u] = true
+		}
+	}
+	free := make([]*unit, 0, len(units))
+	for _, u := range units {
+		if !u.locked {
+			free = append(free, u)
+		}
+	}
+	sort.SliceStable(free, func(i, j int) bool {
+		if free[i].area != free[j].area {
+			return free[i].area > free[j].area
+		}
+		return free[i].refs[0] < free[j].refs[0]
+	})
+	maxSkew := 0.15 * totalArea
+	// newCuts counts the nets shared between unit u and units already
+	// assigned to the opposite side of candidate board b.
+	newCuts := func(u *unit, b int) int {
+		member := map[string]bool{}
+		for _, r := range u.refs {
+			member[r] = true
+		}
+		n := 0
+		for _, net := range d.Nets {
+			touches, crosses := false, false
+			for _, r := range net.Refs {
+				if member[r] {
+					touches = true
+				} else if o := unitOf[r]; o != nil && assigned[o] && o.board != b {
+					crosses = true
+				}
+			}
+			if touches && crosses {
+				n++
+			}
+		}
+		return n
+	}
+	for _, u := range free {
+		c0, c1 := newCuts(u, 0), newCuts(u, 1)
+		b := 0
+		switch {
+		case c0 < c1:
+			b = 0
+		case c1 < c0:
+			b = 1
+		case sideArea[0] <= sideArea[1]:
+			b = 0
+		default:
+			b = 1
+		}
+		// Respect the balance tolerance where possible.
+		if abs(sideArea[b]+u.area-sideArea[1-b]) > maxSkew &&
+			abs(sideArea[1-b]+u.area-sideArea[b]) <= maxSkew {
+			b = 1 - b
+		}
+		u.board = b
+		sideArea[b] += u.area
+		assigned[u] = true
+	}
+
+	cut := func() int {
+		n := 0
+		for _, net := range d.Nets {
+			seen := [2]bool{}
+			for _, r := range net.Refs {
+				if u := unitOf[r]; u != nil {
+					seen[u.board] = true
+				}
+			}
+			if seen[0] && seen[1] {
+				n++
+			}
+		}
+		return n
+	}
+
+	// FM-style passes: repeatedly take the single best balance-respecting
+	// move; stop when no move reduces the cut.
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		for _, u := range free {
+			before := cut()
+			u.board = 1 - u.board
+			after := cut()
+			newSkew := sideArea[0] - sideArea[1]
+			if u.board == 1 {
+				newSkew -= 2 * u.area
+			} else {
+				newSkew += 2 * u.area
+			}
+			if after < before && abs(newSkew) <= maxSkew {
+				sideArea[1-u.board] -= u.area
+				sideArea[u.board] += u.area
+				improved = true
+			} else {
+				u.board = 1 - u.board // revert
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+
+	for _, u := range units {
+		for _, r := range u.refs {
+			d.Find(r).Board = u.board
+		}
+	}
+	return cut()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

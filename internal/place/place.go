@@ -1,0 +1,222 @@
+// Package place implements the paper's dedicated placement tool for power
+// electronics: an automatic method in three steps —
+//
+//  1. optimal rotation: component angles are chosen to minimise the total
+//     sum of effective minimum distances EMD = PEMD·|cos α|,
+//  2. optional partitioning of the circuit onto two boards,
+//  3. prioritised sequential placement on the continuous plane, with all
+//     placement-relevant objects approximated rectilinearly,
+//
+// plus a wirelength-only baseline placer (the trial-and-error stand-in the
+// paper's "unfavourable" layouts represent) and an interactive placement
+// adviser with online design-rule checks.
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Options tunes the automatic placement method.
+type Options struct {
+	// GridStep is the candidate raster for the continuous-plane search;
+	// 0 chooses max(1 mm, smallest body dimension / 2). The raster only
+	// seeds candidates — positions are continuous values, not grid cells.
+	GridStep float64
+
+	// SkipRotation disables step 1 (ablation).
+	SkipRotation bool
+
+	// Partition enables step 2 when the design has two boards.
+	Partition bool
+
+	// IgnoreEMD makes the placer blind to the minimum-distance rules —
+	// the baseline behaviour of conventional wirelength-driven tools.
+	IgnoreEMD bool
+
+	// Scoring weights; zero values take the defaults 1.0 / 0.5 / 0.25.
+	WirelengthWeight float64
+	GroupWeight      float64
+	CompactWeight    float64
+
+	// MaxRefine bounds how often the raster is halved when a component
+	// finds no legal position; 0 = 2.
+	MaxRefine int
+}
+
+func (o Options) wWire() float64 {
+	if o.WirelengthWeight == 0 {
+		return 1
+	}
+	return o.WirelengthWeight
+}
+
+func (o Options) wGroup() float64 {
+	if o.GroupWeight == 0 {
+		return 0.5
+	}
+	return o.GroupWeight
+}
+
+func (o Options) wCompact() float64 {
+	if o.CompactWeight == 0 {
+		return 0.25
+	}
+	return o.CompactWeight
+}
+
+func (o Options) maxRefine() int {
+	if o.MaxRefine == 0 {
+		return 2
+	}
+	return o.MaxRefine
+}
+
+// Result reports what the automatic method did.
+type Result struct {
+	Placed         int     // components placed by the run
+	RotationPasses int     // passes of the rotation optimiser
+	EMDSumBefore   float64 // Σ EMD over rule pairs before step 1
+	EMDSumAfter    float64 // Σ EMD after step 1
+	CutNets        int     // nets crossing boards after step 2
+	Elapsed        time.Duration
+}
+
+// AutoPlace runs the automatic placement method on the design, mutating the
+// component placements. Preplaced components are never moved. On success
+// the resulting layout passes the full DRC (unless IgnoreEMD baselines it).
+func AutoPlace(d *layout.Design, opt Options) (*Result, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Step 1: optimal rotation.
+	if !opt.SkipRotation && !opt.IgnoreEMD {
+		res.EMDSumBefore = emdSum(d)
+		res.RotationPasses = optimizeRotations(d)
+		res.EMDSumAfter = emdSum(d)
+	}
+
+	// Step 2: partitioning.
+	if opt.Partition && d.Boards == 2 {
+		res.CutNets = partition(d)
+	}
+
+	// Step 3: prioritised sequential placement.
+	placed, err := sequentialPlace(d, opt)
+	res.Placed = placed
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// emdSum is the rotation objective: Σ EMD over all rule pairs at the
+// components' current rotations (unplaced components use their Rot field,
+// which step 1 optimises before placement).
+func emdSum(d *layout.Design) float64 {
+	if d.Rules == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range d.Rules.Rules {
+		a, b := d.Find(r.RefA), d.Find(r.RefB)
+		if a == nil || b == nil {
+			continue
+		}
+		sum += d.EMDBetween(a, b, a.Rot, b.Rot)
+	}
+	return sum
+}
+
+// priority orders the components for sequential placement: the paper's
+// "design rule depending prioritization". More constrained parts (large
+// PEMD totals, big bodies, group membership, area restrictions) go first.
+func priority(d *layout.Design, c *layout.Component) float64 {
+	p := 0.0
+	if d.Rules != nil {
+		for _, r := range d.Rules.Of(c.Ref) {
+			p += r.PEMD * 1000 // meters → strong weight
+		}
+	}
+	p += c.W * c.L * 1e5 // body area
+	if c.Group != "" {
+		p += 2
+	}
+	if c.AreaName != "" {
+		p += 3
+	}
+	return p
+}
+
+// placementOrder returns unplaced components sorted by descending priority
+// (ties broken by reference for determinism).
+func placementOrder(d *layout.Design) []*layout.Component {
+	var order []*layout.Component
+	for _, c := range d.Comps {
+		if !c.Preplaced {
+			order = append(order, c)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		pi, pj := priority(d, order[i]), priority(d, order[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return order[i].Ref < order[j].Ref
+	})
+	return order
+}
+
+// Verify runs the full design-rule check on the placed design.
+func Verify(d *layout.Design) *drc.Report { return drc.Check(d) }
+
+// autoGrid picks the default candidate raster.
+func autoGrid(d *layout.Design) float64 {
+	min := math.Inf(1)
+	for _, c := range d.Comps {
+		if c.W < min {
+			min = c.W
+		}
+		if c.L < min {
+			min = c.L
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 1e-3
+	}
+	return math.Max(1e-3, min/2)
+}
+
+// PlaceError reports the components that found no legal position.
+type PlaceError struct {
+	Refs []string
+}
+
+// Error implements the error interface.
+func (e *PlaceError) Error() string {
+	return fmt.Sprintf("place: no legal position for %v", e.Refs)
+}
+
+// boardCentroid returns the centroid of the placement areas of a board.
+func boardCentroid(d *layout.Design, board int) geom.Vec2 {
+	var sum geom.Vec2
+	n := 0
+	for _, a := range d.AreasOf(board, "") {
+		sum = sum.Add(a.Poly.Centroid())
+		n++
+	}
+	if n == 0 {
+		return geom.Vec2{}
+	}
+	return sum.Scale(1 / float64(n))
+}

@@ -1,0 +1,414 @@
+package place
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+// smallDesign: four magnetic caps with mutual 15 mm PEMD rules on a 60×50
+// mm board, plus a mechanical part and nets.
+func smallDesign() *layout.Design {
+	d := &layout.Design{
+		Name:      "small",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "main", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.05))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	for _, ref := range []string{"C1", "C2", "C3", "C4"} {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 0.012, L: 0.006, H: 0.012, Axis: geom.V3(0, 1, 0),
+		})
+	}
+	d.Comps = append(d.Comps, &layout.Component{Ref: "Q1", W: 0.01, L: 0.01, H: 0.004})
+	for _, pair := range [][2]string{{"C1", "C2"}, {"C2", "C3"}, {"C3", "C4"}, {"C1", "C3"}} {
+		d.Rules.Add(rules.Rule{RefA: pair[0], RefB: pair[1], PEMD: 0.015})
+	}
+	d.Nets = append(d.Nets,
+		layout.Net{Name: "n1", Refs: []string{"C1", "C2", "Q1"}},
+		layout.Net{Name: "n2", Refs: []string{"C3", "C4"}},
+	)
+	return d
+}
+
+func TestAutoPlaceProducesLegalLayout(t *testing.T) {
+	d := smallDesign()
+	res, err := AutoPlace(d, Options{})
+	if err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	if res.Placed != 5 {
+		t.Errorf("placed = %d, want 5", res.Placed)
+	}
+	rep := Verify(d)
+	if !rep.Green() {
+		t.Fatalf("layout not legal:\n%s", rep)
+	}
+	// Every EMD pair is green.
+	for _, p := range rep.Pairs {
+		if !p.OK {
+			t.Errorf("pair %s/%s red", p.RefA, p.RefB)
+		}
+	}
+}
+
+func TestRotationStepReducesEMDSum(t *testing.T) {
+	d := smallDesign()
+	res, err := AutoPlace(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EMDSumAfter > res.EMDSumBefore {
+		t.Errorf("rotation step increased Σ EMD: %v → %v", res.EMDSumBefore, res.EMDSumAfter)
+	}
+	// With 90°-rotatable parallel-axis parts the optimum decouples some
+	// pairs entirely.
+	if res.EMDSumAfter >= res.EMDSumBefore && res.EMDSumBefore > 0 {
+		t.Errorf("expected strict improvement: %v → %v", res.EMDSumBefore, res.EMDSumAfter)
+	}
+}
+
+func TestSkipRotationAblation(t *testing.T) {
+	d1 := smallDesign()
+	if _, err := AutoPlace(d1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	d2 := smallDesign()
+	res2, err := AutoPlace(d2, Options{SkipRotation: true})
+	if err != nil {
+		// Without rotation optimisation the full parallel-axis EMD may
+		// simply not fit — that IS the ablation result.
+		t.Logf("skip-rotation failed to place (acceptable): %v", err)
+		return
+	}
+	if res2.RotationPasses != 0 || res2.EMDSumAfter != 0 {
+		t.Errorf("ablation ran rotation step: %+v", res2)
+	}
+	// Layout must still satisfy rules if it placed everything.
+	if rep := Verify(d2); !rep.Green() {
+		t.Errorf("skip-rotation layout illegal:\n%s", rep)
+	}
+}
+
+func TestBaselineIgnoresEMD(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	rep := Verify(d)
+	// The wirelength-driven baseline packs the caps close together with
+	// parallel axes — exactly the paper's "unfavourable placement". It
+	// must break at least one EMD rule (otherwise the rules were trivial).
+	if len(rep.ByKind(drc.KindEMD)) == 0 {
+		t.Errorf("baseline unexpectedly satisfied all EMD rules:\n%s", rep)
+	}
+	// But it must respect the plain geometric rules.
+	if len(rep.ByKind(drc.KindClearance)) != 0 || len(rep.ByKind(drc.KindContainment)) != 0 {
+		t.Errorf("baseline broke geometric rules:\n%s", rep)
+	}
+}
+
+func TestPreplacedStaysPut(t *testing.T) {
+	d := smallDesign()
+	q := d.Find("Q1")
+	q.Preplaced = true
+	q.Placed = true
+	q.Center = geom.V2(0.05, 0.04)
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if q.Center != geom.V2(0.05, 0.04) {
+		t.Errorf("preplaced moved to %v", q.Center)
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Errorf("layout with preplacement illegal:\n%s", rep)
+	}
+}
+
+func TestKeepoutRespected(t *testing.T) {
+	d := smallDesign()
+	// Tall keepout over the left half: everything must land on the right.
+	d.Keepouts = append(d.Keepouts, layout.Keepout{
+		Name: "housing", Board: 0,
+		Box: geom.CuboidOf(geom.R(0, 0, 0.03, 0.05), 0, 0.05),
+	})
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	for _, c := range d.Comps {
+		if c.Footprint().Min.X < 0.03-1e-9 {
+			t.Errorf("%s at %v under the keepout", c.Ref, c.Center)
+		}
+	}
+}
+
+func TestEdgeClearanceRespected(t *testing.T) {
+	d := smallDesign()
+	d.EdgeClearance = 3e-3
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	board := d.Areas[0].Poly.BBox()
+	for _, c := range d.Comps {
+		fp := c.Footprint()
+		if fp.Min.X < board.Min.X+3e-3-1e-9 || fp.Max.X > board.Max.X-3e-3+1e-9 ||
+			fp.Min.Y < board.Min.Y+3e-3-1e-9 || fp.Max.Y > board.Max.Y-3e-3+1e-9 {
+			t.Errorf("%s at %v violates the edge clearance", c.Ref, fp)
+		}
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Errorf("layout with edge clearance illegal:\n%s", rep)
+	}
+}
+
+func TestUnplaceableReportsError(t *testing.T) {
+	d := smallDesign()
+	// Shrink the board so the EMD rules cannot fit.
+	d.Areas[0].Poly = geom.RectPolygon(geom.R(0, 0, 0.02, 0.015))
+	_, err := AutoPlace(d, Options{})
+	if err == nil {
+		t.Fatal("expected placement failure")
+	}
+	var pe *PlaceError
+	if !errors.As(err, &pe) || len(pe.Refs) == 0 {
+		t.Errorf("error = %v, want PlaceError with refs", err)
+	}
+}
+
+func TestGroupsPlacedCoherently(t *testing.T) {
+	d := smallDesign()
+	d.Find("C1").Group = "in"
+	d.Find("C2").Group = "in"
+	d.Find("C3").Group = "out"
+	d.Find("C4").Group = "out"
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Verify(d)
+	if len(rep.ByKind(drc.KindGroup)) != 0 {
+		t.Errorf("group coherence violated:\n%s", rep)
+	}
+}
+
+func TestTwoBoardPartition(t *testing.T) {
+	d := smallDesign()
+	d.Boards = 2
+	d.Areas = append(d.Areas, layout.Area{
+		Name: "second", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.05)),
+	})
+	res, err := AutoPlace(d, Options{Partition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boards := map[int]int{}
+	for _, c := range d.Comps {
+		boards[c.Board]++
+	}
+	if boards[0] == 0 || boards[1] == 0 {
+		t.Errorf("partition left a board empty: %v (cut %d)", boards, res.CutNets)
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Errorf("two-board layout illegal:\n%s", rep)
+	}
+	// Tightly connected pairs should stay together: the cut is at most
+	// the total net count.
+	if res.CutNets > len(d.Nets) {
+		t.Errorf("cut = %d", res.CutNets)
+	}
+}
+
+func TestPartitionKeepsGroupsTogether(t *testing.T) {
+	d := smallDesign()
+	d.Boards = 2
+	d.Areas = append(d.Areas, layout.Area{
+		Name: "second", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.05)),
+	})
+	d.Find("C1").Group = "in"
+	d.Find("C2").Group = "in"
+	if _, err := AutoPlace(d, Options{Partition: true}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Find("C1").Board != d.Find("C2").Board {
+		t.Error("group split across boards")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d1, d2 := smallDesign(), smallDesign()
+	if _, err := AutoPlace(d1, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AutoPlace(d2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Comps {
+		a, b := d1.Comps[i], d2.Comps[i]
+		if a.Center != b.Center || a.Rot != b.Rot {
+			t.Errorf("%s placed differently: %v/%v vs %v/%v", a.Ref, a.Center, a.Rot, b.Center, b.Rot)
+		}
+	}
+}
+
+func TestAdviserFlow(t *testing.T) {
+	d := smallDesign()
+	if _, err := AutoPlace(d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdviser(d)
+	if !a.Report().Green() {
+		t.Fatal("start state should be green")
+	}
+	c2 := d.Find("C2")
+	origin := c2.Center
+
+	// Try is side-effect free.
+	bad := d.Find("C1").Center.Add(geom.V2(0.002, 0))
+	rep, err := a.Try("C2", bad, d.Find("C1").Rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Green() {
+		t.Error("moving onto C1 should be red")
+	}
+	if c2.Center != origin {
+		t.Error("Try moved the component")
+	}
+
+	// Move applies and reports red; Undo restores green.
+	rep, err = a.Move("C2", bad, d.Find("C1").Rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Green() {
+		t.Error("applied bad move should be red")
+	}
+	if !a.Undo() {
+		t.Fatal("undo failed")
+	}
+	if c2.Center != origin {
+		t.Error("undo did not restore position")
+	}
+	if !a.Report().Green() {
+		t.Error("state after undo should be green")
+	}
+	if a.Undo() {
+		t.Error("empty history should not undo")
+	}
+
+	// Preplaced refuses to move.
+	d.Find("Q1").Preplaced = true
+	if _, err := a.Move("Q1", geom.V2(0, 0), 0); err == nil {
+		t.Error("preplaced move should error")
+	}
+	if _, err := a.Move("zz", geom.V2(0, 0), 0); err == nil {
+		t.Error("unknown ref should error")
+	}
+	// Bounding box covers all parts.
+	bb := a.BoundingBox(0)
+	for _, c := range d.Comps {
+		if c.Placed && !bb.ContainsRect(c.Footprint()) {
+			t.Errorf("bbox misses %s", c.Ref)
+		}
+	}
+}
+
+func TestPlacementOrderPriorities(t *testing.T) {
+	d := smallDesign()
+	refs := SortRefs(d)
+	if len(refs) != 5 {
+		t.Fatalf("order = %v", refs)
+	}
+	// Rule-laden C3 (3 rules) and C1/C2 come before the unconstrained Q1.
+	if refs[len(refs)-1] != "Q1" {
+		t.Errorf("Q1 should be placed last: %v", refs)
+	}
+}
+
+func TestAutoPlaceRandomizedAlwaysLegalOrError(t *testing.T) {
+	// Robustness sweep: across a range of synthetic problem shapes the
+	// placer must either produce a fully legal layout or report a
+	// PlaceError — never a silent illegal result.
+	for seed := 0; seed < 10; seed++ {
+		n := 6 + 3*seed
+		ruleCount := 2 * n
+		groups := seed % 4
+		d := workloadSynthetic(t, n, ruleCount, groups)
+		_, err := AutoPlace(d, Options{})
+		if err != nil {
+			var pe *PlaceError
+			if !errors.As(err, &pe) {
+				t.Errorf("seed %d: unexpected error type %v", seed, err)
+			}
+			continue
+		}
+		if rep := Verify(d); !rep.Green() {
+			t.Errorf("seed %d: placer reported success but layout is illegal:\n%s", seed, rep)
+		}
+	}
+}
+
+// workloadSynthetic mirrors workload.Synthetic without importing it (which
+// would create an import cycle in tests is fine — but keep place
+// self-contained): deterministic mixed component set.
+func workloadSynthetic(t *testing.T, n, ruleCount, groupCount int) *layout.Design {
+	t.Helper()
+	d := &layout.Design{
+		Name:      "synthetic",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.14, 0.11))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	sizes := [][3]float64{
+		{18e-3, 8e-3, 14e-3}, {9e-3, 13e-3, 9e-3}, {7e-3, 4e-3, 3e-3}, {10e-3, 15e-3, 4.5e-3},
+	}
+	var magnetic []string
+	for i := 0; i < n; i++ {
+		s := sizes[i%len(sizes)]
+		ref := fmt.Sprintf("U%02d", i)
+		c := &layout.Component{Ref: ref, W: s[0], L: s[1], H: s[2]}
+		if groupCount > 0 {
+			c.Group = fmt.Sprintf("g%d", i%groupCount)
+		}
+		if i%len(sizes) != 3 {
+			c.Axis = geom.V3(0, 1, 0)
+			magnetic = append(magnetic, ref)
+		}
+		d.Comps = append(d.Comps, c)
+	}
+	added := 0
+	for gap := 1; gap < len(magnetic) && added < ruleCount; gap++ {
+		for i := 0; i+gap < len(magnetic) && added < ruleCount; i++ {
+			pemd := 8e-3 + 9e-3*math.Abs(math.Sin(float64(added)*2.3))
+			d.Rules.Add(rules.Rule{RefA: magnetic[i], RefB: magnetic[i+gap], PEMD: pemd})
+			added++
+		}
+	}
+	return d
+}
+
+func TestEMDSumMatchesManual(t *testing.T) {
+	d := smallDesign()
+	// All at rot 0: parallel axes, Σ EMD = Σ PEMD = 4 × 15 mm.
+	got := emdSum(d)
+	if math.Abs(got-0.06) > 1e-12 {
+		t.Errorf("emdSum = %v, want 0.06", got)
+	}
+	// Rotating C2 by 90° removes C1-C2 and C2-C3 (2 × 15 mm).
+	d.Find("C2").Rot = math.Pi / 2
+	got = emdSum(d)
+	if math.Abs(got-0.03) > 1e-9 {
+		t.Errorf("emdSum after rot = %v, want 0.03", got)
+	}
+}

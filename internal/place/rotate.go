@@ -1,0 +1,79 @@
+package place
+
+import (
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// vecZero is the zero magnetic axis (non-magnetic component).
+var vecZero = geom.Vec3{}
+
+// maxRotationPasses bounds the local search of step 1.
+const maxRotationPasses = 12
+
+// optimizeRotations implements step 1 of the automatic method: choose a
+// rotation for every movable component from its allowed set so that the
+// total sum of effective minimum distances Σ EMD_ij = Σ PEMD_ij·|cos α_ij|
+// is minimal. Orthogonal magnetic axes eliminate distance requirements
+// entirely, so this step decides how much board area the EMC rules will
+// ultimately cost.
+//
+// The objective is minimised by coordinate descent: each pass greedily
+// re-chooses every component's angle given the others; the objective is
+// non-increasing, so the search terminates. Returns the number of passes.
+func optimizeRotations(d *layout.Design) int {
+	if d.Rules == nil || len(d.Rules.Rules) == 0 {
+		return 0
+	}
+	// Only components that appear in rules and may rotate matter.
+	movable := map[string]bool{}
+	for _, r := range d.Rules.Rules {
+		for _, ref := range []string{r.RefA, r.RefB} {
+			c := d.Find(ref)
+			if c != nil && !c.Preplaced && c.AxisAt(0) != (vecZero) && len(c.Rotations()) > 1 {
+				movable[ref] = true
+			}
+		}
+	}
+	passes := 0
+	for ; passes < maxRotationPasses; passes++ {
+		improved := false
+		for _, c := range d.Comps {
+			if !movable[c.Ref] {
+				continue
+			}
+			bestRot, bestCost := c.Rot, partialEMD(d, c, c.Rot)
+			for _, rot := range c.Rotations() {
+				if cost := partialEMD(d, c, rot); cost < bestCost-1e-12 {
+					bestRot, bestCost = rot, cost
+				}
+			}
+			if bestRot != c.Rot {
+				c.Rot = bestRot
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return passes
+}
+
+// partialEMD sums the EMD of all rules touching c when c is at rotation
+// rot and everyone else stays put.
+func partialEMD(d *layout.Design, c *layout.Component, rot float64) float64 {
+	sum := 0.0
+	for _, r := range d.Rules.Of(c.Ref) {
+		other := r.RefB
+		if other == c.Ref {
+			other = r.RefA
+		}
+		o := d.Find(other)
+		if o == nil {
+			continue
+		}
+		sum += d.EMDBetween(c, o, rot, o.Rot)
+	}
+	return sum
+}

@@ -1,0 +1,279 @@
+package place
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// sequentialPlace implements step 3: components are placed one after
+// another in priority order on the continuous plane. For each component a
+// raster of candidate centers inside its allowed areas is evaluated for
+// legality against all design rules; among the legal candidates a weighted
+// cost of net length, group coherence and compactness picks the position.
+// If the raster yields no legal position it is refined (halved) up to
+// opt.MaxRefine times before the component is reported unplaceable.
+func sequentialPlace(d *layout.Design, opt Options) (int, error) {
+	for _, c := range placementOrder(d) {
+		c.Placed = false // re-place movable components from scratch
+	}
+	return placeUnplaced(d, opt)
+}
+
+// placeUnplaced runs the prioritised sequential search for every movable
+// component that currently has no position, leaving placed ones alone —
+// the shared engine of AutoPlace (which unplaces everything first) and
+// Legalize (which rips up only the offenders).
+func placeUnplaced(d *layout.Design, opt Options) (int, error) {
+	grid := opt.GridStep
+	if grid <= 0 {
+		grid = autoGrid(d)
+	}
+	placedCount := 0
+	var failed []string
+
+	for _, c := range placementOrder(d) {
+		if c.Placed {
+			continue
+		}
+		ok := false
+		g := grid
+		for attempt := 0; attempt <= opt.maxRefine(); attempt++ {
+			if best, found := bestCandidate(d, c, g, opt); found {
+				c.Center, c.Rot, c.Placed = best.center, best.rot, true
+				ok = true
+				break
+			}
+			g /= 2
+		}
+		if ok {
+			placedCount++
+		} else {
+			failed = append(failed, c.Ref)
+		}
+	}
+	if len(failed) > 0 {
+		return placedCount, &PlaceError{Refs: failed}
+	}
+	return placedCount, nil
+}
+
+// candidate is a legal placement option with its cost.
+type candidate struct {
+	center geom.Vec2
+	rot    float64
+	cost   float64
+}
+
+// rotationsFor returns the rotations to try during placement. Magnetic
+// components keep the angle chosen by step 1 (unless the caller baselines
+// EMD away); others try all allowed angles, since their rotation only
+// affects the footprint.
+func rotationsFor(c *layout.Component, opt Options) []float64 {
+	if !opt.SkipRotation && !opt.IgnoreEMD && c.AxisAt(0) != vecZero {
+		return []float64{c.Rot}
+	}
+	return c.Rotations()
+}
+
+// bestCandidate scans the raster of the component's allowed areas.
+func bestCandidate(d *layout.Design, c *layout.Component, grid float64, opt Options) (candidate, bool) {
+	best := candidate{cost: math.Inf(1)}
+	found := false
+	for _, area := range d.AreasOf(c.Board, c.AreaName) {
+		bb := area.Poly.BBox()
+		// Inset by half the smaller dimension so tiny parts hug edges.
+		for y := bb.Min.Y; y <= bb.Max.Y+1e-12; y += grid {
+			for x := bb.Min.X; x <= bb.Max.X+1e-12; x += grid {
+				center := geom.V2(x, y)
+				for _, rot := range rotationsFor(c, opt) {
+					if !legalAt(d, c, area, center, rot, opt) {
+						continue
+					}
+					cost := placementCost(d, c, center, opt)
+					if cost < best.cost-1e-12 ||
+						(math.Abs(cost-best.cost) <= 1e-12 && lessPos(center, best.center)) {
+						best = candidate{center: center, rot: rot, cost: cost}
+						found = true
+					}
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+func lessPos(a, b geom.Vec2) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	return a.Y < b.Y
+}
+
+// legalAt checks every design rule for placing c at (center, rot) inside
+// the given area.
+func legalAt(d *layout.Design, c *layout.Component, area layout.Area, center geom.Vec2, rot float64, opt Options) bool {
+	fp := c.FootprintAt(center, rot)
+	if !area.Poly.ContainsRect(fp.Inflate(d.EdgeClearance)) {
+		return false
+	}
+	body := geom.CuboidOf(fp, 0, c.H)
+	for _, k := range d.Keepouts {
+		if k.Board == c.Board && body.Overlaps(k.Box) {
+			return false
+		}
+	}
+	clearFP := fp.Inflate(d.Clearance)
+	groups := d.Groups()
+	for _, o := range d.Comps {
+		if o == c || !o.Placed || o.Board != c.Board {
+			continue
+		}
+		// Clearance: inflating one footprint by the full clearance and
+		// testing overlap is equivalent to separation < clearance for
+		// axis-aligned rectangles.
+		if clearFP.Overlaps(o.Footprint()) || fp.Overlaps(o.Footprint()) {
+			return false
+		}
+		// EMD minimum distances (center to center).
+		if !opt.IgnoreEMD {
+			if need := d.EMDBetween(c, o, rot, o.Rot); need > 0 &&
+				center.Dist(o.Center) < need {
+				return false
+			}
+		}
+	}
+	// Group coherence, both directions: do not sit inside a foreign
+	// group's bounding box, and do not grow the own group's bounding box
+	// over a placed foreign component.
+	for name, members := range groups {
+		if name == c.Group {
+			continue
+		}
+		var bbox geom.Rect
+		any := false
+		for _, m := range members {
+			if m.Placed && m.Board == c.Board {
+				if !any {
+					bbox = m.Footprint()
+					any = true
+				} else {
+					bbox = bbox.Union(m.Footprint())
+				}
+			}
+		}
+		if any && (bbox.Contains(center) || bbox.Overlaps(fp)) {
+			return false
+		}
+	}
+	if c.Group != "" {
+		grown := fp
+		for _, m := range groups[c.Group] {
+			if m != c && m.Placed && m.Board == c.Board {
+				grown = grown.Union(m.Footprint())
+			}
+		}
+		for _, o := range d.Comps {
+			if o == c || !o.Placed || o.Board != c.Board || o.Group == c.Group {
+				continue
+			}
+			if grown.Contains(o.Center) {
+				return false
+			}
+		}
+	}
+	// Net length limits against already-placed mates.
+	for _, n := range d.Nets {
+		if n.MaxLength <= 0 {
+			continue
+		}
+		involved := false
+		for _, r := range n.Refs {
+			if r == c.Ref {
+				involved = true
+				break
+			}
+		}
+		if !involved {
+			continue
+		}
+		var pts []geom.Vec2
+		for _, r := range n.Refs {
+			if r == c.Ref {
+				pts = append(pts, center)
+			} else if o := d.Find(r); o != nil && o.Placed {
+				pts = append(pts, o.Center)
+			}
+		}
+		if starLength(pts) > n.MaxLength {
+			return false
+		}
+	}
+	return true
+}
+
+func starLength(pts []geom.Vec2) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	var centroid geom.Vec2
+	for _, p := range pts {
+		centroid = centroid.Add(p)
+	}
+	centroid = centroid.Scale(1 / float64(len(pts)))
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Dist(centroid)
+	}
+	return sum
+}
+
+// placementCost scores a legal candidate (lower is better): connected net
+// length, distance to the functional group's placed members, and
+// compactness towards the board centroid.
+func placementCost(d *layout.Design, c *layout.Component, center geom.Vec2, opt Options) float64 {
+	wire := 0.0
+	for _, n := range d.Nets {
+		for _, r := range n.Refs {
+			if r != c.Ref {
+				continue
+			}
+			for _, other := range n.Refs {
+				if other == c.Ref {
+					continue
+				}
+				if o := d.Find(other); o != nil && o.Placed {
+					wire += center.Dist(o.Center)
+				}
+			}
+		}
+	}
+	group := 0.0
+	if c.Group != "" {
+		var sum geom.Vec2
+		n := 0
+		for _, m := range d.Groups()[c.Group] {
+			if m != c && m.Placed && m.Board == c.Board {
+				sum = sum.Add(m.Center)
+				n++
+			}
+		}
+		if n > 0 {
+			group = center.Dist(sum.Scale(1 / float64(n)))
+		}
+	}
+	compact := center.Dist(boardCentroid(d, c.Board))
+	return opt.wWire()*wire + opt.wGroup()*group + opt.wCompact()*compact
+}
+
+// SortRefs returns the design's references in placement-priority order —
+// exposed for tests and diagnostics.
+func SortRefs(d *layout.Design) []string {
+	order := placementOrder(d)
+	out := make([]string, len(order))
+	for i, c := range order {
+		out[i] = c.Ref
+	}
+	return out
+}

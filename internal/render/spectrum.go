@@ -1,0 +1,152 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/emi"
+)
+
+// SpectrumSeries is one trace in a spectrum plot.
+type SpectrumSeries struct {
+	Name     string
+	Spectrum *emi.Spectrum
+	Color    string // CSS color; "" picks from the palette
+}
+
+// seriesPalette colors spectra traces.
+var seriesPalette = []string{"#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#8c564b"}
+
+// SpectrumSVG plots one or more conducted-emission spectra on a
+// log-frequency axis with the CISPR 25 Class-5 limit segments overlaid —
+// the plot style of the paper's Figures 1, 2 and 12–14.
+func SpectrumSVG(w io.Writer, series []SpectrumSeries, title string) error {
+	if len(series) == 0 {
+		return fmt.Errorf("render: no spectra")
+	}
+	const (
+		width  = 760.0
+		height = 420.0
+		left   = 60.0
+		right  = 20.0
+		top    = 40.0
+		bottom = 50.0
+	)
+	fLo, fHi := math.Inf(1), 0.0
+	dbLo, dbHi := 0.0, 80.0
+	for _, s := range series {
+		for i, f := range s.Spectrum.Freqs {
+			if f <= 0 {
+				continue
+			}
+			fLo = math.Min(fLo, f)
+			fHi = math.Max(fHi, f)
+			dbLo = math.Min(dbLo, s.Spectrum.DB[i])
+			dbHi = math.Max(dbHi, s.Spectrum.DB[i])
+		}
+	}
+	if !(fHi > fLo) {
+		return fmt.Errorf("render: empty spectra")
+	}
+	dbLo = math.Floor(dbLo/20) * 20
+	dbHi = math.Ceil((dbHi+5)/20) * 20
+	lf0, lf1 := math.Log10(fLo), math.Log10(fHi)
+	x := func(f float64) float64 {
+		return left + (math.Log10(f)-lf0)/(lf1-lf0)*(width-left-right)
+	}
+	y := func(db float64) float64 {
+		return top + (dbHi-db)/(dbHi-dbLo)*(height-top-bottom)
+	}
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif">`+"\n", width, height); err != nil {
+		return err
+	}
+	if err := p(`<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height); err != nil {
+		return err
+	}
+	if err := p(`<text x="%.0f" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", width/2, title); err != nil {
+		return err
+	}
+
+	// Grid: frequency decades and 20 dB lines.
+	for d := math.Ceil(lf0); d <= lf1; d++ {
+		f := math.Pow(10, d)
+		if err := p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			x(f), top, x(f), height-bottom); err != nil {
+			return err
+		}
+		if err := p(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x(f), height-bottom+16, freqLabel(f)); err != nil {
+			return err
+		}
+	}
+	for db := dbLo; db <= dbHi; db += 20 {
+		if err := p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			left, y(db), width-right, y(db)); err != nil {
+			return err
+		}
+		if err := p(`<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			left-6, y(db)+4, db); err != nil {
+			return err
+		}
+	}
+	if err := p(`<text x="16" y="%.0f" font-size="12" transform="rotate(-90 16 %.0f)" text-anchor="middle">dBµV</text>`+"\n",
+		(top+height-bottom)/2, (top+height-bottom)/2); err != nil {
+		return err
+	}
+
+	// CISPR limit segments inside the plotted range.
+	for _, b := range emi.CISPR25Class5 {
+		if b.F1 < fLo || b.F0 > fHi {
+			continue
+		}
+		f0, f1 := math.Max(b.F0, fLo), math.Min(b.F1, fHi)
+		if err := p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="2.5" stroke-dasharray="7 4"/>`+"\n",
+			x(f0), y(b.LimitDB), x(f1), y(b.LimitDB)); err != nil {
+			return err
+		}
+	}
+
+	// Series.
+	for si, s := range series {
+		color := s.Color
+		if color == "" {
+			color = seriesPalette[si%len(seriesPalette)]
+		}
+		if err := p(`<polyline fill="none" stroke="%s" stroke-width="1.6" points="`, color); err != nil {
+			return err
+		}
+		for i, f := range s.Spectrum.Freqs {
+			db := math.Max(s.Spectrum.DB[i], dbLo)
+			if err := p("%.1f,%.1f ", x(f), y(db)); err != nil {
+				return err
+			}
+		}
+		if err := p(`"/>` + "\n"); err != nil {
+			return err
+		}
+		if err := p(`<text x="%.1f" y="%.1f" font-size="12" fill="%s">%s</text>`+"\n",
+			left+10, top+16+float64(si)*16, color, s.Name); err != nil {
+			return err
+		}
+	}
+	return p("</svg>\n")
+}
+
+// freqLabel formats a decade tick.
+func freqLabel(f float64) string {
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.0f GHz", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.0f MHz", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.0f kHz", f/1e3)
+	}
+	return fmt.Sprintf("%.0f Hz", f)
+}

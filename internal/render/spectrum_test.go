@@ -1,0 +1,63 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emi"
+)
+
+func sampleSpectrum(offset float64) *emi.Spectrum {
+	s := &emi.Spectrum{}
+	for f := 200e3; f <= 100e6; f *= 1.5 {
+		s.Freqs = append(s.Freqs, f)
+		s.DB = append(s.DB, 60-10*float64(len(s.Freqs))/3+offset)
+	}
+	return s
+}
+
+func TestSpectrumSVG(t *testing.T) {
+	var b strings.Builder
+	err := SpectrumSVG(&b, []SpectrumSeries{
+		{Name: "unfavourable", Spectrum: sampleSpectrum(10)},
+		{Name: "optimized", Spectrum: sampleSpectrum(-10)},
+	}, "Conducted emissions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "unfavourable", "optimized",
+		"Conducted emissions", "polyline", "MHz", "dBµV",
+		"stroke-dasharray", // the limit lines
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSpectrumSVGErrors(t *testing.T) {
+	var b strings.Builder
+	if err := SpectrumSVG(&b, nil, "x"); err == nil {
+		t.Error("no series should fail")
+	}
+	empty := &emi.Spectrum{}
+	if err := SpectrumSVG(&b, []SpectrumSeries{{Name: "e", Spectrum: empty}}, "x"); err == nil {
+		t.Error("empty spectrum should fail")
+	}
+}
+
+func TestFreqLabel(t *testing.T) {
+	cases := map[float64]string{
+		100: "100 Hz",
+		1e3: "1 kHz",
+		2e6: "2 MHz",
+		1e9: "1 GHz",
+	}
+	for f, want := range cases {
+		if got := freqLabel(f); got != want {
+			t.Errorf("freqLabel(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package render draws placement layouts as SVG — the headless substitute
+// for the paper's GUI screenshots (Figures 9, 15–18): board outlines,
+// keepouts, component bodies colored by functional group, magnetic axes,
+// and the EMD rule circles in red (violated) or green (met).
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// groupPalette cycles over functional groups.
+var groupPalette = []string{
+	"#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462",
+}
+
+// Options tunes the rendering.
+type Options struct {
+	Board     int  // which board to draw
+	ShowRules bool // draw EMD circles from the DRC report
+	ShowAxes  bool // draw magnetic axis arrows
+	PixPerMM  float64
+}
+
+func (o Options) scale() float64 {
+	if o.PixPerMM <= 0 {
+		return 8
+	}
+	return o.PixPerMM
+}
+
+// SVG writes the design (and, if given, the DRC report's pair status) as an
+// SVG document.
+func SVG(w io.Writer, d *layout.Design, rep *drc.Report, opt Options) error {
+	var bb geom.Rect
+	first := true
+	for _, a := range d.AreasOf(opt.Board, "") {
+		if first {
+			bb = a.Poly.BBox()
+			first = false
+		} else {
+			bb = bb.Union(a.Poly.BBox())
+		}
+	}
+	if first {
+		return fmt.Errorf("render: board %d has no areas", opt.Board)
+	}
+	bb = bb.Inflate(0.005)
+	s := opt.scale() * 1e3 // meters → px
+	toX := func(x float64) float64 { return (x - bb.Min.X) * s }
+	toY := func(y float64) float64 { return (bb.Max.Y - y) * s } // flip y
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		bb.W()*s, bb.H()*s, bb.W()*s, bb.H()*s); err != nil {
+		return err
+	}
+	must := func(err error) error { return err }
+	_ = must
+
+	// Placement areas.
+	for _, a := range d.AreasOf(opt.Board, "") {
+		if err := p(`<polygon points="`); err != nil {
+			return err
+		}
+		for _, v := range a.Poly {
+			if err := p("%.1f,%.1f ", toX(v.X), toY(v.Y)); err != nil {
+				return err
+			}
+		}
+		if err := p(`" fill="#f5f5ef" stroke="#444" stroke-width="2"/>` + "\n"); err != nil {
+			return err
+		}
+	}
+	// Keepouts.
+	for _, k := range d.Keepouts {
+		if k.Board != opt.Board {
+			continue
+		}
+		r := k.Box.Base
+		if err := p(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#ddd" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			toX(r.Min.X), toY(r.Max.Y), r.W()*s, r.H()*s); err != nil {
+			return err
+		}
+	}
+
+	// Group colors.
+	colorOf := map[string]string{}
+	for i, g := range d.GroupNames() {
+		colorOf[g] = groupPalette[i%len(groupPalette)]
+	}
+
+	// EMD rule circles below the components.
+	if opt.ShowRules && rep != nil {
+		for _, pr := range rep.Pairs {
+			a, b := d.Find(pr.RefA), d.Find(pr.RefB)
+			if a == nil || b == nil || !a.Placed || !b.Placed ||
+				a.Board != opt.Board || b.Board != opt.Board {
+				continue
+			}
+			color := "#2a2"
+			if !pr.OK {
+				color = "#d22"
+			}
+			mid := a.Center.Add(b.Center).Scale(0.5)
+			radius := math.Max(pr.Required, 0.002) / 2 * s
+			if err := p(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="%s" stroke-width="2.5" opacity="0.8"/>`+"\n",
+				toX(mid.X), toY(mid.Y), radius, color); err != nil {
+				return err
+			}
+			if err := p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5" opacity="0.6"/>`+"\n",
+				toX(a.Center.X), toY(a.Center.Y), toX(b.Center.X), toY(b.Center.Y), color); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Components.
+	for _, c := range d.Comps {
+		if !c.Placed || c.Board != opt.Board {
+			continue
+		}
+		fill := "#cfe2f3"
+		if col, ok := colorOf[c.Group]; ok {
+			fill = col
+		}
+		fp := c.Footprint()
+		if err := p(`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333" stroke-width="1.5"/>`+"\n",
+			toX(fp.Min.X), toY(fp.Max.Y), fp.W()*s, fp.H()*s, fill); err != nil {
+			return err
+		}
+		if err := p(`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" text-anchor="middle">%s</text>`+"\n",
+			toX(c.Center.X), toY(c.Center.Y)+4, c.Ref); err != nil {
+			return err
+		}
+		if opt.ShowAxes {
+			ax := c.MagneticAxis()
+			if ax != (geom.Vec3{}) && (ax.X != 0 || ax.Y != 0) {
+				dir := geom.V2(ax.X, ax.Y).Normalize().Scale(math.Min(fp.W(), fp.H()) * 0.7)
+				a0 := c.Center.Sub(dir)
+				a1 := c.Center.Add(dir)
+				if err := p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#06c" stroke-width="2" marker-end="none"/>`+"\n",
+					toX(a0.X), toY(a0.Y), toX(a1.X), toY(a1.Y)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return p("</svg>\n")
+}

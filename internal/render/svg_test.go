@@ -1,0 +1,86 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+func renderable() *layout.Design {
+	d := &layout.Design{
+		Name:      "render",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "main", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.06, 0.04))},
+		},
+		Keepouts: []layout.Keepout{
+			{Name: "k", Board: 0, Box: geom.CuboidOf(geom.R(0.05, 0, 0.06, 0.01), 0, 0.01)},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	d.Comps = append(d.Comps,
+		&layout.Component{Ref: "C1", W: 0.012, L: 0.006, H: 0.012, Axis: geom.V3(0, 1, 0),
+			Group: "in", Placed: true, Center: geom.V2(0.015, 0.02)},
+		&layout.Component{Ref: "C2", W: 0.012, L: 0.006, H: 0.012, Axis: geom.V3(0, 1, 0),
+			Group: "out", Placed: true, Center: geom.V2(0.04, 0.02)},
+	)
+	d.Rules.Add(rules.Rule{RefA: "C1", RefB: "C2", PEMD: 0.03})
+	return d
+}
+
+func TestSVGContainsEverything(t *testing.T) {
+	d := renderable()
+	rep := drc.Check(d)
+	var b strings.Builder
+	err := SVG(&b, d, rep, Options{ShowRules: true, ShowAxes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{"<svg", "</svg>", "C1", "C2", "<polygon", "<rect", "<circle"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// The pair is violated (30 mm required, 25 mm given): red circle.
+	if !strings.Contains(svg, "#d22") {
+		t.Error("violated rule should render red")
+	}
+	// Rotate to fix, then the circle must be green.
+	d.Find("C2").Rot = 1.5707963267948966
+	rep = drc.Check(d)
+	b.Reset()
+	if err := SVG(&b, d, rep, Options{ShowRules: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#2a2") {
+		t.Error("met rule should render green")
+	}
+	if strings.Contains(b.String(), "#d22") {
+		t.Error("no red circles expected after fix")
+	}
+}
+
+func TestSVGNoAreasErrors(t *testing.T) {
+	d := renderable()
+	var b strings.Builder
+	if err := SVG(&b, d, nil, Options{Board: 1}); err == nil {
+		t.Error("rendering a board without areas should error")
+	}
+}
+
+func TestSVGWithoutReport(t *testing.T) {
+	d := renderable()
+	var b strings.Builder
+	if err := SVG(&b, d, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<circle") {
+		t.Error("no circles expected without a report")
+	}
+}

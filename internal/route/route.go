@@ -1,0 +1,250 @@
+// Package route generates simple Manhattan star routes for the nets of a
+// placed design and extracts their PEEC parasitics: the "inductances of
+// lines" that the paper's interference prediction includes alongside the
+// component parasitics, and the magnetic coupling between trace runs.
+//
+// The router is deliberately elementary — each net member connects to the
+// net's centroid with an L-shaped (x-then-y) path on the board surface —
+// because the reproduction needs representative trace geometry, not
+// detailed routing. Widths and copper thickness feed the GMD-equivalent
+// radius of the trace filaments.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/components"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/peec"
+)
+
+// Topology selects the net routing pattern.
+type Topology int
+
+// Routing topologies.
+const (
+	// Star connects every pin to the net centroid (default): short spokes,
+	// a hub suited to supply nets.
+	Star Topology = iota
+	// Chain connects the pins in nearest-neighbour order: the daisy-chain
+	// of signal nets, usually less copper for stretched nets.
+	Chain
+)
+
+// Options configures the router.
+type Options struct {
+	Width     float64 // trace width; 0 = 1 mm
+	Thickness float64 // copper thickness; 0 = 35 µm
+	Z         float64 // routing height above the reference plane; 0 = 0.1 mm
+	Topology  Topology
+}
+
+func (o Options) width() float64 {
+	if o.Width <= 0 {
+		return 1e-3
+	}
+	return o.Width
+}
+
+func (o Options) thickness() float64 {
+	if o.Thickness <= 0 {
+		return 35e-6
+	}
+	return o.Thickness
+}
+
+func (o Options) z() float64 {
+	if o.Z <= 0 {
+		return 0.1e-3
+	}
+	return o.Z
+}
+
+// Route is the realized copper of one net.
+type Route struct {
+	Net    string
+	Traces []components.Trace
+}
+
+// Length returns the total routed copper length.
+func (r *Route) Length() float64 {
+	sum := 0.0
+	for i := range r.Traces {
+		sum += r.Traces[i].Length()
+	}
+	return sum
+}
+
+// Conductor merges the route's traces into one PEEC structure (series
+// current path approximation: all spokes carry the net current).
+func (r *Route) Conductor() *peec.Conductor {
+	out := &peec.Conductor{MuEff: 1}
+	for i := range r.Traces {
+		out.Append(r.Traces[i].Conductor())
+	}
+	return out
+}
+
+// Inductance returns the partial inductance of the routed net.
+func (r *Route) Inductance() float64 {
+	return r.Conductor().SelfInductance()
+}
+
+// Nets routes every net of the design whose members are all placed on the
+// same board. Nets spanning boards or with unplaced members are skipped
+// with no error (they simply have no copper yet).
+func Nets(d *layout.Design, opt Options) ([]Route, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Route
+	for _, n := range d.Nets {
+		var pts []geom.Vec2
+		sameBoard := true
+		board := -1
+		for _, ref := range n.Refs {
+			c := d.Find(ref)
+			if c == nil || !c.Placed {
+				pts = nil
+				break
+			}
+			if board == -1 {
+				board = c.Board
+			} else if c.Board != board {
+				sameBoard = false
+			}
+			pts = append(pts, c.Center)
+		}
+		if len(pts) < 2 || !sameBoard {
+			continue
+		}
+		switch opt.Topology {
+		case Chain:
+			out = append(out, chainRoute(n.Name, pts, opt))
+		default:
+			out = append(out, starRoute(n.Name, pts, opt))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Net < out[j].Net })
+	return out, nil
+}
+
+// starRoute connects every pin to the centroid with an L-shaped path.
+func starRoute(name string, pts []geom.Vec2, opt Options) Route {
+	var centroid geom.Vec2
+	for _, p := range pts {
+		centroid = centroid.Add(p)
+	}
+	centroid = centroid.Scale(1 / float64(len(pts)))
+	z := opt.z()
+	r := Route{Net: name}
+	for _, p := range pts {
+		path := []geom.Vec3{p.Lift(z)}
+		if math.Abs(p.X-centroid.X) > 1e-9 {
+			path = append(path, geom.V2(centroid.X, p.Y).Lift(z))
+		}
+		if math.Abs(p.Y-centroid.Y) > 1e-9 {
+			path = append(path, centroid.Lift(z))
+		}
+		if len(path) < 2 {
+			continue // pin sits on the centroid
+		}
+		r.Traces = append(r.Traces, components.Trace{
+			Points:    path,
+			Width:     opt.width(),
+			Thickness: opt.thickness(),
+		})
+	}
+	return r
+}
+
+// chainRoute daisy-chains the pins in greedy nearest-neighbour order with
+// L-shaped hops.
+func chainRoute(name string, pts []geom.Vec2, opt Options) Route {
+	z := opt.z()
+	r := Route{Net: name}
+	remaining := append([]geom.Vec2(nil), pts...)
+	// Start from the leftmost pin for determinism.
+	start := 0
+	for i, p := range remaining {
+		if p.X < remaining[start].X ||
+			(p.X == remaining[start].X && p.Y < remaining[start].Y) {
+			start = i
+		}
+	}
+	cur := remaining[start]
+	remaining = append(remaining[:start], remaining[start+1:]...)
+	for len(remaining) > 0 {
+		next := 0
+		for i, p := range remaining {
+			if cur.Dist(p) < cur.Dist(remaining[next]) {
+				next = i
+			}
+		}
+		to := remaining[next]
+		remaining = append(remaining[:next], remaining[next+1:]...)
+		path := []geom.Vec3{cur.Lift(z)}
+		if math.Abs(cur.X-to.X) > 1e-9 {
+			path = append(path, geom.V2(to.X, cur.Y).Lift(z))
+		}
+		if math.Abs(cur.Y-to.Y) > 1e-9 {
+			path = append(path, to.Lift(z))
+		}
+		if len(path) >= 2 {
+			r.Traces = append(r.Traces, components.Trace{
+				Points:    path,
+				Width:     opt.width(),
+				Thickness: opt.thickness(),
+			})
+		}
+		cur = to
+	}
+	return r
+}
+
+// Coupling quantifies the magnetic interaction of two routed nets.
+type Coupling struct {
+	NetA, NetB string
+	K          float64
+}
+
+// Couplings computes the pairwise coupling factors between routes — trace
+// runs are field sources too, exactly like component current loops.
+func Couplings(routes []Route, order int) []Coupling {
+	type entry struct {
+		cond *peec.Conductor
+		l    float64
+	}
+	entries := make([]entry, len(routes))
+	for i := range routes {
+		c := routes[i].Conductor()
+		entries[i] = entry{cond: c, l: c.SelfInductance()}
+	}
+	var out []Coupling
+	for i := 0; i < len(routes); i++ {
+		for j := i + 1; j < len(routes); j++ {
+			if entries[i].l <= 0 || entries[j].l <= 0 {
+				continue
+			}
+			k := peec.Mutual(entries[i].cond, entries[j].cond, order) /
+				math.Sqrt(entries[i].l*entries[j].l)
+			out = append(out, Coupling{
+				NetA: routes[i].Net, NetB: routes[j].Net, K: k,
+			})
+		}
+	}
+	return out
+}
+
+// Report formats a routing summary (lengths and inductances) for CLI use.
+func Report(routes []Route) string {
+	s := fmt.Sprintf("%-12s %10s %12s\n", "net", "length_mm", "L_nH")
+	for i := range routes {
+		s += fmt.Sprintf("%-12s %10.1f %12.1f\n",
+			routes[i].Net, routes[i].Length()*1e3, routes[i].Inductance()*1e9)
+	}
+	return s
+}

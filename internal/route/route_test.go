@@ -1,0 +1,182 @@
+package route
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/peec"
+	"repro/internal/rules"
+)
+
+func placedDesign() *layout.Design {
+	d := &layout.Design{
+		Name:      "routed",
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "b", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, 0.08, 0.06))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	add := func(ref string, x, y float64) {
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: 0.008, L: 0.005, H: 0.003,
+			Placed: true, Center: geom.V2(x, y),
+		})
+	}
+	add("A", 0.010, 0.010)
+	add("B", 0.050, 0.010)
+	add("C", 0.030, 0.040)
+	add("D", 0.070, 0.040)
+	add("E", 0.010, 0.050) // unconnected
+	d.Nets = []layout.Net{
+		{Name: "n1", Refs: []string{"A", "B", "C"}},
+		{Name: "n2", Refs: []string{"C", "D"}},
+	}
+	return d
+}
+
+func TestNetsRoutesAllPlaced(t *testing.T) {
+	d := placedDesign()
+	routes, err := Nets(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	// Sorted by net name.
+	if routes[0].Net != "n1" || routes[1].Net != "n2" {
+		t.Errorf("order = %s, %s", routes[0].Net, routes[1].Net)
+	}
+	// The star route reaches every pin: total length at least the sum of
+	// Manhattan pin-centroid distances.
+	if routes[0].Length() < 0.05 {
+		t.Errorf("n1 length = %v m", routes[0].Length())
+	}
+	// Routed copper has representative inductance (≈ 1 nH/mm scale).
+	l := routes[0].Inductance()
+	perMM := l / (routes[0].Length() * 1e3)
+	if perMM < 0.3e-9 || perMM > 2e-9 {
+		t.Errorf("trace inductance %v nH/mm implausible", perMM*1e9)
+	}
+}
+
+func TestNetsSkipsUnplacedAndCrossBoard(t *testing.T) {
+	d := placedDesign()
+	d.Comps[0].Placed = false // A unplaced → n1 skipped
+	routes, err := Nets(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 || routes[0].Net != "n2" {
+		t.Errorf("routes = %+v", routes)
+	}
+	// Cross-board net skipped.
+	d2 := placedDesign()
+	d2.Boards = 2
+	d2.Areas = append(d2.Areas, layout.Area{
+		Name: "b2", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.08, 0.06)),
+	})
+	d2.Find("D").Board = 1
+	routes, err = Nets(d2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 || routes[0].Net != "n1" {
+		t.Errorf("cross-board routes = %+v", routes)
+	}
+}
+
+func TestStarRouteDegeneratePin(t *testing.T) {
+	// Two coincident pins: centroid equals the pins, no copper needed.
+	r := starRoute("x", []geom.Vec2{{X: 0.01, Y: 0.01}, {X: 0.01, Y: 0.01}}, Options{})
+	if len(r.Traces) != 0 {
+		t.Errorf("coincident pins produced %d traces", len(r.Traces))
+	}
+	// Axis-aligned pair: single-bend-free straight spokes.
+	r = starRoute("y", []geom.Vec2{{X: 0, Y: 0.01}, {X: 0.02, Y: 0.01}}, Options{})
+	if len(r.Traces) != 2 {
+		t.Fatalf("traces = %d", len(r.Traces))
+	}
+	if math.Abs(r.Length()-0.02) > 1e-9 {
+		t.Errorf("length = %v", r.Length())
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	d := placedDesign()
+	star, err := Nets(d, Options{Topology: Star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := Nets(d, Options{Topology: Chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star) != len(chain) {
+		t.Fatalf("route counts differ: %d vs %d", len(star), len(chain))
+	}
+	// A two-pin net routes identically in copper length either way.
+	if math.Abs(star[1].Length()-chain[1].Length()) > 1e-9 {
+		t.Errorf("n2 lengths differ: %v vs %v", star[1].Length(), chain[1].Length())
+	}
+	// For the 3-pin net the two topologies differ; both stay finite and
+	// reach all pins (at least the Manhattan distance of the extremes).
+	if chain[0].Length() < 0.05 {
+		t.Errorf("chain n1 too short: %v", chain[0].Length())
+	}
+	// Chain visits each pin once: segment count = pins-1 (up to straight
+	// hops merging nothing here).
+	if len(chain[0].Traces) != 2 {
+		t.Errorf("chain n1 traces = %d, want 2", len(chain[0].Traces))
+	}
+	// Deterministic.
+	again, _ := Nets(d, Options{Topology: Chain})
+	if again[0].Length() != chain[0].Length() {
+		t.Error("chain routing not deterministic")
+	}
+}
+
+func TestCouplingsBetweenParallelRuns(t *testing.T) {
+	// Two parallel straight nets couple; far-apart nets couple less.
+	mk := func(y float64) Route {
+		return starRoute("n", []geom.Vec2{{X: 0, Y: y}, {X: 0.04, Y: y}}, Options{})
+	}
+	near := Couplings([]Route{mk(0), mk(0.004)}, peec.DefaultOrder)
+	far := Couplings([]Route{mk(0), mk(0.03)}, peec.DefaultOrder)
+	if len(near) != 1 || len(far) != 1 {
+		t.Fatalf("couplings = %d, %d", len(near), len(far))
+	}
+	if math.Abs(near[0].K) <= math.Abs(far[0].K) {
+		t.Errorf("near k %v not above far k %v", near[0].K, far[0].K)
+	}
+	if math.Abs(near[0].K) < 0.05 {
+		t.Errorf("adjacent parallel traces should couple strongly: %v", near[0].K)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	d := placedDesign()
+	routes, err := Nets(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(routes)
+	for _, want := range []string{"net", "n1", "n2", "L_nH"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestNetsValidatesDesign(t *testing.T) {
+	d := placedDesign()
+	d.Areas = nil
+	if _, err := Nets(d, Options{}); err == nil {
+		t.Error("invalid design should error")
+	}
+}

@@ -1,0 +1,35 @@
+package rules_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rules"
+)
+
+// The paper's placement rule: the pairwise minimum distance PEMD is defined
+// for parallel magnetic axes and shrinks with the rotation angle between
+// them, vanishing at 90°.
+func ExampleEMD() {
+	pemd := 24e-3 // 24 mm at parallel axes
+	for _, deg := range []float64{0, 45, 90} {
+		fmt.Printf("alpha=%2.0f°  EMD=%.1f mm\n", deg, rules.EMD(pemd, deg*math.Pi/180)*1e3)
+	}
+	// Output:
+	// alpha= 0°  EMD=24.0 mm
+	// alpha=45°  EMD=17.0 mm
+	// alpha=90°  EMD=0.0 mm
+}
+
+func ExampleSet_Lookup() {
+	set := rules.NewSet([]rules.Rule{
+		{RefA: "C1", RefB: "C2", PEMD: 0.020},
+	})
+	d, ok := set.Lookup("C2", "C1") // order-independent
+	fmt.Printf("%.0f mm, found=%v\n", d*1e3, ok)
+	_, ok = set.Lookup("C1", "C9")
+	fmt.Println("unconstrained pair found =", ok)
+	// Output:
+	// 20 mm, found=true
+	// unconstrained pair found = false
+}

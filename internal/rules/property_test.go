@@ -1,0 +1,66 @@
+package rules
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickEMDBounds(t *testing.T) {
+	// 0 <= EMD(pemd, α) <= pemd for every angle and non-negative PEMD.
+	f := func(pemd, alpha float64) bool {
+		if math.IsNaN(pemd) || math.IsInf(pemd, 0) || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		pemd = math.Abs(math.Mod(pemd, 1))
+		e := EMD(pemd, alpha)
+		return e >= 0 && e <= pemd+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEMDPeriodicAndSymmetric(t *testing.T) {
+	// |cos| makes EMD π-periodic and even in α.
+	f := func(pemd, alpha float64) bool {
+		if math.IsNaN(pemd) || math.IsInf(pemd, 0) || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		pemd = math.Abs(math.Mod(pemd, 1))
+		alpha = math.Mod(alpha, 10)
+		a := EMD(pemd, alpha)
+		b := EMD(pemd, alpha+math.Pi)
+		c := EMD(pemd, -alpha)
+		tol := 1e-9 * (pemd + 1)
+		return math.Abs(a-b) <= tol && math.Abs(a-c) <= tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSetLookupConsistency(t *testing.T) {
+	// Whatever order rules are added in, Lookup returns the last value for
+	// the unordered pair.
+	f := func(d1, d2 float64, swap bool) bool {
+		if math.IsNaN(d1) || math.IsNaN(d2) || math.IsInf(d1, 0) || math.IsInf(d2, 0) {
+			return true
+		}
+		d1 = math.Abs(math.Mod(d1, 0.1))
+		d2 = math.Abs(math.Mod(d2, 0.1))
+		s := NewSet(nil)
+		s.Add(Rule{RefA: "A", RefB: "B", PEMD: d1})
+		if swap {
+			s.Add(Rule{RefA: "B", RefB: "A", PEMD: d2})
+		} else {
+			s.Add(Rule{RefA: "A", RefB: "B", PEMD: d2})
+		}
+		got1, ok1 := s.Lookup("A", "B")
+		got2, ok2 := s.Lookup("B", "A")
+		return ok1 && ok2 && got1 == d2 && got2 == d2 && len(s.Rules) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/components"
+	"repro/internal/geom"
+	"repro/internal/peec"
+)
+
+func TestEMDCosineLaw(t *testing.T) {
+	r := Rule{RefA: "L1", RefB: "L2", PEMD: 0.02}
+	if got := r.EMD(0); got != 0.02 {
+		t.Errorf("EMD(0) = %v", got)
+	}
+	if got := r.EMD(math.Pi / 2); math.Abs(got) > 1e-12 {
+		t.Errorf("EMD(90°) = %v, want 0", got)
+	}
+	if got := r.EMD(math.Pi / 3); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("EMD(60°) = %v, want 0.01", got)
+	}
+	// |cos| folds angles beyond 90°.
+	if got := r.EMD(math.Pi); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("EMD(180°) = %v, want 0.02", got)
+	}
+}
+
+func TestSetAddLookup(t *testing.T) {
+	s := NewSet([]Rule{
+		{RefA: "C1", RefB: "C2", PEMD: 0.01},
+		{RefA: "C2", RefB: "C3", PEMD: 0.02},
+	})
+	if d, ok := s.Lookup("C1", "C2"); !ok || d != 0.01 {
+		t.Errorf("Lookup C1/C2 = %v %v", d, ok)
+	}
+	// Order independent.
+	if d, ok := s.Lookup("C2", "C1"); !ok || d != 0.01 {
+		t.Errorf("Lookup C2/C1 = %v %v", d, ok)
+	}
+	if _, ok := s.Lookup("C1", "C3"); ok {
+		t.Error("unconstrained pair must not be found")
+	}
+	// Add replaces duplicates (in either order).
+	s.Add(Rule{RefA: "C2", RefB: "C1", PEMD: 0.03})
+	if d, _ := s.Lookup("C1", "C2"); d != 0.03 {
+		t.Errorf("replaced PEMD = %v", d)
+	}
+	if len(s.Rules) != 2 {
+		t.Errorf("rule count = %d", len(s.Rules))
+	}
+	if got := s.Of("C2"); len(got) != 2 {
+		t.Errorf("Of(C2) = %v", got)
+	}
+	if got := s.TotalPEMD(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("TotalPEMD = %v", got)
+	}
+	// Nil set lookups are safe.
+	var nilSet *Set
+	if _, ok := nilSet.Lookup("a", "b"); ok {
+		t.Error("nil set lookup")
+	}
+}
+
+func TestDerivePEMDCapacitors(t *testing.T) {
+	// Two X2 caps with k_max = 0.01: expect a rule in the centimeter range
+	// (the paper's Figure 5 regime).
+	m := components.NewX2Cap("X2", 1.5e-6)
+	d, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 5e-3 || d > 0.2 {
+		t.Errorf("PEMD = %v m, want centimeter range", d)
+	}
+	// At the derived distance the coupling is at most k_max in both
+	// displacement directions.
+	for _, dir := range []geom.Vec2{{X: 1}, {Y: 1}} {
+		a := &components.Instance{Ref: "a", Model: m}
+		b := &components.Instance{Ref: "b", Model: m, Center: dir.Scale(d * 1.001)}
+		if k := math.Abs(components.CouplingFactor(a, b, peec.DefaultOrder)); k > 0.0105 {
+			t.Errorf("k at PEMD along %v = %v > 0.01", dir, k)
+		}
+	}
+	// A stricter threshold gives a larger distance.
+	d2, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.003})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d {
+		t.Errorf("stricter k_max should need more distance: %v vs %v", d2, d)
+	}
+}
+
+func TestDerivePEMDRelaxedThresholdZero(t *testing.T) {
+	// A loose threshold that is met even at touching distance gives 0 (no
+	// constraint).
+	m := components.NewMLCC("MLCC", 100e-9)
+	d, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("PEMD = %v, want 0", d)
+	}
+}
+
+func TestDerivePEMDNonMagnetic(t *testing.T) {
+	body := &components.BodyModel{ModelName: "IC", W: 0.01, L: 0.01, H: 0.002}
+	cap := components.NewX2Cap("X2", 1e-6)
+	d, err := DerivePEMD(body, cap, DeriveOptions{})
+	if err != nil || d != 0 {
+		t.Errorf("non-magnetic PEMD = %v, %v", d, err)
+	}
+}
+
+func TestDerivePEMDShieldPlaneDependency(t *testing.T) {
+	// The paper: the minimum distance "depends on the presence of
+	// shielding planes like ground planes". For the standing (vertical)
+	// capacitor loops the image currents reduce the self-inductances
+	// faster than the mutual, so the k-based distance shifts — while the
+	// absolute mutual inductance is reduced (TestGroundPlaneReducesCoupling
+	// in peec covers that direction).
+	m := components.NewX2Cap("X2", 1.5e-6)
+	free, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := -1e-3 // 1 mm under the component origins
+	shielded, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.01, ShieldPlane: &z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shielded-free) < 1e-3 {
+		t.Errorf("shield plane should change the PEMD: %.1f mm vs %.1f mm free",
+			shielded*1e3, free*1e3)
+	}
+	// A distant plane has nearly no effect.
+	zFar := -0.5
+	far, err := DerivePEMD(m, m, DeriveOptions{KMax: 0.01, ShieldPlane: &zFar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(far-free) > 1e-3 {
+		t.Errorf("distant plane should not matter: %.1f mm vs %.1f mm", far*1e3, free*1e3)
+	}
+}
+
+func TestDerivePEMDUnreachable(t *testing.T) {
+	m := components.NewX2Cap("X2", 1.5e-6)
+	// Absurd threshold cannot be met within DMax.
+	if _, err := DerivePEMD(m, m, DeriveOptions{KMax: 1e-9, DMax: 0.05}); err == nil {
+		t.Error("unreachable threshold should error")
+	}
+}
+
+func TestRuleSetRoundTrip(t *testing.T) {
+	s := NewSet([]Rule{
+		{RefA: "C1", RefB: "C2", PEMD: 0.0123},
+		{RefA: "L1", RefB: "C2", PEMD: 0.025},
+	})
+	var b strings.Builder
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("Read: %v\n%s", err, b.String())
+	}
+	if len(got.Rules) != 2 {
+		t.Fatalf("rules = %d", len(got.Rules))
+	}
+	if d, ok := got.Lookup("C1", "C2"); !ok || math.Abs(d-0.0123) > 1e-7 {
+		t.Errorf("round-tripped PEMD = %v", d)
+	}
+}
+
+func TestReadErrorsAndComments(t *testing.T) {
+	if _, err := Read(strings.NewReader("PEMD a b\n")); err == nil {
+		t.Error("short line should fail")
+	}
+	if _, err := Read(strings.NewReader("XEMD a b 5\n")); err == nil {
+		t.Error("bad keyword should fail")
+	}
+	if _, err := Read(strings.NewReader("PEMD a b -5\n")); err == nil {
+		t.Error("negative distance should fail")
+	}
+	s, err := Read(strings.NewReader("# comment\n\nPEMD a b 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s.Lookup("a", "b"); !ok || math.Abs(d-0.005) > 1e-12 {
+		t.Errorf("parsed = %v %v", d, ok)
+	}
+}

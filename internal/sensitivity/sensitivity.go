@@ -1,0 +1,110 @@
+// Package sensitivity implements the paper's sensitivity analysis: probe
+// coupling factors are inserted pairwise between the circuit's inductances
+// and their influence on the emitted interference is ranked. Only the
+// top-ranked pairs then need a 3D field simulation, which is what makes the
+// electromagnetic calculation of a whole circuit feasible.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/emi"
+	"repro/internal/netlist"
+)
+
+// PairInfluence records how strongly a probe coupling between two inductors
+// raises the conducted emissions.
+type PairInfluence struct {
+	LA, LB  string  // inductor element names
+	DeltaDB float64 // worst-case emission increase across the band, dB
+}
+
+// Ranking is the result list, sorted by descending influence.
+type Ranking []PairInfluence
+
+// Options configures the analysis.
+type Options struct {
+	ProbeK     float64  // probe coupling factor; 0 = 0.01
+	MaxFreq    float64  // 0 = CISPR band stop
+	Candidates []string // inductors to consider; nil = all in the circuit
+}
+
+// Rank inserts ProbeK between every candidate inductor pair (one pair at a
+// time), predicts the spectrum, and ranks pairs by the worst-case emission
+// increase relative to the uncoupled baseline.
+func Rank(ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ranking, error) {
+	probe := opt.ProbeK
+	if probe == 0 {
+		probe = 0.01
+	}
+	cands := opt.Candidates
+	if cands == nil {
+		cands = ckt.Inductors()
+	}
+	if len(cands) < 2 {
+		return nil, fmt.Errorf("sensitivity: need at least two candidate inductors, have %d", len(cands))
+	}
+	for _, n := range cands {
+		if e := ckt.Find(n); e == nil || e.Kind != netlist.L {
+			return nil, fmt.Errorf("sensitivity: candidate %q is not an inductor", n)
+		}
+	}
+
+	predict := func(c *netlist.Circuit) (*emi.Spectrum, error) {
+		p := &emi.Predictor{
+			Circuit:     c,
+			SourceName:  sourceName,
+			MeasureNode: measureNode,
+			MaxFreq:     opt.MaxFreq,
+		}
+		return p.Spectrum()
+	}
+
+	base, err := predict(ckt)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: baseline: %w", err)
+	}
+
+	var rank Ranking
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			probed := ckt.Clone()
+			probed.SetCoupling(cands[i], cands[j], probe)
+			s, err := predict(probed)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity: pair %s/%s: %w", cands[i], cands[j], err)
+			}
+			delta := 0.0
+			for k := range s.DB {
+				if d := s.DB[k] - base.DB[k]; d > delta {
+					delta = d
+				}
+			}
+			rank = append(rank, PairInfluence{LA: cands[i], LB: cands[j], DeltaDB: delta})
+		}
+	}
+	sort.SliceStable(rank, func(a, b int) bool { return rank[a].DeltaDB > rank[b].DeltaDB })
+	return rank, nil
+}
+
+// Relevant returns the pairs whose influence exceeds the threshold — the
+// pairs for which 3D coupling extraction is worthwhile.
+func (r Ranking) Relevant(thresholdDB float64) Ranking {
+	var out Ranking
+	for _, p := range r {
+		if p.DeltaDB >= thresholdDB {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Pairs returns the (LA, LB) names in ranked order.
+func (r Ranking) Pairs() [][2]string {
+	out := make([][2]string, len(r))
+	for i, p := range r {
+		out[i] = [2]string{p.LA, p.LB}
+	}
+	return out
+}

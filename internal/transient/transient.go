@@ -1,0 +1,437 @@
+// Package transient implements fixed-step time-domain simulation of the
+// netlist circuits using trapezoidal integration (A-stable, the standard
+// choice for switching power electronics). Time-scheduled switches and
+// ideal switched-resistance diodes model the converter's active devices;
+// mutual inductances from the PEEC analysis are honoured in the inductor
+// companion equations.
+package transient
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Step         float64 // fixed time step in seconds
+	End          float64 // end time in seconds
+	MaxDiodeIter int     // per-step diode state iterations; 0 = 20
+
+	// InitDC starts the run from the DC operating point at t = 0
+	// (inductors shorted, capacitors open, sources at their t = 0 values)
+	// instead of the zero state — the SPICE "operating point first"
+	// behaviour, which suppresses artificial startup transients in EMI
+	// analyses.
+	InitDC bool
+}
+
+// Result holds the simulated waveforms.
+type Result struct {
+	Time      []float64
+	nodeIdx   map[string]int
+	branchIdx map[string]int
+	volt      [][]float64 // [step][node]
+	curr      [][]float64 // [step][branch]
+}
+
+// Node returns the voltage waveform of the named node; ground returns a
+// zero waveform, unknown nodes return nil.
+func (r *Result) Node(name string) []float64 {
+	if name == "0" {
+		return make([]float64, len(r.Time))
+	}
+	i, ok := r.nodeIdx[name]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, len(r.Time))
+	for s := range out {
+		out[s] = r.volt[s][i]
+	}
+	return out
+}
+
+// Branch returns the current waveform through the named inductor or
+// voltage source, or nil for other names.
+func (r *Result) Branch(name string) []float64 {
+	b, ok := r.branchIdx[name]
+	if !ok {
+		return nil
+	}
+	out := make([]float64, len(r.Time))
+	for s := range out {
+		out[s] = r.curr[s][b]
+	}
+	return out
+}
+
+// Simulate runs the circuit from zero initial state.
+func Simulate(c *netlist.Circuit, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Step <= 0 || opt.End <= 0 || opt.End < opt.Step {
+		return nil, fmt.Errorf("transient: invalid time window step=%g end=%g", opt.Step, opt.End)
+	}
+	maxIter := opt.MaxDiodeIter
+	if maxIter <= 0 {
+		maxIter = 20
+	}
+
+	sim := newSim(c)
+	steps := int(math.Floor(opt.End/opt.Step)) + 1
+	res := &Result{
+		Time:      make([]float64, steps),
+		nodeIdx:   sim.nodeIdx,
+		branchIdx: sim.branchIdx,
+		volt:      make([][]float64, steps),
+		curr:      make([][]float64, steps),
+	}
+	res.volt[0] = make([]float64, len(sim.nodes))
+	res.curr[0] = make([]float64, len(sim.branches))
+	if opt.InitDC {
+		v0, i0, err := sim.dcOperatingPoint(maxIter)
+		if err != nil {
+			return nil, fmt.Errorf("transient: DC operating point: %w", err)
+		}
+		res.volt[0] = v0
+		res.curr[0] = i0
+	}
+
+	h := opt.Step
+	for s := 1; s < steps; s++ {
+		tNow := float64(s) * h
+		res.Time[s] = tNow
+		v, i, err := sim.step(tNow, h, res.volt[s-1], res.curr[s-1], maxIter)
+		if err != nil {
+			return nil, fmt.Errorf("transient: t=%g: %w", tNow, err)
+		}
+		res.volt[s] = v
+		res.curr[s] = i
+	}
+	return res, nil
+}
+
+// sim holds the prepared index structures and the per-step element state.
+type sim struct {
+	ckt       *netlist.Circuit
+	nodes     []string
+	nodeIdx   map[string]int
+	branches  []*netlist.Element
+	branchIdx map[string]int
+	couplings []coupling
+	diodeOn   map[string]bool
+	capI      map[string]float64 // trapezoidal capacitor current memory
+}
+
+type coupling struct {
+	bi, bj int
+	m      float64
+}
+
+func newSim(c *netlist.Circuit) *sim {
+	s := &sim{
+		ckt:       c,
+		nodeIdx:   map[string]int{},
+		branchIdx: map[string]int{},
+		diodeOn:   map[string]bool{},
+		capI:      map[string]float64{},
+	}
+	s.nodes = c.Nodes()
+	for i, n := range s.nodes {
+		s.nodeIdx[n] = i
+	}
+	for _, e := range c.Elements {
+		switch e.Kind {
+		case netlist.L, netlist.V:
+			s.branchIdx[e.Name] = len(s.branches)
+			s.branches = append(s.branches, e)
+		case netlist.D:
+			s.diodeOn[e.Name] = false
+		}
+	}
+	for _, e := range c.Elements {
+		if e.Kind != netlist.K {
+			continue
+		}
+		la, lb := c.Find(e.LA), c.Find(e.LB)
+		s.couplings = append(s.couplings, coupling{
+			bi: s.branchIdx[e.LA],
+			bj: s.branchIdx[e.LB],
+			m:  e.Coup * math.Sqrt(la.Value*lb.Value),
+		})
+	}
+	return s
+}
+
+func (s *sim) node(name string) int {
+	if name == "0" {
+		return -1
+	}
+	return s.nodeIdx[name]
+}
+
+func (s *sim) volt(v []float64, name string) float64 {
+	if name == "0" {
+		return 0
+	}
+	return v[s.nodeIdx[name]]
+}
+
+// srcAt evaluates a source at time t: the pulse wins if present.
+func srcAt(src *netlist.Source, t float64) float64 {
+	if src.Pulse != nil {
+		return src.Pulse.At(t)
+	}
+	return src.DC
+}
+
+// step advances one trapezoidal step, iterating diode states until they are
+// consistent with the solved voltages. Capacitor memory currents are
+// committed only once, after the step is accepted.
+func (s *sim) step(t, h float64, vPrev, iPrev []float64, maxIter int) ([]float64, []float64, error) {
+	var v, i []float64
+	var err error
+	for iter := 0; iter < maxIter; iter++ {
+		v, i, err = s.solveWith(t, h, vPrev, iPrev)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.updateDiodes(v) {
+			break
+		}
+		// A chattering diode at a switching edge resolves next iteration
+		// or, failing that, next step; the last solution is accepted.
+	}
+	s.commitCapCurrents(h, vPrev, v)
+	return v, i, nil
+}
+
+// updateDiodes flips diode states based on the solved voltages and reports
+// whether all states were already consistent (ideal diode: conducts iff the
+// anode-cathode voltage is positive).
+func (s *sim) updateDiodes(v []float64) bool {
+	stable := true
+	for _, e := range s.ckt.Elements {
+		if e.Kind != netlist.D {
+			continue
+		}
+		wantOn := s.volt(v, e.N1)-s.volt(v, e.N2) > 0
+		if wantOn != s.diodeOn[e.Name] {
+			s.diodeOn[e.Name] = wantOn
+			stable = false
+		}
+	}
+	return stable
+}
+
+// solveWith builds and solves the companion-model system for one candidate
+// step; it does not mutate per-step state.
+func (s *sim) solveWith(t, h float64, vPrev, iPrev []float64) ([]float64, []float64, error) {
+	nn := len(s.nodes)
+	n := nn + len(s.branches)
+	m := linalg.NewReal(n)
+	rhs := make([]float64, n)
+
+	for i := 0; i < nn; i++ {
+		m.Add(i, i, 1e-12) // Gmin
+	}
+
+	stampG := func(n1, n2 int, g float64) {
+		if n1 >= 0 {
+			m.Add(n1, n1, g)
+		}
+		if n2 >= 0 {
+			m.Add(n2, n2, g)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			m.Add(n1, n2, -g)
+			m.Add(n2, n1, -g)
+		}
+	}
+
+	for _, e := range s.ckt.Elements {
+		n1, n2 := s.node(e.N1), s.node(e.N2)
+		switch e.Kind {
+		case netlist.R:
+			stampG(n1, n2, 1/e.Value)
+		case netlist.SW:
+			r := e.Roff
+			if e.Sched.On(t) {
+				r = e.Value
+			}
+			stampG(n1, n2, 1/r)
+		case netlist.D:
+			r := e.Roff
+			if s.diodeOn[e.Name] {
+				r = e.Value
+			}
+			stampG(n1, n2, 1/r)
+		case netlist.C:
+			geq := 2 * e.Value / h
+			vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
+			ieq := geq*vp + s.capI[e.Name]
+			stampG(n1, n2, geq)
+			if n1 >= 0 {
+				rhs[n1] += ieq
+			}
+			if n2 >= 0 {
+				rhs[n2] -= ieq
+			}
+		case netlist.L, netlist.V:
+			b := nn + s.branchIdx[e.Name]
+			if n1 >= 0 {
+				m.Add(n1, b, 1)
+				m.Add(b, n1, 1)
+			}
+			if n2 >= 0 {
+				m.Add(n2, b, -1)
+				m.Add(b, n2, -1)
+			}
+			if e.Kind == netlist.V {
+				rhs[b] = srcAt(e.Src, t)
+			} else {
+				leq := 2 * e.Value / h
+				m.Add(b, b, -leq)
+				vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
+				r := -vp - leq*iPrev[s.branchIdx[e.Name]]
+				for _, cp := range s.couplings {
+					meq := 2 * cp.m / h
+					switch s.branchIdx[e.Name] {
+					case cp.bi:
+						m.Add(b, nn+cp.bj, -meq)
+						r -= meq * iPrev[cp.bj]
+					case cp.bj:
+						m.Add(b, nn+cp.bi, -meq)
+						r -= meq * iPrev[cp.bi]
+					}
+				}
+				rhs[b] = r
+			}
+		case netlist.I:
+			val := srcAt(e.Src, t)
+			if n1 >= 0 {
+				rhs[n1] -= val
+			}
+			if n2 >= 0 {
+				rhs[n2] += val
+			}
+		}
+	}
+
+	x, err := m.Solve(rhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	v := make([]float64, nn)
+	copy(v, x[:nn])
+	i := make([]float64, len(s.branches))
+	copy(i, x[nn:])
+	return v, i, nil
+}
+
+// dcOperatingPoint solves the t = 0 DC state: capacitors are removed
+// (open), inductors become 0 V branches (short), switches follow their
+// schedule at t = 0, diodes iterate to a consistent state, and sources
+// take their t = 0 values. The capacitor memory currents stay zero, which
+// is exact at an operating point (dv/dt = 0).
+func (s *sim) dcOperatingPoint(maxIter int) ([]float64, []float64, error) {
+	solve := func() ([]float64, []float64, error) {
+		nn := len(s.nodes)
+		n := nn + len(s.branches)
+		m := linalg.NewReal(n)
+		rhs := make([]float64, n)
+		for i := 0; i < nn; i++ {
+			m.Add(i, i, 1e-12)
+		}
+		stampG := func(n1, n2 int, g float64) {
+			if n1 >= 0 {
+				m.Add(n1, n1, g)
+			}
+			if n2 >= 0 {
+				m.Add(n2, n2, g)
+			}
+			if n1 >= 0 && n2 >= 0 {
+				m.Add(n1, n2, -g)
+				m.Add(n2, n1, -g)
+			}
+		}
+		for _, e := range s.ckt.Elements {
+			n1, n2 := s.node(e.N1), s.node(e.N2)
+			switch e.Kind {
+			case netlist.R:
+				stampG(n1, n2, 1/e.Value)
+			case netlist.SW:
+				r := e.Roff
+				if e.Sched.On(0) {
+					r = e.Value
+				}
+				stampG(n1, n2, 1/r)
+			case netlist.D:
+				r := e.Roff
+				if s.diodeOn[e.Name] {
+					r = e.Value
+				}
+				stampG(n1, n2, 1/r)
+			case netlist.C:
+				// open at DC
+			case netlist.L, netlist.V:
+				b := nn + s.branchIdx[e.Name]
+				if n1 >= 0 {
+					m.Add(n1, b, 1)
+					m.Add(b, n1, 1)
+				}
+				if n2 >= 0 {
+					m.Add(n2, b, -1)
+					m.Add(b, n2, -1)
+				}
+				if e.Kind == netlist.V {
+					rhs[b] = srcAt(e.Src, 0)
+				}
+				// Inductor: v1 - v2 = 0 (row stays as stamped).
+			case netlist.I:
+				val := srcAt(e.Src, 0)
+				if n1 >= 0 {
+					rhs[n1] -= val
+				}
+				if n2 >= 0 {
+					rhs[n2] += val
+				}
+			}
+		}
+		x, err := m.Solve(rhs)
+		if err != nil {
+			return nil, nil, err
+		}
+		return x[:nn], x[nn:], nil
+	}
+	var v, i []float64
+	var err error
+	for iter := 0; iter < maxIter; iter++ {
+		v, i, err = solve()
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.updateDiodes(v) {
+			break
+		}
+	}
+	return v, i, nil
+}
+
+// commitCapCurrents advances the trapezoidal capacitor current memory:
+// i_n = geq·(v_n − v_{n−1}) − i_{n−1}.
+func (s *sim) commitCapCurrents(h float64, vPrev, vNow []float64) {
+	for _, e := range s.ckt.Elements {
+		if e.Kind != netlist.C {
+			continue
+		}
+		vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
+		vn := s.volt(vNow, e.N1) - s.volt(vNow, e.N2)
+		geq := 2 * e.Value / h
+		s.capI[e.Name] = geq*(vn-vp) - s.capI[e.Name]
+	}
+}

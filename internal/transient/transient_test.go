@@ -1,0 +1,293 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestRCCharging(t *testing.T) {
+	// Step response of an RC: v(t) = V·(1 − e^{−t/RC}).
+	R, C, V := 1000.0, 1e-6, 5.0
+	tau := R * C
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{DC: V})
+	c.AddR("R1", "in", "out", R)
+	c.AddC("C1", "out", "0", C)
+	res, err := Simulate(c, Options{Step: tau / 200, End: 5 * tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Node("out")
+	for _, frac := range []float64{0.2, 0.5, 1, 2, 4} {
+		idx := int(frac * 200)
+		want := V * (1 - math.Exp(-frac))
+		if math.Abs(v[idx]-want) > 0.02*V {
+			t.Errorf("v(%.1fτ) = %v, want %v", frac, v[idx], want)
+		}
+	}
+}
+
+func TestRLCurrentRise(t *testing.T) {
+	// i(t) = V/R·(1 − e^{−tR/L}).
+	R, L, V := 10.0, 1e-3, 5.0
+	tau := L / R
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{DC: V})
+	c.AddR("R1", "in", "a", R)
+	c.AddL("L1", "a", "0", L)
+	res, err := Simulate(c, Options{Step: tau / 200, End: 5 * tau})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := res.Branch("L1")
+	for _, frac := range []float64{0.5, 1, 2, 4} {
+		idx := int(frac * 200)
+		want := V / R * (1 - math.Exp(-frac))
+		if math.Abs(i[idx]-want) > 0.02*(V/R) {
+			t.Errorf("i(%.1fτ) = %v, want %v", frac, i[idx], want)
+		}
+	}
+}
+
+func TestLCOscillationStable(t *testing.T) {
+	// Trapezoidal integration is A-stable and preserves the amplitude of a
+	// lossless LC tank: inject a pulse and verify the oscillation neither
+	// grows nor collapses.
+	L, C := 10e-6, 1e-6
+	f0 := 1 / (2 * math.Pi * math.Sqrt(L*C))
+	c := &netlist.Circuit{}
+	c.AddI("I1", "0", "tank", netlist.Source{Pulse: &netlist.Pulse{
+		V1: 0, V2: 1, Width: 1 / (20 * f0), Period: 1e9,
+	}})
+	c.AddL("L1", "tank", "0", L)
+	c.AddC("C1", "tank", "0", C)
+	res, err := Simulate(c, Options{Step: 1 / (f0 * 400), End: 20 / f0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Node("tank")
+	// Peak in the 2nd vs 18th cycle.
+	peak := func(fromCycle, toCycle float64) float64 {
+		lo := int(fromCycle * 400)
+		hi := int(toCycle * 400)
+		max := 0.0
+		for _, x := range v[lo:hi] {
+			if math.Abs(x) > max {
+				max = math.Abs(x)
+			}
+		}
+		return max
+	}
+	early, late := peak(1, 3), peak(16, 18)
+	if early == 0 {
+		t.Fatal("no oscillation")
+	}
+	if math.Abs(late-early)/early > 0.05 {
+		t.Errorf("amplitude drifted: early %v late %v", early, late)
+	}
+}
+
+func TestHalfWaveRectifier(t *testing.T) {
+	// A diode + resistor against a sine-approximating pulse train: the
+	// output never swings appreciably negative.
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{Pulse: &netlist.Pulse{
+		V1: -5, V2: 5, Rise: 4e-4, Fall: 4e-4, Width: 1e-4, Period: 1e-3,
+	}})
+	c.AddDiode("D1", "in", "out", 0.1, 1e7)
+	c.AddR("RL", "out", "0", 1000)
+	res, err := Simulate(c, Options{Step: 1e-6, End: 5e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Node("out")
+	min, max := 0.0, 0.0
+	for _, x := range v {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	if max < 4 {
+		t.Errorf("positive peak = %v, want ≈ 5", max)
+	}
+	if min < -0.1 {
+		t.Errorf("negative excursion = %v, diode failed to block", min)
+	}
+}
+
+func TestBuckConverterAverage(t *testing.T) {
+	// A switch-diode-LC buck at duty D: average output ≈ D·Vin.
+	Vin, D := 12.0, 0.4
+	period := 5e-6
+	c := &netlist.Circuit{}
+	c.AddV("Vin", "in", "0", netlist.Source{DC: Vin})
+	c.AddSwitch("S1", "in", "sw", 0.01, 1e7, netlist.Schedule{Period: period, OnTime: D * period})
+	c.AddDiode("D1", "0", "sw", 0.01, 1e7)
+	c.AddL("L1", "sw", "out", 47e-6)
+	c.AddC("C1", "out", "0", 47e-6)
+	c.AddR("RL", "out", "0", 4)
+	res, err := Simulate(c, Options{Step: period / 200, End: 400 * period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Node("out")
+	// Average over the last 50 periods.
+	lo := len(v) - 50*200
+	sum := 0.0
+	for _, x := range v[lo:] {
+		sum += x
+	}
+	avg := sum / float64(len(v)-lo)
+	if math.Abs(avg-D*Vin)/(D*Vin) > 0.08 {
+		t.Errorf("buck average = %v, want ≈ %v", avg, D*Vin)
+	}
+}
+
+func TestCoupledInductorsTransient(t *testing.T) {
+	// A step into the primary of a coupled pair induces secondary voltage
+	// of the correct polarity and the coupling k=0 case induces none.
+	build := func(k float64) *netlist.Circuit {
+		c := &netlist.Circuit{}
+		c.AddV("V1", "p", "0", netlist.Source{DC: 1})
+		c.AddR("Rp", "p", "a", 10)
+		c.AddL("Lp", "a", "0", 1e-3)
+		c.AddL("Ls", "s", "0", 1e-3)
+		c.AddR("Rs", "s", "0", 1e6)
+		if k != 0 {
+			c.AddK("K1", "Lp", "Ls", k)
+		}
+		return c
+	}
+	opt := Options{Step: 1e-7, End: 2e-5}
+	resK, err := Simulate(build(0.8), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0, err := Simulate(build(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vk := resK.Node("s")
+	v0 := res0.Node("s")
+	maxK, max0 := 0.0, 0.0
+	for i := range vk {
+		maxK = math.Max(maxK, math.Abs(vk[i]))
+		max0 = math.Max(max0, math.Abs(v0[i]))
+	}
+	if maxK < 0.1 {
+		t.Errorf("coupled secondary voltage = %v, want substantial", maxK)
+	}
+	if max0 > 1e-6 {
+		t.Errorf("uncoupled secondary voltage = %v, want ≈ 0", max0)
+	}
+}
+
+func TestInitDCStartsAtOperatingPoint(t *testing.T) {
+	// A DC source into a divider with a capacitor: from zero state the
+	// output charges up; with InitDC it starts settled.
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{DC: 10})
+	c.AddR("R1", "in", "out", 1000)
+	c.AddR("R2", "out", "0", 1000)
+	c.AddC("C1", "out", "0", 1e-6)
+	c.AddL("L1", "in", "x", 1e-3)
+	c.AddR("R3", "x", "0", 1000)
+
+	res, err := Simulate(c, Options{Step: 1e-6, End: 1e-4, InitDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Node("out")
+	// Already at the 5 V operating point from the first step.
+	for _, idx := range []int{0, 1, 50} {
+		if math.Abs(v[idx]-5) > 0.01 {
+			t.Errorf("v[%d] = %v, want 5 (settled)", idx, v[idx])
+		}
+	}
+	// The inductor branch starts at its DC current 10/1000.
+	i := res.Branch("L1")
+	if math.Abs(i[0]-0.01) > 1e-5 {
+		t.Errorf("i_L(0) = %v, want 0.01", i[0])
+	}
+	// Without InitDC the start is at zero.
+	res0, err := Simulate(c, Options{Step: 1e-6, End: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Node("out")[0] != 0 {
+		t.Error("zero-state start expected without InitDC")
+	}
+}
+
+func TestInitDCWithDiodeStates(t *testing.T) {
+	// Forward-biased diode conducts at the operating point.
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{DC: 5})
+	c.AddDiode("D1", "in", "out", 0.1, 1e7)
+	c.AddR("RL", "out", "0", 100)
+	res, err := Simulate(c, Options{Step: 1e-6, End: 1e-5, InitDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Node("out")[0]; math.Abs(v-5*100/100.1) > 0.05 {
+		t.Errorf("diode op point = %v", v)
+	}
+	// Reverse-biased diode blocks.
+	c2 := &netlist.Circuit{}
+	c2.AddV("V1", "in", "0", netlist.Source{DC: -5})
+	c2.AddDiode("D1", "in", "out", 0.1, 1e7)
+	c2.AddR("RL", "out", "0", 100)
+	res2, err := Simulate(c2, Options{Step: 1e-6, End: 1e-5, InitDC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res2.Node("out")[0]; math.Abs(v) > 1e-3 {
+		t.Errorf("blocked diode op point = %v", v)
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	c := &netlist.Circuit{}
+	c.AddR("R1", "a", "0", 1)
+	for _, opt := range []Options{
+		{Step: 0, End: 1},
+		{Step: 1, End: 0},
+		{Step: 2, End: 1},
+		{Step: -1, End: 1},
+	} {
+		if _, err := Simulate(c, opt); err == nil {
+			t.Errorf("Simulate(%+v) should fail", opt)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	c := &netlist.Circuit{}
+	c.AddV("V1", "n", "0", netlist.Source{DC: 1})
+	c.AddR("R1", "n", "0", 1)
+	res, err := Simulate(c, Options{Step: 1e-3, End: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Node("missing") != nil {
+		t.Error("unknown node should be nil")
+	}
+	if res.Branch("R1") != nil {
+		t.Error("resistor has no branch current")
+	}
+	g := res.Node("0")
+	for _, x := range g {
+		if x != 0 {
+			t.Error("ground waveform must be zero")
+		}
+	}
+	if len(res.Time) != len(res.Node("n")) {
+		t.Error("time/waveform length mismatch")
+	}
+	// V source branch current: 1 V across 1 Ω ⇒ |i| = 1 A at steady state.
+	iv := res.Branch("V1")
+	if math.Abs(math.Abs(iv[len(iv)-1])-1) > 1e-6 {
+		t.Errorf("source current = %v", iv[len(iv)-1])
+	}
+}

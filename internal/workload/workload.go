@@ -1,0 +1,86 @@
+// Package workload generates synthetic placement problems for benchmarks
+// and the paper's Figure 9 experiment: a complex power electronic board
+// with 29 devices, 100 pairwise minimum distances and three functional
+// groups, solved by the automatic placement method in seconds.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+// Complex29 builds the Figure 9 problem: 29 devices on a 160×120 mm board
+// with exactly 100 minimum-distance rules and 3 functional groups. The
+// generator is deterministic.
+func Complex29() *layout.Design {
+	return Synthetic(29, 100, 3, 0.16, 0.12)
+}
+
+// Synthetic builds a deterministic placement problem with n components,
+// ruleCount pairwise PEMD rules distributed over the magnetic components,
+// and groupCount functional groups on a boardW×boardH meter board.
+func Synthetic(n, ruleCount, groupCount int, boardW, boardH float64) *layout.Design {
+	d := &layout.Design{
+		Name:      fmt.Sprintf("synthetic-%d", n),
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, boardW, boardH))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+	// Mix of magnetic (filter) parts and mechanical parts, deterministic
+	// sizes from a small catalog.
+	type proto struct {
+		w, l, h  float64
+		magnetic bool
+	}
+	catalog := []proto{
+		{18e-3, 8e-3, 14e-3, true},     // film cap
+		{9e-3, 13e-3, 9e-3, true},      // drum choke
+		{7.3e-3, 4.3e-3, 2.8e-3, true}, // tantalum
+		{10e-3, 15e-3, 4.5e-3, false},  // power package
+		{5e-3, 6e-3, 1.8e-3, false},    // SO8
+		{26e-3, 26e-3, 12e-3, true},    // CM choke
+	}
+	var magnetic []string
+	for i := 0; i < n; i++ {
+		pr := catalog[i%len(catalog)]
+		ref := fmt.Sprintf("U%02d", i+1)
+		c := &layout.Component{
+			Ref: ref, W: pr.w, L: pr.l, H: pr.h,
+		}
+		if groupCount > 0 {
+			c.Group = fmt.Sprintf("grp%d", i%groupCount)
+		}
+		if pr.magnetic {
+			c.Axis = geom.V3(0, 1, 0)
+			magnetic = append(magnetic, ref)
+		}
+		d.Comps = append(d.Comps, c)
+	}
+	// Rules over magnetic pairs, round-robin with varied distances.
+	added := 0
+	for gap := 1; gap < len(magnetic) && added < ruleCount; gap++ {
+		for i := 0; i+gap < len(magnetic) && added < ruleCount; i++ {
+			// PEMD between 8 and 18 mm, deterministic variation.
+			pemd := 8e-3 + 10e-3*math.Abs(math.Sin(float64(added)*1.7))
+			d.Rules.Add(rules.Rule{
+				RefA: magnetic[i], RefB: magnetic[i+gap], PEMD: pemd,
+			})
+			added++
+		}
+	}
+	// A handful of nets stitching neighbours together.
+	for i := 0; i+2 < n; i += 3 {
+		d.Nets = append(d.Nets, layout.Net{
+			Name: fmt.Sprintf("net%d", i/3),
+			Refs: []string{d.Comps[i].Ref, d.Comps[i+1].Ref, d.Comps[i+2].Ref},
+		})
+	}
+	return d
+}

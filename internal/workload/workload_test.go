@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/place"
+)
+
+func TestComplex29Shape(t *testing.T) {
+	d := Complex29()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Comps) != 29 {
+		t.Errorf("components = %d, want 29", len(d.Comps))
+	}
+	if d.RuleCount() != 100 {
+		t.Errorf("rules = %d, want 100", d.RuleCount())
+	}
+	if got := len(d.GroupNames()); got != 3 {
+		t.Errorf("groups = %d, want 3", got)
+	}
+}
+
+func TestComplex29IsPlaceable(t *testing.T) {
+	d := Complex29()
+	res, err := place.AutoPlace(d, place.Options{})
+	if err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	if res.Placed != 29 {
+		t.Errorf("placed = %d", res.Placed)
+	}
+	rep := place.Verify(d)
+	if !rep.Green() {
+		t.Fatalf("29-device layout not legal:\n%s", rep)
+	}
+	// The paper: computed "in seconds" — generous CI bound.
+	if res.Elapsed.Seconds() > 30 {
+		t.Errorf("placement took %v", res.Elapsed)
+	}
+	t.Logf("29 devices, 100 rules placed in %v", res.Elapsed)
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(12, 20, 2, 0.1, 0.08)
+	b := Synthetic(12, 20, 2, 0.1, 0.08)
+	if len(a.Comps) != len(b.Comps) || a.RuleCount() != b.RuleCount() {
+		t.Fatal("generator not deterministic in structure")
+	}
+	for i := range a.Rules.Rules {
+		if a.Rules.Rules[i] != b.Rules.Rules[i] {
+			t.Fatal("generator rules differ")
+		}
+	}
+}
+
+func TestSyntheticRuleCapping(t *testing.T) {
+	// Requesting more rules than magnetic pairs exist caps gracefully.
+	d := Synthetic(6, 1000, 1, 0.1, 0.1)
+	if d.RuleCount() == 0 || d.RuleCount() > 1000 {
+		t.Errorf("rules = %d", d.RuleCount())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

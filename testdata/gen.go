@@ -1,0 +1,29 @@
+//go:build ignore
+
+// Generates the sample inputs in testdata/ from the buck reference design.
+package main
+
+import (
+	"os"
+
+	"repro/internal/buck"
+	"repro/internal/layout"
+)
+
+func main() {
+	p := buck.Project()
+	if _, err := buck.DeriveAllRules(p, 0.01, 3, 0.01); err != nil {
+		panic(err)
+	}
+	f, err := os.Create("testdata/buck_design.txt")
+	if err != nil {
+		panic(err)
+	}
+	if err := layout.Write(f, p.Design); err != nil {
+		panic(err)
+	}
+	f.Close()
+	if err := os.WriteFile("testdata/buck.cir", []byte(p.Circuit.String()), 0o644); err != nil {
+		panic(err)
+	}
+}
