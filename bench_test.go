@@ -12,12 +12,14 @@ import (
 	"repro/internal/components"
 	"repro/internal/core"
 	"repro/internal/emi"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/mna"
 	"repro/internal/netlist"
 	"repro/internal/peec"
 	"repro/internal/place"
 	"repro/internal/rules"
+	"repro/internal/sensitivity"
 	"repro/internal/transient"
 	"repro/internal/workload"
 )
@@ -286,6 +288,44 @@ func benchmarkPlaceScaling(b *testing.B, n int) {
 func BenchmarkPlaceScaling10(b *testing.B) { benchmarkPlaceScaling(b, 10) }
 func BenchmarkPlaceScaling20(b *testing.B) { benchmarkPlaceScaling(b, 20) }
 func BenchmarkPlaceScaling40(b *testing.B) { benchmarkPlaceScaling(b, 40) }
+
+// --- Engine benchmarks -------------------------------------------------
+
+// BenchmarkSensitivityRank measures the full pairwise sensitivity ranking
+// of the buck converter's inductances — one band prediction per pair,
+// fanned out over the engine pool.
+func BenchmarkSensitivityRank(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	ckt := p.Circuit.Clone()
+	ckt.RemoveCouplings()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sensitivity.Rank(ckt, p.Sources[0], p.MeasureNode,
+			sensitivity.Options{MaxFreq: 30e6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCouplingCacheHit measures a coupling-factor evaluation served
+// from the engine's memo cache (contrast with BenchmarkFig05CapCoupling's
+// first-evaluation cost when the cache is cold per geometry).
+func BenchmarkCouplingCacheHit(b *testing.B) {
+	m := components.NewX2Cap("X2", 1.5e-6)
+	ia := &components.Instance{Ref: "C1", Model: m}
+	ib := &components.Instance{Ref: "C2", Model: m, Center: geom.V2(0, 0.03)}
+	engine.ResetCache()
+	components.CouplingFactor(ia, ib, peec.DefaultOrder) // warm the cache
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		components.CouplingFactor(ia, ib, peec.DefaultOrder)
+	}
+}
 
 // --- Substrate benchmarks ----------------------------------------------
 

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/drc"
+	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/place"
 	"repro/internal/render"
@@ -34,6 +35,7 @@ func main() {
 	compact := flag.Bool("compact", false, "compact the legal layout (volume minimisation)")
 	routes := flag.Bool("routes", false, "print Manhattan star routes with trace inductances")
 	jsonOut := flag.Bool("json", false, "print the DRC report as JSON (for CI pipelines)")
+	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
 	flag.Parse()
 
 	if *in == "" {
@@ -129,6 +131,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *svg)
+	}
+	if *stats {
+		engine.Fprint(os.Stderr)
 	}
 	if !rep.Green() && !*baseline {
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/emi"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -29,7 +30,11 @@ func main() {
 	noCoup := flag.Bool("no-couplings", false, "strip K elements before predicting")
 	every := flag.Int("every", 1, "print every n-th harmonic")
 	tsv := flag.String("tsv", "", "also write the full spectrum as TSV to this file")
+	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
 	flag.Parse()
+	if *stats {
+		defer engine.Fprint(os.Stderr)
+	}
 
 	if *circuit == "" || *measure == "" || *sources == "" {
 		fmt.Fprintln(os.Stderr, "emipredict: -circuit, -measure and -sources are required")

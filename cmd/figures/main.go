@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/internal/engine"
 )
 
 // figureFunc renders one figure's data to stdout; svgdir may be empty.
@@ -53,7 +55,11 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate")
 	all := flag.Bool("all", false, "regenerate every figure")
 	svgdir := flag.String("svgdir", "", "directory for SVG renderings of layout figures")
+	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
 	flag.Parse()
+	if *stats {
+		defer engine.Fprint(os.Stderr)
+	}
 
 	if *svgdir != "" {
 		if err := os.MkdirAll(*svgdir, 0o755); err != nil {

@@ -10,6 +10,7 @@ import (
 )
 
 func TestProjectIsConsistent(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
@@ -26,6 +27,7 @@ func TestProjectIsConsistent(t *testing.T) {
 }
 
 func TestCircuitValues(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	// The filter choke inductance comes from its PEEC winding model and
 	// must be in the tens of µH.
@@ -51,6 +53,7 @@ func TestCircuitValues(t *testing.T) {
 // meets them, and the difference is tens of dB from placement alone (same
 // components, same topology, same board — the paper's Figures 1 and 2).
 func TestPaperStory(t *testing.T) {
+	t.Parallel()
 	p := Project()
 
 	// Unfavourable (baseline, EMI-blind) layout.
@@ -121,6 +124,7 @@ func TestPaperStory(t *testing.T) {
 // neglecting couplings does not correlate with the (virtual) measurement,
 // the prediction including couplings does.
 func TestPredictionCorrelation(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if err := Unfavorable(p); err != nil {
 		t.Fatal(err)
@@ -155,6 +159,7 @@ func TestPredictionCorrelation(t *testing.T) {
 }
 
 func TestOptimizeRequiresRules(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if _, err := Optimize(p); err == nil {
 		t.Error("Optimize without rules should fail")
@@ -162,6 +167,7 @@ func TestOptimizeRequiresRules(t *testing.T) {
 }
 
 func TestUnfavorableBreaksEMDRulesOnceKnown(t *testing.T) {
+	t.Parallel()
 	// Derive the rules first, then place EMI-blind: the resulting layout
 	// must show red circles (Figure 15).
 	p := Project()
@@ -182,6 +188,7 @@ func TestUnfavorableBreaksEMDRulesOnceKnown(t *testing.T) {
 // panel-method body capacitances barely move the spectrum below 10 MHz but
 // raise the top of the CISPR band substantially.
 func TestCapacitiveCouplingHighFrequency(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if err := Unfavorable(p); err != nil {
 		t.Fatal(err)
@@ -207,6 +214,7 @@ func TestCapacitiveCouplingHighFrequency(t *testing.T) {
 }
 
 func TestBodyCapacitanceMagnitudes(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if err := Unfavorable(p); err != nil {
 		t.Fatal(err)
@@ -234,6 +242,7 @@ func TestBodyCapacitanceMagnitudes(t *testing.T) {
 // machinery-level agreement over 8 harmonics is covered by
 // core.TestTransientCrossValidatesPredictor on a damped circuit.)
 func TestTransientConfirmsFundamental(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("multi-second transient simulation")
 	}
@@ -257,12 +266,14 @@ func TestTransientConfirmsFundamental(t *testing.T) {
 }
 
 func TestLowerHelper(t *testing.T) {
+	t.Parallel()
 	if lower("CIN1") != "cin1" || lower("abc") != "abc" {
 		t.Error("lower broken")
 	}
 }
 
 func TestEmissionsAreFiniteAndPlausible(t *testing.T) {
+	t.Parallel()
 	p := Project()
 	if err := Unfavorable(p); err != nil {
 		t.Fatal(err)

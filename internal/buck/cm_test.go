@@ -34,6 +34,7 @@ func predictCM(t *testing.T, yCapK float64, mutate func(find func(string) float6
 }
 
 func TestHeatsinkCapacitancePlausible(t *testing.T) {
+	t.Parallel()
 	c := HeatsinkCapacitance()
 	// D2PAK on a thermal pad: tens of pF.
 	if c < 5e-12 || c > 100e-12 {
@@ -42,6 +43,7 @@ func TestHeatsinkCapacitancePlausible(t *testing.T) {
 }
 
 func TestCMPathRequiresParasitic(t *testing.T) {
+	t.Parallel()
 	// Shrinking the heatsink capacitance to nothing must remove the
 	// common-mode emissions entirely: the path IS the parasitic.
 	sWith := predictCM(t, 0, nil)
@@ -56,6 +58,7 @@ func TestCMPathRequiresParasitic(t *testing.T) {
 }
 
 func TestCMChokeEssential(t *testing.T) {
+	t.Parallel()
 	// Collapsing the choke inductance must raise CM emissions massively.
 	sChoke := predictCM(t, 0, nil)
 	sNoChoke := predictCM(t, 0, func(_ func(string) float64, set func(string, float64)) {
@@ -70,6 +73,7 @@ func TestCMChokeEssential(t *testing.T) {
 }
 
 func TestYCapPlacementDegradesFilter(t *testing.T) {
+	t.Parallel()
 	// The Figure 8 effect in circuit terms: a Y-capacitor sitting in the
 	// choke's stray field (coupling factor a few hundredths) degrades the
 	// high-frequency CM filtering.
@@ -90,6 +94,7 @@ func TestYCapPlacementDegradesFilter(t *testing.T) {
 }
 
 func TestYCapPositionCouplingProfile(t *testing.T) {
+	t.Parallel()
 	// The position scan around the 2-winding choke feeds the circuit k:
 	// decoupled positions exist (k ≈ 0) and unfavourable ones reach a
 	// measurable fraction of a percent.
@@ -112,6 +117,7 @@ func TestYCapPositionCouplingProfile(t *testing.T) {
 }
 
 func TestCMProjectStructure(t *testing.T) {
+	t.Parallel()
 	p, err := CMProject(0)
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,7 @@ import (
 // layout keeps a solid pass yield under 10 % component and 20 % coupling
 // tolerances, while the unfavourable layout fails every sample.
 func TestToleranceYield(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("Monte-Carlo run")
 	}

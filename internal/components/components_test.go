@@ -16,6 +16,7 @@ func relErr(a, b float64) float64 {
 }
 
 func TestCapacitorGeometry(t *testing.T) {
+	t.Parallel()
 	c := NewX2Cap("X2-1u5", 1.5e-6)
 	w, l, h := c.Size()
 	if w <= 0 || l <= 0 || h <= 0 {
@@ -43,6 +44,7 @@ func TestCapacitorGeometry(t *testing.T) {
 }
 
 func TestCapacitorESL(t *testing.T) {
+	t.Parallel()
 	c := NewX2Cap("X2", 1.5e-6)
 	esl := c.EffectiveESL()
 	// A 15 mm pitch, 11 mm tall loop has tens of nH of loop inductance.
@@ -61,6 +63,7 @@ func TestCapacitorESL(t *testing.T) {
 }
 
 func TestCapacitorCouplingDecaysWithDistance(t *testing.T) {
+	t.Parallel()
 	// Two 1.5 µF X-caps with parallel magnetic axes — the Figure 5 setup.
 	m := NewX2Cap("X2", 1.5e-6)
 	a := &Instance{Ref: "C1", Model: m}
@@ -79,6 +82,7 @@ func TestCapacitorCouplingDecaysWithDistance(t *testing.T) {
 }
 
 func TestCapacitorOrthogonalRotationDecouples(t *testing.T) {
+	t.Parallel()
 	// The Figure 6 rule: rotating one capacitor by 90° puts the equivalent
 	// current paths perpendicular and removes the coupling.
 	m := NewX2Cap("X2", 1.5e-6)
@@ -96,6 +100,7 @@ func TestCapacitorOrthogonalRotationDecouples(t *testing.T) {
 }
 
 func TestInstanceFootprintRotation(t *testing.T) {
+	t.Parallel()
 	m := NewX2Cap("X2", 1.5e-6)
 	in := &Instance{Ref: "C1", Model: m, Center: geom.V2(0.01, 0.02)}
 	fp := in.Footprint()
@@ -114,6 +119,7 @@ func TestInstanceFootprintRotation(t *testing.T) {
 }
 
 func TestBodyModelIsNonMagnetic(t *testing.T) {
+	t.Parallel()
 	b := &BodyModel{ModelName: "MOSFET", W: 10e-3, L: 10e-3, H: 4.5e-3}
 	if len(b.Conductor(0).Segments) != 0 {
 		t.Error("body must have no field structure")
@@ -132,6 +138,7 @@ func TestBodyModelIsNonMagnetic(t *testing.T) {
 }
 
 func TestBobbinChokeInductance(t *testing.T) {
+	t.Parallel()
 	ch := NewBobbinChoke("L1", 20, 4e-3)
 	l := ch.Inductance()
 	// 20 turns on an 8 mm drum with µeff 25: order 10–100 µH.
@@ -146,6 +153,7 @@ func TestBobbinChokeInductance(t *testing.T) {
 }
 
 func TestBobbinChokeAxisRotates(t *testing.T) {
+	t.Parallel()
 	ch := NewBobbinChoke("L1", 10, 4e-3)
 	if ax := ch.MagneticAxis(0); math.Abs(ax.Y) != 1 {
 		t.Errorf("axis at rot 0 = %v", ax)
@@ -162,6 +170,7 @@ func TestBobbinChokeAxisRotates(t *testing.T) {
 }
 
 func TestBobbinChokeCouplingSizeDependence(t *testing.T) {
+	t.Parallel()
 	// Figure 7: coupling of two bobbin coils; values vary with size and
 	// must be recomputed per combination.
 	small := NewBobbinChoke("Ls", 12, 3e-3)
@@ -181,6 +190,7 @@ func TestBobbinChokeCouplingSizeDependence(t *testing.T) {
 }
 
 func TestTraceInductanceRuleOfThumb(t *testing.T) {
+	t.Parallel()
 	tr := &Trace{
 		Points: []geom.Vec3{{}, {X: 0.1}},
 		Width:  1e-3,
@@ -196,6 +206,7 @@ func TestTraceInductanceRuleOfThumb(t *testing.T) {
 }
 
 func TestViaInductance(t *testing.T) {
+	t.Parallel()
 	v := &Via{At: geom.V2(0, 0), Z0: 0, Z1: 1.6e-3, Drill: 0.3e-3}
 	l := v.Inductance()
 	// A 1.6 mm via is of order 1 nH.
@@ -205,6 +216,7 @@ func TestViaInductance(t *testing.T) {
 }
 
 func TestCMChokeWindingCount(t *testing.T) {
+	t.Parallel()
 	c2 := NewCMChoke2("CM2")
 	c3 := NewCMChoke3("CM3")
 	if c2.windings() != 2 || c3.windings() != 3 {
@@ -220,6 +232,7 @@ func TestCMChokeWindingCount(t *testing.T) {
 }
 
 func TestCMChokeDecoupledPositions(t *testing.T) {
+	t.Parallel()
 	// Figure 8: scan a test capacitor around each choke. The 2-winding
 	// design must show positions with strongly reduced effective coupling;
 	// the 3-winding design under three-phase excitation must not.
@@ -258,6 +271,7 @@ func TestCMChokeDecoupledPositions(t *testing.T) {
 }
 
 func TestCatalogNamesAndSizes(t *testing.T) {
+	t.Parallel()
 	models := []Model{
 		NewX2Cap("X2", 1.5e-6),
 		NewSMDTantalum("TAN", 100e-6),
@@ -287,6 +301,7 @@ func TestCatalogNamesAndSizes(t *testing.T) {
 }
 
 func TestShieldedInductorStray(t *testing.T) {
+	t.Parallel()
 	open := NewBobbinChoke("DR", 10, 4e-3)
 	shielded := NewSMDPowerInductor("SHD", 10, 4e-3)
 	// Shielding must not change the inductance…
@@ -315,6 +330,7 @@ func TestShieldedInductorStray(t *testing.T) {
 }
 
 func TestElectrolyticAndYCap(t *testing.T) {
+	t.Parallel()
 	elko := NewElectrolytic("ELKO", 220e-6)
 	if esl := elko.EffectiveESL(); esl < 5e-9 || esl > 60e-9 {
 		t.Errorf("electrolytic ESL = %v", esl)
@@ -329,6 +345,7 @@ func TestElectrolyticAndYCap(t *testing.T) {
 }
 
 func TestCMChokeMagneticAxis(t *testing.T) {
+	t.Parallel()
 	// The CM-excited structure has a small but defined net dipole; the
 	// axis must be a unit vector (or zero) and rotate with the part.
 	c := NewCMChoke2("CM2")
@@ -339,6 +356,7 @@ func TestCMChokeMagneticAxis(t *testing.T) {
 }
 
 func TestBodyCapacitanceDirect(t *testing.T) {
+	t.Parallel()
 	m := NewX2Cap("X2", 1.5e-6)
 	a := &Instance{Ref: "C1", Model: m}
 	b := &Instance{Ref: "C2", Model: m, Center: geom.V2(0.025, 0)}
@@ -360,6 +378,7 @@ func TestBodyCapacitanceDirect(t *testing.T) {
 }
 
 func TestCMChokeConductorMuEffAppliedOnce(t *testing.T) {
+	t.Parallel()
 	c := NewCMChoke2("CM2")
 	merged := c.Conductor(0)
 	if merged.MuEff != c.muEff() {

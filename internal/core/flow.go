@@ -17,13 +17,12 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/components"
 	"repro/internal/drc"
 	"repro/internal/emi"
+	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/peec"
@@ -169,8 +168,10 @@ func (p *Project) AllPairs() [][2]string {
 // placement-invariant self-inductances are cached per component, so the
 // cost per pair is one mutual-inductance integral.
 func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, error) {
+	defer engine.Phase("core.extract")()
 	// Phase 1: build every needed conductor and its (placement-invariant)
-	// self-inductance, fanned out over the CPUs.
+	// self-inductance, fanned out over the engine pool. Each ref writes
+	// only its own slot, so the result is scheduling-independent.
 	refSet := map[string]bool{}
 	var refs []string
 	for _, pair := range pairs {
@@ -181,14 +182,14 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 			}
 		}
 	}
-	conds := make(map[string]*peec.Conductor, len(refs))
-	selfL := make(map[string]float64, len(refs))
-	var mu sync.Mutex
-	if err := parallelEach(len(refs), func(i int) error {
-		ref := refs[i]
-		inst, err := p.InstanceOf(ref)
+	type refField struct {
+		cond *peec.Conductor
+		l    float64
+	}
+	fields, err := engine.Map(len(refs), func(i int) (refField, error) {
+		inst, err := p.InstanceOf(refs[i])
 		if err != nil {
-			return err
+			return refField{}, err
 		}
 		c := inst.Conductor()
 		var l float64
@@ -199,18 +200,21 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 				l = c.SelfInductanceOrder(p.order())
 			}
 		}
-		mu.Lock()
-		conds[ref] = c
-		selfL[ref] = l
-		mu.Unlock()
-		return nil
-	}); err != nil {
+		return refField{cond: c, l: l}, nil
+	})
+	if err != nil {
 		return nil, err
+	}
+	conds := make(map[string]*peec.Conductor, len(refs))
+	selfL := make(map[string]float64, len(refs))
+	for i, ref := range refs {
+		conds[ref] = fields[i].cond
+		selfL[ref] = fields[i].l
 	}
 
 	// Phase 2: one mutual-inductance integral per pair, in parallel.
 	ks := make([]float64, len(pairs))
-	if err := parallelEach(len(pairs), func(i int) error {
+	if err := engine.ForEach(len(pairs), func(i int) error {
 		pair := pairs[i]
 		if p.Design.Find(pair[0]).Board != p.Design.Find(pair[1]).Board {
 			return nil
@@ -242,44 +246,6 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 		out[pair] = ks[i]
 	}
 	return out, nil
-}
-
-// parallelEach runs fn(0..n-1) over a bounded worker pool and returns the
-// first error.
-func parallelEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				if errs[w] != nil {
-					return
-				}
-				errs[w] = fn(i)
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // CircuitWithCouplings returns a clone of the circuit with the K elements

@@ -72,6 +72,7 @@ func placeBoth(p *Project, d2 float64, rot2 float64) {
 }
 
 func TestValidateCatchesInconsistencies(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	if err := p.Validate(); err != nil {
 		t.Fatalf("valid project rejected: %v", err)
@@ -99,6 +100,7 @@ func TestValidateCatchesInconsistencies(t *testing.T) {
 }
 
 func TestInstanceOfRequiresPlacement(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	if _, err := p.InstanceOf("C1"); err == nil {
 		t.Error("unplaced instance should error")
@@ -117,6 +119,7 @@ func TestInstanceOfRequiresPlacement(t *testing.T) {
 }
 
 func TestExtractCouplingsGeometryDependence(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	placeBoth(p, 0.02, 0)
 	near, err := p.ExtractCouplings(p.AllPairs())
@@ -142,6 +145,7 @@ func TestExtractCouplingsGeometryDependence(t *testing.T) {
 }
 
 func TestPredictWithAndWithoutCouplings(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	placeBoth(p, 0.022, 0) // close, parallel: strong coupling
 	sNo, err := p.Predict(PredictOptions{WithCouplings: false, MaxFreq: 60e6})
@@ -176,6 +180,7 @@ func TestPredictWithAndWithoutCouplings(t *testing.T) {
 }
 
 func TestRankCouplingsMapsRefs(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	rank, err := p.RankCouplings(0.01, 30e6)
 	if err != nil {
@@ -193,6 +198,7 @@ func TestRankCouplingsMapsRefs(t *testing.T) {
 }
 
 func TestDeriveRulesAndAutoPlace(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	n, err := p.DeriveRules(p.AllPairs(), 0.01)
 	if err != nil {
@@ -218,6 +224,7 @@ func TestDeriveRulesAndAutoPlace(t *testing.T) {
 }
 
 func TestCircuitWithCouplingsDeterministic(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	ks := map[[2]string]float64{{"C1", "C2"}: 0.042}
 	c1 := p.CircuitWithCouplings(ks)
@@ -242,6 +249,7 @@ func TestCircuitWithCouplingsDeterministic(t *testing.T) {
 }
 
 func TestScanFields(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	placeBoth(p, 0.03, 0)
 	scan, err := p.ScanFields(0, 0.005, 17, 13)
@@ -274,6 +282,7 @@ func TestScanFields(t *testing.T) {
 }
 
 func TestGroundPlaneChangesExtraction(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	placeBoth(p, 0.022, 0)
 	free, err := p.ExtractCouplings(p.AllPairs())
@@ -305,6 +314,7 @@ func TestGroundPlaneChangesExtraction(t *testing.T) {
 }
 
 func TestCapPairsAndCapacitiveValidation(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
 	if err := p.Validate(); err != nil {
@@ -331,6 +341,7 @@ func TestCapPairsAndCapacitiveValidation(t *testing.T) {
 }
 
 func TestExtractBodyCapacitances(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
 	placeBoth(p, 0.025, 0)
@@ -357,6 +368,7 @@ func TestExtractBodyCapacitances(t *testing.T) {
 }
 
 func TestPredictWithCapacitive(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	p.HotNodeOf = map[string]string{"C1": "vin", "C2": "vdd"}
 	placeBoth(p, 0.022, math.Pi/2) // orthogonal: magnetics quiet
@@ -427,6 +439,7 @@ func dampedProject() *Project {
 // are fully independent implementations and must agree on a circuit that
 // reaches periodic steady state.
 func TestTransientCrossValidatesPredictor(t *testing.T) {
+	t.Parallel()
 	p := dampedProject()
 	const nHarm = 8
 	sFreq, err := p.Predict(PredictOptions{MaxFreq: float64(nHarm+1) * 200e3})
@@ -446,6 +459,7 @@ func TestTransientCrossValidatesPredictor(t *testing.T) {
 }
 
 func TestPredictTransientErrors(t *testing.T) {
+	t.Parallel()
 	p := dampedProject()
 	p.Sources = nil
 	if _, err := p.PredictTransient(PredictOptions{}, 10, 5e-9, emi.Peak, 2); err == nil {
@@ -464,6 +478,7 @@ func TestPredictTransientErrors(t *testing.T) {
 }
 
 func TestMappedRefsAndAllPairs(t *testing.T) {
+	t.Parallel()
 	p := testProject()
 	refs := p.MappedRefs()
 	if len(refs) != 2 || refs[0] != "C1" || refs[1] != "C2" {

@@ -46,6 +46,7 @@ func placeAll(d *layout.Design) {
 }
 
 func TestGreenDesign(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	r := Check(d)
@@ -61,6 +62,7 @@ func TestGreenDesign(t *testing.T) {
 }
 
 func TestUnplacedViolation(t *testing.T) {
+	t.Parallel()
 	d := design()
 	r := Check(d)
 	if got := r.ByKind(KindUnplaced); len(got) != 3 {
@@ -69,6 +71,7 @@ func TestUnplacedViolation(t *testing.T) {
 }
 
 func TestEMDViolationAndRotationCure(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	// Move C2 within 20 mm of C1 with parallel axes: EMD violated.
@@ -94,6 +97,7 @@ func TestEMDViolationAndRotationCure(t *testing.T) {
 }
 
 func TestEMDAcrossBoardsIsOK(t *testing.T) {
+	t.Parallel()
 	d := design()
 	d.Boards = 2
 	d.Areas = append(d.Areas, layout.Area{
@@ -109,6 +113,7 @@ func TestEMDAcrossBoardsIsOK(t *testing.T) {
 }
 
 func TestClearanceViolation(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	place(d, "Q1", 0.0605, 0.04, 0) // 0.5 mm gap to C2's right edge
@@ -127,6 +132,7 @@ func TestClearanceViolation(t *testing.T) {
 }
 
 func TestContainmentViolation(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	place(d, "Q1", 0.098, 0.04, 0) // sticks out of the board
@@ -152,6 +158,7 @@ func TestContainmentViolation(t *testing.T) {
 }
 
 func TestEdgeClearance(t *testing.T) {
+	t.Parallel()
 	d := design()
 	d.EdgeClearance = 2e-3
 	placeAll(d)
@@ -170,6 +177,7 @@ func TestEdgeClearance(t *testing.T) {
 }
 
 func TestKeepoutZOffset(t *testing.T) {
+	t.Parallel()
 	d := design()
 	// A keepout hovering 6 mm above the board (e.g. housing rib).
 	d.Keepouts = append(d.Keepouts, layout.Keepout{
@@ -192,6 +200,7 @@ func TestKeepoutZOffset(t *testing.T) {
 }
 
 func TestGroupCoherence(t *testing.T) {
+	t.Parallel()
 	d := design()
 	d.Find("C1").Group = "filter"
 	d.Find("C2").Group = "filter"
@@ -209,6 +218,7 @@ func TestGroupCoherence(t *testing.T) {
 }
 
 func TestNetLengthRule(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	place(d, "C2", 0.09, 0.07, 0) // far from C1: net longer than 50 mm
@@ -219,6 +229,7 @@ func TestNetLengthRule(t *testing.T) {
 }
 
 func TestCheckMoveDoesNotMutate(t *testing.T) {
+	t.Parallel()
 	d := design()
 	placeAll(d)
 	before := *d.Find("C2")

@@ -15,6 +15,7 @@ func relErr(a, b float64) float64 {
 }
 
 func TestSphereCapacitance(t *testing.T) {
+	t.Parallel()
 	// Analytic: C = 4πε0·R.
 	R := 0.01
 	panels := SpherePanels(geom.V3(0, 0, 0), R, 12, 24)
@@ -29,6 +30,7 @@ func TestSphereCapacitance(t *testing.T) {
 }
 
 func TestSphereTranslationInvariance(t *testing.T) {
+	t.Parallel()
 	R := 0.005
 	a, err := SelfCapacitance(SpherePanels(geom.V3(0, 0, 0), R, 10, 20))
 	if err != nil {
@@ -44,6 +46,7 @@ func TestSphereTranslationInvariance(t *testing.T) {
 }
 
 func TestCubeCapacitance(t *testing.T) {
+	t.Parallel()
 	// Known numerical result: C(cube, edge a) ≈ 0.6607·4πε0·a.
 	a := 0.01
 	panels := CuboidPanels(geom.CuboidOf(geom.R(0, 0, a, a), 0, a), a/6)
@@ -58,6 +61,7 @@ func TestCubeCapacitance(t *testing.T) {
 }
 
 func TestSquarePlateCapacitance(t *testing.T) {
+	t.Parallel()
 	// Known: C(square plate, side a) ≈ 0.3667·4πε0·a·... the standard
 	// value is C = 4ε0·a·0.3667·π? Use the accepted 40.8 pF per meter of
 	// side length: C ≈ 4.08e-11·a.
@@ -74,6 +78,7 @@ func TestSquarePlateCapacitance(t *testing.T) {
 }
 
 func TestParallelPlates(t *testing.T) {
+	t.Parallel()
 	// Close plates: C ≥ ε0·A/d, with fringing adding tens of percent.
 	a, d := 0.02, 0.002
 	top := PlatePanels(geom.R(0, 0, a, a), d, a/10)
@@ -89,6 +94,7 @@ func TestParallelPlates(t *testing.T) {
 }
 
 func TestMutualCapacitanceDecaysWithDistance(t *testing.T) {
+	t.Parallel()
 	box := func(x float64) []Panel {
 		return CuboidPanels(geom.CuboidOf(geom.R(x, 0, x+0.01, 0.008), 0, 0.012), 3e-3)
 	}
@@ -110,6 +116,7 @@ func TestMutualCapacitanceDecaysWithDistance(t *testing.T) {
 }
 
 func TestMaxwellMatrixProperties(t *testing.T) {
+	t.Parallel()
 	a := SpherePanels(geom.V3(0, 0, 0), 0.004, 8, 16)
 	b := SpherePanels(geom.V3(0.02, 0, 0), 0.004, 8, 16)
 	c, err := CapacitanceMatrix([][]Panel{a, b})
@@ -137,6 +144,7 @@ func TestMaxwellMatrixProperties(t *testing.T) {
 }
 
 func TestTwoSpheresFarFieldCoefficient(t *testing.T) {
+	t.Parallel()
 	// For d >> R the induction coefficient approaches −4πε0·R²/d.
 	R := 0.003
 	for _, d := range []float64{0.05, 0.08} {
@@ -154,6 +162,7 @@ func TestTwoSpheresFarFieldCoefficient(t *testing.T) {
 }
 
 func TestErrorsAndDegenerate(t *testing.T) {
+	t.Parallel()
 	if _, err := CapacitanceMatrix(nil); err == nil {
 		t.Error("empty conductor set should fail")
 	}

@@ -11,6 +11,7 @@ import (
 )
 
 func TestLimitServiceBands(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		f      float64
 		want   float64
@@ -45,6 +46,7 @@ func TestLimitServiceBands(t *testing.T) {
 }
 
 func TestLimitClass(t *testing.T) {
+	t.Parallel()
 	// Class 5 equals the base limit; lower classes relax in the band's
 	// step: LW relaxes 10 dB per class.
 	for class, want := range map[int]float64{5: 70, 4: 80, 3: 90, 2: 100, 1: 110} {
@@ -77,6 +79,7 @@ func TestLimitClass(t *testing.T) {
 }
 
 func TestDBuVRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, v := range []float64{1e-6, 1e-3, 1, 17.3e-6} {
 		db := DBuV(v)
 		if math.Abs(FromDBuV(db)-v)/v > 1e-12 {
@@ -92,6 +95,7 @@ func TestDBuVRoundTrip(t *testing.T) {
 }
 
 func TestAddLISNStructure(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("Vbat", "bat", "0", netlist.Source{DC: 12})
 	meas := AddLISN(c, "lisnP", "bat", "vin")
@@ -111,6 +115,7 @@ func TestAddLISNStructure(t *testing.T) {
 }
 
 func TestTrapezoidHarmonicsAgainstFFT(t *testing.T) {
+	t.Parallel()
 	// The analytic Fourier coefficients must match an FFT of the sampled
 	// waveform.
 	p := &netlist.Pulse{
@@ -133,6 +138,7 @@ func TestTrapezoidHarmonicsAgainstFFT(t *testing.T) {
 }
 
 func TestTrapezoidHarmonicEnvelope(t *testing.T) {
+	t.Parallel()
 	// Beyond 1/(π·t_rise) the envelope falls at 40 dB/decade: c at 10× the
 	// corner must be well below c just above it.
 	p := &netlist.Pulse{V1: 0, V2: 1, Rise: 100e-9, Fall: 100e-9, Width: 2.4e-6, Period: 5e-6}
@@ -155,6 +161,7 @@ func TestTrapezoidHarmonicEnvelope(t *testing.T) {
 }
 
 func TestHarmonicRMS(t *testing.T) {
+	t.Parallel()
 	p := &netlist.Pulse{V1: 0, V2: 1, Rise: 10e-9, Fall: 10e-9, Width: 2.5e-6, Period: 5e-6}
 	// Square-ish wave: fundamental peak ≈ 2/π, RMS ≈ √2/π.
 	got := HarmonicRMS(p, 1)
@@ -188,6 +195,7 @@ func testConverter(k float64) *netlist.Circuit {
 }
 
 func TestPredictorSpectrum(t *testing.T) {
+	t.Parallel()
 	p := &Predictor{
 		Circuit:     testConverter(0),
 		SourceName:  "Vsw",
@@ -217,6 +225,7 @@ func TestPredictorSpectrum(t *testing.T) {
 }
 
 func TestCouplingRaisesEmissions(t *testing.T) {
+	t.Parallel()
 	// The paper's central claim in circuit form: adding the magnetic
 	// coupling between the filter capacitors' ESLs raises high-frequency
 	// conducted emissions.
@@ -245,6 +254,7 @@ func TestCouplingRaisesEmissions(t *testing.T) {
 }
 
 func TestPredictorErrors(t *testing.T) {
+	t.Parallel()
 	c := testConverter(0)
 	for _, p := range []*Predictor{
 		{Circuit: c, SourceName: "nope", MeasureNode: "lisn_meas"},
@@ -257,6 +267,7 @@ func TestPredictorErrors(t *testing.T) {
 }
 
 func TestSpectrumHelpers(t *testing.T) {
+	t.Parallel()
 	s := &Spectrum{
 		Freqs: []float64{200e3, 1e6, 10e6, 100e6},
 		DB:    []float64{70, 60, 50, 45},
@@ -283,6 +294,7 @@ func TestSpectrumHelpers(t *testing.T) {
 }
 
 func TestCompareMetrics(t *testing.T) {
+	t.Parallel()
 	a := &Spectrum{Freqs: []float64{1, 2, 3, 4}, DB: []float64{10, 20, 30, 40}}
 	ident := Compare(a, a)
 	if ident.MaxAbsDelta != 0 || ident.Correlation < 0.999 {
@@ -308,6 +320,7 @@ func TestCompareMetrics(t *testing.T) {
 }
 
 func TestTSVRoundTrip(t *testing.T) {
+	t.Parallel()
 	s := &Spectrum{
 		Freqs: []float64{200e3, 1e6, 30e6},
 		DB:    []float64{70.5, 54.25, -3},
@@ -334,6 +347,7 @@ func TestTSVRoundTrip(t *testing.T) {
 }
 
 func TestTSVErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"",                   // empty
 		"1000\n",             // wrong arity
@@ -350,6 +364,7 @@ func TestTSVErrors(t *testing.T) {
 }
 
 func TestMeasuredIsDeterministicAndBounded(t *testing.T) {
+	t.Parallel()
 	ref := &Spectrum{Freqs: []float64{1, 2, 3, 4, 5}, DB: []float64{50, 55, 60, 65, 70}}
 	m1 := Measured(ref, 2, 42)
 	m2 := Measured(ref, 2, 42)

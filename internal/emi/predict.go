@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"runtime"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/mna"
 	"repro/internal/netlist"
 )
@@ -84,54 +83,50 @@ func (p *Predictor) Spectrum() (*Spectrum, error) {
 		return nil, fmt.Errorf("emi: no harmonics below %g Hz", maxF)
 	}
 
-	// The harmonics are independent AC solves: fan them out over a worker
-	// pool. Each worker gets its own circuit clone and analyzer because
-	// the source phasors are set per harmonic.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ks) {
-		workers = len(ks)
+	// The harmonics are independent AC solves: fan them out over the
+	// shared engine pool. Each worker gets its own circuit clone and
+	// analyzer because the source phasors are set per harmonic; each
+	// harmonic writes only its own slot, so the spectrum is identical
+	// under any parallelism.
+	defer engine.Phase("emi.harmonics")()
+	type workerState struct {
+		srcs []*netlist.Element
+		an   *mna.Analyzer
 	}
 	dbs := make([]float64, len(ks))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+	err := engine.ForEachState(len(ks),
+		func() (*workerState, error) {
 			wc := ckt.Clone()
-			var wsrcs []*netlist.Element
+			s := &workerState{}
 			for _, name := range names {
-				wsrcs = append(wsrcs, wc.Find(name))
+				s.srcs = append(s.srcs, wc.Find(name))
 			}
 			an, err := mna.NewAnalyzer(wc)
 			if err != nil {
-				errs[w] = err
-				return
+				return nil, err
 			}
-			for i := w; i < len(ks); i += workers {
-				k := ks[i]
-				f := float64(k) * f1
-				for _, e := range wsrcs {
-					ck := TrapezoidHarmonic(e.Src.Pulse, k)
-					// Drive each source with its harmonic's RMS phasor;
-					// the solve superposes them coherently.
-					e.Src.ACMag = math.Sqrt2 * cmplx.Abs(ck)
-					e.Src.ACPhase = cmplx.Phase(ck)
-				}
-				sol, err := an.Solve(f)
-				if err != nil {
-					errs[w] = fmt.Errorf("emi: harmonic %d: %w", k, err)
-					return
-				}
-				dbs[i] = DBuV(cmplx.Abs(sol.NodeVoltage(p.MeasureNode)))
+			s.an = an
+			return s, nil
+		},
+		func(s *workerState, i int) error {
+			k := ks[i]
+			f := float64(k) * f1
+			for _, e := range s.srcs {
+				ck := TrapezoidHarmonic(e.Src.Pulse, k)
+				// Drive each source with its harmonic's RMS phasor;
+				// the solve superposes them coherently.
+				e.Src.ACMag = math.Sqrt2 * cmplx.Abs(ck)
+				e.Src.ACPhase = cmplx.Phase(ck)
 			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			sol, err := s.an.Solve(f)
+			if err != nil {
+				return fmt.Errorf("emi: harmonic %d: %w", k, err)
+			}
+			dbs[i] = DBuV(cmplx.Abs(sol.NodeVoltage(p.MeasureNode)))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	out := &Spectrum{}
 	for i, k := range ks {

@@ -21,6 +21,7 @@ func tone(a, f, fs, dur float64) ([]float64, float64) {
 var fastBand = ReceiverBand{Name: "test", RBW: 9e3, ChargeTC: 50e-6, DischargeTC: 2e-3, MeterTC: 1e-3}
 
 func TestCWToneReadsEquallyOnAllDetectors(t *testing.T) {
+	t.Parallel()
 	// CISPR: a continuous sinusoid reads the same on peak, quasi-peak and
 	// average detectors, equal to its RMS level.
 	a := 1e-3 // 1 mV peak = 57.0 dBµV RMS
@@ -38,6 +39,7 @@ func TestCWToneReadsEquallyOnAllDetectors(t *testing.T) {
 }
 
 func TestPulsedSignalDetectorOrdering(t *testing.T) {
+	t.Parallel()
 	// A pulsed carrier (low duty) must read Peak > QuasiPeak > Average —
 	// the defining property of the CISPR weighting chain.
 	fs, f := 20e6, 1e6
@@ -69,6 +71,7 @@ func TestPulsedSignalDetectorOrdering(t *testing.T) {
 }
 
 func TestOffTuneRejection(t *testing.T) {
+	t.Parallel()
 	// A tone 20×RBW away from the tuned frequency must be strongly
 	// suppressed by the IF selectivity.
 	a := 1e-3
@@ -87,6 +90,7 @@ func TestOffTuneRejection(t *testing.T) {
 }
 
 func TestTwoToneSelectivity(t *testing.T) {
+	t.Parallel()
 	// Tuning picks out the right component of a two-tone signal.
 	fs := 50e6
 	dt := 1 / fs
@@ -110,6 +114,7 @@ func TestTwoToneSelectivity(t *testing.T) {
 }
 
 func TestBandFor(t *testing.T) {
+	t.Parallel()
 	if b := BandFor(100e3); b.Name != "A" {
 		t.Errorf("100 kHz → band %s", b.Name)
 	}
@@ -122,6 +127,7 @@ func TestBandFor(t *testing.T) {
 }
 
 func TestMeasureWaveformErrors(t *testing.T) {
+	t.Parallel()
 	samples, dt := tone(1, 1e6, 20e6, 1e-3)
 	if _, err := MeasureWaveform(nil, dt, 1e6, fastBand, Peak); err == nil {
 		t.Error("empty input should fail")
@@ -138,6 +144,7 @@ func TestMeasureWaveformErrors(t *testing.T) {
 }
 
 func TestMeasureSpectrum(t *testing.T) {
+	t.Parallel()
 	a := 1e-3
 	samples, dt := tone(a, 1e6, 20e6, 10e-3)
 	s, err := MeasureSpectrum(samples, dt, []float64{0.5e6, 1e6, 2e6}, Peak, &fastBand)
@@ -154,6 +161,7 @@ func TestMeasureSpectrum(t *testing.T) {
 }
 
 func TestDetectorString(t *testing.T) {
+	t.Parallel()
 	if Peak.String() != "PK" || QuasiPeak.String() != "QP" || Average.String() != "AVG" {
 		t.Error("detector names")
 	}

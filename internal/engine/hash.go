@@ -1,0 +1,62 @@
+package engine
+
+import "math"
+
+// Key is a 128-bit cache key: two independent 64-bit hashes of the same
+// input stream. A single 64-bit hash would make silent collisions (and
+// therefore silently wrong physics) merely improbable; two independent
+// hashes make them negligible for any realistic session.
+type Key [2]uint64
+
+// Hasher accumulates a Key over a stream of numbers. The zero value is
+// ready to use after Reset; NewHasher returns one initialized.
+type Hasher struct {
+	h1, h2 uint64
+}
+
+// FNV-1a constants for the first lane; the second lane uses a distinct
+// offset basis and a post-multiply mix so the lanes decorrelate.
+const (
+	fnvOffset1 = 14695981039346656037
+	fnvOffset2 = 9650029242287828579
+	fnvPrime   = 1099511628211
+	mixPrime   = 0x9e3779b97f4a7c15 // 2^64 / golden ratio
+)
+
+// NewHasher returns an initialized Hasher.
+func NewHasher() *Hasher {
+	h := &Hasher{}
+	h.Reset()
+	return h
+}
+
+// Reset restores the initial state.
+func (h *Hasher) Reset() {
+	h.h1, h.h2 = fnvOffset1, fnvOffset2
+}
+
+// Uint64 feeds one 64-bit word, byte by byte, into both lanes.
+func (h *Hasher) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		b := uint64(byte(v >> (8 * i)))
+		h.h1 = (h.h1 ^ b) * fnvPrime
+		h.h2 = (h.h2 ^ (b * mixPrime)) * fnvPrime
+	}
+}
+
+// Float64 feeds the IEEE-754 bit pattern of f. Distinct bit patterns
+// (including -0 vs +0) hash differently, which is exactly right for a
+// cache keyed on bit-for-bit reproducibility.
+func (h *Hasher) Float64(f float64) {
+	h.Uint64(math.Float64bits(f))
+}
+
+// Int feeds an integer.
+func (h *Hasher) Int(v int) {
+	h.Uint64(uint64(v))
+}
+
+// Sum returns the accumulated 128-bit key.
+func (h *Hasher) Sum() Key {
+	return Key{h.h1, h.h2}
+}

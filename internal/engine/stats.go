@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Atomic work counters. They measure cost, never influence results, so
+// every hot path increments them unconditionally.
+var (
+	ctrMNASolves   atomic.Uint64
+	ctrNeumann     atomic.Uint64
+	ctrCacheHits   atomic.Uint64
+	ctrCacheMisses atomic.Uint64
+	ctrPoolBatches atomic.Uint64
+	ctrPoolTasks   atomic.Uint64
+)
+
+// CountMNASolve records one frequency-domain MNA solve.
+func CountMNASolve() { ctrMNASolves.Add(1) }
+
+// CountNeumann records one Neumann mutual-inductance integral (one
+// filament-pair double integral, before adaptive subdivision).
+func CountNeumann() { ctrNeumann.Add(1) }
+
+func statCacheHit()  { ctrCacheHits.Add(1) }
+func statCacheMiss() { ctrCacheMisses.Add(1) }
+func statPoolBatch(n int) {
+	ctrPoolBatches.Add(1)
+	ctrPoolTasks.Add(uint64(n))
+}
+
+// PhaseStat is the accumulated wall time of one named phase.
+type PhaseStat struct {
+	Name  string
+	Calls uint64
+	Wall  time.Duration
+}
+
+var phases = struct {
+	sync.Mutex
+	m map[string]*PhaseStat
+}{m: map[string]*PhaseStat{}}
+
+// Phase starts timing a named phase and returns the function that ends
+// it. Typical use:
+//
+//	defer engine.Phase("extract.mutual")()
+//
+// Phases may run concurrently; wall time accumulates per call, so
+// overlapping calls double-count wall clock (the counter measures
+// phase effort, not process elapsed time).
+func Phase(name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		phases.Lock()
+		p := phases.m[name]
+		if p == nil {
+			p = &PhaseStat{Name: name}
+			phases.m[name] = p
+		}
+		p.Calls++
+		p.Wall += d
+		phases.Unlock()
+	}
+}
+
+// Stats is a snapshot of the engine's observability counters.
+type Stats struct {
+	MNASolves        uint64
+	NeumannIntegrals uint64
+	CacheHits        uint64
+	CacheMisses      uint64
+	PoolBatches      uint64
+	PoolTasks        uint64
+	Phases           []PhaseStat // sorted by name
+}
+
+// HitRate returns the cache hit fraction in [0, 1] (0 when unused).
+func (s Stats) HitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Snapshot returns the current counter values.
+func Snapshot() Stats {
+	s := Stats{
+		MNASolves:        ctrMNASolves.Load(),
+		NeumannIntegrals: ctrNeumann.Load(),
+		CacheHits:        ctrCacheHits.Load(),
+		CacheMisses:      ctrCacheMisses.Load(),
+		PoolBatches:      ctrPoolBatches.Load(),
+		PoolTasks:        ctrPoolTasks.Load(),
+	}
+	phases.Lock()
+	for _, p := range phases.m {
+		s.Phases = append(s.Phases, *p)
+	}
+	phases.Unlock()
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	return s
+}
+
+// ResetStats zeroes every counter and phase timer (the cache contents
+// stay; use ResetCache for those).
+func ResetStats() {
+	ctrMNASolves.Store(0)
+	ctrNeumann.Store(0)
+	ctrCacheHits.Store(0)
+	ctrCacheMisses.Store(0)
+	ctrPoolBatches.Store(0)
+	ctrPoolTasks.Store(0)
+	phases.Lock()
+	phases.m = map[string]*PhaseStat{}
+	phases.Unlock()
+}
+
+// Fprint writes the human-readable stats report consumed by the CLIs'
+// -stats flag. The format is stable line-oriented "key value" text:
+//
+//	engine: mna solves <n>
+//	engine: neumann integrals <n>
+//	engine: cache hits <n> misses <n> hit-rate <pct>%
+//	engine: pool batches <n> tasks <n>
+//	engine: phase <name> calls <n> wall <duration>
+func Fprint(w io.Writer) error {
+	s := Snapshot()
+	if _, err := fmt.Fprintf(w,
+		"engine: mna solves %d\nengine: neumann integrals %d\nengine: cache hits %d misses %d hit-rate %.1f%%\nengine: pool batches %d tasks %d\n",
+		s.MNASolves, s.NeumannIntegrals, s.CacheHits, s.CacheMisses,
+		100*s.HitRate(), s.PoolBatches, s.PoolTasks); err != nil {
+		return err
+	}
+	for _, p := range s.Phases {
+		if _, err := fmt.Fprintf(w, "engine: phase %s calls %d wall %s\n",
+			p.Name, p.Calls, p.Wall.Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

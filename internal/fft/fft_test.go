@@ -41,6 +41,7 @@ func randomSignal(n int, seed int64) []complex128 {
 }
 
 func TestFFTMatchesNaive(t *testing.T) {
+	t.Parallel()
 	// Cover radix-2 sizes, odd sizes, primes and 1.
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 64, 100} {
 		x := randomSignal(n, int64(n))
@@ -53,12 +54,14 @@ func TestFFTMatchesNaive(t *testing.T) {
 }
 
 func TestFFTEmpty(t *testing.T) {
+	t.Parallel()
 	if FFT(nil) != nil || IFFT(nil) != nil {
 		t.Error("empty transforms should be nil")
 	}
 }
 
 func TestIFFTRoundTrip(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{4, 10, 37, 128} {
 		x := randomSignal(n, int64(1000+n))
 		y := IFFT(FFT(x))
@@ -69,6 +72,7 @@ func TestIFFTRoundTrip(t *testing.T) {
 }
 
 func TestFFTDoesNotMutateInput(t *testing.T) {
+	t.Parallel()
 	x := randomSignal(8, 1)
 	orig := make([]complex128, len(x))
 	copy(orig, x)
@@ -79,6 +83,7 @@ func TestFFTDoesNotMutateInput(t *testing.T) {
 }
 
 func TestParsevalTheorem(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{16, 33} {
 		x := randomSignal(n, int64(7*n))
 		y := FFT(x)
@@ -97,6 +102,7 @@ func TestParsevalTheorem(t *testing.T) {
 }
 
 func TestHannWindow(t *testing.T) {
+	t.Parallel()
 	w := Hann(101)
 	if w[0] > 1e-12 || w[100] > 1e-12 {
 		t.Error("Hann endpoints must be 0")
@@ -115,6 +121,7 @@ func TestHannWindow(t *testing.T) {
 }
 
 func TestAmplitudeSpectrumPureTone(t *testing.T) {
+	t.Parallel()
 	// A 1 kHz, 2 V sine sampled coherently: the spectrum shows 2 V at
 	// exactly the 1 kHz bin, both with and without a window.
 	fs := 64000.0
@@ -142,6 +149,7 @@ func TestAmplitudeSpectrumPureTone(t *testing.T) {
 }
 
 func TestAmplitudeSpectrumDCOffset(t *testing.T) {
+	t.Parallel()
 	samples := make([]float64, 256)
 	for i := range samples {
 		samples[i] = 3
@@ -158,6 +166,7 @@ func TestAmplitudeSpectrumDCOffset(t *testing.T) {
 }
 
 func TestAmplitudeSpectrumDegenerate(t *testing.T) {
+	t.Parallel()
 	if f, a := AmplitudeSpectrum(nil, 1e-3, nil); f != nil || a != nil {
 		t.Error("empty input")
 	}

@@ -34,6 +34,7 @@ func boundedComplexSlice(re, im []float64) []complex128 {
 }
 
 func TestQuickFFTLinearity(t *testing.T) {
+	t.Parallel()
 	// FFT(a·x + y) = a·FFT(x) + FFT(y) on same-length signals.
 	f := func(re1, im1 []float64, scale float64) bool {
 		x := boundedComplexSlice(re1, im1)
@@ -67,6 +68,7 @@ func TestQuickFFTLinearity(t *testing.T) {
 }
 
 func TestQuickIFFTInverts(t *testing.T) {
+	t.Parallel()
 	f := func(re, im []float64) bool {
 		x := boundedComplexSlice(re, im)
 		if len(x) == 0 {
@@ -86,6 +88,7 @@ func TestQuickIFFTInverts(t *testing.T) {
 }
 
 func TestQuickParseval(t *testing.T) {
+	t.Parallel()
 	f := func(re, im []float64) bool {
 		x := boundedComplexSlice(re, im)
 		if len(x) == 0 {

@@ -3,6 +3,7 @@ package geom
 import "testing"
 
 func TestCuboidOf(t *testing.T) {
+	t.Parallel()
 	c := CuboidOf(R(0, 0, 2, 3), 0.5, 1.5)
 	if c.Z0 != 0.5 || c.Z1 != 2.0 {
 		t.Errorf("z = [%v,%v]", c.Z0, c.Z1)
@@ -16,6 +17,7 @@ func TestCuboidOf(t *testing.T) {
 }
 
 func TestCuboidOverlapZOffset(t *testing.T) {
+	t.Parallel()
 	// A keepout hovering above a low component must not collide — this is
 	// the paper's "3D keepouts with z-offset" feature.
 	component := CuboidOf(R(0, 0, 1, 1), 0, 1)
@@ -39,6 +41,7 @@ func TestCuboidOverlapZOffset(t *testing.T) {
 }
 
 func TestCuboidContains(t *testing.T) {
+	t.Parallel()
 	c := CuboidOf(R(0, 0, 2, 2), 1, 1)
 	if !c.Contains(V3(1, 1, 1.5)) {
 		t.Error("interior point")
@@ -55,6 +58,7 @@ func TestCuboidContains(t *testing.T) {
 }
 
 func TestCuboidTranslate(t *testing.T) {
+	t.Parallel()
 	c := CuboidOf(R(0, 0, 1, 1), 0, 2).Translate(V2(3, 4))
 	if c.Base != R(3, 4, 4, 5) {
 		t.Errorf("Translate base = %v", c.Base)

@@ -14,6 +14,7 @@ func lShape() Polygon {
 }
 
 func TestPolygonArea(t *testing.T) {
+	t.Parallel()
 	if a := lShape().Area(); !close(a, 12, eps) {
 		t.Errorf("L area = %v", a)
 	}
@@ -27,6 +28,7 @@ func TestPolygonArea(t *testing.T) {
 }
 
 func TestPolygonContains(t *testing.T) {
+	t.Parallel()
 	p := lShape()
 	in := []Vec2{{1, 1}, {3, 1}, {1, 3}, {0.01, 0.01}}
 	out := []Vec2{{3, 3}, {5, 1}, {-1, 0}, {2.5, 2.5}}
@@ -49,6 +51,7 @@ func TestPolygonContains(t *testing.T) {
 }
 
 func TestPolygonContainsRect(t *testing.T) {
+	t.Parallel()
 	p := lShape()
 	if !p.ContainsRect(R(0.5, 0.5, 1.5, 1.5)) {
 		t.Error("rect in lower arm should fit")
@@ -71,6 +74,7 @@ func TestPolygonContainsRect(t *testing.T) {
 }
 
 func TestPolygonIntersectsRect(t *testing.T) {
+	t.Parallel()
 	p := lShape()
 	if !p.IntersectsRect(R(3, 1, 5, 3)) {
 		t.Error("partially overlapping rect should intersect")
@@ -87,6 +91,7 @@ func TestPolygonIntersectsRect(t *testing.T) {
 }
 
 func TestPolygonBBoxCentroid(t *testing.T) {
+	t.Parallel()
 	p := lShape()
 	if bb := p.BBox(); bb != R(0, 0, 4, 4) {
 		t.Errorf("BBox = %v", bb)
@@ -102,6 +107,7 @@ func TestPolygonBBoxCentroid(t *testing.T) {
 }
 
 func TestSegmentsIntersect(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		a, b, c, d Vec2
 		want       bool
@@ -122,6 +128,7 @@ func TestSegmentsIntersect(t *testing.T) {
 }
 
 func TestSegmentsCrossStrictly(t *testing.T) {
+	t.Parallel()
 	if !segmentsCrossStrictly(V2(0, 0), V2(2, 2), V2(0, 2), V2(2, 0)) {
 		t.Error("X cross should cross strictly")
 	}
@@ -134,6 +141,7 @@ func TestSegmentsCrossStrictly(t *testing.T) {
 }
 
 func TestPolygonRectAgreement(t *testing.T) {
+	t.Parallel()
 	// For a rectangle-as-polygon, ContainsRect must agree with Rect.ContainsRect.
 	outer := R(0, 0, 10, 10)
 	poly := RectPolygon(outer)
@@ -148,6 +156,7 @@ func TestPolygonRectAgreement(t *testing.T) {
 }
 
 func TestPolygonContainsMatchesBBoxForConvex(t *testing.T) {
+	t.Parallel()
 	sq := RectPolygon(R(0, 0, 5, 5))
 	f := func(x, y float64) bool {
 		x, y = math.Mod(x, 10), math.Mod(y, 10)

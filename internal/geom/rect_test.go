@@ -7,6 +7,7 @@ import (
 )
 
 func TestRNormalizes(t *testing.T) {
+	t.Parallel()
 	r := R(3, 4, 1, 2)
 	if r.Min != V2(1, 2) || r.Max != V2(3, 4) {
 		t.Errorf("R did not normalize: %+v", r)
@@ -14,6 +15,7 @@ func TestRNormalizes(t *testing.T) {
 }
 
 func TestRectBasics(t *testing.T) {
+	t.Parallel()
 	r := R(0, 0, 2, 4)
 	if r.W() != 2 || r.H() != 4 || r.Area() != 8 {
 		t.Errorf("W/H/Area = %v %v %v", r.W(), r.H(), r.Area())
@@ -30,6 +32,7 @@ func TestRectBasics(t *testing.T) {
 }
 
 func TestRectContains(t *testing.T) {
+	t.Parallel()
 	r := R(0, 0, 1, 1)
 	for _, p := range []Vec2{{0, 0}, {1, 1}, {0.5, 0.5}, {1, 0}} {
 		if !r.Contains(p) {
@@ -44,6 +47,7 @@ func TestRectContains(t *testing.T) {
 }
 
 func TestRectOverlapTouchingEdges(t *testing.T) {
+	t.Parallel()
 	a := R(0, 0, 1, 1)
 	b := R(1, 0, 2, 1) // shares an edge
 	if a.Overlaps(b) {
@@ -56,6 +60,7 @@ func TestRectOverlapTouchingEdges(t *testing.T) {
 }
 
 func TestRectIntersectUnion(t *testing.T) {
+	t.Parallel()
 	a := R(0, 0, 2, 2)
 	b := R(1, 1, 3, 3)
 	got := a.Intersect(b)
@@ -76,6 +81,7 @@ func TestRectIntersectUnion(t *testing.T) {
 }
 
 func TestRectInflate(t *testing.T) {
+	t.Parallel()
 	r := R(0, 0, 2, 2).Inflate(0.5)
 	if r != R(-0.5, -0.5, 2.5, 2.5) {
 		t.Errorf("Inflate = %v", r)
@@ -88,6 +94,7 @@ func TestRectInflate(t *testing.T) {
 }
 
 func TestRectSeparation(t *testing.T) {
+	t.Parallel()
 	a := R(0, 0, 1, 1)
 	if d := a.Separation(R(2, 0, 3, 1)); d != 1 {
 		t.Errorf("horizontal gap = %v", d)
@@ -104,6 +111,7 @@ func TestRectSeparation(t *testing.T) {
 }
 
 func TestRotatedAABB(t *testing.T) {
+	t.Parallel()
 	// 90° rotation swaps width and height.
 	r := RotatedAABB(V2(0, 0), 4, 2, math.Pi/2)
 	if !close(r.W(), 2, 1e-12) || !close(r.H(), 4, 1e-12) {
@@ -122,6 +130,7 @@ func TestRotatedAABB(t *testing.T) {
 }
 
 func TestRotatedAABBProperties(t *testing.T) {
+	t.Parallel()
 	// AABB area never smaller than the rect's own area; center preserved.
 	m := func(x float64) float64 {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
@@ -147,6 +156,7 @@ func TestRotatedAABBProperties(t *testing.T) {
 }
 
 func TestSeparationSymmetric(t *testing.T) {
+	t.Parallel()
 	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
 		m := func(x float64) float64 { return math.Mod(x, 100) }
 		a := R(m(a0), m(a1), m(a2), m(a3))

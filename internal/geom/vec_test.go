@@ -11,6 +11,7 @@ const eps = 1e-12
 func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestVec2Basics(t *testing.T) {
+	t.Parallel()
 	a, b := V2(1, 2), V2(3, -4)
 	if got := a.Add(b); got != V2(4, -2) {
 		t.Errorf("Add = %v", got)
@@ -36,6 +37,7 @@ func TestVec2Basics(t *testing.T) {
 }
 
 func TestVec2Rot(t *testing.T) {
+	t.Parallel()
 	v := V2(1, 0).Rot(math.Pi / 2)
 	if !close(v.X, 0, eps) || !close(v.Y, 1, eps) {
 		t.Errorf("Rot 90° = %v", v)
@@ -47,6 +49,7 @@ func TestVec2Rot(t *testing.T) {
 }
 
 func TestVec2Normalize(t *testing.T) {
+	t.Parallel()
 	if got := V2(0, 0).Normalize(); got != V2(0, 0) {
 		t.Errorf("Normalize zero = %v", got)
 	}
@@ -57,6 +60,7 @@ func TestVec2Normalize(t *testing.T) {
 }
 
 func TestVec3Basics(t *testing.T) {
+	t.Parallel()
 	a, b := V3(1, 0, 0), V3(0, 1, 0)
 	if got := a.Cross(b); got != V3(0, 0, 1) {
 		t.Errorf("Cross = %v", got)
@@ -73,6 +77,7 @@ func TestVec3Basics(t *testing.T) {
 }
 
 func TestVec3RotZ(t *testing.T) {
+	t.Parallel()
 	v := V3(1, 0, 5).RotZ(math.Pi / 2)
 	if !close(v.X, 0, eps) || !close(v.Y, 1, eps) || v.Z != 5 {
 		t.Errorf("RotZ = %v", v)
@@ -80,6 +85,7 @@ func TestVec3RotZ(t *testing.T) {
 }
 
 func TestVec3RotAxis(t *testing.T) {
+	t.Parallel()
 	// Rotating around z must match RotZ.
 	v := V3(1, 2, 3)
 	a := v.RotAxis(V3(0, 0, 1), 0.7)
@@ -99,6 +105,7 @@ func TestVec3RotAxis(t *testing.T) {
 }
 
 func TestRotAxisPreservesNorm(t *testing.T) {
+	t.Parallel()
 	m := func(x float64) float64 {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return 0
@@ -117,6 +124,7 @@ func TestRotAxisPreservesNorm(t *testing.T) {
 }
 
 func TestAngleBetween(t *testing.T) {
+	t.Parallel()
 	if got := AngleBetween(V3(1, 0, 0), V3(0, 1, 0)); !close(got, math.Pi/2, eps) {
 		t.Errorf("90° = %v", got)
 	}
@@ -134,6 +142,7 @@ func TestAngleBetween(t *testing.T) {
 }
 
 func TestAxisAngleFolds(t *testing.T) {
+	t.Parallel()
 	// Axis and its negation are the same magnetic axis.
 	if got := AxisAngle(V3(1, 0, 0), V3(-1, 0, 0)); !close(got, 0, eps) {
 		t.Errorf("antiparallel axes = %v", got)
@@ -148,6 +157,7 @@ func TestAxisAngleFolds(t *testing.T) {
 }
 
 func TestDegRadRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(x float64) bool {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return true
@@ -161,6 +171,7 @@ func TestDegRadRoundTrip(t *testing.T) {
 }
 
 func TestLiftXY(t *testing.T) {
+	t.Parallel()
 	p := V2(2, 3).Lift(7)
 	if p != V3(2, 3, 7) {
 		t.Errorf("Lift = %v", p)

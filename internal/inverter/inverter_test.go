@@ -17,6 +17,7 @@ func predict(t *testing.T, opt Options) *emi.Spectrum {
 }
 
 func TestInterleavingCancelsNonTriplenHarmonics(t *testing.T) {
+	t.Parallel()
 	// Balanced 120°-interleaved identical legs: the leg voltages' phasors
 	// sum to zero for every harmonic not divisible by 3 (1 + a + a² = 0),
 	// so the common-mode drive contains only triplen harmonics. The
@@ -51,6 +52,7 @@ func TestInterleavingCancelsNonTriplenHarmonics(t *testing.T) {
 }
 
 func TestCMChokeAttenuates(t *testing.T) {
+	t.Parallel()
 	with := predict(t, Options{Interleaved: true, WithChoke: true})
 	without := predict(t, Options{Interleaved: true, WithChoke: false})
 	_, w := with.InBand(50e3, 2e6).Max()
@@ -61,6 +63,7 @@ func TestCMChokeAttenuates(t *testing.T) {
 }
 
 func TestCircuitStructure(t *testing.T) {
+	t.Parallel()
 	c, meas := Circuit(Options{Interleaved: true, WithChoke: true})
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
@@ -86,6 +89,7 @@ func TestCircuitStructure(t *testing.T) {
 }
 
 func TestHarmonicLevelErrors(t *testing.T) {
+	t.Parallel()
 	s := predict(t, Options{Interleaved: true, WithChoke: true})
 	if _, err := HarmonicLevel(s, 0); err == nil {
 		t.Error("harmonic 0 should error")

@@ -30,6 +30,7 @@ func sampleDesign() *Design {
 }
 
 func TestComponentGeometry(t *testing.T) {
+	t.Parallel()
 	c := &Component{Ref: "X", W: 0.02, L: 0.01, H: 0.005, Center: geom.V2(0.05, 0.05)}
 	fp := c.Footprint()
 	if math.Abs(fp.W()-0.02) > 1e-12 || math.Abs(fp.H()-0.01) > 1e-12 {
@@ -54,6 +55,7 @@ func TestComponentGeometry(t *testing.T) {
 }
 
 func TestMagneticAxisRotation(t *testing.T) {
+	t.Parallel()
 	c := &Component{Ref: "L1", W: 0.01, L: 0.01, H: 0.01, Axis: geom.V3(0, 1, 0)}
 	if ax := c.MagneticAxis(); math.Abs(ax.Y-1) > 1e-12 {
 		t.Errorf("axis = %v", ax)
@@ -69,6 +71,7 @@ func TestMagneticAxisRotation(t *testing.T) {
 }
 
 func TestEMDBetween(t *testing.T) {
+	t.Parallel()
 	d := sampleDesign()
 	c1, c2 := d.Find("C1"), d.Find("C2")
 	// Parallel axes: full PEMD.
@@ -90,6 +93,7 @@ func TestEMDBetween(t *testing.T) {
 }
 
 func TestNetLength(t *testing.T) {
+	t.Parallel()
 	d := sampleDesign()
 	d.Find("C1").Placed = true
 	d.Find("C1").Center = geom.V2(0, 0)
@@ -107,6 +111,7 @@ func TestNetLength(t *testing.T) {
 }
 
 func TestGroups(t *testing.T) {
+	t.Parallel()
 	d := sampleDesign()
 	g := d.Groups()
 	if len(g["in"]) != 2 || len(g["sw"]) != 1 {
@@ -119,6 +124,7 @@ func TestGroups(t *testing.T) {
 }
 
 func TestValidateCatches(t *testing.T) {
+	t.Parallel()
 	ok := sampleDesign()
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid design rejected: %v", err)
@@ -149,6 +155,7 @@ func TestValidateCatches(t *testing.T) {
 }
 
 func TestFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	d := sampleDesign()
 	d.Keepouts = append(d.Keepouts, Keepout{
 		Name: "conn", Board: 0,
@@ -211,6 +218,7 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func TestReadErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"BOGUS x",
 		"AREA a 0 0 0 10 0",             // too few vertices
@@ -230,6 +238,7 @@ func TestReadErrors(t *testing.T) {
 }
 
 func TestAreasOf(t *testing.T) {
+	t.Parallel()
 	d := sampleDesign()
 	d.Boards = 2
 	d.Areas = append(d.Areas, Area{Name: "top", Board: 1, Poly: geom.RectPolygon(geom.R(0, 0, 0.05, 0.05))})

@@ -9,6 +9,7 @@ import (
 )
 
 func TestRealKnownSystem(t *testing.T) {
+	t.Parallel()
 	// [2 1; 1 3] x = [5; 10] → x = [1; 3].
 	m := NewReal(2)
 	m.Set(0, 0, 2)
@@ -25,6 +26,7 @@ func TestRealKnownSystem(t *testing.T) {
 }
 
 func TestRealRandomResidual(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(20)
@@ -55,6 +57,7 @@ func TestRealRandomResidual(t *testing.T) {
 }
 
 func TestRealSingular(t *testing.T) {
+	t.Parallel()
 	m := NewReal(2)
 	m.Set(0, 0, 1)
 	m.Set(0, 1, 2)
@@ -69,6 +72,7 @@ func TestRealSingular(t *testing.T) {
 }
 
 func TestRealPivoting(t *testing.T) {
+	t.Parallel()
 	// Zero pivot in (0,0) requires a row swap.
 	m := NewReal(2)
 	m.Set(0, 0, 0)
@@ -85,6 +89,7 @@ func TestRealPivoting(t *testing.T) {
 }
 
 func TestComplexKnownSystem(t *testing.T) {
+	t.Parallel()
 	// (1+i)·x = 2 → x = 1-i.
 	m := NewComplex(1)
 	m.Set(0, 0, complex(1, 1))
@@ -98,6 +103,7 @@ func TestComplexKnownSystem(t *testing.T) {
 }
 
 func TestComplexRandomResidual(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(6))
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(15)
@@ -127,6 +133,7 @@ func TestComplexRandomResidual(t *testing.T) {
 }
 
 func TestSolveDoesNotModifyRHS(t *testing.T) {
+	t.Parallel()
 	f := func(a, b, c, d, r1, r2 float64) bool {
 		bound := func(x float64) float64 {
 			if math.IsNaN(x) || math.IsInf(x, 0) {

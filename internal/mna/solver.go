@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
 )
@@ -93,6 +94,7 @@ func (a *Analyzer) Solve(f float64) (*Solution, error) {
 	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 		return nil, fmt.Errorf("mna: invalid frequency %g", f)
 	}
+	engine.CountMNASolve()
 	omega := 2 * math.Pi * f
 	nn := len(a.nodes)
 	m := linalg.NewComplex(a.n)

@@ -29,6 +29,7 @@ func solveAt(t *testing.T, c *netlist.Circuit, f float64) *Solution {
 }
 
 func TestVoltageDivider(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{ACMag: 1})
 	c.AddR("R1", "in", "mid", 3)
@@ -46,6 +47,7 @@ func TestVoltageDivider(t *testing.T) {
 }
 
 func TestCurrentSourceIntoResistor(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddI("I1", "0", "n", netlist.Source{ACMag: 2})
 	c.AddR("R1", "n", "0", 5)
@@ -56,6 +58,7 @@ func TestCurrentSourceIntoResistor(t *testing.T) {
 }
 
 func TestRCLowPass(t *testing.T) {
+	t.Parallel()
 	R, C := 1000.0, 100e-9
 	fc := 1 / (2 * math.Pi * R * C)
 	c := &netlist.Circuit{}
@@ -78,6 +81,7 @@ func TestRCLowPass(t *testing.T) {
 }
 
 func TestSeriesRLCResonance(t *testing.T) {
+	t.Parallel()
 	R, L, C := 10.0, 10e-6, 100e-9
 	f0 := 1 / (2 * math.Pi * math.Sqrt(L*C))
 	c := &netlist.Circuit{}
@@ -99,6 +103,7 @@ func TestSeriesRLCResonance(t *testing.T) {
 }
 
 func TestInductorShortsAtDC(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{DC: 10})
 	c.AddR("R1", "in", "a", 100)
@@ -115,6 +120,7 @@ func TestInductorShortsAtDC(t *testing.T) {
 }
 
 func TestCapacitorOpensAtDC(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{DC: 10})
 	c.AddR("R1", "in", "out", 1000)
@@ -126,6 +132,7 @@ func TestCapacitorOpensAtDC(t *testing.T) {
 }
 
 func TestTransformerCoupling(t *testing.T) {
+	t.Parallel()
 	// Open-circuit secondary: V2/V1 = k·sqrt(L2/L1).
 	L1, L2, k := 1e-3, 4e-3, 0.95
 	c := &netlist.Circuit{}
@@ -143,6 +150,7 @@ func TestTransformerCoupling(t *testing.T) {
 }
 
 func TestCouplingSignConvention(t *testing.T) {
+	t.Parallel()
 	// Reversing the coupling sign flips the secondary voltage phase.
 	mk := func(k float64) complex128 {
 		c := &netlist.Circuit{}
@@ -160,6 +168,7 @@ func TestCouplingSignConvention(t *testing.T) {
 }
 
 func TestPiFilterCouplingDegradesAttenuation(t *testing.T) {
+	t.Parallel()
 	// The paper's core circuit effect: magnetic coupling between the two
 	// inductively-behaving capacitors (via their ESLs) bypasses the π
 	// filter at high frequency and degrades attenuation.
@@ -190,6 +199,7 @@ func TestPiFilterCouplingDegradesAttenuation(t *testing.T) {
 }
 
 func TestSwitchAndDiodeACStamps(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{ACMag: 1})
 	c.AddSwitch("S1", "in", "a", 1, 1e9, netlist.Schedule{Period: 1, OnTime: 0.5})
@@ -208,6 +218,7 @@ func TestSwitchAndDiodeACStamps(t *testing.T) {
 }
 
 func TestSingularCircuitError(t *testing.T) {
+	t.Parallel()
 	// Two ideal voltage sources with conflicting values in parallel.
 	c := &netlist.Circuit{}
 	c.AddV("V1", "n", "0", netlist.Source{ACMag: 1})
@@ -222,6 +233,7 @@ func TestSingularCircuitError(t *testing.T) {
 }
 
 func TestInvalidFrequency(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "n", "0", netlist.Source{ACMag: 1})
 	c.AddR("R1", "n", "0", 1)
@@ -234,6 +246,7 @@ func TestInvalidFrequency(t *testing.T) {
 }
 
 func TestUnknownProbesReturnNaN(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "n", "0", netlist.Source{ACMag: 1})
 	c.AddR("R1", "n", "0", 1)
@@ -250,6 +263,7 @@ func TestUnknownProbesReturnNaN(t *testing.T) {
 }
 
 func TestSweepNode(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{ACMag: 1})
 	c.AddR("R1", "in", "out", 1000)
@@ -268,6 +282,7 @@ func TestSweepNode(t *testing.T) {
 }
 
 func TestSuperposition(t *testing.T) {
+	t.Parallel()
 	// Linear circuit: response to two sources = sum of individual responses.
 	build := func(a1, a2 float64) *netlist.Circuit {
 		c := &netlist.Circuit{}

@@ -357,7 +357,9 @@ func (c *Circuit) String() string {
 			fmt.Fprintf(&b, "%s %s %s %g\n", e.Name, e.LA, e.LB, e.Coup)
 		case V, I:
 			fmt.Fprintf(&b, "%s %s %s", e.Name, e.N1, e.N2)
-			if e.Src.DC != 0 {
+			// An all-zero source still needs one clause: a bare
+			// "Vname n1 n2" line would not parse back.
+			if e.Src.DC != 0 || (e.Src.ACMag == 0 && e.Src.Pulse == nil) {
 				fmt.Fprintf(&b, " DC %g", e.Src.DC)
 			}
 			if e.Src.ACMag != 0 {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestParseValueSuffixes(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		in   string
 		want float64
@@ -47,6 +48,7 @@ func TestParseValueSuffixes(t *testing.T) {
 }
 
 func TestPulseWaveform(t *testing.T) {
+	t.Parallel()
 	p := &Pulse{V1: 0, V2: 10, Delay: 1e-6, Rise: 1e-7, Fall: 1e-7, Width: 4e-7, Period: 1e-6}
 	cases := []struct {
 		t    float64
@@ -79,6 +81,7 @@ func TestPulseWaveform(t *testing.T) {
 }
 
 func TestScheduleOn(t *testing.T) {
+	t.Parallel()
 	s := &Schedule{Delay: 1, Period: 10, OnTime: 3}
 	cases := []struct {
 		t    float64
@@ -99,6 +102,7 @@ func TestScheduleOn(t *testing.T) {
 }
 
 func TestBuildAndValidate(t *testing.T) {
+	t.Parallel()
 	c := &Circuit{Title: "pi filter"}
 	c.AddV("V1", "in", "0", Source{ACMag: 1})
 	c.AddR("R1", "in", "a", 0.1)
@@ -127,6 +131,7 @@ func TestBuildAndValidate(t *testing.T) {
 }
 
 func TestValidateCatchesErrors(t *testing.T) {
+	t.Parallel()
 	mk := func(f func(c *Circuit)) error {
 		c := &Circuit{}
 		c.AddR("R1", "a", "0", 1)
@@ -164,6 +169,7 @@ func TestValidateCatchesErrors(t *testing.T) {
 }
 
 func TestSetCouplingUpserts(t *testing.T) {
+	t.Parallel()
 	c := &Circuit{}
 	c.AddL("L1", "a", "0", 1e-6)
 	c.AddL("L2", "b", "0", 1e-6)
@@ -184,6 +190,7 @@ func TestSetCouplingUpserts(t *testing.T) {
 }
 
 func TestRemoveCouplings(t *testing.T) {
+	t.Parallel()
 	c := &Circuit{}
 	c.AddL("L1", "a", "0", 1e-6)
 	c.AddL("L2", "b", "0", 1e-6)
@@ -200,6 +207,7 @@ func TestRemoveCouplings(t *testing.T) {
 }
 
 func TestCloneIsDeep(t *testing.T) {
+	t.Parallel()
 	c := &Circuit{}
 	c.AddV("V1", "in", "0", Source{DC: 5, Pulse: &Pulse{V2: 10, Period: 1e-6, Width: 5e-7}})
 	c.AddSwitch("S1", "in", "out", 0.1, 1e9, Schedule{Period: 1e-6, OnTime: 5e-7})
@@ -217,6 +225,7 @@ func TestCloneIsDeep(t *testing.T) {
 }
 
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	c := &Circuit{Title: "buck"}
 	c.AddV("Vin", "in", "0", Source{DC: 12})
 	c.AddV("Vg", "g", "0", Source{Pulse: &Pulse{V1: 0, V2: 1, Rise: 1e-8, Fall: 1e-8, Width: 2e-6, Period: 5e-6}})
@@ -266,6 +275,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
+	t.Parallel()
 	bad := []string{
 		"R1 a 0",                    // missing value
 		"R1 a 0 xyz",                // bad value
@@ -283,6 +293,7 @@ func TestParseErrors(t *testing.T) {
 }
 
 func TestParseNeverPanics(t *testing.T) {
+	t.Parallel()
 	// The parser must reject arbitrary garbage with errors, not panics.
 	rng := rand.New(rand.NewSource(99))
 	alphabet := []byte("RLCKVISD abc0123().,-+eEuUnNpP\n\t*#")
@@ -304,6 +315,7 @@ func TestParseNeverPanics(t *testing.T) {
 }
 
 func TestParseValueNeverPanics(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	alphabet := []byte("0123456789.eE+-uUnNpPkKmMgGtTfF ")
 	for trial := 0; trial < 1000; trial++ {
@@ -324,6 +336,7 @@ func TestParseValueNeverPanics(t *testing.T) {
 }
 
 func TestParseCommentsAndTitle(t *testing.T) {
+	t.Parallel()
 	src := `* my filter
 ; a comment
 # another
@@ -343,6 +356,7 @@ R1 in 0 50
 }
 
 func TestTokenizeKeepsGroups(t *testing.T) {
+	t.Parallel()
 	got := tokenize("V1 a 0 PULSE(0 5 0 1n 1n 2u 5u)")
 	if len(got) != 4 {
 		t.Fatalf("tokens = %v", got)

@@ -3,6 +3,7 @@ package peec
 import (
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -50,7 +51,9 @@ func (c *Conductor) BField(i float64, p geom.Vec3) geom.Vec3 {
 // FieldMap samples |B| over a regular nx×ny grid spanning rectangle r at
 // height z, for unit current through each conductor in cs. It reproduces
 // the kind of stray-field picture shown in the paper's Figure 4.
-// The returned grid is indexed [iy][ix].
+// The returned grid is indexed [iy][ix]. Rows are sampled over the
+// engine's worker pool; each cell is an independent Biot–Savart sum, so
+// the grid is identical under any parallelism.
 func FieldMap(cs []*Conductor, r geom.Rect, z float64, nx, ny int) [][]float64 {
 	if nx < 2 {
 		nx = 2
@@ -58,9 +61,10 @@ func FieldMap(cs []*Conductor, r geom.Rect, z float64, nx, ny int) [][]float64 {
 	if ny < 2 {
 		ny = 2
 	}
+	defer engine.Phase("peec.fieldmap")()
 	out := make([][]float64, ny)
-	for iy := 0; iy < ny; iy++ {
-		out[iy] = make([]float64, nx)
+	engine.ForEach(ny, func(iy int) error {
+		row := make([]float64, nx)
 		y := r.Min.Y + (r.Max.Y-r.Min.Y)*float64(iy)/float64(ny-1)
 		for ix := 0; ix < nx; ix++ {
 			x := r.Min.X + (r.Max.X-r.Min.X)*float64(ix)/float64(nx-1)
@@ -69,8 +73,10 @@ func FieldMap(cs []*Conductor, r geom.Rect, z float64, nx, ny int) [][]float64 {
 			for _, c := range cs {
 				b = b.Add(c.BField(1, p))
 			}
-			out[iy][ix] = b.Norm()
+			row[ix] = b.Norm()
 		}
-	}
+		out[iy] = row
+		return nil
+	})
 	return out
 }

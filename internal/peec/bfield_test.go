@@ -8,6 +8,7 @@ import (
 )
 
 func TestSegmentBFieldLongWireLimit(t *testing.T) {
+	t.Parallel()
 	// Near the middle of a long wire the field approaches µ0·I/(2π·d).
 	s := Segment{geom.V3(-1, 0, 0), geom.V3(1, 0, 0), 1e-3}
 	i, d := 2.0, 0.01
@@ -23,6 +24,7 @@ func TestSegmentBFieldLongWireLimit(t *testing.T) {
 }
 
 func TestSegmentBFieldOnAxisZero(t *testing.T) {
+	t.Parallel()
 	s := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 1e-3}
 	if b := SegmentBField(s, 1, geom.V3(2, 0, 0)); b != (geom.Vec3{}) {
 		t.Errorf("on-axis B = %v, want 0", b)
@@ -33,6 +35,7 @@ func TestSegmentBFieldOnAxisZero(t *testing.T) {
 }
 
 func TestLoopCenterField(t *testing.T) {
+	t.Parallel()
 	// B at the center of a circular loop: µ0·I/(2R).
 	R, i := 0.01, 1.5
 	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 64, 0.2e-3)
@@ -47,6 +50,7 @@ func TestLoopCenterField(t *testing.T) {
 }
 
 func TestLoopFarFieldDipole(t *testing.T) {
+	t.Parallel()
 	// On the loop axis far away: B = µ0·m/(2π·z³) with m = I·A.
 	R, i := 0.005, 1.0
 	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 48, 0.2e-3)
@@ -60,6 +64,7 @@ func TestLoopFarFieldDipole(t *testing.T) {
 }
 
 func TestBFieldSuperposition(t *testing.T) {
+	t.Parallel()
 	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
 	b := Ring(geom.V3(0.02, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
 	p := geom.V3(0.01, 0.005, 0.002)
@@ -73,6 +78,7 @@ func TestBFieldSuperposition(t *testing.T) {
 }
 
 func TestBFieldMuEff(t *testing.T) {
+	t.Parallel()
 	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
 	cored := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
 	cored.MuEff = 50
@@ -83,6 +89,7 @@ func TestBFieldMuEff(t *testing.T) {
 }
 
 func TestFieldMapShape(t *testing.T) {
+	t.Parallel()
 	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 16, 0.2e-3)
 	m := FieldMap([]*Conductor{ring}, geom.R(-0.02, -0.02, 0.02, 0.02), 0.001, 9, 7)
 	if len(m) != 7 || len(m[0]) != 9 {
@@ -102,6 +109,7 @@ func TestFieldMapShape(t *testing.T) {
 }
 
 func TestMirrorZImage(t *testing.T) {
+	t.Parallel()
 	s := Segment{geom.V3(0, 0, 0.003), geom.V3(0.01, 0, 0.003), 1e-3}
 	img := s.MirrorZ(0)
 	if img.A.Z != -0.003 || img.B.Z != -0.003 {

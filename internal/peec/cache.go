@@ -1,0 +1,59 @@
+package peec
+
+import "repro/internal/engine"
+
+// Memoization of the expensive conductor-level integrals through the
+// engine's coupling cache.
+//
+// The cache key is a 128-bit hash of everything the result depends on:
+// the kind of computation, the quadrature order, and for each conductor
+// its effective permeability, shield factor and the full segment set
+// (endpoint coordinates and wire radius, bit-for-bit). Two conductors
+// with identical geometry therefore share cache entries no matter which
+// subsystem (core extraction, rule derivation, routing, sensitivity)
+// built them — and any bit of geometric difference, including a
+// translation by one ULP, misses. Keys never canonicalise symmetry
+// (Mutual(a,b) vs Mutual(b,a)): the summation order differs, so the
+// floating-point results may too, and the cache must be invisible in
+// the output.
+
+// Cache key tags, one per memoized computation.
+const (
+	tagMutual = iota
+	tagSelfL
+)
+
+// hashInto feeds the conductor's full field-relevant state to h.
+func (c *Conductor) hashInto(h *engine.Hasher) {
+	h.Float64(c.muEff())
+	h.Float64(c.shield())
+	h.Int(len(c.Segments))
+	for _, s := range c.Segments {
+		h.Float64(s.A.X)
+		h.Float64(s.A.Y)
+		h.Float64(s.A.Z)
+		h.Float64(s.B.X)
+		h.Float64(s.B.Y)
+		h.Float64(s.B.Z)
+		h.Float64(s.Radius)
+	}
+}
+
+// mutualKey builds the cache key for Mutual(a, b, order).
+func mutualKey(a, b *Conductor, order int) engine.Key {
+	h := engine.NewHasher()
+	h.Int(tagMutual)
+	h.Int(order)
+	a.hashInto(h)
+	b.hashInto(h)
+	return h.Sum()
+}
+
+// selfKey builds the cache key for c.SelfInductanceOrder(order).
+func selfKey(c *Conductor, order int) engine.Key {
+	h := engine.NewHasher()
+	h.Int(tagSelfL)
+	h.Int(order)
+	c.hashInto(h)
+	return h.Sum()
+}

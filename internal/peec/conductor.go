@@ -3,6 +3,7 @@ package peec
 import (
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -134,8 +135,18 @@ func (c *Conductor) SelfInductance() float64 {
 }
 
 // SelfInductanceOrder is SelfInductance with an explicit quadrature order
-// (exposed for the accuracy/speed ablation).
+// (exposed for the accuracy/speed ablation). Results are memoized in the
+// engine's coupling cache under the full geometry (see cache.go).
 func (c *Conductor) SelfInductanceOrder(order int) float64 {
+	if len(c.Segments) == 0 {
+		return 0
+	}
+	return engine.Memo(selfKey(c, order), func() float64 {
+		return c.selfInductanceUncached(order)
+	})
+}
+
+func (c *Conductor) selfInductanceUncached(order int) float64 {
 	sum := 0.0
 	for i, si := range c.Segments {
 		sum += si.SelfInductance()
@@ -150,8 +161,18 @@ func (c *Conductor) SelfInductanceOrder(order int) float64 {
 // the sum of pairwise partial mutuals between their segments. Cored
 // structures scale by √(µ1·µ2), consistent with the effective-permeability
 // correction of the self terms; shield factors of both parts attenuate
-// the result.
+// the result. Results are memoized in the engine's coupling cache under
+// the full geometry of both structures (see cache.go).
 func Mutual(a, b *Conductor, order int) float64 {
+	if len(a.Segments) == 0 || len(b.Segments) == 0 {
+		return 0
+	}
+	return engine.Memo(mutualKey(a, b, order), func() float64 {
+		return mutualUncached(a, b, order)
+	})
+}
+
+func mutualUncached(a, b *Conductor, order int) float64 {
 	sum := 0.0
 	for _, sa := range a.Segments {
 		for _, sb := range b.Segments {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestRingSelfInductanceAnalytic(t *testing.T) {
+	t.Parallel()
 	// Circular loop: L = µ0·R·(ln(8R/a) − 1.75) with internal inductance,
 	// matching the per-segment Rosa constant −0.75 used here. The wire must
 	// stay thin relative to the segment length for the thin-wire formula.
@@ -21,6 +22,7 @@ func TestRingSelfInductanceAnalytic(t *testing.T) {
 }
 
 func TestRingSelfInductanceConverges(t *testing.T) {
+	t.Parallel()
 	R, a := 0.01, 0.1e-3
 	l16 := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 16, a).SelfInductance()
 	l64 := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), R, 64, a).SelfInductance()
@@ -32,6 +34,7 @@ func TestRingSelfInductanceConverges(t *testing.T) {
 }
 
 func TestCoaxialLoopsDipoleLimit(t *testing.T) {
+	t.Parallel()
 	// Far-separated coaxial loops: M → µ0·π·a²·b² / (2·d³).
 	a, b := 0.005, 0.004
 	ra := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), a, 32, 0.2e-3)
@@ -46,6 +49,7 @@ func TestCoaxialLoopsDipoleLimit(t *testing.T) {
 }
 
 func TestCouplingFactorProperties(t *testing.T) {
+	t.Parallel()
 	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
 	b := Ring(geom.V3(0.03, 0, 0), geom.V3(0, 0, 1), 0.004, 24, 0.2e-3)
 	k := CouplingFactor(a, b, DefaultOrder)
@@ -73,6 +77,7 @@ func TestCouplingFactorProperties(t *testing.T) {
 }
 
 func TestOrthogonalAxesDecouple(t *testing.T) {
+	t.Parallel()
 	// Rotating one loop's axis by 90° must collapse the coupling — the
 	// physical basis of the paper's EMD = PEMD·cos(alpha) rule.
 	a := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 32, 0.2e-3)
@@ -86,6 +91,7 @@ func TestOrthogonalAxesDecouple(t *testing.T) {
 }
 
 func TestMuEffScaling(t *testing.T) {
+	t.Parallel()
 	air := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
 	cored := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.005, 24, 0.2e-3)
 	cored.MuEff = 100
@@ -104,6 +110,7 @@ func TestMuEffScaling(t *testing.T) {
 }
 
 func TestGroundPlaneReducesCoupling(t *testing.T) {
+	t.Parallel()
 	// An ideal shield plane below two coplanar loops must reduce |M| —
 	// the paper's observation that ground planes relax minimum distances.
 	h := 0.002 // loops 2 mm above the plane
@@ -117,6 +124,7 @@ func TestGroundPlaneReducesCoupling(t *testing.T) {
 }
 
 func TestDipoleMomentRing(t *testing.T) {
+	t.Parallel()
 	// m = I·A·n for a planar loop; per unit current, |m| = π·R².
 	R := 0.01
 	ring := Ring(geom.V3(0.002, -0.001, 0.05), geom.V3(0, 0, 1), R, 64, 0.2e-3)
@@ -140,6 +148,7 @@ func TestDipoleMomentRing(t *testing.T) {
 }
 
 func TestDipoleMomentOriginIndependent(t *testing.T) {
+	t.Parallel()
 	ring := Ring(geom.V3(0, 0, 0), geom.V3(0, 0, 1), 0.008, 32, 0.2e-3)
 	moved := ring.Translate(geom.V3(1, 2, 3))
 	if ring.DipoleMoment().Dist(moved.DipoleMoment()) > 1e-12 {
@@ -148,6 +157,7 @@ func TestDipoleMomentOriginIndependent(t *testing.T) {
 }
 
 func TestConductorTransforms(t *testing.T) {
+	t.Parallel()
 	c := NewPolyline([]geom.Vec3{{X: 0}, {X: 1}}, 1e-3)
 	moved := c.Translate(geom.V3(0, 1, 0))
 	if moved.Segments[0].A != geom.V3(0, 1, 0) {
@@ -167,6 +177,7 @@ func TestConductorTransforms(t *testing.T) {
 }
 
 func TestNewLoopClosesPolyline(t *testing.T) {
+	t.Parallel()
 	pts := []geom.Vec3{{}, {X: 1}, {X: 1, Y: 1}}
 	loop := NewLoop(pts, 1e-3)
 	if len(loop.Segments) != 3 {
@@ -183,6 +194,7 @@ func TestNewLoopClosesPolyline(t *testing.T) {
 }
 
 func TestTotalLength(t *testing.T) {
+	t.Parallel()
 	c := NewLoop([]geom.Vec3{{}, {X: 1}, {X: 1, Y: 1}, {Y: 1}}, 1e-3)
 	if got := c.TotalLength(); math.Abs(got-4) > 1e-12 {
 		t.Errorf("TotalLength = %v", got)

@@ -8,6 +8,7 @@ import (
 )
 
 func TestEllipticKnownValues(t *testing.T) {
+	t.Parallel()
 	// K(0) = E(0) = π/2.
 	K, E := EllipticKE(0)
 	if relErr(K, math.Pi/2) > 1e-15 || relErr(E, math.Pi/2) > 1e-15 {
@@ -37,6 +38,7 @@ func TestEllipticKnownValues(t *testing.T) {
 }
 
 func TestMutualCoaxialLoopsAgainstNeumann(t *testing.T) {
+	t.Parallel()
 	// The segmented-ring Neumann quadrature must converge to Maxwell's
 	// exact filament formula.
 	cases := []struct{ ra, rb, d float64 }{
@@ -58,6 +60,7 @@ func TestMutualCoaxialLoopsAgainstNeumann(t *testing.T) {
 }
 
 func TestMutualCoaxialLoopsLimits(t *testing.T) {
+	t.Parallel()
 	// Far field → dipole formula µ0·π·ra²·rb²/(2·d³).
 	ra, rb, d := 4e-3, 3e-3, 0.1
 	exact := MutualCoaxialLoops(ra, rb, d)

@@ -3,6 +3,7 @@ package peec
 import (
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/quadrature"
 )
 
@@ -27,6 +28,7 @@ const maxSubdivide = 6
 // The sign of the result follows the segment directions: anti-parallel
 // segments yield negative M.
 func MutualFilaments(a, b Segment, order int) float64 {
+	engine.CountNeumann()
 	if order <= 0 {
 		order = DefaultOrder
 	}

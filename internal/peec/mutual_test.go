@@ -16,6 +16,7 @@ func relErr(a, b float64) float64 {
 }
 
 func TestMutualParallelAgainstGrover(t *testing.T) {
+	t.Parallel()
 	// Two equal parallel filaments: the quadrature must reproduce the
 	// analytic Grover formula over a wide range of distance/length ratios.
 	const l = 0.05 // 50 mm
@@ -32,6 +33,7 @@ func TestMutualParallelAgainstGrover(t *testing.T) {
 }
 
 func TestMutualPerpendicularIsZero(t *testing.T) {
+	t.Parallel()
 	a := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 1e-3}
 	b := Segment{geom.V3(0, 0.01, 0), geom.V3(0, 0.01, 1), 1e-3}
 	if m := MutualFilaments(a, b, DefaultOrder); m != 0 {
@@ -40,6 +42,7 @@ func TestMutualPerpendicularIsZero(t *testing.T) {
 }
 
 func TestMutualAntiParallelNegative(t *testing.T) {
+	t.Parallel()
 	a := Segment{geom.V3(0, 0, 0), geom.V3(0.05, 0, 0), 0.1e-3}
 	b := Segment{geom.V3(0.05, 0.01, 0), geom.V3(0, 0.01, 0), 0.1e-3}
 	m := MutualFilaments(a, b, DefaultOrder)
@@ -54,6 +57,7 @@ func TestMutualAntiParallelNegative(t *testing.T) {
 }
 
 func TestMutualSymmetric(t *testing.T) {
+	t.Parallel()
 	a := Segment{geom.V3(0, 0, 0), geom.V3(0.03, 0.01, 0), 0.2e-3}
 	b := Segment{geom.V3(0.01, 0.02, 0.005), geom.V3(0.05, 0.03, 0.01), 0.2e-3}
 	m1 := MutualFilaments(a, b, DefaultOrder)
@@ -64,6 +68,7 @@ func TestMutualSymmetric(t *testing.T) {
 }
 
 func TestMutualDegenerateSegments(t *testing.T) {
+	t.Parallel()
 	a := Segment{geom.V3(0, 0, 0), geom.V3(0, 0, 0), 1e-3} // zero length
 	b := Segment{geom.V3(0, 0.01, 0), geom.V3(0.05, 0.01, 0), 1e-3}
 	if m := MutualFilaments(a, b, DefaultOrder); m != 0 {
@@ -72,6 +77,7 @@ func TestMutualDegenerateSegments(t *testing.T) {
 }
 
 func TestMutualTouchingFilamentsFinite(t *testing.T) {
+	t.Parallel()
 	// Collinear filaments sharing an endpoint: the GMD regularisation must
 	// keep the integral finite and positive.
 	a := Segment{geom.V3(0, 0, 0), geom.V3(0.01, 0, 0), 0.5e-3}
@@ -83,6 +89,7 @@ func TestMutualTouchingFilamentsFinite(t *testing.T) {
 }
 
 func TestMutualDecaysWithDistance(t *testing.T) {
+	t.Parallel()
 	const l = 0.02
 	prev := math.Inf(1)
 	for _, d := range []float64{0.005, 0.01, 0.02, 0.04, 0.08} {
@@ -97,6 +104,7 @@ func TestMutualDecaysWithDistance(t *testing.T) {
 }
 
 func TestGroverKnownValue(t *testing.T) {
+	t.Parallel()
 	// Two parallel 100 mm wires 10 mm apart: a textbook value of ≈ 46 nH
 	// (Grover). Check the closed form lands in that neighbourhood.
 	m := MutualParallelFilaments(0.1, 0.01)
@@ -106,6 +114,7 @@ func TestGroverKnownValue(t *testing.T) {
 }
 
 func TestSelfInductanceStraightWire(t *testing.T) {
+	t.Parallel()
 	// 100 mm of 1 mm-diameter wire ≈ 100 nH (the 1 µH/m rule of thumb the
 	// EMI community uses, also quoted in the paper's context [5]).
 	l := SelfInductance(0.1, 0.5e-3)
@@ -126,6 +135,7 @@ func TestSelfInductanceStraightWire(t *testing.T) {
 }
 
 func TestSegmentMinDistance(t *testing.T) {
+	t.Parallel()
 	a := Segment{geom.V3(0, 0, 0), geom.V3(1, 0, 0), 0}
 	cases := []struct {
 		b    Segment

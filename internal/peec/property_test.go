@@ -20,6 +20,7 @@ func boundedVec(x, y, z float64) geom.Vec3 {
 }
 
 func TestQuickMutualSymmetry(t *testing.T) {
+	t.Parallel()
 	// M(a,b) = M(b,a) for arbitrary segment pairs.
 	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
 		a := Segment{boundedVec(ax, ay, az), boundedVec(bx, by, bz), 0.2e-3}
@@ -34,6 +35,7 @@ func TestQuickMutualSymmetry(t *testing.T) {
 }
 
 func TestQuickMutualReversalAntisymmetry(t *testing.T) {
+	t.Parallel()
 	// Reversing one segment's direction flips the sign of M.
 	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
 		a := Segment{boundedVec(ax, ay, az), boundedVec(bx, by, bz), 0.2e-3}
@@ -48,6 +50,7 @@ func TestQuickMutualReversalAntisymmetry(t *testing.T) {
 }
 
 func TestQuickTranslationInvariance(t *testing.T) {
+	t.Parallel()
 	// Rigid translation of both segments leaves M unchanged.
 	f := func(ax, ay, bx, by, tx, ty, tz float64) bool {
 		a := Segment{boundedVec(ax, ay, 0), boundedVec(bx, by, 0.001), 0.2e-3}
@@ -68,6 +71,7 @@ func TestQuickTranslationInvariance(t *testing.T) {
 }
 
 func TestQuickBFieldLinearInCurrent(t *testing.T) {
+	t.Parallel()
 	f := func(i1, i2, px, py, pz float64) bool {
 		bound := func(v float64) float64 {
 			if math.IsNaN(v) || math.IsInf(v, 0) {

@@ -29,6 +29,7 @@ func snapshotsEqual(a, b map[string][3]float64) bool {
 }
 
 func TestAnnealImprovesCostAndStaysLegal(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{}); err != nil {
 		t.Fatal(err)
@@ -49,6 +50,7 @@ func TestAnnealImprovesCostAndStaysLegal(t *testing.T) {
 }
 
 func TestAnnealDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
 	mk := func(seed int64) map[string][3]float64 {
 		d := smallDesign()
 		if _, err := AutoPlace(d, Options{}); err != nil {
@@ -70,6 +72,7 @@ func TestAnnealDeterministicPerSeed(t *testing.T) {
 }
 
 func TestAnnealRejectsIllegalStart(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
 		t.Fatal(err)
@@ -80,6 +83,7 @@ func TestAnnealRejectsIllegalStart(t *testing.T) {
 }
 
 func TestAnnealRespectsPreplaced(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	q := d.Find("Q1")
 	q.Preplaced = true
@@ -98,6 +102,7 @@ func TestAnnealRespectsPreplaced(t *testing.T) {
 }
 
 func TestAnnealEmptyBoardNoop(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	d.Boards = 2
 	d.Areas = append(d.Areas, layout.Area{

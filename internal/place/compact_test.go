@@ -7,6 +7,7 @@ import (
 )
 
 func TestCompactShrinksLayout(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{}); err != nil {
 		t.Fatal(err)
@@ -43,6 +44,7 @@ func TestCompactShrinksLayout(t *testing.T) {
 }
 
 func TestCompactRespectsPreplaced(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	q := d.Find("Q1")
 	q.Preplaced = true
@@ -64,6 +66,7 @@ func TestCompactRespectsPreplaced(t *testing.T) {
 }
 
 func TestCompactRejectsIllegalInput(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
 		t.Fatal(err)
@@ -75,6 +78,7 @@ func TestCompactRejectsIllegalInput(t *testing.T) {
 }
 
 func TestCompactEmptyBoard(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{}); err != nil {
 		t.Fatal(err)

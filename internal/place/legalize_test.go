@@ -7,6 +7,7 @@ import (
 )
 
 func TestLegalizeRepairsBaselineLayout(t *testing.T) {
+	t.Parallel()
 	// Start from the EMI-blind baseline (violates EMD rules), then
 	// legalize: the result must be green with as few parts moved as
 	// the violations demand.
@@ -42,6 +43,7 @@ func TestLegalizeRepairsBaselineLayout(t *testing.T) {
 }
 
 func TestLegalizeNoopOnGreen(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{}); err != nil {
 		t.Fatal(err)
@@ -60,6 +62,7 @@ func TestLegalizeNoopOnGreen(t *testing.T) {
 }
 
 func TestLegalizeRespectsPreplacedConflicts(t *testing.T) {
+	t.Parallel()
 	// Two preplaced parts violating a rule cannot be repaired.
 	d := smallDesign()
 	for _, ref := range []string{"C1", "C2"} {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/drc"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/layout"
 )
@@ -100,9 +101,11 @@ func AutoPlace(d *layout.Design, opt Options) (*Result, error) {
 
 	// Step 1: optimal rotation.
 	if !opt.SkipRotation && !opt.IgnoreEMD {
+		done := engine.Phase("place.rotate")
 		res.EMDSumBefore = emdSum(d)
 		res.RotationPasses = optimizeRotations(d)
 		res.EMDSumAfter = emdSum(d)
+		done()
 	}
 
 	// Step 2: partitioning.
@@ -111,7 +114,9 @@ func AutoPlace(d *layout.Design, opt Options) (*Result, error) {
 	}
 
 	// Step 3: prioritised sequential placement.
+	done := engine.Phase("place.sequential")
 	placed, err := sequentialPlace(d, opt)
+	done()
 	res.Placed = placed
 	res.Elapsed = time.Since(start)
 	if err != nil {

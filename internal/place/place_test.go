@@ -41,6 +41,7 @@ func smallDesign() *layout.Design {
 }
 
 func TestAutoPlaceProducesLegalLayout(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	res, err := AutoPlace(d, Options{})
 	if err != nil {
@@ -62,6 +63,7 @@ func TestAutoPlaceProducesLegalLayout(t *testing.T) {
 }
 
 func TestRotationStepReducesEMDSum(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	res, err := AutoPlace(d, Options{})
 	if err != nil {
@@ -78,6 +80,7 @@ func TestRotationStepReducesEMDSum(t *testing.T) {
 }
 
 func TestSkipRotationAblation(t *testing.T) {
+	t.Parallel()
 	d1 := smallDesign()
 	if _, err := AutoPlace(d1, Options{}); err != nil {
 		t.Fatal(err)
@@ -100,6 +103,7 @@ func TestSkipRotationAblation(t *testing.T) {
 }
 
 func TestBaselineIgnoresEMD(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{IgnoreEMD: true}); err != nil {
 		t.Fatalf("baseline: %v", err)
@@ -118,6 +122,7 @@ func TestBaselineIgnoresEMD(t *testing.T) {
 }
 
 func TestPreplacedStaysPut(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	q := d.Find("Q1")
 	q.Preplaced = true
@@ -135,6 +140,7 @@ func TestPreplacedStaysPut(t *testing.T) {
 }
 
 func TestKeepoutRespected(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	// Tall keepout over the left half: everything must land on the right.
 	d.Keepouts = append(d.Keepouts, layout.Keepout{
@@ -152,6 +158,7 @@ func TestKeepoutRespected(t *testing.T) {
 }
 
 func TestEdgeClearanceRespected(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	d.EdgeClearance = 3e-3
 	if _, err := AutoPlace(d, Options{}); err != nil {
@@ -171,6 +178,7 @@ func TestEdgeClearanceRespected(t *testing.T) {
 }
 
 func TestUnplaceableReportsError(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	// Shrink the board so the EMD rules cannot fit.
 	d.Areas[0].Poly = geom.RectPolygon(geom.R(0, 0, 0.02, 0.015))
@@ -185,6 +193,7 @@ func TestUnplaceableReportsError(t *testing.T) {
 }
 
 func TestGroupsPlacedCoherently(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	d.Find("C1").Group = "in"
 	d.Find("C2").Group = "in"
@@ -200,6 +209,7 @@ func TestGroupsPlacedCoherently(t *testing.T) {
 }
 
 func TestTwoBoardPartition(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	d.Boards = 2
 	d.Areas = append(d.Areas, layout.Area{
@@ -227,6 +237,7 @@ func TestTwoBoardPartition(t *testing.T) {
 }
 
 func TestPartitionKeepsGroupsTogether(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	d.Boards = 2
 	d.Areas = append(d.Areas, layout.Area{
@@ -243,6 +254,7 @@ func TestPartitionKeepsGroupsTogether(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	d1, d2 := smallDesign(), smallDesign()
 	if _, err := AutoPlace(d1, Options{}); err != nil {
 		t.Fatal(err)
@@ -259,6 +271,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestAdviserFlow(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	if _, err := AutoPlace(d, Options{}); err != nil {
 		t.Fatal(err)
@@ -322,6 +335,7 @@ func TestAdviserFlow(t *testing.T) {
 }
 
 func TestPlacementOrderPriorities(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	refs := SortRefs(d)
 	if len(refs) != 5 {
@@ -334,6 +348,7 @@ func TestPlacementOrderPriorities(t *testing.T) {
 }
 
 func TestAutoPlaceRandomizedAlwaysLegalOrError(t *testing.T) {
+	t.Parallel()
 	// Robustness sweep: across a range of synthetic problem shapes the
 	// placer must either produce a fully legal layout or report a
 	// PlaceError — never a silent illegal result.
@@ -399,6 +414,7 @@ func workloadSynthetic(t *testing.T, n, ruleCount, groupCount int) *layout.Desig
 }
 
 func TestEMDSumMatchesManual(t *testing.T) {
+	t.Parallel()
 	d := smallDesign()
 	// All at rot 0: parallel axes, Σ EMD = Σ PEMD = 4 × 15 mm.
 	got := emdSum(d)

@@ -77,8 +77,14 @@ func rotationsFor(c *layout.Component, opt Options) []float64 {
 	return c.Rotations()
 }
 
-// bestCandidate scans the raster of the component's allowed areas.
+// bestCandidate scans the raster of the component's allowed areas. The
+// placement-invariant parts of the legality and cost evaluation (group
+// boxes, placed footprints, EMD requirements, net memberships) are
+// hoisted into a scan context once per component — they do not change
+// while one component's raster is scanned, and rebuilding them per
+// candidate dominated the placement profile.
 func bestCandidate(d *layout.Design, c *layout.Component, grid float64, opt Options) (candidate, bool) {
+	ctx := newScanCtx(d, c, opt)
 	best := candidate{cost: math.Inf(1)}
 	found := false
 	for _, area := range d.AreasOf(c.Board, c.AreaName) {
@@ -87,14 +93,14 @@ func bestCandidate(d *layout.Design, c *layout.Component, grid float64, opt Opti
 		for y := bb.Min.Y; y <= bb.Max.Y+1e-12; y += grid {
 			for x := bb.Min.X; x <= bb.Max.X+1e-12; x += grid {
 				center := geom.V2(x, y)
-				for _, rot := range rotationsFor(c, opt) {
-					if !legalAt(d, c, area, center, rot, opt) {
+				for ri := range ctx.rots {
+					if !ctx.legalAt(area, center, ri) {
 						continue
 					}
-					cost := placementCost(d, c, center, opt)
+					cost := ctx.cost(center)
 					if cost < best.cost-1e-12 ||
 						(math.Abs(cost-best.cost) <= 1e-12 && lessPos(center, best.center)) {
-						best = candidate{center: center, rot: rot, cost: cost}
+						best = candidate{center: center, rot: ctx.rots[ri], cost: cost}
 						found = true
 					}
 				}
@@ -111,42 +117,93 @@ func lessPos(a, b geom.Vec2) bool {
 	return a.Y < b.Y
 }
 
-// legalAt checks every design rule for placing c at (center, rot) inside
-// the given area.
-func legalAt(d *layout.Design, c *layout.Component, area layout.Area, center geom.Vec2, rot float64, opt Options) bool {
-	fp := c.FootprintAt(center, rot)
-	if !area.Poly.ContainsRect(fp.Inflate(d.EdgeClearance)) {
-		return false
+// scanCtx caches everything about one component's candidate scan that
+// does not depend on the candidate position: placed footprints, group
+// bounding boxes, per-rotation EMD requirements, net memberships and
+// the fixed cost terms. The design is not mutated while a raster is
+// scanned, so all of this is invariant — rebuilding it per candidate
+// (especially Design.Groups) dominated the placement profile. Every
+// floating-point evaluation keeps the operand order of the direct
+// rule checks, so placements are bit-identical.
+type scanCtx struct {
+	d   *layout.Design
+	c   *layout.Component
+	opt Options
+
+	rots   []float64
+	hw, hh []float64 // c's footprint half-extents per rotation
+
+	keepouts []geom.Cuboid // keepout boxes on c's board
+	others   []scanOther   // placed components on c's board, design order
+
+	foreignBoxes []geom.Rect // placed bounding box per foreign group
+	ownFPs       []geom.Rect // own group's placed members' footprints
+	outsiders    []geom.Vec2 // centers of placed non-group comps on board
+
+	netLims []netLimit
+
+	// Cost terms.
+	mates         []geom.Vec2 // placed net mates (with multiplicity, net order)
+	groupCentroid geom.Vec2
+	hasGroupCost  bool
+	boardCenter   geom.Vec2
+	wWire         float64
+	wGroup        float64
+	wCompact      float64
+}
+
+// scanOther is one placed component the candidate must respect.
+type scanOther struct {
+	center geom.Vec2
+	fp     geom.Rect
+	need   []float64 // EMD minimum distance per rotation index; nil if none
+}
+
+// netLimit is a length-limited net involving the candidate component. The
+// points slice is a template: the entries at cIdx are overwritten with the
+// candidate center on every evaluation, the rest are fixed placed mates.
+type netLimit struct {
+	max  float64
+	pts  []geom.Vec2
+	cIdx []int
+}
+
+// newScanCtx hoists the placement-invariant state for scanning c.
+func newScanCtx(d *layout.Design, c *layout.Component, opt Options) *scanCtx {
+	ctx := &scanCtx{
+		d: d, c: c, opt: opt,
+		rots:        rotationsFor(c, opt),
+		boardCenter: boardCentroid(d, c.Board),
+		wWire:       opt.wWire(),
+		wGroup:      opt.wGroup(),
+		wCompact:    opt.wCompact(),
 	}
-	body := geom.CuboidOf(fp, 0, c.H)
+	ctx.hw = make([]float64, len(ctx.rots))
+	ctx.hh = make([]float64, len(ctx.rots))
+	for ri, rot := range ctx.rots {
+		s, co := math.Sincos(rot)
+		ctx.hw[ri] = (math.Abs(co)*c.W + math.Abs(s)*c.L) / 2
+		ctx.hh[ri] = (math.Abs(s)*c.W + math.Abs(co)*c.L) / 2
+	}
 	for _, k := range d.Keepouts {
-		if k.Board == c.Board && body.Overlaps(k.Box) {
-			return false
+		if k.Board == c.Board {
+			ctx.keepouts = append(ctx.keepouts, k.Box)
 		}
 	}
-	clearFP := fp.Inflate(d.Clearance)
-	groups := d.Groups()
 	for _, o := range d.Comps {
 		if o == c || !o.Placed || o.Board != c.Board {
 			continue
 		}
-		// Clearance: inflating one footprint by the full clearance and
-		// testing overlap is equivalent to separation < clearance for
-		// axis-aligned rectangles.
-		if clearFP.Overlaps(o.Footprint()) || fp.Overlaps(o.Footprint()) {
-			return false
-		}
-		// EMD minimum distances (center to center).
+		so := scanOther{center: o.Center, fp: o.Footprint()}
 		if !opt.IgnoreEMD {
-			if need := d.EMDBetween(c, o, rot, o.Rot); need > 0 &&
-				center.Dist(o.Center) < need {
-				return false
+			so.need = make([]float64, len(ctx.rots))
+			for ri, rot := range ctx.rots {
+				so.need[ri] = d.EMDBetween(c, o, rot, o.Rot)
 			}
 		}
+		ctx.others = append(ctx.others, so)
 	}
-	// Group coherence, both directions: do not sit inside a foreign
-	// group's bounding box, and do not grow the own group's bounding box
-	// over a placed foreign component.
+	groups := d.Groups()
 	for name, members := range groups {
 		if name == c.Group {
 			continue
@@ -163,31 +220,32 @@ func legalAt(d *layout.Design, c *layout.Component, area layout.Area, center geo
 				}
 			}
 		}
-		if any && (bbox.Contains(center) || bbox.Overlaps(fp)) {
-			return false
+		if any {
+			ctx.foreignBoxes = append(ctx.foreignBoxes, bbox)
 		}
 	}
 	if c.Group != "" {
-		grown := fp
+		var sum geom.Vec2
+		n := 0
 		for _, m := range groups[c.Group] {
 			if m != c && m.Placed && m.Board == c.Board {
-				grown = grown.Union(m.Footprint())
+				ctx.ownFPs = append(ctx.ownFPs, m.Footprint())
+				sum = sum.Add(m.Center)
+				n++
 			}
+		}
+		if n > 0 {
+			ctx.groupCentroid = sum.Scale(1 / float64(n))
+			ctx.hasGroupCost = true
 		}
 		for _, o := range d.Comps {
 			if o == c || !o.Placed || o.Board != c.Board || o.Group == c.Group {
 				continue
 			}
-			if grown.Contains(o.Center) {
-				return false
-			}
+			ctx.outsiders = append(ctx.outsiders, o.Center)
 		}
 	}
-	// Net length limits against already-placed mates.
 	for _, n := range d.Nets {
-		if n.MaxLength <= 0 {
-			continue
-		}
 		involved := false
 		for _, r := range n.Refs {
 			if r == c.Ref {
@@ -198,15 +256,94 @@ func legalAt(d *layout.Design, c *layout.Component, area layout.Area, center geo
 		if !involved {
 			continue
 		}
-		var pts []geom.Vec2
+		if n.MaxLength > 0 {
+			nl := netLimit{max: n.MaxLength}
+			for _, r := range n.Refs {
+				if r == c.Ref {
+					nl.cIdx = append(nl.cIdx, len(nl.pts))
+					nl.pts = append(nl.pts, geom.Vec2{})
+				} else if o := d.Find(r); o != nil && o.Placed {
+					nl.pts = append(nl.pts, o.Center)
+				}
+			}
+			ctx.netLims = append(ctx.netLims, nl)
+		}
+		// Cost mates, with the same multiplicity and order as the direct
+		// net scan: one pass per occurrence of c.Ref in the net.
 		for _, r := range n.Refs {
-			if r == c.Ref {
-				pts = append(pts, center)
-			} else if o := d.Find(r); o != nil && o.Placed {
-				pts = append(pts, o.Center)
+			if r != c.Ref {
+				continue
+			}
+			for _, other := range n.Refs {
+				if other == c.Ref {
+					continue
+				}
+				if o := d.Find(other); o != nil && o.Placed {
+					ctx.mates = append(ctx.mates, o.Center)
+				}
 			}
 		}
-		if starLength(pts) > n.MaxLength {
+	}
+	return ctx
+}
+
+// legalAt checks every design rule for placing c at (center, rots[ri])
+// inside the given area.
+func (ctx *scanCtx) legalAt(area layout.Area, center geom.Vec2, ri int) bool {
+	d, c := ctx.d, ctx.c
+	hw, hh := ctx.hw[ri], ctx.hh[ri]
+	fp := geom.R(center.X-hw, center.Y-hh, center.X+hw, center.Y+hh)
+	if !area.Poly.ContainsRect(fp.Inflate(d.EdgeClearance)) {
+		return false
+	}
+	body := geom.CuboidOf(fp, 0, c.H)
+	for _, k := range ctx.keepouts {
+		if body.Overlaps(k) {
+			return false
+		}
+	}
+	clearFP := fp.Inflate(d.Clearance)
+	for i := range ctx.others {
+		o := &ctx.others[i]
+		// Clearance: inflating one footprint by the full clearance and
+		// testing overlap is equivalent to separation < clearance for
+		// axis-aligned rectangles.
+		if clearFP.Overlaps(o.fp) || fp.Overlaps(o.fp) {
+			return false
+		}
+		// EMD minimum distances (center to center).
+		if o.need != nil {
+			if need := o.need[ri]; need > 0 && center.Dist(o.center) < need {
+				return false
+			}
+		}
+	}
+	// Group coherence, both directions: do not sit inside a foreign
+	// group's bounding box, and do not grow the own group's bounding box
+	// over a placed foreign component.
+	for _, bbox := range ctx.foreignBoxes {
+		if bbox.Contains(center) || bbox.Overlaps(fp) {
+			return false
+		}
+	}
+	if c.Group != "" {
+		grown := fp
+		for _, mfp := range ctx.ownFPs {
+			grown = grown.Union(mfp)
+		}
+		for _, oc := range ctx.outsiders {
+			if grown.Contains(oc) {
+				return false
+			}
+		}
+	}
+	// Net length limits against already-placed mates.
+	for i := range ctx.netLims {
+		nl := &ctx.netLims[i]
+		for _, k := range nl.cIdx {
+			nl.pts[k] = center
+		}
+		if starLength(nl.pts) > nl.max {
 			return false
 		}
 	}
@@ -229,42 +366,20 @@ func starLength(pts []geom.Vec2) float64 {
 	return sum
 }
 
-// placementCost scores a legal candidate (lower is better): connected net
-// length, distance to the functional group's placed members, and
-// compactness towards the board centroid.
-func placementCost(d *layout.Design, c *layout.Component, center geom.Vec2, opt Options) float64 {
+// cost scores a legal candidate (lower is better): connected net length,
+// distance to the functional group's placed members, and compactness
+// towards the board centroid.
+func (ctx *scanCtx) cost(center geom.Vec2) float64 {
 	wire := 0.0
-	for _, n := range d.Nets {
-		for _, r := range n.Refs {
-			if r != c.Ref {
-				continue
-			}
-			for _, other := range n.Refs {
-				if other == c.Ref {
-					continue
-				}
-				if o := d.Find(other); o != nil && o.Placed {
-					wire += center.Dist(o.Center)
-				}
-			}
-		}
+	for _, p := range ctx.mates {
+		wire += center.Dist(p)
 	}
 	group := 0.0
-	if c.Group != "" {
-		var sum geom.Vec2
-		n := 0
-		for _, m := range d.Groups()[c.Group] {
-			if m != c && m.Placed && m.Board == c.Board {
-				sum = sum.Add(m.Center)
-				n++
-			}
-		}
-		if n > 0 {
-			group = center.Dist(sum.Scale(1 / float64(n)))
-		}
+	if ctx.hasGroupCost {
+		group = center.Dist(ctx.groupCentroid)
 	}
-	compact := center.Dist(boardCentroid(d, c.Board))
-	return opt.wWire()*wire + opt.wGroup()*group + opt.wCompact()*compact
+	compact := center.Dist(ctx.boardCenter)
+	return ctx.wWire*wire + ctx.wGroup*group + ctx.wCompact*compact
 }
 
 // SortRefs returns the design's references in placement-priority order —

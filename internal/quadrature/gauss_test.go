@@ -6,6 +6,7 @@ import (
 )
 
 func TestLegendreNodesKnown(t *testing.T) {
+	t.Parallel()
 	// 2-point rule: nodes ±1/√3, weights 1.
 	r := Legendre(2)
 	want := 1 / math.Sqrt(3)
@@ -32,6 +33,7 @@ func TestLegendreNodesKnown(t *testing.T) {
 }
 
 func TestWeightsSumToTwo(t *testing.T) {
+	t.Parallel()
 	for n := 1; n <= 20; n++ {
 		r := Legendre(n)
 		sum := 0.0
@@ -45,6 +47,7 @@ func TestWeightsSumToTwo(t *testing.T) {
 }
 
 func TestExactForPolynomials(t *testing.T) {
+	t.Parallel()
 	// n-point Gauss–Legendre integrates polynomials up to degree 2n-1 exactly.
 	for n := 1; n <= 8; n++ {
 		deg := 2*n - 1
@@ -58,6 +61,7 @@ func TestExactForPolynomials(t *testing.T) {
 }
 
 func TestIntegrateKnown(t *testing.T) {
+	t.Parallel()
 	got := Integrate(math.Sin, 0, math.Pi, 12)
 	if math.Abs(got-2) > 1e-10 {
 		t.Errorf("∫sin over [0,π] = %v", got)
@@ -69,6 +73,7 @@ func TestIntegrateKnown(t *testing.T) {
 }
 
 func TestIntegrate2D(t *testing.T) {
+	t.Parallel()
 	// ∫∫ x*y over [0,1]² = 1/4.
 	got := Integrate2D(func(x, y float64) float64 { return x * y }, 0, 1, 0, 1, 4)
 	if math.Abs(got-0.25) > 1e-12 {
@@ -83,6 +88,7 @@ func TestIntegrate2D(t *testing.T) {
 }
 
 func TestInvalidOrderPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Error("Legendre(0) must panic")
@@ -92,6 +98,7 @@ func TestInvalidOrderPanics(t *testing.T) {
 }
 
 func TestRuleCaching(t *testing.T) {
+	t.Parallel()
 	a := Legendre(7)
 	b := Legendre(7)
 	if &a.Nodes[0] != &b.Nodes[0] {

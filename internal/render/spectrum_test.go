@@ -17,6 +17,7 @@ func sampleSpectrum(offset float64) *emi.Spectrum {
 }
 
 func TestSpectrumSVG(t *testing.T) {
+	t.Parallel()
 	var b strings.Builder
 	err := SpectrumSVG(&b, []SpectrumSeries{
 		{Name: "unfavourable", Spectrum: sampleSpectrum(10)},
@@ -38,6 +39,7 @@ func TestSpectrumSVG(t *testing.T) {
 }
 
 func TestSpectrumSVGErrors(t *testing.T) {
+	t.Parallel()
 	var b strings.Builder
 	if err := SpectrumSVG(&b, nil, "x"); err == nil {
 		t.Error("no series should fail")
@@ -49,6 +51,7 @@ func TestSpectrumSVGErrors(t *testing.T) {
 }
 
 func TestFreqLabel(t *testing.T) {
+	t.Parallel()
 	cases := map[float64]string{
 		100: "100 Hz",
 		1e3: "1 kHz",

@@ -34,6 +34,7 @@ func renderable() *layout.Design {
 }
 
 func TestSVGContainsEverything(t *testing.T) {
+	t.Parallel()
 	d := renderable()
 	rep := drc.Check(d)
 	var b strings.Builder
@@ -67,6 +68,7 @@ func TestSVGContainsEverything(t *testing.T) {
 }
 
 func TestSVGNoAreasErrors(t *testing.T) {
+	t.Parallel()
 	d := renderable()
 	var b strings.Builder
 	if err := SVG(&b, d, nil, Options{Board: 1}); err == nil {
@@ -75,6 +77,7 @@ func TestSVGNoAreasErrors(t *testing.T) {
 }
 
 func TestSVGWithoutReport(t *testing.T) {
+	t.Parallel()
 	d := renderable()
 	var b strings.Builder
 	if err := SVG(&b, d, nil, Options{}); err != nil {

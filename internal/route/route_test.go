@@ -40,6 +40,7 @@ func placedDesign() *layout.Design {
 }
 
 func TestNetsRoutesAllPlaced(t *testing.T) {
+	t.Parallel()
 	d := placedDesign()
 	routes, err := Nets(d, Options{})
 	if err != nil {
@@ -66,6 +67,7 @@ func TestNetsRoutesAllPlaced(t *testing.T) {
 }
 
 func TestNetsSkipsUnplacedAndCrossBoard(t *testing.T) {
+	t.Parallel()
 	d := placedDesign()
 	d.Comps[0].Placed = false // A unplaced → n1 skipped
 	routes, err := Nets(d, Options{})
@@ -92,6 +94,7 @@ func TestNetsSkipsUnplacedAndCrossBoard(t *testing.T) {
 }
 
 func TestStarRouteDegeneratePin(t *testing.T) {
+	t.Parallel()
 	// Two coincident pins: centroid equals the pins, no copper needed.
 	r := starRoute("x", []geom.Vec2{{X: 0.01, Y: 0.01}, {X: 0.01, Y: 0.01}}, Options{})
 	if len(r.Traces) != 0 {
@@ -108,6 +111,7 @@ func TestStarRouteDegeneratePin(t *testing.T) {
 }
 
 func TestChainTopology(t *testing.T) {
+	t.Parallel()
 	d := placedDesign()
 	star, err := Nets(d, Options{Topology: Star})
 	if err != nil {
@@ -142,6 +146,7 @@ func TestChainTopology(t *testing.T) {
 }
 
 func TestCouplingsBetweenParallelRuns(t *testing.T) {
+	t.Parallel()
 	// Two parallel straight nets couple; far-apart nets couple less.
 	mk := func(y float64) Route {
 		return starRoute("n", []geom.Vec2{{X: 0, Y: y}, {X: 0.04, Y: y}}, Options{})
@@ -160,6 +165,7 @@ func TestCouplingsBetweenParallelRuns(t *testing.T) {
 }
 
 func TestReportFormat(t *testing.T) {
+	t.Parallel()
 	d := placedDesign()
 	routes, err := Nets(d, Options{})
 	if err != nil {
@@ -174,6 +180,7 @@ func TestReportFormat(t *testing.T) {
 }
 
 func TestNetsValidatesDesign(t *testing.T) {
+	t.Parallel()
 	d := placedDesign()
 	d.Areas = nil
 	if _, err := Nets(d, Options{}); err == nil {

@@ -7,6 +7,7 @@ import (
 )
 
 func TestQuickEMDBounds(t *testing.T) {
+	t.Parallel()
 	// 0 <= EMD(pemd, α) <= pemd for every angle and non-negative PEMD.
 	f := func(pemd, alpha float64) bool {
 		if math.IsNaN(pemd) || math.IsInf(pemd, 0) || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
@@ -22,6 +23,7 @@ func TestQuickEMDBounds(t *testing.T) {
 }
 
 func TestQuickEMDPeriodicAndSymmetric(t *testing.T) {
+	t.Parallel()
 	// |cos| makes EMD π-periodic and even in α.
 	f := func(pemd, alpha float64) bool {
 		if math.IsNaN(pemd) || math.IsInf(pemd, 0) || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
@@ -41,6 +43,7 @@ func TestQuickEMDPeriodicAndSymmetric(t *testing.T) {
 }
 
 func TestQuickSetLookupConsistency(t *testing.T) {
+	t.Parallel()
 	// Whatever order rules are added in, Lookup returns the last value for
 	// the unordered pair.
 	f := func(d1, d2 float64, swap bool) bool {

@@ -11,6 +11,7 @@ import (
 )
 
 func TestEMDCosineLaw(t *testing.T) {
+	t.Parallel()
 	r := Rule{RefA: "L1", RefB: "L2", PEMD: 0.02}
 	if got := r.EMD(0); got != 0.02 {
 		t.Errorf("EMD(0) = %v", got)
@@ -28,6 +29,7 @@ func TestEMDCosineLaw(t *testing.T) {
 }
 
 func TestSetAddLookup(t *testing.T) {
+	t.Parallel()
 	s := NewSet([]Rule{
 		{RefA: "C1", RefB: "C2", PEMD: 0.01},
 		{RefA: "C2", RefB: "C3", PEMD: 0.02},
@@ -64,6 +66,7 @@ func TestSetAddLookup(t *testing.T) {
 }
 
 func TestDerivePEMDCapacitors(t *testing.T) {
+	t.Parallel()
 	// Two X2 caps with k_max = 0.01: expect a rule in the centimeter range
 	// (the paper's Figure 5 regime).
 	m := components.NewX2Cap("X2", 1.5e-6)
@@ -94,6 +97,7 @@ func TestDerivePEMDCapacitors(t *testing.T) {
 }
 
 func TestDerivePEMDRelaxedThresholdZero(t *testing.T) {
+	t.Parallel()
 	// A loose threshold that is met even at touching distance gives 0 (no
 	// constraint).
 	m := components.NewMLCC("MLCC", 100e-9)
@@ -107,6 +111,7 @@ func TestDerivePEMDRelaxedThresholdZero(t *testing.T) {
 }
 
 func TestDerivePEMDNonMagnetic(t *testing.T) {
+	t.Parallel()
 	body := &components.BodyModel{ModelName: "IC", W: 0.01, L: 0.01, H: 0.002}
 	cap := components.NewX2Cap("X2", 1e-6)
 	d, err := DerivePEMD(body, cap, DeriveOptions{})
@@ -116,6 +121,7 @@ func TestDerivePEMDNonMagnetic(t *testing.T) {
 }
 
 func TestDerivePEMDShieldPlaneDependency(t *testing.T) {
+	t.Parallel()
 	// The paper: the minimum distance "depends on the presence of
 	// shielding planes like ground planes". For the standing (vertical)
 	// capacitor loops the image currents reduce the self-inductances
@@ -148,6 +154,7 @@ func TestDerivePEMDShieldPlaneDependency(t *testing.T) {
 }
 
 func TestDerivePEMDUnreachable(t *testing.T) {
+	t.Parallel()
 	m := components.NewX2Cap("X2", 1.5e-6)
 	// Absurd threshold cannot be met within DMax.
 	if _, err := DerivePEMD(m, m, DeriveOptions{KMax: 1e-9, DMax: 0.05}); err == nil {
@@ -156,6 +163,7 @@ func TestDerivePEMDUnreachable(t *testing.T) {
 }
 
 func TestRuleSetRoundTrip(t *testing.T) {
+	t.Parallel()
 	s := NewSet([]Rule{
 		{RefA: "C1", RefB: "C2", PEMD: 0.0123},
 		{RefA: "L1", RefB: "C2", PEMD: 0.025},
@@ -177,6 +185,7 @@ func TestRuleSetRoundTrip(t *testing.T) {
 }
 
 func TestReadErrorsAndComments(t *testing.T) {
+	t.Parallel()
 	if _, err := Read(strings.NewReader("PEMD a b\n")); err == nil {
 		t.Error("short line should fail")
 	}

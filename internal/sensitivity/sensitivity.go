@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/emi"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -66,26 +67,40 @@ func Rank(ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ra
 		return nil, fmt.Errorf("sensitivity: baseline: %w", err)
 	}
 
-	var rank Ranking
+	// One full band prediction per pair — the hot path of the analysis.
+	// The pairs are independent and share the read-only baseline, so they
+	// fan out over the engine pool; each pair writes only its own slot and
+	// the stable sort below keeps ties in pair order, making the ranking
+	// identical under any parallelism.
+	defer engine.Phase("sensitivity.rank")()
+	var pairs [][2]string
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {
-			probed := ckt.Clone()
-			probed.SetCoupling(cands[i], cands[j], probe)
-			s, err := predict(probed)
-			if err != nil {
-				return nil, fmt.Errorf("sensitivity: pair %s/%s: %w", cands[i], cands[j], err)
-			}
-			delta := 0.0
-			for k := range s.DB {
-				if d := s.DB[k] - base.DB[k]; d > delta {
-					delta = d
-				}
-			}
-			rank = append(rank, PairInfluence{LA: cands[i], LB: cands[j], DeltaDB: delta})
+			pairs = append(pairs, [2]string{cands[i], cands[j]})
 		}
 	}
-	sort.SliceStable(rank, func(a, b int) bool { return rank[a].DeltaDB > rank[b].DeltaDB })
-	return rank, nil
+	rank, err := engine.Map(len(pairs), func(i int) (PairInfluence, error) {
+		la, lb := pairs[i][0], pairs[i][1]
+		probed := ckt.Clone()
+		probed.SetCoupling(la, lb, probe)
+		s, err := predict(probed)
+		if err != nil {
+			return PairInfluence{}, fmt.Errorf("sensitivity: pair %s/%s: %w", la, lb, err)
+		}
+		delta := 0.0
+		for k := range s.DB {
+			if d := s.DB[k] - base.DB[k]; d > delta {
+				delta = d
+			}
+		}
+		return PairInfluence{LA: la, LB: lb, DeltaDB: delta}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := Ranking(rank)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].DeltaDB > out[b].DeltaDB })
+	return out, nil
 }
 
 // Relevant returns the pairs whose influence exceeds the threshold — the

@@ -28,6 +28,7 @@ func filterCircuit() *netlist.Circuit {
 }
 
 func TestRankFindsCriticalPair(t *testing.T) {
+	t.Parallel()
 	ckt := filterCircuit()
 	rank, err := Rank(ckt, "Vsw", "lisn_meas", Options{
 		ProbeK:     0.01,
@@ -71,6 +72,7 @@ func TestRankFindsCriticalPair(t *testing.T) {
 }
 
 func TestRankDoesNotMutateCircuit(t *testing.T) {
+	t.Parallel()
 	ckt := filterCircuit()
 	before := len(ckt.Elements)
 	_, err := Rank(ckt, "Vsw", "lisn_meas", Options{
@@ -91,6 +93,7 @@ func TestRankDoesNotMutateCircuit(t *testing.T) {
 }
 
 func TestRelevantThreshold(t *testing.T) {
+	t.Parallel()
 	r := Ranking{
 		{LA: "a", LB: "b", DeltaDB: 12},
 		{LA: "a", LB: "c", DeltaDB: 3},
@@ -110,6 +113,7 @@ func TestRelevantThreshold(t *testing.T) {
 }
 
 func TestRankErrors(t *testing.T) {
+	t.Parallel()
 	ckt := filterCircuit()
 	if _, err := Rank(ckt, "Vsw", "lisn_meas", Options{Candidates: []string{"Lc1"}}); err == nil {
 		t.Error("single candidate should fail")

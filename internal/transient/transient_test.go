@@ -8,6 +8,7 @@ import (
 )
 
 func TestRCCharging(t *testing.T) {
+	t.Parallel()
 	// Step response of an RC: v(t) = V·(1 − e^{−t/RC}).
 	R, C, V := 1000.0, 1e-6, 5.0
 	tau := R * C
@@ -30,6 +31,7 @@ func TestRCCharging(t *testing.T) {
 }
 
 func TestRLCurrentRise(t *testing.T) {
+	t.Parallel()
 	// i(t) = V/R·(1 − e^{−tR/L}).
 	R, L, V := 10.0, 1e-3, 5.0
 	tau := L / R
@@ -52,6 +54,7 @@ func TestRLCurrentRise(t *testing.T) {
 }
 
 func TestLCOscillationStable(t *testing.T) {
+	t.Parallel()
 	// Trapezoidal integration is A-stable and preserves the amplitude of a
 	// lossless LC tank: inject a pulse and verify the oscillation neither
 	// grows nor collapses.
@@ -90,6 +93,7 @@ func TestLCOscillationStable(t *testing.T) {
 }
 
 func TestHalfWaveRectifier(t *testing.T) {
+	t.Parallel()
 	// A diode + resistor against a sine-approximating pulse train: the
 	// output never swings appreciably negative.
 	c := &netlist.Circuit{}
@@ -117,6 +121,7 @@ func TestHalfWaveRectifier(t *testing.T) {
 }
 
 func TestBuckConverterAverage(t *testing.T) {
+	t.Parallel()
 	// A switch-diode-LC buck at duty D: average output ≈ D·Vin.
 	Vin, D := 12.0, 0.4
 	period := 5e-6
@@ -145,6 +150,7 @@ func TestBuckConverterAverage(t *testing.T) {
 }
 
 func TestCoupledInductorsTransient(t *testing.T) {
+	t.Parallel()
 	// A step into the primary of a coupled pair induces secondary voltage
 	// of the correct polarity and the coupling k=0 case induces none.
 	build := func(k float64) *netlist.Circuit {
@@ -184,6 +190,7 @@ func TestCoupledInductorsTransient(t *testing.T) {
 }
 
 func TestInitDCStartsAtOperatingPoint(t *testing.T) {
+	t.Parallel()
 	// A DC source into a divider with a capacitor: from zero state the
 	// output charges up; with InitDC it starts settled.
 	c := &netlist.Circuit{}
@@ -221,6 +228,7 @@ func TestInitDCStartsAtOperatingPoint(t *testing.T) {
 }
 
 func TestInitDCWithDiodeStates(t *testing.T) {
+	t.Parallel()
 	// Forward-biased diode conducts at the operating point.
 	c := &netlist.Circuit{}
 	c.AddV("V1", "in", "0", netlist.Source{DC: 5})
@@ -248,6 +256,7 @@ func TestInitDCWithDiodeStates(t *testing.T) {
 }
 
 func TestInvalidOptions(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddR("R1", "a", "0", 1)
 	for _, opt := range []Options{
@@ -263,6 +272,7 @@ func TestInvalidOptions(t *testing.T) {
 }
 
 func TestResultAccessors(t *testing.T) {
+	t.Parallel()
 	c := &netlist.Circuit{}
 	c.AddV("V1", "n", "0", netlist.Source{DC: 1})
 	c.AddR("R1", "n", "0", 1)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestComplex29Shape(t *testing.T) {
+	t.Parallel()
 	d := Complex29()
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
@@ -23,6 +24,7 @@ func TestComplex29Shape(t *testing.T) {
 }
 
 func TestComplex29IsPlaceable(t *testing.T) {
+	t.Parallel()
 	d := Complex29()
 	res, err := place.AutoPlace(d, place.Options{})
 	if err != nil {
@@ -43,6 +45,7 @@ func TestComplex29IsPlaceable(t *testing.T) {
 }
 
 func TestSyntheticDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Synthetic(12, 20, 2, 0.1, 0.08)
 	b := Synthetic(12, 20, 2, 0.1, 0.08)
 	if len(a.Comps) != len(b.Comps) || a.RuleCount() != b.RuleCount() {
@@ -56,6 +59,7 @@ func TestSyntheticDeterministic(t *testing.T) {
 }
 
 func TestSyntheticRuleCapping(t *testing.T) {
+	t.Parallel()
 	// Requesting more rules than magnetic pairs exist caps gracefully.
 	d := Synthetic(6, 1000, 1, 0.1, 0.1)
 	if d.RuleCount() == 0 || d.RuleCount() > 1000 {
