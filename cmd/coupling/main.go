@@ -22,12 +22,9 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/components"
 	"repro/internal/geom"
-	"repro/internal/netlist"
 	"repro/internal/peec"
 	"repro/internal/rules"
 )
@@ -89,48 +86,10 @@ func main() {
 	}
 }
 
-// parseSpec builds a component model from its textual spec.
+// parseSpec builds a component model from its textual spec (the shared
+// catalog vocabulary lives in components.ParseSpec).
 func parseSpec(s string) (components.Model, error) {
-	if s == "" {
-		return nil, fmt.Errorf("missing component spec")
-	}
-	parts := strings.Split(s, ":")
-	switch parts[0] {
-	case "x2cap", "tantalum", "mlcc":
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("%s needs a capacitance, e.g. %s:1.5u", parts[0], parts[0])
-		}
-		c, err := netlist.ParseValue(parts[1])
-		if err != nil || c <= 0 {
-			return nil, fmt.Errorf("bad capacitance %q", parts[1])
-		}
-		switch parts[0] {
-		case "x2cap":
-			return components.NewX2Cap(s, c), nil
-		case "tantalum":
-			return components.NewSMDTantalum(s, c), nil
-		default:
-			return components.NewMLCC(s, c), nil
-		}
-	case "bobbin":
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("bobbin needs turns and radius_mm, e.g. bobbin:10:4")
-		}
-		turns, err := strconv.Atoi(parts[1])
-		if err != nil || turns < 1 {
-			return nil, fmt.Errorf("bad turns %q", parts[1])
-		}
-		rmm, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil || rmm <= 0 {
-			return nil, fmt.Errorf("bad radius %q", parts[2])
-		}
-		return components.NewBobbinChoke(s, turns, rmm*1e-3), nil
-	case "cmchoke2":
-		return components.NewCMChoke2(s), nil
-	case "cmchoke3":
-		return components.NewCMChoke3(s), nil
-	}
-	return nil, fmt.Errorf("unknown component spec %q", s)
+	return components.ParseSpec(s)
 }
 
 func fatal(err error) {

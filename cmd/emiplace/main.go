@@ -7,7 +7,7 @@
 // Usage:
 //
 //	emiplace -in design.txt -out placed.txt [-svg layout.svg]
-//	         [-baseline] [-skip-rotation] [-partition] [-grid mm]
+//	         [-baseline] [-skip-rotation] [-partition] [-grid mm] [-timeout 2m]
 package main
 
 import (
@@ -16,8 +16,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/drc"
-	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/place"
 	"repro/internal/render"
@@ -35,7 +35,8 @@ func main() {
 	compact := flag.Bool("compact", false, "compact the legal layout (volume minimisation)")
 	routes := flag.Bool("routes", false, "print Manhattan star routes with trace inductances")
 	jsonOut := flag.Bool("json", false, "print the DRC report as JSON (for CI pipelines)")
-	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
+	dumpStats := cli.Stats()
+	mkCtx := cli.Timeout()
 	flag.Parse()
 
 	if *in == "" {
@@ -53,7 +54,9 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := place.AutoPlace(d, place.Options{
+	ctx, cancel := mkCtx()
+	defer cancel()
+	res, err := place.AutoPlaceCtx(ctx, d, place.Options{
 		IgnoreEMD:    *baseline,
 		SkipRotation: *skipRot,
 		Partition:    *part,
@@ -132,9 +135,8 @@ func main() {
 		}
 		fmt.Println("wrote", *svg)
 	}
-	if *stats {
-		engine.Fprint(os.Stderr)
-	}
+	// Called explicitly: the non-green exit below bypasses defers.
+	dumpStats()
 	if !rep.Green() && !*baseline {
 		os.Exit(1)
 	}

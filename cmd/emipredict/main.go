@@ -8,7 +8,7 @@
 // Usage:
 //
 //	emipredict -circuit buck.cir -measure lisn_meas -sources IQ1,VD1
-//	           [-max 108e6] [-no-couplings] [-every 10]
+//	           [-max 108e6] [-no-couplings] [-every 10] [-timeout 30s]
 package main
 
 import (
@@ -17,8 +17,8 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/emi"
-	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -30,11 +30,10 @@ func main() {
 	noCoup := flag.Bool("no-couplings", false, "strip K elements before predicting")
 	every := flag.Int("every", 1, "print every n-th harmonic")
 	tsv := flag.String("tsv", "", "also write the full spectrum as TSV to this file")
-	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
+	dumpStats := cli.Stats()
+	mkCtx := cli.Timeout()
 	flag.Parse()
-	if *stats {
-		defer engine.Fprint(os.Stderr)
-	}
+	defer dumpStats()
 
 	if *circuit == "" || *measure == "" || *sources == "" {
 		fmt.Fprintln(os.Stderr, "emipredict: -circuit, -measure and -sources are required")
@@ -59,7 +58,9 @@ func main() {
 		MeasureNode: *measure,
 		MaxFreq:     *maxFreq,
 	}
-	s, err := p.Spectrum()
+	ctx, cancel := mkCtx()
+	defer cancel()
+	s, err := p.SpectrumCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}

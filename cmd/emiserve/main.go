@@ -1,0 +1,92 @@
+// Command emiserve is the EMI design service: a long-running HTTP/JSON
+// daemon exposing the paper's flow — interference prediction, automatic
+// placement and coupling extraction — as asynchronous jobs over a bounded
+// queue with request deduplication, per-job deadlines, cancellation and
+// Prometheus metrics. See DESIGN.md §"Serving layer" and the README
+// quickstart for the endpoint reference.
+//
+// Usage:
+//
+//	emiserve [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 2m]
+//	         [-result-ttl 10m] [-result-cap 256] [-drain-timeout 30s] [-stats]
+//
+// SIGTERM or SIGINT starts a graceful drain: intake stops (healthz turns
+// 503 so load balancers stop routing), in-flight jobs finish or are
+// cancelled at -drain-timeout, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = default 2)")
+	queue := flag.Int("queue", 0, "bounded job queue depth (0 = default 64)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline (0 = default 2m)")
+	resultTTL := flag.Duration("result-ttl", 0, "completed-result reuse window (0 = default 10m)")
+	resultCap := flag.Int("result-cap", 0, "result store capacity (0 = default 256)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	dumpStats := cli.Stats()
+	flag.Parse()
+	defer dumpStats()
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		ResultTTL:  *resultTTL,
+		ResultCap:  *resultCap,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintln(os.Stderr, "emiserve: listening on", *addr)
+
+	select {
+	case err := <-errc:
+		// Listener died before any signal: nothing to drain.
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintln(os.Stderr, "emiserve: draining (grace", *drainTimeout, ")")
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop intake first so /healthz flips to 503 for the duration of the
+	// HTTP shutdown, then let in-flight requests and jobs finish.
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(dctx) }()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emiserve: http shutdown:", err)
+	}
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "emiserve: forced drain:", err)
+	}
+	<-errc // ListenAndServe returns ErrServerClosed after Shutdown
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emiserve:", err)
+	os.Exit(1)
+}

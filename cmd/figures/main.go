@@ -15,7 +15,7 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/engine"
+	"repro/internal/cli"
 )
 
 // figureFunc renders one figure's data to stdout; svgdir may be empty.
@@ -55,11 +55,9 @@ func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate")
 	all := flag.Bool("all", false, "regenerate every figure")
 	svgdir := flag.String("svgdir", "", "directory for SVG renderings of layout figures")
-	stats := flag.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
+	dumpStats := cli.Stats()
 	flag.Parse()
-	if *stats {
-		defer engine.Fprint(os.Stderr)
-	}
+	defer dumpStats()
 
 	if *svgdir != "" {
 		if err := os.MkdirAll(*svgdir, 0o755); err != nil {

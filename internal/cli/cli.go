@@ -1,0 +1,50 @@
+// Package cli holds flag wiring shared by every command: the -stats
+// engine-statistics dump and the -timeout computation deadline. Each
+// helper registers its flag before flag.Parse and returns a closure the
+// command invokes afterwards, so the four binaries stay byte-for-byte
+// consistent in flag names, help text and behaviour.
+package cli
+
+import (
+	"context"
+	"flag"
+	"os"
+
+	"repro/internal/engine"
+)
+
+// StatsOn registers -stats on fs and returns a dump function: a no-op
+// unless the flag was set, in which case it prints the engine statistics
+// (solves, cache, phases) to stderr. Commands that exit through os.Exit
+// must call it explicitly before exiting; otherwise `defer dump()` after
+// fs.Parse is the idiom.
+func StatsOn(fs *flag.FlagSet) (dump func()) {
+	on := fs.Bool("stats", false, "print engine statistics (solves, cache, phases) to stderr")
+	return func() {
+		if *on {
+			engine.Fprint(os.Stderr)
+		}
+	}
+}
+
+// Stats is StatsOn for the default command-line flag set.
+func Stats() (dump func()) { return StatsOn(flag.CommandLine) }
+
+// TimeoutOn registers -timeout on fs and returns a context factory: after
+// fs.Parse it yields the context every computation should run under — a
+// plain background context when the flag is unset, or one cancelled after
+// the flag's duration. The caller owns the returned cancel func.
+func TimeoutOn(fs *flag.FlagSet) func() (context.Context, context.CancelFunc) {
+	d := fs.Duration("timeout", 0, "abort the computation after this duration (0 = no deadline)")
+	return func() (context.Context, context.CancelFunc) {
+		if *d <= 0 {
+			return context.Background(), func() {}
+		}
+		return context.WithTimeout(context.Background(), *d)
+	}
+}
+
+// Timeout is TimeoutOn for the default command-line flag set.
+func Timeout() func() (context.Context, context.CancelFunc) {
+	return TimeoutOn(flag.CommandLine)
+}

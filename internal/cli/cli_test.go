@@ -1,0 +1,57 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestTimeoutUnset(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mk := TimeoutOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := mk()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("unset -timeout produced a deadline")
+	}
+	if ctx.Err() != nil {
+		t.Fatal(ctx.Err())
+	}
+}
+
+func TestTimeoutSet(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mk := TimeoutOn(fs)
+	if err := fs.Parse([]string{"-timeout", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := mk()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("-timeout 1ms produced no deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v", ctx.Err())
+	}
+}
+
+func TestStatsFlagRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	dump := StatsOn(fs)
+	if fs.Lookup("stats") == nil {
+		t.Fatal("-stats not registered")
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	dump() // unset: must be a no-op and not panic
+}

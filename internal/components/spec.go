@@ -1,0 +1,60 @@
+package components
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// ParseSpec builds a catalog component model from its textual spec — the
+// shared vocabulary of the coupling CLI and the serving API:
+//
+//	x2cap:<farad>               film X capacitor, e.g. x2cap:1.5u
+//	tantalum:<farad>            SMD tantalum, e.g. tantalum:100u
+//	mlcc:<farad>                ceramic capacitor
+//	bobbin:<turns>:<radius_mm>  drum-core choke, e.g. bobbin:10:4
+//	cmchoke2 | cmchoke3         common-mode chokes
+func ParseSpec(s string) (Model, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing component spec")
+	}
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "x2cap", "tantalum", "mlcc":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s needs a capacitance, e.g. %s:1.5u", parts[0], parts[0])
+		}
+		c, err := netlist.ParseValue(parts[1])
+		if err != nil || c <= 0 {
+			return nil, fmt.Errorf("bad capacitance %q", parts[1])
+		}
+		switch parts[0] {
+		case "x2cap":
+			return NewX2Cap(s, c), nil
+		case "tantalum":
+			return NewSMDTantalum(s, c), nil
+		default:
+			return NewMLCC(s, c), nil
+		}
+	case "bobbin":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bobbin needs turns and radius_mm, e.g. bobbin:10:4")
+		}
+		turns, err := strconv.Atoi(parts[1])
+		if err != nil || turns < 1 {
+			return nil, fmt.Errorf("bad turns %q", parts[1])
+		}
+		rmm, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || rmm <= 0 {
+			return nil, fmt.Errorf("bad radius %q", parts[2])
+		}
+		return NewBobbinChoke(s, turns, rmm*1e-3), nil
+	case "cmchoke2":
+		return NewCMChoke2(s), nil
+	case "cmchoke3":
+		return NewCMChoke3(s), nil
+	}
+	return nil, fmt.Errorf("unknown component spec %q", s)
+}

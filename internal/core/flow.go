@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -168,6 +169,13 @@ func (p *Project) AllPairs() [][2]string {
 // placement-invariant self-inductances are cached per component, so the
 // cost per pair is one mutual-inductance integral.
 func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, error) {
+	return p.ExtractCouplingsCtx(context.Background(), pairs)
+}
+
+// ExtractCouplingsCtx is ExtractCouplings with cancellation: once ctx is
+// done no further field integrals start and the context's error is
+// returned.
+func (p *Project) ExtractCouplingsCtx(ctx context.Context, pairs [][2]string) (map[[2]string]float64, error) {
 	defer engine.Phase("core.extract")()
 	// Phase 1: build every needed conductor and its (placement-invariant)
 	// self-inductance, fanned out over the engine pool. Each ref writes
@@ -186,7 +194,7 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 		cond *peec.Conductor
 		l    float64
 	}
-	fields, err := engine.Map(len(refs), func(i int) (refField, error) {
+	fields, err := engine.MapCtx(ctx, len(refs), func(i int) (refField, error) {
 		inst, err := p.InstanceOf(refs[i])
 		if err != nil {
 			return refField{}, err
@@ -214,7 +222,7 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 
 	// Phase 2: one mutual-inductance integral per pair, in parallel.
 	ks := make([]float64, len(pairs))
-	if err := engine.ForEach(len(pairs), func(i int) error {
+	if err := engine.ForEachCtx(ctx, len(pairs), func(i int) error {
 		pair := pairs[i]
 		if p.Design.Find(pair[0]).Board != p.Design.Find(pair[1]).Board {
 			return nil
@@ -337,7 +345,13 @@ type PredictOptions struct {
 // the paper's Figure 13 (no correlation with measurement), with couplings
 // its Figure 14.
 func (p *Project) Predict(opt PredictOptions) (*emi.Spectrum, error) {
-	ckt, err := p.buildPredictionCircuit(opt)
+	return p.PredictCtx(context.Background(), opt)
+}
+
+// PredictCtx is Predict with cancellation: coupling extraction and the
+// harmonic solves both stop once ctx is done.
+func (p *Project) PredictCtx(ctx context.Context, opt PredictOptions) (*emi.Spectrum, error) {
+	ckt, err := p.buildPredictionCircuit(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -367,19 +381,19 @@ func (p *Project) Predict(opt PredictOptions) (*emi.Spectrum, error) {
 		MeasureNode: p.MeasureNode,
 		MaxFreq:     opt.MaxFreq,
 	}
-	return pred.Spectrum()
+	return pred.SpectrumCtx(ctx)
 }
 
 // buildPredictionCircuit assembles the circuit variant an option set asks
 // for (shared by the frequency- and time-domain predictions).
-func (p *Project) buildPredictionCircuit(opt PredictOptions) (*netlist.Circuit, error) {
+func (p *Project) buildPredictionCircuit(ctx context.Context, opt PredictOptions) (*netlist.Circuit, error) {
 	ckt := p.Circuit.Clone()
 	if opt.WithCouplings {
 		pairs := opt.Pairs
 		if pairs == nil {
 			pairs = p.AllPairs()
 		}
-		ks, err := p.ExtractCouplings(pairs)
+		ks, err := p.ExtractCouplingsCtx(ctx, pairs)
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +412,7 @@ func (p *Project) buildPredictionCircuit(opt PredictOptions) (*netlist.Circuit, 
 // settling exclusion and the simulated duration must be chosen together
 // (duration = periods of the first source's switching period).
 func (p *Project) PredictTransient(opt PredictOptions, periods int, dt float64, det emi.Detector, harmonics int) (*emi.Spectrum, error) {
-	ckt, err := p.buildPredictionCircuit(opt)
+	ckt, err := p.buildPredictionCircuit(context.Background(), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -458,6 +472,11 @@ func (p *Project) VirtualMeasurement(maxFreq, rippleDB float64, seed uint64) (*e
 // RankCouplings runs the sensitivity analysis (step 2) over the mapped
 // inductors and returns the ranking in component-reference terms.
 func (p *Project) RankCouplings(probeK, maxFreq float64) (sensitivity.Ranking, error) {
+	return p.RankCouplingsCtx(context.Background(), probeK, maxFreq)
+}
+
+// RankCouplingsCtx is RankCouplings with cancellation.
+func (p *Project) RankCouplingsCtx(ctx context.Context, probeK, maxFreq float64) (sensitivity.Ranking, error) {
 	refOf := map[string]string{}
 	var cands []string
 	for ref, ind := range p.InductorOf {
@@ -470,7 +489,7 @@ func (p *Project) RankCouplings(probeK, maxFreq float64) (sensitivity.Ranking, e
 	}
 	base := p.Circuit.Clone()
 	base.RemoveCouplings()
-	rank, err := sensitivity.Rank(base, p.Sources[0], p.MeasureNode, sensitivity.Options{
+	rank, err := sensitivity.RankCtx(ctx, base, p.Sources[0], p.MeasureNode, sensitivity.Options{
 		ProbeK:     probeK,
 		MaxFreq:    maxFreq,
 		Candidates: cands,
@@ -515,6 +534,11 @@ func (p *Project) DeriveRules(pairs [][2]string, kMax float64) (int, error) {
 // AutoPlace runs the placement tool (step 6) on the design.
 func (p *Project) AutoPlace(opt place.Options) (*place.Result, error) {
 	return place.AutoPlace(p.Design, opt)
+}
+
+// AutoPlaceCtx is AutoPlace with cancellation (see place.AutoPlaceCtx).
+func (p *Project) AutoPlaceCtx(ctx context.Context, opt place.Options) (*place.Result, error) {
+	return place.AutoPlaceCtx(ctx, p.Design, opt)
 }
 
 // Verify runs the final design-rule check.

@@ -1,6 +1,7 @@
 package emi
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -37,6 +38,12 @@ type Predictor struct {
 
 // Spectrum runs the prediction. The circuit is not modified.
 func (p *Predictor) Spectrum() (*Spectrum, error) {
+	return p.SpectrumCtx(context.Background())
+}
+
+// SpectrumCtx is Spectrum with cancellation: once ctx is done no further
+// harmonic solves start and the context's error is returned.
+func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
 	ckt := p.Circuit.Clone()
 	names := p.Sources
 	if len(names) == 0 {
@@ -94,7 +101,7 @@ func (p *Predictor) Spectrum() (*Spectrum, error) {
 		an   *mna.Analyzer
 	}
 	dbs := make([]float64, len(ks))
-	err := engine.ForEachState(len(ks),
+	err := engine.ForEachStateCtx(ctx, len(ks),
 		func() (*workerState, error) {
 			wc := ckt.Clone()
 			s := &workerState{}

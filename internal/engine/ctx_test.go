@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCtxCancelSerial verifies that the serial path stops starting
+// items once the context is cancelled and reports the context's error.
+func TestForEachCtxCancelSerial(t *testing.T) {
+	old := SetMaxParallelism(1)
+	defer SetMaxParallelism(old)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+		}
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 4 {
+		t.Fatalf("ran %d items, want 4 (items after cancel must not start)", n)
+	}
+}
+
+// TestForEachCtxCancelParallel verifies that parallel workers observe the
+// cancellation and stop claiming items.
+func TestForEachCtxCancelParallel(t *testing.T) {
+	old := SetMaxParallelism(4)
+	defer SetMaxParallelism(old)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	err := ForEachCtx(ctx, 1000, func(i int) error {
+		if ran.Add(1) == 1 {
+			cancel()
+			close(gate)
+		} else {
+			<-gate // hold every other item until the cancel happened
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+}
+
+// TestForEachCtxDoneBeforeStart verifies that an already-cancelled context
+// runs nothing.
+func TestForEachCtxDoneBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("ran %d items on a dead context, want 0", n)
+	}
+}
+
+// TestMapCtxBackground verifies the ctx variants behave like the plain
+// ones under a background context.
+func TestMapCtxBackground(t *testing.T) {
+	out, err := MapCtx(context.Background(), 5, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestHasherBytesString verifies the byte/string feeds are consistent with
+// each other and sensitive to split points.
+func TestHasherBytesString(t *testing.T) {
+	h1 := NewHasher()
+	h1.Bytes([]byte("predict"))
+	h2 := NewHasher()
+	h2.String("predict")
+	if h1.Sum() != h2.Sum() {
+		t.Fatal("Bytes and String disagree on identical content")
+	}
+	h3 := NewHasher()
+	h3.String("pre")
+	h3.String("dict")
+	if h3.Sum() == h2.Sum() {
+		t.Fatal("length prefix failed: split strings hash like the whole")
+	}
+	h4 := NewHasher()
+	h4.String("predicu")
+	if h4.Sum() == h2.Sum() {
+		t.Fatal("distinct strings collided")
+	}
+}

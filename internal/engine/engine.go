@@ -27,6 +27,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -144,7 +145,15 @@ func (f *firstError) failed() bool {
 // reported as a *PanicError. fn must treat distinct indices as
 // independent; slot-per-index writes keep results deterministic.
 func ForEach(n int, fn func(i int) error) error {
-	return ForEachState(n,
+	return ForEachCtx(context.Background(), n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: once ctx is done no new items
+// start (items already running finish) and the context's error is
+// returned. fn itself receives no context — long-running items that must
+// observe cancellation mid-item should capture ctx themselves.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return ForEachStateCtx(ctx, n,
 		func() (struct{}, error) { return struct{}{}, nil },
 		func(_ struct{}, i int) error { return fn(i) })
 }
@@ -154,6 +163,11 @@ func ForEach(n int, fn func(i int) error) error {
 // worker, fn receives that worker's state. The serial path calls
 // newState exactly once.
 func ForEachState[S any](n int, newState func() (S, error), fn func(s S, i int) error) error {
+	return ForEachStateCtx(context.Background(), n, newState, fn)
+}
+
+// ForEachStateCtx is ForEachState with cancellation (see ForEachCtx).
+func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, error), fn func(s S, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -174,6 +188,9 @@ func ForEachState[S any](n int, newState func() (S, error), fn func(s S, i int) 
 			return err
 		}
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := runItem(s, i, fn); err != nil {
 				return err
 			}
@@ -195,6 +212,10 @@ func ForEachState[S any](n int, newState func() (S, error), fn func(s S, i int) 
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n || ferr.failed() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				ferr.set(i, err)
 				return
 			}
 			if err := runItem(s, i, fn); err != nil {
@@ -233,8 +254,13 @@ func runItem[S any](s S, i int, fn func(s S, i int) error) (err error) {
 // Map runs fn(0..n-1) over the pool and returns the results in index
 // order. On error the partial results are discarded.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cancellation (see ForEachCtx).
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(n, func(i int) error {
+	err := ForEachCtx(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -56,6 +56,27 @@ func (h *Hasher) Int(v int) {
 	h.Uint64(uint64(v))
 }
 
+// Bytes feeds a byte slice, length-prefixed so that consecutive slices
+// of different split points hash differently.
+func (h *Hasher) Bytes(b []byte) {
+	h.Uint64(uint64(len(b)))
+	for _, c := range b {
+		v := uint64(c)
+		h.h1 = (h.h1 ^ v) * fnvPrime
+		h.h2 = (h.h2 ^ (v * mixPrime)) * fnvPrime
+	}
+}
+
+// String feeds a string (length-prefixed, like Bytes).
+func (h *Hasher) String(s string) {
+	h.Uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		v := uint64(s[i])
+		h.h1 = (h.h1 ^ v) * fnvPrime
+		h.h2 = (h.h2 ^ (v * mixPrime)) * fnvPrime
+	}
+}
+
 // Sum returns the accumulated 128-bit key.
 func (h *Hasher) Sum() Key {
 	return Key{h.h1, h.h2}

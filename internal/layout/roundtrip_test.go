@@ -1,0 +1,122 @@
+// The round-trip test lives in an external test package because it pulls
+// in the workload generators, which themselves import layout.
+package layout_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+// designTexts collects every design in the ASCII file interface the
+// round-trip must preserve: all parseable .txt files under testdata/ plus
+// the synthetic workload generators, so the test keeps covering new
+// grammar as designs are added.
+func designTexts(t *testing.T) map[string]string {
+	t.Helper()
+	texts := make(map[string]string)
+	paths, err := filepath.Glob("../../testdata/*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := layout.ReadString(string(b)); err != nil {
+			continue // not a design file
+		}
+		texts[filepath.Base(p)] = string(b)
+	}
+	if len(texts) == 0 {
+		t.Fatal("no design files found in testdata/")
+	}
+	for _, gen := range []struct {
+		name string
+		d    *layout.Design
+	}{
+		{"synthetic-29", workload.Complex29()},
+		{"synthetic-60", workload.Synthetic(60, 40, 2, 0.2, 0.15)},
+	} {
+		var buf bytes.Buffer
+		if err := layout.Write(&buf, gen.d); err != nil {
+			t.Fatalf("%s: %v", gen.name, err)
+		}
+		texts[gen.name] = buf.String()
+	}
+	return texts
+}
+
+// TestRoundTrip is the parse → write → parse golden test: for every
+// design, the reparsed design must equal the first parse, and a second
+// write must be byte-identical to the first (the written form is the
+// fixed point of the grammar).
+func TestRoundTrip(t *testing.T) {
+	for name, text := range designTexts(t) {
+		t.Run(name, func(t *testing.T) {
+			d1, err := layout.ReadString(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var w1 bytes.Buffer
+			if err := layout.Write(&w1, d1); err != nil {
+				t.Fatal(err)
+			}
+			d2, err := layout.ReadString(w1.String())
+			if err != nil {
+				t.Fatalf("reparse: %v\nwritten:\n%s", err, w1.String())
+			}
+			if !reflect.DeepEqual(d1, d2) {
+				t.Fatalf("designs differ after round trip\nfirst:  %+v\nsecond: %+v", d1, d2)
+			}
+			var w2 bytes.Buffer
+			if err := layout.Write(&w2, d2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatalf("written form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", w1.String(), w2.String())
+			}
+		})
+	}
+}
+
+// TestRoundTripPlaced runs the same invariant on a placed design, so the
+// AT clauses and rotations survive the grammar too.
+func TestRoundTripPlaced(t *testing.T) {
+	d := workload.Synthetic(12, 6, 1, 0.1, 0.08)
+	// Place components deterministically on a diagonal.
+	for i, c := range d.Comps {
+		c.Placed = true
+		c.Center = geom.V2(float64(5+7*i)*1e-3, float64(5+5*i)*1e-3)
+		if i%3 == 1 {
+			c.Rot = math.Pi / 2
+		}
+	}
+	var w1 bytes.Buffer
+	if err := layout.Write(&w1, d); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w1.String(), " AT ") {
+		t.Fatalf("placed design written without AT clauses:\n%s", w1.String())
+	}
+	d2, err := layout.ReadString(w1.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w2 bytes.Buffer
+	if err := layout.Write(&w2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatalf("placed round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", w1.String(), w2.String())
+	}
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/drc"
@@ -17,6 +18,11 @@ import (
 // Returns the references that were re-placed. If even re-placement cannot
 // find room, a PlaceError lists the remainder.
 func Legalize(d *layout.Design, opt Options) ([]string, error) {
+	return LegalizeCtx(context.Background(), d, opt)
+}
+
+// LegalizeCtx is Legalize with cancellation (see AutoPlaceCtx).
+func LegalizeCtx(ctx context.Context, d *layout.Design, opt Options) ([]string, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -46,7 +52,7 @@ func Legalize(d *layout.Design, opt Options) ([]string, error) {
 		for ref := range offenders {
 			ripped = append(ripped, ref)
 		}
-		if _, err := placeUnplaced(d, opt); err != nil {
+		if _, err := placeUnplaced(ctx, d, opt); err != nil {
 			return dedupSorted(ripped), err
 		}
 	}

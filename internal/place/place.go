@@ -13,6 +13,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -93,6 +94,14 @@ type Result struct {
 // component placements. Preplaced components are never moved. On success
 // the resulting layout passes the full DRC (unless IgnoreEMD baselines it).
 func AutoPlace(d *layout.Design, opt Options) (*Result, error) {
+	return AutoPlaceCtx(context.Background(), d, opt)
+}
+
+// AutoPlaceCtx is AutoPlace with cancellation: the placement stops between
+// components (and between raster rows of a candidate scan) once ctx is
+// done, returning the context's error. The design is left with whatever
+// placements completed — callers that need all-or-nothing must snapshot.
+func AutoPlaceCtx(ctx context.Context, d *layout.Design, opt Options) (*Result, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -115,7 +124,7 @@ func AutoPlace(d *layout.Design, opt Options) (*Result, error) {
 
 	// Step 3: prioritised sequential placement.
 	done := engine.Phase("place.sequential")
-	placed, err := sequentialPlace(d, opt)
+	placed, err := sequentialPlace(ctx, d, opt)
 	done()
 	res.Placed = placed
 	res.Elapsed = time.Since(start)

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/geom"
@@ -14,18 +15,19 @@ import (
 // cost of net length, group coherence and compactness picks the position.
 // If the raster yields no legal position it is refined (halved) up to
 // opt.MaxRefine times before the component is reported unplaceable.
-func sequentialPlace(d *layout.Design, opt Options) (int, error) {
+func sequentialPlace(ctx context.Context, d *layout.Design, opt Options) (int, error) {
 	for _, c := range placementOrder(d) {
 		c.Placed = false // re-place movable components from scratch
 	}
-	return placeUnplaced(d, opt)
+	return placeUnplaced(ctx, d, opt)
 }
 
 // placeUnplaced runs the prioritised sequential search for every movable
 // component that currently has no position, leaving placed ones alone —
 // the shared engine of AutoPlace (which unplaces everything first) and
-// Legalize (which rips up only the offenders).
-func placeUnplaced(d *layout.Design, opt Options) (int, error) {
+// Legalize (which rips up only the offenders). Cancellation is checked
+// between components and between raster rows inside a candidate scan.
+func placeUnplaced(ctx context.Context, d *layout.Design, opt Options) (int, error) {
 	grid := opt.GridStep
 	if grid <= 0 {
 		grid = autoGrid(d)
@@ -37,10 +39,17 @@ func placeUnplaced(d *layout.Design, opt Options) (int, error) {
 		if c.Placed {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return placedCount, err
+		}
 		ok := false
 		g := grid
 		for attempt := 0; attempt <= opt.maxRefine(); attempt++ {
-			if best, found := bestCandidate(d, c, g, opt); found {
+			best, found := bestCandidate(ctx, d, c, g, opt)
+			if err := ctx.Err(); err != nil {
+				return placedCount, err
+			}
+			if found {
 				c.Center, c.Rot, c.Placed = best.center, best.rot, true
 				ok = true
 				break
@@ -83,7 +92,7 @@ func rotationsFor(c *layout.Component, opt Options) []float64 {
 // hoisted into a scan context once per component — they do not change
 // while one component's raster is scanned, and rebuilding them per
 // candidate dominated the placement profile.
-func bestCandidate(d *layout.Design, c *layout.Component, grid float64, opt Options) (candidate, bool) {
+func bestCandidate(cancel context.Context, d *layout.Design, c *layout.Component, grid float64, opt Options) (candidate, bool) {
 	ctx := newScanCtx(d, c, opt)
 	best := candidate{cost: math.Inf(1)}
 	found := false
@@ -91,6 +100,9 @@ func bestCandidate(d *layout.Design, c *layout.Component, grid float64, opt Opti
 		bb := area.Poly.BBox()
 		// Inset by half the smaller dimension so tiny parts hug edges.
 		for y := bb.Min.Y; y <= bb.Max.Y+1e-12; y += grid {
+			if cancel.Err() != nil {
+				return best, false
+			}
 			for x := bb.Min.X; x <= bb.Max.X+1e-12; x += grid {
 				center := geom.V2(x, y)
 				for ri := range ctx.rots {

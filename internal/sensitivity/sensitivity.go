@@ -6,6 +6,7 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,6 +36,12 @@ type Options struct {
 // time), predicts the spectrum, and ranks pairs by the worst-case emission
 // increase relative to the uncoupled baseline.
 func Rank(ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ranking, error) {
+	return RankCtx(context.Background(), ckt, sourceName, measureNode, opt)
+}
+
+// RankCtx is Rank with cancellation: once ctx is done no further pair
+// predictions start and the context's error is returned.
+func RankCtx(ctx context.Context, ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ranking, error) {
 	probe := opt.ProbeK
 	if probe == 0 {
 		probe = 0.01
@@ -59,7 +66,7 @@ func Rank(ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ra
 			MeasureNode: measureNode,
 			MaxFreq:     opt.MaxFreq,
 		}
-		return p.Spectrum()
+		return p.SpectrumCtx(ctx)
 	}
 
 	base, err := predict(ckt)
@@ -79,7 +86,7 @@ func Rank(ckt *netlist.Circuit, sourceName, measureNode string, opt Options) (Ra
 			pairs = append(pairs, [2]string{cands[i], cands[j]})
 		}
 	}
-	rank, err := engine.Map(len(pairs), func(i int) (PairInfluence, error) {
+	rank, err := engine.MapCtx(ctx, len(pairs), func(i int) (PairInfluence, error) {
 		la, lb := pairs[i][0], pairs[i][1]
 		probed := ckt.Clone()
 		probed.SetCoupling(la, lb, probe)

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes bounds request bodies: netlists and designs are text files
+// of at most a few hundred kB; anything larger is abuse.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the HTTP surface of the server:
+//
+//	POST   /v1/predict          submit an interference prediction
+//	POST   /v1/place            submit an automatic placement
+//	POST   /v1/couple           submit a coupling-vs-distance extraction
+//	GET    /v1/jobs/{id}        job status and result (?wait=1 blocks)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus text exposition
+//
+// Submissions return 202 with the job view; ?wait=1 blocks until the job
+// finishes and returns 200 with the result inline. A waiting client that
+// disconnects releases its interest — when it was the only one, the job
+// is cancelled (the client-abort path).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.submitHandler(KindPredict))
+	mux.HandleFunc("POST /v1/place", s.submitHandler(KindPlace))
+	mux.HandleFunc("POST /v1/couple", s.submitHandler(KindCouple))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobHandler)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelHandler)
+	mux.HandleFunc("GET /healthz", s.healthHandler)
+	mux.HandleFunc("GET /metrics", s.metricsHandler)
+	return mux
+}
+
+func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return
+		}
+		wait := boolParam(r, "wait")
+		var j *Job
+		if wait {
+			j, err = s.SubmitAttached(kind, body)
+		} else {
+			j, err = s.Submit(kind, body)
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if !wait {
+			writeJSON(w, http.StatusAccepted, j.View())
+			return
+		}
+		defer s.Detach(j)
+		if err := j.Wait(r.Context()); err != nil {
+			// Client gone; Detach may cancel the job. No response possible.
+			return
+		}
+		writeJSON(w, statusOf(j), j.View())
+	}
+}
+
+func (s *Server) jobHandler(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if boolParam(r, "wait") {
+		if err := j.Wait(r.Context()); err != nil {
+			return // client gone
+		}
+	}
+	writeJSON(w, statusOf(j), j.View())
+}
+
+func (s *Server) cancelHandler(w http.ResponseWriter, r *http.Request) {
+	acted, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if !acted {
+		writeError(w, http.StatusConflict, "job already finished")
+		return
+	}
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) healthHandler(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.QueueDepth(),
+	})
+}
+
+func (s *Server) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
+}
+
+// statusOf maps a job's state to the HTTP status of its view: pending and
+// successful jobs are 200, failures 500, cancellations 499 (the de-facto
+// client-closed-request code).
+func statusOf(j *Job) int {
+	switch j.State() {
+	case StateFailed:
+		return http.StatusInternalServerError
+	case StateCancelled:
+		return 499
+	default:
+		return http.StatusOK
+	}
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	return err == nil && b
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

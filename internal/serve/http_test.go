@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpFixture starts an httptest server over a Server with injected
+// runners and returns both plus a base URL.
+func httpFixture(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s := testServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts.URL
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestHTTPWaitRoundTrip exercises the synchronous path: submit with
+// ?wait=1, get 200 with the result inline.
+func TestHTTPWaitRoundTrip(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) {
+				return map[string]int{"answer": 42}, nil
+			},
+		},
+	})
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || !strings.Contains(string(v.Result), "42") {
+		t.Fatalf("view = %+v", v)
+	}
+}
+
+// TestHTTPAsyncPoll exercises the asynchronous path: 202 on submit, then
+// GET /v1/jobs/{id}?wait=1 until done.
+func TestHTTPAsyncPoll(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindCouple: func(ctx context.Context, req []byte) (any, error) {
+				return "curve", nil
+			},
+		},
+	})
+	resp, body := postJSON(t, base+"/v1/couple", `{"a":1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.State == "" {
+		t.Fatalf("view = %+v", v)
+	}
+	resp, body = getJSON(t, base+"/v1/jobs/"+v.ID+"?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || !strings.Contains(string(v.Result), "curve") {
+		t.Fatalf("polled view = %+v", v)
+	}
+	// Unknown job IDs are 404.
+	resp, _ = getJSON(t, base+"/v1/jobs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPCancel exercises DELETE /v1/jobs/{id} on a running job and the
+// 409 on an already-terminal one.
+func TestHTTPCancel(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPlace: func(ctx context.Context, req []byte) (any, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		},
+	})
+	_, body := postJSON(t, base+"/v1/place", `{"d":1}`)
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+v.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d body %s", resp.StatusCode, b)
+	}
+	// Wait for the terminal state, then a second cancel conflicts.
+	resp, b = getJSON(t, base+"/v1/jobs/"+v.ID+"?wait=1")
+	if resp.StatusCode != 499 {
+		t.Fatalf("cancelled job status %d body %s", resp.StatusCode, b)
+	}
+	resp, err = http.DefaultClient.Do(req.Clone(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPClientAbort verifies the client-abort path end to end: a
+// waiting request whose connection drops cancels the job it was the only
+// waiter of.
+func TestHTTPClientAbort(t *testing.T) {
+	running := make(chan string, 1)
+	s, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/predict?wait=1", strings.NewReader(`{"n":1}`))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	// Wait until the job is running, then drop the client.
+	deadline := time.After(5 * time.Second)
+	for {
+		var found *Job
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			found = j
+		}
+		s.mu.Unlock()
+		if found != nil && found.State() == StateRunning {
+			running <- found.ID
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("aborted request returned no error")
+	}
+	id := <-running
+	j, err := s.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer wcancel()
+	if err := j.Wait(wctx); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("abandoned job state %s, want cancelled", j.State())
+	}
+}
+
+// TestHTTPHealthAndMetrics checks /healthz in both lifecycles and the
+// required metric families on /metrics.
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	s, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) { return "ok", nil },
+		},
+	})
+	resp, body := getJSON(t, base+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz %d %s", resp.StatusCode, body)
+	}
+
+	// One solved and one deduplicated-from-store request populate counters.
+	postJSON(t, base+"/v1/predict?wait=1", `{"m":1}`)
+	postJSON(t, base+"/v1/predict?wait=1", `{"m":1}`)
+
+	resp, body = getJSON(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"emiserve_queue_depth",
+		"emiserve_workers_busy",
+		`emiserve_jobs{state="queued"}`,
+		`emiserve_jobs_finished_total{state="done"}`,
+		"emiserve_submitted_total",
+		"emiserve_dedup_hits_total",
+		"emiserve_result_store_hits_total",
+		"engine_cache_hits_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(text, "emiserve_result_store_hits_total 1") {
+		t.Errorf("store hit not counted:\n%s", text)
+	}
+
+	ctx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelDrain()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = getJSON(t, base+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining healthz %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, base+"/v1/predict", `{"m":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit while draining: %d Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestHTTPBadRequestBody verifies a malformed body fails the job with a
+// 500 on the synchronous path (validation runs in the runner).
+func TestHTTPBadRequestBody(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1}) // real DefaultRunners
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", `{"no_such_field":true}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateFailed || !strings.Contains(v.Error, "unknown field") {
+		t.Fatalf("view = %+v", v)
+	}
+}
+
+// TestHTTPEndToEnd drives all three endpoints against the real runners:
+// the buck-converter netlist from testdata for predict, a small design
+// for place, and a short sweep for couple.
+func TestHTTPEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real solves in -short mode")
+	}
+	netlistText, err := os.ReadFile("../../testdata/buck.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := httpFixture(t, Config{Workers: 2})
+
+	// Predict: cap the frequency range to keep the harmonic count small.
+	preq, _ := json.Marshal(PredictRequest{
+		Netlist: string(netlistText),
+		Sources: []string{"IQ1", "VD1"},
+		Measure: "lisn_meas",
+		MaxFreq: 2e6,
+	})
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", string(preq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	var pres PredictResponse
+	if err := json.Unmarshal(v.Result, &pres); err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.FreqsHz) == 0 || len(pres.FreqsHz) != len(pres.LevelsDBuV) {
+		t.Fatalf("predict response %d freqs, %d levels", len(pres.FreqsHz), len(pres.LevelsDBuV))
+	}
+
+	// Place: a two-component design on a small board.
+	design := `DESIGN http-e2e
+BOARDS 1
+CLEARANCE 1.0
+AREA board 0 0 0 40 0 40 40 0 40
+COMP A 5.0 5.0 5.0 GROUP g
+COMP B 5.0 5.0 5.0 GROUP g
+NET n 0.0 A B
+END
+`
+	lreq, _ := json.Marshal(PlaceRequest{Design: design})
+	resp, body = postJSON(t, base+"/v1/place?wait=1", string(lreq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("place status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	var lres PlaceResponse
+	if err := json.Unmarshal(v.Result, &lres); err != nil {
+		t.Fatal(err)
+	}
+	if lres.Placed != 2 || !strings.Contains(lres.Design, " AT ") {
+		t.Fatalf("place response placed=%d green=%v design:\n%s", lres.Placed, lres.Green, lres.Design)
+	}
+
+	// Couple: three points of the X2-capacitor pair curve.
+	creq, _ := json.Marshal(CoupleRequest{A: "x2cap:1.5u", B: "x2cap:1.5u", FromMM: 20, ToMM: 28, StepMM: 4})
+	resp, body = postJSON(t, base+"/v1/couple?wait=1", string(creq))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("couple status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	var cres CoupleResponse
+	if err := json.Unmarshal(v.Result, &cres); err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.DistancesMM) != 3 || len(cres.K) != 3 {
+		t.Fatalf("couple response %d distances, %d ks", len(cres.DistancesMM), len(cres.K))
+	}
+	for i, k := range cres.K {
+		if k <= 0 || k >= 1 {
+			t.Fatalf("k[%d] = %g out of (0,1)", i, k)
+		}
+	}
+	// Coupling decays with distance.
+	if !(cres.K[0] > cres.K[1] && cres.K[1] > cres.K[2]) {
+		t.Fatalf("coupling does not decay: %v", cres.K)
+	}
+}
+
+// TestHTTPBodyTooLarge verifies the request size guard.
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) { return nil, nil },
+		},
+	})
+	big := strings.Repeat("x", maxBodyBytes+1)
+	resp, err := http.Post(base+"/v1/predict", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Skipf("oversize post failed at transport level: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// metrics holds the server's monotonic counters and live gauges. All
+// fields are atomics so the hot paths never serialize on a metrics lock.
+type metrics struct {
+	submitted         atomic.Uint64 // jobs actually enqueued
+	dedupHits         atomic.Uint64 // submissions folded into an in-flight job
+	storeHits         atomic.Uint64 // submissions answered from the result store
+	storeMisses       atomic.Uint64 // submissions that had to compute
+	rejectedFull      atomic.Uint64 // submissions rejected: queue full
+	rejectedDraining  atomic.Uint64 // submissions rejected: draining
+	finishedDone      atomic.Uint64
+	finishedFailed    atomic.Uint64
+	finishedCancelled atomic.Uint64
+	busy              atomic.Int64 // workers currently running a job
+}
+
+// WriteMetrics writes the Prometheus text exposition (version 0.0.4) of
+// the server's state: queue depth, jobs by state (current and total),
+// dedup and result-store traffic, plus the engine's shared compute
+// counters (cache hits, MNA solves, field integrals).
+func (s *Server) WriteMetrics(w io.Writer) error {
+	// Snapshot the current per-state job population under the lock.
+	byState := map[State]int{
+		StateQueued: 0, StateRunning: 0,
+		StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.State()]++
+	}
+	storeLen := s.store.len()
+	s.mu.Unlock()
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP emiserve_queue_depth Jobs waiting in the bounded queue.\n"+
+		"# TYPE emiserve_queue_depth gauge\nemiserve_queue_depth %d\n",
+		s.QueueDepth()); err != nil {
+		return err
+	}
+	if err := p("# HELP emiserve_workers_busy Workers currently running a job.\n"+
+		"# TYPE emiserve_workers_busy gauge\nemiserve_workers_busy %d\n",
+		s.m.busy.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP emiserve_jobs Jobs currently retained, by state.\n" +
+		"# TYPE emiserve_jobs gauge\n"); err != nil {
+		return err
+	}
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		if err := p("emiserve_jobs{state=%q} %d\n", st, byState[st]); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP emiserve_jobs_finished_total Jobs finished since start, by terminal state.\n"+
+		"# TYPE emiserve_jobs_finished_total counter\n"+
+		"emiserve_jobs_finished_total{state=\"done\"} %d\n"+
+		"emiserve_jobs_finished_total{state=\"failed\"} %d\n"+
+		"emiserve_jobs_finished_total{state=\"cancelled\"} %d\n",
+		s.m.finishedDone.Load(), s.m.finishedFailed.Load(), s.m.finishedCancelled.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP emiserve_submitted_total Jobs enqueued since start.\n"+
+		"# TYPE emiserve_submitted_total counter\nemiserve_submitted_total %d\n"+
+		"# HELP emiserve_dedup_hits_total Submissions folded into an identical in-flight job.\n"+
+		"# TYPE emiserve_dedup_hits_total counter\nemiserve_dedup_hits_total %d\n"+
+		"# HELP emiserve_result_store_hits_total Submissions answered from the completed-result store.\n"+
+		"# TYPE emiserve_result_store_hits_total counter\nemiserve_result_store_hits_total %d\n"+
+		"# HELP emiserve_result_store_misses_total Submissions that had to compute.\n"+
+		"# TYPE emiserve_result_store_misses_total counter\nemiserve_result_store_misses_total %d\n"+
+		"# HELP emiserve_result_store_entries Results currently cached.\n"+
+		"# TYPE emiserve_result_store_entries gauge\nemiserve_result_store_entries %d\n"+
+		"# HELP emiserve_rejected_total Submissions rejected, by reason.\n"+
+		"# TYPE emiserve_rejected_total counter\n"+
+		"emiserve_rejected_total{reason=\"queue_full\"} %d\n"+
+		"emiserve_rejected_total{reason=\"draining\"} %d\n",
+		s.m.submitted.Load(), s.m.dedupHits.Load(),
+		s.m.storeHits.Load(), s.m.storeMisses.Load(), storeLen,
+		s.m.rejectedFull.Load(), s.m.rejectedDraining.Load()); err != nil {
+		return err
+	}
+
+	// The engine's shared compute substrate (process-global).
+	es := engine.Snapshot()
+	return p("# HELP engine_cache_hits_total Field-integral memo cache hits.\n"+
+		"# TYPE engine_cache_hits_total counter\nengine_cache_hits_total %d\n"+
+		"# HELP engine_cache_misses_total Field-integral memo cache misses.\n"+
+		"# TYPE engine_cache_misses_total counter\nengine_cache_misses_total %d\n"+
+		"# HELP engine_mna_solves_total Frequency-domain MNA solves.\n"+
+		"# TYPE engine_mna_solves_total counter\nengine_mna_solves_total %d\n"+
+		"# HELP engine_neumann_integrals_total Neumann mutual-inductance integrals.\n"+
+		"# TYPE engine_neumann_integrals_total counter\nengine_neumann_integrals_total %d\n"+
+		"# HELP engine_pool_tasks_total Work items executed by the shared pool.\n"+
+		"# TYPE engine_pool_tasks_total counter\nengine_pool_tasks_total %d\n",
+		es.CacheHits, es.CacheMisses, es.MNASolves, es.NeumannIntegrals, es.PoolTasks)
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/components"
+	"repro/internal/drc"
+	"repro/internal/emi"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/peec"
+	"repro/internal/place"
+	"repro/internal/rules"
+)
+
+// DefaultRunners wires the three endpoints to the real compute core. The
+// runners are pure request → response functions; all shared state (worker
+// pool tokens, field-integral cache, counters) lives in internal/engine.
+func DefaultRunners() map[Kind]Runner {
+	return map[Kind]Runner{
+		KindPredict: runPredict,
+		KindPlace:   runPlace,
+		KindCouple:  runCouple,
+	}
+}
+
+// PredictRequest asks for the conducted-emission spectrum of a netlist —
+// the paper's interference prediction as a service.
+type PredictRequest struct {
+	Netlist     string   `json:"netlist"`                // SPICE-style netlist text
+	Sources     []string `json:"sources"`                // switching V/I PULSE elements
+	Measure     string   `json:"measure"`                // measurement node (LISN receiver)
+	MaxFreq     float64  `json:"max_freq,omitempty"`     // Hz; 0 = CISPR band stop
+	Harmonics   int      `json:"harmonics,omitempty"`    // 0 = enough to reach MaxFreq
+	NoCouplings bool     `json:"no_couplings,omitempty"` // strip K elements first
+}
+
+// ViolationView is one CISPR limit violation in a response.
+type ViolationView struct {
+	FreqHz  float64 `json:"freq_hz"`
+	LevelDB float64 `json:"level_dbuv"`
+	LimitDB float64 `json:"limit_dbuv"`
+}
+
+// PredictResponse carries the spectrum and its CISPR verdict.
+type PredictResponse struct {
+	FreqsHz       []float64       `json:"freqs_hz"`
+	LevelsDBuV    []float64       `json:"levels_dbuv"`
+	WorstMarginDB *float64        `json:"worst_margin_db,omitempty"` // omitted when no band overlaps
+	Violations    []ViolationView `json:"violations,omitempty"`
+}
+
+func runPredict(ctx context.Context, req []byte) (any, error) {
+	var r PredictRequest
+	if err := strictUnmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if r.Netlist == "" || r.Measure == "" || len(r.Sources) == 0 {
+		return nil, fmt.Errorf("predict: netlist, sources and measure are required")
+	}
+	ckt, err := netlist.Parse(strings.NewReader(r.Netlist))
+	if err != nil {
+		return nil, err
+	}
+	if r.NoCouplings {
+		ckt.RemoveCouplings()
+	}
+	p := &emi.Predictor{
+		Circuit:     ckt,
+		Sources:     r.Sources,
+		MeasureNode: r.Measure,
+		MaxFreq:     r.MaxFreq,
+		Harmonics:   r.Harmonics,
+	}
+	s, err := p.SpectrumCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	resp := &PredictResponse{FreqsHz: s.Freqs, LevelsDBuV: s.DB}
+	if m := s.WorstMargin(); !math.IsInf(m, 0) && !math.IsNaN(m) {
+		resp.WorstMarginDB = &m
+	}
+	for _, v := range s.Violations() {
+		resp.Violations = append(resp.Violations, ViolationView{
+			FreqHz: v.Freq, LevelDB: v.Level, LimitDB: v.LimitDB,
+		})
+	}
+	return resp, nil
+}
+
+// PlaceRequest asks for an automatic placement of a design in the ASCII
+// file interface.
+type PlaceRequest struct {
+	Design       string  `json:"design"`                  // ASCII design file text
+	Baseline     bool    `json:"baseline,omitempty"`      // ignore EMD rules
+	SkipRotation bool    `json:"skip_rotation,omitempty"` // skip step 1
+	Partition    bool    `json:"partition,omitempty"`     // two-board partitioning
+	GridMM       float64 `json:"grid_mm,omitempty"`       // candidate raster; 0 = auto
+}
+
+// PlaceResponse carries the placed design and its DRC verdict.
+type PlaceResponse struct {
+	Design         string          `json:"design"` // placed, same ASCII interface
+	Placed         int             `json:"placed"`
+	RotationPasses int             `json:"rotation_passes,omitempty"`
+	Green          bool            `json:"green"`
+	Checks         int             `json:"checks"`
+	Violations     []drc.Violation `json:"violations,omitempty"`
+}
+
+func runPlace(ctx context.Context, req []byte) (any, error) {
+	var r PlaceRequest
+	if err := strictUnmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if r.Design == "" {
+		return nil, fmt.Errorf("place: design is required")
+	}
+	d, err := layout.ReadString(r.Design)
+	if err != nil {
+		return nil, err
+	}
+	res, err := place.AutoPlaceCtx(ctx, d, place.Options{
+		IgnoreEMD:    r.Baseline,
+		SkipRotation: r.SkipRotation,
+		Partition:    r.Partition,
+		GridStep:     r.GridMM * 1e-3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := drc.Check(d)
+	var buf bytes.Buffer
+	if err := layout.Write(&buf, d); err != nil {
+		return nil, err
+	}
+	return &PlaceResponse{
+		Design:         buf.String(),
+		Placed:         res.Placed,
+		RotationPasses: res.RotationPasses,
+		Green:          rep.Green(),
+		Checks:         rep.Checks,
+		Violations:     rep.Violations,
+	}, nil
+}
+
+// CoupleRequest asks for the PEEC coupling factor of two catalog
+// components over a distance sweep (see components.ParseSpec for the
+// spec vocabulary), optionally deriving the PEMD rule for a k_max.
+type CoupleRequest struct {
+	A      string  `json:"a"`                 // component spec, e.g. "x2cap:1.5u"
+	B      string  `json:"b"`                 // component spec
+	FromMM float64 `json:"from_mm,omitempty"` // sweep start; 0 = 16
+	ToMM   float64 `json:"to_mm,omitempty"`   // sweep end; 0 = 60
+	StepMM float64 `json:"step_mm,omitempty"` // sweep step; 0 = 4
+	KMax   float64 `json:"k_max,omitempty"`   // also derive PEMD when > 0
+}
+
+// CoupleResponse carries the coupling-vs-distance curve.
+type CoupleResponse struct {
+	DistancesMM []float64 `json:"distances_mm"`
+	K           []float64 `json:"coupling_factors"`
+	PEMDMM      float64   `json:"pemd_mm,omitempty"`
+}
+
+func runCouple(ctx context.Context, req []byte) (any, error) {
+	var r CoupleRequest
+	if err := strictUnmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	a, err := components.ParseSpec(r.A)
+	if err != nil {
+		return nil, fmt.Errorf("couple: a: %w", err)
+	}
+	b, err := components.ParseSpec(r.B)
+	if err != nil {
+		return nil, fmt.Errorf("couple: b: %w", err)
+	}
+	from, to, step := r.FromMM, r.ToMM, r.StepMM
+	if from <= 0 {
+		from = 16
+	}
+	if to <= 0 {
+		to = 60
+	}
+	if step <= 0 {
+		step = 4
+	}
+	if to < from {
+		return nil, fmt.Errorf("couple: to_mm %g < from_mm %g", to, from)
+	}
+	var dists []float64
+	for mm := from; mm <= to+1e-9; mm += step {
+		dists = append(dists, mm)
+	}
+	const maxSweepPoints = 4096
+	if len(dists) > maxSweepPoints {
+		return nil, fmt.Errorf("couple: sweep has %d points, max %d", len(dists), maxSweepPoints)
+	}
+	// The distances are independent field computations: fan them out over
+	// the shared engine pool under the job's context.
+	ia := &components.Instance{Ref: "A", Model: a}
+	ks, err := engine.MapCtx(ctx, len(dists), func(i int) (float64, error) {
+		ib := &components.Instance{Ref: "B", Model: b, Center: geom.V2(0, dists[i]*1e-3)}
+		return math.Abs(components.CouplingFactor(ia, ib, peec.DefaultOrder)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := &CoupleResponse{DistancesMM: dists, K: ks}
+	if r.KMax > 0 {
+		pemd, err := rules.DerivePEMD(a, b, rules.DeriveOptions{KMax: r.KMax})
+		if err != nil {
+			return nil, err
+		}
+		resp.PEMDMM = pemd * 1e3
+	}
+	return resp, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so typos in
+// request bodies fail loudly instead of silently running defaults.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,417 @@
+// Package serve is the long-running serving layer over the EMI design
+// flow: an asynchronous job queue exposing interference prediction,
+// automatic placement and coupling extraction as HTTP/JSON endpoints.
+//
+// Architecture:
+//
+//   - a bounded job queue feeding a fixed pool of worker goroutines, each
+//     of which runs one job at a time on top of internal/engine (whose
+//     global token budget keeps total CPU use bounded however many
+//     workers fan out);
+//   - content-hash request deduplication: byte-identical in-flight
+//     requests share one Job, and recently completed results are answered
+//     from an LRU store with TTL without queueing at all;
+//   - per-job deadlines and cancellation threaded through context.Context
+//     down to the individual MNA solves, field integrals and raster scans,
+//     so an aborted job stops consuming its worker promptly;
+//   - graceful drain: intake stops, queued and running jobs finish (or are
+//     cancelled when the drain deadline expires), then the workers exit.
+//
+// The package is transport-agnostic at its core (Submit/Cancel/Wait on
+// *Server); http.go adds the HTTP/JSON surface and metrics.go the
+// Prometheus text exposition.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"sync"
+)
+
+// Config tunes the server. Zero values take the documented defaults.
+type Config struct {
+	Workers    int             // worker goroutines; <= 0: 2
+	QueueDepth int             // bounded queue length; <= 0: 64
+	JobTimeout time.Duration   // per-job deadline; <= 0: 2 minutes
+	ResultTTL  time.Duration   // completed-result reuse window; <= 0: 10 minutes
+	ResultCap  int             // LRU result store capacity; <= 0: 256
+	Runners    map[Kind]Runner // nil: DefaultRunners()
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 2 * time.Minute
+	}
+	if c.ResultTTL <= 0 {
+		c.ResultTTL = 10 * time.Minute
+	}
+	if c.ResultCap <= 0 {
+		c.ResultCap = 256
+	}
+	if c.Runners == nil {
+		c.Runners = DefaultRunners()
+	}
+}
+
+// Runner executes one job kind: it receives the raw request body and the
+// job's context (carrying the deadline and any cancellation) and returns
+// a JSON-marshalable result. Runners must honour ctx — that is what makes
+// cancellation free the worker.
+type Runner func(ctx context.Context, req []byte) (any, error)
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("serve: job queue is full")
+	ErrDraining  = errors.New("serve: server is draining")
+	ErrNotFound  = errors.New("serve: no such job")
+)
+
+// Server is the job-queue service. Create with New, stop with Drain.
+type Server struct {
+	cfg Config
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[engine.Key]*Job // queued or running, by content key
+	store    *resultStore
+	finished []finishedRef // terminal jobs in finish order, for pruning
+	queue    chan *Job
+	seq      uint64
+	draining bool
+
+	wg sync.WaitGroup
+	m  metrics
+}
+
+type finishedRef struct {
+	id string
+	at time.Time
+}
+
+// New starts a server with cfg.Workers worker goroutines.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:      cfg,
+		now:      time.Now,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[engine.Key]*Job),
+		store:    newResultStore(cfg.ResultCap, cfg.ResultTTL),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues an asynchronous job for kind with the given request
+// body and pins it: it runs to completion unless explicitly cancelled.
+// A byte-identical queued or running request returns the existing job
+// (request deduplication); a recently completed identical request returns
+// an already-done job answered from the result store.
+func (s *Server) Submit(kind Kind, body []byte) (*Job, error) {
+	return s.submit(kind, body, true)
+}
+
+// SubmitAttached is Submit for a caller that waits on the result: the job
+// is not pinned, and the caller must Detach when it stops waiting. When
+// the last waiter of an unpinned job detaches before completion the job
+// is cancelled — the client-abort path.
+func (s *Server) SubmitAttached(kind Kind, body []byte) (*Job, error) {
+	return s.submit(kind, body, false)
+}
+
+func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
+	if _, ok := s.cfg.Runners[kind]; !ok {
+		return nil, fmt.Errorf("serve: unknown job kind %q", kind)
+	}
+	key := hashRequest(kind, body)
+	now := s.now()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.m.rejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	s.pruneLocked(now)
+
+	// Deduplicate against the in-flight set.
+	if j := s.inflight[key]; j != nil {
+		s.m.dedupHits.Add(1)
+		j.mu.Lock()
+		j.deduped++
+		if pin {
+			j.pinned = true
+		} else {
+			j.waiters++
+		}
+		j.mu.Unlock()
+		return j, nil
+	}
+
+	// Answer from the result store when a byte-identical request
+	// completed within the TTL.
+	if res := s.store.get(key, now); res != nil {
+		s.m.storeHits.Add(1)
+		j := newJob(s.nextIDLocked(key), kind, key, nil, now)
+		j.state = StateDone
+		j.result = res
+		j.finished = now
+		close(j.done)
+		s.jobs[j.ID] = j
+		s.finished = append(s.finished, finishedRef{id: j.ID, at: now})
+		s.m.finishedDone.Add(1)
+		return j, nil
+	}
+	s.m.storeMisses.Add(1)
+
+	j := newJob(s.nextIDLocked(key), kind, key, body, now)
+	if pin {
+		j.pinned = true
+	} else {
+		j.waiters = 1
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.m.rejectedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.inflight[key] = j
+	s.m.submitted.Add(1)
+	return j, nil
+}
+
+// nextIDLocked mints a job ID: a sequence number plus the content-hash
+// prefix, so identical requests are visibly related in logs.
+func (s *Server) nextIDLocked(key engine.Key) string {
+	s.seq++
+	return fmt.Sprintf("j%06d-%08x", s.seq, uint32(key[0]))
+}
+
+// Job returns a job by ID.
+func (s *Server) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel aborts a job: a queued job never starts, a running job's context
+// is cancelled (its runner returns early and the worker is freed).
+// Returns false when the job is already terminal.
+func (s *Server) Cancel(id string) (bool, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return false, err
+	}
+	return s.cancelJob(j, "cancelled"), nil
+}
+
+// Detach releases one waiting submission obtained via SubmitAttached.
+// When the last waiter of an unpinned, still-pending job detaches, the
+// job is cancelled.
+func (s *Server) Detach(j *Job) {
+	j.mu.Lock()
+	if j.waiters > 0 {
+		j.waiters--
+	}
+	abandon := j.waiters == 0 && !j.pinned && !j.state.terminal()
+	j.mu.Unlock()
+	if abandon {
+		s.cancelJob(j, "cancelled: all clients disconnected")
+	}
+}
+
+// cancelJob moves a job to StateCancelled (queued) or requests
+// cancellation (running). Reports whether it acted.
+func (s *Server) cancelJob(j *Job, reason string) bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.canceled = true
+		j.errMsg = reason
+		j.finished = s.now()
+		close(j.done)
+		j.mu.Unlock()
+		s.finishJob(j, StateCancelled)
+		return true
+	case StateRunning:
+		j.canceled = true
+		j.errMsg = reason
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel() // the worker finishes the bookkeeping
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// worker drains the queue until it is closed by Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one dequeued job under its deadline.
+func (s *Server) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	j.state = StateRunning
+	j.cancel = cancel
+	j.started = s.now()
+	runner := s.cfg.Runners[j.Kind]
+	req := j.req
+	j.mu.Unlock()
+
+	s.m.busy.Add(1)
+	res, err := runner(ctx, req)
+	s.m.busy.Add(-1)
+	cancel()
+
+	j.mu.Lock()
+	j.cancel = nil
+	j.finished = s.now()
+	var final State
+	switch {
+	case j.canceled:
+		final = StateCancelled
+		if j.errMsg == "" {
+			j.errMsg = "cancelled"
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		final = StateFailed
+		j.errMsg = fmt.Sprintf("deadline exceeded after %v", s.cfg.JobTimeout)
+	case err != nil:
+		final = StateFailed
+		j.errMsg = err.Error()
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			final = StateFailed
+			j.errMsg = fmt.Sprintf("result marshal: %v", merr)
+		} else {
+			final = StateDone
+			j.result = raw
+		}
+	}
+	j.state = final
+	result := j.result
+	close(j.done)
+	j.mu.Unlock()
+
+	s.finishJob(j, final)
+	if final == StateDone {
+		s.mu.Lock()
+		s.store.put(j.Key, result, s.now())
+		s.mu.Unlock()
+	}
+}
+
+// finishJob records a terminal transition: the job leaves the in-flight
+// dedup set and joins the pruning list.
+func (s *Server) finishJob(j *Job, final State) {
+	switch final {
+	case StateDone:
+		s.m.finishedDone.Add(1)
+	case StateFailed:
+		s.m.finishedFailed.Add(1)
+	case StateCancelled:
+		s.m.finishedCancelled.Add(1)
+	}
+	s.mu.Lock()
+	if s.inflight[j.Key] == j {
+		delete(s.inflight, j.Key)
+	}
+	s.finished = append(s.finished, finishedRef{id: j.ID, at: s.now()})
+	s.mu.Unlock()
+}
+
+// pruneLocked drops finished jobs beyond the retention window (ResultTTL)
+// or count (ResultCap), so the job map stays bounded under sustained
+// traffic. Callers hold s.mu.
+func (s *Server) pruneLocked(now time.Time) {
+	cutoff := now.Add(-s.cfg.ResultTTL)
+	for len(s.finished) > 0 &&
+		(s.finished[0].at.Before(cutoff) || len(s.finished) > s.cfg.ResultCap) {
+		delete(s.jobs, s.finished[0].id)
+		s.finished = s.finished[1:]
+	}
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Draining reports whether intake has stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake and waits for queued and running jobs to finish.
+// When ctx expires first, every remaining job is cancelled and the
+// workers are awaited before returning ctx's error. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Deadline passed: abort whatever is still alive.
+	s.mu.Lock()
+	var pending []*Job
+	for _, j := range s.jobs {
+		if !j.State().terminal() {
+			pending = append(pending, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		s.cancelJob(j, "cancelled: drain deadline exceeded")
+	}
+	<-done
+	return ctx.Err()
+}

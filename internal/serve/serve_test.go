@@ -1,0 +1,560 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// testServer builds a server with injected runners and hands back a drain
+// function registered as cleanup.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s
+}
+
+// TestDedupConcurrent is the acceptance test for request deduplication:
+// two identical concurrent submissions share one engine solve and both
+// read the same result.
+func TestDedupConcurrent(t *testing.T) {
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	s := testServer(t, Config{
+		Workers: 2,
+		Runners: map[Kind]Runner{
+			"slow": func(ctx context.Context, req []byte) (any, error) {
+				runs.Add(1)
+				<-gate // hold the first run until both submissions landed
+				return map[string]string{"echo": string(req)}, nil
+			},
+		},
+	})
+
+	body := []byte(`{"x":1}`)
+	j1, err := s.Submit("slow", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit("slow", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatalf("identical in-flight submissions got distinct jobs %s / %s", j1.ID, j2.ID)
+	}
+	if s.m.dedupHits.Load() != 1 {
+		t.Fatalf("dedup hits = %d, want 1", s.m.dedupHits.Load())
+	}
+	// A different body must NOT dedup.
+	j3, err := s.Submit("slow", []byte(`{"x":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3 == j1 {
+		t.Fatal("distinct bodies deduplicated")
+	}
+	close(gate)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, j := range []*Job{j1, j3} {
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("runner ran %d times, want 2 (one per distinct body)", n)
+	}
+	res, errMsg := j1.Result()
+	if errMsg != "" || !strings.Contains(string(res), "echo") {
+		t.Fatalf("j1 result = %q err %q", res, errMsg)
+	}
+	if j1.State() != StateDone || j2.State() != StateDone {
+		t.Fatalf("states %s/%s, want done", j1.State(), j2.State())
+	}
+}
+
+// TestCancelFreesWorker is the acceptance test for cancellation: an
+// aborted job stops consuming its worker before natural completion, so a
+// subsequent job gets to run on the single worker.
+func TestCancelFreesWorker(t *testing.T) {
+	started := make(chan struct{}, 1)
+	s := testServer(t, Config{
+		Workers:    1,
+		JobTimeout: time.Hour, // natural completion is far away
+		Runners: map[Kind]Runner{
+			"block": func(ctx context.Context, req []byte) (any, error) {
+				started <- struct{}{}
+				<-ctx.Done() // blocks forever unless cancelled
+				return nil, ctx.Err()
+			},
+			"fast": func(ctx context.Context, req []byte) (any, error) {
+				return "ok", nil
+			},
+		},
+	})
+
+	blocked, err := s.Submit("block", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocking job never started")
+	}
+	acted, err := s.Cancel(blocked.ID)
+	if err != nil || !acted {
+		t.Fatalf("Cancel = %v, %v", acted, err)
+	}
+
+	fast, err := s.Submit("fast", []byte(`2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fast.Wait(ctx); err != nil {
+		t.Fatal("worker still held by the cancelled job:", err)
+	}
+	if fast.State() != StateDone {
+		t.Fatalf("fast job state %s, want done", fast.State())
+	}
+	if err := blocked.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if blocked.State() != StateCancelled {
+		t.Fatalf("blocked job state %s, want cancelled", blocked.State())
+	}
+}
+
+// TestCancelQueued verifies a job cancelled before a worker picks it up
+// never runs.
+func TestCancelQueued(t *testing.T) {
+	var runs atomic.Int64
+	release := make(chan struct{})
+	s := testServer(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			"hold": func(ctx context.Context, req []byte) (any, error) {
+				<-release
+				return nil, nil
+			},
+			"count": func(ctx context.Context, req []byte) (any, error) {
+				runs.Add(1)
+				return nil, nil
+			},
+		},
+	})
+	if _, err := s.Submit("hold", []byte(`0`)); err != nil {
+		t.Fatal(err)
+	}
+	queued, err := s.Submit("count", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acted, err := s.Cancel(queued.ID); err != nil || !acted {
+		t.Fatalf("Cancel = %v, %v", acted, err)
+	}
+	if queued.State() != StateCancelled {
+		t.Fatalf("state %s, want cancelled", queued.State())
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := queued.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Submit another job and wait for it, proving the queue drained past
+	// the cancelled entry without running it.
+	after, err := s.Submit("count", []byte(`2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("count runner ran %d times, want 1 (cancelled job must not run)", n)
+	}
+}
+
+// TestResultStore verifies the completed-result LRU: an identical request
+// after completion is answered without running again, and expires after
+// the TTL.
+func TestResultStore(t *testing.T) {
+	var runs atomic.Int64
+	now := time.Now()
+	var nowMu sync.Mutex
+	s := testServer(t, Config{
+		Workers:   1,
+		ResultTTL: time.Minute,
+		Runners: map[Kind]Runner{
+			"r": func(ctx context.Context, req []byte) (any, error) {
+				runs.Add(1)
+				return "v", nil
+			},
+		},
+	})
+	s.now = func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		nowMu.Lock()
+		now = now.Add(d)
+		nowMu.Unlock()
+	}
+
+	body := []byte(`{"q":1}`)
+	j1, err := s.Submit("r", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := j1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := s.Submit("r", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.State() != StateDone {
+		t.Fatalf("store hit should return a done job, got %s", j2.State())
+	}
+	if got := s.m.storeHits.Load(); got != 1 {
+		t.Fatalf("store hits = %d, want 1", got)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("runner ran %d times, want 1", n)
+	}
+
+	advance(2 * time.Minute) // beyond the TTL
+	j3, err := s.Submit("r", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.State() == StateDone {
+		t.Fatal("expired entry served from the store")
+	}
+	if err := j3.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("runner ran %d times after expiry, want 2", n)
+	}
+}
+
+// TestStoreLRUEviction verifies capacity-bounded eviction order.
+func TestStoreLRUEviction(t *testing.T) {
+	st := newResultStore(2, time.Minute)
+	now := time.Now()
+	k := func(i int) engine.Key { return engine.Key{uint64(i), 0} }
+	st.put(k(1), json.RawMessage(`1`), now)
+	st.put(k(2), json.RawMessage(`2`), now)
+	st.get(k(1), now)                       // refresh 1 → LRU is 2
+	st.put(k(3), json.RawMessage(`3`), now) // evicts 2
+	if st.get(k(2), now) != nil {
+		t.Fatal("LRU evicted the wrong entry")
+	}
+	if st.get(k(1), now) == nil || st.get(k(3), now) == nil {
+		t.Fatal("recently used entries evicted")
+	}
+	if st.len() != 2 {
+		t.Fatalf("len = %d, want 2", st.len())
+	}
+}
+
+// TestQueueFull verifies bounded-queue rejection.
+func TestQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	s := testServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runners: map[Kind]Runner{
+			"hold": func(ctx context.Context, req []byte) (any, error) {
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+				return nil, nil
+			},
+		},
+	})
+	defer close(release)
+	// First job occupies the worker, second the single queue slot.
+	// (The worker may not have dequeued the first yet, so allow one
+	// retry for the second submission.)
+	if _, err := s.Submit("hold", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Submit("hold", []byte(`2`)); err == nil {
+			break
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second job never found a queue slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is now full (worker busy + one queued): a third distinct job
+	// must be rejected once the slot is taken.
+	_, err := s.Submit("hold", []byte(`3`))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if s.m.rejectedFull.Load() == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+// TestJobDeadline verifies the per-job timeout fails the job and frees
+// the worker.
+func TestJobDeadline(t *testing.T) {
+	s := testServer(t, Config{
+		Workers:    1,
+		JobTimeout: 30 * time.Millisecond,
+		Runners: map[Kind]Runner{
+			"block": func(ctx context.Context, req []byte) (any, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		},
+	})
+	j, err := s.Submit("block", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %s, want failed", j.State())
+	}
+	if _, msg := j.Result(); !strings.Contains(msg, "deadline") {
+		t.Fatalf("error %q does not mention the deadline", msg)
+	}
+}
+
+// TestDetachCancelsAbandonedJob verifies the client-abort path: when the
+// only waiting submission detaches, the job is cancelled; a pinned
+// (async) job survives its waiters.
+func TestDetachCancelsAbandonedJob(t *testing.T) {
+	s := testServer(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			"block": func(ctx context.Context, req []byte) (any, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		},
+	})
+	j, err := s.SubmitAttached("block", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Detach(j)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("abandoned job state %s, want cancelled", j.State())
+	}
+
+	// Same request submitted async then attached: detaching the waiter
+	// must NOT cancel the pinned job.
+	j2, err := s.Submit("block", []byte(`2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := s.SubmitAttached("block", []byte(`2`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 != j3 {
+		t.Fatal("attached submission did not dedup onto the async job")
+	}
+	s.Detach(j3)
+	if st := j2.State(); st == StateCancelled {
+		t.Fatal("pinned job cancelled by a detaching waiter")
+	}
+	if acted, _ := s.Cancel(j2.ID); !acted {
+		t.Fatal("cleanup cancel failed")
+	}
+}
+
+// TestDrain verifies graceful drain: intake stops, running jobs are
+// cancelled once the drain deadline expires, workers exit.
+func TestDrain(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			"block": func(ctx context.Context, req []byte) (any, error) {
+				<-ctx.Done()
+				return nil, ctx.Err()
+			},
+		},
+	})
+	j, err := s.Submit("block", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain = %v, want DeadlineExceeded (forced drain)", err)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("job state %s after forced drain, want cancelled", j.State())
+	}
+	if _, err := s.Submit("block", []byte(`2`)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+	// Second drain returns immediately.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("idempotent drain = %v", err)
+	}
+}
+
+// TestJobPruning verifies finished jobs leave the map after the retention
+// window so memory stays bounded.
+func TestJobPruning(t *testing.T) {
+	now := time.Now()
+	var nowMu sync.Mutex
+	s := testServer(t, Config{
+		Workers:   1,
+		ResultTTL: time.Minute,
+		ResultCap: 4,
+		Runners: map[Kind]Runner{
+			"r": func(ctx context.Context, req []byte) (any, error) { return "x", nil },
+		},
+	})
+	s.now = func() time.Time {
+		nowMu.Lock()
+		defer nowMu.Unlock()
+		return now
+	}
+
+	j, err := s.Submit("r", []byte(`0`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	nowMu.Lock()
+	now = now.Add(2 * time.Minute)
+	nowMu.Unlock()
+	// Any submission triggers the prune sweep.
+	j2, err := s.Submit("r", []byte(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Job(j.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired job still retrievable (err=%v)", err)
+	}
+}
+
+// TestUnknownKind verifies submission validation.
+func TestUnknownKind(t *testing.T) {
+	s := testServer(t, Config{Workers: 1, Runners: map[Kind]Runner{"a": func(context.Context, []byte) (any, error) { return nil, nil }}})
+	if _, err := s.Submit("nope", nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := s.Job("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Job(missing) = %v, want ErrNotFound", err)
+	}
+	if _, err := s.Cancel("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Cancel(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+// TestConcurrentSubmitters hammers the server from many goroutines with a
+// small set of distinct bodies, checking every submitter observes a done
+// job with the right result — the determinism/duplication smoke under
+// load (meaningful under -race).
+func TestConcurrentSubmitters(t *testing.T) {
+	var runs atomic.Int64
+	s := testServer(t, Config{
+		Workers:    4,
+		QueueDepth: 256,
+		Runners: map[Kind]Runner{
+			"echo": func(ctx context.Context, req []byte) (any, error) {
+				runs.Add(1)
+				return string(req), nil
+			},
+		},
+	})
+	const goroutines = 16
+	const perG = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				body := fmt.Sprintf(`{"n":%d}`, i%4)
+				j, err := s.Submit("echo", []byte(body))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				err = j.Wait(ctx)
+				cancel()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				res, msg := j.Result()
+				if msg != "" {
+					errs <- errors.New(msg)
+					continue
+				}
+				var got string
+				if err := json.Unmarshal(res, &got); err != nil || got != body {
+					errs <- fmt.Errorf("result %q, want %q", got, body)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// With dedup and the result store, far fewer runs than submissions.
+	if n := runs.Load(); n > goroutines*perG {
+		t.Fatalf("runner ran %d times for %d submissions", n, goroutines*perG)
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// resultStore is an LRU of recently completed results keyed by request
+// content hash, each entry expiring after the configured TTL. A store hit
+// answers a repeated request without queueing a job at all — the
+// second-level cache above the engine's field-integral memoization.
+// Guarded by the server mutex.
+type resultStore struct {
+	cap int
+	ttl time.Duration
+	ll  *list.List // front = most recently used
+	m   map[engine.Key]*list.Element
+}
+
+type storeEntry struct {
+	key     engine.Key
+	result  json.RawMessage
+	expires time.Time
+}
+
+func newResultStore(capacity int, ttl time.Duration) *resultStore {
+	return &resultStore{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[engine.Key]*list.Element)}
+}
+
+// get returns the unexpired result for key, refreshing its recency, or
+// nil on miss.
+func (s *resultStore) get(key engine.Key, now time.Time) json.RawMessage {
+	e, ok := s.m[key]
+	if !ok {
+		return nil
+	}
+	ent := e.Value.(*storeEntry)
+	if now.After(ent.expires) {
+		s.ll.Remove(e)
+		delete(s.m, key)
+		return nil
+	}
+	s.ll.MoveToFront(e)
+	return ent.result
+}
+
+// put stores a result, evicting the least recently used entry beyond
+// capacity.
+func (s *resultStore) put(key engine.Key, result json.RawMessage, now time.Time) {
+	if s.cap <= 0 {
+		return
+	}
+	if e, ok := s.m[key]; ok {
+		ent := e.Value.(*storeEntry)
+		ent.result = result
+		ent.expires = now.Add(s.ttl)
+		s.ll.MoveToFront(e)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&storeEntry{key: key, result: result, expires: now.Add(s.ttl)})
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.m, back.Value.(*storeEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (s *resultStore) len() int { return s.ll.Len() }
