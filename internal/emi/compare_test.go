@@ -1,0 +1,66 @@
+package emi
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCompareMatchesRoundoffGrids: two grids computed by different code
+// paths (k·f1 versus an accumulated enumeration) agree only to roundoff.
+// The tolerance matcher must treat them as the same points; exact float64
+// keying silently dropped all of them.
+func TestCompareMatchesRoundoffGrids(t *testing.T) {
+	t.Parallel()
+	f1 := 1 / 5e-6 // 200 kHz fundamental, not representable exactly
+	n := 50
+	a := &Spectrum{}
+	for k := 1; k <= n; k++ {
+		a.Freqs = append(a.Freqs, float64(k)*f1)
+		a.DB = append(a.DB, 40+float64(k))
+	}
+	b := &Spectrum{}
+	acc := 0.0
+	for k := 1; k <= n; k++ {
+		acc += f1 // accumulated sum drifts a few ulps from k·f1
+		b.Freqs = append(b.Freqs, acc)
+		b.DB = append(b.DB, 40+float64(k))
+	}
+	cmp := Compare(a, b)
+	if cmp.N != n {
+		t.Fatalf("matched %d of %d roundoff-equal points", cmp.N, n)
+	}
+	if cmp.MaxAbsDelta != 0 {
+		t.Errorf("identical traces: MaxAbsDelta = %v", cmp.MaxAbsDelta)
+	}
+}
+
+func TestCompareDistinctFrequenciesNotMatched(t *testing.T) {
+	t.Parallel()
+	a := &Spectrum{Freqs: []float64{1e6, 2e6, 3e6}, DB: []float64{1, 2, 3}}
+	b := &Spectrum{Freqs: []float64{1.5e6, 2e6, 2.5e6}, DB: []float64{9, 2, 9}}
+	cmp := Compare(a, b)
+	if cmp.N != 1 {
+		t.Fatalf("matched %d points, want only the shared 2 MHz", cmp.N)
+	}
+	if cmp.MaxAbsDelta != 0 {
+		t.Errorf("2 MHz traces agree: MaxAbsDelta = %v", cmp.MaxAbsDelta)
+	}
+}
+
+func TestCompareNearbyButDifferentGridPoints(t *testing.T) {
+	t.Parallel()
+	// 1 ppm apart is a different measurement point, far outside the
+	// roundoff tolerance — must not be conflated.
+	f := 30e6
+	a := &Spectrum{Freqs: []float64{f}, DB: []float64{10}}
+	b := &Spectrum{Freqs: []float64{f * (1 + 1e-6)}, DB: []float64{99}}
+	if cmp := Compare(a, b); cmp.N != 0 {
+		t.Fatalf("1 ppm-apart frequencies matched (N=%d)", cmp.N)
+	}
+	// A few ulps apart is the same point.
+	fb := math.Nextafter(math.Nextafter(f, math.Inf(1)), math.Inf(1))
+	b = &Spectrum{Freqs: []float64{fb}, DB: []float64{10}}
+	if cmp := Compare(a, b); cmp.N != 1 {
+		t.Fatalf("ulp-equal frequencies not matched (N=%d)", cmp.N)
+	}
+}

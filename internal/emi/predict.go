@@ -41,106 +41,162 @@ func (p *Predictor) Spectrum() (*Spectrum, error) {
 	return p.SpectrumCtx(context.Background())
 }
 
-// SpectrumCtx is Spectrum with cancellation: once ctx is done no further
-// harmonic solves start and the context's error is returned.
-func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
-	ckt := p.Circuit.Clone()
-	names := p.Sources
-	if len(names) == 0 {
-		names = []string{p.SourceName}
-	}
-	var srcs []*netlist.Element
-	for _, name := range names {
-		e := ckt.Find(name)
+// BandSolver evaluates emission spectra repeatedly over one circuit: it
+// clones the circuit once, compiles one analyzer, and reuses both (plus
+// the analyzer's assembly and factorization buffers) across harmonics and
+// across whole predictions. It is the serial core of Predictor's fan-out
+// and the per-worker engine of the sensitivity ranking, which re-predicts
+// the band once per probed inductor pair. Not safe for concurrent use;
+// create one per goroutine.
+type BandSolver struct {
+	an      *mna.Analyzer
+	srcs    []*netlist.Element
+	ks      []int
+	f1      float64
+	measure string
+}
+
+// NewBandSolver prepares a solver over its own clone of the circuit. The
+// harmonic grid covers multiples of the sources' shared switching
+// frequency up to maxFreq (0 = the CISPR band stop); harmonics > 0 caps
+// the harmonic count.
+func NewBandSolver(ckt *netlist.Circuit, sources []string, measure string, harmonics int, maxFreq float64) (*BandSolver, error) {
+	wc := ckt.Clone()
+	b := &BandSolver{measure: measure}
+	for _, name := range sources {
+		e := wc.Find(name)
 		if e == nil || (e.Kind != netlist.V && e.Kind != netlist.I) ||
 			e.Src == nil || e.Src.Pulse == nil || e.Src.Pulse.Period <= 0 {
 			return nil, fmt.Errorf("emi: %q is not a periodic PULSE source", name)
 		}
-		srcs = append(srcs, e)
+		b.srcs = append(b.srcs, e)
 	}
-	period := srcs[0].Src.Pulse.Period
-	for _, e := range srcs[1:] {
+	period := b.srcs[0].Src.Pulse.Period
+	for _, e := range b.srcs[1:] {
 		if e.Src.Pulse.Period != period {
 			return nil, fmt.Errorf("emi: source %q period %g differs from %g",
 				e.Name, e.Src.Pulse.Period, period)
 		}
 	}
-	f1 := 1 / period
-	maxF := p.MaxFreq
+	b.f1 = 1 / period
+	maxF := maxFreq
 	if maxF <= 0 {
 		maxF = BandStop
 	}
-	n := p.Harmonics
+	n := harmonics
 	if n <= 0 {
-		n = int(maxF / f1)
+		n = int(maxF / b.f1)
 	}
 	if n < 1 {
 		n = 1
 	}
-
-	// Collect the harmonic grid.
-	var ks []int
 	for k := 1; k <= n; k++ {
-		if float64(k)*f1 > maxF {
+		if float64(k)*b.f1 > maxF {
 			break
 		}
-		ks = append(ks, k)
+		b.ks = append(b.ks, k)
 	}
-	if len(ks) == 0 {
+	if len(b.ks) == 0 {
 		return nil, fmt.Errorf("emi: no harmonics below %g Hz", maxF)
 	}
+	an, err := mna.NewAnalyzer(wc)
+	if err != nil {
+		return nil, err
+	}
+	b.an = an
+	return b, nil
+}
+
+// Analyzer exposes the compiled analyzer, e.g. for probe couplings.
+func (b *BandSolver) Analyzer() *mna.Analyzer { return b.an }
+
+// Freqs returns the harmonic grid frequencies, ascending.
+func (b *BandSolver) Freqs() []float64 {
+	out := make([]float64, len(b.ks))
+	for i, k := range b.ks {
+		out[i] = float64(k) * b.f1
+	}
+	return out
+}
+
+// SolveHarmonic solves grid point i and returns the measure-node level in
+// dBµV. The sources are driven coherently by their own Fourier
+// coefficients — the harmonic's RMS phasors — and the solve superposes
+// them.
+func (b *BandSolver) SolveHarmonic(i int) (float64, error) {
+	k := b.ks[i]
+	f := float64(k) * b.f1
+	for _, e := range b.srcs {
+		ck := TrapezoidHarmonic(e.Src.Pulse, k)
+		e.Src.ACMag = math.Sqrt2 * cmplx.Abs(ck)
+		e.Src.ACPhase = cmplx.Phase(ck)
+	}
+	sol, err := b.an.Solve(f)
+	if err != nil {
+		return 0, fmt.Errorf("emi: harmonic %d: %w", k, err)
+	}
+	return DBuV(cmplx.Abs(sol.NodeVoltage(b.measure))), nil
+}
+
+// SpectrumCtx computes the whole band serially, checking ctx between
+// harmonics. Callers running many predictions fan out at a higher level
+// (one BandSolver per worker) rather than per harmonic.
+func (b *BandSolver) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
+	out := &Spectrum{
+		Freqs: b.Freqs(),
+		DB:    make([]float64, len(b.ks)),
+	}
+	for i := range b.ks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		db, err := b.SolveHarmonic(i)
+		if err != nil {
+			return nil, err
+		}
+		out.DB[i] = db
+	}
+	return out, nil
+}
+
+// SpectrumCtx is Spectrum with cancellation: once ctx is done no further
+// harmonic solves start and the context's error is returned.
+func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
+	names := p.Sources
+	if len(names) == 0 {
+		names = []string{p.SourceName}
+	}
+	// Validate and size the grid once; the workers compile their own
+	// solvers from the same inputs.
+	proto, err := NewBandSolver(p.Circuit, names, p.MeasureNode, p.Harmonics, p.MaxFreq)
+	if err != nil {
+		return nil, err
+	}
+	ks := proto.ks
 
 	// The harmonics are independent AC solves: fan them out over the
-	// shared engine pool. Each worker gets its own circuit clone and
-	// analyzer because the source phasors are set per harmonic; each
-	// harmonic writes only its own slot, so the spectrum is identical
-	// under any parallelism.
+	// shared engine pool. Each worker gets its own BandSolver (clone +
+	// compiled analyzer) because the source phasors are set per harmonic;
+	// each harmonic writes only its own slot, so the spectrum is
+	// identical under any parallelism.
 	defer engine.Phase("emi.harmonics")()
-	type workerState struct {
-		srcs []*netlist.Element
-		an   *mna.Analyzer
-	}
 	dbs := make([]float64, len(ks))
-	err := engine.ForEachStateCtx(ctx, len(ks),
-		func() (*workerState, error) {
-			wc := ckt.Clone()
-			s := &workerState{}
-			for _, name := range names {
-				s.srcs = append(s.srcs, wc.Find(name))
-			}
-			an, err := mna.NewAnalyzer(wc)
-			if err != nil {
-				return nil, err
-			}
-			s.an = an
-			return s, nil
+	err = engine.ForEachStateCtx(ctx, len(ks),
+		func() (*BandSolver, error) {
+			return NewBandSolver(p.Circuit, names, p.MeasureNode, p.Harmonics, p.MaxFreq)
 		},
-		func(s *workerState, i int) error {
-			k := ks[i]
-			f := float64(k) * f1
-			for _, e := range s.srcs {
-				ck := TrapezoidHarmonic(e.Src.Pulse, k)
-				// Drive each source with its harmonic's RMS phasor;
-				// the solve superposes them coherently.
-				e.Src.ACMag = math.Sqrt2 * cmplx.Abs(ck)
-				e.Src.ACPhase = cmplx.Phase(ck)
-			}
-			sol, err := s.an.Solve(f)
+		func(s *BandSolver, i int) error {
+			db, err := s.SolveHarmonic(i)
 			if err != nil {
-				return fmt.Errorf("emi: harmonic %d: %w", k, err)
+				return err
 			}
-			dbs[i] = DBuV(cmplx.Abs(sol.NodeVoltage(p.MeasureNode)))
+			dbs[i] = db
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	out := &Spectrum{}
-	for i, k := range ks {
-		out.Freqs = append(out.Freqs, float64(k)*f1)
-		out.DB = append(out.DB, dbs[i])
-	}
-	return out, nil
+	return &Spectrum{Freqs: proto.Freqs(), DB: dbs}, nil
 }
 
 // InBand returns the sub-spectrum within [lo, hi].
@@ -210,17 +266,36 @@ type Comparison struct {
 	N            int
 }
 
-// Compare evaluates both spectra at the frequencies they share.
+// compareRTol is the relative tolerance under which two grid frequencies
+// count as the same point. Grids computed independently (k·f1 versus a
+// harmonic enumeration, or a round-tripped TSV) agree only to roundoff,
+// so exact float64 equality would silently drop every shared point.
+const compareRTol = 1e-9
+
+// sameFreq reports whether fa and fb are the same grid point up to
+// relative roundoff.
+func sameFreq(fa, fb float64) bool {
+	scale := math.Max(math.Abs(fa), math.Abs(fb))
+	return math.Abs(fa-fb) <= compareRTol*scale
+}
+
+// Compare evaluates both spectra at the frequencies they share, matching
+// grid points within a relative tolerance (spectra are ascending by
+// construction; the merge walks both grids once).
 func Compare(a, b *Spectrum) Comparison {
-	bIdx := map[float64]int{}
-	for i, f := range b.Freqs {
-		bIdx[f] = i
-	}
 	var da, db []float64
-	for i, f := range a.Freqs {
-		if j, ok := bIdx[f]; ok {
+	for i, j := 0, 0; i < len(a.Freqs) && j < len(b.Freqs); {
+		fa, fb := a.Freqs[i], b.Freqs[j]
+		switch {
+		case sameFreq(fa, fb):
 			da = append(da, a.DB[i])
 			db = append(db, b.DB[j])
+			i++
+			j++
+		case fa < fb:
+			i++
+		default:
+			j++
 		}
 	}
 	out := Comparison{N: len(da)}

@@ -18,10 +18,25 @@ var (
 	ctrCacheMisses atomic.Uint64
 	ctrPoolBatches atomic.Uint64
 	ctrPoolTasks   atomic.Uint64
+	ctrAssemblies  atomic.Uint64
+	ctrFactors     atomic.Uint64
+	ctrResolves    atomic.Uint64
 )
 
 // CountMNASolve records one frequency-domain MNA solve.
 func CountMNASolve() { ctrMNASolves.Add(1) }
+
+// CountAssembly records one dense-matrix assembly (a stamp-plan pass or a
+// netlist walk filling a system matrix).
+func CountAssembly() { ctrAssemblies.Add(1) }
+
+// CountFactor records one LU factorization.
+func CountFactor() { ctrFactors.Add(1) }
+
+// CountResolve records one triangular solve against a retained
+// factorization. Resolves far in excess of factorizations are the
+// signature of the solver substrate reusing its work.
+func CountResolve() { ctrResolves.Add(1) }
 
 // CountNeumann records one Neumann mutual-inductance integral (one
 // filament-pair double integral, before adaptive subdivision).
@@ -78,6 +93,9 @@ type Stats struct {
 	CacheMisses      uint64
 	PoolBatches      uint64
 	PoolTasks        uint64
+	Assemblies       uint64
+	Factorizations   uint64
+	Resolves         uint64
 	Phases           []PhaseStat // sorted by name
 }
 
@@ -99,6 +117,9 @@ func Snapshot() Stats {
 		CacheMisses:      ctrCacheMisses.Load(),
 		PoolBatches:      ctrPoolBatches.Load(),
 		PoolTasks:        ctrPoolTasks.Load(),
+		Assemblies:       ctrAssemblies.Load(),
+		Factorizations:   ctrFactors.Load(),
+		Resolves:         ctrResolves.Load(),
 	}
 	phases.Lock()
 	for _, p := range phases.m {
@@ -118,6 +139,9 @@ func ResetStats() {
 	ctrCacheMisses.Store(0)
 	ctrPoolBatches.Store(0)
 	ctrPoolTasks.Store(0)
+	ctrAssemblies.Store(0)
+	ctrFactors.Store(0)
+	ctrResolves.Store(0)
 	phases.Lock()
 	phases.m = map[string]*PhaseStat{}
 	phases.Unlock()
@@ -130,13 +154,15 @@ func ResetStats() {
 //	engine: neumann integrals <n>
 //	engine: cache hits <n> misses <n> hit-rate <pct>%
 //	engine: pool batches <n> tasks <n>
+//	engine: lu assemblies <n> factorizations <n> resolves <n>
 //	engine: phase <name> calls <n> wall <duration>
 func Fprint(w io.Writer) error {
 	s := Snapshot()
 	if _, err := fmt.Fprintf(w,
-		"engine: mna solves %d\nengine: neumann integrals %d\nengine: cache hits %d misses %d hit-rate %.1f%%\nengine: pool batches %d tasks %d\n",
+		"engine: mna solves %d\nengine: neumann integrals %d\nengine: cache hits %d misses %d hit-rate %.1f%%\nengine: pool batches %d tasks %d\nengine: lu assemblies %d factorizations %d resolves %d\n",
 		s.MNASolves, s.NeumannIntegrals, s.CacheHits, s.CacheMisses,
-		100*s.HitRate(), s.PoolBatches, s.PoolTasks); err != nil {
+		100*s.HitRate(), s.PoolBatches, s.PoolTasks,
+		s.Assemblies, s.Factorizations, s.Resolves); err != nil {
 		return err
 	}
 	for _, p := range s.Phases {

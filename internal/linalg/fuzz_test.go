@@ -1,0 +1,52 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzFactor feeds arbitrary byte-derived matrices through the
+// factor/resolve cycle: whatever the input — NaN, Inf, zero rows, wild
+// scales — Factor must either return an error or produce a factorization
+// that resolves without panicking.
+func FuzzFactor(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(1e300)))
+	f.Add(binary.LittleEndian.AppendUint64(
+		binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())),
+		math.Float64bits(math.Inf(1))))
+	seed := make([]byte, 9*8)
+	for i := 0; i < 9; i++ {
+		binary.LittleEndian.PutUint64(seed[i*8:], math.Float64bits(float64(i)-4.5))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := len(data) / 8
+		n := int(math.Sqrt(float64(vals)))
+		if n < 1 {
+			return
+		}
+		if n > 16 {
+			n = 16
+		}
+		m := NewReal(n)
+		for i := 0; i < n*n; i++ {
+			m.V[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		var lu RealLU
+		if err := m.Factor(&lu); err != nil {
+			return
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = float64(i + 1)
+		}
+		x := make([]float64, n)
+		if err := lu.SolveFactored(b, x); err != nil {
+			t.Fatalf("factored matrix failed to resolve: %v", err)
+		}
+	})
+}

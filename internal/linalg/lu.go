@@ -1,12 +1,141 @@
 // Package linalg provides the dense LU solvers shared by the circuit
 // solvers (real transient, complex AC) and the electrostatic panel method.
+//
+// The factorization and the triangular solves are split (Factor /
+// SolveFactored) so callers whose matrix changes rarely — the transient
+// solver between commutations, any fixed-topology resolve — pay the
+// O(n³) elimination once and the O(n²) resolve per right-hand side. The
+// one-shot Solve convenience wrappers remain and are implemented on top
+// of the split, so both paths share one elimination kernel.
 package linalg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/engine"
 )
+
+// ErrSingular reports a numerically singular matrix: at some elimination
+// column every remaining pivot candidate was negligible relative to the
+// column's original magnitude. Callers wrap it with their own context
+// (the offending frequency or timestep) and match with errors.Is.
+var ErrSingular = errors.New("singular matrix")
+
+// pivotTol is the relative singularity threshold: a pivot is rejected
+// when it is smaller than pivotTol times the largest original magnitude
+// of its column. Scaling the check per column keeps it meaningful for
+// the badly scaled MNA systems (Gmin-only columns at 1e-12 next to
+// switch conductances at 1e2) where any absolute threshold is either
+// blind or trigger-happy.
+const pivotTol = 1e-13
+
+// RealLU is the LU factorization of a Real matrix with partial pivoting.
+// Factor eliminates in place, so the factors borrow the matrix's backing
+// slice: the matrix must not be reassembled while the factorization is
+// in use. The pivot and column-scale scratch is owned by the RealLU and
+// reused across Factor calls; after the first use the factor/resolve
+// cycle performs no allocations.
+type RealLU struct {
+	n     int
+	lu    []float64
+	piv   []int
+	scale []float64
+}
+
+// Factor performs in-place LU decomposition of m with partial pivoting,
+// recording the factors and pivot permutation in f. The matrix contents
+// are destroyed (they become the packed L and U factors).
+func (m *Real) Factor(f *RealLU) error {
+	n := m.N
+	f.n = n
+	f.lu = m.V
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+		f.scale = make([]float64, n)
+	}
+	f.piv = f.piv[:n]
+	f.scale = f.scale[:n]
+	engine.CountFactor()
+	for j := 0; j < n; j++ {
+		f.scale[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		row := m.V[i*n : i*n+n]
+		for j, v := range row {
+			if a := math.Abs(v); a > f.scale[j] {
+				f.scale[j] = a
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		best, bestAbs := col, math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(m.At(r, col)); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if bestAbs == 0 || bestAbs < pivotTol*f.scale[col] {
+			return fmt.Errorf("linalg: %w at column %d (pivot %g, column scale %g)",
+				ErrSingular, col, bestAbs, f.scale[col])
+		}
+		f.piv[col] = best
+		if best != col {
+			for j := 0; j < n; j++ {
+				m.V[col*n+j], m.V[best*n+j] = m.V[best*n+j], m.V[col*n+j]
+			}
+		}
+		piv := m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			fac := m.At(r, col) / piv
+			m.V[r*n+col] = fac
+			if fac == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				m.V[r*n+j] -= fac * m.V[col*n+j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveFactored solves A·x = b against the retained factorization. b is
+// not modified (unless x aliases it); x receives the solution. The
+// resolve path allocates nothing.
+func (f *RealLU) SolveFactored(b, x []float64) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: dimension mismatch %d/%d vs %d", len(b), len(x), n)
+	}
+	engine.CountResolve()
+	copy(x, b)
+	// The stored multipliers are post-permutation (row swaps during the
+	// elimination moved them along with their rows), so the whole pivot
+	// permutation must be applied to x before forward substitution.
+	for col := 0; col < n; col++ {
+		if p := f.piv[col]; p != col {
+			x[col], x[p] = x[p], x[col]
+		}
+	}
+	for col := 0; col < n; col++ {
+		for r := col + 1; r < n; r++ {
+			if fac := f.lu[r*n+col]; fac != 0 {
+				x[r] -= fac * x[col]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = sum / f.lu[i*n+i]
+	}
+	return nil
+}
 
 // Real is a dense real matrix with a flat backing slice.
 type Real struct {
@@ -29,49 +158,121 @@ func (m *Real) Add(i, j int, x float64) { m.V[i*m.N+j] += x }
 // Solve performs in-place LU decomposition with partial pivoting and solves
 // m·x = b. The matrix contents are destroyed; b is not modified.
 func (m *Real) Solve(b []float64) ([]float64, error) {
-	n := m.N
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), n)
+	if len(b) != m.N {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), m.N)
 	}
-	x := make([]float64, n)
-	copy(x, b)
+	var f RealLU
+	if err := m.Factor(&f); err != nil {
+		return nil, err
+	}
+	x := make([]float64, m.N)
+	if err := f.SolveFactored(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// ComplexLU is the LU factorization of a Complex matrix with partial
+// pivoting; see RealLU for the storage-borrowing and scratch-reuse
+// contract.
+type ComplexLU struct {
+	n     int
+	lu    []complex128
+	piv   []int
+	scale []float64
+}
+
+// Factor performs in-place LU decomposition of m with partial pivoting,
+// recording the factors and pivot permutation in f. The matrix contents
+// are destroyed (they become the packed L and U factors).
+func (m *Complex) Factor(f *ComplexLU) error {
+	n := m.N
+	f.n = n
+	f.lu = m.V
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+		f.scale = make([]float64, n)
+	}
+	f.piv = f.piv[:n]
+	f.scale = f.scale[:n]
+	engine.CountFactor()
+	for j := 0; j < n; j++ {
+		f.scale[j] = 0
+	}
+	// The scale is only a magnitude reference for the relative pivot
+	// threshold: the 1-norm |re|+|im| (within √2 of the modulus) avoids a
+	// hypot per matrix entry on every factorization.
+	for i := 0; i < n; i++ {
+		row := m.V[i*n : i*n+n]
+		for j, v := range row {
+			if a := math.Abs(real(v)) + math.Abs(imag(v)); a > f.scale[j] {
+				f.scale[j] = a
+			}
+		}
+	}
 	for col := 0; col < n; col++ {
-		best, bestAbs := col, math.Abs(m.At(col, col))
+		best, bestAbs := col, cmplx.Abs(m.At(col, col))
 		for r := col + 1; r < n; r++ {
-			if a := math.Abs(m.At(r, col)); a > bestAbs {
+			if a := cmplx.Abs(m.At(r, col)); a > bestAbs {
 				best, bestAbs = r, a
 			}
 		}
-		if bestAbs < 1e-30 {
-			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		if bestAbs == 0 || bestAbs < pivotTol*f.scale[col] {
+			return fmt.Errorf("linalg: %w at column %d (pivot %g, column scale %g)",
+				ErrSingular, col, bestAbs, f.scale[col])
 		}
+		f.piv[col] = best
 		if best != col {
 			for j := 0; j < n; j++ {
 				m.V[col*n+j], m.V[best*n+j] = m.V[best*n+j], m.V[col*n+j]
 			}
-			x[col], x[best] = x[best], x[col]
 		}
 		piv := m.At(col, col)
 		for r := col + 1; r < n; r++ {
-			f := m.At(r, col) / piv
-			if f == 0 {
+			fac := m.At(r, col) / piv
+			m.V[r*n+col] = fac
+			if fac == 0 {
 				continue
 			}
-			m.V[r*n+col] = 0
 			for j := col + 1; j < n; j++ {
-				m.V[r*n+j] -= f * m.V[col*n+j]
+				m.V[r*n+j] -= fac * m.V[col*n+j]
 			}
-			x[r] -= f * x[col]
+		}
+	}
+	return nil
+}
+
+// SolveFactored solves A·x = b against the retained factorization. b is
+// not modified (unless x aliases it); x receives the solution. The
+// resolve path allocates nothing.
+func (f *ComplexLU) SolveFactored(b, x []complex128) error {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: dimension mismatch %d/%d vs %d", len(b), len(x), n)
+	}
+	engine.CountResolve()
+	copy(x, b)
+	// See RealLU.SolveFactored: permute fully before substituting.
+	for col := 0; col < n; col++ {
+		if p := f.piv[col]; p != col {
+			x[col], x[p] = x[p], x[col]
+		}
+	}
+	for col := 0; col < n; col++ {
+		for r := col + 1; r < n; r++ {
+			if fac := f.lu[r*n+col]; fac != 0 {
+				x[r] -= fac * x[col]
+			}
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
 		sum := x[i]
 		for j := i + 1; j < n; j++ {
-			sum -= m.At(i, j) * x[j]
+			sum -= f.lu[i*n+j] * x[j]
 		}
-		x[i] = sum / m.At(i, i)
+		x[i] = sum / f.lu[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // Complex is a dense complex matrix with a flat backing slice.
@@ -95,47 +296,16 @@ func (m *Complex) Add(i, j int, x complex128) { m.V[i*m.N+j] += x }
 // Solve performs in-place LU decomposition with partial pivoting and solves
 // m·x = b. The matrix contents are destroyed; b is not modified.
 func (m *Complex) Solve(b []complex128) ([]complex128, error) {
-	n := m.N
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), n)
+	if len(b) != m.N {
+		return nil, fmt.Errorf("linalg: dimension mismatch %d vs %d", len(b), m.N)
 	}
-	x := make([]complex128, n)
-	copy(x, b)
-	for col := 0; col < n; col++ {
-		best, bestAbs := col, cmplx.Abs(m.At(col, col))
-		for r := col + 1; r < n; r++ {
-			if a := cmplx.Abs(m.At(r, col)); a > bestAbs {
-				best, bestAbs = r, a
-			}
-		}
-		if bestAbs < 1e-30 {
-			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
-		}
-		if best != col {
-			for j := 0; j < n; j++ {
-				m.V[col*n+j], m.V[best*n+j] = m.V[best*n+j], m.V[col*n+j]
-			}
-			x[col], x[best] = x[best], x[col]
-		}
-		piv := m.At(col, col)
-		for r := col + 1; r < n; r++ {
-			f := m.At(r, col) / piv
-			if f == 0 {
-				continue
-			}
-			m.V[r*n+col] = 0
-			for j := col + 1; j < n; j++ {
-				m.V[r*n+j] -= f * m.V[col*n+j]
-			}
-			x[r] -= f * x[col]
-		}
+	var f ComplexLU
+	if err := m.Factor(&f); err != nil {
+		return nil, err
 	}
-	for i := n - 1; i >= 0; i-- {
-		sum := x[i]
-		for j := i + 1; j < n; j++ {
-			sum -= m.At(i, j) * x[j]
-		}
-		x[i] = sum / m.At(i, i)
+	x := make([]complex128, m.N)
+	if err := f.SolveFactored(b, x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }

@@ -3,9 +3,20 @@
 // contribute branch-current unknowns (group 2), which lets mutual
 // inductances — the PEEC coupling results — be stamped directly, exactly as
 // the paper inserts coupling factors between circuit inductances.
+//
+// The MNA matrix is affine in frequency, M(ω) = G + jω·B: every stamp is
+// either frequency-independent (conductances, branch incidence) or scales
+// linearly with ω (capacitors, inductors, mutual couplings). NewAnalyzer
+// therefore walks the netlist once and compiles flat stamp plans — index/
+// value lists for G and B plus right-hand-side source slots — so each
+// per-frequency assembly is a single fused pass into a reusable buffer
+// with no map lookups and no allocation. The plan entries are emitted in
+// the exact order the old netlist walk stamped them, which keeps the
+// floating-point sums (and therefore every figure) bit-for-bit identical.
 package mna
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -19,7 +30,30 @@ import (
 // matrices well-conditioned in the presence of floating subcircuits.
 const Gmin = 1e-12
 
-// Analyzer prepares a circuit for repeated AC solves.
+// planEntry is one precompiled matrix stamp: a flat buffer index and a
+// value. Entries on the G plan add v to the real part of the cell;
+// entries on the B plan add ω·v to the imaginary part.
+type planEntry struct {
+	idx int
+	v   float64
+}
+
+// srcSlot is one precompiled right-hand-side contribution of an
+// independent source. The slot keeps a pointer to the element's Source so
+// per-harmonic phasor updates (emi drives ACMag/ACPhase per harmonic) are
+// picked up without recompiling.
+type srcSlot struct {
+	row      int
+	negative bool
+	src      *netlist.Source
+}
+
+// Analyzer prepares a circuit for repeated AC solves. The compiled stamp
+// plans are immutable during solves; the solve scratch (assembly buffer,
+// factorization, solution) is reused call to call, so an Analyzer is not
+// safe for concurrent use — SweepNodeCtx fans out internally with
+// per-worker scratch, and parallel callers construct one Analyzer per
+// worker.
 type Analyzer struct {
 	ckt       *netlist.Circuit
 	nodeIdx   map[string]int
@@ -28,6 +62,31 @@ type Analyzer struct {
 	branchIdx map[string]int
 	couplings []coupling
 	n         int // total unknowns = len(nodes) + len(branches)
+
+	gPlan    []planEntry
+	bPlan    []planEntry
+	rhsPlan  []srcSlot
+	baseBLen int // bPlan length without an appended probe coupling
+
+	// Probe-coupling state (sensitivity analysis): either two overwritten
+	// coupling entries (restored on clear) or two appended cells
+	// (truncated on clear).
+	probeMode  int // 0 = none, 1 = overwrote existing K, 2 = appended
+	probeIdx   [2]int
+	probeSaved [2]float64
+
+	scr solveScratch // serial-API scratch; SweepNodeCtx workers get their own
+}
+
+// solveScratch is the per-worker reusable state of the solve path: the
+// assembly buffer, the factorization scratch, the right-hand side and the
+// solution. Everything is lazily sized on first use and then recycled, so
+// the steady-state solve performs no allocations.
+type solveScratch struct {
+	m   *linalg.Complex
+	lu  linalg.ComplexLU
+	rhs []complex128
+	sol Solution
 }
 
 // coupling is a resolved mutual inductance between two inductor branches.
@@ -36,7 +95,8 @@ type coupling struct {
 	m      float64
 }
 
-// NewAnalyzer validates and indexes the circuit.
+// NewAnalyzer validates and indexes the circuit, then compiles the stamp
+// plans.
 func NewAnalyzer(c *netlist.Circuit) (*Analyzer, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -69,10 +129,102 @@ func NewAnalyzer(c *netlist.Circuit) (*Analyzer, error) {
 		})
 	}
 	a.n = len(a.nodes) + len(a.branches)
+	a.compile()
 	return a, nil
 }
 
-// Solution holds one AC operating point.
+// compile walks the netlist once and records every stamp as a plan entry,
+// preserving the element-order accumulation of the direct walk.
+func (a *Analyzer) compile() {
+	nn := len(a.nodes)
+	addG := func(i, j int, v float64) {
+		a.gPlan = append(a.gPlan, planEntry{idx: i*a.n + j, v: v})
+	}
+	addB := func(i, j int, v float64) {
+		a.bPlan = append(a.bPlan, planEntry{idx: i*a.n + j, v: v})
+	}
+	stampG := func(n1, n2 int, g float64) {
+		if n1 >= 0 {
+			addG(n1, n1, g)
+		}
+		if n2 >= 0 {
+			addG(n2, n2, g)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			addG(n1, n2, -g)
+			addG(n2, n1, -g)
+		}
+	}
+	stampB := func(n1, n2 int, b float64) {
+		if n1 >= 0 {
+			addB(n1, n1, b)
+		}
+		if n2 >= 0 {
+			addB(n2, n2, b)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			addB(n1, n2, -b)
+			addB(n2, n1, -b)
+		}
+	}
+
+	// Gmin to ground on every node.
+	for i := 0; i < nn; i++ {
+		addG(i, i, Gmin)
+	}
+	for _, e := range a.ckt.Elements {
+		n1, n2 := a.node(e.N1), a.node(e.N2)
+		switch e.Kind {
+		case netlist.R:
+			stampG(n1, n2, 1/e.Value)
+		case netlist.SW:
+			// In AC analysis the switch is its on-resistance; the EMI flow
+			// replaces switching devices by equivalent noise sources.
+			stampG(n1, n2, 1/e.Value)
+		case netlist.D:
+			// Diodes are blocking in small-signal EMI analysis.
+			stampG(n1, n2, 1/e.Roff)
+		case netlist.C:
+			stampB(n1, n2, e.Value)
+		case netlist.L, netlist.V:
+			b := nn + a.branchIdx[e.Name]
+			// KCL: branch current leaves N1 and enters N2.
+			if n1 >= 0 {
+				addG(n1, b, 1)
+				addG(b, n1, 1)
+			}
+			if n2 >= 0 {
+				addG(n2, b, -1)
+				addG(b, n2, -1)
+			}
+			if e.Kind == netlist.L {
+				addB(b, b, -e.Value)
+			} else {
+				a.rhsPlan = append(a.rhsPlan, srcSlot{row: b, src: e.Src})
+			}
+		case netlist.I:
+			if n1 >= 0 {
+				a.rhsPlan = append(a.rhsPlan, srcSlot{row: n1, negative: true, src: e.Src})
+			}
+			if n2 >= 0 {
+				a.rhsPlan = append(a.rhsPlan, srcSlot{row: n2, src: e.Src})
+			}
+		case netlist.K:
+			// handled below via a.couplings
+		}
+	}
+	for _, cp := range a.couplings {
+		bi, bj := nn+cp.bi, nn+cp.bj
+		addB(bi, bj, -cp.m)
+		addB(bj, bi, -cp.m)
+	}
+	a.baseBLen = len(a.bPlan)
+}
+
+// Solution holds one AC operating point. A Solution returned by Solve
+// shares the Analyzer's (or sweep worker's) solve buffer: it is valid
+// until the next Solve on the same Analyzer. Extract values before
+// solving again.
 type Solution struct {
 	Freq float64
 	a    *Analyzer
@@ -89,89 +241,108 @@ func (a *Analyzer) node(name string) int {
 
 // Solve performs one AC analysis at frequency f (Hz). At f = 0 the DC
 // values of the sources drive the circuit (inductors short, capacitors
-// open); otherwise the AC magnitudes and phases do.
+// open); otherwise the AC magnitudes and phases do. The returned Solution
+// reuses the Analyzer's buffers and is valid until the next Solve.
 func (a *Analyzer) Solve(f float64) (*Solution, error) {
+	return a.solve(&a.scr, f)
+}
+
+// solve runs one assembly/factor/resolve cycle against the given scratch.
+func (a *Analyzer) solve(s *solveScratch, f float64) (*Solution, error) {
 	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 		return nil, fmt.Errorf("mna: invalid frequency %g", f)
 	}
 	engine.CountMNASolve()
 	omega := 2 * math.Pi * f
-	nn := len(a.nodes)
-	m := linalg.NewComplex(a.n)
-	rhs := make([]complex128, a.n)
-
-	// Gmin to ground on every node.
-	for i := 0; i < nn; i++ {
-		m.Add(i, i, complex(Gmin, 0))
+	if s.m == nil {
+		s.m = linalg.NewComplex(a.n)
+		s.rhs = make([]complex128, a.n)
+		s.sol = Solution{a: a, x: make([]complex128, a.n)}
 	}
 
-	stampConductance := func(n1, n2 int, y complex128) {
-		if n1 >= 0 {
-			m.Add(n1, n1, y)
-		}
-		if n2 >= 0 {
-			m.Add(n2, n2, y)
-		}
-		if n1 >= 0 && n2 >= 0 {
-			m.Add(n1, n2, -y)
-			m.Add(n2, n1, -y)
+	// Fused assembly: M = G + jω·B in one pass over the compiled plans.
+	engine.CountAssembly()
+	buf := s.m.V
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, e := range a.gPlan {
+		buf[e.idx] += complex(e.v, 0)
+	}
+	for _, e := range a.bPlan {
+		buf[e.idx] += complex(0, omega*e.v)
+	}
+	for i := range s.rhs {
+		s.rhs[i] = 0
+	}
+	for _, sl := range a.rhsPlan {
+		v := sourceValue(sl.src, f)
+		if sl.negative {
+			s.rhs[sl.row] -= v
+		} else {
+			s.rhs[sl.row] += v
 		}
 	}
 
-	for _, e := range a.ckt.Elements {
-		n1, n2 := a.node(e.N1), a.node(e.N2)
-		switch e.Kind {
-		case netlist.R:
-			stampConductance(n1, n2, complex(1/e.Value, 0))
-		case netlist.SW:
-			// In AC analysis the switch is its on-resistance; the EMI flow
-			// replaces switching devices by equivalent noise sources.
-			stampConductance(n1, n2, complex(1/e.Value, 0))
-		case netlist.D:
-			// Diodes are blocking in small-signal EMI analysis.
-			stampConductance(n1, n2, complex(1/e.Roff, 0))
-		case netlist.C:
-			stampConductance(n1, n2, complex(0, omega*e.Value))
-		case netlist.L, netlist.V:
-			b := nn + a.branchIdx[e.Name]
-			// KCL: branch current leaves N1 and enters N2.
-			if n1 >= 0 {
-				m.Add(n1, b, 1)
-				m.Add(b, n1, 1)
-			}
-			if n2 >= 0 {
-				m.Add(n2, b, -1)
-				m.Add(b, n2, -1)
-			}
-			if e.Kind == netlist.L {
-				m.Add(b, b, complex(0, -omega*e.Value))
-			} else {
-				rhs[b] = sourceValue(e.Src, f)
-			}
-		case netlist.I:
-			v := sourceValue(e.Src, f)
-			if n1 >= 0 {
-				rhs[n1] -= v
-			}
-			if n2 >= 0 {
-				rhs[n2] += v
-			}
-		case netlist.K:
-			// handled below via a.couplings
-		}
-	}
-	for _, cp := range a.couplings {
-		bi, bj := nn+cp.bi, nn+cp.bj
-		y := complex(0, -omega*cp.m)
-		m.Add(bi, bj, y)
-		m.Add(bj, bi, y)
-	}
-
-	x, err := m.Solve(rhs)
-	if err != nil {
+	if err := s.m.Factor(&s.lu); err != nil {
 		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, err)
 	}
-	return &Solution{Freq: f, a: a, x: x}, nil
+	if err := s.lu.SolveFactored(s.rhs, s.sol.x); err != nil {
+		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, err)
+	}
+	s.sol.Freq = f
+	return &s.sol, nil
+}
+
+// SetProbeCoupling temporarily sets the mutual coupling between two
+// inductors to factor k, applied as a two-entry delta on the compiled B
+// plan — no circuit clone, no recompilation. An existing K coupling
+// between the pair is overridden for the duration; ClearProbeCoupling
+// undoes the probe. Any previous probe is cleared first.
+func (a *Analyzer) SetProbeCoupling(la, lb string, k float64) error {
+	a.ClearProbeCoupling()
+	ea, eb := a.ckt.Find(la), a.ckt.Find(lb)
+	if ea == nil || ea.Kind != netlist.L || eb == nil || eb.Kind != netlist.L {
+		return fmt.Errorf("mna: probe coupling %s/%s: both must be inductors", la, lb)
+	}
+	ia, ib := a.branchIdx[la], a.branchIdx[lb]
+	m := k * math.Sqrt(ea.Value*eb.Value)
+	// The coupling stamps live at the tail of the base B plan, two entries
+	// per coupling in coupling order.
+	couplingStart := a.baseBLen - 2*len(a.couplings)
+	for ci, cp := range a.couplings {
+		if (cp.bi == ia && cp.bj == ib) || (cp.bi == ib && cp.bj == ia) {
+			a.probeMode = 1
+			a.probeIdx = [2]int{couplingStart + 2*ci, couplingStart + 2*ci + 1}
+			for pi, ei := range a.probeIdx {
+				a.probeSaved[pi] = a.bPlan[ei].v
+				a.bPlan[ei].v = -m
+			}
+			return nil
+		}
+	}
+	nn := len(a.nodes)
+	bi, bj := nn+ia, nn+ib
+	a.probeMode = 2
+	a.bPlan = append(a.bPlan,
+		planEntry{idx: bi*a.n + bj, v: -m},
+		planEntry{idx: bj*a.n + bi, v: -m},
+	)
+	return nil
+}
+
+// ClearProbeCoupling removes the probe set by SetProbeCoupling, restoring
+// the compiled plans. It is a no-op when no probe is active.
+func (a *Analyzer) ClearProbeCoupling() {
+	switch a.probeMode {
+	case 1:
+		for pi, ei := range a.probeIdx {
+			a.bPlan[ei].v = a.probeSaved[pi]
+		}
+	case 2:
+		a.bPlan = a.bPlan[:a.baseBLen]
+	}
+	a.probeMode = 0
 }
 
 // sourceValue returns the complex excitation of a source at frequency f.
@@ -207,13 +378,28 @@ func (s *Solution) BranchCurrent(name string) complex128 {
 // SweepNode solves the circuit at each frequency and returns the complex
 // voltage at the named node.
 func (a *Analyzer) SweepNode(freqs []float64, node string) ([]complex128, error) {
+	return a.SweepNodeCtx(context.Background(), freqs, node)
+}
+
+// SweepNodeCtx is the batched sweep: frequencies fan out over the shared
+// engine pool, each worker solving with its own scratch against the one
+// compiled plan set. Slot-per-index writes keep the result identical to
+// the serial sweep under any parallelism. The compiled plans (including
+// any active probe coupling) must not be mutated while the sweep runs.
+func (a *Analyzer) SweepNodeCtx(ctx context.Context, freqs []float64, node string) ([]complex128, error) {
 	out := make([]complex128, len(freqs))
-	for i, f := range freqs {
-		sol, err := a.Solve(f)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sol.NodeVoltage(node)
+	err := engine.ForEachStateCtx(ctx, len(freqs),
+		func() (*solveScratch, error) { return &solveScratch{}, nil },
+		func(s *solveScratch, i int) error {
+			sol, err := a.solve(s, freqs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = sol.NodeVoltage(node)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

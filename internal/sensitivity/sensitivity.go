@@ -59,26 +59,25 @@ func RankCtx(ctx context.Context, ckt *netlist.Circuit, sourceName, measureNode 
 		}
 	}
 
-	predict := func(c *netlist.Circuit) (*emi.Spectrum, error) {
-		p := &emi.Predictor{
-			Circuit:     c,
-			SourceName:  sourceName,
-			MeasureNode: measureNode,
-			MaxFreq:     opt.MaxFreq,
-		}
-		return p.SpectrumCtx(ctx)
+	baseline := &emi.Predictor{
+		Circuit:     ckt,
+		SourceName:  sourceName,
+		MeasureNode: measureNode,
+		MaxFreq:     opt.MaxFreq,
 	}
-
-	base, err := predict(ckt)
+	base, err := baseline.SpectrumCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("sensitivity: baseline: %w", err)
 	}
 
 	// One full band prediction per pair — the hot path of the analysis.
-	// The pairs are independent and share the read-only baseline, so they
-	// fan out over the engine pool; each pair writes only its own slot and
-	// the stable sort below keeps ties in pair order, making the ranking
-	// identical under any parallelism.
+	// Each worker compiles one BandSolver (circuit clone + stamp plans)
+	// and re-predicts per pair by applying the probe as a two-entry delta
+	// on the compiled B plan: no per-pair circuit clone, no analyzer
+	// rebuild. The pairs are independent and share the read-only
+	// baseline, so they fan out over the engine pool; each pair writes
+	// only its own slot and the stable sort below keeps ties in pair
+	// order, making the ranking identical under any parallelism.
 	defer engine.Phase("sensitivity.rank")()
 	var pairs [][2]string
 	for i := 0; i < len(cands); i++ {
@@ -86,26 +85,34 @@ func RankCtx(ctx context.Context, ckt *netlist.Circuit, sourceName, measureNode 
 			pairs = append(pairs, [2]string{cands[i], cands[j]})
 		}
 	}
-	rank, err := engine.MapCtx(ctx, len(pairs), func(i int) (PairInfluence, error) {
-		la, lb := pairs[i][0], pairs[i][1]
-		probed := ckt.Clone()
-		probed.SetCoupling(la, lb, probe)
-		s, err := predict(probed)
-		if err != nil {
-			return PairInfluence{}, fmt.Errorf("sensitivity: pair %s/%s: %w", la, lb, err)
-		}
-		delta := 0.0
-		for k := range s.DB {
-			if d := s.DB[k] - base.DB[k]; d > delta {
-				delta = d
+	rank := make(Ranking, len(pairs))
+	err = engine.ForEachStateCtx(ctx, len(pairs),
+		func() (*emi.BandSolver, error) {
+			return emi.NewBandSolver(ckt, []string{sourceName}, measureNode, 0, opt.MaxFreq)
+		},
+		func(bs *emi.BandSolver, i int) error {
+			la, lb := pairs[i][0], pairs[i][1]
+			if err := bs.Analyzer().SetProbeCoupling(la, lb, probe); err != nil {
+				return fmt.Errorf("sensitivity: pair %s/%s: %w", la, lb, err)
 			}
-		}
-		return PairInfluence{LA: la, LB: lb, DeltaDB: delta}, nil
-	})
+			s, err := bs.SpectrumCtx(ctx)
+			bs.Analyzer().ClearProbeCoupling()
+			if err != nil {
+				return fmt.Errorf("sensitivity: pair %s/%s: %w", la, lb, err)
+			}
+			delta := 0.0
+			for k := range s.DB {
+				if d := s.DB[k] - base.DB[k]; d > delta {
+					delta = d
+				}
+			}
+			rank[i] = PairInfluence{LA: la, LB: lb, DeltaDB: delta}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	out := Ranking(rank)
+	out := rank
 	sort.SliceStable(out, func(a, b int) bool { return out[a].DeltaDB > out[b].DeltaDB })
 	return out, nil
 }

@@ -102,6 +102,13 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		"# HELP engine_neumann_integrals_total Neumann mutual-inductance integrals.\n"+
 		"# TYPE engine_neumann_integrals_total counter\nengine_neumann_integrals_total %d\n"+
 		"# HELP engine_pool_tasks_total Work items executed by the shared pool.\n"+
-		"# TYPE engine_pool_tasks_total counter\nengine_pool_tasks_total %d\n",
-		es.CacheHits, es.CacheMisses, es.MNASolves, es.NeumannIntegrals, es.PoolTasks)
+		"# TYPE engine_pool_tasks_total counter\nengine_pool_tasks_total %d\n"+
+		"# HELP engine_lu_assemblies_total System-matrix assemblies (stamp-plan executions).\n"+
+		"# TYPE engine_lu_assemblies_total counter\nengine_lu_assemblies_total %d\n"+
+		"# HELP engine_lu_factorizations_total LU factorizations performed.\n"+
+		"# TYPE engine_lu_factorizations_total counter\nengine_lu_factorizations_total %d\n"+
+		"# HELP engine_lu_resolves_total Triangular resolves against a retained factorization.\n"+
+		"# TYPE engine_lu_resolves_total counter\nengine_lu_resolves_total %d\n",
+		es.CacheHits, es.CacheMisses, es.MNASolves, es.NeumannIntegrals, es.PoolTasks,
+		es.Assemblies, es.Factorizations, es.Resolves)
 }

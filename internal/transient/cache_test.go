@@ -1,0 +1,77 @@
+package transient
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+)
+
+// TestFactorizationKeyedOnConductionState: a buck period visits only a few
+// switch/diode states, so a many-step run must perform a handful of LU
+// factorizations — one per distinct state — not one per step.
+func TestFactorizationKeyedOnConductionState(t *testing.T) {
+	t.Parallel()
+	period := 5e-6
+	c := &netlist.Circuit{}
+	c.AddV("Vin", "in", "0", netlist.Source{DC: 12})
+	c.AddSwitch("S1", "in", "sw", 0.01, 1e7, netlist.Schedule{Period: period, OnTime: 0.4 * period})
+	c.AddDiode("D1", "0", "sw", 0.01, 1e7)
+	c.AddL("L1", "sw", "out", 47e-6)
+	c.AddC("C1", "out", "0", 47e-6)
+	c.AddR("RL", "out", "0", 4)
+	res, err := Simulate(c, Options{Step: period / 200, End: 40 * period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := len(res.Time)
+	// Two two-state devices bound the distinct conduction states at four.
+	if res.factorizations > 4 {
+		t.Errorf("%d factorizations over %d steps; want at most 4 (one per conduction state)",
+			res.factorizations, steps)
+	}
+	if res.factorizations < 2 {
+		t.Errorf("%d factorizations; a switching buck must visit at least 2 states",
+			res.factorizations)
+	}
+}
+
+// TestStatelessCircuitFactorsOnce: no switches, no diodes — one state, one
+// factorization, every step a resolve.
+func TestStatelessCircuitFactorsOnce(t *testing.T) {
+	t.Parallel()
+	c := &netlist.Circuit{}
+	c.AddV("V1", "in", "0", netlist.Source{DC: 1})
+	c.AddR("R1", "in", "out", 10)
+	c.AddL("L1", "out", "0", 1e-3)
+	res, err := Simulate(c, Options{Step: 1e-6, End: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.factorizations != 1 {
+		t.Errorf("%d factorizations, want exactly 1", res.factorizations)
+	}
+}
+
+// TestSingularPropagatesTimestep: conflicting ideal voltage sources are
+// exactly singular; the error must be ErrSingular wrapped with the
+// timestep at which the solve failed.
+func TestSingularPropagatesTimestep(t *testing.T) {
+	t.Parallel()
+	c := &netlist.Circuit{}
+	c.AddV("V1", "n", "0", netlist.Source{DC: 1})
+	c.AddV("V2", "n", "0", netlist.Source{DC: 2})
+	c.AddR("R1", "n", "0", 10)
+	_, err := Simulate(c, Options{Step: 1e-6, End: 1e-5})
+	if err == nil {
+		t.Fatal("conflicting sources should be singular")
+	}
+	if !errors.Is(err, linalg.ErrSingular) {
+		t.Errorf("error %v is not ErrSingular", err)
+	}
+	if !strings.Contains(err.Error(), "t=") {
+		t.Errorf("error %q lacks the timestep context", err)
+	}
+}

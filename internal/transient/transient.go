@@ -4,12 +4,21 @@
 // ideal switched-resistance diodes model the converter's active devices;
 // mutual inductances from the PEEC analysis are honoured in the inductor
 // companion equations.
+//
+// With a fixed step the companion-model matrix depends only on the
+// conduction state — which switches and diodes are on. A buck period
+// visits a handful of states but hundreds of timesteps, so the solver
+// compiles the netlist once into a stamp program, keys the LU
+// factorization on the state vector, and re-factors only when a device
+// commutates; every other step is a right-hand-side rebuild plus a
+// triangular resolve.
 package transient
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
 )
@@ -33,8 +42,10 @@ type Result struct {
 	Time      []float64
 	nodeIdx   map[string]int
 	branchIdx map[string]int
-	volt      [][]float64 // [step][node]
+	volt      [][]float64 // [step][node], slices of one flat backing array
 	curr      [][]float64 // [step][branch]
+
+	factorizations int // LU factorizations performed (white-box test hook)
 }
 
 // Node returns the voltage waveform of the named node; ground returns a
@@ -82,7 +93,9 @@ func Simulate(c *netlist.Circuit, opt Options) (*Result, error) {
 	}
 
 	sim := newSim(c)
+	sim.compile(opt.Step)
 	steps := int(math.Floor(opt.End/opt.Step)) + 1
+	nn, nb := len(sim.nodes), len(sim.branches)
 	res := &Result{
 		Time:      make([]float64, steps),
 		nodeIdx:   sim.nodeIdx,
@@ -90,32 +103,39 @@ func Simulate(c *netlist.Circuit, opt Options) (*Result, error) {
 		volt:      make([][]float64, steps),
 		curr:      make([][]float64, steps),
 	}
-	res.volt[0] = make([]float64, len(sim.nodes))
-	res.curr[0] = make([]float64, len(sim.branches))
+	// One flat backing array per waveform set: the per-step slices are
+	// views, so the whole run costs two allocations instead of two per
+	// step.
+	vflat := make([]float64, steps*nn)
+	iflat := make([]float64, steps*nb)
+	for s := 0; s < steps; s++ {
+		res.volt[s] = vflat[s*nn : (s+1)*nn : (s+1)*nn]
+		res.curr[s] = iflat[s*nb : (s+1)*nb : (s+1)*nb]
+	}
 	if opt.InitDC {
 		v0, i0, err := sim.dcOperatingPoint(maxIter)
 		if err != nil {
 			return nil, fmt.Errorf("transient: DC operating point: %w", err)
 		}
-		res.volt[0] = v0
-		res.curr[0] = i0
+		copy(res.volt[0], v0)
+		copy(res.curr[0], i0)
 	}
 
 	h := opt.Step
 	for s := 1; s < steps; s++ {
 		tNow := float64(s) * h
 		res.Time[s] = tNow
-		v, i, err := sim.step(tNow, h, res.volt[s-1], res.curr[s-1], maxIter)
+		err := sim.step(tNow, h, res.volt[s-1], res.curr[s-1], res.volt[s], res.curr[s], maxIter)
 		if err != nil {
 			return nil, fmt.Errorf("transient: t=%g: %w", tNow, err)
 		}
-		res.volt[s] = v
-		res.curr[s] = i
 	}
+	res.factorizations = sim.factorizations
 	return res, nil
 }
 
-// sim holds the prepared index structures and the per-step element state.
+// sim holds the prepared index structures, the compiled stamp program and
+// the per-step element state.
 type sim struct {
 	ckt       *netlist.Circuit
 	nodes     []string
@@ -123,8 +143,30 @@ type sim struct {
 	branches  []*netlist.Element
 	branchIdx map[string]int
 	couplings []coupling
-	diodeOn   map[string]bool
-	capI      map[string]float64 // trapezoidal capacitor current memory
+
+	// Switching devices (SW and D in element order): the only elements
+	// whose matrix stamps depend on run-time state.
+	devices []*netlist.Element
+	devIdx  map[string]int
+	gOn     []float64 // per device: 1/Ron
+	gOff    []float64 // per device: 1/Roff
+	diodeOn []bool    // per device index; only diode entries are used
+
+	caps []*netlist.Element
+	capI []float64 // trapezoidal capacitor current memory, per cap index
+
+	// Compiled step program (fixed h).
+	h      float64
+	n      int
+	matOps []matOp
+	rhsOps []rhsOp
+
+	// Conduction-state-keyed factorization cache. Each entry owns its
+	// matrix storage, which after Factor holds the packed LU factors.
+	cache          map[uint64]*factorEntry
+	gs             []float64 // per-device conductance for the current state
+	rhs, x         []float64
+	factorizations int
 }
 
 type coupling struct {
@@ -132,13 +174,62 @@ type coupling struct {
 	m      float64
 }
 
+// matOp is one compiled matrix stamp: flat index plus either a constant
+// value (dev < 0) or a ±1 sign scaling the device's state-dependent
+// conductance. Ops execute in the exact order the direct netlist walk
+// stamped, keeping the assembled matrix bit-for-bit identical.
+type matOp struct {
+	idx int32
+	dev int32 // -1 = static
+	v   float64
+}
+
+// rhsOp is one compiled right-hand-side contribution, mirroring the
+// element walk: sources sampled at t, capacitor and inductor companion
+// terms from the previous step's state.
+type rhsOp struct {
+	kind  uint8 // rhsV, rhsI, rhsC, rhsL
+	row   int   // branch row (V, L) or unused
+	n1    int   // node indices, -1 = ground
+	n2    int
+	src   *netlist.Source
+	geq   float64 // C: 2C/h
+	ci    int     // C: capacitor index into capI
+	leq   float64 // L: 2L/h
+	bloc  int     // L: branch index into iPrev
+	coups []lcoup // L: couplings involving this inductor, in coupling order
+}
+
+type lcoup struct {
+	meq   float64 // 2m/h
+	other int     // coupled branch index into iPrev
+}
+
+const (
+	rhsV = iota
+	rhsI
+	rhsC
+	rhsL
+)
+
+// factorEntry is one cached factorization: the matrix buffer it was
+// eliminated in plus the pivot record.
+type factorEntry struct {
+	m  *linalg.Real
+	lu linalg.RealLU
+}
+
+// maxCacheEntries bounds the factorization cache; a pathological
+// chattering circuit visiting many conduction states drops the cache
+// wholesale rather than growing without bound.
+const maxCacheEntries = 256
+
 func newSim(c *netlist.Circuit) *sim {
 	s := &sim{
 		ckt:       c,
 		nodeIdx:   map[string]int{},
 		branchIdx: map[string]int{},
-		diodeOn:   map[string]bool{},
-		capI:      map[string]float64{},
+		devIdx:    map[string]int{},
 	}
 	s.nodes = c.Nodes()
 	for i, n := range s.nodes {
@@ -149,10 +240,17 @@ func newSim(c *netlist.Circuit) *sim {
 		case netlist.L, netlist.V:
 			s.branchIdx[e.Name] = len(s.branches)
 			s.branches = append(s.branches, e)
-		case netlist.D:
-			s.diodeOn[e.Name] = false
+		case netlist.SW, netlist.D:
+			s.devIdx[e.Name] = len(s.devices)
+			s.devices = append(s.devices, e)
+			s.gOn = append(s.gOn, 1/e.Value)
+			s.gOff = append(s.gOff, 1/e.Roff)
+		case netlist.C:
+			s.caps = append(s.caps, e)
 		}
 	}
+	s.diodeOn = make([]bool, len(s.devices))
+	s.capI = make([]float64, len(s.caps))
 	for _, e := range c.Elements {
 		if e.Kind != netlist.K {
 			continue
@@ -165,6 +263,104 @@ func newSim(c *netlist.Circuit) *sim {
 		})
 	}
 	return s
+}
+
+// compile builds the stamp and right-hand-side programs for step size h,
+// preserving the element-order accumulation of the direct walk (Gmin
+// diagonal first, then elements, couplings stamped within their
+// inductor's turn).
+func (s *sim) compile(h float64) {
+	s.h = h
+	nn := len(s.nodes)
+	s.n = nn + len(s.branches)
+	s.matOps = s.matOps[:0]
+	s.rhsOps = s.rhsOps[:0]
+	s.cache = make(map[uint64]*factorEntry)
+	s.gs = make([]float64, len(s.devices))
+	s.rhs = make([]float64, s.n)
+	s.x = make([]float64, s.n)
+
+	addStatic := func(i, j int, v float64) {
+		s.matOps = append(s.matOps, matOp{idx: int32(i*s.n + j), dev: -1, v: v})
+	}
+	addDev := func(i, j, di int, sign float64) {
+		s.matOps = append(s.matOps, matOp{idx: int32(i*s.n + j), dev: int32(di), v: sign})
+	}
+	stampStatic := func(n1, n2 int, g float64) {
+		if n1 >= 0 {
+			addStatic(n1, n1, g)
+		}
+		if n2 >= 0 {
+			addStatic(n2, n2, g)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			addStatic(n1, n2, -g)
+			addStatic(n2, n1, -g)
+		}
+	}
+	stampDev := func(n1, n2, di int) {
+		if n1 >= 0 {
+			addDev(n1, n1, di, 1)
+		}
+		if n2 >= 0 {
+			addDev(n2, n2, di, 1)
+		}
+		if n1 >= 0 && n2 >= 0 {
+			addDev(n1, n2, di, -1)
+			addDev(n2, n1, di, -1)
+		}
+	}
+
+	for i := 0; i < nn; i++ {
+		addStatic(i, i, 1e-12) // Gmin
+	}
+	ci := 0
+	for _, e := range s.ckt.Elements {
+		n1, n2 := s.node(e.N1), s.node(e.N2)
+		switch e.Kind {
+		case netlist.R:
+			stampStatic(n1, n2, 1/e.Value)
+		case netlist.SW, netlist.D:
+			stampDev(n1, n2, s.devIdx[e.Name])
+		case netlist.C:
+			geq := 2 * e.Value / h
+			stampStatic(n1, n2, geq)
+			s.rhsOps = append(s.rhsOps, rhsOp{kind: rhsC, n1: n1, n2: n2, geq: geq, ci: ci})
+			ci++
+		case netlist.L, netlist.V:
+			b := nn + s.branchIdx[e.Name]
+			if n1 >= 0 {
+				addStatic(n1, b, 1)
+				addStatic(b, n1, 1)
+			}
+			if n2 >= 0 {
+				addStatic(n2, b, -1)
+				addStatic(b, n2, -1)
+			}
+			if e.Kind == netlist.V {
+				s.rhsOps = append(s.rhsOps, rhsOp{kind: rhsV, row: b, src: e.Src})
+			} else {
+				leq := 2 * e.Value / h
+				addStatic(b, b, -leq)
+				bloc := s.branchIdx[e.Name]
+				op := rhsOp{kind: rhsL, row: b, n1: n1, n2: n2, leq: leq, bloc: bloc}
+				for _, cp := range s.couplings {
+					meq := 2 * cp.m / h
+					switch bloc {
+					case cp.bi:
+						addStatic(b, nn+cp.bj, -meq)
+						op.coups = append(op.coups, lcoup{meq: meq, other: cp.bj})
+					case cp.bj:
+						addStatic(b, nn+cp.bi, -meq)
+						op.coups = append(op.coups, lcoup{meq: meq, other: cp.bi})
+					}
+				}
+				s.rhsOps = append(s.rhsOps, op)
+			}
+		case netlist.I:
+			s.rhsOps = append(s.rhsOps, rhsOp{kind: rhsI, n1: n1, n2: n2, src: e.Src})
+		}
+	}
 }
 
 func (s *sim) node(name string) int {
@@ -189,25 +385,145 @@ func srcAt(src *netlist.Source, t float64) float64 {
 	return src.DC
 }
 
-// step advances one trapezoidal step, iterating diode states until they are
-// consistent with the solved voltages. Capacitor memory currents are
-// committed only once, after the step is accepted.
-func (s *sim) step(t, h float64, vPrev, iPrev []float64, maxIter int) ([]float64, []float64, error) {
-	var v, i []float64
-	var err error
-	for iter := 0; iter < maxIter; iter++ {
-		v, i, err = s.solveWith(t, h, vPrev, iPrev)
-		if err != nil {
-			return nil, nil, err
+// stateKey packs the conduction state — switch schedules at time t plus
+// the iterated diode states — into the factorization cache key. ok is
+// false when the circuit has more switching devices than key bits, which
+// disables caching.
+func (s *sim) stateKey(t float64) (uint64, bool) {
+	if len(s.devices) > 64 {
+		return 0, false
+	}
+	var key uint64
+	for di, e := range s.devices {
+		var on bool
+		if e.Kind == netlist.SW {
+			on = e.Sched.On(t)
+		} else {
+			on = s.diodeOn[di]
 		}
-		if s.updateDiodes(v) {
+		if on {
+			key |= 1 << uint(di)
+		}
+	}
+	return key, true
+}
+
+// factorFor returns the factorization of the companion matrix for the
+// conduction state at time t, reusing a cached elimination when the state
+// has been visited before.
+func (s *sim) factorFor(t float64) (*factorEntry, error) {
+	key, cacheable := s.stateKey(t)
+	if cacheable {
+		if fe, ok := s.cache[key]; ok {
+			return fe, nil
+		}
+		if len(s.cache) >= maxCacheEntries {
+			s.cache = make(map[uint64]*factorEntry)
+		}
+	}
+	for di, e := range s.devices {
+		var on bool
+		if e.Kind == netlist.SW {
+			on = e.Sched.On(t)
+		} else {
+			on = s.diodeOn[di]
+		}
+		if on {
+			s.gs[di] = s.gOn[di]
+		} else {
+			s.gs[di] = s.gOff[di]
+		}
+	}
+	fe := &factorEntry{m: linalg.NewReal(s.n)}
+	engine.CountAssembly()
+	for _, op := range s.matOps {
+		v := op.v
+		if op.dev >= 0 {
+			v = op.v * s.gs[op.dev]
+		}
+		fe.m.V[op.idx] += v
+	}
+	if err := fe.m.Factor(&fe.lu); err != nil {
+		return nil, err
+	}
+	s.factorizations++
+	if cacheable {
+		s.cache[key] = fe
+	}
+	return fe, nil
+}
+
+// solveCandidate solves one candidate step into s.x: factorization from
+// the state cache, right-hand side rebuilt from the compiled program.
+func (s *sim) solveCandidate(t float64, vPrev, iPrev []float64) error {
+	fe, err := s.factorFor(t)
+	if err != nil {
+		return err
+	}
+	at := func(n int, v []float64) float64 {
+		if n < 0 {
+			return 0
+		}
+		return v[n]
+	}
+	rhs := s.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
+	for i := range s.rhsOps {
+		op := &s.rhsOps[i]
+		switch op.kind {
+		case rhsV:
+			rhs[op.row] = srcAt(op.src, t)
+		case rhsI:
+			val := srcAt(op.src, t)
+			if op.n1 >= 0 {
+				rhs[op.n1] -= val
+			}
+			if op.n2 >= 0 {
+				rhs[op.n2] += val
+			}
+		case rhsC:
+			vp := at(op.n1, vPrev) - at(op.n2, vPrev)
+			ieq := op.geq*vp + s.capI[op.ci]
+			if op.n1 >= 0 {
+				rhs[op.n1] += ieq
+			}
+			if op.n2 >= 0 {
+				rhs[op.n2] -= ieq
+			}
+		case rhsL:
+			vp := at(op.n1, vPrev) - at(op.n2, vPrev)
+			r := -vp - op.leq*iPrev[op.bloc]
+			for _, cp := range op.coups {
+				r -= cp.meq * iPrev[cp.other]
+			}
+			rhs[op.row] = r
+		}
+	}
+	return fe.lu.SolveFactored(rhs, s.x)
+}
+
+// step advances one trapezoidal step, iterating diode states until they are
+// consistent with the solved voltages, and writes the accepted solution
+// into vOut/iOut. Capacitor memory currents are committed only once, after
+// the step is accepted.
+func (s *sim) step(t, h float64, vPrev, iPrev, vOut, iOut []float64, maxIter int) error {
+	nn := len(s.nodes)
+	for iter := 0; iter < maxIter; iter++ {
+		if err := s.solveCandidate(t, vPrev, iPrev); err != nil {
+			return err
+		}
+		if s.updateDiodes(s.x[:nn]) {
 			break
 		}
 		// A chattering diode at a switching edge resolves next iteration
 		// or, failing that, next step; the last solution is accepted.
 	}
-	s.commitCapCurrents(h, vPrev, v)
-	return v, i, nil
+	copy(vOut, s.x[:nn])
+	copy(iOut, s.x[nn:])
+	s.commitCapCurrents(h, vPrev, vOut)
+	return nil
 }
 
 // updateDiodes flips diode states based on the solved voltages and reports
@@ -215,135 +531,33 @@ func (s *sim) step(t, h float64, vPrev, iPrev []float64, maxIter int) ([]float64
 // anode-cathode voltage is positive).
 func (s *sim) updateDiodes(v []float64) bool {
 	stable := true
-	for _, e := range s.ckt.Elements {
+	for di, e := range s.devices {
 		if e.Kind != netlist.D {
 			continue
 		}
 		wantOn := s.volt(v, e.N1)-s.volt(v, e.N2) > 0
-		if wantOn != s.diodeOn[e.Name] {
-			s.diodeOn[e.Name] = wantOn
+		if wantOn != s.diodeOn[di] {
+			s.diodeOn[di] = wantOn
 			stable = false
 		}
 	}
 	return stable
 }
 
-// solveWith builds and solves the companion-model system for one candidate
-// step; it does not mutate per-step state.
-func (s *sim) solveWith(t, h float64, vPrev, iPrev []float64) ([]float64, []float64, error) {
-	nn := len(s.nodes)
-	n := nn + len(s.branches)
-	m := linalg.NewReal(n)
-	rhs := make([]float64, n)
-
-	for i := 0; i < nn; i++ {
-		m.Add(i, i, 1e-12) // Gmin
-	}
-
-	stampG := func(n1, n2 int, g float64) {
-		if n1 >= 0 {
-			m.Add(n1, n1, g)
-		}
-		if n2 >= 0 {
-			m.Add(n2, n2, g)
-		}
-		if n1 >= 0 && n2 >= 0 {
-			m.Add(n1, n2, -g)
-			m.Add(n2, n1, -g)
-		}
-	}
-
-	for _, e := range s.ckt.Elements {
-		n1, n2 := s.node(e.N1), s.node(e.N2)
-		switch e.Kind {
-		case netlist.R:
-			stampG(n1, n2, 1/e.Value)
-		case netlist.SW:
-			r := e.Roff
-			if e.Sched.On(t) {
-				r = e.Value
-			}
-			stampG(n1, n2, 1/r)
-		case netlist.D:
-			r := e.Roff
-			if s.diodeOn[e.Name] {
-				r = e.Value
-			}
-			stampG(n1, n2, 1/r)
-		case netlist.C:
-			geq := 2 * e.Value / h
-			vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
-			ieq := geq*vp + s.capI[e.Name]
-			stampG(n1, n2, geq)
-			if n1 >= 0 {
-				rhs[n1] += ieq
-			}
-			if n2 >= 0 {
-				rhs[n2] -= ieq
-			}
-		case netlist.L, netlist.V:
-			b := nn + s.branchIdx[e.Name]
-			if n1 >= 0 {
-				m.Add(n1, b, 1)
-				m.Add(b, n1, 1)
-			}
-			if n2 >= 0 {
-				m.Add(n2, b, -1)
-				m.Add(b, n2, -1)
-			}
-			if e.Kind == netlist.V {
-				rhs[b] = srcAt(e.Src, t)
-			} else {
-				leq := 2 * e.Value / h
-				m.Add(b, b, -leq)
-				vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
-				r := -vp - leq*iPrev[s.branchIdx[e.Name]]
-				for _, cp := range s.couplings {
-					meq := 2 * cp.m / h
-					switch s.branchIdx[e.Name] {
-					case cp.bi:
-						m.Add(b, nn+cp.bj, -meq)
-						r -= meq * iPrev[cp.bj]
-					case cp.bj:
-						m.Add(b, nn+cp.bi, -meq)
-						r -= meq * iPrev[cp.bi]
-					}
-				}
-				rhs[b] = r
-			}
-		case netlist.I:
-			val := srcAt(e.Src, t)
-			if n1 >= 0 {
-				rhs[n1] -= val
-			}
-			if n2 >= 0 {
-				rhs[n2] += val
-			}
-		}
-	}
-
-	x, err := m.Solve(rhs)
-	if err != nil {
-		return nil, nil, err
-	}
-	v := make([]float64, nn)
-	copy(v, x[:nn])
-	i := make([]float64, len(s.branches))
-	copy(i, x[nn:])
-	return v, i, nil
-}
-
 // dcOperatingPoint solves the t = 0 DC state: capacitors are removed
 // (open), inductors become 0 V branches (short), switches follow their
 // schedule at t = 0, diodes iterate to a consistent state, and sources
 // take their t = 0 values. The capacitor memory currents stay zero, which
-// is exact at an operating point (dv/dt = 0).
+// is exact at an operating point (dv/dt = 0). It runs once per
+// simulation, so it assembles directly rather than through the compiled
+// program (the DC stamps differ from the companion stamps).
 func (s *sim) dcOperatingPoint(maxIter int) ([]float64, []float64, error) {
 	solve := func() ([]float64, []float64, error) {
 		nn := len(s.nodes)
 		n := nn + len(s.branches)
 		m := linalg.NewReal(n)
 		rhs := make([]float64, n)
+		engine.CountAssembly()
 		for i := 0; i < nn; i++ {
 			m.Add(i, i, 1e-12)
 		}
@@ -372,7 +586,7 @@ func (s *sim) dcOperatingPoint(maxIter int) ([]float64, []float64, error) {
 				stampG(n1, n2, 1/r)
 			case netlist.D:
 				r := e.Roff
-				if s.diodeOn[e.Name] {
+				if s.diodeOn[s.devIdx[e.Name]] {
 					r = e.Value
 				}
 				stampG(n1, n2, 1/r)
@@ -425,13 +639,10 @@ func (s *sim) dcOperatingPoint(maxIter int) ([]float64, []float64, error) {
 // commitCapCurrents advances the trapezoidal capacitor current memory:
 // i_n = geq·(v_n − v_{n−1}) − i_{n−1}.
 func (s *sim) commitCapCurrents(h float64, vPrev, vNow []float64) {
-	for _, e := range s.ckt.Elements {
-		if e.Kind != netlist.C {
-			continue
-		}
+	for ci, e := range s.caps {
 		vp := s.volt(vPrev, e.N1) - s.volt(vPrev, e.N2)
 		vn := s.volt(vNow, e.N1) - s.volt(vNow, e.N2)
 		geq := 2 * e.Value / h
-		s.capI[e.Name] = geq*(vn-vp) - s.capI[e.Name]
+		s.capI[ci] = geq*(vn-vp) - s.capI[ci]
 	}
 }

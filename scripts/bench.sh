@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the repo's tracked performance benchmarks and emits a JSON report.
+#
+#   scripts/bench.sh [out.json]
+#
+# The report maps each benchmark to {iterations, ns_per_op, bytes_per_op,
+# allocs_per_op}; BENCH_pr3.json in the repo root pins the before/after of
+# the stamp-plan/factorization-reuse PR in the same per-benchmark schema.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench_report.json}"
+PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank'
+
+RAW="$(go test -bench "$PATTERN" -benchmem -run=NONE -count=1 .)"
+echo "$RAW"
+
+echo "$RAW" | awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix if present
+    iters[name] = $2
+    ns[name] = $3
+    bytes[name] = $5
+    allocs[name] = $7
+    order[n++] = name
+}
+END {
+    printf "{\n" > out
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, iters[name], ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "") > out
+    }
+    printf "}\n" > out
+}
+'
+echo "wrote $OUT"
