@@ -11,15 +11,18 @@ import (
 	"repro/internal/buck"
 	"repro/internal/components"
 	"repro/internal/core"
+	"repro/internal/drc"
 	"repro/internal/emi"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/layout"
 	"repro/internal/mna"
 	"repro/internal/netlist"
 	"repro/internal/peec"
 	"repro/internal/place"
 	"repro/internal/rules"
 	"repro/internal/sensitivity"
+	"repro/internal/session"
 	"repro/internal/transient"
 	"repro/internal/workload"
 )
@@ -384,4 +387,98 @@ func BenchmarkSpectrumDBuV(b *testing.B) {
 		sink += emi.DBuV(math.Abs(math.Sin(float64(i))) * 1e-3)
 	}
 	_ = sink
+}
+
+// --- Incremental session benchmarks (PR 4) -----------------------------
+
+// sessionFixture builds an auto-placed Complex29 session for the
+// incremental-edit benchmarks and the component it toggles.
+func sessionFixture(b *testing.B) (*session.Session, layout.Component) {
+	b.Helper()
+	d := workload.Complex29()
+	if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	s := session.New("bench", d)
+	c, ok := s.Component("U05")
+	if !ok {
+		b.Fatal("U05 missing from Complex29")
+	}
+	return s, c
+}
+
+// BenchmarkSessionEditIncremental measures one single-component move
+// through the session's dependency-indexed incremental recheck on the
+// Figure 9 Complex29 workload.
+func BenchmarkSessionEditIncremental(b *testing.B) {
+	s, c := sessionFixture(b)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dx := 2e-3
+		if i%2 == 1 {
+			dx = -2e-3
+		}
+		if _, err := s.Apply(session.Edit{
+			Op: session.OpMove, Ref: c.Ref,
+			Center: geom.V2(c.Center.X+dx, c.Center.Y), Rot: c.Rot,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionEditFull is the baseline: the same move followed by a
+// from-scratch drc.Check of the whole design.
+func BenchmarkSessionEditFull(b *testing.B) {
+	d := workload.Complex29()
+	if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	c := d.Find("U05")
+	if c == nil {
+		b.Fatal("U05 missing from Complex29")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dx := 2e-3
+		if i%2 == 1 {
+			dx = -2e-3
+		}
+		c.Center = geom.V2(c.Center.X+dx, c.Center.Y)
+		if rep := drc.Check(d); rep.Checks == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// TestSessionEditEvalRatio pins the acceptance criterion of the session
+// subsystem: a single-component move on Complex29 must re-evaluate fewer
+// than 25% of the rule units a full drc.Check covers.
+func TestSessionEditEvalRatio(t *testing.T) {
+	d := workload.Complex29()
+	if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := session.New("t", d)
+	defer s.Close()
+	c, ok := s.Component("U05")
+	if !ok {
+		t.Fatal("U05 missing from Complex29")
+	}
+	delta, err := s.Apply(session.Edit{
+		Op: session.OpMove, Ref: c.Ref,
+		Center: geom.V2(c.Center.X+2e-3, c.Center.Y), Rot: c.Rot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(delta.ChecksEvaluated) / float64(delta.ChecksFull)
+	t.Logf("incremental move evaluated %d of %d checks (%.1f%%)",
+		delta.ChecksEvaluated, delta.ChecksFull, 100*ratio)
+	if ratio >= 0.25 {
+		t.Fatalf("incremental edit evaluated %.1f%% of the full check, want < 25%%", 100*ratio)
+	}
 }

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	emiserve [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 2m]
-//	         [-result-ttl 10m] [-result-cap 256] [-drain-timeout 30s] [-stats]
+//	         [-result-ttl 10m] [-result-cap 256] [-drain-timeout 30s]
+//	         [-session-ttl 30m] [-session-cap 64] [-stats]
 //
 // SIGTERM or SIGINT starts a graceful drain: intake stops (healthz turns
 // 503 so load balancers stop routing), in-flight jobs finish or are
@@ -38,6 +39,8 @@ func main() {
 	resultTTL := flag.Duration("result-ttl", 0, "completed-result reuse window (0 = default 10m)")
 	resultCap := flag.Int("result-cap", 0, "result store capacity (0 = default 256)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	sessionTTL := flag.Duration("session-ttl", 0, "design-session idle eviction (0 = default 30m)")
+	sessionCap := flag.Int("session-cap", 0, "max live design sessions (0 = default 64)")
 	dumpStats := cli.Stats()
 	flag.Parse()
 	defer dumpStats()
@@ -48,6 +51,8 @@ func main() {
 		JobTimeout: *jobTimeout,
 		ResultTTL:  *resultTTL,
 		ResultCap:  *resultCap,
+		SessionTTL: *sessionTTL,
+		SessionCap: *sessionCap,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

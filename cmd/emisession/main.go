@@ -1,0 +1,284 @@
+// Command emisession replays an edit script against an interactive design
+// session and prints the per-edit delta log — the offline twin of the
+// server's /v1/sessions surface, useful for scripting incremental DRC
+// experiments and for verifying that the incremental engine agrees with a
+// from-scratch check at every step.
+//
+// Script grammar (one command per line, '#' comments, mm and degrees):
+//
+//	move REF x_mm y_mm [rot_deg]   place or move a component
+//	rotate REF deg                 rotate a placed component
+//	swap REF board                 move a placed component to a board
+//	rule A B pemd_mm               add or replace a PEMD rule
+//	param clearance mm             change the global clearance
+//	param edge_clearance mm        change the board-edge clearance
+//	undo                           revert the latest edit
+//	redo                           re-apply the latest undone edit
+//
+// Usage:
+//
+//	emisession -layout design.txt -script edits.txt
+//	emisession -synthetic 29,100,3 -autoplace -script - < edits.txt
+//	emisession -layout design.txt -script edits.txt -verify -json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/place"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "emisession:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("emisession", flag.ContinueOnError)
+	layoutPath := fs.String("layout", "", "design file to open the session on")
+	synth := fs.String("synthetic", "", "synthetic workload spec n,rules,groups[,w_mm,h_mm] instead of -layout")
+	script := fs.String("script", "", "edit script file ('-' = stdin)")
+	autoplace := fs.Bool("autoplace", false, "run the automatic placer before the session starts")
+	verify := fs.Bool("verify", false, "cross-check the incremental report against a full drc.Check after every edit")
+	asJSON := fs.Bool("json", false, "print deltas as JSON lines instead of text")
+	snapshot := fs.String("snapshot", "", "write the final design to this file ('-' = stdout)")
+	dumpStats := cli.StatsOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	defer dumpStats()
+
+	d, err := openDesign(*layoutPath, *synth)
+	if err != nil {
+		return err
+	}
+	if *autoplace {
+		if _, err := place.AutoPlace(d, place.Options{}); err != nil {
+			return fmt.Errorf("autoplace: %w", err)
+		}
+	}
+	sess := session.New("local", d)
+	defer sess.Close()
+
+	st := sess.State()
+	if !*asJSON {
+		fmt.Fprintf(out, "session open: %d checks, %d violations, green=%v\n",
+			st.Checks, st.Violations, st.Green)
+	}
+
+	var src io.Reader
+	switch *script {
+	case "":
+		return fmt.Errorf("-script is required")
+	case "-":
+		src = os.Stdin
+	default:
+		f, err := os.Open(*script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	sc := bufio.NewScanner(src)
+	lineNo := 0
+	evals, full := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		delta, err := step(sess, line)
+		if err != nil {
+			return fmt.Errorf("script line %d: %w", lineNo, err)
+		}
+		evals += delta.ChecksEvaluated
+		full += delta.ChecksFull
+		if err := printDelta(out, *asJSON, line, delta); err != nil {
+			return err
+		}
+		if *verify {
+			if err := verifyStep(sess); err != nil {
+				return fmt.Errorf("script line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	st = sess.State()
+	if !*asJSON {
+		ratio := 0.0
+		if full > 0 {
+			ratio = float64(evals) / float64(full)
+		}
+		fmt.Fprintf(out, "final: %d violations, green=%v; incremental evaluated %d of %d checks (%.1f%%)\n",
+			st.Violations, st.Green, evals, full, 100*ratio)
+	}
+
+	if *snapshot != "" {
+		snap, err := sess.Snapshot()
+		if err != nil {
+			return err
+		}
+		if *snapshot == "-" {
+			_, err = out.Write(snap)
+			return err
+		}
+		return os.WriteFile(*snapshot, snap, 0o644)
+	}
+	return nil
+}
+
+// openDesign loads the session's starting design from a file or builds a
+// synthetic workload from its spec.
+func openDesign(path, synth string) (*layout.Design, error) {
+	switch {
+	case path != "" && synth != "":
+		return nil, fmt.Errorf("give either -layout or -synthetic, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return layout.Read(f)
+	case synth != "":
+		parts := strings.Split(synth, ",")
+		if len(parts) != 3 && len(parts) != 5 {
+			return nil, fmt.Errorf("-synthetic wants n,rules,groups[,w_mm,h_mm]")
+		}
+		nums := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-synthetic: %w", err)
+			}
+			nums[i] = v
+		}
+		w, h := 0.16, 0.12
+		if len(nums) == 5 {
+			w, h = nums[3]*1e-3, nums[4]*1e-3
+		}
+		return workload.Synthetic(int(nums[0]), int(nums[1]), int(nums[2]), w, h), nil
+	default:
+		return nil, fmt.Errorf("-layout or -synthetic is required")
+	}
+}
+
+// step parses one script line and applies it to the session.
+func step(sess *session.Session, line string) (*session.Delta, error) {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "undo":
+		return sess.Undo()
+	case "redo":
+		return sess.Redo()
+	case "move":
+		if len(f) != 4 && len(f) != 5 {
+			return nil, fmt.Errorf("move wants REF x_mm y_mm [rot_deg]")
+		}
+		x, err1 := strconv.ParseFloat(f[2], 64)
+		y, err2 := strconv.ParseFloat(f[3], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("move: bad coordinates %q %q", f[2], f[3])
+		}
+		e := session.Edit{Op: session.OpMove, Ref: f[1], Center: geom.V2(x*1e-3, y*1e-3)}
+		if len(f) == 5 {
+			deg, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("move: bad rotation %q", f[4])
+			}
+			e.Rot = geom.Rad(deg)
+		} else if c, ok := sess.Component(f[1]); ok {
+			e.Rot = c.Rot
+		}
+		return sess.Apply(e)
+	case "rotate":
+		if len(f) != 3 {
+			return nil, fmt.Errorf("rotate wants REF deg")
+		}
+		deg, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("rotate: bad angle %q", f[2])
+		}
+		return sess.Apply(session.Edit{Op: session.OpRotate, Ref: f[1], Rot: geom.Rad(deg)})
+	case "swap":
+		if len(f) != 3 {
+			return nil, fmt.Errorf("swap wants REF board")
+		}
+		b, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("swap: bad board %q", f[2])
+		}
+		return sess.Apply(session.Edit{Op: session.OpSwapBoard, Ref: f[1], Board: b})
+	case "rule":
+		if len(f) != 4 {
+			return nil, fmt.Errorf("rule wants A B pemd_mm")
+		}
+		mm, err := strconv.ParseFloat(f[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("rule: bad distance %q", f[3])
+		}
+		return sess.Apply(session.Edit{Op: session.OpAddRule, Ref: f[1], RefB: f[2], PEMD: mm * 1e-3})
+	case "param":
+		if len(f) != 3 {
+			return nil, fmt.Errorf("param wants clearance|edge_clearance mm")
+		}
+		mm, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("param: bad value %q", f[2])
+		}
+		return sess.Apply(session.Edit{Op: session.OpParam, Param: f[1], Value: mm * 1e-3})
+	default:
+		return nil, fmt.Errorf("unknown command %q", f[0])
+	}
+}
+
+// printDelta writes one delta as a text line pair or a JSON line.
+func printDelta(out io.Writer, asJSON bool, line string, d *session.Delta) error {
+	if asJSON {
+		return json.NewEncoder(out).Encode(d)
+	}
+	fmt.Fprintf(out, "#%d %-28s +%d -%d ~%d viol=%d green=%v evals=%d/%d\n",
+		d.Seq, line, len(d.Added), len(d.Resolved), len(d.Updated),
+		d.Violations, d.Green, d.ChecksEvaluated, d.ChecksFull)
+	for _, v := range d.Added {
+		fmt.Fprintf(out, "    + %s %s: %s\n", v.Kind, strings.Join(v.Refs, ","), v.Detail)
+	}
+	for _, v := range d.Resolved {
+		fmt.Fprintf(out, "    - %s %s\n", v.Kind, strings.Join(v.Refs, ","))
+	}
+	return nil
+}
+
+// verifyStep cross-checks the incremental report against a from-scratch
+// drc.Check on a snapshot of the current design.
+func verifyStep(sess *session.Session) error {
+	inc := sess.Report()
+	want := drc.Check(sess.DesignSnapshot())
+	if !reflect.DeepEqual(inc, want) {
+		return fmt.Errorf("verify: incremental report diverged from full check\nincremental:\n%s\nfull:\n%s",
+			inc.String(), want.String())
+	}
+	return nil
+}

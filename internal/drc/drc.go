@@ -104,17 +104,14 @@ func Check(d *layout.Design) *Report {
 
 // CheckMove evaluates a hypothetical placement of one component without
 // mutating the design — the adviser's online check during interactive
-// movement/rotation.
+// movement/rotation. The report is scoped to the rules the move can
+// affect (the component's EMD rules, clearances against its geometric
+// neighbours, containment, keepouts, group coherence and nets), so on a
+// design that was green before the move, a green scoped report means the
+// whole design stays green. Callers probing repeatedly should build one
+// Index and use Index.CheckMove directly.
 func CheckMove(d *layout.Design, ref string, center geom.Vec2, rot float64) (*Report, error) {
-	c := d.Find(ref)
-	if c == nil {
-		return nil, fmt.Errorf("drc: unknown component %q", ref)
-	}
-	saved := *c
-	c.Center, c.Rot, c.Placed = center, rot, true
-	rep := Check(d)
-	*c = saved
-	return rep, nil
+	return NewIndex(d).CheckMove(ref, center, rot)
 }
 
 func checkPlaced(d *layout.Design, r *Report) {
@@ -134,35 +131,27 @@ func checkEMD(d *layout.Design, r *Report) {
 		return
 	}
 	for _, rule := range d.Rules.Rules {
-		a, b := d.Find(rule.RefA), d.Find(rule.RefB)
-		if a == nil || b == nil || !a.Placed || !b.Placed {
+		ev := evalEMDRule(d, rule)
+		if !ev.counted {
 			continue
 		}
 		r.Checks++
-		if a.Board != b.Board {
-			// Different boards decouple by construction.
-			r.Pairs = append(r.Pairs, PairStatus{RefA: a.Ref, RefB: b.Ref, OK: true})
-			continue
-		}
-		need := d.EMDBetween(a, b, a.Rot, b.Rot)
-		have := a.Center.Dist(b.Center)
-		ok := have >= need-1e-9
-		r.Pairs = append(r.Pairs, PairStatus{
-			RefA: a.Ref, RefB: b.Ref, Required: need, Actual: have, OK: ok,
-		})
-		if !ok {
-			r.Violations = append(r.Violations, Violation{
-				Kind: KindEMD, Refs: []string{a.Ref, b.Ref},
-				Detail: fmt.Sprintf("distance %.1f mm below EMD %.1f mm", have*1e3, need*1e3),
-				Amount: need - have,
-			})
+		r.Pairs = append(r.Pairs, ev.pair)
+		if ev.hasViol {
+			r.Violations = append(r.Violations, ev.viol)
 		}
 	}
-	sort.Slice(r.Pairs, func(i, j int) bool {
-		if r.Pairs[i].RefA != r.Pairs[j].RefA {
-			return r.Pairs[i].RefA < r.Pairs[j].RefA
+	sortPairs(r.Pairs)
+}
+
+// sortPairs orders pair statuses by (RefA, RefB) — the canonical order of
+// every Report.
+func sortPairs(ps []PairStatus) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].RefA != ps[j].RefA {
+			return ps[i].RefA < ps[j].RefA
 		}
-		return r.Pairs[i].RefB < r.Pairs[j].RefB
+		return ps[i].RefB < ps[j].RefB
 	})
 }
 
@@ -176,18 +165,8 @@ func checkClearance(d *layout.Design, r *Report) {
 				continue
 			}
 			r.Checks++
-			sep := a.Footprint().Separation(b.Footprint())
-			overlap := a.Footprint().Overlaps(b.Footprint())
-			if overlap || sep < d.Clearance-1e-9 {
-				detail := fmt.Sprintf("separation %.2f mm below clearance %.2f mm", sep*1e3, d.Clearance*1e3)
-				if overlap {
-					detail = "footprints overlap"
-				}
-				r.Violations = append(r.Violations, Violation{
-					Kind: KindClearance, Refs: []string{a.Ref, b.Ref},
-					Detail: detail,
-					Amount: d.Clearance - sep,
-				})
+			if v, bad := evalClearancePair(d, a, b); bad {
+				r.Violations = append(r.Violations, v)
 			}
 		}
 	}
@@ -199,23 +178,8 @@ func checkContainment(d *layout.Design, r *Report) {
 			continue
 		}
 		r.Checks++
-		ok := false
-		fp := c.Footprint().Inflate(d.EdgeClearance)
-		for _, a := range d.AreasOf(c.Board, c.AreaName) {
-			if a.Poly.ContainsRect(fp) {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			where := "any placement area"
-			if c.AreaName != "" {
-				where = fmt.Sprintf("area %q", c.AreaName)
-			}
-			r.Violations = append(r.Violations, Violation{
-				Kind: KindContainment, Refs: []string{c.Ref},
-				Detail: "footprint not inside " + where,
-			})
+		if v, bad := evalContainment(d, c); bad {
+			r.Violations = append(r.Violations, v)
 		}
 	}
 }
@@ -225,53 +189,32 @@ func checkKeepouts(d *layout.Design, r *Report) {
 		if !c.Placed {
 			continue
 		}
-		body := c.Body()
-		for _, k := range d.Keepouts {
-			if k.Board != c.Board {
-				continue
-			}
-			r.Checks++
-			if body.Overlaps(k.Box) {
-				r.Violations = append(r.Violations, Violation{
-					Kind: KindKeepout, Refs: []string{c.Ref, k.Name},
-					Detail: fmt.Sprintf("body intersects keepout %q", k.Name),
-				})
-			}
-		}
+		n, viols := evalKeepouts(d, c)
+		r.Checks += n
+		r.Violations = append(r.Violations, viols...)
 	}
 }
 
 // checkGroups enforces coherent functional-group areas: the bounding box of
 // a group must not contain the center of any foreign placed component on
-// the same board.
+// the same board. Boards are visited in ascending order so the report is
+// deterministic for groups spanning both boards.
 func checkGroups(d *layout.Design, r *Report) {
 	groups := d.Groups()
 	for _, name := range d.GroupNames() {
 		members := groups[name]
-		perBoard := map[int]geom.Rect{}
-		placed := map[int]bool{}
-		for _, m := range members {
-			if !m.Placed {
+		for board := 0; board < d.Boards; board++ {
+			bbox, active := groupBBoxOn(members, board)
+			if !active {
 				continue
 			}
-			if !placed[m.Board] {
-				perBoard[m.Board] = m.Footprint()
-				placed[m.Board] = true
-			} else {
-				perBoard[m.Board] = perBoard[m.Board].Union(m.Footprint())
-			}
-		}
-		for board, bbox := range perBoard {
 			for _, c := range d.Comps {
 				if !c.Placed || c.Board != board || c.Group == name {
 					continue
 				}
 				r.Checks++
-				if bbox.Contains(c.Center) {
-					r.Violations = append(r.Violations, Violation{
-						Kind: KindGroup, Refs: []string{c.Ref, name},
-						Detail: fmt.Sprintf("%s sits inside group %q area", c.Ref, name),
-					})
+				if v, bad := evalGroupMember(name, bbox, c); bad {
+					r.Violations = append(r.Violations, v)
 				}
 			}
 		}
@@ -284,12 +227,8 @@ func checkNets(d *layout.Design, r *Report) {
 			continue
 		}
 		r.Checks++
-		if l := d.NetLength(n); l > n.MaxLength {
-			r.Violations = append(r.Violations, Violation{
-				Kind: KindNetLength, Refs: []string{n.Name},
-				Detail: fmt.Sprintf("net length %.1f mm exceeds %.1f mm", l*1e3, n.MaxLength*1e3),
-				Amount: l - n.MaxLength,
-			})
+		if v, bad := evalNet(d, n); bad {
+			r.Violations = append(r.Violations, v)
 		}
 	}
 }

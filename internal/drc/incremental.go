@@ -1,0 +1,644 @@
+package drc
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Scope describes which parts of the design one edit invalidated. The
+// session engine translates each edit kind into a Scope; Recheck then
+// re-evaluates exactly the rule units the scope can influence.
+type Scope struct {
+	Refs           []string // components whose placement state changed
+	RulesChanged   bool     // the rule set changed (added/replaced/removed rules)
+	AllClearance   bool     // the design clearance parameter changed
+	AllContainment bool     // the edge-clearance parameter changed
+}
+
+// Delta is the violation diff produced by one Recheck: rules that newly
+// broke, rules that recovered, and rules still broken with a different
+// magnitude. Evals counts the rule units actually re-evaluated — the
+// quantity the dependency index exists to keep small.
+type Delta struct {
+	Added    []Violation
+	Resolved []Violation
+	Updated  []Violation
+	Evals    int
+}
+
+// violSlot caches the outcome of a single-violation unit.
+type violSlot struct {
+	has bool
+	v   Violation
+}
+
+// groupBoardState caches one group's coherence unit on one board.
+type groupBoardState struct {
+	active bool
+	bbox   geom.Rect
+	viols  map[int]Violation // foreign comp index -> violation
+}
+
+type groupState struct {
+	name   string
+	boards []groupBoardState // indexed by board number
+}
+
+// Incremental maintains the full DRC state of a design as a set of cached
+// per-unit results keyed by the dependency index, so that after an edit
+// only the invalidated units are recomputed while Report still assembles
+// the exact Report a from-scratch Check would produce.
+type Incremental struct {
+	d   *layout.Design
+	idx *Index
+
+	unplaced []violSlot           // per component
+	emd      []emdEval            // per rule, parallel to d.Rules.Rules
+	clear    map[[2]int]Violation // violating pairs only, key (i,j) i<j
+	contain  []violSlot           // per component
+	keep     [][]Violation        // per component, in keepout order
+	groups   []*groupState        // parallel to idx.groupNames
+	nets     []violSlot           // per net (length-limited only)
+}
+
+// NewIncremental evaluates the full rule set once and returns the
+// incremental checker holding the per-unit results.
+func NewIncremental(idx *Index) *Incremental {
+	d := idx.d
+	inc := &Incremental{
+		d: d, idx: idx,
+		unplaced: make([]violSlot, len(d.Comps)),
+		contain:  make([]violSlot, len(d.Comps)),
+		keep:     make([][]Violation, len(d.Comps)),
+		clear:    map[[2]int]Violation{},
+		nets:     make([]violSlot, len(d.Nets)),
+	}
+	for i := range d.Comps {
+		inc.evalUnplaced(i)
+		inc.evalContain(i)
+		inc.evalKeep(i)
+	}
+	inc.rebuildEMD()
+	for i, a := range d.Comps {
+		if !a.Placed {
+			continue
+		}
+		for j := i + 1; j < len(d.Comps); j++ {
+			b := d.Comps[j]
+			if !b.Placed || a.Board != b.Board {
+				continue
+			}
+			if v, bad := evalClearancePair(d, a, b); bad {
+				inc.clear[[2]int{i, j}] = v
+			}
+		}
+	}
+	for _, name := range idx.groupNames {
+		gs := &groupState{name: name, boards: make([]groupBoardState, d.Boards)}
+		inc.groups = append(inc.groups, gs)
+		inc.rebuildGroup(gs)
+	}
+	for ni := range d.Nets {
+		inc.evalNetUnit(ni)
+	}
+	return inc
+}
+
+// Index returns the dependency index the checker shares with its callers.
+func (inc *Incremental) Index() *Index { return inc.idx }
+
+func (inc *Incremental) evalUnplaced(i int) {
+	c := inc.d.Comps[i]
+	inc.unplaced[i] = violSlot{}
+	if !c.Placed {
+		inc.unplaced[i] = violSlot{has: true, v: Violation{
+			Kind: KindUnplaced, Refs: []string{c.Ref},
+			Detail: "component has no placement",
+		}}
+	}
+}
+
+func (inc *Incremental) evalContain(i int) int {
+	c := inc.d.Comps[i]
+	inc.contain[i] = violSlot{}
+	if !c.Placed {
+		return 0
+	}
+	v, bad := evalContainment(inc.d, c)
+	inc.contain[i] = violSlot{has: bad, v: v}
+	return 1
+}
+
+func (inc *Incremental) evalKeep(i int) int {
+	c := inc.d.Comps[i]
+	inc.keep[i] = nil
+	if !c.Placed {
+		return 0
+	}
+	n, viols := evalKeepouts(inc.d, c)
+	inc.keep[i] = viols
+	return n
+}
+
+func (inc *Incremental) evalNetUnit(ni int) int {
+	nt := inc.d.Nets[ni]
+	inc.nets[ni] = violSlot{}
+	if nt.MaxLength <= 0 {
+		return 0
+	}
+	v, bad := evalNet(inc.d, nt)
+	inc.nets[ni] = violSlot{has: bad, v: v}
+	return 1
+}
+
+func (inc *Incremental) rebuildEMD() int {
+	if inc.d.Rules == nil {
+		inc.emd = nil
+		return 0
+	}
+	rs := inc.d.Rules.Rules
+	inc.emd = make([]emdEval, len(rs))
+	for i, r := range rs {
+		inc.emd[i] = evalEMDRule(inc.d, r)
+	}
+	return len(rs)
+}
+
+func (inc *Incremental) rebuildGroup(gs *groupState) int {
+	evals := 0
+	members := inc.idx.members[gs.name]
+	for b := 0; b < inc.d.Boards; b++ {
+		bbox, active := groupBBoxOn(members, b)
+		st := &gs.boards[b]
+		st.active, st.bbox, st.viols = active, bbox, nil
+		if !active {
+			continue
+		}
+		for ci, c := range inc.d.Comps {
+			if !c.Placed || c.Board != b || c.Group == gs.name {
+				continue
+			}
+			evals++
+			if v, bad := evalGroupMember(gs.name, bbox, c); bad {
+				if st.viols == nil {
+					st.viols = map[int]Violation{}
+				}
+				st.viols[ci] = v
+			}
+		}
+	}
+	return evals
+}
+
+// violKey identifies a violation by rule instance: two evaluations of the
+// same unit produce the same key even when the magnitude differs.
+func violKey(v Violation) string {
+	return string(v.Kind) + "\x00" + strings.Join(v.Refs, "\x00")
+}
+
+// Recheck re-evaluates the units a scope invalidated and returns the
+// violation diff. The moved components are re-bucketed in the spatial
+// grid first, so geometric neighbourhoods reflect the new placement.
+func (inc *Incremental) Recheck(sc Scope) *Delta {
+	d := inc.d
+	delta := &Delta{}
+	oldV, newV := map[string]Violation{}, map[string]Violation{}
+
+	moved := make([]int, 0, len(sc.Refs))
+	seen := map[int]bool{}
+	for _, ref := range sc.Refs {
+		if i, ok := inc.idx.pos[ref]; ok && !seen[i] {
+			seen[i] = true
+			moved = append(moved, i)
+		}
+		inc.idx.Update(ref)
+	}
+	sort.Ints(moved)
+
+	// Per-component units: placement, containment, keepouts.
+	for _, i := range moved {
+		if s := inc.unplaced[i]; s.has {
+			oldV[violKey(s.v)] = s.v
+		}
+		inc.evalUnplaced(i)
+		delta.Evals++
+		if s := inc.unplaced[i]; s.has {
+			newV[violKey(s.v)] = s.v
+		}
+	}
+	containSet := moved
+	if sc.AllContainment {
+		containSet = allIndices(len(d.Comps))
+	}
+	for _, i := range containSet {
+		if s := inc.contain[i]; s.has {
+			oldV[violKey(s.v)] = s.v
+		}
+		delta.Evals += inc.evalContain(i)
+		if s := inc.contain[i]; s.has {
+			newV[violKey(s.v)] = s.v
+		}
+	}
+	for _, i := range moved {
+		for _, v := range inc.keep[i] {
+			oldV[violKey(v)] = v
+		}
+		delta.Evals += inc.evalKeep(i)
+		for _, v := range inc.keep[i] {
+			newV[violKey(v)] = v
+		}
+	}
+
+	// EMD rules.
+	if sc.RulesChanged {
+		for _, ev := range inc.emd {
+			if ev.hasViol {
+				oldV[violKey(ev.viol)] = ev.viol
+			}
+		}
+		inc.idx.RefreshRules()
+		delta.Evals += inc.rebuildEMD()
+		for _, ev := range inc.emd {
+			if ev.hasViol {
+				newV[violKey(ev.viol)] = ev.viol
+			}
+		}
+	} else if d.Rules != nil && len(moved) > 0 {
+		ruleSet := map[int]bool{}
+		var ruleIdx []int
+		for _, i := range moved {
+			for _, ri := range inc.idx.rulesOf[d.Comps[i].Ref] {
+				if !ruleSet[ri] {
+					ruleSet[ri] = true
+					ruleIdx = append(ruleIdx, ri)
+				}
+			}
+		}
+		sort.Ints(ruleIdx)
+		for _, ri := range ruleIdx {
+			if ev := inc.emd[ri]; ev.hasViol {
+				oldV[violKey(ev.viol)] = ev.viol
+			}
+			inc.emd[ri] = evalEMDRule(d, d.Rules.Rules[ri])
+			delta.Evals++
+			if ev := inc.emd[ri]; ev.hasViol {
+				newV[violKey(ev.viol)] = ev.viol
+			}
+		}
+	}
+
+	// Clearance pairs: previously violating pairs touching a moved
+	// component (they may have recovered) plus the moved components'
+	// current grid neighbourhoods (new violations can only appear there).
+	pairSet := map[[2]int]bool{}
+	var pairs [][2]int
+	addPair := func(i, j int) {
+		if i == j {
+			return
+		}
+		if i > j {
+			i, j = j, i
+		}
+		k := [2]int{i, j}
+		if !pairSet[k] {
+			pairSet[k] = true
+			pairs = append(pairs, k)
+		}
+	}
+	if sc.AllClearance {
+		for i, a := range d.Comps {
+			if !a.Placed {
+				continue
+			}
+			for j := i + 1; j < len(d.Comps); j++ {
+				if b := d.Comps[j]; b.Placed && b.Board == a.Board {
+					addPair(i, j)
+				}
+			}
+		}
+	}
+	for _, i := range moved {
+		for k := range inc.clear {
+			if k[0] == i || k[1] == i {
+				addPair(k[0], k[1])
+			}
+		}
+		for _, j := range inc.idx.neighbors(d.Comps[i]) {
+			addPair(i, j)
+		}
+	}
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x][0] != pairs[y][0] {
+			return pairs[x][0] < pairs[y][0]
+		}
+		return pairs[x][1] < pairs[y][1]
+	})
+	for _, k := range pairs {
+		if v, ok := inc.clear[k]; ok {
+			oldV[violKey(v)] = v
+		}
+		a, b := d.Comps[k[0]], d.Comps[k[1]]
+		if !a.Placed || !b.Placed || a.Board != b.Board {
+			delete(inc.clear, k)
+			continue
+		}
+		delta.Evals++
+		if v, bad := evalClearancePair(d, a, b); bad {
+			inc.clear[k] = v
+			newV[violKey(v)] = v
+		} else {
+			delete(inc.clear, k)
+		}
+	}
+
+	// Groups: a moved member reshapes its own group's bounding box, so
+	// that group re-evaluates in full; against every foreign group only
+	// the moved component's own membership entry is retested.
+	if len(moved) > 0 {
+		ownGroups := map[string]bool{}
+		for _, i := range moved {
+			if g := d.Comps[i].Group; g != "" {
+				ownGroups[g] = true
+			}
+		}
+		for gi, name := range inc.idx.groupNames {
+			gs := inc.groups[gi]
+			if ownGroups[name] {
+				for b := range gs.boards {
+					for _, v := range gs.boards[b].viols {
+						oldV[violKey(v)] = v
+					}
+				}
+				delta.Evals += inc.rebuildGroup(gs)
+				for b := range gs.boards {
+					for _, v := range gs.boards[b].viols {
+						newV[violKey(v)] = v
+					}
+				}
+				continue
+			}
+			for _, i := range moved {
+				c := d.Comps[i]
+				if c.Group == name {
+					continue
+				}
+				for b := range gs.boards {
+					st := &gs.boards[b]
+					if v, ok := st.viols[i]; ok {
+						oldV[violKey(v)] = v
+						delete(st.viols, i)
+					}
+					if !st.active || !c.Placed || c.Board != b {
+						continue
+					}
+					delta.Evals++
+					if v, bad := evalGroupMember(name, st.bbox, c); bad {
+						if st.viols == nil {
+							st.viols = map[int]Violation{}
+						}
+						st.viols[i] = v
+						newV[violKey(v)] = v
+					}
+				}
+			}
+		}
+	}
+
+	// Nets containing a moved component.
+	if len(moved) > 0 {
+		netSet := map[int]bool{}
+		var netIdx []int
+		for _, i := range moved {
+			for _, ni := range inc.idx.netsOf[d.Comps[i].Ref] {
+				if !netSet[ni] {
+					netSet[ni] = true
+					netIdx = append(netIdx, ni)
+				}
+			}
+		}
+		sort.Ints(netIdx)
+		for _, ni := range netIdx {
+			if s := inc.nets[ni]; s.has {
+				oldV[violKey(s.v)] = s.v
+			}
+			delta.Evals += inc.evalNetUnit(ni)
+			if s := inc.nets[ni]; s.has {
+				newV[violKey(s.v)] = s.v
+			}
+		}
+	}
+
+	diffViolations(oldV, newV, delta)
+	return delta
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// diffViolations fills the delta from before/after snapshots of the same
+// unit set, sorted canonically for stable output.
+func diffViolations(oldV, newV map[string]Violation, delta *Delta) {
+	for k, nv := range newV {
+		if ov, ok := oldV[k]; ok {
+			if ov.Detail != nv.Detail || ov.Amount != nv.Amount {
+				delta.Updated = append(delta.Updated, nv)
+			}
+		} else {
+			delta.Added = append(delta.Added, nv)
+		}
+	}
+	for k, ov := range oldV {
+		if _, ok := newV[k]; !ok {
+			delta.Resolved = append(delta.Resolved, ov)
+		}
+	}
+	sortViolations(delta.Added)
+	sortViolations(delta.Resolved)
+	sortViolations(delta.Updated)
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Kind != vs[j].Kind {
+			return vs[i].Kind < vs[j].Kind
+		}
+		a := strings.Join(vs[i].Refs, "\x00")
+		b := strings.Join(vs[j].Refs, "\x00")
+		return a < b
+	})
+}
+
+// Report assembles the cached per-unit results into the exact Report a
+// from-scratch Check on the current design would return: same violations
+// in the same order, same pair statuses, same check count.
+func (inc *Incremental) Report() *Report {
+	r := &Report{Checks: inc.FullChecks()}
+	for _, s := range inc.unplaced {
+		if s.has {
+			r.Violations = append(r.Violations, s.v)
+		}
+	}
+	for _, ev := range inc.emd {
+		if ev.counted {
+			r.Pairs = append(r.Pairs, ev.pair)
+		}
+		if ev.hasViol {
+			r.Violations = append(r.Violations, ev.viol)
+		}
+	}
+	sortPairs(r.Pairs)
+	pairKeys := make([][2]int, 0, len(inc.clear))
+	for k := range inc.clear {
+		pairKeys = append(pairKeys, k)
+	}
+	sort.Slice(pairKeys, func(x, y int) bool {
+		if pairKeys[x][0] != pairKeys[y][0] {
+			return pairKeys[x][0] < pairKeys[y][0]
+		}
+		return pairKeys[x][1] < pairKeys[y][1]
+	})
+	for _, k := range pairKeys {
+		r.Violations = append(r.Violations, inc.clear[k])
+	}
+	for _, s := range inc.contain {
+		if s.has {
+			r.Violations = append(r.Violations, s.v)
+		}
+	}
+	for _, viols := range inc.keep {
+		r.Violations = append(r.Violations, viols...)
+	}
+	for _, gs := range inc.groups {
+		for b := range gs.boards {
+			st := &gs.boards[b]
+			if !st.active || len(st.viols) == 0 {
+				continue
+			}
+			idxs := make([]int, 0, len(st.viols))
+			for ci := range st.viols {
+				idxs = append(idxs, ci)
+			}
+			sort.Ints(idxs)
+			for _, ci := range idxs {
+				r.Violations = append(r.Violations, st.viols[ci])
+			}
+		}
+	}
+	for _, s := range inc.nets {
+		if s.has {
+			r.Violations = append(r.Violations, s.v)
+		}
+	}
+	return r
+}
+
+// FullChecks returns the number of checks a from-scratch Check on the
+// current design would perform — the denominator of the incremental
+// speedup and the Checks field of Report.
+func (inc *Incremental) FullChecks() int {
+	d := inc.d
+	checks := len(d.Comps) // placement checks
+	for _, ev := range inc.emd {
+		if ev.counted {
+			checks++
+		}
+	}
+	placedPerBoard := make([]int, d.Boards)
+	keepoutsPerBoard := make([]int, d.Boards)
+	for _, k := range d.Keepouts {
+		if k.Board >= 0 && k.Board < d.Boards {
+			keepoutsPerBoard[k.Board]++
+		}
+	}
+	placedTotal := 0
+	for _, c := range d.Comps {
+		if c.Placed {
+			placedPerBoard[c.Board]++
+			placedTotal++
+			checks += keepoutsPerBoard[c.Board]
+		}
+	}
+	for _, n := range placedPerBoard {
+		checks += n * (n - 1) / 2
+	}
+	checks += placedTotal // containment
+	for _, gs := range inc.groups {
+		memberPlaced := make([]int, d.Boards)
+		for _, m := range inc.idx.members[gs.name] {
+			if m.Placed {
+				memberPlaced[m.Board]++
+			}
+		}
+		for b := range gs.boards {
+			if gs.boards[b].active {
+				checks += placedPerBoard[b] - memberPlaced[b]
+			}
+		}
+	}
+	for _, nt := range d.Nets {
+		if nt.MaxLength > 0 {
+			checks++
+		}
+	}
+	return checks
+}
+
+// ViolationCount returns the current number of violations without
+// assembling a report.
+func (inc *Incremental) ViolationCount() int {
+	n := 0
+	for _, s := range inc.unplaced {
+		if s.has {
+			n++
+		}
+	}
+	for _, ev := range inc.emd {
+		if ev.hasViol {
+			n++
+		}
+	}
+	n += len(inc.clear)
+	for _, s := range inc.contain {
+		if s.has {
+			n++
+		}
+	}
+	for _, viols := range inc.keep {
+		n += len(viols)
+	}
+	for _, gs := range inc.groups {
+		for b := range gs.boards {
+			n += len(gs.boards[b].viols)
+		}
+	}
+	for _, s := range inc.nets {
+		if s.has {
+			n++
+		}
+	}
+	return n
+}
+
+// WorstEMDMargin returns the smallest (actual − required) distance margin
+// over the evaluated same-board EMD pairs — the design's worst EMI margin.
+// ok is false when no same-board pair is currently evaluated.
+func (inc *Incremental) WorstEMDMargin() (margin float64, ok bool) {
+	for _, ev := range inc.emd {
+		if !ev.counted || ev.remote {
+			continue
+		}
+		m := ev.pair.Actual - ev.pair.Required
+		if !ok || m < margin {
+			margin, ok = m, true
+		}
+	}
+	return margin, ok
+}

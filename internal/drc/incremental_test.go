@@ -1,0 +1,129 @@
+package drc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+	"repro/internal/workload"
+)
+
+// mutate applies one random design mutation and returns the matching
+// invalidation scope.
+func mutate(rng *rand.Rand, d *layout.Design) Scope {
+	switch rng.Intn(6) {
+	case 0, 1, 2: // move
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		c.Placed = true
+		c.Center = geom.V2(0.005+rng.Float64()*0.15, 0.005+rng.Float64()*0.11)
+		c.Rot = float64(rng.Intn(4)) * geom.Rad(90)
+		return Scope{Refs: []string{c.Ref}}
+	case 3: // swap board
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		if !c.Placed {
+			c.Placed = true
+		}
+		c.Board = rng.Intn(d.Boards)
+		return Scope{Refs: []string{c.Ref}}
+	case 4: // add or tighten a rule
+		a := d.Comps[rng.Intn(len(d.Comps))]
+		b := d.Comps[rng.Intn(len(d.Comps))]
+		if a == b {
+			return Scope{}
+		}
+		d.Rules.Add(rules.Rule{RefA: a.Ref, RefB: b.Ref, PEMD: 0.005 + rng.Float64()*0.04})
+		return Scope{RulesChanged: true}
+	default: // clearance tweak
+		d.Clearance = 0.5e-3 + rng.Float64()*2.5e-3
+		return Scope{AllClearance: true}
+	}
+}
+
+// TestIncrementalMatchesFullCheck drives a random edit sequence through
+// Incremental.Recheck and demands the reassembled report equal a
+// from-scratch Check after every single step.
+func TestIncrementalMatchesFullCheck(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(42))
+	d := workload.Synthetic(22, 70, 3, 0.16, 0.12)
+	d.Boards = 2
+	// Give one net a length budget so the net unit is exercised.
+	if len(d.Nets) > 0 {
+		d.Nets[0].MaxLength = 0.04
+	}
+	for _, c := range d.Comps {
+		if rng.Intn(4) > 0 { // leave some unplaced
+			c.Placed = true
+			c.Center = geom.V2(0.005+rng.Float64()*0.15, 0.005+rng.Float64()*0.11)
+			c.Board = rng.Intn(2)
+		}
+	}
+	inc := NewIncremental(NewIndex(d))
+	if got, want := inc.Report(), Check(d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("initial report diverges:\n%s\nvs\n%s", got, want)
+	}
+	for step := 0; step < 120; step++ {
+		sc := mutate(rng, d)
+		delta := inc.Recheck(sc)
+		got, want := inc.Report(), Check(d)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d (scope %+v): incremental report diverges\nincremental:\n%s\nfull:\n%s",
+				step, sc, got, want)
+		}
+		if delta.Evals > want.Checks {
+			t.Fatalf("step %d: incremental evaluated %d units, more than the %d full checks",
+				step, delta.Evals, want.Checks)
+		}
+	}
+}
+
+// TestIncrementalDeltaConsistency verifies the diff bookkeeping: replaying
+// added/resolved keys against the previous violation set must reproduce
+// the next one.
+func TestIncrementalDeltaConsistency(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(9))
+	d := workload.Synthetic(14, 30, 2, 0.12, 0.1)
+	for _, c := range d.Comps {
+		c.Placed = true
+		c.Center = geom.V2(0.005+rng.Float64()*0.11, 0.005+rng.Float64()*0.09)
+	}
+	inc := NewIncremental(NewIndex(d))
+	have := map[string]bool{}
+	for _, v := range inc.Report().Violations {
+		have[violKey(v)] = true
+	}
+	for step := 0; step < 80; step++ {
+		sc := mutate(rng, d)
+		delta := inc.Recheck(sc)
+		for _, v := range delta.Added {
+			k := violKey(v)
+			if have[k] {
+				t.Fatalf("step %d: %v reported added but already present", step, v)
+			}
+			have[k] = true
+		}
+		for _, v := range delta.Resolved {
+			k := violKey(v)
+			if !have[k] {
+				t.Fatalf("step %d: %v reported resolved but was not present", step, v)
+			}
+			delete(have, k)
+		}
+		for _, v := range delta.Updated {
+			if !have[violKey(v)] {
+				t.Fatalf("step %d: %v reported updated but not present", step, v)
+			}
+		}
+		want := map[string]bool{}
+		for _, v := range inc.Report().Violations {
+			want[violKey(v)] = true
+		}
+		if !reflect.DeepEqual(have, want) {
+			t.Fatalf("step %d: replayed violation set diverges: %v vs %v", step, have, want)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package drc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Index is the dependency index of a design: for every component it knows
+// the EMD rules, nets and group it participates in, and a uniform spatial
+// grid per board answers "which components can a move at this position
+// interact with" without scanning all O(n²) pairs. The adviser, the
+// legalizer and the session engine all probe moves through one Index so
+// they share a single scoped-check code path.
+//
+// An Index holds pointers into the design it was built from. It is not
+// safe for concurrent use; sessions serialize access behind their own
+// lock. After mutating a component's placement call Update(ref); after
+// changing the rule set call RefreshRules.
+type Index struct {
+	d   *layout.Design
+	pos map[string]int // ref -> index in d.Comps
+
+	rulesOf map[string][]int // ref -> indices into d.Rules.Rules
+	netsOf  map[string][]int // ref -> indices into d.Nets (length-limited nets only)
+
+	groupNames []string                       // sorted, as in d.GroupNames()
+	members    map[string][]*layout.Component // group -> members in comp order
+
+	grids   []*grid // one per board
+	maxHalf float64 // max half-diagonal of any footprint, meters
+}
+
+// cellKey addresses one cell of the uniform grid.
+type cellKey struct{ x, y int32 }
+
+// grid buckets placed component indices by the cell containing their
+// center. Cells are sized so that any pair of components within the
+// design clearance of each other is found by inspecting the cells
+// overlapping a slightly inflated footprint.
+type grid struct {
+	cell  float64
+	cells map[cellKey][]int
+	at    map[int]cellKey
+}
+
+func newGrid(cell float64) *grid {
+	return &grid{cell: cell, cells: map[cellKey][]int{}, at: map[int]cellKey{}}
+}
+
+func (g *grid) keyOf(p geom.Vec2) cellKey {
+	return cellKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+func (g *grid) insert(i int, p geom.Vec2) {
+	k := g.keyOf(p)
+	g.cells[k] = append(g.cells[k], i)
+	g.at[i] = k
+}
+
+func (g *grid) remove(i int) {
+	k, ok := g.at[i]
+	if !ok {
+		return
+	}
+	delete(g.at, i)
+	s := g.cells[k]
+	for j, v := range s {
+		if v == i {
+			s[j] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = s
+	}
+}
+
+// appendRect appends the indices bucketed in every cell overlapping r.
+func (g *grid) appendRect(r geom.Rect, out []int) []int {
+	lo := g.keyOf(r.Min)
+	hi := g.keyOf(r.Max)
+	for x := lo.x; x <= hi.x; x++ {
+		for y := lo.y; y <= hi.y; y++ {
+			out = append(out, g.cells[cellKey{x, y}]...)
+		}
+	}
+	return out
+}
+
+// NewIndex builds the dependency index for a design.
+func NewIndex(d *layout.Design) *Index {
+	idx := &Index{
+		d:       d,
+		pos:     make(map[string]int, len(d.Comps)),
+		members: d.Groups(),
+	}
+	idx.groupNames = d.GroupNames()
+	for i, c := range d.Comps {
+		idx.pos[c.Ref] = i
+		if h := math.Hypot(c.W, c.L) / 2; h > idx.maxHalf {
+			idx.maxHalf = h
+		}
+	}
+	// Cell side: the largest footprint diagonal plus the clearance, with a
+	// 1 mm floor so degenerate designs don't produce zero-sized cells.
+	// Correctness does not depend on this choice (queries inflate by the
+	// live clearance), only constant factors do.
+	cell := 2*idx.maxHalf + d.Clearance
+	if cell < 1e-3 {
+		cell = 1e-3
+	}
+	idx.grids = make([]*grid, d.Boards)
+	for b := range idx.grids {
+		idx.grids[b] = newGrid(cell)
+	}
+	for i, c := range d.Comps {
+		if c.Placed && c.Board >= 0 && c.Board < len(idx.grids) {
+			idx.grids[c.Board].insert(i, c.Center)
+		}
+	}
+	idx.RefreshRules()
+	idx.netsOf = map[string][]int{}
+	for ni, n := range d.Nets {
+		if n.MaxLength <= 0 {
+			continue
+		}
+		for _, ref := range n.Refs {
+			idx.netsOf[ref] = append(idx.netsOf[ref], ni)
+		}
+	}
+	return idx
+}
+
+// Design returns the design the index was built from.
+func (idx *Index) Design() *layout.Design { return idx.d }
+
+// RefreshRules rebuilds the component → rule mapping; call it after the
+// design's rule set changed.
+func (idx *Index) RefreshRules() {
+	idx.rulesOf = map[string][]int{}
+	if idx.d.Rules == nil {
+		return
+	}
+	for ri, r := range idx.d.Rules.Rules {
+		idx.rulesOf[r.RefA] = append(idx.rulesOf[r.RefA], ri)
+		if r.RefB != r.RefA {
+			idx.rulesOf[r.RefB] = append(idx.rulesOf[r.RefB], ri)
+		}
+	}
+}
+
+// Update re-buckets one component after its placement state changed.
+func (idx *Index) Update(ref string) {
+	i, ok := idx.pos[ref]
+	if !ok {
+		return
+	}
+	for _, g := range idx.grids {
+		g.remove(i)
+	}
+	c := idx.d.Comps[i]
+	if c.Placed && c.Board >= 0 && c.Board < len(idx.grids) {
+		idx.grids[c.Board].insert(i, c.Center)
+	}
+}
+
+// neighbors returns the indices of placed components on c's board whose
+// center lies within the grid cells overlapping c's footprint inflated by
+// the design clearance plus the worst-case half-diagonal — a superset of
+// every component within clearance range of c. The result is sorted and
+// excludes c itself.
+func (idx *Index) neighbors(c *layout.Component) []int {
+	if !c.Placed || c.Board < 0 || c.Board >= len(idx.grids) {
+		return nil
+	}
+	q := c.Footprint().Inflate(idx.d.Clearance + idx.maxHalf + 1e-9)
+	cand := idx.grids[c.Board].appendRect(q, nil)
+	self := idx.pos[c.Ref]
+	out := cand[:0]
+	for _, j := range cand {
+		if j == self {
+			continue
+		}
+		o := idx.d.Comps[j]
+		if o.Placed && o.Board == c.Board {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckComponent runs every rule the given component participates in — its
+// placement, its EMD rules, clearance against geometric neighbours,
+// containment, keepouts, group coherence (its own group against all
+// foreigners, and itself against every foreign group) and its nets. On a
+// design that is otherwise green, a green scoped report proves the whole
+// design is green, because these are exactly the units the component's
+// placement can influence.
+func (idx *Index) CheckComponent(ref string) (*Report, error) {
+	i, ok := idx.pos[ref]
+	if !ok {
+		return nil, fmt.Errorf("drc: unknown component %q", ref)
+	}
+	c := idx.d.Comps[i]
+	d := idx.d
+	r := &Report{}
+
+	// Placement.
+	r.Checks++
+	if !c.Placed {
+		r.Violations = append(r.Violations, Violation{
+			Kind: KindUnplaced, Refs: []string{c.Ref},
+			Detail: "component has no placement",
+		})
+	}
+
+	// EMD rules touching the component, in rule order.
+	if d.Rules != nil {
+		for _, ri := range idx.rulesOf[ref] {
+			ev := evalEMDRule(d, d.Rules.Rules[ri])
+			if !ev.counted {
+				continue
+			}
+			r.Checks++
+			r.Pairs = append(r.Pairs, ev.pair)
+			if ev.hasViol {
+				r.Violations = append(r.Violations, ev.viol)
+			}
+		}
+		sortPairs(r.Pairs)
+	}
+
+	// Clearance against grid neighbours, in component order with the
+	// refs oriented as the full check would ((i,j) with i < j).
+	if c.Placed {
+		for _, j := range idx.neighbors(c) {
+			o := d.Comps[j]
+			a, b := c, o
+			if j < i {
+				a, b = o, c
+			}
+			r.Checks++
+			if v, bad := evalClearancePair(d, a, b); bad {
+				r.Violations = append(r.Violations, v)
+			}
+		}
+	}
+
+	// Containment and keepouts.
+	if c.Placed {
+		r.Checks++
+		if v, bad := evalContainment(d, c); bad {
+			r.Violations = append(r.Violations, v)
+		}
+		n, viols := evalKeepouts(d, c)
+		r.Checks += n
+		r.Violations = append(r.Violations, viols...)
+	}
+
+	// Groups: the component's own group is re-evaluated in full (its move
+	// reshapes the bbox every foreigner is tested against); against each
+	// foreign group only the component itself is tested.
+	for _, name := range idx.groupNames {
+		members := idx.members[name]
+		if name == c.Group {
+			for board := 0; board < d.Boards; board++ {
+				bbox, active := groupBBoxOn(members, board)
+				if !active {
+					continue
+				}
+				for _, o := range d.Comps {
+					if !o.Placed || o.Board != board || o.Group == name {
+						continue
+					}
+					r.Checks++
+					if v, bad := evalGroupMember(name, bbox, o); bad {
+						r.Violations = append(r.Violations, v)
+					}
+				}
+			}
+			continue
+		}
+		if !c.Placed {
+			continue
+		}
+		bbox, active := groupBBoxOn(members, c.Board)
+		if !active {
+			continue
+		}
+		r.Checks++
+		if v, bad := evalGroupMember(name, bbox, c); bad {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+
+	// Nets containing the component (length-limited ones only).
+	for _, ni := range idx.netsOf[ref] {
+		r.Checks++
+		if v, bad := evalNet(d, d.Nets[ni]); bad {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+	return r, nil
+}
+
+// CheckMove evaluates a hypothetical placement of one component without
+// (observably) mutating the design: the component is temporarily placed,
+// scope-checked, and restored. The grid is not re-bucketed for the probe —
+// neighbour queries use the probed footprint directly, and the stale
+// self-entry is excluded — so probing is allocation-light and leaves the
+// index consistent.
+func (idx *Index) CheckMove(ref string, center geom.Vec2, rot float64) (*Report, error) {
+	i, ok := idx.pos[ref]
+	if !ok {
+		return nil, fmt.Errorf("drc: unknown component %q", ref)
+	}
+	c := idx.d.Comps[i]
+	saved := *c
+	c.Center, c.Rot, c.Placed = center, rot, true
+	rep, err := idx.CheckComponent(ref)
+	*c = saved
+	return rep, err
+}

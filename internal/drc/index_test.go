@@ -1,0 +1,170 @@
+package drc
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+// violationsMentioning filters a report's violations to those whose refs
+// include the given component.
+func violationsMentioning(r *Report, ref string) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		for _, vr := range v.Refs {
+			if vr == ref {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestCheckMoveMatchesFullCheck is the regression contract of the scoped
+// probe: for a randomly placed synthetic workload, the violations a
+// CheckMove probe reports about the probed component must be exactly the
+// violations a full Check of the mutated design reports about it, and the
+// probe's pair statuses must match the full check's statuses for the
+// component's rules.
+func TestCheckMoveMatchesFullCheck(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	d := workload.Synthetic(20, 60, 3, 0.16, 0.12)
+	for _, c := range d.Comps {
+		c.Placed = true
+		c.Center = geom.V2(0.01+rng.Float64()*0.14, 0.01+rng.Float64()*0.10)
+	}
+	idx := NewIndex(d)
+	for trial := 0; trial < 40; trial++ {
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		center := geom.V2(0.01+rng.Float64()*0.14, 0.01+rng.Float64()*0.10)
+		rot := float64(rng.Intn(4)) * geom.Rad(90)
+
+		scoped, err := idx.CheckMove(c.Ref, center, rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Apply the move for real and run the full check.
+		saved := *c
+		c.Center, c.Rot, c.Placed = center, rot, true
+		idx.Update(c.Ref)
+		full := Check(d)
+
+		wantViols := violationsMentioning(full, c.Ref)
+		gotViols := violationsMentioning(scoped, c.Ref)
+		sortViolations(wantViols)
+		sortViolations(gotViols)
+		if !reflect.DeepEqual(gotViols, wantViols) {
+			t.Fatalf("trial %d: scoped violations about %s diverge\nscoped: %v\nfull:   %v",
+				trial, c.Ref, gotViols, wantViols)
+		}
+
+		// Pair statuses for the probed component's rules must agree.
+		var wantPairs []PairStatus
+		for _, p := range full.Pairs {
+			if p.RefA == c.Ref || p.RefB == c.Ref {
+				wantPairs = append(wantPairs, p)
+			}
+		}
+		gotPairs := append([]PairStatus(nil), scoped.Pairs...)
+		sortPairs(wantPairs)
+		sortPairs(gotPairs)
+		if !reflect.DeepEqual(gotPairs, wantPairs) {
+			t.Fatalf("trial %d: scoped pairs diverge\nscoped: %v\nfull:   %v", trial, gotPairs, wantPairs)
+		}
+
+		// Every scoped violation must appear in the full report too (the
+		// probe covers units beyond those naming the component, e.g. its
+		// whole group).
+		fullKeys := map[string]bool{}
+		for _, v := range full.Violations {
+			fullKeys[violKey(v)] = true
+		}
+		for _, v := range scoped.Violations {
+			if !fullKeys[violKey(v)] {
+				t.Fatalf("trial %d: scoped reported %v which the full check does not", trial, v)
+			}
+		}
+
+		// Restore for the next trial.
+		*c = saved
+		idx.Update(c.Ref)
+	}
+}
+
+// TestCheckMoveGreenImpliesDesignGreen pins the invariant the placers rely
+// on: starting from a green design, a green scoped probe means the design
+// stays green after the move.
+func TestCheckMoveGreenImpliesDesignGreen(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	d := workload.Synthetic(16, 40, 2, 0.2, 0.16)
+	// Spread the components out until the design is green.
+	cols := 4
+	for i, c := range d.Comps {
+		c.Placed = true
+		c.Center = geom.V2(0.03+float64(i%cols)*0.045, 0.025+float64(i/cols)*0.038)
+	}
+	if r := Check(d); !r.Green() {
+		t.Skipf("seed layout not green: %s", r)
+	}
+	idx := NewIndex(d)
+	moves := 0
+	for trial := 0; trial < 200 && moves < 20; trial++ {
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		center := geom.V2(0.015+rng.Float64()*0.17, 0.015+rng.Float64()*0.13)
+		rep, err := idx.CheckMove(c.Ref, center, c.Rot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Green() {
+			continue
+		}
+		c.Center = center
+		idx.Update(c.Ref)
+		moves++
+		if full := Check(d); !full.Green() {
+			t.Fatalf("scoped probe was green but the design is not after moving %s:\n%s", c.Ref, full)
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no green moves found; test exercised nothing")
+	}
+}
+
+// TestIndexCheckComponentDeterministic guards the sort contracts: two
+// identical probes must return identical reports.
+func TestIndexCheckComponentDeterministic(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	d := workload.Synthetic(18, 50, 3, 0.14, 0.1)
+	for _, c := range d.Comps {
+		c.Placed = true
+		c.Center = geom.V2(0.01+rng.Float64()*0.12, 0.01+rng.Float64()*0.08)
+	}
+	idx := NewIndex(d)
+	refs := make([]string, len(d.Comps))
+	for i, c := range d.Comps {
+		refs[i] = c.Ref
+	}
+	sort.Strings(refs)
+	for _, ref := range refs {
+		a, err := idx.CheckComponent(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := idx.CheckComponent(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("CheckComponent(%s) not deterministic:\n%v\n%v", ref, a, b)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package drc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+// This file holds the single-rule evaluators shared by the full Check,
+// the scoped Index.CheckComponent and the Incremental re-checker. Each
+// evaluator decides exactly one rule instance ("unit") so every caller
+// produces bit-identical violations and pair statuses regardless of how
+// the units were selected.
+
+// emdEval is the complete outcome of evaluating one EMD rule.
+type emdEval struct {
+	counted bool // both endpoints exist and are placed (the rule "counts")
+	remote  bool // endpoints on different boards (decoupled by construction)
+	pair    PairStatus
+	hasViol bool
+	viol    Violation
+}
+
+// evalEMDRule evaluates one pairwise minimum-distance rule.
+func evalEMDRule(d *layout.Design, rule rules.Rule) emdEval {
+	a, b := d.Find(rule.RefA), d.Find(rule.RefB)
+	if a == nil || b == nil || !a.Placed || !b.Placed {
+		return emdEval{}
+	}
+	ev := emdEval{counted: true}
+	if a.Board != b.Board {
+		// Different boards decouple by construction.
+		ev.remote = true
+		ev.pair = PairStatus{RefA: a.Ref, RefB: b.Ref, OK: true}
+		return ev
+	}
+	need := d.EMDBetween(a, b, a.Rot, b.Rot)
+	have := a.Center.Dist(b.Center)
+	ok := have >= need-1e-9
+	ev.pair = PairStatus{RefA: a.Ref, RefB: b.Ref, Required: need, Actual: have, OK: ok}
+	if !ok {
+		ev.hasViol = true
+		ev.viol = Violation{
+			Kind: KindEMD, Refs: []string{a.Ref, b.Ref},
+			Detail: fmt.Sprintf("distance %.1f mm below EMD %.1f mm", have*1e3, need*1e3),
+			Amount: need - have,
+		}
+	}
+	return ev
+}
+
+// evalClearancePair evaluates the clearance rule between two placed
+// components on the same board (the caller guarantees both conditions).
+func evalClearancePair(d *layout.Design, a, b *layout.Component) (Violation, bool) {
+	sep := a.Footprint().Separation(b.Footprint())
+	overlap := a.Footprint().Overlaps(b.Footprint())
+	if !overlap && sep >= d.Clearance-1e-9 {
+		return Violation{}, false
+	}
+	detail := fmt.Sprintf("separation %.2f mm below clearance %.2f mm", sep*1e3, d.Clearance*1e3)
+	if overlap {
+		detail = "footprints overlap"
+	}
+	return Violation{
+		Kind: KindClearance, Refs: []string{a.Ref, b.Ref},
+		Detail: detail,
+		Amount: d.Clearance - sep,
+	}, true
+}
+
+// evalContainment checks that a placed component's footprint (inflated by
+// the edge clearance) sits inside one of its allowed placement areas.
+func evalContainment(d *layout.Design, c *layout.Component) (Violation, bool) {
+	fp := c.Footprint().Inflate(d.EdgeClearance)
+	for _, a := range d.AreasOf(c.Board, c.AreaName) {
+		if a.Poly.ContainsRect(fp) {
+			return Violation{}, false
+		}
+	}
+	where := "any placement area"
+	if c.AreaName != "" {
+		where = fmt.Sprintf("area %q", c.AreaName)
+	}
+	return Violation{
+		Kind: KindContainment, Refs: []string{c.Ref},
+		Detail: "footprint not inside " + where,
+	}, true
+}
+
+// evalKeepouts checks a placed component's body against every keepout on
+// its board, returning the number of keepouts tested and the violations
+// in keepout order.
+func evalKeepouts(d *layout.Design, c *layout.Component) (int, []Violation) {
+	body := c.Body()
+	checks := 0
+	var out []Violation
+	for _, k := range d.Keepouts {
+		if k.Board != c.Board {
+			continue
+		}
+		checks++
+		if body.Overlaps(k.Box) {
+			out = append(out, Violation{
+				Kind: KindKeepout, Refs: []string{c.Ref, k.Name},
+				Detail: fmt.Sprintf("body intersects keepout %q", k.Name),
+			})
+		}
+	}
+	return checks, out
+}
+
+// groupBBoxOn returns the union footprint bounding box of the placed
+// group members on a board, and whether any member is placed there.
+func groupBBoxOn(members []*layout.Component, board int) (geom.Rect, bool) {
+	var bbox geom.Rect
+	active := false
+	for _, m := range members {
+		if !m.Placed || m.Board != board {
+			continue
+		}
+		if !active {
+			bbox = m.Footprint()
+			active = true
+		} else {
+			bbox = bbox.Union(m.Footprint())
+		}
+	}
+	return bbox, active
+}
+
+// evalGroupMember checks one foreign component against a group's bounding
+// box. The caller guarantees c is placed, on the bbox's board and not a
+// member of the group.
+func evalGroupMember(name string, bbox geom.Rect, c *layout.Component) (Violation, bool) {
+	if !bbox.Contains(c.Center) {
+		return Violation{}, false
+	}
+	return Violation{
+		Kind: KindGroup, Refs: []string{c.Ref, name},
+		Detail: fmt.Sprintf("%s sits inside group %q area", c.Ref, name),
+	}, true
+}
+
+// evalNet checks one net's star length against its limit. The caller
+// guarantees n.MaxLength > 0.
+func evalNet(d *layout.Design, n layout.Net) (Violation, bool) {
+	l := d.NetLength(n)
+	if l <= n.MaxLength {
+		return Violation{}, false
+	}
+	return Violation{
+		Kind: KindNetLength, Refs: []string{n.Name},
+		Detail: fmt.Sprintf("net length %.1f mm exceeds %.1f mm", l*1e3, n.MaxLength*1e3),
+		Amount: l - n.MaxLength,
+	}, true
+}

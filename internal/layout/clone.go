@@ -1,0 +1,42 @@
+package layout
+
+import "repro/internal/rules"
+
+// Clone returns a deep copy of the design: mutating the copy's components,
+// areas, keepouts, nets or rules never affects the original. Sessions use
+// this to own a private design while the caller keeps the source.
+func (d *Design) Clone() *Design {
+	out := &Design{
+		Name:          d.Name,
+		Boards:        d.Boards,
+		Clearance:     d.Clearance,
+		EdgeClearance: d.EdgeClearance,
+	}
+	if d.Areas != nil {
+		out.Areas = make([]Area, len(d.Areas))
+		for i, a := range d.Areas {
+			out.Areas[i] = a
+			out.Areas[i].Poly = append(a.Poly[:0:0], a.Poly...)
+		}
+	}
+	out.Keepouts = append(d.Keepouts[:0:0], d.Keepouts...)
+	if d.Comps != nil {
+		out.Comps = make([]*Component, len(d.Comps))
+		for i, c := range d.Comps {
+			cc := *c
+			cc.AllowedRot = append(c.AllowedRot[:0:0], c.AllowedRot...)
+			out.Comps[i] = &cc
+		}
+	}
+	if d.Nets != nil {
+		out.Nets = make([]Net, len(d.Nets))
+		for i, n := range d.Nets {
+			out.Nets[i] = n
+			out.Nets[i].Refs = append(n.Refs[:0:0], n.Refs...)
+		}
+	}
+	if d.Rules != nil {
+		out.Rules = rules.NewSet(d.Rules.Rules)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package layout
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLayout feeds arbitrary text through the design parser and
+// checks the write/parse loop on every input it accepts:
+//
+//  1. Write renders a form the parser accepts again — or rejects only at
+//     the semantic validation stage (quantizing to the format's 4
+//     decimals can shrink a barely-positive dimension to zero), never
+//     with a grammar error: everything Write emits must be parseable.
+//  2. The write/parse loop reaches a fixed point within a few rounds:
+//     values quantize to the format's precision on the first write, and
+//     the degree↔radian conversions settle.
+//
+// Inputs the parser rejects only have to fail cleanly (no panic, which
+// the fuzz driver reports by itself).
+func FuzzParseLayout(f *testing.F) {
+	seeds := []string{
+		"DESIGN d\nBOARDS 1\nCLEARANCE 1\nAREA board 0 0 0 100 0 100 80 0 80\nCOMP C1 10 8 3\nEND\n",
+		"DESIGN two boards\nBOARDS 2\nCLEARANCE 1.5\nEDGECLEARANCE 0.5\n" +
+			"AREA board 0 0 0 60 0 60 40 0 40\nAREA board 1 0 0 60 0 60 40 0 40\n" +
+			"COMP A 10 8 3 GROUP g1 AXIS 0 1 0 ROT 0,90 AT 20 20 90\n" +
+			"COMP B 7 4 2 BOARD 1 PREPLACED 30 10 0\n" +
+			"NET n1 25 A B\nPEMD A B 14.5\nEND\n",
+		"DESIGN k\nBOARDS 1\nCLEARANCE 1\nAREA board 0 0 0 50 0 50 50 0 50\n" +
+			"KEEPOUT conn 0 0 20 0 30 12 50\nCOMP X 5 5 5 AREA board\nEND\n",
+		"# comment\n\nDESIGN c\nBOARDS 1\nCLEARANCE 0.8\nAREA a 0 0 0 30 0 30 30 0 30\n" +
+			"COMP P 3.2 2.5 1.8 ROT 0,45,90,135\nEND\n",
+		"",
+		"DESIGN x\n",
+		"COMP broken\n",
+		"AREA a 0 0 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	if buck, err := os.ReadFile("../../testdata/buck_design.txt"); err == nil {
+		f.Add(string(buck))
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadString(in)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		prev := render(t, d)
+		for round := 0; ; round++ {
+			d2, err := ReadString(prev)
+			if err != nil {
+				// Quantization may invalidate a design semantically, but
+				// Write output must never trip the line-level grammar.
+				if strings.Contains(err.Error(), ": line ") {
+					t.Fatalf("rendered form hit a grammar error: %v\ninput: %q\nrendered: %q", err, in, prev)
+				}
+				return
+			}
+			next := render(t, d2)
+			if next == prev {
+				return // fixed point
+			}
+			if round >= 5 {
+				t.Fatalf("write/parse loop did not converge in %d rounds:\nlast:     %q\nprevious: %q\ninput:    %q",
+					round, next, prev, in)
+			}
+			prev = next
+		}
+	})
+}
+
+func render(t *testing.T, d *Design) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("write failed on parsed design: %v", err)
+	}
+	return buf.String()
+}

@@ -15,6 +15,7 @@ import (
 // control. Moves are undoable.
 type Adviser struct {
 	d       *layout.Design
+	idx     *drc.Index
 	history []moveRecord
 }
 
@@ -25,9 +26,10 @@ type moveRecord struct {
 	placed bool
 }
 
-// NewAdviser wraps a design for interactive editing.
+// NewAdviser wraps a design for interactive editing. One dependency index
+// is built up front and serves every Try probe.
 func NewAdviser(d *layout.Design) *Adviser {
-	return &Adviser{d: d}
+	return &Adviser{d: d, idx: drc.NewIndex(d)}
 }
 
 // Design returns the underlying design.
@@ -36,9 +38,10 @@ func (a *Adviser) Design() *layout.Design { return a.d }
 // Report runs the full DRC on the current state.
 func (a *Adviser) Report() *drc.Report { return drc.Check(a.d) }
 
-// Try evaluates a hypothetical move without applying it.
+// Try evaluates a hypothetical move without applying it. The report is
+// scoped to the probed component (see drc.Index.CheckMove).
 func (a *Adviser) Try(ref string, center geom.Vec2, rot float64) (*drc.Report, error) {
-	return drc.CheckMove(a.d, ref, center, rot)
+	return a.idx.CheckMove(ref, center, rot)
 }
 
 // Move applies a move/rotation to a component and returns the online check
@@ -53,6 +56,7 @@ func (a *Adviser) Move(ref string, center geom.Vec2, rot float64) (*drc.Report, 
 	}
 	a.history = append(a.history, moveRecord{ref: ref, center: c.Center, rot: c.Rot, placed: c.Placed})
 	c.Center, c.Rot, c.Placed = center, rot, true
+	a.idx.Update(ref)
 	return drc.Check(a.d), nil
 }
 
@@ -67,6 +71,7 @@ func (a *Adviser) Undo() bool {
 	c := a.d.Find(m.ref)
 	if c != nil {
 		c.Center, c.Rot, c.Placed = m.center, m.rot, m.placed
+		a.idx.Update(m.ref)
 	}
 	return true
 }

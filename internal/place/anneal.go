@@ -95,6 +95,9 @@ func Anneal(d *layout.Design, board int, opt AnnealOptions) (*AnnealResult, erro
 		bb = bb.Union(a.Poly.BBox())
 	}
 
+	// One dependency index serves every probe; accepted moves re-bucket
+	// the component in its spatial grid.
+	idx := drc.NewIndex(d)
 	for it := 0; it < iters; it++ {
 		temp := t0 * math.Pow(t1/t0, float64(it)/float64(iters))
 		c := movable[rng.Intn(len(movable))]
@@ -123,7 +126,7 @@ func Anneal(d *layout.Design, board int, opt AnnealOptions) (*AnnealResult, erro
 		}
 
 		res.Proposals++
-		rep, err := drc.CheckMove(d, c.Ref, newCenter, newRot)
+		rep, err := idx.CheckMove(c.Ref, newCenter, newRot)
 		if err != nil {
 			return res, err
 		}
@@ -136,6 +139,7 @@ func Anneal(d *layout.Design, board int, opt AnnealOptions) (*AnnealResult, erro
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			cur = nc
 			res.Accepted++
+			idx.Update(c.Ref)
 		} else {
 			c.Center, c.Rot = oldCenter, oldRot
 		}

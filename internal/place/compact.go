@@ -38,7 +38,9 @@ func Compact(d *layout.Design, board int, maxPasses int) (*CompactResult, error)
 		return res, &PlaceError{Refs: []string{"(design not legal before compaction)"}}
 	}
 
-	// Movable components, outermost first (they gain the most).
+	// Movable components, outermost first (they gain the most). A single
+	// dependency index serves every probe across all passes.
+	idx := drc.NewIndex(d)
 	for pass := 0; pass < maxPasses; pass++ {
 		target := occupiedCentroid(d, board)
 		order := movableByDistance(d, board, target)
@@ -57,12 +59,13 @@ func Compact(d *layout.Design, board int, maxPasses int) (*CompactResult, error)
 					break
 				}
 				cand := c.Center.Add(dir.Scale(step))
-				rep, err := drc.CheckMove(d, c.Ref, cand, c.Rot)
+				rep, err := idx.CheckMove(c.Ref, cand, c.Rot)
 				if err != nil {
 					return res, err
 				}
 				if rep.Green() {
 					c.Center = cand
+					idx.Update(c.Ref)
 					res.Moves++
 					improved = true
 					break

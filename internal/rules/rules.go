@@ -76,6 +76,28 @@ func (s *Set) Add(r Rule) {
 	s.Rules = append(s.Rules, r)
 }
 
+// Remove deletes the rule for the pair, preserving the order of the
+// remaining rules. It reports whether a rule was present. Sessions use it
+// to undo a rule addition.
+func (s *Set) Remove(a, b string) bool {
+	if s == nil || s.index == nil {
+		return false
+	}
+	k := pairKey(a, b)
+	i, ok := s.index[k]
+	if !ok {
+		return false
+	}
+	s.Rules = append(s.Rules[:i], s.Rules[i+1:]...)
+	delete(s.index, k)
+	for kk, j := range s.index {
+		if j > i {
+			s.index[kk] = j - 1
+		}
+	}
+	return true
+}
+
 // Lookup returns the PEMD for a pair, or 0 if unconstrained.
 func (s *Set) Lookup(a, b string) (float64, bool) {
 	if s == nil || s.index == nil {

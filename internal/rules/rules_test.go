@@ -203,3 +203,38 @@ func TestReadErrorsAndComments(t *testing.T) {
 		t.Errorf("parsed = %v %v", d, ok)
 	}
 }
+
+func TestSetRemove(t *testing.T) {
+	t.Parallel()
+	s := NewSet([]Rule{
+		{RefA: "C1", RefB: "C2", PEMD: 0.01},
+		{RefA: "C2", RefB: "C3", PEMD: 0.02},
+		{RefA: "C3", RefB: "C4", PEMD: 0.03},
+	})
+	// Removal is order independent.
+	if !s.Remove("C3", "C2") {
+		t.Fatal("Remove C3/C2 should report true")
+	}
+	if _, ok := s.Lookup("C2", "C3"); ok {
+		t.Error("removed rule still found")
+	}
+	if len(s.Rules) != 2 {
+		t.Fatalf("rule count = %d", len(s.Rules))
+	}
+	// The remaining rules keep working through the reindexed map.
+	if d, ok := s.Lookup("C1", "C2"); !ok || d != 0.01 {
+		t.Errorf("Lookup C1/C2 = %v %v", d, ok)
+	}
+	if d, ok := s.Lookup("C4", "C3"); !ok || d != 0.03 {
+		t.Errorf("Lookup C4/C3 = %v %v", d, ok)
+	}
+	// Removing a missing pair is a no-op.
+	if s.Remove("C2", "C3") {
+		t.Error("second Remove should report false")
+	}
+	// Add after Remove reuses the freed slot correctly.
+	s.Add(Rule{RefA: "C2", RefB: "C3", PEMD: 0.05})
+	if d, _ := s.Lookup("C2", "C3"); d != 0.05 {
+		t.Errorf("re-added PEMD = %v", d)
+	}
+}

@@ -17,10 +17,14 @@ const maxBodyBytes = 8 << 20
 //	POST   /v1/predict          submit an interference prediction
 //	POST   /v1/place            submit an automatic placement
 //	POST   /v1/couple           submit a coupling-vs-distance extraction
+//	GET    /v1/jobs             list retained jobs (?state=&limit=)
 //	GET    /v1/jobs/{id}        job status and result (?wait=1 blocks)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition
+//
+// plus the interactive design-session surface under /v1/sessions (see
+// session.go in this package).
 //
 // Submissions return 202 with the job view; ?wait=1 blocks until the job
 // finishes and returns 200 with the result inline. A waiting client that
@@ -31,8 +35,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.submitHandler(KindPredict))
 	mux.HandleFunc("POST /v1/place", s.submitHandler(KindPlace))
 	mux.HandleFunc("POST /v1/couple", s.submitHandler(KindCouple))
+	mux.HandleFunc("GET /v1/jobs", s.listJobsHandler)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobHandler)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelHandler)
+	mux.HandleFunc("POST /v1/sessions", s.createSessionHandler)
+	mux.HandleFunc("GET /v1/sessions", s.listSessionsHandler)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.getSessionHandler)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.deleteSessionHandler)
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.editSessionHandler)
+	mux.HandleFunc("POST /v1/sessions/{id}/undo", s.undoSessionHandler)
+	mux.HandleFunc("POST /v1/sessions/{id}/redo", s.redoSessionHandler)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.sessionEventsHandler)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.snapshotSessionHandler)
 	mux.HandleFunc("GET /healthz", s.healthHandler)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
 	return mux

@@ -20,7 +20,9 @@ type metrics struct {
 	finishedDone      atomic.Uint64
 	finishedFailed    atomic.Uint64
 	finishedCancelled atomic.Uint64
-	busy              atomic.Int64 // workers currently running a job
+	busy              atomic.Int64  // workers currently running a job
+	sessionEdits      atomic.Uint64 // session edits applied (incl. undo/redo)
+	sseClients        atomic.Int64  // open session event streams
 }
 
 // WriteMetrics writes the Prometheus text exposition (version 0.0.4) of
@@ -88,6 +90,22 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		s.m.submitted.Load(), s.m.dedupHits.Load(),
 		s.m.storeHits.Load(), s.m.storeMisses.Load(), storeLen,
 		s.m.rejectedFull.Load(), s.m.rejectedDraining.Load()); err != nil {
+		return err
+	}
+
+	ss := s.sessions.Stats()
+	if err := p("# HELP emiserve_sessions_active Live design sessions.\n"+
+		"# TYPE emiserve_sessions_active gauge\nemiserve_sessions_active %d\n"+
+		"# HELP emiserve_sessions_created_total Design sessions created since start.\n"+
+		"# TYPE emiserve_sessions_created_total counter\nemiserve_sessions_created_total %d\n"+
+		"# HELP emiserve_sessions_evicted_total Design sessions evicted by the idle TTL.\n"+
+		"# TYPE emiserve_sessions_evicted_total counter\nemiserve_sessions_evicted_total %d\n"+
+		"# HELP emiserve_session_edits_total Session edits applied, including undo and redo.\n"+
+		"# TYPE emiserve_session_edits_total counter\nemiserve_session_edits_total %d\n"+
+		"# HELP emiserve_session_event_streams Open session SSE streams.\n"+
+		"# TYPE emiserve_session_event_streams gauge\nemiserve_session_event_streams %d\n",
+		ss.Active, ss.Created, ss.Evicted,
+		s.m.sessionEdits.Load(), s.m.sseClients.Load()); err != nil {
 		return err
 	}
 

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/session"
 	"sync"
 )
 
@@ -41,6 +42,9 @@ type Config struct {
 	ResultTTL  time.Duration   // completed-result reuse window; <= 0: 10 minutes
 	ResultCap  int             // LRU result store capacity; <= 0: 256
 	Runners    map[Kind]Runner // nil: DefaultRunners()
+
+	SessionTTL time.Duration // design-session idle eviction; <= 0: session.DefaultTTL
+	SessionCap int           // max live design sessions; <= 0: session.DefaultCap
 }
 
 func (c *Config) fill() {
@@ -91,6 +95,8 @@ type Server struct {
 	seq      uint64
 	draining bool
 
+	sessions *session.Manager
+
 	wg sync.WaitGroup
 	m  metrics
 }
@@ -110,6 +116,7 @@ func New(cfg Config) *Server {
 		inflight: make(map[engine.Key]*Job),
 		store:    newResultStore(cfg.ResultCap, cfg.ResultTTL),
 		queue:    make(chan *Job, cfg.QueueDepth),
+		sessions: session.NewManager(cfg.SessionTTL, cfg.SessionCap),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -389,6 +396,8 @@ func (s *Server) Drain(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.mu.Unlock()
+	// Close the design sessions so any open SSE streams terminate.
+	s.sessions.CloseAll()
 
 	done := make(chan struct{})
 	go func() {

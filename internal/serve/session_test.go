@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+)
+
+// createTestSession posts a small synthetic session and returns its state.
+func createTestSession(t *testing.T, base string) session.State {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/sessions",
+		`{"synthetic":{"n":6,"rules":8,"groups":2},"autoplace":true}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var st session.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatalf("no session id in %s", body)
+	}
+	return st
+}
+
+// TestSessionHTTPLifecycle drives the whole surface: create, edit, undo,
+// redo, state with report, snapshot, list, delete.
+func TestSessionHTTPLifecycle(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1})
+	st := createTestSession(t, base)
+	if !st.Green {
+		t.Fatalf("autoplaced session should start green: %+v", st)
+	}
+
+	// An edit returns a delta with the incremental accounting.
+	resp, body := postJSON(t, base+"/v1/sessions/"+st.ID+"/edits",
+		`{"op":"move","ref":"U01","x_mm":40,"y_mm":40}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit: %d %s", resp.StatusCode, body)
+	}
+	var delta session.Delta
+	if err := json.Unmarshal(body, &delta); err != nil {
+		t.Fatal(err)
+	}
+	if delta.Seq != 1 || delta.Op != "move" || delta.Ref != "U01" {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if delta.ChecksEvaluated <= 0 || delta.ChecksEvaluated >= delta.ChecksFull {
+		t.Fatalf("incremental accounting looks wrong: evaluated %d of %d",
+			delta.ChecksEvaluated, delta.ChecksFull)
+	}
+
+	// Bad edits are 400 without changing the sequence.
+	resp, body = postJSON(t, base+"/v1/sessions/"+st.ID+"/edits", `{"op":"move","ref":"NOPE","x_mm":1,"y_mm":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad edit: %d %s", resp.StatusCode, body)
+	}
+
+	// Undo then redo.
+	resp, body = postJSON(t, base+"/v1/sessions/"+st.ID+"/undo", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("undo: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, base+"/v1/sessions/"+st.ID+"/redo", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("redo: %d %s", resp.StatusCode, body)
+	}
+	// Redo with empty stack conflicts.
+	resp, _ = postJSON(t, base+"/v1/sessions/"+st.ID+"/redo", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("empty redo: %d", resp.StatusCode)
+	}
+
+	// State with the report attached.
+	resp, body = getJSON(t, base+"/v1/sessions/"+st.ID+"?report=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d %s", resp.StatusCode, body)
+	}
+	var view SessionStateView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Seq != 3 {
+		t.Fatalf("seq = %d, want 3 (edit+undo+redo)", view.Seq)
+	}
+
+	// Snapshot parses back as a design (exercised via a second session).
+	resp, snap := getJSON(t, base+"/v1/sessions/"+st.ID+"/snapshot")
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(snap), "DESIGN") {
+		t.Fatalf("snapshot: %d %q", resp.StatusCode, snap)
+	}
+	restoreBody, _ := json.Marshal(map[string]string{"design": string(snap)})
+	resp, body = postJSON(t, base+"/v1/sessions", string(restoreBody))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore: %d %s", resp.StatusCode, body)
+	}
+
+	// List sees both sessions.
+	resp, body = getJSON(t, base+"/v1/sessions")
+	var list []session.State
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list = %d sessions, want 2: %s", len(list), body)
+	}
+
+	// Delete, then 404.
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+	resp, _ = getJSON(t, base+"/v1/sessions/"+st.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", resp.StatusCode)
+	}
+}
+
+// TestSessionCreateValidation covers the request validation paths.
+func TestSessionCreateValidation(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1})
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{}`, http.StatusBadRequest},
+		{`{"design":"nonsense"}`, http.StatusBadRequest},
+		{`{"synthetic":{"n":1}}`, http.StatusBadRequest},
+		{`{"design":"x","synthetic":{"n":5}}`, http.StatusBadRequest},
+		{`{"unknown_field":1}`, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, base+"/v1/sessions", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("create %s: %d (want %d) %s", tc.body, resp.StatusCode, tc.want, body)
+		}
+	}
+}
+
+// TestSessionSSE opens the event stream, applies an edit and expects the
+// hello event followed by the delta, with the id line carrying the seq.
+func TestSessionSSE(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1})
+	st := createTestSession(t, base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sessions/"+st.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	readEvent := func() (event, id, data string) {
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				return
+			case strings.HasPrefix(line, "event: "):
+				event = line[len("event: "):]
+			case strings.HasPrefix(line, "id: "):
+				id = line[len("id: "):]
+			case strings.HasPrefix(line, "data: "):
+				data = line[len("data: "):]
+			}
+		}
+		t.Fatalf("stream ended early: %v", sc.Err())
+		return
+	}
+
+	ev, _, data := readEvent()
+	if ev != "hello" || !strings.Contains(data, st.ID) {
+		t.Fatalf("first event = %q %q", ev, data)
+	}
+
+	go func() {
+		// Give the stream a moment, then edit.
+		time.Sleep(50 * time.Millisecond)
+		resp, err := http.Post(base+"/v1/sessions/"+st.ID+"/edits", "application/json",
+			strings.NewReader(`{"op":"move","ref":"U02","x_mm":30,"y_mm":30}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	ev, id, data := readEvent()
+	if ev != "delta" || id != "1" {
+		t.Fatalf("second event = %q id=%q %q", ev, id, data)
+	}
+	var delta session.Delta
+	if err := json.Unmarshal([]byte(data), &delta); err != nil {
+		t.Fatalf("delta payload: %v in %q", err, data)
+	}
+	if delta.Ref != "U02" {
+		t.Fatalf("delta = %+v", delta)
+	}
+
+	// Replay: a second client connecting with Last-Event-ID 0 sees the
+	// delta from the ring right after its hello.
+	req2, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sessions/"+st.ID+"/events", nil)
+	req2.Header.Set("Last-Event-ID", "0")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc = bufio.NewScanner(resp2.Body)
+	ev, _, _ = readEvent()
+	if ev != "hello" {
+		t.Fatalf("replay first event = %q", ev)
+	}
+	ev, id, _ = readEvent()
+	if ev != "delta" || id != "1" {
+		t.Fatalf("replay second event = %q id=%q", ev, id)
+	}
+}
+
+// TestListJobs covers the new GET /v1/jobs listing with filter and limit.
+func TestListJobs(t *testing.T) {
+	block := make(chan struct{})
+	s, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) {
+				select {
+				case <-block:
+					return map[string]int{"ok": 1}, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			},
+		},
+	})
+	defer close(block)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(KindPredict, []byte(fmt.Sprintf(`{"n":%d}`, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	resp, body := getJSON(t, base+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+	var views []View
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("listed %d jobs, want 3: %s", len(views), body)
+	}
+	for i := range views {
+		if views[i].ID != ids[i] {
+			t.Fatalf("jobs not in submission order: %v vs %v", views[i].ID, ids[i])
+		}
+	}
+
+	// One is running (worker picked it up), the rest queued.
+	resp, body = getJSON(t, base+"/v1/jobs?state=queued")
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range views {
+		if v.State != StateQueued {
+			t.Fatalf("filter leaked state %s", v.State)
+		}
+	}
+
+	resp, body = getJSON(t, base+"/v1/jobs?limit=2")
+	if err := json.Unmarshal(body, &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 {
+		t.Fatalf("limit=2 returned %d", len(views))
+	}
+
+	resp, _ = getJSON(t, base+"/v1/jobs?state=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus state filter: %d", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, base+"/v1/jobs?limit=-1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative limit: %d", resp.StatusCode)
+	}
+}
+
+// TestSessionMetricsExposed checks the session gauges appear in /metrics
+// and that drain closes live SSE streams.
+func TestSessionMetricsExposed(t *testing.T) {
+	s, base := httpFixture(t, Config{Workers: 1})
+	st := createTestSession(t, base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sessions/"+st.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	_, body := getJSON(t, base+"/metrics")
+	for _, want := range []string{
+		"emiserve_sessions_active 1",
+		"emiserve_sessions_created_total 1",
+		"emiserve_session_event_streams 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Drain terminates the stream and rejects new sessions.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := resp.Body.Read(buf); err != nil {
+			break // stream ended
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SSE stream still open after drain")
+		}
+	}
+	cresp, cbody := postJSON(t, base+"/v1/sessions", `{"synthetic":{"n":4}}`)
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: %d %s", cresp.StatusCode, cbody)
+	}
+}

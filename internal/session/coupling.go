@@ -1,0 +1,113 @@
+package session
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+// couplingTracker maintains the PEEC coupling factors of a project's
+// mapped component pairs across edits. After an edit to one component,
+// only the pairs containing that component are re-extracted; everything
+// else keeps its cached value. Because coupling extraction is a pure
+// function of the pair's geometry (and the engine memo cache is keyed on
+// exactly that), the tracked map always equals what a from-scratch
+// ExtractCouplings over all placed pairs would return.
+type couplingTracker struct {
+	proj    *core.Project
+	pairsOf map[string][][2]string // ref -> mapped pairs containing it
+	k       map[[2]string]float64  // current factors, both-placed pairs only
+}
+
+// newCouplingTracker binds a shallow copy of the project to the session's
+// private design and extracts the initial coupling set.
+func newCouplingTracker(p *core.Project, d *layout.Design) (*couplingTracker, error) {
+	proj := *p
+	proj.Design = d
+	t := &couplingTracker{
+		proj:    &proj,
+		pairsOf: map[string][][2]string{},
+		k:       map[[2]string]float64{},
+	}
+	all := proj.AllPairs()
+	for _, pair := range all {
+		t.pairsOf[pair[0]] = append(t.pairsOf[pair[0]], pair)
+		t.pairsOf[pair[1]] = append(t.pairsOf[pair[1]], pair)
+	}
+	var live [][2]string
+	for _, pair := range all {
+		if t.bothPlaced(pair) {
+			live = append(live, pair)
+		}
+	}
+	ks, err := proj.ExtractCouplings(live)
+	if err != nil {
+		return nil, err
+	}
+	for pair, k := range ks {
+		t.k[pair] = k
+	}
+	return t, nil
+}
+
+func (t *couplingTracker) bothPlaced(pair [2]string) bool {
+	a := t.proj.Design.Find(pair[0])
+	b := t.proj.Design.Find(pair[1])
+	return a != nil && b != nil && a.Placed && b.Placed
+}
+
+// recompute re-extracts the pairs containing any of the given refs and
+// returns the changes (sorted by pair). Pairs whose endpoints are no
+// longer both placed are dropped from the tracked set.
+func (t *couplingTracker) recompute(refs []string) ([]CouplingChange, error) {
+	seen := map[[2]string]bool{}
+	var stale, live [][2]string
+	for _, ref := range refs {
+		for _, pair := range t.pairsOf[ref] {
+			if seen[pair] {
+				continue
+			}
+			seen[pair] = true
+			if t.bothPlaced(pair) {
+				live = append(live, pair)
+			} else {
+				stale = append(stale, pair)
+			}
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i][0] != live[j][0] {
+			return live[i][0] < live[j][0]
+		}
+		return live[i][1] < live[j][1]
+	})
+	var changes []CouplingChange
+	for _, pair := range stale {
+		if prev, ok := t.k[pair]; ok {
+			delete(t.k, pair)
+			changes = append(changes, CouplingChange{RefA: pair[0], RefB: pair[1], PrevK: prev})
+		}
+	}
+	if len(live) > 0 {
+		ks, err := t.proj.ExtractCouplings(live)
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range live {
+			nk := ks[pair]
+			prev, had := t.k[pair]
+			t.k[pair] = nk
+			if !had || prev != nk {
+				changes = append(changes, CouplingChange{RefA: pair[0], RefB: pair[1], K: nk, PrevK: prev})
+			}
+		}
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].RefA != changes[j].RefA {
+			return changes[i].RefA < changes[j].RefA
+		}
+		return changes[i].RefB < changes[j].RefB
+	})
+	return changes, nil
+}

@@ -1,0 +1,96 @@
+package session
+
+// The event fan-out: every applied delta is kept in a bounded replay ring
+// and pushed to all live subscribers. A subscriber that cannot keep up
+// (its channel buffer fills) is dropped by closing its channel — the SSE
+// layer turns that into a terminated stream and the client reconnects
+// with Last-Event-ID, replaying what the ring still holds.
+
+// ringCap bounds the replay buffer; reconnecting clients can resume from
+// at most this many deltas back.
+const ringCap = 256
+
+// subChanCap is each subscriber's buffer; a consumer this far behind a
+// burst of edits is considered dead.
+const subChanCap = 64
+
+type subscriber struct {
+	ch   chan Delta
+	dead bool
+}
+
+// Subscribe registers for deltas with Seq > afterSeq. Deltas still in the
+// replay ring are delivered first. The returned cancel function must be
+// called when done; the channel is closed on cancel, session close, or
+// when the subscriber falls too far behind.
+func (s *Session) Subscribe(afterSeq uint64) (<-chan Delta, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var replay []Delta
+	for _, d := range s.ring {
+		if d.Seq > afterSeq {
+			replay = append(replay, d)
+		}
+	}
+	sub := &subscriber{ch: make(chan Delta, subChanCap+len(replay))}
+	for _, d := range replay {
+		sub.ch <- d
+	}
+	if s.closed {
+		sub.dead = true
+		close(sub.ch)
+		return sub.ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = sub
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur, ok := s.subs[id]; ok && cur == sub {
+			delete(s.subs, id)
+			if !sub.dead {
+				sub.dead = true
+				close(sub.ch)
+			}
+		}
+	}
+	return sub.ch, cancel
+}
+
+// broadcast appends the delta to the ring and fans it out. The caller
+// holds the lock.
+func (s *Session) broadcast(d Delta) {
+	s.ring = append(s.ring, d)
+	if len(s.ring) > ringCap {
+		s.ring = s.ring[len(s.ring)-ringCap:]
+	}
+	for id, sub := range s.subs {
+		select {
+		case sub.ch <- d:
+		default:
+			// Subscriber fell behind: drop it.
+			delete(s.subs, id)
+			sub.dead = true
+			close(sub.ch)
+		}
+	}
+}
+
+// Close terminates the session: all subscriber channels are closed and
+// further edits are rejected.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, sub := range s.subs {
+		delete(s.subs, id)
+		if !sub.dead {
+			sub.dead = true
+			close(sub.ch)
+		}
+	}
+}

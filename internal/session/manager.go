@@ -1,0 +1,184 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+// Manager defaults.
+const (
+	DefaultTTL = 30 * time.Minute
+	DefaultCap = 64
+)
+
+// Manager owns the live sessions of a server: creation with a capacity
+// cap, lookup that refreshes the idle clock, and TTL eviction of sessions
+// nobody touched. Eviction is piggybacked on every mutating call, so no
+// background goroutine is needed.
+type Manager struct {
+	ttl time.Duration
+	cap int
+	now func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*entry
+	seq      uint64
+	created  uint64
+	evicted  uint64
+}
+
+type entry struct {
+	s        *Session
+	lastUsed time.Time
+}
+
+// ManagerStats is a snapshot of the manager's counters.
+type ManagerStats struct {
+	Active  int
+	Created uint64
+	Evicted uint64
+}
+
+// NewManager builds a manager; ttl <= 0 and cap <= 0 select the defaults.
+func NewManager(ttl time.Duration, capacity int) *Manager {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Manager{
+		ttl:      ttl,
+		cap:      capacity,
+		now:      time.Now,
+		sessions: map[string]*entry{},
+	}
+}
+
+// sweepLocked evicts sessions idle longer than the TTL.
+func (m *Manager) sweepLocked(now time.Time) {
+	for id, e := range m.sessions {
+		if now.Sub(e.lastUsed) > m.ttl {
+			delete(m.sessions, id)
+			m.evicted++
+			e.s.Close()
+		}
+	}
+}
+
+// Create makes a new session owning a copy of the design. When proj is
+// non-nil its design is ignored in favour of d (pass proj.Design as d for
+// the usual case) and coupling tracking is enabled.
+func (m *Manager) Create(d *layout.Design, proj *core.Project) (*Session, error) {
+	m.mu.Lock()
+	now := m.now()
+	m.sweepLocked(now)
+	if len(m.sessions) >= m.cap {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: capacity reached (%d live sessions)", m.cap)
+	}
+	m.seq++
+	id := fmt.Sprintf("s%06d", m.seq)
+	m.mu.Unlock()
+
+	// Build outside the lock: project-backed sessions run PEEC extraction.
+	var (
+		s   *Session
+		err error
+	)
+	if proj != nil {
+		p := *proj
+		p.Design = d
+		s, err = NewWithProject(id, &p)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = New(id, d)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sessions) >= m.cap {
+		s.Close()
+		return nil, fmt.Errorf("session: capacity reached (%d live sessions)", m.cap)
+	}
+	m.sessions[id] = &entry{s: s, lastUsed: m.now()}
+	m.created++
+	return s, nil
+}
+
+// Get returns a live session and refreshes its idle clock.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.sweepLocked(now)
+	e, ok := m.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	e.lastUsed = now
+	return e.s, true
+}
+
+// Delete closes and removes a session.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	e, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	if ok {
+		e.s.Close()
+	}
+	return ok
+}
+
+// List returns the live sessions sorted by ID.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.now())
+	out := make([]*Session, 0, len(m.sessions))
+	for _, e := range m.sessions {
+		out = append(out, e.s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.now())
+	return len(m.sessions)
+}
+
+// Stats returns the manager counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManagerStats{Active: len(m.sessions), Created: m.created, Evicted: m.evicted}
+}
+
+// CloseAll closes every session (server shutdown).
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	es := make([]*entry, 0, len(m.sessions))
+	for id, e := range m.sessions {
+		es = append(es, e)
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+	for _, e := range es {
+		e.s.Close()
+	}
+}

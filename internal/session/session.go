@@ -1,0 +1,461 @@
+// Package session implements stateful, concurrency-safe EMI design
+// sessions: each session owns a private copy of a layout.Design, applies
+// edits (move / rotate / swap-board / add-rule / parameter tweak) through
+// an undo/redo journal, and after every edit recomputes only the rule
+// units the edit invalidated — the dependency-indexed incremental DRC of
+// internal/drc plus, when the session was created from a core.Project, a
+// delta-aware PEEC coupling tracker that re-extracts only the pairs
+// touching the edited component. This is the paper's interactive adviser
+// loop ("relevant constraints are controlled simultaneously" while the
+// designer drags parts) made a long-lived server-side object.
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/rules"
+)
+
+// Edit operations.
+const (
+	OpMove      = "move"
+	OpRotate    = "rotate"
+	OpSwapBoard = "swap_board"
+	OpAddRule   = "add_rule"
+	OpParam     = "param"
+)
+
+// Parameter names for OpParam.
+const (
+	ParamClearance     = "clearance"
+	ParamEdgeClearance = "edge_clearance"
+)
+
+// Edit is one design change. All geometry is SI (meters, radians); the
+// HTTP and CLI layers convert from millimeters/degrees.
+type Edit struct {
+	Op     string
+	Ref    string    // move/rotate/swap_board target; add_rule first ref
+	RefB   string    // add_rule second ref
+	Center geom.Vec2 // move
+	Rot    float64   // move/rotate
+	Board  int       // swap_board target board
+	PEMD   float64   // add_rule distance, meters
+	Param  string    // param name
+	Value  float64   // param value, meters
+}
+
+// Violation is the wire form of a drc.Violation (millimeters).
+type Violation struct {
+	Kind     string   `json:"kind"`
+	Refs     []string `json:"refs"`
+	Detail   string   `json:"detail"`
+	AmountMM float64  `json:"amount_mm,omitempty"`
+}
+
+// CouplingChange reports one re-extracted PEEC coupling factor.
+type CouplingChange struct {
+	RefA  string  `json:"ref_a"`
+	RefB  string  `json:"ref_b"`
+	K     float64 `json:"k"`
+	PrevK float64 `json:"prev_k"`
+}
+
+// Delta is the observable result of one edit (or undo/redo): the
+// violation diff, the resulting design status, the incremental work done
+// versus what a from-scratch check would have cost, and any re-extracted
+// couplings. Deltas are what the SSE stream pushes.
+type Delta struct {
+	Seq              uint64           `json:"seq"`
+	Op               string           `json:"op"`
+	Ref              string           `json:"ref,omitempty"`
+	Added            []Violation      `json:"added,omitempty"`
+	Resolved         []Violation      `json:"resolved,omitempty"`
+	Updated          []Violation      `json:"updated,omitempty"`
+	Violations       int              `json:"violations"`
+	Green            bool             `json:"green"`
+	WorstEMDMarginMM *float64         `json:"worst_emd_margin_mm,omitempty"`
+	ChecksEvaluated  int              `json:"checks_evaluated"`
+	ChecksFull       int              `json:"checks_full"`
+	Couplings        []CouplingChange `json:"couplings,omitempty"`
+}
+
+// State is a snapshot of the session's status.
+type State struct {
+	ID               string   `json:"id"`
+	Seq              uint64   `json:"seq"`
+	Green            bool     `json:"green"`
+	Violations       int      `json:"violations"`
+	Checks           int      `json:"checks"`
+	CanUndo          bool     `json:"can_undo"`
+	CanRedo          bool     `json:"can_redo"`
+	WorstEMDMarginMM *float64 `json:"worst_emd_margin_mm,omitempty"`
+	Couplings        int      `json:"couplings"`
+}
+
+// applied is one journal entry: the forward edit plus everything needed
+// to invert it.
+type applied struct {
+	edit      Edit
+	prevComp  layout.Component // move/rotate/swap_board
+	hadRule   bool             // add_rule: a rule for the pair existed
+	prevRule  rules.Rule       // add_rule: the replaced rule
+	prevParam float64          // param: the previous value
+}
+
+// Session owns one design under interactive editing. All methods are safe
+// for concurrent use; edits serialize behind the session lock.
+type Session struct {
+	ID string
+
+	mu      sync.Mutex
+	d       *layout.Design
+	idx     *drc.Index
+	inc     *drc.Incremental
+	coup    *couplingTracker
+	seq     uint64
+	journal []applied
+	redo    []applied
+
+	subs    map[int]*subscriber
+	nextSub int
+	ring    []Delta
+	closed  bool
+}
+
+// New creates a session owning a deep copy of the design.
+func New(id string, d *layout.Design) *Session {
+	own := d.Clone()
+	idx := drc.NewIndex(own)
+	return &Session{
+		ID:   id,
+		d:    own,
+		idx:  idx,
+		inc:  drc.NewIncremental(idx),
+		subs: map[int]*subscriber{},
+	}
+}
+
+// NewWithProject creates a session from a core.Project: the design is
+// deep-copied and a coupling tracker maintains the PEEC coupling factors
+// of the project's mapped pairs across edits.
+func NewWithProject(id string, p *core.Project) (*Session, error) {
+	s := New(id, p.Design)
+	coup, err := newCouplingTracker(p, s.d)
+	if err != nil {
+		return nil, err
+	}
+	s.coup = coup
+	return s, nil
+}
+
+// Seq returns the sequence number of the last applied delta.
+func (s *Session) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// State returns the current session status.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{
+		ID:         s.ID,
+		Seq:        s.seq,
+		Violations: s.inc.ViolationCount(),
+		Checks:     s.inc.FullChecks(),
+		CanUndo:    len(s.journal) > 0,
+		CanRedo:    len(s.redo) > 0,
+	}
+	st.Green = st.Violations == 0
+	if m, ok := s.inc.WorstEMDMargin(); ok {
+		mm := m * 1e3
+		st.WorstEMDMarginMM = &mm
+	}
+	if s.coup != nil {
+		st.Couplings = len(s.coup.k)
+	}
+	return st
+}
+
+// Report assembles the full DRC report of the current design state from
+// the incremental caches (byte-identical to drc.Check on the design).
+func (s *Session) Report() *drc.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inc.Report()
+}
+
+// Component returns a copy of a component's current state.
+func (s *Session) Component(ref string) (layout.Component, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.d.Find(ref)
+	if c == nil {
+		return layout.Component{}, false
+	}
+	return *c, true
+}
+
+// DesignSnapshot returns a deep copy of the current design.
+func (s *Session) DesignSnapshot() *layout.Design {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.Clone()
+}
+
+// Couplings returns a copy of the tracked coupling factors (nil when the
+// session has no project).
+func (s *Session) Couplings() map[[2]string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coup == nil {
+		return nil
+	}
+	out := make(map[[2]string]float64, len(s.coup.k))
+	for k, v := range s.coup.k {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot serialises the current design to the ASCII layout format. The
+// journal is not part of a snapshot: a restored session starts with an
+// empty history.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := layout.Write(&buf, s.d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Apply validates and applies one edit, recomputes the invalidated rule
+// units and couplings, journals the inverse, and broadcasts the delta.
+func (s *Session) Apply(e Edit) (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: %s is closed", s.ID)
+	}
+	rec, err := s.forward(e)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = append(s.journal, rec)
+	s.redo = nil
+	return s.settle(e.Op, rec.edit)
+}
+
+// Undo reverts the most recent edit.
+func (s *Session) Undo() (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: %s is closed", s.ID)
+	}
+	if len(s.journal) == 0 {
+		return nil, fmt.Errorf("session: nothing to undo")
+	}
+	rec := s.journal[len(s.journal)-1]
+	s.journal = s.journal[:len(s.journal)-1]
+	s.invert(rec)
+	s.redo = append(s.redo, rec)
+	return s.settle("undo", rec.edit)
+}
+
+// Redo re-applies the most recently undone edit.
+func (s *Session) Redo() (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session: %s is closed", s.ID)
+	}
+	if len(s.redo) == 0 {
+		return nil, fmt.Errorf("session: nothing to redo")
+	}
+	rec := s.redo[len(s.redo)-1]
+	s.redo = s.redo[:len(s.redo)-1]
+	// Re-applying the stored edit cannot fail: it was valid before.
+	rec2, err := s.forward(rec.edit)
+	if err != nil {
+		return nil, err
+	}
+	s.journal = append(s.journal, rec2)
+	return s.settle("redo", rec.edit)
+}
+
+// forward validates an edit, captures its inverse and mutates the design.
+// The caller holds the lock.
+func (s *Session) forward(e Edit) (applied, error) {
+	rec := applied{edit: e}
+	switch e.Op {
+	case OpMove, OpRotate, OpSwapBoard:
+		c := s.d.Find(e.Ref)
+		if c == nil {
+			return rec, fmt.Errorf("session: unknown component %q", e.Ref)
+		}
+		if c.Preplaced {
+			return rec, fmt.Errorf("session: %q is preplaced and cannot move", e.Ref)
+		}
+		rec.prevComp = *c
+		switch e.Op {
+		case OpMove:
+			c.Center, c.Rot, c.Placed = e.Center, e.Rot, true
+		case OpRotate:
+			if !c.Placed {
+				return rec, fmt.Errorf("session: cannot rotate unplaced %q", e.Ref)
+			}
+			c.Rot = e.Rot
+		case OpSwapBoard:
+			if !c.Placed {
+				return rec, fmt.Errorf("session: cannot swap unplaced %q", e.Ref)
+			}
+			if e.Board < 0 || e.Board >= s.d.Boards {
+				return rec, fmt.Errorf("session: board %d out of range (design has %d)", e.Board, s.d.Boards)
+			}
+			c.Board = e.Board
+		}
+	case OpAddRule:
+		if s.d.Find(e.Ref) == nil || s.d.Find(e.RefB) == nil {
+			return rec, fmt.Errorf("session: rule references unknown component (%q, %q)", e.Ref, e.RefB)
+		}
+		if e.Ref == e.RefB {
+			return rec, fmt.Errorf("session: rule needs two distinct components")
+		}
+		if e.PEMD < 0 {
+			return rec, fmt.Errorf("session: negative PEMD")
+		}
+		if s.d.Rules == nil {
+			s.d.Rules = rules.NewSet(nil)
+		}
+		if pemd, ok := s.d.Rules.Lookup(e.Ref, e.RefB); ok {
+			rec.hadRule = true
+			rec.prevRule = rules.Rule{RefA: e.Ref, RefB: e.RefB, PEMD: pemd}
+		}
+		s.d.Rules.Add(rules.Rule{RefA: e.Ref, RefB: e.RefB, PEMD: e.PEMD})
+	case OpParam:
+		switch e.Param {
+		case ParamClearance:
+			rec.prevParam = s.d.Clearance
+			s.d.Clearance = e.Value
+		case ParamEdgeClearance:
+			rec.prevParam = s.d.EdgeClearance
+			s.d.EdgeClearance = e.Value
+		default:
+			return rec, fmt.Errorf("session: unknown parameter %q", e.Param)
+		}
+		if e.Value < 0 {
+			// Restore before failing so validation errors are side-effect free.
+			if e.Param == ParamClearance {
+				s.d.Clearance = rec.prevParam
+			} else {
+				s.d.EdgeClearance = rec.prevParam
+			}
+			return rec, fmt.Errorf("session: negative %s", e.Param)
+		}
+	default:
+		return rec, fmt.Errorf("session: unknown op %q", e.Op)
+	}
+	return rec, nil
+}
+
+// invert restores the state captured in a journal entry. The caller holds
+// the lock.
+func (s *Session) invert(rec applied) {
+	switch rec.edit.Op {
+	case OpMove, OpRotate, OpSwapBoard:
+		if c := s.d.Find(rec.edit.Ref); c != nil {
+			*c = rec.prevComp
+		}
+	case OpAddRule:
+		if rec.hadRule {
+			s.d.Rules.Add(rec.prevRule)
+		} else {
+			s.d.Rules.Remove(rec.edit.Ref, rec.edit.RefB)
+		}
+	case OpParam:
+		if rec.edit.Param == ParamClearance {
+			s.d.Clearance = rec.prevParam
+		} else {
+			s.d.EdgeClearance = rec.prevParam
+		}
+	}
+}
+
+// scopeOf translates an edit into the DRC invalidation scope.
+func scopeOf(e Edit) drc.Scope {
+	switch e.Op {
+	case OpMove, OpRotate, OpSwapBoard:
+		return drc.Scope{Refs: []string{e.Ref}}
+	case OpAddRule:
+		return drc.Scope{RulesChanged: true}
+	case OpParam:
+		if e.Param == ParamClearance {
+			return drc.Scope{AllClearance: true}
+		}
+		return drc.Scope{AllContainment: true}
+	}
+	return drc.Scope{}
+}
+
+// settle runs the incremental recheck and coupling update for an edit
+// whose design mutation already happened, assembles the delta, journals
+// it in the replay ring and broadcasts it. The caller holds the lock.
+func (s *Session) settle(op string, e Edit) (*Delta, error) {
+	dd := s.inc.Recheck(scopeOf(e))
+	s.seq++
+	out := &Delta{
+		Seq:             s.seq,
+		Op:              op,
+		Ref:             e.Ref,
+		Added:           toWire(dd.Added),
+		Resolved:        toWire(dd.Resolved),
+		Updated:         toWire(dd.Updated),
+		Violations:      s.inc.ViolationCount(),
+		ChecksEvaluated: dd.Evals,
+		ChecksFull:      s.inc.FullChecks(),
+	}
+	out.Green = out.Violations == 0
+	if m, ok := s.inc.WorstEMDMargin(); ok {
+		mm := m * 1e3
+		out.WorstEMDMarginMM = &mm
+	}
+	if s.coup != nil {
+		switch e.Op {
+		case OpMove, OpRotate, OpSwapBoard:
+			changes, err := s.coup.recompute([]string{e.Ref})
+			if err != nil {
+				return nil, fmt.Errorf("session: coupling update: %w", err)
+			}
+			out.Couplings = changes
+		}
+	}
+	s.broadcast(*out)
+	return out, nil
+}
+
+func toWire(vs []drc.Violation) []Violation {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]Violation, len(vs))
+	for i, v := range vs {
+		out[i] = Violation{
+			Kind:     string(v.Kind),
+			Refs:     append([]string(nil), v.Refs...),
+			Detail:   v.Detail,
+			AmountMM: v.Amount * 1e3,
+		}
+	}
+	return out
+}

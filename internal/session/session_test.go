@@ -1,0 +1,380 @@
+package session
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/buck"
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+// testDesign builds a two-board synthetic workload with some components
+// already placed, a net length budget and a keepout, so every rule unit
+// class is live.
+func testDesign(seed int64) *layout.Design {
+	rng := rand.New(rand.NewSource(seed))
+	d := workload.Synthetic(18, 50, 3, 0.16, 0.12)
+	d.Boards = 2
+	d.Areas = append(d.Areas, layout.Area{
+		Name: d.Areas[0].Name, Board: 1, Poly: append(geom.Polygon(nil), d.Areas[0].Poly...),
+	})
+	d.Keepouts = append(d.Keepouts, layout.Keepout{
+		Name: "conn", Board: 0, Box: geom.CuboidOf(geom.R(0, 0.04, 0.012, 0.07), 0, 0.03),
+	})
+	if len(d.Nets) > 0 {
+		d.Nets[0].MaxLength = 0.05
+	}
+	for _, c := range d.Comps {
+		if rng.Intn(3) > 0 {
+			c.Placed = true
+			c.Center = geom.V2(0.005+rng.Float64()*0.15, 0.005+rng.Float64()*0.11)
+			c.Board = rng.Intn(2)
+		}
+	}
+	return d
+}
+
+// randomEdit builds one random valid-looking edit (it may still be
+// rejected, e.g. rotating an unplaced part — the test tolerates that).
+func randomEdit(rng *rand.Rand, d *layout.Design) Edit {
+	ref := d.Comps[rng.Intn(len(d.Comps))].Ref
+	switch rng.Intn(8) {
+	case 0, 1, 2, 3:
+		return Edit{
+			Op: OpMove, Ref: ref,
+			Center: geom.V2(0.005+rng.Float64()*0.15, 0.005+rng.Float64()*0.11),
+			Rot:    float64(rng.Intn(4)) * geom.Rad(90),
+		}
+	case 4:
+		return Edit{Op: OpRotate, Ref: ref, Rot: float64(rng.Intn(4)) * geom.Rad(90)}
+	case 5:
+		return Edit{Op: OpSwapBoard, Ref: ref, Board: rng.Intn(2)}
+	case 6:
+		b := d.Comps[rng.Intn(len(d.Comps))].Ref
+		return Edit{Op: OpAddRule, Ref: ref, RefB: b, PEMD: 0.005 + rng.Float64()*0.03}
+	default:
+		p := ParamClearance
+		if rng.Intn(2) == 0 {
+			p = ParamEdgeClearance
+		}
+		return Edit{Op: OpParam, Param: p, Value: rng.Float64() * 2e-3}
+	}
+}
+
+// TestSessionIncrementalEquivalence is the acceptance test of the issue:
+// N random edits with interleaved undo/redo, and after every step the
+// session's incrementally maintained report must be deeply equal to a
+// from-scratch drc.Check on a snapshot of the design.
+func TestSessionIncrementalEquivalence(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	s := New("t", testDesign(1))
+	defer s.Close()
+	check := func(step int, what string) {
+		t.Helper()
+		got := s.Report()
+		want := drc.Check(s.DesignSnapshot())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d (%s): incremental report diverged\nincremental:\n%s\nfull:\n%s",
+				step, what, got, want)
+		}
+	}
+	check(0, "initial")
+	applied := 0
+	for step := 1; step <= 90; step++ {
+		switch r := rng.Intn(10); {
+		case r == 0 && applied > 0:
+			if _, err := s.Undo(); err != nil {
+				t.Fatalf("step %d: undo: %v", step, err)
+			}
+			applied--
+			check(step, "undo")
+		case r == 1:
+			if _, err := s.Redo(); err == nil {
+				applied++
+				check(step, "redo")
+			}
+		default:
+			e := randomEdit(rng, s.DesignSnapshot())
+			if _, err := s.Apply(e); err != nil {
+				continue // invalid edits must not corrupt state
+			}
+			applied++
+			check(step, e.Op)
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no edits applied; test exercised nothing")
+	}
+
+	// A full undo unwind must land exactly on a state equal to a fresh
+	// from-scratch check as well.
+	for {
+		if _, err := s.Undo(); err != nil {
+			break
+		}
+	}
+	check(-1, "full unwind")
+}
+
+// TestSessionUndoRedoRoundTrip pins that undo+redo is an identity on both
+// the design bytes and the report.
+func TestSessionUndoRedoRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	s := New("t", testDesign(5))
+	defer s.Close()
+	for i := 0; i < 25; i++ {
+		e := randomEdit(rng, s.DesignSnapshot())
+		if _, err := s.Apply(e); err != nil {
+			continue
+		}
+		before, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		repBefore := s.Report()
+		if _, err := s.Undo(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Redo(); err != nil {
+			t.Fatal(err)
+		}
+		after, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(before) != string(after) {
+			t.Fatalf("undo+redo changed the design:\nbefore:\n%s\nafter:\n%s", before, after)
+		}
+		if !reflect.DeepEqual(repBefore, s.Report()) {
+			t.Fatal("undo+redo changed the report")
+		}
+	}
+}
+
+// TestSessionSnapshotRestore verifies a snapshot re-opens as a session in
+// the identical design state.
+func TestSessionSnapshotRestore(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(8))
+	s := New("a", testDesign(8))
+	defer s.Close()
+	for i := 0; i < 15; i++ {
+		_, _ = s.Apply(randomEdit(rng, s.DesignSnapshot()))
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := layout.ReadString(string(snap))
+	if err != nil {
+		t.Fatalf("snapshot does not parse: %v\n%s", err, snap)
+	}
+	s2 := New("b", d2)
+	defer s2.Close()
+	// Reports must agree (the serialisation quantizes to the format's
+	// 4 decimals of a millimeter; compare the check verdicts).
+	r1, r2 := s.Report(), s2.Report()
+	if r1.Checks != r2.Checks || len(r1.Violations) != len(r2.Violations) || len(r1.Pairs) != len(r2.Pairs) {
+		t.Fatalf("restored session differs: %d/%d/%d vs %d/%d/%d checks/viols/pairs",
+			r1.Checks, len(r1.Violations), len(r1.Pairs), r2.Checks, len(r2.Violations), len(r2.Pairs))
+	}
+	if st := s2.State(); st.CanUndo || st.CanRedo {
+		t.Fatal("restored session should start with an empty journal")
+	}
+}
+
+// TestSessionCouplingEquivalence creates a project-backed session, edits
+// it, and demands the tracked coupling set equal a from-scratch
+// ExtractCouplings over the placed pairs of the final design.
+func TestSessionCouplingEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PEEC extraction in -short mode")
+	}
+	t.Parallel()
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithProject("t", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	edits := []Edit{
+		{Op: OpMove, Ref: "CIN1", Center: geom.V2(0.03, 0.05)},
+		{Op: OpMove, Ref: "LF1", Center: geom.V2(0.07, 0.02)},
+		{Op: OpRotate, Ref: "CIN1", Rot: geom.Rad(90)},
+		{Op: OpMove, Ref: "CIN1", Center: geom.V2(0.05, 0.06)},
+	}
+	for _, e := range edits {
+		if _, err := s.Apply(e); err != nil {
+			t.Fatalf("%s %s: %v", e.Op, e.Ref, err)
+		}
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.Couplings()
+
+	// From scratch on the session's final design.
+	p2 := *p
+	p2.Design = s.DesignSnapshot()
+	var live [][2]string
+	for _, pair := range p2.AllPairs() {
+		a, b := p2.Design.Find(pair[0]), p2.Design.Find(pair[1])
+		if a != nil && b != nil && a.Placed && b.Placed {
+			live = append(live, pair)
+		}
+	}
+	want, err := p2.ExtractCouplings(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tracked couplings diverge from from-scratch extraction\ntracked: %v\nfresh:   %v", got, want)
+	}
+}
+
+// TestSessionConcurrent hammers one session from many goroutines: edits,
+// state reads, report assembly, snapshots and subscribers racing. Run
+// under -race this is the concurrency acceptance test.
+func TestSessionConcurrent(t *testing.T) {
+	t.Parallel()
+	s := New("t", testDesign(13))
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				switch rng.Intn(6) {
+				case 0:
+					_, _ = s.Undo()
+				case 1:
+					_, _ = s.Redo()
+				default:
+					_, _ = s.Apply(randomEdit(rng, s.DesignSnapshot()))
+				}
+			}
+		}(int64(g) + 100)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				_ = s.State()
+				_ = s.Report()
+				if _, err := s.Snapshot(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch, cancel := s.Subscribe(0)
+		defer cancel()
+		for i := 0; i < 50; i++ {
+			if _, open := <-ch; !open {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the storm the incremental state must still be exact.
+	got := s.Report()
+	want := drc.Check(s.DesignSnapshot())
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-race report diverged\nincremental:\n%s\nfull:\n%s", got, want)
+	}
+}
+
+// TestSessionEvents checks the delta stream: sequence numbers, replay
+// from the ring, and channel closure on session close.
+func TestSessionEvents(t *testing.T) {
+	t.Parallel()
+	s := New("t", testDesign(21))
+	ch, cancel := s.Subscribe(0)
+	defer cancel()
+	e := Edit{Op: OpMove, Ref: s.DesignSnapshot().Comps[0].Ref, Center: geom.V2(0.02, 0.02)}
+	d1, err := s.Apply(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	if got.Seq != d1.Seq || got.Op != OpMove {
+		t.Fatalf("streamed delta %+v does not match applied %+v", got, d1)
+	}
+
+	// A late subscriber replays the ring.
+	ch2, cancel2 := s.Subscribe(0)
+	defer cancel2()
+	if replay := <-ch2; replay.Seq != d1.Seq {
+		t.Fatalf("replay seq = %d, want %d", replay.Seq, d1.Seq)
+	}
+	// A subscriber at the current seq gets nothing until the next edit.
+	ch3, cancel3 := s.Subscribe(d1.Seq)
+	defer cancel3()
+	select {
+	case d := <-ch3:
+		t.Fatalf("unexpected replay %+v", d)
+	default:
+	}
+
+	s.Close()
+	if _, open := <-ch3; open {
+		t.Fatal("channel should close on session close")
+	}
+	if _, err := s.Apply(e); err == nil {
+		t.Fatal("apply on a closed session should fail")
+	}
+}
+
+// TestManagerLifecycle covers the cap, TTL eviction and stats.
+func TestManagerLifecycle(t *testing.T) {
+	t.Parallel()
+	m := NewManager(0, 2)
+	d := workload.Synthetic(4, 4, 1, 0.1, 0.08)
+	s1, err := m.Create(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(d, nil); err == nil {
+		t.Fatal("cap should reject the third session")
+	}
+	if got, ok := m.Get(s1.ID); !ok || got != s1 {
+		t.Fatal("lookup failed")
+	}
+	if n := len(m.List()); n != 2 {
+		t.Fatalf("list = %d sessions, want 2", n)
+	}
+	if !m.Delete(s1.ID) || m.Delete(s1.ID) {
+		t.Fatal("delete should succeed once")
+	}
+	st := m.Stats()
+	if st.Active != 1 || st.Created != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	m.CloseAll()
+	if m.Len() != 0 {
+		t.Fatal("CloseAll left sessions behind")
+	}
+}

@@ -5,12 +5,13 @@
 #
 # The report maps each benchmark to {iterations, ns_per_op, bytes_per_op,
 # allocs_per_op}; BENCH_pr3.json in the repo root pins the before/after of
-# the stamp-plan/factorization-reuse PR in the same per-benchmark schema.
+# the stamp-plan/factorization-reuse PR and BENCH_pr4.json the incremental
+# session-edit numbers, in the same per-benchmark schema.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-bench_report.json}"
-PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank'
+PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit'
 
 RAW="$(go test -bench "$PATTERN" -benchmem -run=NONE -count=1 .)"
 echo "$RAW"
