@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/mna"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/peec"
 	"repro/internal/place"
 	"repro/internal/rules"
@@ -480,5 +482,56 @@ func TestSessionEditEvalRatio(t *testing.T) {
 		delta.ChecksEvaluated, delta.ChecksFull, 100*ratio)
 	if ratio >= 0.25 {
 		t.Fatalf("incremental edit evaluated %.1f%% of the full check, want < 25%%", 100*ratio)
+	}
+}
+
+// --- Tracing overhead benchmarks (PR 5) --------------------------------
+
+// BenchmarkSensitivityRankTraced is BenchmarkSensitivityRank with a span
+// collection attached to the context — the enabled-tracing counterpart
+// whose delta against the untraced run pins the observability overhead
+// (scripts/bench.sh records both into BENCH_pr5.json).
+func BenchmarkSensitivityRankTraced(b *testing.B) {
+	p := buck.Project()
+	if err := buck.Unfavorable(p); err != nil {
+		b.Fatal(err)
+	}
+	ckt := p.Circuit.Clone()
+	ckt.RemoveCouplings()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench")
+		ctx := obs.WithTrace(context.Background(), tr)
+		if _, err := sensitivity.RankCtx(ctx, ckt, p.Sources[0], p.MeasureNode,
+			sensitivity.Options{MaxFreq: 30e6}); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
+	}
+}
+
+// BenchmarkSessionEditIncrementalTraced is BenchmarkSessionEditIncremental
+// with per-edit tracing enabled (session.edit, drc.recheck and
+// peec.recouple spans recorded per iteration).
+func BenchmarkSessionEditIncrementalTraced(b *testing.B) {
+	s, c := sessionFixture(b)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTrace("bench")
+		ctx := obs.WithTrace(context.Background(), tr)
+		dx := 2e-3
+		if i%2 == 1 {
+			dx = -2e-3
+		}
+		if _, err := s.ApplyCtx(ctx, session.Edit{
+			Op: session.OpMove, Ref: c.Ref,
+			Center: geom.V2(c.Center.X+dx, c.Center.Y), Rot: c.Rot,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tr.Finish()
 	}
 }

@@ -8,6 +8,7 @@
 //
 //	emiplace -in design.txt -out placed.txt [-svg layout.svg]
 //	         [-baseline] [-skip-rotation] [-partition] [-grid mm] [-timeout 2m]
+//	         [-trace trace.json]
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the DRC report as JSON (for CI pipelines)")
 	dumpStats := cli.Stats()
 	mkCtx := cli.Timeout()
+	mkTrace := cli.Trace()
 	flag.Parse()
 
 	if *in == "" {
@@ -56,6 +58,7 @@ func main() {
 
 	ctx, cancel := mkCtx()
 	defer cancel()
+	ctx, finishTrace := mkTrace(ctx)
 	res, err := place.AutoPlaceCtx(ctx, d, place.Options{
 		IgnoreEMD:    *baseline,
 		SkipRotation: *skipRot,
@@ -85,7 +88,8 @@ func main() {
 		}
 	}
 
-	rep := drc.Check(d)
+	rep := drc.CheckCtx(ctx, d)
+	finishTrace()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -9,6 +9,7 @@
 //
 //	emipredict -circuit buck.cir -measure lisn_meas -sources IQ1,VD1
 //	           [-max 108e6] [-no-couplings] [-every 10] [-timeout 30s]
+//	           [-trace trace.json]
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	tsv := flag.String("tsv", "", "also write the full spectrum as TSV to this file")
 	dumpStats := cli.Stats()
 	mkCtx := cli.Timeout()
+	mkTrace := cli.Trace()
 	flag.Parse()
 	defer dumpStats()
 
@@ -60,7 +62,9 @@ func main() {
 	}
 	ctx, cancel := mkCtx()
 	defer cancel()
+	ctx, finishTrace := mkTrace(ctx)
 	s, err := p.SpectrumCtx(ctx)
+	finishTrace()
 	if err != nil {
 		fatal(err)
 	}

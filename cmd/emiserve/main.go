@@ -10,6 +10,7 @@
 //	emiserve [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 2m]
 //	         [-result-ttl 10m] [-result-cap 256] [-drain-timeout 30s]
 //	         [-session-ttl 30m] [-session-cap 64] [-stats]
+//	         [-log] [-slow-op 10s] [-debug-addr 127.0.0.1:8081]
 //
 // SIGTERM or SIGINT starts a graceful drain: intake stops (healthz turns
 // 503 so load balancers stop routing), in-flight jobs finish or are
@@ -21,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -41,11 +44,15 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	sessionTTL := flag.Duration("session-ttl", 0, "design-session idle eviction (0 = default 30m)")
 	sessionCap := flag.Int("session-cap", 0, "max live design sessions (0 = default 64)")
+	logOn := flag.Bool("log", false, "structured request and job logs on stderr")
+	slowOp := flag.Duration("slow-op", 0, "log traced spans slower than this with their ancestor path (0 = default 10s)")
 	dumpStats := cli.Stats()
+	startDebug := cli.DebugAddr()
 	flag.Parse()
 	defer dumpStats()
+	startDebug()
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		JobTimeout: *jobTimeout,
@@ -53,7 +60,12 @@ func main() {
 		ResultCap:  *resultCap,
 		SessionTTL: *sessionTTL,
 		SessionCap: *sessionCap,
-	})
+		SlowOp:     *slowOp,
+	}
+	if *logOn {
+		cfg.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+	}
+	srv := serve.New(cfg)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

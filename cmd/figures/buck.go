@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ type buckState struct {
 var buckCache *buckState
 
 // buckFlow runs the whole paper flow once and caches the artifacts.
-func buckFlow() (*buckState, error) {
+func buckFlow(ctx context.Context) (*buckState, error) {
 	if buckCache != nil {
 		return buckCache, nil
 	}
@@ -43,10 +44,10 @@ func buckFlow() (*buckState, error) {
 		return nil, err
 	}
 	st.pairs = pairs
-	if st.sUnfav, err = st.unfav.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+	if st.sUnfav, err = st.unfav.PredictCtx(ctx, core.PredictOptions{WithCouplings: true}); err != nil {
 		return nil, err
 	}
-	if st.sNoCoup, err = st.unfav.Predict(core.PredictOptions{WithCouplings: false}); err != nil {
+	if st.sNoCoup, err = st.unfav.PredictCtx(ctx, core.PredictOptions{WithCouplings: false}); err != nil {
 		return nil, err
 	}
 	if st.measured, err = st.unfav.VirtualMeasurement(emi.BandStop, 2, 2008); err != nil {
@@ -59,7 +60,7 @@ func buckFlow() (*buckState, error) {
 	if _, err := buck.Optimize(st.opt); err != nil {
 		return nil, err
 	}
-	if st.sOpt, err = st.opt.Predict(core.PredictOptions{WithCouplings: true}); err != nil {
+	if st.sOpt, err = st.opt.PredictCtx(ctx, core.PredictOptions{WithCouplings: true}); err != nil {
 		return nil, err
 	}
 	buckCache = st
@@ -95,8 +96,8 @@ func writeSpectrumSVG(svgdir, name, title string, series []render.SpectrumSeries
 	return nil
 }
 
-func fig1(svgdir string) error {
-	st, err := buckFlow()
+func fig1(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -109,8 +110,8 @@ func fig1(svgdir string) error {
 		[]render.SpectrumSeries{{Name: "unfavourable", Spectrum: st.sUnfav}})
 }
 
-func fig2(svgdir string) error {
-	st, err := buckFlow()
+func fig2(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -131,7 +132,7 @@ func fig2(svgdir string) error {
 		})
 }
 
-func fig11(string) error {
+func fig11(ctx context.Context, _ string) error {
 	p := buck.Project()
 	fmt.Println("ref\tmodel\tbody_mm\tsegments\tself_L")
 	for _, ref := range []string{"CIN1", "CIN2", "CB1", "LF1", "L1", "CO1", "LF2", "CX1", "Q1", "D1", "U1"} {
@@ -150,8 +151,8 @@ func fig11(string) error {
 	return nil
 }
 
-func fig12(string) error {
-	st, err := buckFlow()
+func fig12(ctx context.Context, _ string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -160,8 +161,8 @@ func fig12(string) error {
 	return nil
 }
 
-func fig13(string) error {
-	st, err := buckFlow()
+func fig13(ctx context.Context, _ string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -172,8 +173,8 @@ func fig13(string) error {
 	return nil
 }
 
-func fig14(string) error {
-	st, err := buckFlow()
+func fig14(ctx context.Context, _ string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -201,8 +202,8 @@ func writeLayoutSVG(svgdir, name string, p *core.Project, rep *drc.Report) error
 	return nil
 }
 
-func fig15(svgdir string) error {
-	st, err := buckFlow()
+func fig15(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -213,8 +214,8 @@ func fig15(svgdir string) error {
 	return writeLayoutSVG(svgdir, "fig15_unfavorable.svg", st.unfav, rep)
 }
 
-func fig16(svgdir string) error {
-	st, err := buckFlow()
+func fig16(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -226,8 +227,8 @@ func fig16(svgdir string) error {
 	return writeLayoutSVG(svgdir, "fig16_optimized.svg", st.opt, st.opt.Verify())
 }
 
-func fig17(svgdir string) error {
-	st, err := buckFlow()
+func fig17(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}
@@ -244,8 +245,8 @@ func fig17(svgdir string) error {
 	return writeLayoutSVG(svgdir, "fig17_rules_met.svg", st.opt, rep)
 }
 
-func fig18(svgdir string) error {
-	st, err := buckFlow()
+func fig18(ctx context.Context, svgdir string) error {
+	st, err := buckFlow(ctx)
 	if err != nil {
 		return err
 	}

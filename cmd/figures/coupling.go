@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -12,7 +13,7 @@ import (
 
 // fig5 reproduces the distance dependency of the magnetic coupling factor
 // of two 1.5 µF X-capacitors with parallel magnetic axes.
-func fig5(string) error {
+func fig5(ctx context.Context, _ string) error {
 	m := components.NewX2Cap("X2-1u5", 1.5e-6)
 	a := &components.Instance{Ref: "C1", Model: m}
 	fmt.Println("distance_mm\tcoupling_factor")
@@ -26,7 +27,7 @@ func fig5(string) error {
 
 // fig6 reproduces the capacitor pair placement rule: parallel axes need the
 // full minimum distance, rotating one part by 90° removes the requirement.
-func fig6(string) error {
+func fig6(ctx context.Context, _ string) error {
 	m := components.NewX2Cap("X2-1u5", 1.5e-6)
 	const kmax = 0.01
 	pemd, err := rules.DerivePEMD(m, m, rules.DeriveOptions{KMax: kmax})
@@ -48,7 +49,7 @@ func fig6(string) error {
 
 // fig7 reproduces the coupling of two bobbin coils of different size vs
 // center-to-center distance.
-func fig7(string) error {
+func fig7(ctx context.Context, _ string) error {
 	small := components.NewBobbinChoke("DR-small", 10, 3e-3)
 	big := components.NewBobbinChoke("DR-big", 10, 5e-3)
 	a := &components.Instance{Ref: "L1", Model: small}
@@ -66,7 +67,7 @@ func fig7(string) error {
 // fig8 scans a filter capacitor around a 2-winding and a 3-winding
 // common-mode choke: the 2-winding design offers decoupled positions, the
 // 3-winding design's rotating stray field does not.
-func fig8(string) error {
+func fig8(ctx context.Context, _ string) error {
 	victim := components.NewX2Cap("X2", 1e-6)
 	cm2 := components.NewCMChoke2("CM2")
 	cm3 := components.NewCMChoke3("CM3")
@@ -91,7 +92,7 @@ func fig8(string) error {
 
 // fig4 prints the stray-field magnitude map of two coupled bobbin
 // inductors, the PEEC stand-in for the paper's FEM flux picture.
-func fig4(string) error {
+func fig4(ctx context.Context, _ string) error {
 	l1 := components.NewBobbinChoke("DR", 10, 4e-3)
 	a := l1.Conductor(0).Translate(geom.V3(-0.012, 0, 0))
 	b := l1.Conductor(0).Translate(geom.V3(0.012, 0, 0))
@@ -108,7 +109,7 @@ func fig4(string) error {
 }
 
 // fig10 tabulates the EMD cosine rule between two chokes.
-func fig10(string) error {
+func fig10(ctx context.Context, _ string) error {
 	const pemdMM = 25.0
 	fmt.Printf("# PEMD = %.0f mm (parallel magnetic axes)\n", pemdMM)
 	fmt.Println("alpha_deg\tEMD_mm")

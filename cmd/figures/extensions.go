@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,7 +17,7 @@ import (
 // fig19 (extension, not in the paper) quantifies the capacitive body
 // coupling the paper defers to future work: spectrum deltas per band when
 // the panel-method body capacitances are added to the coupled prediction.
-func fig19(string) error {
+func fig19(ctx context.Context, _ string) error {
 	p := buck.Project()
 	if err := buck.Unfavorable(p); err != nil {
 		return err
@@ -33,11 +34,11 @@ func fig19(string) error {
 	}
 	fmt.Printf("# %d body capacitances extracted; largest %s-%s = %.2f pF\n",
 		len(cs), maxPair[0], maxPair[1], maxC*1e12)
-	sInd, err := p.Predict(core.PredictOptions{WithCouplings: true})
+	sInd, err := p.PredictCtx(ctx, core.PredictOptions{WithCouplings: true})
 	if err != nil {
 		return err
 	}
-	sCap, err := p.Predict(core.PredictOptions{WithCouplings: true, WithCapacitive: true})
+	sCap, err := p.PredictCtx(ctx, core.PredictOptions{WithCouplings: true, WithCapacitive: true})
 	if err != nil {
 		return err
 	}
@@ -56,13 +57,13 @@ func fig19(string) error {
 // Fourier coefficients vs time-domain trapezoidal integration measured by
 // the CISPR-16-style receiver (peak detector), at the switching
 // fundamental where periodic steady state is reached.
-func fig21(string) error {
+func fig21(ctx context.Context, _ string) error {
 	p := buck.Project()
 	if err := buck.Unfavorable(p); err != nil {
 		return err
 	}
 	opt := core.PredictOptions{WithCouplings: false}
-	sFreq, err := p.Predict(opt)
+	sFreq, err := p.PredictCtx(ctx, opt)
 	if err != nil {
 		return err
 	}
@@ -82,7 +83,7 @@ func fig21(string) error {
 // LISNs, CM choke, Y-capacitors and the switch-node dv/dt pumping the
 // heatsink capacitance. The Y-capacitor's position relative to the choke
 // (Figure 8) enters as a coupling factor and decides the HF filtering.
-func fig22(string) error {
+func fig22(ctx context.Context, _ string) error {
 	fmt.Printf("# heatsink (tab-to-chassis) capacitance: %.1f pF\n", buck.HeatsinkCapacitance()*1e12)
 	variant := func(name string, yCapK float64, mutate func(*core.Project)) error {
 		p, err := buck.CMProject(yCapK)
@@ -94,7 +95,7 @@ func fig22(string) error {
 		}
 		s, err := (&emi.Predictor{
 			Circuit: p.Circuit, Sources: p.Sources, MeasureNode: p.MeasureNode,
-		}).Spectrum()
+		}).SpectrumCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -124,7 +125,7 @@ func fig22(string) error {
 // fig23 (extension) runs the second case study: common-mode emissions of
 // a three-phase motor-drive inverter with its three-winding CM choke —
 // the component class of the paper's Figure 8 right-hand side.
-func fig23(string) error {
+func fig23(ctx context.Context, _ string) error {
 	inter, err := inverter.Predict(inverter.Options{Interleaved: true, WithChoke: true}, 2e6)
 	if err != nil {
 		return err
@@ -153,7 +154,7 @@ func fig23(string) error {
 // fig24 (extension) runs a virtual near-field scan over the placed buck
 // board: the board-level generalisation of Figure 4, and the simulation
 // twin of the near-field scanners used to locate EMI hot spots.
-func fig24(svgdir string) error {
+func fig24(ctx context.Context, svgdir string) error {
 	p := buck.Project()
 	if err := buck.Unfavorable(p); err != nil {
 		return err
@@ -188,7 +189,7 @@ func fig24(svgdir string) error {
 // fig20 (extension) shows the shielding-plane dependency of the minimum
 // distance rules the paper mentions: PEMD with and without an ideal ground
 // plane under the components.
-func fig20(string) error {
+func fig20(ctx context.Context, _ string) error {
 	m := components.NewX2Cap("X2-1u5", 1.5e-6)
 	free, err := rules.DerivePEMD(m, m, rules.DeriveOptions{KMax: 0.01})
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"io"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ func TestGoldenFigures(t *testing.T) {
 		{"fig05", fig5},
 		{"fig10", fig10},
 	} {
-		got := captureStdout(t, func() error { return tc.fn("") })
+		got := captureStdout(t, func() error { return tc.fn(context.Background(), "") })
 		golden := filepath.Join("..", "..", "testdata", tc.name+".golden")
 		if update {
 			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {

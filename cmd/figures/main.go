@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,9 @@ import (
 )
 
 // figureFunc renders one figure's data to stdout; svgdir may be empty.
-type figureFunc func(svgdir string) error
+// ctx carries cancellation and the optional -trace span collection; it
+// never changes the computed data.
+type figureFunc func(ctx context.Context, svgdir string) error
 
 var figures = map[int]struct {
 	title string
@@ -56,6 +59,8 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every figure")
 	svgdir := flag.String("svgdir", "", "directory for SVG renderings of layout figures")
 	dumpStats := cli.Stats()
+	mkCtx := cli.Timeout()
+	mkTrace := cli.Trace()
 	flag.Parse()
 	defer dumpStats()
 
@@ -86,14 +91,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, cancel := mkCtx()
+	defer cancel()
+	ctx, finishTrace := mkTrace(ctx)
 	for _, n := range nums {
 		f := figures[n]
 		fmt.Printf("== Figure %d: %s ==\n", n, f.title)
-		if err := f.fn(*svgdir); err != nil {
+		if err := f.fn(ctx, *svgdir); err != nil {
 			fatal(fmt.Errorf("figure %d: %w", n, err))
 		}
 		fmt.Println()
 	}
+	finishTrace()
 }
 
 func fatal(err error) {

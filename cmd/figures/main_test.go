@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,7 +24,7 @@ func TestFastFiguresRun(t *testing.T) {
 	}()
 
 	for _, n := range []int{4, 5, 6, 10, 11} {
-		if err := figures[n].fn(""); err != nil {
+		if err := figures[n].fn(context.Background(), ""); err != nil {
 			t.Errorf("figure %d: %v", n, err)
 		}
 	}
@@ -49,7 +50,7 @@ func TestBuckFlowFigures(t *testing.T) {
 
 	dir := t.TempDir()
 	for _, n := range []int{1, 2, 12, 13, 14, 15, 16, 17, 18, 9} {
-		if err := figures[n].fn(dir); err != nil {
+		if err := figures[n].fn(context.Background(), dir); err != nil {
 			t.Errorf("figure %d: %v", n, err)
 		}
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,9 +13,9 @@ import (
 
 // fig9 reproduces the complex-board experiment: 29 devices, 100 minimum
 // distances and 3 functional groups placed automatically "in seconds".
-func fig9(svgdir string) error {
+func fig9(ctx context.Context, svgdir string) error {
 	d := workload.Complex29()
-	res, err := place.AutoPlace(d, place.Options{})
+	res, err := place.AutoPlaceCtx(ctx, d, place.Options{})
 	if err != nil {
 		return err
 	}

@@ -1,16 +1,21 @@
 // Package cli holds flag wiring shared by every command: the -stats
-// engine-statistics dump and the -timeout computation deadline. Each
-// helper registers its flag before flag.Parse and returns a closure the
-// command invokes afterwards, so the four binaries stay byte-for-byte
-// consistent in flag names, help text and behaviour.
+// engine-statistics dump, the -timeout computation deadline, the -trace
+// span capture and the -debug-addr pprof server. Each helper registers
+// its flag before flag.Parse and returns a closure the command invokes
+// afterwards, so the binaries stay byte-for-byte consistent in flag
+// names, help text and behaviour.
 package cli
 
 import (
 	"context"
 	"flag"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // StatsOn registers -stats on fs and returns a dump function: a no-op
@@ -48,3 +53,66 @@ func TimeoutOn(fs *flag.FlagSet) func() (context.Context, context.CancelFunc) {
 func Timeout() func() (context.Context, context.CancelFunc) {
 	return TimeoutOn(flag.CommandLine)
 }
+
+// TraceOn registers -trace on fs and returns a wrap function for use
+// after fs.Parse: it attaches a verbose span trace to the given context
+// and returns the traced context plus a finish func that writes the
+// collected spans as Chrome trace_event JSON to the flag's file (load it
+// in chrome://tracing or Perfetto). With the flag unset, wrap returns the
+// context unchanged and a no-op — the span fast path stays a nil check.
+func TraceOn(fs *flag.FlagSet) func(ctx context.Context) (context.Context, func()) {
+	path := fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+	return func(ctx context.Context) (context.Context, func()) {
+		if *path == "" {
+			return ctx, func() {}
+		}
+		tr := obs.NewTrace("run")
+		tr.SetVerbose(true)
+		return obs.WithTrace(ctx, tr), func() {
+			tr.Finish()
+			f, err := os.Create(*path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := tr.WriteChrome(f); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "trace: %d spans written to %s\n", tr.Len(), *path)
+		}
+	}
+}
+
+// Trace is TraceOn for the default command-line flag set.
+func Trace() func(ctx context.Context) (context.Context, func()) {
+	return TraceOn(flag.CommandLine)
+}
+
+// DebugAddrOn registers -debug-addr on fs and returns a start function:
+// a no-op unless the flag was set, in which case it serves net/http/pprof
+// (/debug/pprof/...) on the given address in a background goroutine —
+// the opt-in profiling surface for CPU, heap and goroutine diagnostics.
+func DebugAddrOn(fs *flag.FlagSet) (start func()) {
+	addr := fs.String("debug-addr", "", "serve /debug/pprof on this address (e.g. 127.0.0.1:8081); empty = off")
+	return func() {
+		if *addr == "" {
+			return
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*addr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "debug-addr: %v\n", err)
+			}
+		}()
+	}
+}
+
+// DebugAddr is DebugAddrOn for the default command-line flag set.
+func DebugAddr() (start func()) { return DebugAddrOn(flag.CommandLine) }

@@ -2,9 +2,14 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestTimeoutUnset(t *testing.T) {
@@ -54,4 +59,68 @@ func TestStatsFlagRegistered(t *testing.T) {
 		t.Fatal(err)
 	}
 	dump() // unset: must be a no-op and not panic
+}
+
+func TestTraceUnset(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mk := TraceOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, finish := mk(context.Background())
+	if obs.TraceOf(ctx) != nil {
+		t.Fatal("unset -trace attached a trace to the context")
+	}
+	finish() // must be a no-op and not panic
+}
+
+func TestTraceSetWritesChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	mk := TraceOn(fs)
+	if err := fs.Parse([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, finish := mk(context.Background())
+	if obs.TraceOf(ctx) == nil {
+		t.Fatal("-trace did not attach a trace")
+	}
+	_, sp := obs.Start(ctx, "work")
+	sp.Int("items", 3)
+	sp.End()
+	finish()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v\n%s", err, data)
+	}
+	found := false
+	for _, ev := range chrome.TraceEvents {
+		if ev.Name == "work" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("span %q missing from trace events: %s", "work", data)
+	}
+}
+
+func TestDebugAddrRegistered(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	start := DebugAddrOn(fs)
+	if fs.Lookup("debug-addr") == nil {
+		t.Fatal("-debug-addr not registered")
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	start() // unset: must be a no-op and not panic
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/peec"
 	"repro/internal/place"
 	"repro/internal/rules"
@@ -177,6 +178,20 @@ func (p *Project) ExtractCouplings(pairs [][2]string) (map[[2]string]float64, er
 // returned.
 func (p *Project) ExtractCouplingsCtx(ctx context.Context, pairs [][2]string) (map[[2]string]float64, error) {
 	defer engine.Phase("core.extract")()
+	ctx, sp := obs.Start(ctx, "peec.extract")
+	sp.Int("pairs", int64(len(pairs)))
+	var h0, m0 uint64
+	if sp != nil {
+		h0, m0 = engine.CacheCounts()
+	}
+	defer func() {
+		if sp != nil {
+			h1, m1 := engine.CacheCounts()
+			sp.Int("cache_hits", int64(h1-h0))
+			sp.Int("cache_misses", int64(m1-m0))
+		}
+		sp.End()
+	}()
 	// Phase 1: build every needed conductor and its (placement-invariant)
 	// self-inductance, fanned out over the engine pool. Each ref writes
 	// only its own slot, so the result is scheduling-independent.

@@ -7,12 +7,15 @@
 package drc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Kind classifies a violation.
@@ -91,6 +94,14 @@ func (r *Report) String() string {
 
 // Check runs the full rule set on the design.
 func Check(d *layout.Design) *Report {
+	return CheckCtx(context.Background(), d)
+}
+
+// CheckCtx is Check with tracing: a "drc.check" span records the check and
+// violation counts on a traced context.
+func CheckCtx(ctx context.Context, d *layout.Design) *Report {
+	defer engine.Phase("drc.check")()
+	_, sp := obs.Start(ctx, "drc.check")
 	r := &Report{}
 	checkPlaced(d, r)
 	checkEMD(d, r)
@@ -99,6 +110,9 @@ func Check(d *layout.Design) *Report {
 	checkKeepouts(d, r)
 	checkGroups(d, r)
 	checkNets(d, r)
+	sp.Int("checks", int64(r.Checks))
+	sp.Int("violations", int64(len(r.Violations)))
+	sp.End()
 	return r
 }
 

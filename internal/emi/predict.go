@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mna"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Spectrum is a conducted-emission spectrum in dBµV over discrete
@@ -142,6 +143,9 @@ func (b *BandSolver) SolveHarmonic(i int) (float64, error) {
 // harmonics. Callers running many predictions fan out at a higher level
 // (one BandSolver per worker) rather than per harmonic.
 func (b *BandSolver) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
+	_, sp := obs.Start(ctx, "emi.band")
+	sp.Int("harmonics", int64(len(b.ks)))
+	defer sp.End()
 	out := &Spectrum{
 		Freqs: b.Freqs(),
 		DB:    make([]float64, len(b.ks)),
@@ -180,6 +184,10 @@ func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
 	// each harmonic writes only its own slot, so the spectrum is
 	// identical under any parallelism.
 	defer engine.Phase("emi.harmonics")()
+	ctx, sp := obs.Start(ctx, "emi.spectrum")
+	sp.Int("harmonics", int64(len(ks)))
+	sp.Int("sources", int64(len(names)))
+	defer sp.End()
 	dbs := make([]float64, len(ks))
 	err = engine.ForEachStateCtx(ctx, len(ks),
 		func() (*BandSolver, error) {

@@ -32,6 +32,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // tokens is the global concurrency budget shared by every (possibly
@@ -172,16 +175,24 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 		return nil
 	}
 	statPoolBatch(n)
+	bctx, batch := obs.Start(ctx, "engine.batch")
+	defer batch.End()
+	batch.Int("tasks", int64(n))
 	workers := limit()
 	if workers > n {
 		workers = n
 	}
 	if workers > 1 {
 		// The calling goroutine is worker 0; the rest need tokens.
+		t0 := time.Now()
 		extra := acquire(workers - 1)
+		if batch != nil {
+			batch.Float("token_wait_ms", float64(time.Since(t0))/1e6)
+		}
 		workers = extra + 1
 		defer release(extra)
 	}
+	batch.Int("workers", int64(workers))
 	if workers <= 1 {
 		s, err := newState()
 		if err != nil {
@@ -191,7 +202,7 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runItem(s, i, fn); err != nil {
+			if err := runItemTraced(bctx, s, i, fn, batch.Verbose()); err != nil {
 				return err
 			}
 		}
@@ -200,7 +211,10 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 
 	var next atomic.Int64
 	var ferr firstError
+	verbose := batch.Verbose()
 	work := func() {
+		wctx, wsp := obs.Start(bctx, "engine.worker")
+		defer wsp.End()
 		s, err := newState()
 		if err != nil {
 			// Attribute state-construction failures to the next
@@ -209,6 +223,8 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 			ferr.set(int(next.Load()), err)
 			return
 		}
+		items := 0
+		defer func() { wsp.Int("items", int64(items)) }()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n || ferr.failed() {
@@ -218,7 +234,8 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 				ferr.set(i, err)
 				return
 			}
-			if err := runItem(s, i, fn); err != nil {
+			items++
+			if err := runItemTraced(wctx, s, i, fn, verbose); err != nil {
 				ferr.set(i, err)
 				return
 			}
@@ -237,6 +254,20 @@ func ForEachStateCtx[S any](ctx context.Context, n int, newState func() (S, erro
 	ferr.mu.Lock()
 	defer ferr.mu.Unlock()
 	return ferr.err
+}
+
+// runItemTraced wraps runItem in an "engine.task" span when the trace is
+// verbose; per-item spans for thousand-task batches would blow the span
+// cap otherwise.
+func runItemTraced[S any](ctx context.Context, s S, i int, fn func(s S, i int) error, verbose bool) error {
+	if !verbose {
+		return runItem(s, i, fn)
+	}
+	_, sp := obs.Start(ctx, "engine.task")
+	sp.Int("i", int64(i))
+	err := runItem(s, i, fn)
+	sp.End()
+	return err
 }
 
 // runItem executes one work item with panic capture.

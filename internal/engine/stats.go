@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,11 +50,49 @@ func statPoolBatch(n int) {
 	ctrPoolTasks.Add(uint64(n))
 }
 
-// PhaseStat is the accumulated wall time of one named phase.
+// CacheCounts returns the memo-cache hit/miss counters — the cheap
+// accessor span attributes use (Snapshot takes the phase lock and
+// sorts; this is two atomic loads).
+func CacheCounts() (hits, misses uint64) {
+	return ctrCacheHits.Load(), ctrCacheMisses.Load()
+}
+
+// LUCounts returns the assembly/factorization/resolve counters, equally
+// cheaply. Deltas of these across a span are approximate under
+// concurrency (the counters are process-global) but still separate "one
+// refactor per frequency" from "resolves against a retained LU" at a
+// glance.
+func LUCounts() (assemblies, factorizations, resolves uint64) {
+	return ctrAssemblies.Load(), ctrFactors.Load(), ctrResolves.Load()
+}
+
+// PhaseStat is the accumulated wall time and heap allocation of one
+// named phase. Bytes counts process-global heap allocation during the
+// phase (runtime/metrics "/gc/heap/allocs:bytes"), so concurrent phases
+// attribute each other's allocations — a cost profile, not an exact
+// per-phase ledger.
 type PhaseStat struct {
 	Name  string
 	Calls uint64
 	Wall  time.Duration
+	Bytes uint64
+}
+
+// allocSamples pools the one-element runtime/metrics sample slices so
+// heapAllocBytes itself stays allocation-free on the steady state.
+var allocSamples = sync.Pool{New: func() any {
+	s := make([]metrics.Sample, 1)
+	s[0].Name = "/gc/heap/allocs:bytes"
+	return &s
+}}
+
+// heapAllocBytes reads the cumulative heap allocation counter.
+func heapAllocBytes() uint64 {
+	sp := allocSamples.Get().(*[]metrics.Sample)
+	metrics.Read(*sp)
+	v := (*sp)[0].Value.Uint64()
+	allocSamples.Put(sp)
+	return v
 }
 
 var phases = struct {
@@ -71,8 +110,10 @@ var phases = struct {
 // phase effort, not process elapsed time).
 func Phase(name string) func() {
 	start := time.Now()
+	a0 := heapAllocBytes()
 	return func() {
 		d := time.Since(start)
+		da := heapAllocBytes() - a0
 		phases.Lock()
 		p := phases.m[name]
 		if p == nil {
@@ -81,6 +122,7 @@ func Phase(name string) func() {
 		}
 		p.Calls++
 		p.Wall += d
+		p.Bytes += da
 		phases.Unlock()
 	}
 }
@@ -166,10 +208,23 @@ func Fprint(w io.Writer) error {
 		return err
 	}
 	for _, p := range s.Phases {
-		if _, err := fmt.Fprintf(w, "engine: phase %s calls %d wall %s\n",
-			p.Name, p.Calls, p.Wall.Round(time.Microsecond)); err != nil {
+		if _, err := fmt.Fprintf(w, "engine: phase %s calls %d wall %s alloc %s\n",
+			p.Name, p.Calls, p.Wall.Round(time.Microsecond), FmtBytes(p.Bytes)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// FmtBytes renders a byte count in the nearest binary unit (1.5MiB).
+func FmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }

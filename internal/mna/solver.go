@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/linalg"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Gmin is the conductance added from every node to ground to keep
@@ -387,6 +388,20 @@ func (a *Analyzer) SweepNode(freqs []float64, node string) ([]complex128, error)
 // the serial sweep under any parallelism. The compiled plans (including
 // any active probe coupling) must not be mutated while the sweep runs.
 func (a *Analyzer) SweepNodeCtx(ctx context.Context, freqs []float64, node string) ([]complex128, error) {
+	ctx, sp := obs.Start(ctx, "mna.sweep")
+	sp.Int("freqs", int64(len(freqs)))
+	var f0, r0 uint64
+	if sp != nil {
+		_, f0, r0 = engine.LUCounts()
+	}
+	defer func() {
+		if sp != nil {
+			_, f1, r1 := engine.LUCounts()
+			sp.Int("lu_factorizations", int64(f1-f0))
+			sp.Int("lu_resolves", int64(r1-r0))
+		}
+		sp.End()
+	}()
 	out := make([]complex128, len(freqs))
 	err := engine.ForEachStateCtx(ctx, len(freqs),
 		func() (*solveScratch, error) { return &solveScratch{}, nil },

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkSpanDisabled is the overhead contract's benchmark: a full
+// Start/attr/End cycle with no trace attached must be a nil-check —
+// ~0 allocs/op (TestSpanDisabledZeroAlloc enforces the 0).
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := Start(ctx, "hot.path")
+		sp.Int("n", int64(i))
+		sp.End()
+		_ = c
+	}
+}
+
+// BenchmarkSpanEnabled measures the enabled path: span object, context
+// value, record append — the cost a traced request pays per span.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTrace("bench")
+	tr.SetCap(1 << 30)
+	ctx := WithTrace(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := Start(ctx, "hot.path")
+		sp.Int("n", int64(i))
+		sp.End()
+		_ = c
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock returns a trace whose clock advances exactly 1 ms per
+// reading, starting at t=0 — every exported timestamp is deterministic.
+func fakeClockTrace(name string) *Trace {
+	tr := NewTrace(name)
+	clk := time.Unix(0, 0)
+	tr.now = func() time.Time {
+		clk = clk.Add(time.Millisecond)
+		return clk
+	}
+	tr.start = time.Unix(0, 0)
+	tr.root.start = tr.start
+	return tr
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event JSON byte-for-byte:
+// structure, lane assignment, microsecond timestamps and args.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := fakeClockTrace("job")
+	tr.RecordSpan("queue.wait", 0, 500*time.Microsecond)
+	ctx := WithTrace(context.Background(), tr)
+
+	pctx, parse := Start(ctx, "parse") // start 1ms
+	_ = pctx
+	parse.Int("elements", 12)
+	parse.End() // end 2ms
+
+	sctx, solve := Start(ctx, "solve") // start 3ms
+	_, sweep := Start(sctx, "mna.sweep")
+	sweep.Int("freqs", 300)
+	sweep.End() // 4ms..5ms
+	solve.End() // 3ms..6ms
+	tr.Finish() // root 0..7ms
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/obs -run ChromeTraceGolden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// And it must be valid JSON with the expected top-level shape.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(parsed.TraceEvents))
+	}
+}
+
+// TestChromeLanesSeparateOverlaps checks the lane assignment: two
+// overlapping sibling spans cannot share a tid, while a nested child
+// shares its parent's.
+func TestChromeLanesSeparateOverlaps(t *testing.T) {
+	tr := NewTrace("root")
+	// Hand-record overlapping siblings plus one nested child.
+	tr.RecordSpan("a", 0, 10*time.Millisecond)
+	tr.RecordSpan("b", 5*time.Millisecond, 10*time.Millisecond) // overlaps a
+	tr.RecordSpan("a.child", 2*time.Millisecond, 2*time.Millisecond)
+
+	spans := tr.sorted()
+	lanes := assignLanes(spans)
+	byName := map[string]int{}
+	for i, s := range spans {
+		byName[s.Name] = lanes[i]
+	}
+	if byName["a"] == byName["b"] {
+		t.Fatalf("overlapping siblings share lane %d", byName["a"])
+	}
+	if byName["a.child"] != byName["a"] {
+		t.Fatalf("nested child on lane %d, parent on %d", byName["a.child"], byName["a"])
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "context"
+
+// ctxKey carries the current *Span through a context chain.
+type ctxKey struct{}
+
+// WithTrace attaches a trace's root span to the context; spans started
+// from the returned context become its descendants. A nil trace returns
+// ctx unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t.root)
+}
+
+// Current returns the span the context carries, or nil.
+func Current(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// TraceOf returns the trace the context carries, or nil.
+func TraceOf(ctx context.Context) *Trace {
+	if s := Current(ctx); s != nil {
+		return s.t
+	}
+	return nil
+}
+
+// Start begins a child span of whatever span the context carries and
+// returns a context carrying the new span. When the context carries no
+// span (tracing disabled) it returns ctx unchanged and a nil span —
+// the zero-allocation fast path the overhead contract promises.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(ctxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	t := parent.t
+	s := &Span{
+		t:      t,
+		parent: parent,
+		id:     t.nextID.Add(1),
+		name:   name,
+		start:  t.now(),
+	}
+	return context.WithValue(ctx, ctxKey{}, s), s
+}

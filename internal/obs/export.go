@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// sorted returns the trace's spans ordered for export: by start offset,
+// then longer spans first (parents enclose children), then by ID —
+// deterministic under any goroutine interleaving.
+func (t *Trace) sorted() []SpanRecord {
+	spans := t.Snapshot()
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur
+		}
+		return a.ID < b.ID
+	})
+	return spans
+}
+
+// chromeEvent is one trace_event in the Chrome trace JSON.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the Chrome trace file format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the trace in the Chrome trace_event format
+// ("complete" X events) — load the file in chrome://tracing or
+// ui.perfetto.dev. Spans are assigned lanes (tids) greedily so that
+// overlapping concurrent spans land on separate rows while properly
+// nested spans share their ancestors' row.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.sorted()
+	lanes := assignLanes(spans)
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for i, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  lanes[i],
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// assignLanes places start-ordered spans onto the fewest rows such that
+// a span only shares a row with spans it nests inside: per lane a stack
+// of open intervals is kept; a span joins the first lane whose top
+// interval contains it (or which has no open interval left).
+func assignLanes(spans []SpanRecord) []int {
+	type lane struct{ open []SpanRecord }
+	var ls []*lane
+	out := make([]int, len(spans))
+	for i, s := range spans {
+		placed := false
+		for li, l := range ls {
+			// Close intervals that ended before this span starts.
+			for len(l.open) > 0 && l.open[len(l.open)-1].Start+l.open[len(l.open)-1].Dur <= s.Start {
+				l.open = l.open[:len(l.open)-1]
+			}
+			if len(l.open) == 0 || s.Start+s.Dur <= l.open[len(l.open)-1].Start+l.open[len(l.open)-1].Dur {
+				l.open = append(l.open, s)
+				out[i] = li + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ls = append(ls, &lane{open: []SpanRecord{s}})
+			out[i] = len(ls)
+		}
+	}
+	return out
+}
+
+// WriteTree writes the span hierarchy as an indented text tree with
+// durations and attributes — the compact terminal-friendly view of the
+// same data WriteChrome exports.
+func (t *Trace) WriteTree(w io.Writer) error {
+	spans := t.sorted()
+	children := make(map[uint64][]SpanRecord, len(spans))
+	byID := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	var roots []SpanRecord
+	for _, s := range spans {
+		if s.Parent == 0 || !byID[s.Parent] {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	var walk func(s SpanRecord, depth int) error
+	walk = func(s SpanRecord, depth int) error {
+		for i := 0; i < depth; i++ {
+			if _, err := io.WriteString(w, "  "); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s", s.Name, s.Dur.Round(time.Microsecond)); err != nil {
+			return err
+		}
+		for _, a := range s.Attrs {
+			if _, err := fmt.Fprintf(w, " %s=%v", a.Key, a.Val); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		for _, c := range children[s.ID] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d spans dropped by cap)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PhaseTiming is the per-phase aggregate of a trace: every span of the
+// same name folded into call count, total and maximum duration. This is
+// what a job's `timings` breakdown serves.
+type PhaseTiming struct {
+	Phase   string  `json:"phase"`
+	Calls   int     `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// TotalSeconds returns the total duration in seconds (histogram unit).
+func (p PhaseTiming) TotalSeconds() float64 { return p.TotalMS / 1e3 }
+
+// Timings aggregates the recorded spans by name, sorted by descending
+// total time (ties by name). Call after Finish for a complete view.
+func (t *Trace) Timings() []PhaseTiming {
+	agg := map[string]*PhaseTiming{}
+	for _, s := range t.Snapshot() {
+		p := agg[s.Name]
+		if p == nil {
+			p = &PhaseTiming{Phase: s.Name}
+			agg[s.Name] = p
+		}
+		p.Calls++
+		ms := float64(s.Dur) / float64(time.Millisecond)
+		p.TotalMS += ms
+		if ms > p.MaxMS {
+			p.MaxMS = ms
+		}
+	}
+	out := make([]PhaseTiming, 0, len(agg))
+	for _, p := range agg {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalMS != out[j].TotalMS {
+			return out[i].TotalMS > out[j].TotalMS
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe.
+// Buckets are defined by ascending upper bounds; an implicit +Inf bucket
+// catches the overflow. Counts and the sum are atomics, so the hot path
+// never takes a lock.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last = +Inf overflow
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	total  atomic.Uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper
+// bounds. Panics on an empty or unsorted bound list (a programming
+// error, not an input error).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n strictly ascending bounds start, start·factor,
+// start·factor², … — the standard exponential latency/alloc ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencySeconds is the default latency ladder: 1 ms … ~65 s in powers
+// of two — wide enough for a queue wait and a full placement job alike.
+var LatencySeconds = ExpBuckets(1e-3, 2, 17)
+
+// AllocBytes is the default allocation ladder: 4 KiB … 4 GiB in powers
+// of four.
+var AllocBytes = ExpBuckets(4096, 4, 11)
+
+// formatBound renders a bucket bound the shortest round-trip way —
+// matches Prometheus's own `le` label rendering closely enough to grep.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// HistogramSet is one labeled histogram family (e.g. job-phase latency
+// keyed by phase name): histograms are created on first Observe of a
+// label and exposed together as one Prometheus metric family.
+type HistogramSet struct {
+	name, help, label string
+	bounds            []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramSet creates an empty family. name/help/label feed the
+// exposition; bounds are shared by every member.
+func NewHistogramSet(name, help, label string, bounds []float64) *HistogramSet {
+	return &HistogramSet{
+		name: name, help: help, label: label,
+		bounds: append([]float64(nil), bounds...),
+		m:      map[string]*Histogram{},
+	}
+}
+
+// Observe records v under the given label value.
+func (s *HistogramSet) Observe(labelVal string, v float64) {
+	s.mu.RLock()
+	h := s.m[labelVal]
+	s.mu.RUnlock()
+	if h == nil {
+		s.mu.Lock()
+		h = s.m[labelVal]
+		if h == nil {
+			h = NewHistogram(s.bounds)
+			s.m[labelVal] = h
+		}
+		s.mu.Unlock()
+	}
+	h.Observe(v)
+}
+
+// Get returns the member histogram for a label value, or nil.
+func (s *HistogramSet) Get(labelVal string) *Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[labelVal]
+}
+
+// Labels returns the observed label values, sorted.
+func (s *HistogramSet) Labels() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteProm writes the family in the Prometheus text exposition format
+// (version 0.0.4): one # HELP and # TYPE header, then per label value
+// the cumulative _bucket series, _sum and _count.
+func (s *HistogramSet) WriteProm(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", s.name, s.help, s.name); err != nil {
+		return err
+	}
+	for _, lv := range s.Labels() {
+		h := s.Get(lv)
+		counts := h.BucketCounts()
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n",
+				s.name, s.label, lv, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", s.name, s.label, lv, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %g\n%s_count{%s=%q} %d\n",
+			s.name, s.label, lv, h.Sum(), s.name, s.label, lv, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

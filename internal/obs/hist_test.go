@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// A value equal to a bound lands in that bound's bucket (le is
+	// inclusive, Prometheus semantics).
+	for _, v := range []float64{0.5, 1} {
+		h.Observe(v)
+	}
+	h.Observe(1.5)
+	h.Observe(4)
+	h.Observe(100) // overflow
+	counts := h.BucketCounts()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-107) > 1e-9 {
+		t.Fatalf("sum = %g, want 107", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 7))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	perWorker := 0.0
+	for i := 0; i < per; i++ {
+		perWorker += float64(i % 7)
+	}
+	wantSum := float64(workers) * perWorker
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-3, 2, 4)
+	want := []float64{1e-3, 2e-3, 4e-3, 8e-3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramSetPromExposition(t *testing.T) {
+	s := NewHistogramSet("emiserve_phase_seconds",
+		"Wall time per pipeline phase.", "phase", []float64{0.001, 0.01})
+	s.Observe("predict", 0.0005)
+	s.Observe("predict", 0.005)
+	s.Observe("predict", 5)
+	s.Observe("queue.wait", 0.0001)
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP emiserve_phase_seconds Wall time per pipeline phase.\n",
+		"# TYPE emiserve_phase_seconds histogram\n",
+		`emiserve_phase_seconds_bucket{phase="predict",le="0.001"} 1` + "\n",
+		`emiserve_phase_seconds_bucket{phase="predict",le="0.01"} 2` + "\n",
+		`emiserve_phase_seconds_bucket{phase="predict",le="+Inf"} 3` + "\n",
+		`emiserve_phase_seconds_sum{phase="predict"} 5.0055` + "\n",
+		`emiserve_phase_seconds_count{phase="predict"} 3` + "\n",
+		`emiserve_phase_seconds_bucket{phase="queue.wait",le="0.001"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE appear exactly once for the family.
+	if strings.Count(out, "# HELP") != 1 || strings.Count(out, "# TYPE") != 1 {
+		t.Fatalf("want exactly one HELP and one TYPE header:\n%s", out)
+	}
+	// Labels come out sorted: predict before queue.wait.
+	if strings.Index(out, `phase="predict"`) > strings.Index(out, `phase="queue.wait"`) {
+		t.Fatalf("label values not sorted:\n%s", out)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(LatencySeconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-4)
+	}
+}

@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns the stack's standard structured logger: slog text
+// format to w at the given level. Every subsystem that logs goes through
+// this constructor so log lines stay uniformly parseable.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// Discard is a logger that drops everything — the nil-object default so
+// call sites never branch on "is logging configured".
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+		Level: slog.Level(127), // above every real level: Enabled is always false
+	}))
+}

@@ -1,0 +1,268 @@
+// Package obs is the zero-dependency observability layer of the EMI
+// design stack: hierarchical spans collected into bounded per-request
+// traces, fixed-bucket histograms with Prometheus text exposition, and a
+// slog-based structured logger with slow-operation reporting.
+//
+// The overhead contract is the load-bearing property: when no trace is
+// attached to the context, obs.Start returns a nil *Span and every Span
+// method is a nil-check no-op — zero allocations, benchmark-enforced
+// (see TestSpanDisabledZeroAlloc). Figures and tier-1 timings therefore
+// stay byte-identical whether or not the package is linked into the hot
+// path.
+//
+// Usage:
+//
+//	tr := obs.NewTrace("job")
+//	ctx = obs.WithTrace(ctx, tr)
+//	...
+//	ctx, sp := obs.Start(ctx, "mna.sweep")
+//	sp.Int("freqs", int64(len(freqs)))
+//	defer sp.End()
+//
+// A finished trace exports as a Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto) via WriteChrome, as an indented text
+// tree via WriteTree, and as a per-phase aggregate via Timings.
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanCap bounds a trace's span store: spans finished beyond the
+// cap are counted in Dropped instead of recorded, so a runaway fan-out
+// cannot grow a request trace without bound.
+const DefaultSpanCap = 4096
+
+// Attr is one span attribute. Values are whatever the caller hands the
+// typed setters (int64, float64, string); they surface as Chrome trace
+// args and `k=v` pairs in the text tree.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// SpanRecord is one finished span as stored in the trace. Start is the
+// monotonic offset from the trace's start.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 = no parent (the root span itself)
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Trace is a bounded, goroutine-safe collection of spans for one request
+// (a job, a CLI invocation, a session edit storm). Create with NewTrace,
+// attach to a context with WithTrace, finish with Finish.
+type Trace struct {
+	name  string
+	start time.Time
+	now   func() time.Time // injectable clock for deterministic tests
+	cap   int
+
+	logger  *slog.Logger
+	slowOp  time.Duration
+	verbose bool
+
+	nextID atomic.Uint64
+	root   *Span
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped uint64
+}
+
+// NewTrace creates a trace whose root span carries the given name. The
+// span store is bounded at DefaultSpanCap.
+func NewTrace(name string) *Trace {
+	t := &Trace{
+		name: name,
+		now:  time.Now,
+		cap:  DefaultSpanCap,
+	}
+	t.start = t.now()
+	t.root = &Span{t: t, id: t.nextID.Add(1), name: name, start: t.start}
+	return t
+}
+
+// SetCap bounds the number of recorded spans (<= 0 keeps the default).
+// Call before handing the trace out.
+func (t *Trace) SetCap(n int) {
+	if n > 0 {
+		t.cap = n
+	}
+}
+
+// SetLogger wires a structured logger and a slow-op threshold: any span
+// whose duration reaches slowOp logs its whole ancestor path at Warn
+// level when it ends. A zero slowOp or nil logger disables the check.
+func (t *Trace) SetLogger(l *slog.Logger, slowOp time.Duration) {
+	t.logger = l
+	t.slowOp = slowOp
+}
+
+// SetVerbose opts the trace into high-cardinality detail (e.g. the
+// engine's per-task spans). Off by default; the serving layer keeps it
+// off, the CLIs' -trace flag turns it on.
+func (t *Trace) SetVerbose(v bool) { t.verbose = v }
+
+// Name returns the trace (root span) name.
+func (t *Trace) Name() string { return t.name }
+
+// Start returns the trace's start time.
+func (t *Trace) Start() time.Time { return t.start }
+
+// Age returns the monotonic time elapsed since the trace started.
+func (t *Trace) Age() time.Duration { return t.now().Sub(t.start) }
+
+// Root returns the root span (ended by Finish).
+func (t *Trace) Root() *Span { return t.root }
+
+// Finish ends the root span. Idempotent.
+func (t *Trace) Finish() { t.root.End() }
+
+// Dropped returns the number of spans discarded by the cap.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// RecordSpan records an already-measured interval (e.g. a queue wait
+// observed outside any live span) as a child of the root span. The
+// offset is relative to the trace start.
+func (t *Trace) RecordSpan(name string, offset, dur time.Duration, attrs ...Attr) {
+	t.record(SpanRecord{
+		ID:     t.nextID.Add(1),
+		Parent: t.root.id,
+		Name:   name,
+		Start:  offset,
+		Dur:    dur,
+		Attrs:  attrs,
+	})
+}
+
+// record appends one finished span under the bound.
+func (t *Trace) record(r SpanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= t.cap {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, r)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the recorded spans (safe while spans are
+// still being added).
+func (t *Trace) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Span is one live timed operation. A nil *Span (tracing disabled) is
+// valid: every method is a no-op, so call sites carry no conditionals.
+// A span belongs to the goroutine that started it until End; children
+// may be started from other goroutines via the returned context.
+type Span struct {
+	t      *Trace
+	parent *Span
+	id     uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+	ended  atomic.Bool
+}
+
+// Int attaches an integer attribute. Returns s for chaining.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{key, v})
+	return s
+}
+
+// Float attaches a float attribute.
+func (s *Span) Float(key string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{key, v})
+	return s
+}
+
+// Str attaches a string attribute.
+func (s *Span) Str(key, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{key, v})
+	return s
+}
+
+// Verbose reports whether the owning trace asked for high-cardinality
+// detail. False on a nil span.
+func (s *Span) Verbose() bool { return s != nil && s.t.verbose }
+
+// Path returns the ancestor chain "root → ... → this span".
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	var names []string
+	for sp := s; sp != nil; sp = sp.parent {
+		names = append(names, sp.name)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// End finishes the span: the record lands in the trace and, when the
+// duration reaches the trace's slow-op threshold, the whole ancestor
+// path is logged. Safe on a nil span; second and later calls are no-ops.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	t := s.t
+	end := t.now()
+	d := end.Sub(s.start)
+	var parentID uint64
+	if s.parent != nil {
+		parentID = s.parent.id
+	}
+	t.record(SpanRecord{
+		ID:     s.id,
+		Parent: parentID,
+		Name:   s.name,
+		Start:  s.start.Sub(t.start),
+		Dur:    d,
+		Attrs:  s.attrs,
+	})
+	if t.slowOp > 0 && d >= t.slowOp && t.logger != nil {
+		t.logger.Warn("slow op",
+			"span", s.name,
+			"dur", d,
+			"path", s.Path(),
+			"trace", t.name)
+	}
+}

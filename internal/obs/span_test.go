@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledPathIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "x")
+	if sp != nil {
+		t.Fatal("Start without a trace must return a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a trace must return the context unchanged")
+	}
+	// Every method must be a safe no-op on nil.
+	sp.Int("a", 1).Float("b", 2).Str("c", "d")
+	sp.End()
+	sp.End()
+	if sp.Verbose() {
+		t.Fatal("nil span is not verbose")
+	}
+	if sp.Path() != "" {
+		t.Fatal("nil span has no path")
+	}
+	if Current(ctx) != nil || TraceOf(ctx) != nil {
+		t.Fatal("background context carries no span")
+	}
+}
+
+// TestSpanDisabledZeroAlloc enforces the overhead contract: with no
+// trace attached, a Start/attr/End cycle allocates nothing.
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := Start(ctx, "hot.path")
+		sp.Int("n", 42)
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeParentChild(t *testing.T) {
+	t.Parallel()
+	tr := NewTrace("root")
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, a := Start(ctx, "a")
+	_, a1 := Start(ctx1, "a1")
+	a1.End()
+	a.End()
+	_, b := Start(ctx, "b")
+	b.End()
+	tr.Finish()
+
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	root := byName["root"]
+	if root.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", root.Parent)
+	}
+	if byName["a"].Parent != root.ID || byName["b"].Parent != root.ID {
+		t.Fatal("a and b must be children of root")
+	}
+	if byName["a1"].Parent != byName["a"].ID {
+		t.Fatal("a1 must be a child of a")
+	}
+	if got := byName["a1"].Start; got < byName["a"].Start {
+		t.Fatalf("child started (%v) before parent (%v)", got, byName["a"].Start)
+	}
+}
+
+// TestSpanConcurrent exercises concurrent span creation and collection
+// under -race: many goroutines each build a small subtree.
+func TestSpanConcurrent(t *testing.T) {
+	t.Parallel()
+	tr := NewTrace("root")
+	ctx := WithTrace(context.Background(), tr)
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx, ws := Start(ctx, "worker")
+			ws.Int("w", int64(w))
+			for i := 0; i < 8; i++ {
+				_, item := Start(wctx, "item")
+				item.End()
+			}
+			ws.End()
+		}(w)
+	}
+	wg.Wait()
+	tr.Finish()
+
+	spans := tr.Snapshot()
+	if want := 1 + workers + workers*8; len(spans) != want {
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	// Every recorded parent must exist and have started no later than
+	// the child.
+	byID := map[uint64]SpanRecord{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %q has unknown parent %d", s.Name, s.Parent)
+		}
+		if s.Start < p.Start {
+			t.Fatalf("span %q starts before its parent %q", s.Name, p.Name)
+		}
+	}
+}
+
+func TestSpanCapDrops(t *testing.T) {
+	tr := NewTrace("root")
+	tr.SetCap(4)
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	tr.Finish()
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("recorded %d spans, want cap 4", got)
+	}
+	// 10 ended spans + the root, minus the 4 kept.
+	if got := tr.Dropped(); got != 7 {
+		t.Fatalf("dropped %d, want 7", got)
+	}
+}
+
+func TestSlowOpLogsAncestorPath(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTrace("job")
+	tr.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)), time.Nanosecond)
+	ctx := WithTrace(context.Background(), tr)
+	ctx, a := Start(ctx, "predict")
+	_, b := Start(ctx, "mna.sweep")
+	time.Sleep(time.Millisecond)
+	b.End()
+	a.End()
+	out := buf.String()
+	if !strings.Contains(out, "slow op") || !strings.Contains(out, "job → predict → mna.sweep") {
+		t.Fatalf("slow-op log missing ancestor path:\n%s", out)
+	}
+}
+
+func TestRecordSpanAndTimings(t *testing.T) {
+	tr := NewTrace("job")
+	tr.RecordSpan("queue.wait", 0, 5*time.Millisecond)
+	tr.RecordSpan("queue.wait", 0, 3*time.Millisecond)
+	tr.Finish()
+	tms := tr.Timings()
+	var qt *PhaseTiming
+	for i := range tms {
+		if tms[i].Phase == "queue.wait" {
+			qt = &tms[i]
+		}
+	}
+	if qt == nil {
+		t.Fatal("no queue.wait timing")
+	}
+	if qt.Calls != 2 || qt.TotalMS != 8 || qt.MaxMS != 5 {
+		t.Fatalf("queue.wait timing = %+v, want calls 2, total 8ms, max 5ms", *qt)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := NewTrace("root")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, a := Start(ctx, "outer")
+	a.Int("n", 3)
+	_, b := Start(ctx, "inner")
+	b.End()
+	a.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"root ", "\n  outer ", "n=3", "\n    inner "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/obs"
 )
 
 // Options tunes the automatic placement method.
@@ -106,7 +107,14 @@ func AutoPlaceCtx(ctx context.Context, d *layout.Design, opt Options) (*Result, 
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, "place.autoplace")
+	sp.Int("comps", int64(len(d.Comps)))
 	res := &Result{}
+	defer func() {
+		sp.Int("placed", int64(res.Placed))
+		sp.Int("rotation_passes", int64(res.RotationPasses))
+		sp.End()
+	}()
 
 	// Step 1: optimal rotation.
 	if !opt.SkipRotation && !opt.IgnoreEMD {

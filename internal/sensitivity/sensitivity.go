@@ -13,6 +13,7 @@ import (
 	"repro/internal/emi"
 	"repro/internal/engine"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // PairInfluence records how strongly a probe coupling between two inductors
@@ -85,6 +86,10 @@ func RankCtx(ctx context.Context, ckt *netlist.Circuit, sourceName, measureNode 
 			pairs = append(pairs, [2]string{cands[i], cands[j]})
 		}
 	}
+	ctx, sp := obs.Start(ctx, "sensitivity.rank")
+	sp.Int("pairs", int64(len(pairs)))
+	sp.Int("candidates", int64(len(cands)))
+	defer sp.End()
 	rank := make(Ranking, len(pairs))
 	err = engine.ForEachStateCtx(ctx, len(pairs),
 		func() (*emi.BandSolver, error) {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // maxBodyBytes bounds request bodies: netlists and designs are text files
@@ -22,9 +23,13 @@ const maxBodyBytes = 8 << 20
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition
+//	GET    /debug/trace/{job}   job trace, Chrome trace_event JSON
 //
 // plus the interactive design-session surface under /v1/sessions (see
-// session.go in this package).
+// session.go in this package). Every request passes a structured-logging
+// middleware (method, path, status, duration and — when a handler tagged
+// one — the job or session ID via the X-Job-ID / X-Session-ID response
+// headers).
 //
 // Submissions return 202 with the job view; ?wait=1 blocks until the job
 // finishes and returns 200 with the result inline. A waiting client that
@@ -49,7 +54,88 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.snapshotSessionHandler)
 	mux.HandleFunc("GET /healthz", s.healthHandler)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
-	return mux
+	mux.HandleFunc("GET /debug/trace/{job}", s.traceHandler)
+	return s.withLogging(mux)
+}
+
+// statusWriter captures the response status for the logging middleware.
+// It forwards Flush so the SSE stream keeps working behind it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withLogging is the request-logging middleware: one structured line per
+// request with method, path, status, duration, and the job or session ID
+// when the handler tagged the response with one.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"dur_ms", float64(time.Since(t0)) / 1e6,
+		}
+		if id := sw.Header().Get("X-Job-ID"); id != "" {
+			attrs = append(attrs, "job", id)
+		}
+		if id := sw.Header().Get("X-Session-ID"); id != "" {
+			attrs = append(attrs, "session", id)
+		}
+		s.cfg.Logger.Info("request", attrs...)
+	})
+}
+
+// traceHandler serves a job's span collection as Chrome trace_event JSON
+// (load it in chrome://tracing or Perfetto). Jobs answered straight from
+// the result store never ran and have no trace.
+func (s *Server) traceHandler(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("job"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header().Set("X-Job-ID", j.ID)
+	j.mu.Lock()
+	tr := j.trace
+	j.mu.Unlock()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "serve: job has no trace (answered from the result store)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = tr.WriteChrome(w)
 }
 
 func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
@@ -75,6 +161,7 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		w.Header().Set("X-Job-ID", j.ID)
 		if !wait {
 			writeJSON(w, http.StatusAccepted, j.View())
 			return
@@ -94,6 +181,7 @@ func (s *Server) jobHandler(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
+	w.Header().Set("X-Job-ID", j.ID)
 	if boolParam(r, "wait") {
 		if err := j.Wait(r.Context()); err != nil {
 			return // client gone

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Kind names one of the analysis workloads the service runs.
@@ -59,6 +60,9 @@ type Job struct {
 	canceled bool               // explicit cancellation was requested
 	cancel   context.CancelFunc // live while running
 	done     chan struct{}
+
+	trace   *obs.Trace        // per-job span collection; nil for store-answered jobs
+	timings []obs.PhaseTiming // aggregated on completion from trace
 }
 
 func newJob(id string, kind Kind, key engine.Key, req []byte, now time.Time) *Job {
@@ -109,6 +113,10 @@ type View struct {
 	Deduped  int             `json:"deduped,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
+
+	// Timings is the per-phase breakdown aggregated from the job's trace,
+	// present once the job has run (store-answered jobs never ran).
+	Timings []obs.PhaseTiming `json:"timings,omitempty"`
 }
 
 // View snapshots the job for serialization.
@@ -121,6 +129,7 @@ func (j *Job) View() View {
 		Deduped: j.deduped,
 		Error:   j.errMsg,
 		Result:  j.result,
+		Timings: j.timings,
 	}
 	if !j.started.IsZero() {
 		t := j.started

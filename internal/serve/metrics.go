@@ -109,6 +109,12 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		return err
 	}
 
+	// The per-phase latency histograms aggregated from the job traces and
+	// the session edit path.
+	if err := s.phases.WriteProm(w); err != nil {
+		return err
+	}
+
 	// The engine's shared compute substrate (process-global).
 	es := engine.Snapshot()
 	return p("# HELP engine_cache_hits_total Field-integral memo cache hits.\n"+
@@ -119,6 +125,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		"# TYPE engine_mna_solves_total counter\nengine_mna_solves_total %d\n"+
 		"# HELP engine_neumann_integrals_total Neumann mutual-inductance integrals.\n"+
 		"# TYPE engine_neumann_integrals_total counter\nengine_neumann_integrals_total %d\n"+
+		"# HELP engine_pool_batches_total Parallel batches dispatched by the shared pool.\n"+
+		"# TYPE engine_pool_batches_total counter\nengine_pool_batches_total %d\n"+
 		"# HELP engine_pool_tasks_total Work items executed by the shared pool.\n"+
 		"# TYPE engine_pool_tasks_total counter\nengine_pool_tasks_total %d\n"+
 		"# HELP engine_lu_assemblies_total System-matrix assemblies (stamp-plan executions).\n"+
@@ -127,6 +135,7 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		"# TYPE engine_lu_factorizations_total counter\nengine_lu_factorizations_total %d\n"+
 		"# HELP engine_lu_resolves_total Triangular resolves against a retained factorization.\n"+
 		"# TYPE engine_lu_resolves_total counter\nengine_lu_resolves_total %d\n",
-		es.CacheHits, es.CacheMisses, es.MNASolves, es.NeumannIntegrals, es.PoolTasks,
+		es.CacheHits, es.CacheMisses, es.MNASolves, es.NeumannIntegrals,
+		es.PoolBatches, es.PoolTasks,
 		es.Assemblies, es.Factorizations, es.Resolves)
 }

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tracedPredictRunner mimics the span shape of the real predict pipeline
+// so the observability tests don't need a full solve.
+func tracedPredictRunner(ctx context.Context, req []byte) (any, error) {
+	ctx, sp := obs.Start(ctx, "parse")
+	sp.End()
+	ctx, sp = obs.Start(ctx, "emi.spectrum")
+	_, in := obs.Start(ctx, "mna.sweep")
+	in.Int("freqs", 42)
+	in.End()
+	sp.End()
+	return map[string]int{"answer": 42}, nil
+}
+
+// TestJobTimingsPhases verifies the acceptance criterion that a predict
+// job's View carries a timings breakdown covering at least five distinct
+// pipeline phases (queue wait, the kind span, and the nested work spans).
+func TestJobTimingsPhases(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", `{"n":1}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]bool{}
+	for _, tm := range v.Timings {
+		phases[tm.Phase] = true
+		if tm.Calls < 1 {
+			t.Errorf("phase %s has %d calls", tm.Phase, tm.Calls)
+		}
+	}
+	for _, want := range []string{"job", "queue.wait", "predict", "parse", "emi.spectrum", "mna.sweep"} {
+		if !phases[want] {
+			t.Errorf("timings missing phase %q (got %v)", want, phases)
+		}
+	}
+	if len(phases) < 5 {
+		t.Fatalf("want >= 5 distinct phases, got %d: %v", len(phases), phases)
+	}
+}
+
+// TestDebugTraceEndpoint exercises GET /debug/trace/{job}: Chrome
+// trace_event JSON for a ran job, 404 for a store-answered one.
+func TestDebugTraceEndpoint(t *testing.T) {
+	s, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", `{"n":2}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = getJSON(t, base+"/debug/trace/"+v.ID)
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace status %d body %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &chrome); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, body)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["predict"] || !names["mna.sweep"] {
+		t.Errorf("trace events missing pipeline spans: %v", names)
+	}
+
+	// A byte-identical resubmission is answered from the result store:
+	// that job never ran, so it has no trace.
+	resp, body = postJSON(t, base+"/v1/predict?wait=1", `{"n":2}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("resubmit status %d body %s", resp.StatusCode, body)
+	}
+	var v2 View
+	if err := json.Unmarshal(body, &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID == v.ID {
+		t.Fatalf("resubmit got the same job ID %s — expected a store answer", v.ID)
+	}
+	resp, _ = getJSON(t, base+"/debug/trace/"+v2.ID)
+	if resp.StatusCode != 404 {
+		t.Fatalf("store-answered job trace status %d, want 404", resp.StatusCode)
+	}
+
+	_ = s
+}
+
+// TestMetricsPhaseHistograms asserts the /metrics exposition carries the
+// per-phase latency histograms after a job ran, and that every exposed
+// series family is documented with # HELP and # TYPE lines.
+func TestMetricsPhaseHistograms(t *testing.T) {
+	s, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	if resp, body := postJSON(t, base+"/v1/predict?wait=1", `{"n":3}`); resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	resp, body := getJSON(t, base+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`emiserve_phase_seconds_bucket{phase="predict",le="+Inf"}`,
+		`emiserve_phase_seconds_bucket{phase="mna.sweep",le="+Inf"}`,
+		`emiserve_phase_seconds_sum{phase="queue.wait"}`,
+		`emiserve_phase_seconds_count{phase="job"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Every series family must carry # HELP and # TYPE headers.
+	help := map[string]bool{}
+	typed := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[0] == "#" {
+			switch fields[1] {
+			case "HELP":
+				help[fields[2]] = true
+			case "TYPE":
+				typed[fields[2]] = true
+			}
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			family = strings.TrimSuffix(family, suf)
+		}
+		if !help[family] || !typed[family] {
+			t.Errorf("series %s lacks # HELP/# TYPE for family %s", name, family)
+		}
+	}
+	_ = s
+}
+
+// TestRequestLoggingMiddleware captures the structured request log and
+// checks the one-line-per-request contract: method, path, status,
+// duration and the job ID of the submission it answered.
+func TestRequestLoggingMiddleware(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Logger:  logger,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	resp, body := postJSON(t, base+"/v1/predict?wait=1", `{"n":4}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	// The log line is written after the handler returns; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for time.Now().Before(deadline) {
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "path=/v1/predict") {
+				line = l
+			}
+		}
+		if line != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatalf("no request log line for /v1/predict in:\n%s", buf.String())
+	}
+	for _, want := range []string{"method=POST", "status=200", "dur_ms=", fmt.Sprintf("job=%s", v.ID)} {
+		if !strings.Contains(line, want) {
+			t.Errorf("request log line missing %q: %s", want, line)
+		}
+	}
+}
+
+// TestSessionEditFeedsPhaseHistograms verifies the untraced HTTP edit
+// path still populates the session.edit and drc.recheck latency series.
+func TestSessionEditFeedsPhaseHistograms(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1})
+	design := `DESIGN obs-sess
+BOARDS 1
+CLEARANCE 1.0
+AREA board 0 0 0 40 0 40 40 0 40
+COMP A 5.0 5.0 5.0 GROUP g
+COMP B 5.0 5.0 5.0 GROUP g
+NET n 0.0 A B
+END
+`
+	req, _ := json.Marshal(map[string]string{"design": design})
+	resp, body := postJSON(t, base+"/v1/sessions", string(req))
+	if resp.StatusCode != 201 {
+		t.Fatalf("create status %d body %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	edit := `{"op":"move","ref":"A","x_mm":12,"y_mm":12}`
+	resp, body = postJSON(t, base+"/v1/sessions/"+created.ID+"/edits", edit)
+	if resp.StatusCode != 200 {
+		t.Fatalf("edit status %d body %s", resp.StatusCode, body)
+	}
+	_, metrics := getJSON(t, base+"/metrics")
+	for _, want := range []string{
+		`emiserve_phase_seconds_count{phase="session.edit"}`,
+		`emiserve_phase_seconds_count{phase="drc.recheck"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q after a session edit", want)
+		}
+	}
+}

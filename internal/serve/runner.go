@@ -15,6 +15,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/peec"
 	"repro/internal/place"
 	"repro/internal/rules"
@@ -58,17 +59,23 @@ type PredictResponse struct {
 }
 
 func runPredict(ctx context.Context, req []byte) (any, error) {
+	_, psp := obs.Start(ctx, "parse")
 	var r PredictRequest
 	if err := strictUnmarshal(req, &r); err != nil {
+		psp.End()
 		return nil, err
 	}
 	if r.Netlist == "" || r.Measure == "" || len(r.Sources) == 0 {
+		psp.End()
 		return nil, fmt.Errorf("predict: netlist, sources and measure are required")
 	}
 	ckt, err := netlist.Parse(strings.NewReader(r.Netlist))
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.Int("elements", int64(len(ckt.Elements)))
+	psp.End()
 	if r.NoCouplings {
 		ckt.RemoveCouplings()
 	}
@@ -116,17 +123,23 @@ type PlaceResponse struct {
 }
 
 func runPlace(ctx context.Context, req []byte) (any, error) {
+	_, psp := obs.Start(ctx, "parse")
 	var r PlaceRequest
 	if err := strictUnmarshal(req, &r); err != nil {
+		psp.End()
 		return nil, err
 	}
 	if r.Design == "" {
+		psp.End()
 		return nil, fmt.Errorf("place: design is required")
 	}
 	d, err := layout.ReadString(r.Design)
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.Int("comps", int64(len(d.Comps)))
+	psp.End()
 	res, err := place.AutoPlaceCtx(ctx, d, place.Options{
 		IgnoreEMD:    r.Baseline,
 		SkipRotation: r.SkipRotation,
@@ -136,7 +149,7 @@ func runPlace(ctx context.Context, req []byte) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := drc.Check(d)
+	rep := drc.CheckCtx(ctx, d)
 	var buf bytes.Buffer
 	if err := layout.Write(&buf, d); err != nil {
 		return nil, err

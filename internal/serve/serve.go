@@ -27,9 +27,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"sync"
 )
@@ -45,6 +47,12 @@ type Config struct {
 
 	SessionTTL time.Duration // design-session idle eviction; <= 0: session.DefaultTTL
 	SessionCap int           // max live design sessions; <= 0: session.DefaultCap
+
+	// Logger receives the structured request and job logs; nil discards
+	// them. SlowOp is the span duration past which a traced operation logs
+	// its whole ancestor path through Logger; <= 0: 10 seconds.
+	Logger *slog.Logger
+	SlowOp time.Duration
 }
 
 func (c *Config) fill() {
@@ -65,6 +73,12 @@ func (c *Config) fill() {
 	}
 	if c.Runners == nil {
 		c.Runners = DefaultRunners()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard()
+	}
+	if c.SlowOp <= 0 {
+		c.SlowOp = 10 * time.Second
 	}
 }
 
@@ -97,8 +111,9 @@ type Server struct {
 
 	sessions *session.Manager
 
-	wg sync.WaitGroup
-	m  metrics
+	wg     sync.WaitGroup
+	m      metrics
+	phases *obs.HistogramSet // per-phase job latency, from the job traces
 }
 
 type finishedRef struct {
@@ -117,6 +132,9 @@ func New(cfg Config) *Server {
 		store:    newResultStore(cfg.ResultCap, cfg.ResultTTL),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		sessions: session.NewManager(cfg.SessionTTL, cfg.SessionCap),
+		phases: obs.NewHistogramSet("emiserve_phase_seconds",
+			"Wall time per pipeline phase, aggregated from the job traces.",
+			"phase", obs.LatencySeconds),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -188,6 +206,11 @@ func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
 	s.m.storeMisses.Add(1)
 
 	j := newJob(s.nextIDLocked(key), kind, key, body, now)
+	// The trace starts at submission so its age at run start is the queue
+	// wait. The root is named "job", not the job ID — span names feed the
+	// phase histogram labels, which must stay low-cardinality.
+	j.trace = obs.NewTrace("job")
+	j.trace.SetLogger(s.cfg.Logger.With("job", j.ID), s.cfg.SlowOp)
 	if pin {
 		j.pinned = true
 	} else {
@@ -299,14 +322,37 @@ func (s *Server) run(j *Job) {
 	j.started = s.now()
 	runner := s.cfg.Runners[j.Kind]
 	req := j.req
+	tr := j.trace
 	j.mu.Unlock()
 
+	if tr != nil {
+		// The trace is as old as the submission: its age is the queue wait.
+		tr.RecordSpan("queue.wait", 0, tr.Age())
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	s.m.busy.Add(1)
-	res, err := runner(ctx, req)
+	t0 := time.Now()
+	kctx, ksp := obs.Start(ctx, string(j.Kind))
+	res, err := runner(kctx, req)
+	ksp.End()
+	dur := time.Since(t0)
 	s.m.busy.Add(-1)
 	cancel()
 
+	var timings []obs.PhaseTiming
+	if tr != nil {
+		tr.Finish()
+		timings = tr.Timings()
+		for _, t := range timings {
+			s.phases.Observe(t.Phase, t.TotalSeconds())
+		}
+	}
+	s.cfg.Logger.Info("job finished",
+		"job", j.ID, "kind", j.Kind, "dur_ms", dur.Milliseconds(),
+		"err", err != nil)
+
 	j.mu.Lock()
+	j.timings = timings
 	j.cancel = nil
 	j.finished = s.now()
 	var final State

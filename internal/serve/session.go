@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -139,6 +140,7 @@ func (s *Server) createSessionHandler(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	w.Header().Set("X-Session-ID", sess.ID)
 	writeJSON(w, http.StatusCreated, sess.State())
 }
 
@@ -200,13 +202,24 @@ func (s *Server) editSessionHandler(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	delta, err := sess.Apply(edit)
+	w.Header().Set("X-Session-ID", sess.ID)
+	t0 := time.Now()
+	delta, err := sess.ApplyCtx(r.Context(), edit)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.m.sessionEdits.Add(1)
+	s.observeEdit(time.Since(t0), delta)
 	writeJSON(w, http.StatusOK, delta)
+}
+
+// observeEdit feeds one applied edit (or undo/redo) into the edit counter
+// and the phase histograms: the whole edit plus the incremental DRC
+// recheck the session timed for us.
+func (s *Server) observeEdit(dur time.Duration, delta *session.Delta) {
+	s.m.sessionEdits.Add(1)
+	s.phases.Observe("session.edit", dur.Seconds())
+	s.phases.Observe("drc.recheck", delta.RecheckDur.Seconds())
 }
 
 // toEdit converts the millimeter/degree wire form into the SI edit.
@@ -263,20 +276,22 @@ func (s *Server) undoRedo(w http.ResponseWriter, r *http.Request, undo bool) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	w.Header().Set("X-Session-ID", sess.ID)
 	var (
 		delta *session.Delta
 		err   error
 	)
+	t0 := time.Now()
 	if undo {
-		delta, err = sess.Undo()
+		delta, err = sess.UndoCtx(r.Context())
 	} else {
-		delta, err = sess.Redo()
+		delta, err = sess.RedoCtx(r.Context())
 	}
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}
-	s.m.sessionEdits.Add(1)
+	s.observeEdit(time.Since(t0), delta)
 	writeJSON(w, http.StatusOK, delta)
 }
 

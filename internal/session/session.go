@@ -12,13 +12,16 @@ package session
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/drc"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -84,6 +87,11 @@ type Delta struct {
 	ChecksEvaluated  int              `json:"checks_evaluated"`
 	ChecksFull       int              `json:"checks_full"`
 	Couplings        []CouplingChange `json:"couplings,omitempty"`
+
+	// RecheckDur is the wall time of the incremental DRC recheck; it is
+	// measured on every edit (traced or not) so the serving layer can feed
+	// its phase histograms, but it is not part of the wire format.
+	RecheckDur time.Duration `json:"-"`
 }
 
 // State is a snapshot of the session's status.
@@ -242,6 +250,17 @@ func (s *Session) Snapshot() ([]byte, error) {
 // Apply validates and applies one edit, recomputes the invalidated rule
 // units and couplings, journals the inverse, and broadcasts the delta.
 func (s *Session) Apply(e Edit) (*Delta, error) {
+	return s.ApplyCtx(context.Background(), e)
+}
+
+// ApplyCtx is Apply with tracing: on a traced context a "session.edit"
+// span wraps the whole edit and child spans cover the DRC recheck and any
+// coupling re-extraction.
+func (s *Session) ApplyCtx(ctx context.Context, e Edit) (*Delta, error) {
+	ctx, sp := obs.Start(ctx, "session.edit")
+	sp.Str("op", e.Op)
+	sp.Str("ref", e.Ref)
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -253,11 +272,19 @@ func (s *Session) Apply(e Edit) (*Delta, error) {
 	}
 	s.journal = append(s.journal, rec)
 	s.redo = nil
-	return s.settle(e.Op, rec.edit)
+	return s.settle(ctx, e.Op, rec.edit)
 }
 
 // Undo reverts the most recent edit.
 func (s *Session) Undo() (*Delta, error) {
+	return s.UndoCtx(context.Background())
+}
+
+// UndoCtx is Undo with tracing (see ApplyCtx).
+func (s *Session) UndoCtx(ctx context.Context) (*Delta, error) {
+	ctx, sp := obs.Start(ctx, "session.edit")
+	sp.Str("op", "undo")
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -270,11 +297,19 @@ func (s *Session) Undo() (*Delta, error) {
 	s.journal = s.journal[:len(s.journal)-1]
 	s.invert(rec)
 	s.redo = append(s.redo, rec)
-	return s.settle("undo", rec.edit)
+	return s.settle(ctx, "undo", rec.edit)
 }
 
 // Redo re-applies the most recently undone edit.
 func (s *Session) Redo() (*Delta, error) {
+	return s.RedoCtx(context.Background())
+}
+
+// RedoCtx is Redo with tracing (see ApplyCtx).
+func (s *Session) RedoCtx(ctx context.Context) (*Delta, error) {
+	ctx, sp := obs.Start(ctx, "session.edit")
+	sp.Str("op", "redo")
+	defer sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -291,7 +326,7 @@ func (s *Session) Redo() (*Delta, error) {
 		return nil, err
 	}
 	s.journal = append(s.journal, rec2)
-	return s.settle("redo", rec.edit)
+	return s.settle(ctx, "redo", rec.edit)
 }
 
 // forward validates an edit, captures its inverse and mutates the design.
@@ -411,8 +446,13 @@ func scopeOf(e Edit) drc.Scope {
 // settle runs the incremental recheck and coupling update for an edit
 // whose design mutation already happened, assembles the delta, journals
 // it in the replay ring and broadcasts it. The caller holds the lock.
-func (s *Session) settle(op string, e Edit) (*Delta, error) {
+func (s *Session) settle(ctx context.Context, op string, e Edit) (*Delta, error) {
+	_, rsp := obs.Start(ctx, "drc.recheck")
+	t0 := time.Now()
 	dd := s.inc.Recheck(scopeOf(e))
+	recheckDur := time.Since(t0)
+	rsp.Int("evals", int64(dd.Evals))
+	rsp.End()
 	s.seq++
 	out := &Delta{
 		Seq:             s.seq,
@@ -424,6 +464,7 @@ func (s *Session) settle(op string, e Edit) (*Delta, error) {
 		Violations:      s.inc.ViolationCount(),
 		ChecksEvaluated: dd.Evals,
 		ChecksFull:      s.inc.FullChecks(),
+		RecheckDur:      recheckDur,
 	}
 	out.Green = out.Violations == 0
 	if m, ok := s.inc.WorstEMDMargin(); ok {
@@ -433,7 +474,10 @@ func (s *Session) settle(op string, e Edit) (*Delta, error) {
 	if s.coup != nil {
 		switch e.Op {
 		case OpMove, OpRotate, OpSwapBoard:
+			_, csp := obs.Start(ctx, "peec.recouple")
 			changes, err := s.coup.recompute([]string{e.Ref})
+			csp.Int("pairs", int64(len(changes)))
+			csp.End()
 			if err != nil {
 				return nil, fmt.Errorf("session: coupling update: %w", err)
 			}

@@ -1,22 +1,29 @@
 #!/usr/bin/env bash
 # Runs the repo's tracked performance benchmarks and emits a JSON report.
 #
-#   scripts/bench.sh [out.json]
+#   scripts/bench.sh [out.json] [tracing_out.json]
 #
 # The report maps each benchmark to {iterations, ns_per_op, bytes_per_op,
 # allocs_per_op}; BENCH_pr3.json in the repo root pins the before/after of
 # the stamp-plan/factorization-reuse PR and BENCH_pr4.json the incremental
 # session-edit numbers, in the same per-benchmark schema.
+#
+# The second report compares each benchmark against its *Traced twin —
+# the same workload with a span collection attached to the context — and
+# records the spans-disabled vs spans-enabled delta. BENCH_pr5.json in the
+# repo root pins that tracing overhead for the sensitivity ranking and the
+# incremental session edit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-bench_report.json}"
+TRACING_OUT="${2:-bench_tracing.json}"
 PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit'
 
 RAW="$(go test -bench "$PATTERN" -benchmem -run=NONE -count=1 .)"
 echo "$RAW"
 
-echo "$RAW" | awk -v out="$OUT" '
+echo "$RAW" | awk -v out="$OUT" -v tout="$TRACING_OUT" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix if present
@@ -34,6 +41,30 @@ END {
             name, iters[name], ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "") > out
     }
     printf "}\n" > out
+
+    # Tracing overhead: pair every XTraced benchmark with its untraced X.
+    m = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        base = name
+        if (sub(/Traced$/, "", base) && (base in ns)) {
+            pairs[m++] = base
+        }
+    }
+    printf "{\n" > tout
+    for (i = 0; i < m; i++) {
+        base = pairs[i]
+        traced = base "Traced"
+        pct = (ns[base] > 0) ? 100 * (ns[traced] - ns[base]) / ns[base] : 0
+        printf "  \"%s\": {\n", base > tout
+        printf "    \"spans_disabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+            ns[base], bytes[base], allocs[base] > tout
+        printf "    \"spans_enabled\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s},\n", \
+            ns[traced], bytes[traced], allocs[traced] > tout
+        printf "    \"ns_overhead_pct\": %.2f\n", pct > tout
+        printf "  }%s\n", (i < m-1 ? "," : "") > tout
+    }
+    printf "}\n" > tout
 }
 '
-echo "wrote $OUT"
+echo "wrote $OUT and $TRACING_OUT"
