@@ -25,6 +25,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/sensitivity"
 	"repro/internal/session"
+	"repro/internal/store"
 	"repro/internal/transient"
 	"repro/internal/workload"
 )
@@ -452,6 +453,46 @@ func BenchmarkSessionEditFull(b *testing.B) {
 		c.Center = geom.V2(c.Center.X+dx, c.Center.Y)
 		if rep := drc.Check(d); rep.Checks == 0 {
 			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkSessionEditJournaled is the durability overhead benchmark
+// (PR 6): the same incremental move with every edit written ahead to a
+// FileStore WAL (fsync off — the SIGKILL-survival configuration the soak
+// harness runs). The acceptance criterion is ≤2× of
+// BenchmarkSessionEditIncremental.
+func BenchmarkSessionEditJournaled(b *testing.B) {
+	st, err := store.OpenFile(b.TempDir(), store.SyncOff)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	s, c := sessionFixture(b)
+	defer s.Close()
+	snap, seq, err := s.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.CreateSession(s.ID, seq, snap); err != nil {
+		b.Fatal(err)
+	}
+	s.SetJournal(func(rec session.JournalRecord) error {
+		_, err := st.AppendEdit(s.ID, rec)
+		return err
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dx := 2e-3
+		if i%2 == 1 {
+			dx = -2e-3
+		}
+		if _, err := s.Apply(session.Edit{
+			Op: session.OpMove, Ref: c.Ref,
+			Center: geom.V2(c.Center.X+dx, c.Center.Y), Rot: c.Rot,
+		}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -10,11 +10,17 @@
 //	emiserve [-addr :8080] [-workers 2] [-queue 64] [-job-timeout 2m]
 //	         [-result-ttl 10m] [-result-cap 256] [-drain-timeout 30s]
 //	         [-session-ttl 30m] [-session-cap 64] [-stats]
+//	         [-data-dir DIR] [-fsync off|always] [-compact-every 256]
 //	         [-log] [-slow-op 10s] [-debug-addr 127.0.0.1:8081]
 //
 // SIGTERM or SIGINT starts a graceful drain: intake stops (healthz turns
 // 503 so load balancers stop routing), in-flight jobs finish or are
 // cancelled at -drain-timeout, then the process exits.
+//
+// With -data-dir the service is restart-safe: jobs and design sessions
+// are written ahead to WAL files under the directory and recovered on the
+// next start — acknowledged work survives even a SIGKILL. See DESIGN.md
+// §"Durability" for the format and guarantees.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -44,6 +51,9 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	sessionTTL := flag.Duration("session-ttl", 0, "design-session idle eviction (0 = default 30m)")
 	sessionCap := flag.Int("session-cap", 0, "max live design sessions (0 = default 64)")
+	dataDir := flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "off", "WAL fsync policy: off (survive process kills) or always (survive power loss)")
+	compactEvery := flag.Int("compact-every", 0, "session WAL records between snapshot rewrites (0 = default 256)")
 	logOn := flag.Bool("log", false, "structured request and job logs on stderr")
 	slowOp := flag.Duration("slow-op", 0, "log traced spans slower than this with their ancestor path (0 = default 10s)")
 	dumpStats := cli.Stats()
@@ -65,7 +75,29 @@ func main() {
 	if *logOn {
 		cfg.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
 	}
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := store.OpenFile(*dataDir, policy)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		cfg.CompactEvery = *compactEvery
+	}
 	srv := serve.New(cfg)
+	if cfg.Store != nil {
+		rec := srv.RecoveryReport()
+		fmt.Fprintf(os.Stderr, "emiserve: recovered from %s: %d jobs requeued, %d results restored, %d sessions replayed",
+			*dataDir, rec.Requeued, rec.Restored, rec.Sessions)
+		if rec.LostJobs > 0 || rec.BadReplay > 0 {
+			fmt.Fprintf(os.Stderr, " (%d jobs lost, %d sessions unreplayable)", rec.LostJobs, rec.BadReplay)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,113 @@
+// Command emisoak is the crash-recovery soak harness: it runs a real
+// emiserve against a durable data directory, throws mixed load at it
+// (prediction bursts, placement jobs, chatty design sessions with SSE
+// streams), SIGKILLs the server mid-load, restarts it, and verifies that
+// nothing the server acknowledged was lost — every acked job still
+// resolves, every acked session edit is present, and each recovered
+// session snapshot is byte-identical to the client-side reference.
+//
+// Usage:
+//
+//	emisoak -emiserve ./emiserve [-data-dir DIR] [-cycles 3]
+//	        [-soak 10s] [-verify-timeout 60s] [-sessions 2] [-job-workers 2]
+//	        [-fsync off] [-seed 1]
+//
+// Exit status 0 means every cycle verified clean; 1 means acknowledged
+// state was lost or corrupted (details on stderr). CI runs this as the
+// crash-recovery smoke job.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/soak"
+)
+
+func main() {
+	bin := flag.String("emiserve", "", "path to the emiserve binary (required)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = temp dir)")
+	cycles := flag.Int("cycles", 3, "kill/restart cycles")
+	soakDur := flag.Duration("soak", 10*time.Second, "load duration per cycle before the kill")
+	verifyTimeout := flag.Duration("verify-timeout", 60*time.Second, "budget for post-restart verification")
+	sessions := flag.Int("sessions", 2, "chatty session workers")
+	jobWorkers := flag.Int("job-workers", 2, "job submission workers")
+	fsync := flag.String("fsync", "off", "WAL fsync policy passed to emiserve")
+	seed := flag.Int64("seed", 1, "deterministic load seed")
+	flag.Parse()
+
+	if *bin == "" {
+		fatal(fmt.Errorf("-emiserve is required"))
+	}
+	dir := *dataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "emisoak-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	h := &soak.Harness{
+		Bin: *bin, DataDir: dir,
+		Args: []string{"-fsync", *fsync},
+	}
+	if err := h.Start(); err != nil {
+		fatal(err)
+	}
+	defer h.Kill()
+
+	soaker := soak.NewSoak(soak.SoakOptions{
+		BaseURL:    h.BaseURL(),
+		Seed:       *seed,
+		Sessions:   *sessions,
+		JobWorkers: *jobWorkers,
+	})
+
+	failed := false
+	for cycle := 1; cycle <= *cycles; cycle++ {
+		fmt.Fprintf(os.Stderr, "emisoak: cycle %d/%d: %v of load, then SIGKILL\n",
+			cycle, *cycles, *soakDur)
+		loadCtx, stopLoad := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			soaker.Run(loadCtx)
+			close(done)
+		}()
+		time.Sleep(*soakDur)
+
+		h.Kill() // mid-load: in-flight requests die on the wire
+		stopLoad()
+		<-done
+
+		if err := h.Start(); err != nil {
+			fatal(err)
+		}
+		vctx, cancel := context.WithTimeout(context.Background(), *verifyTimeout)
+		rep := soaker.Verify(vctx)
+		cancel()
+		fmt.Fprintf(os.Stderr, "emisoak: cycle %d verdict: %s\n", cycle, rep)
+		for _, e := range rep.Errors {
+			fmt.Fprintln(os.Stderr, "emisoak:   ", e)
+		}
+		if !rep.OK() {
+			failed = true
+		}
+	}
+	fmt.Fprintf(os.Stderr, "emisoak: totals: %d jobs acked, %d session ops acked, %d SSE deltas\n",
+		soaker.AckedJobs(), soaker.AckedOps(), soaker.SSEDeltas())
+	if failed {
+		fmt.Fprintln(os.Stderr, "emisoak: FAIL: acknowledged state was lost")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "emisoak: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emisoak:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Package faultfs simulates storage faults for the durability tests:
+// torn writes (a crash between sectors persists only a prefix of a
+// write), short writes (the device errors mid-write), and kill-point
+// directory clones (the on-disk image an abrupt process death at a given
+// byte offset would leave behind). The write-ahead log layer must turn
+// every one of these into a clean truncation of the acknowledged prefix
+// — never a panic, never silently accepted garbage.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrInjected is returned by writes past a configured fault point.
+var ErrInjected = errors.New("faultfs: injected write failure")
+
+// File wraps a writer, injecting a fault once the cumulative byte count
+// crosses a threshold. Two fault modes:
+//
+//   - Tear: bytes past the threshold are silently dropped while the
+//     write reports full success — the caller believes the record is
+//     durable, the medium holds a prefix. This is the torn-write model
+//     (crash after acknowledging, before all sectors hit the platter).
+//   - Fail: the write stops at the threshold and returns ErrInjected
+//     with a short byte count — the short-write model (device error the
+//     caller observes and must handle).
+type File struct {
+	w       io.Writer
+	written int64
+	limit   int64 // -1: no fault armed
+	tear    bool
+}
+
+// New wraps w with no fault armed.
+func New(w io.Writer) *File {
+	return &File{w: w, limit: -1}
+}
+
+// TearAfter arms a torn write: everything past the first n bytes is
+// silently dropped while writes keep reporting success.
+func (f *File) TearAfter(n int64) { f.limit, f.tear = n, true }
+
+// FailAfter arms a short write: the write that crosses the first n bytes
+// persists only up to the threshold and returns ErrInjected.
+func (f *File) FailAfter(n int64) { f.limit, f.tear = n, false }
+
+// Written returns the bytes actually persisted to the underlying writer.
+func (f *File) Written() int64 { return f.written }
+
+func (f *File) Write(p []byte) (int, error) {
+	if f.limit < 0 || f.written+int64(len(p)) <= f.limit {
+		n, err := f.w.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	keep := f.limit - f.written
+	if keep < 0 {
+		keep = 0
+	}
+	n, err := f.w.Write(p[:keep])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if f.tear {
+		// Torn write: claim success for the whole buffer.
+		return len(p), nil
+	}
+	return n, ErrInjected
+}
+
+// CloneTruncated copies the data directory src to dst, truncating the
+// single file at relPath to size bytes — the image a SIGKILL at that
+// byte offset leaves behind. Every other file is copied verbatim. The
+// kill-point sweep calls this once per record boundary.
+func CloneTruncated(src, dst, relPath string, size int64) error {
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if rel == filepath.FromSlash(relPath) {
+			if size > int64(len(data)) {
+				return fmt.Errorf("faultfs: truncate %s to %d: file has %d bytes", relPath, size, len(data))
+			}
+			data = data[:size]
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		return fmt.Errorf("faultfs: clone %s: %w", src, err)
+	}
+	return nil
+}
+
+// Corrupt flips one bit at the given byte offset of a file in place —
+// the bit-rot model the checksum layer must catch.
+func Corrupt(path string, offset int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if offset < 0 || offset >= int64(len(data)) {
+		return fmt.Errorf("faultfs: corrupt %s at %d: file has %d bytes", path, offset, len(data))
+	}
+	data[offset] ^= 0x40
+	return os.WriteFile(path, data, 0o644)
+}

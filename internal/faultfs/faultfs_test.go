@@ -1,0 +1,122 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTearAfter(t *testing.T) {
+	t.Parallel()
+	var medium bytes.Buffer
+	f := New(&medium)
+	f.TearAfter(10)
+
+	// First write fits entirely under the limit.
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-fault write: n=%d err=%v", n, err)
+	}
+	// Second write crosses the limit: full success claimed, prefix kept.
+	if n, err := f.Write([]byte("abcdef")); n != 6 || err != nil {
+		t.Fatalf("torn write: n=%d err=%v, want claimed success", n, err)
+	}
+	// Writes after the tear persist nothing but still claim success.
+	if n, err := f.Write([]byte("xyz")); n != 3 || err != nil {
+		t.Fatalf("post-tear write: n=%d err=%v", n, err)
+	}
+	if got := medium.String(); got != "12345678ab" {
+		t.Fatalf("medium holds %q, want the 10-byte prefix", got)
+	}
+	if f.Written() != 10 {
+		t.Fatalf("Written()=%d, want 10", f.Written())
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	t.Parallel()
+	var medium bytes.Buffer
+	f := New(&medium)
+	f.FailAfter(5)
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v, want 5 bytes and ErrInjected", n, err)
+	}
+	if medium.String() != "abcde" {
+		t.Fatalf("medium holds %q", medium.String())
+	}
+}
+
+func TestNoFaultPassthrough(t *testing.T) {
+	t.Parallel()
+	var medium bytes.Buffer
+	f := New(&medium)
+	if n, err := f.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if medium.String() != "hello" || f.Written() != 5 {
+		t.Fatal("unarmed writer altered the data")
+	}
+}
+
+func TestCloneTruncated(t *testing.T) {
+	t.Parallel()
+	src := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(src, "sessions"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string][]byte{
+		"jobs.wal":             []byte("jobrecords"),
+		"sessions/s000001.wal": []byte("0123456789abcdef"),
+		"sessions/s000002.wal": []byte("untouched"),
+	}
+	for rel, data := range files {
+		if err := os.WriteFile(filepath.Join(src, filepath.FromSlash(rel)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := t.TempDir()
+	if err := CloneTruncated(src, dst, "sessions/s000001.wal", 7); err != nil {
+		t.Fatal(err)
+	}
+	for rel, want := range files {
+		got, err := os.ReadFile(filepath.Join(dst, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel == "sessions/s000001.wal" {
+			want = want[:7]
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: %q, want %q", rel, got, want)
+		}
+	}
+
+	// Truncating past the end is a test bug, not a silent no-op.
+	if err := CloneTruncated(src, t.TempDir(), "jobs.wal", 99); err == nil {
+		t.Fatal("oversized truncation accepted")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "f.wal")
+	if err := os.WriteFile(path, []byte{0x00, 0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Corrupt(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0x00, 0x41, 0x02}) {
+		t.Fatalf("corrupted file is % x", got)
+	}
+	if err := Corrupt(path, 3); err == nil {
+		t.Fatal("out-of-range corruption accepted")
+	}
+}

@@ -58,6 +58,7 @@ type Job struct {
 	pinned   bool               // an async submission owns it: never auto-cancel
 	waiters  int                // attached waiting submissions
 	canceled bool               // explicit cancellation was requested
+	requeue  bool               // drain cancelled it; durable state stays queued
 	cancel   context.CancelFunc // live while running
 	done     chan struct{}
 

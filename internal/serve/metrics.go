@@ -23,6 +23,8 @@ type metrics struct {
 	busy              atomic.Int64  // workers currently running a job
 	sessionEdits      atomic.Uint64 // session edits applied (incl. undo/redo)
 	sseClients        atomic.Int64  // open session event streams
+	requeued          atomic.Uint64 // jobs requeued from the store at startup
+	compactions       atomic.Uint64 // session WAL snapshot rewrites
 }
 
 // WriteMetrics writes the Prometheus text exposition (version 0.0.4) of
@@ -107,6 +109,28 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		ss.Active, ss.Created, ss.Evicted,
 		s.m.sessionEdits.Load(), s.m.sseClients.Load()); err != nil {
 		return err
+	}
+
+	// Durability counters: present only when a store is configured, so an
+	// ephemeral server's exposition is unchanged.
+	if s.cfg.Store != nil {
+		sst := s.cfg.Store.Stats()
+		if err := p("# HELP emiserve_requeued_total Jobs requeued from the durable log at startup.\n"+
+			"# TYPE emiserve_requeued_total counter\nemiserve_requeued_total %d\n"+
+			"# HELP emiserve_session_compactions_total Session WALs rewritten as fresh snapshots.\n"+
+			"# TYPE emiserve_session_compactions_total counter\nemiserve_session_compactions_total %d\n"+
+			"# HELP emiserve_store_appends_total WAL records appended (edits, jobs, snapshots).\n"+
+			"# TYPE emiserve_store_appends_total counter\nemiserve_store_appends_total %d\n"+
+			"# HELP emiserve_store_syncs_total fsync calls issued by the store.\n"+
+			"# TYPE emiserve_store_syncs_total counter\nemiserve_store_syncs_total %d\n"+
+			"# HELP emiserve_store_compactions_total Log rewrites performed by the store.\n"+
+			"# TYPE emiserve_store_compactions_total counter\nemiserve_store_compactions_total %d\n"+
+			"# HELP emiserve_store_repairs_total Damaged WAL tails truncated during recovery.\n"+
+			"# TYPE emiserve_store_repairs_total counter\nemiserve_store_repairs_total %d\n",
+			s.m.requeued.Load(), s.m.compactions.Load(),
+			sst.Appends, sst.Syncs, sst.Compactions, sst.Repairs); err != nil {
+			return err
+		}
 	}
 
 	// The per-phase latency histograms aggregated from the job traces and

@@ -28,12 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/session"
-	"sync"
+	"repro/internal/store"
 )
 
 // Config tunes the server. Zero values take the documented defaults.
@@ -47,6 +49,14 @@ type Config struct {
 
 	SessionTTL time.Duration // design-session idle eviction; <= 0: session.DefaultTTL
 	SessionCap int           // max live design sessions; <= 0: session.DefaultCap
+
+	// Store makes the server durable: jobs, results and sessions are
+	// written ahead to it and recovered by New. nil keeps everything in
+	// memory (a SIGTERM loses all state, as before). CompactEvery bounds
+	// a session's WAL: after that many journal records the log is
+	// rewritten as a fresh snapshot; <= 0: 256.
+	Store        store.Store
+	CompactEvery int
 
 	// Logger receives the structured request and job logs; nil discards
 	// them. SlowOp is the span duration past which a traced operation logs
@@ -80,6 +90,9 @@ func (c *Config) fill() {
 	if c.SlowOp <= 0 {
 		c.SlowOp = 10 * time.Second
 	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = 256
+	}
 }
 
 // Runner executes one job kind: it receives the raw request body and the
@@ -111,9 +124,22 @@ type Server struct {
 
 	sessions *session.Manager
 
-	wg     sync.WaitGroup
-	m      metrics
-	phases *obs.HistogramSet // per-phase job latency, from the job traces
+	// Durable-session bookkeeping (Store configured): per-session WAL
+	// depth driving compaction. Guarded by dmu.
+	dmu      sync.Mutex
+	durables map[string]*sessionDurable
+
+	wg        sync.WaitGroup
+	m         metrics
+	recovered Recovery          // what New rebuilt from the store
+	phases    *obs.HistogramSet // per-phase job latency, from the job traces
+}
+
+// sessionDurable tracks one durable session's WAL depth and serialises
+// its compactions.
+type sessionDurable struct {
+	pending    atomic.Int64 // journal records since the last snapshot
+	compacting atomic.Bool
 }
 
 type finishedRef struct {
@@ -121,7 +147,11 @@ type finishedRef struct {
 	at time.Time
 }
 
-// New starts a server with cfg.Workers worker goroutines.
+// New starts a server with cfg.Workers worker goroutines. When a Store
+// is configured, the durable state is recovered first: unfinished jobs
+// re-enter the queue, completed results repopulate the LRU store with
+// their original TTLs, and sessions are replayed from their snapshots
+// and edit journals — all before the workers start.
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
@@ -132,15 +162,196 @@ func New(cfg Config) *Server {
 		store:    newResultStore(cfg.ResultCap, cfg.ResultTTL),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		sessions: session.NewManager(cfg.SessionTTL, cfg.SessionCap),
+		durables: make(map[string]*sessionDurable),
 		phases: obs.NewHistogramSet("emiserve_phase_seconds",
 			"Wall time per pipeline phase, aggregated from the job traces.",
 			"phase", obs.LatencySeconds),
+	}
+	if cfg.Store != nil {
+		s.recover()
+		s.sessions.SetEvictHook(func(id string) {
+			if err := cfg.Store.DeleteSession(id); err != nil {
+				cfg.Logger.Warn("evicted session delete", "session", id, "err", err)
+			}
+			s.dropDurable(id)
+		})
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// Recovery is the startup summary of what the store gave back.
+type Recovery struct {
+	Requeued  int // unfinished jobs back in the queue
+	Restored  int // terminal jobs restored for status queries
+	Sessions  int // sessions replayed from snapshot + journal
+	LostJobs  int // unfinished jobs that could not be requeued
+	BadReplay int // session logs that failed to replay (left on disk)
+}
+
+// RecoveryReport returns what New recovered from the store.
+func (s *Server) RecoveryReport() Recovery { return s.recovered }
+
+// recover rebuilds the in-memory state from the store. It runs before
+// the workers start, so requeued jobs cannot race the rebuild.
+func (s *Server) recover() {
+	now := s.now()
+	st := s.cfg.Store
+
+	recs, err := st.LoadJobs()
+	if err != nil {
+		s.cfg.Logger.Warn("job recovery failed", "err", err)
+	}
+	var keep []store.JobRecord
+	for _, r := range recs {
+		var seq uint64
+		if _, err := fmt.Sscanf(r.ID, "j%d", &seq); err == nil && seq > s.seq {
+			s.seq = seq
+		}
+		kind := Kind(r.Kind)
+		switch r.State {
+		case store.JobQueued:
+			_, known := s.cfg.Runners[kind]
+			if !known || len(r.Req) == 0 {
+				s.recovered.LostJobs++
+				s.cfg.Logger.Warn("cannot requeue job", "job", r.ID, "kind", r.Kind)
+				continue
+			}
+			j := newJob(r.ID, kind, hashRequest(kind, r.Req), r.Req, r.Created)
+			j.trace = obs.NewTrace("job")
+			j.trace.SetLogger(s.cfg.Logger.With("job", j.ID), s.cfg.SlowOp)
+			j.pinned = true
+			select {
+			case s.queue <- j:
+				s.jobs[j.ID] = j
+				s.inflight[j.Key] = j
+				s.m.requeued.Add(1)
+				s.recovered.Requeued++
+				keep = append(keep, r)
+			default:
+				// More unfinished jobs than queue slots: surface the loss
+				// as a failed job instead of dropping it silently.
+				j.state = StateFailed
+				j.errMsg = "not requeued after restart: queue full"
+				j.finished = now
+				close(j.done)
+				s.jobs[j.ID] = j
+				s.finished = append(s.finished, finishedRef{id: j.ID, at: now})
+				s.recovered.LostJobs++
+				r.State = store.JobFailed
+				r.Error = j.errMsg
+				r.Done = now
+				keep = append(keep, r)
+			}
+		case store.JobDone, store.JobFailed, store.JobCancelled:
+			// Keep terminal jobs queryable for the result-TTL window, and
+			// feed unexpired results back into the LRU store.
+			if !r.Expires.After(now) {
+				continue
+			}
+			j := newJob(r.ID, kind, hashRequest(kind, r.Req), nil, r.Created)
+			j.state = State(r.State)
+			j.result = r.Result
+			j.errMsg = r.Error
+			j.finished = r.Done
+			close(j.done)
+			s.jobs[j.ID] = j
+			s.finished = append(s.finished, finishedRef{id: j.ID, at: r.Done})
+			if r.State == store.JobDone && len(r.Req) > 0 {
+				s.store.putWithExpiry(hashRequest(kind, r.Req), r.Result, r.Expires)
+			}
+			s.recovered.Restored++
+			keep = append(keep, r)
+		}
+	}
+	if err == nil {
+		if cerr := st.CompactJobs(keep); cerr != nil {
+			s.cfg.Logger.Warn("job log compaction failed", "err", cerr)
+		}
+	}
+
+	logs, err := st.LoadSessions()
+	if err != nil {
+		s.cfg.Logger.Warn("session recovery failed", "err", err)
+		return
+	}
+	for _, log := range logs {
+		sess, err := store.Replay(log)
+		if err != nil {
+			// The log survives on disk for forensics; the session does
+			// not come back.
+			s.recovered.BadReplay++
+			s.cfg.Logger.Warn("session replay failed", "session", log.ID, "err", err)
+			continue
+		}
+		if err := s.sessions.Adopt(sess); err != nil {
+			sess.Close()
+			s.recovered.BadReplay++
+			s.cfg.Logger.Warn("session adopt failed", "session", log.ID, "err", err)
+			continue
+		}
+		s.attachSessionJournal(sess, len(log.Records))
+		s.recovered.Sessions++
+	}
+}
+
+// attachSessionJournal installs the write-ahead hook on a durable
+// session and registers its compaction bookkeeping. pending is the
+// number of journal records already in the WAL since its snapshot.
+func (s *Server) attachSessionJournal(sess *session.Session, pending int) {
+	d := &sessionDurable{}
+	d.pending.Store(int64(pending))
+	s.dmu.Lock()
+	s.durables[sess.ID] = d
+	s.dmu.Unlock()
+	st := s.cfg.Store
+	id := sess.ID
+	sess.SetJournal(func(rec session.JournalRecord) error {
+		n, err := st.AppendEdit(id, rec)
+		if err == nil {
+			d.pending.Store(int64(n))
+		}
+		return err
+	})
+}
+
+// dropDurable forgets a session's compaction bookkeeping.
+func (s *Server) dropDurable(id string) {
+	s.dmu.Lock()
+	delete(s.durables, id)
+	s.dmu.Unlock()
+}
+
+// maybeCompact rewrites a session's WAL as a fresh snapshot once enough
+// journal records accumulated. Called after the edit that may have
+// crossed the threshold, never under the session lock.
+func (s *Server) maybeCompact(sess *session.Session) {
+	if s.cfg.Store == nil {
+		return
+	}
+	s.dmu.Lock()
+	d := s.durables[sess.ID]
+	s.dmu.Unlock()
+	if d == nil || d.pending.Load() < int64(s.cfg.CompactEvery) {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.compacting.Store(false)
+	snap, seq, err := sess.Checkpoint()
+	if err == nil {
+		err = s.cfg.Store.CompactSession(sess.ID, seq, snap)
+	}
+	if err != nil {
+		s.cfg.Logger.Warn("session compaction failed", "session", sess.ID, "err", err)
+		return
+	}
+	d.pending.Store(0)
+	s.m.compactions.Add(1)
 }
 
 // Submit enqueues an asynchronous job for kind with the given request
@@ -225,7 +436,42 @@ func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
 	s.jobs[j.ID] = j
 	s.inflight[key] = j
 	s.m.submitted.Add(1)
+	// Write-ahead before the caller sees the job ID: an acknowledged
+	// submission survives a restart (it is requeued, not lost).
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.AppendJob(store.JobRecord{
+			ID: j.ID, Kind: string(kind), State: store.JobQueued,
+			Req: body, Created: now,
+		}); err != nil {
+			s.cfg.Logger.Warn("job journal append", "job", j.ID, "err", err)
+		}
+	}
 	return j, nil
+}
+
+// persistJobFinal appends a job's terminal record, fixing its durable
+// state so recovery does not rerun it. Jobs flagged for requeue (drain
+// cancelled them, the work is still owed) skip the record on purpose:
+// their last durable state stays "queued".
+func (s *Server) persistJobFinal(j *Job, final State) {
+	if s.cfg.Store == nil {
+		return
+	}
+	j.mu.Lock()
+	requeue := j.requeue
+	rec := store.JobRecord{
+		ID: j.ID, Kind: string(j.Kind), State: string(final),
+		Result: j.result, Error: j.errMsg,
+		Created: j.Created, Done: j.finished,
+		Expires: j.finished.Add(s.cfg.ResultTTL),
+	}
+	j.mu.Unlock()
+	if requeue {
+		return
+	}
+	if err := s.cfg.Store.AppendJob(rec); err != nil {
+		s.cfg.Logger.Warn("job journal append", "job", j.ID, "err", err)
+	}
 }
 
 // nextIDLocked mints a job ID: a sequence number plus the content-hash
@@ -254,7 +500,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return s.cancelJob(j, "cancelled"), nil
+	return s.cancelJob(j, "cancelled", false), nil
 }
 
 // Detach releases one waiting submission obtained via SubmitAttached.
@@ -268,26 +514,31 @@ func (s *Server) Detach(j *Job) {
 	abandon := j.waiters == 0 && !j.pinned && !j.state.terminal()
 	j.mu.Unlock()
 	if abandon {
-		s.cancelJob(j, "cancelled: all clients disconnected")
+		s.cancelJob(j, "cancelled: all clients disconnected", false)
 	}
 }
 
 // cancelJob moves a job to StateCancelled (queued) or requests
-// cancellation (running). Reports whether it acted.
-func (s *Server) cancelJob(j *Job, reason string) bool {
+// cancellation (running). Reports whether it acted. requeue marks the
+// cancellation as administrative (drain deadline): the job's durable
+// state stays "queued" and a restarted server runs it again.
+func (s *Server) cancelJob(j *Job, reason string, requeue bool) bool {
 	j.mu.Lock()
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
 		j.canceled = true
+		j.requeue = requeue
 		j.errMsg = reason
 		j.finished = s.now()
 		close(j.done)
 		j.mu.Unlock()
 		s.finishJob(j, StateCancelled)
+		s.persistJobFinal(j, StateCancelled)
 		return true
 	case StateRunning:
 		j.canceled = true
+		j.requeue = requeue
 		j.errMsg = reason
 		cancel := j.cancel
 		j.mu.Unlock()
@@ -384,6 +635,7 @@ func (s *Server) run(j *Job) {
 	j.mu.Unlock()
 
 	s.finishJob(j, final)
+	s.persistJobFinal(j, final)
 	if final == StateDone {
 		s.mu.Lock()
 		s.store.put(j.Key, result, s.now())
@@ -465,7 +717,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for _, j := range pending {
-		s.cancelJob(j, "cancelled: drain deadline exceeded")
+		// Requeue: the work was accepted and is still owed. The durable
+		// state stays "queued" and a restarted server picks it up — drain
+		// no longer silently discards the backlog.
+		s.cancelJob(j, "cancelled: drain deadline exceeded", true)
 	}
 	<-done
 	return ctx.Err()

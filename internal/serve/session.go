@@ -140,6 +140,22 @@ func (s *Server) createSessionHandler(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
+	if s.cfg.Store != nil {
+		// Open the durable log with the base snapshot before acknowledging
+		// the session: a session whose creation was acknowledged survives a
+		// restart. If the log cannot be opened the session is not created.
+		snap, seq, err := sess.Checkpoint()
+		if err == nil {
+			err = s.cfg.Store.CreateSession(sess.ID, seq, snap)
+		}
+		if err != nil {
+			s.sessions.Delete(sess.ID)
+			writeError(w, http.StatusInternalServerError,
+				fmt.Sprintf("sessions: durable log: %v", err))
+			return
+		}
+		s.attachSessionJournal(sess, 0)
+	}
 	w.Header().Set("X-Session-ID", sess.ID)
 	writeJSON(w, http.StatusCreated, sess.State())
 }
@@ -174,9 +190,16 @@ func (s *Server) getSessionHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) deleteSessionHandler(w http.ResponseWriter, r *http.Request) {
-	if !s.sessions.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.sessions.Delete(id) {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.DeleteSession(id); err != nil {
+			s.cfg.Logger.Warn("session log delete", "session", id, "err", err)
+		}
+		s.dropDurable(id)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
 }
@@ -210,6 +233,7 @@ func (s *Server) editSessionHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeEdit(time.Since(t0), delta)
+	s.maybeCompact(sess)
 	writeJSON(w, http.StatusOK, delta)
 }
 
@@ -292,6 +316,7 @@ func (s *Server) undoRedo(w http.ResponseWriter, r *http.Request, undo bool) {
 		return
 	}
 	s.observeEdit(time.Since(t0), delta)
+	s.maybeCompact(sess)
 	writeJSON(w, http.StatusOK, delta)
 }
 

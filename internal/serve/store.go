@@ -50,17 +50,24 @@ func (s *resultStore) get(key engine.Key, now time.Time) json.RawMessage {
 // put stores a result, evicting the least recently used entry beyond
 // capacity.
 func (s *resultStore) put(key engine.Key, result json.RawMessage, now time.Time) {
+	s.putWithExpiry(key, result, now.Add(s.ttl))
+}
+
+// putWithExpiry stores a result with an explicit expiry — recovery uses
+// it to reload persisted results with their original TTL deadlines
+// rather than granting a fresh window.
+func (s *resultStore) putWithExpiry(key engine.Key, result json.RawMessage, expires time.Time) {
 	if s.cap <= 0 {
 		return
 	}
 	if e, ok := s.m[key]; ok {
 		ent := e.Value.(*storeEntry)
 		ent.result = result
-		ent.expires = now.Add(s.ttl)
+		ent.expires = expires
 		s.ll.MoveToFront(e)
 		return
 	}
-	s.m[key] = s.ll.PushFront(&storeEntry{key: key, result: result, expires: now.Add(s.ttl)})
+	s.m[key] = s.ll.PushFront(&storeEntry{key: key, result: result, expires: expires})
 	for s.ll.Len() > s.cap {
 		back := s.ll.Back()
 		s.ll.Remove(back)

@@ -30,6 +30,7 @@ type Manager struct {
 	seq      uint64
 	created  uint64
 	evicted  uint64
+	onEvict  func(id string) // TTL eviction notification (not Delete/CloseAll)
 }
 
 type entry struct {
@@ -60,6 +61,17 @@ func NewManager(ttl time.Duration, capacity int) *Manager {
 	}
 }
 
+// SetEvictHook registers fn, called with the ID of every session the
+// idle TTL evicts (but not ones explicitly Deleted or closed by
+// CloseAll). The serving layer uses it to delete the session's durable
+// log — an evicted session must not resurrect on restart. fn runs under
+// the manager lock and must not call back into the manager.
+func (m *Manager) SetEvictHook(fn func(id string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onEvict = fn
+}
+
 // sweepLocked evicts sessions idle longer than the TTL.
 func (m *Manager) sweepLocked(now time.Time) {
 	for id, e := range m.sessions {
@@ -67,6 +79,9 @@ func (m *Manager) sweepLocked(now time.Time) {
 			delete(m.sessions, id)
 			m.evicted++
 			e.s.Close()
+			if m.onEvict != nil {
+				m.onEvict(id)
+			}
 		}
 	}
 }
@@ -111,6 +126,27 @@ func (m *Manager) Create(d *layout.Design, proj *core.Project) (*Session, error)
 	m.sessions[id] = &entry{s: s, lastUsed: m.now()}
 	m.created++
 	return s, nil
+}
+
+// Adopt inserts a recovered session under its existing ID and advances
+// the ID counter past it, so freshly created sessions never collide with
+// recovered ones. It counts against the capacity like Create.
+func (m *Manager) Adopt(s *Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[s.ID]; ok {
+		return fmt.Errorf("session: %s already live", s.ID)
+	}
+	if len(m.sessions) >= m.cap {
+		return fmt.Errorf("session: capacity reached (%d live sessions)", m.cap)
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(s.ID, "s%d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+	m.sessions[s.ID] = &entry{s: s, lastUsed: m.now()}
+	m.created++
+	return nil
 }
 
 // Get returns a live session and refreshes its idle clock.

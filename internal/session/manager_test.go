@@ -1,0 +1,119 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// fakeClock drives the manager's idle TTL deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestManager(ttl time.Duration, capacity int) (*Manager, *fakeClock) {
+	m := NewManager(ttl, capacity)
+	c := &fakeClock{t: time.Unix(1700000000, 0)}
+	m.now = c.now
+	return m, c
+}
+
+// TestEvictHookFiresOnTTLOnly: the hook is the durable layer's signal to
+// drop a session's log, so it must fire for TTL eviction and ONLY for
+// TTL eviction — explicit Delete and CloseAll handle their own cleanup.
+func TestEvictHookFiresOnTTLOnly(t *testing.T) {
+	t.Parallel()
+	m, clock := newTestManager(time.Minute, 8)
+	var evicted []string
+	m.SetEvictHook(func(id string) { evicted = append(evicted, id) })
+
+	d := workload.Synthetic(4, 3, 2, 0.1, 0.08)
+	idle, err := m.Create(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := m.Create(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := m.Create(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !m.Delete(deleted.ID) {
+		t.Fatal("delete failed")
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("hook fired on explicit Delete: %v", evicted)
+	}
+
+	// Keep one session warm past the other's TTL.
+	clock.advance(40 * time.Second)
+	if _, ok := m.Get(fresh.ID); !ok {
+		t.Fatal("fresh session gone early")
+	}
+	clock.advance(40 * time.Second) // idle is now 80s stale, fresh 40s
+	if _, ok := m.Get(idle.ID); ok {
+		t.Fatal("idle session survived its TTL")
+	}
+	if len(evicted) != 1 || evicted[0] != idle.ID {
+		t.Fatalf("hook calls %v, want exactly [%s]", evicted, idle.ID)
+	}
+	if _, ok := m.Get(fresh.ID); !ok {
+		t.Fatal("fresh session evicted alongside the idle one")
+	}
+
+	m.CloseAll()
+	if len(evicted) != 1 {
+		t.Fatalf("hook fired on CloseAll: %v", evicted)
+	}
+	if st := m.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted counter %d, want 1", st.Evicted)
+	}
+}
+
+// TestAdoptAdvancesIDCounter: recovered sessions keep their IDs, and new
+// sessions created afterwards must never collide with them.
+func TestAdoptAdvancesIDCounter(t *testing.T) {
+	t.Parallel()
+	m, _ := newTestManager(time.Hour, 8)
+	d := workload.Synthetic(4, 3, 2, 0.1, 0.08)
+
+	recovered := New("s000005", d)
+	if err := m.Adopt(recovered); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Adopt(New("s000005", d)); err == nil {
+		t.Fatal("double adoption of the same ID accepted")
+	}
+	if got, ok := m.Get("s000005"); !ok || got != recovered {
+		t.Fatal("adopted session not retrievable")
+	}
+
+	next, err := m.Create(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID != "s000006" {
+		t.Fatalf("created ID %s after adopting s000005, want s000006", next.ID)
+	}
+}
+
+// TestAdoptRespectsCapacity: recovery cannot blow past the session cap.
+func TestAdoptRespectsCapacity(t *testing.T) {
+	t.Parallel()
+	m, _ := newTestManager(time.Hour, 2)
+	d := workload.Synthetic(4, 3, 2, 0.1, 0.08)
+	for i := 0; i < 2; i++ {
+		if err := m.Adopt(New(fmt.Sprintf("s%06d", i+1), d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Adopt(New("s000003", d)); err == nil {
+		t.Fatal("adoption past the capacity accepted")
+	}
+}

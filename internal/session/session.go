@@ -107,6 +107,30 @@ type State struct {
 	Couplings        int      `json:"couplings"`
 }
 
+// Journal record ops: the three mutations a durable log must replay.
+const (
+	JournalApply = "apply"
+	JournalUndo  = "undo"
+	JournalRedo  = "redo"
+)
+
+// JournalRecord is the durable form of one acknowledged mutation: the
+// operation, the sequence number of the resulting delta, and (for
+// applies) the edit itself. Undo and redo need no payload — the journal
+// has exact inverses, so replaying the ops in order reconstructs the
+// session byte-for-byte.
+type JournalRecord struct {
+	Op   string
+	Seq  uint64
+	Edit Edit // JournalApply only
+}
+
+// JournalFunc persists one record. It is called with the session lock
+// held, before the mutation is acknowledged: a non-nil error aborts the
+// mutation (the design is rolled back) and is returned to the caller, so
+// an acknowledged edit is always durable.
+type JournalFunc func(JournalRecord) error
+
 // applied is one journal entry: the forward edit plus everything needed
 // to invert it.
 type applied struct {
@@ -130,6 +154,7 @@ type Session struct {
 	seq     uint64
 	journal []applied
 	redo    []applied
+	persist JournalFunc // nil: no durability
 
 	subs    map[int]*subscriber
 	nextSub int
@@ -247,6 +272,46 @@ func (s *Session) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// SetJournal installs the durability hook called before every mutation
+// is acknowledged (see JournalFunc). A nil fn disables journaling; the
+// recovery path replays first and installs the hook after, so replayed
+// records are not re-appended.
+func (s *Session) SetJournal(fn JournalFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist = fn
+}
+
+// RestoreSeq fast-forwards the delta sequence counter to seq — the base
+// sequence of the snapshot a recovered session was rebuilt from, so
+// sequence numbers (and SSE event IDs) keep growing across a restart.
+// The counter only moves forward.
+func (s *Session) RestoreSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+}
+
+// Checkpoint atomically serialises the current design, returns it with
+// the current sequence number, and drops the undo/redo history. It is
+// the WAL compaction barrier: the durable log is about to replace the
+// journal prefix with this snapshot, and a snapshot restores with an
+// empty history, so the live session must agree that edits before the
+// barrier can no longer be undone.
+func (s *Session) Checkpoint() ([]byte, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := layout.Write(&buf, s.d); err != nil {
+		return nil, 0, err
+	}
+	s.journal = nil
+	s.redo = nil
+	return buf.Bytes(), s.seq, nil
+}
+
 // Apply validates and applies one edit, recomputes the invalidated rule
 // units and couplings, journals the inverse, and broadcasts the delta.
 func (s *Session) Apply(e Edit) (*Delta, error) {
@@ -270,6 +335,14 @@ func (s *Session) ApplyCtx(ctx context.Context, e Edit) (*Delta, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.persist != nil {
+		if err := s.persist(JournalRecord{Op: JournalApply, Seq: s.seq + 1, Edit: rec.edit}); err != nil {
+			// The edit cannot be made durable: roll it back so the
+			// in-memory state never runs ahead of the log.
+			s.invert(rec)
+			return nil, fmt.Errorf("session: journal: %w", err)
+		}
+	}
 	s.journal = append(s.journal, rec)
 	s.redo = nil
 	return s.settle(ctx, e.Op, rec.edit)
@@ -292,6 +365,12 @@ func (s *Session) UndoCtx(ctx context.Context) (*Delta, error) {
 	}
 	if len(s.journal) == 0 {
 		return nil, fmt.Errorf("session: nothing to undo")
+	}
+	if s.persist != nil {
+		// Nothing is mutated yet, so a journal failure simply rejects.
+		if err := s.persist(JournalRecord{Op: JournalUndo, Seq: s.seq + 1}); err != nil {
+			return nil, fmt.Errorf("session: journal: %w", err)
+		}
 	}
 	rec := s.journal[len(s.journal)-1]
 	s.journal = s.journal[:len(s.journal)-1]
@@ -317,6 +396,11 @@ func (s *Session) RedoCtx(ctx context.Context) (*Delta, error) {
 	}
 	if len(s.redo) == 0 {
 		return nil, fmt.Errorf("session: nothing to redo")
+	}
+	if s.persist != nil {
+		if err := s.persist(JournalRecord{Op: JournalRedo, Seq: s.seq + 1}); err != nil {
+			return nil, fmt.Errorf("session: journal: %w", err)
+		}
 	}
 	rec := s.redo[len(s.redo)-1]
 	s.redo = s.redo[:len(s.redo)-1]

@@ -1,0 +1,96 @@
+package soak
+
+import (
+	"fmt"
+	"net"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// Harness manages a real emiserve process for the crash-recovery soak:
+// start it against a data directory, SIGKILL it mid-load (no drain, no
+// goodbye — the hard-crash model the WAL must survive), start it again.
+// The harness is used both by the soak test and by cmd/emisoak.
+type Harness struct {
+	Bin     string   // path to the emiserve binary
+	DataDir string   // -data-dir passed to every start
+	Addr    string   // host:port; empty picks a free localhost port
+	Args    []string // extra flags (e.g. -fsync always)
+
+	cmd *exec.Cmd
+}
+
+// BaseURL returns the server's base URL.
+func (h *Harness) BaseURL() string { return "http://" + h.Addr }
+
+// PickAddr reserves a free localhost port for the server. Call once
+// before the first Start.
+func (h *Harness) PickAddr() error {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.Addr = l.Addr().String()
+	return l.Close()
+}
+
+// Start launches emiserve with the durable data directory and waits
+// until it accepts connections.
+func (h *Harness) Start() error {
+	if h.cmd != nil {
+		return fmt.Errorf("harness: server already running")
+	}
+	if h.Addr == "" {
+		if err := h.PickAddr(); err != nil {
+			return err
+		}
+	}
+	args := append([]string{"-addr", h.Addr, "-data-dir", h.DataDir}, h.Args...)
+	cmd := exec.Command(h.Bin, args...)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("harness: start %s: %w", h.Bin, err)
+	}
+	h.cmd = cmd
+	// Wait for the listener, bounded: recovery of a big log takes time.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", h.Addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return nil
+		}
+		if cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	h.Kill()
+	return fmt.Errorf("harness: server on %s never came up", h.Addr)
+}
+
+// Kill SIGKILLs the server — the abrupt death the durability layer is
+// tested against — and reaps the process.
+func (h *Harness) Kill() {
+	if h.cmd == nil {
+		return
+	}
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Signal(syscall.SIGKILL)
+	}
+	_ = h.cmd.Wait()
+	h.cmd = nil
+}
+
+// Stop SIGTERMs the server (graceful drain path) and waits for exit.
+func (h *Harness) Stop() error {
+	if h.cmd == nil {
+		return nil
+	}
+	if h.cmd.Process != nil {
+		_ = h.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	err := h.cmd.Wait()
+	h.cmd = nil
+	return err
+}

@@ -1,0 +1,719 @@
+// Soak is the mixed-load durability driver: predict bursts, placement
+// jobs and chatty design sessions (edits, undo/redo, SSE streams) thrown
+// at a live emiserve over plain HTTP, with an acknowledgement ledger on
+// the client side. After the server is killed and restarted, Verify
+// replays the ledger against the recovered state: every acknowledged job
+// must still resolve, every acknowledged session edit must be present,
+// and each recovered snapshot must match the client's reference session
+// byte for byte (and agree with it under DRC).
+//
+// The driver lives here rather than in internal/serve so the serving
+// layer (which imports this package for Synthetic) never depends on its
+// own load generator; everything below speaks net/http only.
+package soak
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/drc"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// SoakOptions configure the mixed-load driver.
+type SoakOptions struct {
+	BaseURL    string        // e.g. http://127.0.0.1:8080
+	Seed       int64         // deterministic op streams
+	Sessions   int           // chatty session workers; <= 0: 2
+	JobWorkers int           // predict/place submitters; <= 0: 2
+	OpEvery    time.Duration // pacing between session ops; <= 0: 5ms
+	JobEvery   time.Duration // pacing between submissions; <= 0: 25ms
+	Client     *http.Client  // nil: 10s-timeout default
+}
+
+// Soak drives the load and owns the acknowledgement ledger. One Soak
+// survives any number of server restarts: Run keeps working through
+// kills (waiting out the downtime), and Verify can be called after each
+// restart.
+type Soak struct {
+	opts SoakOptions
+	hc   *http.Client
+
+	mu       sync.Mutex
+	jobs     map[string]string // acked job ID → kind
+	sessions []*soakSession
+
+	sseDeltas atomic.Int64 // deltas observed over SSE, all sessions
+	acked     atomic.Int64 // acknowledged session ops, all sessions
+}
+
+// soakSession pairs a remote session with the local reference the
+// verifier compares against. ref has exactly the acknowledged ops
+// applied; pending is the single op whose fate is unknown (the request
+// died mid-flight — at most one, the worker is sequential).
+type soakSession struct {
+	mu       sync.Mutex
+	remoteID string
+	ref      *session.Session
+	acked    int
+	pending  *soakOp
+	dead     bool // worker gave up (session vanished while serving)
+}
+
+// soakOp is one session operation in both forms: the wire request and
+// the local edit that reproduces it exactly (the local edit uses the
+// same millimeter→meter conversion expressions as the server, so the
+// float64 results are bit-identical).
+type soakOp struct {
+	kind  string // edits | undo | redo
+	wire  []byte // JSON body for edits
+	local session.Edit
+}
+
+// NewSoak builds an idle driver; Run starts the load.
+func NewSoak(opts SoakOptions) *Soak {
+	if opts.Sessions <= 0 {
+		opts.Sessions = 2
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 2
+	}
+	if opts.OpEvery <= 0 {
+		opts.OpEvery = 5 * time.Millisecond
+	}
+	if opts.JobEvery <= 0 {
+		opts.JobEvery = 25 * time.Millisecond
+	}
+	hc := opts.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Soak{opts: opts, hc: hc, jobs: map[string]string{}}
+}
+
+// AckedJobs returns the number of acknowledged job submissions so far.
+func (s *Soak) AckedJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// AckedOps returns the number of acknowledged session ops so far.
+func (s *Soak) AckedOps() int { return int(s.acked.Load()) }
+
+// SSEDeltas returns the number of deltas observed over the event streams.
+func (s *Soak) SSEDeltas() int { return int(s.sseDeltas.Load()) }
+
+// Run drives the mixed load until ctx is done. It tolerates the server
+// dying mid-request: unacknowledged work stays out of the ledger (or is
+// resolved against the recovered state) and the workers wait for the
+// server to come back.
+func (s *Soak) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := 0; i < s.opts.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.sessionWorker(ctx, i)
+		}(i)
+	}
+	for i := 0; i < s.opts.JobWorkers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.jobWorker(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ---- job load ----
+
+// jobWorker alternates predict and place submissions with varying
+// payloads (distinct bodies defeat the dedup layer, so each submission
+// is a real queue entry).
+func (s *Soak) jobWorker(ctx context.Context, worker int) {
+	rng := rand.New(rand.NewSource(s.opts.Seed + int64(worker)*7919))
+	t := time.NewTicker(s.opts.JobEvery)
+	defer t.Stop()
+	for n := 0; ; n++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var path string
+		var body []byte
+		if n%2 == 0 {
+			path = "/v1/predict"
+			body = predictBody(worker, n, rng)
+		} else {
+			path = "/v1/place"
+			body = placeBody(worker, n, rng)
+		}
+		resp, err := s.post(ctx, path, body)
+		if err != nil {
+			s.awaitHealthy(ctx) // server gone: the submission is unacked
+			continue
+		}
+		var view struct {
+			ID string `json:"id"`
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if code != http.StatusAccepted || err != nil || view.ID == "" {
+			continue // rejected (queue full, draining): nothing acknowledged
+		}
+		s.mu.Lock()
+		s.jobs[view.ID] = path
+		s.mu.Unlock()
+	}
+}
+
+// predictBody is a small switching-converter netlist whose load varies
+// per submission.
+func predictBody(worker, n int, rng *rand.Rand) []byte {
+	load := 1 + rng.Intn(40)
+	netl := fmt.Sprintf(`* soak predict %d-%d
+Vbat bat 0 DC 12
+Llisn bat vin 5e-06
+Cclisn vin meas 1e-07
+Rmlisn meas 0 50
+Cin vin in_a 2.2e-06
+Rin in_a 0 0.02
+VD1 vin 0 PULSE(0 12 0 4e-08 4e-08 2e-06 5e-06)
+Lbuck vin vout 2.2e-05
+Cout vout out_a 4.7e-05
+Rout out_a 0 0.08
+Rload vout 0 %d
+`, worker, n, load)
+	body, _ := json.Marshal(map[string]any{
+		"netlist":  netl,
+		"sources":  []string{"VD1"},
+		"measure":  "meas",
+		"max_freq": 5e6,
+	})
+	return body
+}
+
+// placeBody is a small synthetic placement problem with varying size.
+func placeBody(worker, n int, rng *rand.Rand) []byte {
+	comps := 5 + rng.Intn(4)
+	d := workload.Synthetic(comps, comps, 2, 0.1, 0.08)
+	d.Name = fmt.Sprintf("soak-%d-%d", worker, n)
+	var buf bytes.Buffer
+	if err := layout.Write(&buf, d); err != nil {
+		panic(err) // deterministic small design; cannot fail
+	}
+	body, _ := json.Marshal(map[string]any{"design": buf.String()})
+	return body
+}
+
+// ---- session load ----
+
+// sessionWorker creates one durable session, opens its SSE stream, and
+// streams edits/undo/redo at it, maintaining the local reference.
+func (s *Soak) sessionWorker(ctx context.Context, worker int) {
+	rng := rand.New(rand.NewSource(s.opts.Seed + 1e6 + int64(worker)*104729))
+
+	// Create the remote session and the bit-identical local reference.
+	// The explicit spec mirrors SyntheticSpec.build in the server: both
+	// sides evaluate the same expressions on the same inputs.
+	n := 6 + worker%4
+	ruleCount, groups := 6, 2
+	wmm, hmm := 160.0, 120.0
+	createBody, _ := json.Marshal(map[string]any{
+		"synthetic": map[string]any{
+			"n": n, "rules": ruleCount, "groups": groups,
+			"w_mm": wmm, "h_mm": hmm,
+		},
+	})
+	var ss *soakSession
+	for ss == nil {
+		resp, err := s.post(ctx, "/v1/sessions", createBody)
+		if err != nil {
+			if !s.awaitHealthy(ctx) {
+				return
+			}
+			continue
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if code != http.StatusCreated || err != nil || st.ID == "" {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		ref := session.New("ref-"+st.ID, workload.Synthetic(n, ruleCount, groups, wmm*1e-3, hmm*1e-3))
+		ss = &soakSession{remoteID: st.ID, ref: ref}
+		s.mu.Lock()
+		s.sessions = append(s.sessions, ss)
+		s.mu.Unlock()
+	}
+	go s.streamEvents(ctx, ss.remoteID)
+
+	t := time.NewTicker(s.opts.OpEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		op := s.nextOp(ss, rng)
+		ss.mu.Lock()
+		ss.pending = op
+		ss.mu.Unlock()
+		ok, gone := s.sendOp(ctx, ss.remoteID, op)
+		ss.mu.Lock()
+		switch {
+		case ok:
+			// Acknowledged: the op is durable server-side; mirror it.
+			if err := applyLocal(ss.ref, op); err == nil {
+				ss.acked++
+				s.acked.Add(1)
+			} else {
+				// The server acked an op the reference rejects: leave the
+				// ledger ahead so Verify flags the divergence.
+				ss.dead = true
+			}
+			ss.pending = nil
+		case gone:
+			// Transport died mid-request: the op's fate is unknown. Leave
+			// it pending; resolvePending settles it once the server is up.
+			ss.mu.Unlock()
+			if !s.awaitHealthy(ctx) {
+				return
+			}
+			if !s.resolvePending(ctx, ss) {
+				return // session vanished; Verify reports it
+			}
+			ss.mu.Lock()
+		default:
+			// Clean rejection (409 empty undo stack, 400): nothing
+			// happened on either side.
+			ss.pending = nil
+		}
+		dead := ss.dead
+		ss.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// nextOp picks the next session op: mostly moves, with rotations,
+// rule/param edits and undo/redo mixed in. Wire values are integral
+// millimeters/degrees so both sides convert identically.
+func (s *Soak) nextOp(ss *soakSession, rng *rand.Rand) *soakOp {
+	d := ss.ref.DesignSnapshot()
+	pick := rng.Intn(10)
+	switch {
+	case pick < 5: // move
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		xmm := float64(15 + rng.Intn(130))
+		ymm := float64(15 + rng.Intn(90))
+		deg := float64(90 * rng.Intn(4))
+		wire, _ := json.Marshal(map[string]any{
+			"op": "move", "ref": c.Ref, "x_mm": xmm, "y_mm": ymm, "rot_deg": deg,
+		})
+		return &soakOp{kind: "edits", wire: wire, local: session.Edit{
+			Op: session.OpMove, Ref: c.Ref,
+			Center: geom.V2(xmm*1e-3, ymm*1e-3), Rot: geom.Rad(deg),
+		}}
+	case pick < 7: // rotate
+		c := d.Comps[rng.Intn(len(d.Comps))]
+		deg := float64(90 * rng.Intn(4))
+		wire, _ := json.Marshal(map[string]any{
+			"op": "rotate", "ref": c.Ref, "rot_deg": deg,
+		})
+		return &soakOp{kind: "edits", wire: wire, local: session.Edit{
+			Op: session.OpRotate, Ref: c.Ref, Rot: geom.Rad(deg),
+		}}
+	case pick < 8: // clearance param
+		mm := float64(1+rng.Intn(4)) / 2 // 0.5 .. 2.0
+		wire, _ := json.Marshal(map[string]any{
+			"op": "param", "param": session.ParamClearance, "value_mm": mm,
+		})
+		return &soakOp{kind: "edits", wire: wire, local: session.Edit{
+			Op: session.OpParam, Param: session.ParamClearance, Value: mm * 1e-3,
+		}}
+	case pick < 9:
+		return &soakOp{kind: "undo"}
+	default:
+		return &soakOp{kind: "redo"}
+	}
+}
+
+// sendOp posts one op. ok means acknowledged (200); gone means the
+// transport failed — whether the server died or our context was cut,
+// the op may have landed, so it must stay pending until resolved.
+func (s *Soak) sendOp(ctx context.Context, id string, op *soakOp) (ok, gone bool) {
+	path := "/v1/sessions/" + id + "/" + op.kind
+	resp, err := s.post(ctx, path, op.wire)
+	if err != nil {
+		return false, true
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK, false
+}
+
+// applyLocal mirrors an acknowledged op onto the reference session.
+func applyLocal(ref *session.Session, op *soakOp) error {
+	var err error
+	switch op.kind {
+	case "edits":
+		_, err = ref.Apply(op.local)
+	case "undo":
+		_, err = ref.Undo()
+	case "redo":
+		_, err = ref.Redo()
+	}
+	return err
+}
+
+// resolvePending settles the one op whose request died mid-flight by
+// asking the recovered server for the session's sequence number: seq ==
+// acked means the op never landed, seq == acked+1 means it did (and is
+// applied to the reference). Returns false when the session is gone.
+func (s *Soak) resolvePending(ctx context.Context, ss *soakSession) bool {
+	ss.mu.Lock()
+	op := ss.pending
+	acked := ss.acked
+	id := ss.remoteID
+	ss.mu.Unlock()
+	if op == nil {
+		return true
+	}
+	seq, found := s.remoteSeq(ctx, id)
+	if !found {
+		ss.mu.Lock()
+		ss.dead = true
+		ss.mu.Unlock()
+		return false
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	switch seq {
+	case uint64(acked):
+		// Not applied (or an undo/redo the server rejected with 409).
+	case uint64(acked) + 1:
+		if err := applyLocal(ss.ref, op); err != nil {
+			ss.dead = true
+			return false
+		}
+		ss.acked++
+		s.acked.Add(1)
+	default:
+		ss.dead = true // a whole op went missing; Verify reports it
+		return false
+	}
+	ss.pending = nil
+	return true
+}
+
+// remoteSeq fetches a session's sequence number, retrying through
+// transient downtime until ctx expires.
+func (s *Soak) remoteSeq(ctx context.Context, id string) (uint64, bool) {
+	for ctx.Err() == nil {
+		resp, err := s.get(ctx, "/v1/sessions/"+id)
+		if err != nil {
+			if !s.awaitHealthy(ctx) {
+				return 0, false
+			}
+			continue
+		}
+		var st struct {
+			Seq uint64 `json:"seq"`
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			return 0, false
+		}
+		if code == http.StatusOK && err == nil {
+			return st.Seq, true
+		}
+	}
+	return 0, false
+}
+
+// streamEvents keeps an SSE subscription open for load realism,
+// counting the deltas it sees and reconnecting across restarts.
+func (s *Soak) streamEvents(ctx context.Context, id string) {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			s.opts.BaseURL+"/v1/sessions/"+id+"/events", nil)
+		if err != nil {
+			return
+		}
+		// SSE must outlive the client timeout: use a bare transport.
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: delta") {
+				s.sseDeltas.Add(1)
+			}
+		}
+		resp.Body.Close()
+	}
+}
+
+// ---- verification ----
+
+// SoakReport is Verify's verdict over the whole ledger.
+type SoakReport struct {
+	AckedJobs     int
+	LostJobs      int // acknowledged job IDs the server no longer knows
+	PendingJobs   int // still queued/running when Verify gave up waiting
+	AckedSessions int
+	AckedOps      int
+	LostSessions  int // acknowledged sessions that did not come back
+	SeqMismatches int // recovered seq disagrees with the acked ledger
+	SnapshotDiffs int // recovered snapshot differs from the reference
+	DRCDiffs      int // recovered design disagrees with the reference under DRC
+	Errors        []string
+}
+
+// OK reports whether no acknowledged state was lost or corrupted.
+func (r *SoakReport) OK() bool {
+	return r.LostJobs == 0 && r.LostSessions == 0 &&
+		r.SeqMismatches == 0 && r.SnapshotDiffs == 0 && r.DRCDiffs == 0
+}
+
+func (r *SoakReport) String() string {
+	return fmt.Sprintf("jobs acked=%d lost=%d pending=%d | sessions acked=%d ops=%d lost=%d seq_mismatch=%d snapshot_diff=%d drc_diff=%d",
+		r.AckedJobs, r.LostJobs, r.PendingJobs,
+		r.AckedSessions, r.AckedOps, r.LostSessions,
+		r.SeqMismatches, r.SnapshotDiffs, r.DRCDiffs)
+}
+
+func (r *SoakReport) errf(format string, args ...any) {
+	if len(r.Errors) < 32 {
+		r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+	}
+}
+
+// Verify checks the recovered server against the ledger. Call it after
+// a restart with the load stopped; ctx bounds how long it waits for
+// requeued jobs to finish.
+func (s *Soak) Verify(ctx context.Context) *SoakReport {
+	rep := &SoakReport{}
+	if !s.awaitHealthy(ctx) {
+		rep.errf("server never became healthy")
+		rep.LostJobs = -1
+		return rep
+	}
+
+	s.mu.Lock()
+	jobs := make(map[string]string, len(s.jobs))
+	for id, kind := range s.jobs {
+		jobs[id] = kind
+	}
+	sess := append([]*soakSession(nil), s.sessions...)
+	s.mu.Unlock()
+
+	// Jobs: every acknowledged ID must still resolve, and requeued ones
+	// must run to a terminal state.
+	rep.AckedJobs = len(jobs)
+	for id := range jobs {
+		state, found := s.jobState(ctx, id, true)
+		switch {
+		case !found:
+			rep.LostJobs++
+			rep.errf("job %s: acknowledged but unknown after restart", id)
+		case state == "queued" || state == "running":
+			rep.PendingJobs++
+		}
+	}
+
+	// Sessions: resolve any in-flight op, then compare seq, snapshot
+	// bytes and the DRC verdict against the reference.
+	rep.AckedSessions = len(sess)
+	for _, ss := range sess {
+		s.resolvePending(ctx, ss)
+		ss.mu.Lock()
+		id, ref, acked := ss.remoteID, ss.ref, ss.acked
+		ss.mu.Unlock()
+		rep.AckedOps += acked
+
+		seq, found := s.remoteSeq(ctx, id)
+		if !found {
+			rep.LostSessions++
+			rep.errf("session %s: acknowledged but missing after restart", id)
+			continue
+		}
+		if seq != uint64(acked) {
+			rep.SeqMismatches++
+			rep.errf("session %s: recovered seq %d, ledger acked %d", id, seq, acked)
+			continue
+		}
+		remote, err := s.snapshot(ctx, id)
+		if err != nil {
+			rep.SnapshotDiffs++
+			rep.errf("session %s: snapshot: %v", id, err)
+			continue
+		}
+		local, err := ref.Snapshot()
+		if err != nil {
+			rep.errf("session %s: reference snapshot: %v", id, err)
+			continue
+		}
+		if !bytes.Equal(remote, local) {
+			rep.SnapshotDiffs++
+			rep.errf("session %s: recovered snapshot differs from reference (%d vs %d bytes)",
+				id, len(remote), len(local))
+			continue
+		}
+		// Independent semantic check: the recovered design must agree
+		// with the reference under a full DRC pass.
+		rd, err := layout.ReadString(string(remote))
+		if err != nil {
+			rep.DRCDiffs++
+			rep.errf("session %s: recovered snapshot unparseable: %v", id, err)
+			continue
+		}
+		rrep, lrep := drc.Check(rd), drc.Check(ref.DesignSnapshot())
+		if rrep.Green() != lrep.Green() || len(rrep.Violations) != len(lrep.Violations) {
+			rep.DRCDiffs++
+			rep.errf("session %s: DRC disagrees (recovered %d violations, reference %d)",
+				id, len(rrep.Violations), len(lrep.Violations))
+		}
+	}
+	return rep
+}
+
+// snapshot fetches a session's current design in the ASCII layout format.
+func (s *Soak) snapshot(ctx context.Context, id string) ([]byte, error) {
+	resp, err := s.get(ctx, "/v1/sessions/"+id+"/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot: HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// jobState fetches a job's state, optionally blocking until terminal.
+func (s *Soak) jobState(ctx context.Context, id string, wait bool) (string, bool) {
+	path := "/v1/jobs/" + id
+	if wait {
+		path += "?wait=1"
+	}
+	for ctx.Err() == nil {
+		resp, err := s.get(ctx, path)
+		if err != nil {
+			if !s.awaitHealthy(ctx) {
+				break
+			}
+			continue
+		}
+		var view struct {
+			State string `json:"state"`
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			return "", false
+		}
+		if err == nil && view.State != "" {
+			return view.State, true
+		}
+	}
+	// ctx expired: one last non-blocking look.
+	resp, err := s.get(context.Background(), "/v1/jobs/"+id)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	var view struct {
+		State string `json:"state"`
+	}
+	if resp.StatusCode == http.StatusOK && json.NewDecoder(resp.Body).Decode(&view) == nil {
+		return view.State, true
+	}
+	return "", false
+}
+
+// ---- plumbing ----
+
+func (s *Soak) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		s.opts.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return s.hc.Do(req)
+}
+
+func (s *Soak) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.opts.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return s.hc.Do(req)
+}
+
+// awaitHealthy polls /healthz until the server answers 200 or ctx ends.
+func (s *Soak) awaitHealthy(ctx context.Context) bool {
+	for {
+		resp, err := s.get(ctx, "/healthz")
+		if err == nil {
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return true
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package soak
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildEmiserve compiles the real server binary once per test run.
+func buildEmiserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "emiserve")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/emiserve")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build emiserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestKillRestartCycle is the in-tree slice of the soak harness: real
+// emiserve process, mixed load, SIGKILL mid-load, restart, and the full
+// no-acknowledged-state-lost verification. The CI soak target runs the
+// emisoak binary for longer; this keeps a fast version in plain go test.
+func TestKillRestartCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level soak cycle; skipped in -short")
+	}
+	bin := buildEmiserve(t)
+	h := &Harness{
+		Bin:     bin,
+		DataDir: t.TempDir(),
+		Args:    []string{"-fsync", "off"},
+	}
+	if err := h.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.Kill()
+
+	soaker := NewSoak(SoakOptions{
+		BaseURL:    h.BaseURL(),
+		Seed:       42,
+		Sessions:   2,
+		JobWorkers: 2,
+	})
+
+	loadCtx, stopLoad := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		soaker.Run(loadCtx)
+		close(done)
+	}()
+	time.Sleep(3 * time.Second)
+
+	h.Kill()
+	stopLoad()
+	<-done
+
+	if soaker.AckedOps() == 0 && soaker.AckedJobs() == 0 {
+		t.Fatal("no work was acknowledged before the kill; the cycle proves nothing")
+	}
+
+	if err := h.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	vctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep := soaker.Verify(vctx)
+	if !rep.OK() {
+		for _, e := range rep.Errors {
+			t.Error(e)
+		}
+		t.Fatalf("acknowledged state lost across SIGKILL: %s", rep)
+	}
+	t.Logf("cycle verified: %d jobs acked, %d ops acked, %d SSE deltas: %s",
+		soaker.AckedJobs(), soaker.AckedOps(), soaker.SSEDeltas(), rep)
+}

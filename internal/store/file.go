@@ -1,0 +1,448 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/session"
+)
+
+// SyncPolicy selects when FileStore calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncOff never fsyncs: an append is durable once write(2) returns,
+	// which survives a process kill (the bytes are in the page cache) but
+	// not an OS crash or power loss. This is the fast default for the
+	// interactive edit path.
+	SyncOff SyncPolicy = iota
+	// SyncAlways fsyncs after every append: survives power loss at the
+	// cost of a disk round trip per acknowledged edit.
+	SyncAlways
+)
+
+// ParseSyncPolicy parses the -fsync flag vocabulary.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "off", "never":
+		return SyncOff, nil
+	case "always":
+		return SyncAlways, nil
+	default:
+		return SyncOff, fmt.Errorf("store: unknown fsync policy %q (want off or always)", s)
+	}
+}
+
+// FileStore persists the serving state in a data directory:
+//
+//	<dir>/jobs.wal          job state transitions, one framed record each
+//	<dir>/sessions/<id>.wal snapshot record + journal records per session
+//
+// All appends are single write(2) calls on O_APPEND handles, so a crash
+// tears at most the final record, and the repaired-on-open scan truncates
+// exactly that damage away. Compaction writes a fresh log to a temp file
+// and renames it over the old one — atomic on POSIX.
+type FileStore struct {
+	dir    string
+	policy SyncPolicy
+
+	jmu  sync.Mutex // jobs.wal handle
+	jobs *os.File
+
+	smu      sync.Mutex // session handle table
+	sessions map[string]*sessionFile
+
+	appends     atomic.Uint64
+	syncs       atomic.Uint64
+	compactions atomic.Uint64
+	repairs     atomic.Uint64
+}
+
+// sessionFile is one open session WAL. Its mutex orders appends against
+// compaction; the record count since the last snapshot drives the
+// compaction trigger.
+type sessionFile struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	count int // records since the head snapshot
+}
+
+// OpenFile opens (creating if needed) a data directory. Damaged WAL
+// tails are repaired lazily by the Load calls; OpenFile itself only
+// builds the directory skeleton and the jobs handle.
+func OpenFile(dir string, policy SyncPolicy) (*FileStore, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "sessions"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	jobs, err := os.OpenFile(filepath.Join(dir, "jobs.wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &FileStore{
+		dir:      dir,
+		policy:   policy,
+		jobs:     jobs,
+		sessions: map[string]*sessionFile{},
+	}, nil
+}
+
+// Dir returns the data directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+func (fs *FileStore) sessionPath(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\.") {
+		return "", fmt.Errorf("store: unusable session id %q", id)
+	}
+	return filepath.Join(fs.dir, "sessions", id+".wal"), nil
+}
+
+// sessionHandle returns the open handle for a session, opening the file
+// when it exists on disk but is not yet in the table (recovery path).
+// When create is set the file must not exist yet.
+func (fs *FileStore) sessionHandle(id string, create bool) (*sessionFile, error) {
+	path, err := fs.sessionPath(id)
+	if err != nil {
+		return nil, err
+	}
+	fs.smu.Lock()
+	defer fs.smu.Unlock()
+	if sf, ok := fs.sessions[id]; ok {
+		if create {
+			return nil, fmt.Errorf("store: session %s already exists", id)
+		}
+		return sf, nil
+	}
+	flags := os.O_WRONLY | os.O_APPEND | os.O_CREATE
+	if create {
+		if _, err := os.Stat(path); err == nil {
+			return nil, fmt.Errorf("store: session %s already exists", id)
+		}
+		flags |= os.O_EXCL
+	} else if _, err := os.Stat(path); err != nil {
+		return nil, fmt.Errorf("store: no session %s", id)
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sf := &sessionFile{f: f, path: path}
+	fs.sessions[id] = sf
+	return sf, nil
+}
+
+// appendSync writes one framed record with a single write call and
+// applies the sync policy.
+func (fs *FileStore) appendSync(f *os.File, frame []byte) error {
+	if _, err := f.Write(frame); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	fs.appends.Add(1)
+	if fs.policy == SyncAlways {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+		fs.syncs.Add(1)
+	}
+	return nil
+}
+
+func (fs *FileStore) CreateSession(id string, baseSeq uint64, design []byte) error {
+	sf, err := fs.sessionHandle(id, true)
+	if err != nil {
+		return err
+	}
+	frame, err := encodeSnapshot(nil, id, baseSeq, design)
+	if err != nil {
+		return err
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return fs.appendSync(sf.f, frame)
+}
+
+func (fs *FileStore) AppendEdit(id string, rec session.JournalRecord) (int, error) {
+	sf, err := fs.sessionHandle(id, false)
+	if err != nil {
+		return 0, err
+	}
+	frame, err := encodeJournal(nil, rec)
+	if err != nil {
+		return 0, err
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if err := fs.appendSync(sf.f, frame); err != nil {
+		return 0, err
+	}
+	sf.count++
+	return sf.count, nil
+}
+
+func (fs *FileStore) CompactSession(id string, baseSeq uint64, design []byte) error {
+	sf, err := fs.sessionHandle(id, false)
+	if err != nil {
+		return err
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+
+	// Records appended after the snapshot was taken must survive: re-read
+	// the current log and keep everything past baseSeq.
+	data, err := os.ReadFile(sf.path)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	frame, err := encodeSnapshot(nil, id, baseSeq, design)
+	if err != nil {
+		return err
+	}
+	kept := 0
+	sc := NewScanner(data)
+	for sc.Next() {
+		kind, payload := sc.Record()
+		if kind != RecEdit {
+			continue
+		}
+		rec, err := DecodeJournal(payload)
+		if err != nil || rec.Seq <= baseSeq {
+			continue
+		}
+		if frame, err = encodeJournal(frame, rec); err != nil {
+			return err
+		}
+		kept++
+	}
+	tmp := sf.path + ".tmp"
+	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, sf.path); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Reopen the append handle on the new inode.
+	f, err := os.OpenFile(sf.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	old := sf.f
+	sf.f, sf.count = f, kept
+	_ = old.Close()
+	fs.compactions.Add(1)
+	if fs.policy == SyncAlways {
+		if err := sf.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync: %w", err)
+		}
+		fs.syncs.Add(1)
+	}
+	return nil
+}
+
+func (fs *FileStore) DeleteSession(id string) error {
+	path, err := fs.sessionPath(id)
+	if err != nil {
+		return err
+	}
+	fs.smu.Lock()
+	sf := fs.sessions[id]
+	delete(fs.sessions, id)
+	fs.smu.Unlock()
+	if sf != nil {
+		sf.mu.Lock()
+		_ = sf.f.Close()
+		sf.mu.Unlock()
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadSessions scans every session WAL, truncating damaged tails in
+// place so subsequent appends extend the acknowledged prefix.
+func (fs *FileStore) LoadSessions() ([]SessionLog, error) {
+	dir := filepath.Join(fs.dir, "sessions")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []SessionLog
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			// Leftover .tmp from a compaction killed before its rename:
+			// the original WAL is intact, drop the orphan.
+			if strings.HasSuffix(name, ".tmp") {
+				_ = os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		path := filepath.Join(dir, name)
+		log, goodOffset, err := loadSessionLog(path)
+		if err != nil {
+			// No usable snapshot record: the creation was never
+			// acknowledged durable. Remove the husk.
+			_ = os.Remove(path)
+			fs.repairs.Add(1)
+			continue
+		}
+		if log.Repaired {
+			if err := os.Truncate(path, int64(goodOffset)); err != nil {
+				return nil, fmt.Errorf("store: repair %s: %w", name, err)
+			}
+			fs.repairs.Add(1)
+		}
+		// Prime the handle table with the recovered record count so the
+		// compaction trigger keeps working across restarts.
+		if sf, err := fs.sessionHandle(log.ID, false); err == nil {
+			sf.mu.Lock()
+			sf.count = len(log.Records)
+			sf.mu.Unlock()
+		}
+		out = append(out, log)
+	}
+	return out, nil
+}
+
+// loadSessionLog decodes one session WAL file. It returns the log, the
+// offset past the last good record, and an error only when the file has
+// no usable head snapshot.
+func loadSessionLog(path string) (SessionLog, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SessionLog{}, 0, err
+	}
+	var log SessionLog
+	sc := NewScanner(data)
+	if !sc.Next() {
+		return SessionLog{}, 0, fmt.Errorf("store: %s: empty or damaged head: %w", path, sc.Err())
+	}
+	kind, payload := sc.Record()
+	if kind != RecSnapshot {
+		return SessionLog{}, 0, fmt.Errorf("store: %s: head record kind %d, want snapshot", path, kind)
+	}
+	id, baseSeq, design, err := DecodeSnapshot(payload)
+	if err != nil {
+		return SessionLog{}, 0, err
+	}
+	log.ID, log.BaseSeq, log.Design = id, baseSeq, design
+	good := sc.Offset()
+	for sc.Next() {
+		kind, payload := sc.Record()
+		if kind != RecEdit {
+			break // foreign record kind: treat as damage
+		}
+		rec, err := DecodeJournal(payload)
+		if err != nil {
+			break
+		}
+		log.Records = append(log.Records, rec)
+		good = sc.Offset()
+	}
+	if sc.Err() != nil || good != len(data) {
+		log.Repaired = true
+	}
+	return log, good, nil
+}
+
+func (fs *FileStore) AppendJob(rec JobRecord) error {
+	frame, err := encodeJob(nil, rec)
+	if err != nil {
+		return err
+	}
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	return fs.appendSync(fs.jobs, frame)
+}
+
+func (fs *FileStore) LoadJobs() ([]JobRecord, error) {
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	path := filepath.Join(fs.dir, "jobs.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var recs []JobRecord
+	good := 0
+	sc := NewScanner(data)
+	for sc.Next() {
+		kind, payload := sc.Record()
+		if kind != RecJob {
+			break
+		}
+		rec, err := DecodeJob(payload)
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		good = sc.Offset()
+	}
+	if sc.Err() != nil || good != len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("store: repair jobs.wal: %w", err)
+		}
+		fs.repairs.Add(1)
+	}
+	return foldJobs(recs), nil
+}
+
+func (fs *FileStore) CompactJobs(recs []JobRecord) error {
+	fs.jmu.Lock()
+	defer fs.jmu.Unlock()
+	var frame []byte
+	var err error
+	for _, r := range recs {
+		if frame, err = encodeJob(frame, r); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(fs.dir, "jobs.wal")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, frame, 0o644); err != nil {
+		return fmt.Errorf("store: compact jobs: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: compact jobs: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact jobs: %w", err)
+	}
+	old := fs.jobs
+	fs.jobs = f
+	_ = old.Close()
+	fs.compactions.Add(1)
+	return nil
+}
+
+func (fs *FileStore) Stats() Stats {
+	return Stats{
+		Appends:     fs.appends.Load(),
+		Syncs:       fs.syncs.Load(),
+		Compactions: fs.compactions.Load(),
+		Repairs:     fs.repairs.Load(),
+	}
+}
+
+func (fs *FileStore) Close() error {
+	fs.jmu.Lock()
+	err := fs.jobs.Close()
+	fs.jmu.Unlock()
+	fs.smu.Lock()
+	defer fs.smu.Unlock()
+	for id, sf := range fs.sessions {
+		sf.mu.Lock()
+		if cerr := sf.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		sf.mu.Unlock()
+		delete(fs.sessions, id)
+	}
+	return err
+}

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary bytes to the WAL scanner: whatever the
+// corruption, the scan must terminate, never panic, never allocate a
+// payload longer than the input, and end either cleanly (at a record
+// boundary) or with one of the two typed errors callers repair on.
+func FuzzWALDecode(f *testing.F) {
+	// Seed corpus: empty, a clean log, truncations, bit flips, a length
+	// field pointing past the end, and a giant declared length.
+	clean, _ := frames(4)
+	f.Add([]byte{})
+	f.Add(clean)
+	f.Add(clean[:len(clean)-3])
+	f.Add(clean[:1])
+	f.Add(clean[:frameHeader-1])
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	huge := appendFrame(nil, RecEdit, bytes.Repeat([]byte{'x'}, 300))
+	f.Add(huge[:20])
+	bogus := append([]byte(nil), clean[:frameHeader]...)
+	bogus[1], bogus[2], bogus[3], bogus[4] = 0xff, 0xff, 0xff, 0x7f
+	f.Add(bogus)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc := NewScanner(data)
+		records := 0
+		for sc.Next() {
+			_, payload := sc.Record()
+			if len(payload) > len(data) {
+				t.Fatalf("payload of %d bytes from %d bytes of input", len(payload), len(data))
+			}
+			records++
+			if records > len(data) {
+				t.Fatal("more records than input bytes; scanner is not advancing")
+			}
+		}
+		if off := sc.Offset(); off < 0 || off > len(data) {
+			t.Fatalf("final offset %d outside [0,%d]", off, len(data))
+		}
+		err := sc.Err()
+		if err == nil {
+			return // clean end at a boundary
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("untyped scan error: %v", err)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("io.EOF leaked as a scan error: %v", err)
+		}
+	})
+}

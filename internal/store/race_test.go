@@ -1,0 +1,140 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/session"
+)
+
+// TestConcurrentStoreAccess hammers one FileStore from many goroutines —
+// per-session edit appends, job appends, compactions, stats reads, and
+// full reloads — and is run under -race in CI. The check at the end is
+// that a final reload still sees every session and a consistent job log.
+func TestConcurrentStoreAccess(t *testing.T) {
+	t.Parallel()
+	fs, err := OpenFile(t.TempDir(), SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	const nSessions = 4
+	snapshots := make(map[string][]byte, nSessions)
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("s%06d", i+1)
+		s := session.New(id, testDesign())
+		snap, seq, err := s.Checkpoint()
+		s.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.CreateSession(id, seq, snap); err != nil {
+			t.Fatal(err)
+		}
+		snapshots[id] = snap
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	time.AfterFunc(300*time.Millisecond, func() { close(stop) })
+
+	// Edit appenders: one per session (the store serializes per file).
+	for i := 0; i < nSessions; i++ {
+		id := fmt.Sprintf("s%06d", i+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := uint64(1); ; seq++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := fs.AppendEdit(id, session.JournalRecord{
+					Op: session.JournalUndo, Seq: seq,
+				}); err != nil {
+					t.Errorf("append edit %s: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	// Job appenders.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := fs.AppendJob(JobRecord{
+					ID: fmt.Sprintf("j%06d-%08x", n, w), Kind: "predict",
+					State: JobQueued, Created: time.Now(),
+				}); err != nil {
+					t.Errorf("append job: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Compactor: rewrites session 1's log while its appender is running.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			if err := fs.CompactSession("s000001", 0, snapshots["s000001"]); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	// Stats readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = fs.Stats()
+		}
+	}()
+	wg.Wait()
+
+	logs, err := fs.LoadSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != nSessions {
+		t.Fatalf("recovered %d sessions, want %d", len(logs), nSessions)
+	}
+	for _, log := range logs {
+		if log.Repaired {
+			t.Errorf("session %s repaired after clean concurrent writes", log.ID)
+		}
+	}
+	jobs, err := fs.LoadJobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("no jobs recovered after concurrent appends")
+	}
+	st := fs.Stats()
+	if st.Appends == 0 || st.Compactions == 0 {
+		t.Fatalf("stats not accumulated: %+v", st)
+	}
+}

@@ -1,0 +1,187 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/session"
+)
+
+// JobState mirrors the serving layer's job lifecycle in the WAL. Only
+// "queued" and the terminal states are ever persisted: "running" is not a
+// durable fact (a crash while running means the job must run again), so a
+// job whose last record is "queued" is requeued on recovery.
+const (
+	JobQueued    = "queued"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobRecord is one job state transition. A job appears in the log as a
+// "queued" record carrying the request body, optionally followed by one
+// terminal record carrying the outcome; LoadJobs folds the sequence into
+// the job's last known durable state.
+type JobRecord struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	State   string    `json:"state"`
+	Req     []byte    `json:"req,omitempty"`    // queued records only
+	Result  []byte    `json:"result,omitempty"` // done records only
+	Error   string    `json:"error,omitempty"`  // failed/cancelled records
+	Created time.Time `json:"created"`
+	Done    time.Time `json:"done"`    // terminal transition time
+	Expires time.Time `json:"expires"` // result TTL deadline, preserved on reload
+}
+
+// editWire is the durable form of a session.Edit. The fields are spelled
+// out (rather than marshaling session.Edit directly) so the WAL format is
+// owned here and survives refactors of the in-memory type. Go's float64
+// JSON round-trip is exact, so replay is bit-identical.
+type editWire struct {
+	Op    string  `json:"op"`
+	Ref   string  `json:"ref,omitempty"`
+	RefB  string  `json:"ref_b,omitempty"`
+	X     float64 `json:"x,omitempty"`
+	Y     float64 `json:"y,omitempty"`
+	Rot   float64 `json:"rot,omitempty"`
+	Board int     `json:"board,omitempty"`
+	PEMD  float64 `json:"pemd,omitempty"`
+	Param string  `json:"param,omitempty"`
+	Value float64 `json:"value,omitempty"`
+}
+
+// journalWire is the payload of a RecEdit record.
+type journalWire struct {
+	Op   string    `json:"op"` // apply | undo | redo
+	Seq  uint64    `json:"seq"`
+	Edit *editWire `json:"edit,omitempty"` // apply records only
+}
+
+// snapshotWire is the payload of a RecSnapshot record.
+type snapshotWire struct {
+	ID      string `json:"id"`
+	BaseSeq uint64 `json:"base_seq"`
+	Design  []byte `json:"design"` // ASCII layout format
+}
+
+func toEditWire(e session.Edit) *editWire {
+	return &editWire{
+		Op: e.Op, Ref: e.Ref, RefB: e.RefB,
+		X: e.Center.X, Y: e.Center.Y, Rot: e.Rot,
+		Board: e.Board, PEMD: e.PEMD, Param: e.Param, Value: e.Value,
+	}
+}
+
+func (w *editWire) edit() session.Edit {
+	return session.Edit{
+		Op: w.Op, Ref: w.Ref, RefB: w.RefB,
+		Center: geom.V2(w.X, w.Y), Rot: w.Rot,
+		Board: w.Board, PEMD: w.PEMD, Param: w.Param, Value: w.Value,
+	}
+}
+
+// encodeJournal frames a session journal record.
+func encodeJournal(buf []byte, rec session.JournalRecord) ([]byte, error) {
+	w := journalWire{Op: rec.Op, Seq: rec.Seq}
+	if rec.Op == session.JournalApply {
+		w.Edit = toEditWire(rec.Edit)
+	}
+	payload, err := json.Marshal(&w)
+	if err != nil {
+		return buf, err
+	}
+	return appendFrame(buf, RecEdit, payload), nil
+}
+
+// DecodeJournal decodes a RecEdit payload into a session journal record.
+// Corrupt payloads yield errors, never panics.
+func DecodeJournal(payload []byte) (session.JournalRecord, error) {
+	var w journalWire
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return session.JournalRecord{}, fmt.Errorf("store: journal record: %w", err)
+	}
+	switch w.Op {
+	case session.JournalApply:
+		if w.Edit == nil {
+			return session.JournalRecord{}, fmt.Errorf("store: apply record without an edit")
+		}
+		return session.JournalRecord{Op: w.Op, Seq: w.Seq, Edit: w.Edit.edit()}, nil
+	case session.JournalUndo, session.JournalRedo:
+		return session.JournalRecord{Op: w.Op, Seq: w.Seq}, nil
+	default:
+		return session.JournalRecord{}, fmt.Errorf("store: unknown journal op %q", w.Op)
+	}
+}
+
+// encodeSnapshot frames a session snapshot record.
+func encodeSnapshot(buf []byte, id string, baseSeq uint64, design []byte) ([]byte, error) {
+	payload, err := json.Marshal(&snapshotWire{ID: id, BaseSeq: baseSeq, Design: design})
+	if err != nil {
+		return buf, err
+	}
+	return appendFrame(buf, RecSnapshot, payload), nil
+}
+
+// DecodeSnapshot decodes a RecSnapshot payload.
+func DecodeSnapshot(payload []byte) (id string, baseSeq uint64, design []byte, err error) {
+	var w snapshotWire
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return "", 0, nil, fmt.Errorf("store: snapshot record: %w", err)
+	}
+	if w.ID == "" {
+		return "", 0, nil, fmt.Errorf("store: snapshot record without a session id")
+	}
+	return w.ID, w.BaseSeq, w.Design, nil
+}
+
+// encodeJob frames a job record.
+func encodeJob(buf []byte, rec JobRecord) ([]byte, error) {
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return buf, err
+	}
+	return appendFrame(buf, RecJob, payload), nil
+}
+
+// DecodeJob decodes a RecJob payload.
+func DecodeJob(payload []byte) (JobRecord, error) {
+	var rec JobRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return JobRecord{}, fmt.Errorf("store: job record: %w", err)
+	}
+	if rec.ID == "" {
+		return JobRecord{}, fmt.Errorf("store: job record without an id")
+	}
+	return rec, nil
+}
+
+// foldJobs reduces a record sequence to one record per job: the queued
+// record contributes the request body and creation time, a terminal
+// record overrides the state and carries the outcome. Order of first
+// appearance is preserved so recovery requeues in submission order.
+func foldJobs(recs []JobRecord) []JobRecord {
+	byID := make(map[string]int, len(recs))
+	var out []JobRecord
+	for _, r := range recs {
+		i, seen := byID[r.ID]
+		if !seen {
+			byID[r.ID] = len(out)
+			out = append(out, r)
+			continue
+		}
+		// Later records override state/outcome but keep the original
+		// request and creation time (terminal records don't repeat them).
+		prev := out[i]
+		if r.Req == nil {
+			r.Req = prev.Req
+		}
+		if r.Created.IsZero() {
+			r.Created = prev.Created
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/session"
+)
+
+// Replay reconstructs a live session from its durable log: parse the
+// base snapshot, then re-apply every acknowledged journal record through
+// the normal session entry points — the journal has exact inverses, so
+// the result is byte-for-byte the acknowledged state.
+//
+// Each record's stored sequence number is checked against the session's
+// actual sequence after the step; a mismatch means the log and the replay
+// disagree and recovery must not pretend otherwise.
+func Replay(log SessionLog) (*session.Session, error) {
+	d, err := layout.ReadString(string(log.Design))
+	if err != nil {
+		return nil, fmt.Errorf("store: replay %s: snapshot: %w", log.ID, err)
+	}
+	s := session.New(log.ID, d)
+	s.RestoreSeq(log.BaseSeq)
+	for i, rec := range log.Records {
+		var err error
+		switch rec.Op {
+		case session.JournalApply:
+			_, err = s.Apply(rec.Edit)
+		case session.JournalUndo:
+			_, err = s.Undo()
+		case session.JournalRedo:
+			_, err = s.Redo()
+		default:
+			err = fmt.Errorf("unknown journal op %q", rec.Op)
+		}
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: replay %s: record %d (%s): %w", log.ID, i, rec.Op, err)
+		}
+		if got := s.Seq(); got != rec.Seq {
+			s.Close()
+			return nil, fmt.Errorf("store: replay %s: record %d: seq %d after replay, log says %d",
+				log.ID, i, got, rec.Seq)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/session"
+)
+
+// Store is the pluggable persistence interface of the serving layer. A
+// nil Store in the server config means no durability at all; Memory keeps
+// the same bookkeeping in RAM (tests, reference semantics); FileStore
+// writes a data directory of WAL files.
+//
+// Write-ahead contract: AppendEdit and AppendJob return only after the
+// record is durable to the implementation's standard (for FileStore, a
+// completed write(2); plus fsync under SyncAlways) — the serving layer
+// acknowledges a client only after the append returns, so an
+// acknowledged edit is never lost to a process kill.
+type Store interface {
+	// CreateSession opens a session log with its base snapshot. It fails
+	// if the session already exists.
+	CreateSession(id string, baseSeq uint64, design []byte) error
+	// AppendEdit appends one acknowledged journal record and returns the
+	// number of records appended since the last snapshot — the compaction
+	// trigger input.
+	AppendEdit(id string, rec session.JournalRecord) (int, error)
+	// CompactSession atomically replaces a session's log with a fresh
+	// snapshot at baseSeq plus any already-appended records with
+	// Seq > baseSeq (edits can race the compaction; none may be dropped).
+	CompactSession(id string, baseSeq uint64, design []byte) error
+	// DeleteSession removes a session's log (explicit close or TTL
+	// eviction — the session must not resurrect on restart).
+	DeleteSession(id string) error
+	// LoadSessions returns every recoverable session log, repairing
+	// damaged tails (a torn or corrupt record ends the acknowledged
+	// prefix; the damage is truncated away so the next append is clean).
+	LoadSessions() ([]SessionLog, error)
+
+	// AppendJob appends one job state transition.
+	AppendJob(rec JobRecord) error
+	// LoadJobs returns the folded job records (one per job, last durable
+	// state wins), repairing a damaged tail like LoadSessions.
+	LoadJobs() ([]JobRecord, error)
+	// CompactJobs atomically replaces the job log with exactly recs —
+	// recovery rewrites the log with what it decided to keep.
+	CompactJobs(recs []JobRecord) error
+
+	// Stats returns the store's monotonic counters.
+	Stats() Stats
+	// Close releases file handles. The store must not be used after.
+	Close() error
+}
+
+// SessionLog is the durable state of one session: the base snapshot plus
+// the acknowledged journal suffix. Replay rebuilds the live session.
+type SessionLog struct {
+	ID      string
+	BaseSeq uint64
+	Design  []byte // ASCII layout at BaseSeq
+	Records []session.JournalRecord
+	// Repaired reports that a damaged tail (torn write, checksum failure)
+	// was truncated away during load.
+	Repaired bool
+}
+
+// Stats are the store's monotonic counters, exported on /metrics.
+type Stats struct {
+	Appends     uint64 // WAL records appended (edits + jobs + snapshots)
+	Syncs       uint64 // fsync calls issued
+	Compactions uint64 // session/job log rewrites
+	Repairs     uint64 // damaged tails truncated during load
+}
+
+// Memory is the in-RAM Store: full interface semantics, no durability.
+// It is the reference implementation the file store is tested against,
+// and the right choice for ephemeral servers that still want the
+// requeue-on-drain bookkeeping.
+type Memory struct {
+	mu       sync.Mutex
+	sessions map[string]*memSession
+	jobs     []JobRecord
+	stats    Stats
+}
+
+type memSession struct {
+	baseSeq uint64
+	design  []byte
+	records []session.JournalRecord
+}
+
+// NewMemory builds an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{sessions: map[string]*memSession{}}
+}
+
+func (m *Memory) CreateSession(id string, baseSeq uint64, design []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok {
+		return fmt.Errorf("store: session %s already exists", id)
+	}
+	m.sessions[id] = &memSession{baseSeq: baseSeq, design: append([]byte(nil), design...)}
+	m.stats.Appends++
+	return nil
+}
+
+func (m *Memory) AppendEdit(id string, rec session.JournalRecord) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return 0, fmt.Errorf("store: no session %s", id)
+	}
+	s.records = append(s.records, rec)
+	m.stats.Appends++
+	return len(s.records), nil
+}
+
+func (m *Memory) CompactSession(id string, baseSeq uint64, design []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return fmt.Errorf("store: no session %s", id)
+	}
+	var keep []session.JournalRecord
+	for _, r := range s.records {
+		if r.Seq > baseSeq {
+			keep = append(keep, r)
+		}
+	}
+	s.baseSeq, s.design, s.records = baseSeq, append([]byte(nil), design...), keep
+	m.stats.Compactions++
+	return nil
+}
+
+func (m *Memory) DeleteSession(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.sessions, id)
+	return nil
+}
+
+func (m *Memory) LoadSessions() ([]SessionLog, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionLog, 0, len(m.sessions))
+	for id, s := range m.sessions {
+		out = append(out, SessionLog{
+			ID:      id,
+			BaseSeq: s.baseSeq,
+			Design:  append([]byte(nil), s.design...),
+			Records: append([]session.JournalRecord(nil), s.records...),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func (m *Memory) AppendJob(rec JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs = append(m.jobs, rec)
+	m.stats.Appends++
+	return nil
+}
+
+func (m *Memory) LoadJobs() ([]JobRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return foldJobs(m.jobs), nil
+}
+
+func (m *Memory) CompactJobs(recs []JobRecord) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs = append([]JobRecord(nil), recs...)
+	m.stats.Compactions++
+	return nil
+}
+
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Memory) Close() error { return nil }

@@ -1,0 +1,155 @@
+// Package store is the durability layer under the serving stack: a
+// write-ahead log for the session edit journal (whose entries have exact
+// inverses, so replay reconstructs any session byte-for-byte), persisted
+// job records and results with the serving layer's LRU+TTL semantics
+// preserved across restarts, and snapshot/compaction so the logs stay
+// bounded. Two implementations share one Store interface: Memory (tests,
+// ephemeral servers) and FileStore (a data directory of append-only WAL
+// files repaired on open).
+//
+// Record framing (wal.go) is deliberately dumb: one byte of record kind,
+// a little-endian payload length, a CRC-32 of kind+payload, then the
+// payload. A record whose frame runs past the end of the log is a torn
+// tail (ErrTruncated); a record whose checksum does not match was
+// corrupted in place (ErrChecksum). Recovery treats both as the end of
+// the acknowledged prefix: everything before the damage replays,
+// everything after it was never acknowledged durable.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record kinds. The framing layer treats kinds as opaque; the typed
+// encode/decode in records.go assigns meaning.
+const (
+	// RecSnapshot opens a session WAL: the base sequence number and the
+	// full ASCII design at that point. Compaction rewrites the log with a
+	// fresh snapshot record at the head.
+	RecSnapshot byte = 1
+	// RecEdit is one acknowledged session journal entry (apply/undo/redo).
+	RecEdit byte = 2
+	// RecJob is one job state transition (queued or terminal).
+	RecJob byte = 3
+)
+
+// Decode errors. Both mark the end of the valid prefix of a log; the
+// distinction is diagnostic (a torn tail is expected after a crash, a
+// checksum failure means bytes rotted or were overwritten).
+var (
+	ErrTruncated = errors.New("store: truncated WAL record")
+	ErrChecksum  = errors.New("store: WAL record checksum mismatch")
+)
+
+// maxPayload bounds a single record. Designs and results are at most a
+// few MB; a larger length field is corruption, not data.
+const maxPayload = 32 << 20
+
+// frameHeader is kind(1) + len(4) + crc(4).
+const frameHeader = 9
+
+// appendFrame appends the framed record to buf and returns the result.
+// Framing in memory first lets the file layer issue one write() per
+// record, so a crash tears at most the record being appended.
+func appendFrame(buf []byte, kind byte, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:1])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// decodeFrame decodes one record at the head of data. It returns the
+// kind, the payload, and the total frame size consumed. io.EOF marks a
+// clean end (empty input); ErrTruncated a frame running past the data;
+// ErrChecksum a frame whose length field is absurd or whose CRC fails.
+func decodeFrame(data []byte) (kind byte, payload []byte, n int, err error) {
+	if len(data) == 0 {
+		return 0, nil, 0, io.EOF
+	}
+	if len(data) < frameHeader {
+		return 0, nil, 0, fmt.Errorf("%w: %d-byte partial header", ErrTruncated, len(data))
+	}
+	kind = data[0]
+	plen := binary.LittleEndian.Uint32(data[1:5])
+	if plen > maxPayload {
+		return 0, nil, 0, fmt.Errorf("%w: implausible payload length %d", ErrChecksum, plen)
+	}
+	if uint64(len(data)) < frameHeader+uint64(plen) {
+		return 0, nil, 0, fmt.Errorf("%w: payload needs %d bytes, %d remain",
+			ErrTruncated, plen, len(data)-frameHeader)
+	}
+	payload = data[frameHeader : frameHeader+int(plen)]
+	crc := crc32.NewIEEE()
+	crc.Write(data[:1])
+	crc.Write(payload)
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(data[5:9]); got != want {
+		return 0, nil, 0, fmt.Errorf("%w: crc %08x, frame says %08x", ErrChecksum, got, want)
+	}
+	return kind, payload, frameHeader + int(plen), nil
+}
+
+// Scanner iterates the records of a WAL held in memory. After Next
+// returns false, Err distinguishes a clean end (nil) from a damaged tail
+// (ErrTruncated / ErrChecksum), and Offset reports the byte offset of the
+// end of the last good record — the truncation point for repair and the
+// kill points of the crash-sweep tests.
+type Scanner struct {
+	data    []byte
+	off     int
+	kind    byte
+	payload []byte
+	err     error
+}
+
+// NewScanner scans the raw bytes of a WAL.
+func NewScanner(data []byte) *Scanner {
+	return &Scanner{data: data}
+}
+
+// Next advances to the next record.
+func (s *Scanner) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	kind, payload, n, err := decodeFrame(s.data[s.off:])
+	if err == io.EOF {
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("record at offset %d: %w", s.off, err)
+		return false
+	}
+	s.kind, s.payload, s.off = kind, payload, s.off+n
+	return true
+}
+
+// Record returns the current record's kind and payload. The payload
+// aliases the scanned buffer.
+func (s *Scanner) Record() (byte, []byte) { return s.kind, s.payload }
+
+// Offset returns the byte offset just past the last good record.
+func (s *Scanner) Offset() int { return s.off }
+
+// Err returns the decode error that stopped the scan, nil on a clean end.
+func (s *Scanner) Err() error { return s.err }
+
+// RecordOffsets returns the end offset of every valid record in data, in
+// order. The crash sweep uses these as its kill points: truncating the
+// log at offsets[i] must recover exactly the first i+1 records.
+func RecordOffsets(data []byte) []int {
+	var offs []int
+	sc := NewScanner(data)
+	for sc.Next() {
+		offs = append(offs, sc.Offset())
+	}
+	return offs
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// frames builds a log of n small records with distinct payloads.
+func frames(n int) ([]byte, [][]byte) {
+	var buf []byte
+	var payloads [][]byte
+	for i := 0; i < n; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i%26)}, 5+i%17)
+		payloads = append(payloads, p)
+		buf = appendFrame(buf, RecEdit, p)
+	}
+	return buf, payloads
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	buf, payloads := frames(12)
+	sc := NewScanner(buf)
+	for i, want := range payloads {
+		if !sc.Next() {
+			t.Fatalf("record %d: Next=false, err=%v", i, sc.Err())
+		}
+		kind, got := sc.Record()
+		if kind != RecEdit || !bytes.Equal(got, want) {
+			t.Fatalf("record %d: kind=%d payload=%q, want %q", i, kind, got, want)
+		}
+	}
+	if sc.Next() {
+		t.Fatal("scanner produced a record past the end")
+	}
+	if sc.Err() != nil {
+		t.Fatalf("clean log ended with error: %v", sc.Err())
+	}
+	if sc.Offset() != len(buf) {
+		t.Fatalf("final offset %d, want %d", sc.Offset(), len(buf))
+	}
+}
+
+func TestRecordOffsets(t *testing.T) {
+	t.Parallel()
+	buf, payloads := frames(7)
+	offs := RecordOffsets(buf)
+	if len(offs) != len(payloads) {
+		t.Fatalf("got %d offsets, want %d", len(offs), len(payloads))
+	}
+	if offs[len(offs)-1] != len(buf) {
+		t.Fatalf("last offset %d, want %d", offs[len(offs)-1], len(buf))
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] <= offs[i-1] {
+			t.Fatalf("offsets not increasing: %v", offs)
+		}
+	}
+}
+
+// TestTruncationAtEveryByte is the exhaustive torn-tail check: cutting
+// the log at ANY byte offset must yield exactly the records whose frames
+// fit entirely before the cut, with a typed error (never a panic) when
+// the cut lands inside a frame.
+func TestTruncationAtEveryByte(t *testing.T) {
+	t.Parallel()
+	buf, _ := frames(9)
+	offs := RecordOffsets(buf)
+	boundary := map[int]bool{0: true}
+	for _, o := range offs {
+		boundary[o] = true
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		whole := 0
+		for _, o := range offs {
+			if o <= cut {
+				whole++
+			}
+		}
+		sc := NewScanner(buf[:cut])
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if n != whole {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, n, whole)
+		}
+		if boundary[cut] {
+			if sc.Err() != nil {
+				t.Fatalf("cut %d on a boundary: unexpected error %v", cut, sc.Err())
+			}
+		} else {
+			if !errors.Is(sc.Err(), ErrTruncated) && !errors.Is(sc.Err(), ErrChecksum) {
+				t.Fatalf("cut %d mid-record: err=%v, want ErrTruncated or ErrChecksum", cut, sc.Err())
+			}
+		}
+		if sc.Offset() > cut {
+			t.Fatalf("cut %d: offset %d past the cut", cut, sc.Offset())
+		}
+	}
+}
+
+// TestBitFlipAtEveryByte flips each byte of a log in turn: the scan must
+// stop with a typed error at or before the damaged record and never
+// accept a corrupted payload as that record's content.
+func TestBitFlipAtEveryByte(t *testing.T) {
+	t.Parallel()
+	buf, payloads := frames(5)
+	offs := RecordOffsets(buf)
+	for pos := 0; pos < len(buf); pos++ {
+		mut := append([]byte(nil), buf...)
+		mut[pos] ^= 0x40
+		// The record containing the flipped byte.
+		damaged := 0
+		for damaged < len(offs) && offs[damaged] <= pos {
+			damaged++
+		}
+		sc := NewScanner(mut)
+		n := 0
+		for sc.Next() {
+			kind, payload := sc.Record()
+			if n < damaged {
+				if kind != RecEdit || !bytes.Equal(payload, payloads[n]) {
+					t.Fatalf("flip at %d: record %d before the damage changed", pos, n)
+				}
+			}
+			if n >= damaged && n < len(payloads) && bytes.Equal(payload, payloads[n]) && kind == RecEdit {
+				// CRC-32 can in principle collide, but a single bit flip is
+				// always detected; identical content here means the scanner
+				// accepted the damaged record verbatim.
+				t.Fatalf("flip at %d: damaged record %d accepted unchanged", pos, n)
+			}
+			n++
+		}
+		if n > damaged {
+			t.Fatalf("flip at %d: decoded %d records, damage was in record %d", pos, n, damaged)
+		}
+		if sc.Err() == nil {
+			t.Fatalf("flip at %d: scan ended clean", pos)
+		}
+		if !errors.Is(sc.Err(), ErrTruncated) && !errors.Is(sc.Err(), ErrChecksum) {
+			t.Fatalf("flip at %d: untyped error %v", pos, sc.Err())
+		}
+	}
+}
+
+// TestTornWriteViaFaultFS drives a torn write through the fault-injecting
+// writer: the writer claims success, the medium holds a prefix, and the
+// scan of what was persisted yields exactly the fully-written records.
+func TestTornWriteViaFaultFS(t *testing.T) {
+	t.Parallel()
+	buf, _ := frames(6)
+	offs := RecordOffsets(buf)
+	tearAt := offs[3] + 4 // mid-way through record 4's frame
+	var medium bytes.Buffer
+	f := faultfs.New(&medium)
+	f.TearAfter(int64(tearAt))
+	if n, err := f.Write(buf); n != len(buf) || err != nil {
+		t.Fatalf("torn write reported n=%d err=%v, want full success", n, err)
+	}
+	if f.Written() != int64(tearAt) {
+		t.Fatalf("medium holds %d bytes, want %d", f.Written(), tearAt)
+	}
+	sc := NewScanner(medium.Bytes())
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("recovered %d records from the torn log, want 4", n)
+	}
+	if !errors.Is(sc.Err(), ErrTruncated) {
+		t.Fatalf("torn tail error %v, want ErrTruncated", sc.Err())
+	}
+}
