@@ -15,6 +15,7 @@ import (
 	"repro/internal/drc"
 	"repro/internal/emi"
 	"repro/internal/engine"
+	"repro/internal/explore"
 	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/mna"
@@ -575,4 +576,58 @@ func BenchmarkSessionEditIncrementalTraced(b *testing.B) {
 		}
 		tr.Finish()
 	}
+}
+
+// --- PR 7: design-space exploration ------------------------------------
+
+// BenchmarkExploreGeneration measures one NSGA-II generation of placement
+// tournaments on the buck converter with the geometric objectives (area,
+// net length, DRC violations) — the per-generation unit of work behind
+// POST /v1/explore.
+func BenchmarkExploreGeneration(b *testing.B) {
+	prob := &explore.DesignProblem{
+		Project:    buck.Project(),
+		Objectives: []string{explore.ObjArea, explore.ObjNet, explore.ObjViolations},
+	}
+	if err := prob.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := explore.Run(context.Background(), prob, explore.Config{
+			Pop: 8, Generations: 1, Seed: int64(i),
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Front) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+	b.ReportMetric(float64(b.N*16)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkYieldBatch measures one Monte-Carlo batch of EMI yield
+// evaluation (8 perturbed builds, band-limited spectrum each) — the unit
+// of work behind POST /v1/yield.
+func BenchmarkYieldBatch(b *testing.B) {
+	proj := buck.Project()
+	if _, err := place.AutoPlace(proj.Design, place.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curve, err := explore.Yield(context.Background(), proj, explore.YieldOptions{
+			Samples: 8, Batch: 8, Seed: int64(i), MaxFreq: 2e6,
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if curve.Batches != 1 {
+			b.Fatalf("batches = %d", curve.Batches)
+		}
+	}
+	b.ReportMetric(float64(b.N*8)/b.Elapsed().Seconds(), "builds/s")
 }

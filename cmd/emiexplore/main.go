@@ -1,0 +1,376 @@
+// Command emiexplore explores the EMI design space of a project: a
+// multi-objective Pareto search over placement tournaments and component
+// value sweeps (-mode explore), or a Monte Carlo tolerance analysis
+// estimating the EMI yield — the fraction of production builds meeting
+// the CISPR limit mask (-mode yield). Both runs are bit-reproducible for
+// a fixed -seed.
+//
+// Usage:
+//
+//	emiexplore -mode explore [-project buck] [-objectives margin,area,net]
+//	           [-pop 24] [-gens 10] [-seed 1] [-maxfreq hz] [-grid mm]
+//	           [-anneal iters] [-sweep ELEM:lo:hi,...] [-json] [-out front.json]
+//	emiexplore -mode yield   [-project buck] [-samples 200] [-batch 32]
+//	           [-seed 1] [-tol 0.1] [-ktol 0.2] [-place-seed 0] [-json]
+//	emiexplore ... -design d.txt -netlist n.cir -sources V1,I1 -measure lisn
+//	           [-stats] [-timeout 2m] [-trace trace.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/buck"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "emiexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("emiexplore", flag.ContinueOnError)
+	mode := fs.String("mode", "explore", `"explore" (Pareto search) or "yield" (Monte Carlo tolerance analysis)`)
+	project := fs.String("project", "buck", `builtin example project ("buck")`)
+	designPath := fs.String("design", "", "ASCII design file (with -netlist/-sources/-measure, overrides -project)")
+	netlistPath := fs.String("netlist", "", "SPICE-style netlist file")
+	sources := fs.String("sources", "", "comma-separated switching source elements")
+	measure := fs.String("measure", "", "measurement node (LISN receiver)")
+	maxFreq := fs.Float64("maxfreq", 0, "EMI band limit in Hz (0 = CISPR band stop)")
+	seed := fs.Int64("seed", 1, "RNG seed; the run is bit-reproducible in it")
+	jsonOut := fs.Bool("json", false, "print the final result as JSON")
+	outPath := fs.String("out", "", "also write the final result JSON to this file")
+
+	// explore mode
+	objectives := fs.String("objectives", "", "comma-separated objective subset (margin,area,net,violations; empty = all)")
+	pop := fs.Int("pop", 0, "population size (0 = 24)")
+	gens := fs.Int("gens", 0, "offspring generations (0 = 10)")
+	grid := fs.Float64("grid", 0, "placement candidate raster in mm (0 = auto)")
+	annealIters := fs.Int("anneal", 0, "per-candidate annealing refinement proposals (0 = off)")
+	sweep := fs.String("sweep", "", "component value sweeps, ELEM:lo:hi multipliers, comma-separated")
+
+	// yield mode
+	samples := fs.Int("samples", 0, "Monte Carlo builds (0 = 200)")
+	batch := fs.Int("batch", 0, "builds per parallel wave (0 = 32)")
+	tol := fs.Float64("tol", 0, "default relative R/L/C tolerance (0 = 0.10)")
+	ktol := fs.Float64("ktol", 0, "relative tolerance of extracted couplings (0 = 0.20)")
+	placeSeed := fs.Int64("place-seed", 0, "seed of the autoplacement an unplaced design gets")
+
+	dumpStats := cli.StatsOn(fs)
+	mkCtx := cli.TimeoutOn(fs)
+	mkTrace := cli.TraceOn(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	defer dumpStats()
+
+	proj, err := loadProject(*project, *designPath, *netlistPath, *sources, *measure)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := mkCtx()
+	defer cancel()
+	ctx, finishTrace := mkTrace(ctx)
+	defer finishTrace()
+
+	switch *mode {
+	case "explore":
+		sw, err := parseSweeps(*sweep)
+		if err != nil {
+			return err
+		}
+		return runExplore(ctx, out, proj, exploreArgs{
+			objectives: splitList(*objectives),
+			sweep:      sw,
+			pop:        *pop, gens: *gens, seed: *seed,
+			maxFreq: *maxFreq, grid: *grid * 1e-3, anneal: *annealIters,
+			jsonOut: *jsonOut, outPath: *outPath,
+		})
+	case "yield":
+		return runYield(ctx, out, proj, yieldArgs{
+			samples: *samples, batch: *batch, seed: *seed,
+			maxFreq: *maxFreq, tol: *tol, ktol: *ktol, placeSeed: *placeSeed,
+			jsonOut: *jsonOut, outPath: *outPath,
+		})
+	default:
+		return fmt.Errorf("unknown -mode %q (want explore or yield)", *mode)
+	}
+}
+
+// loadProject builds the project under exploration: a builtin example, or
+// an explicit design + netlist (without component models — couplings are
+// then absent, but placement and spectrum objectives still work).
+func loadProject(builtin, designPath, netlistPath, sources, measure string) (*core.Project, error) {
+	if designPath == "" && netlistPath == "" {
+		if builtin != "buck" {
+			return nil, fmt.Errorf("unknown -project %q (only \"buck\" is builtin)", builtin)
+		}
+		return buck.Project(), nil
+	}
+	if designPath == "" || netlistPath == "" || measure == "" || sources == "" {
+		return nil, fmt.Errorf("-design, -netlist, -sources and -measure are all required together")
+	}
+	df, err := os.Open(designPath)
+	if err != nil {
+		return nil, err
+	}
+	d, err := layout.Read(df)
+	df.Close()
+	if err != nil {
+		return nil, err
+	}
+	nf, err := os.Open(netlistPath)
+	if err != nil {
+		return nil, err
+	}
+	ckt, err := netlist.Parse(nf)
+	nf.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Project{
+		Design: d, Circuit: ckt,
+		Sources: splitList(sources), MeasureNode: measure,
+	}, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseSweeps parses "ELEM:lo:hi,ELEM:lo:hi" multiplier axes.
+func parseSweeps(s string) ([]explore.SweepParam, error) {
+	var out []explore.SweepParam
+	for _, item := range splitList(s) {
+		parts := strings.Split(item, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -sweep entry %q (want ELEM:lo:hi)", item)
+		}
+		lo, err1 := strconv.ParseFloat(parts[1], 64)
+		hi, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad -sweep bounds in %q", item)
+		}
+		out = append(out, explore.SweepParam{Element: parts[0], Lo: lo, Hi: hi})
+	}
+	return out, nil
+}
+
+type exploreArgs struct {
+	objectives []string
+	sweep      []explore.SweepParam
+	pop, gens  int
+	seed       int64
+	maxFreq    float64
+	grid       float64
+	anneal     int
+	jsonOut    bool
+	outPath    string
+}
+
+func runExplore(ctx context.Context, out io.Writer, proj *core.Project, a exploreArgs) error {
+	prob := &explore.DesignProblem{
+		Project:    proj,
+		Objectives: a.objectives,
+		Sweep:      a.sweep,
+		MaxFreq:    a.maxFreq, GridStep: a.grid, AnnealIters: a.anneal,
+	}
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	names := prob.ObjectiveNames()
+	res, err := explore.Run(ctx, prob, explore.Config{
+		Pop: a.pop, Generations: a.gens, Seed: a.seed,
+	}, func(g explore.Generation) {
+		if !a.jsonOut {
+			fmt.Fprintf(out, "gen %2d: %4d evaluations, front %2d, best %s\n",
+				g.Gen, g.Evaluations, len(g.Front), frontBest(names, g.Front))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	final := struct {
+		Objectives  []string             `json:"objectives"`
+		Front       []explore.Individual `json:"front"`
+		Generations int                  `json:"generations"`
+		Evaluations int                  `json:"evaluations"`
+		ElapsedMS   float64              `json:"elapsed_ms"`
+	}{names, res.Front, res.Generations, res.Evaluations, float64(res.Elapsed.Milliseconds())}
+	if a.outPath != "" {
+		if err := writeJSONFile(a.outPath, final); err != nil {
+			return err
+		}
+	}
+	if a.jsonOut {
+		return printJSON(out, final)
+	}
+	fmt.Fprintf(out, "\nPareto front (%d members, %d evaluations in %v):\n",
+		len(res.Front), res.Evaluations, res.Elapsed.Round(1e6))
+	fmt.Fprintf(out, "%-4s", "#")
+	for _, n := range names {
+		fmt.Fprintf(out, "\t%s", n)
+	}
+	fmt.Fprintln(out)
+	for i, ind := range res.Front {
+		fmt.Fprintf(out, "%-4d", i)
+		for _, v := range ind.Objectives {
+			fmt.Fprintf(out, "\t%.4g", v)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// frontBest summarizes a front's best value per objective for the
+// per-generation progress line.
+func frontBest(names []string, front []explore.Individual) string {
+	var sb strings.Builder
+	for k, n := range names {
+		best := 0.0
+		for i, ind := range front {
+			if i == 0 || ind.Objectives[k] < best {
+				best = ind.Objectives[k]
+			}
+		}
+		if k > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.4g", n, best)
+	}
+	return sb.String()
+}
+
+type yieldArgs struct {
+	samples, batch int
+	seed           int64
+	maxFreq        float64
+	tol, ktol      float64
+	placeSeed      int64
+	jsonOut        bool
+	outPath        string
+}
+
+func runYield(ctx context.Context, out io.Writer, proj *core.Project, a yieldArgs) error {
+	if unplaced(proj.Design) {
+		d := proj.Design.Clone()
+		if _, err := place.AutoPlaceCtx(ctx, d, place.Options{Seed: a.placeSeed}); err != nil {
+			return fmt.Errorf("autoplace: %w", err)
+		}
+		p := *proj
+		p.Design = d
+		proj = &p
+	}
+	curve, err := explore.Yield(ctx, proj, explore.YieldOptions{
+		Samples: a.samples, Batch: a.batch, Seed: a.seed,
+		MaxFreq: a.maxFreq, DefaultTol: a.tol, CouplingTol: a.ktol,
+	}, func(e explore.YieldEstimate) {
+		if !a.jsonOut {
+			fmt.Fprintf(out, "%4d/%d builds: yield %.3f [%.3f, %.3f]\n",
+				e.Done, e.Total, e.Yield, e.CILo, e.CIHi)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	final := struct {
+		Samples     int       `json:"samples"`
+		Pass        int       `json:"pass"`
+		Yield       float64   `json:"yield"`
+		CILo        float64   `json:"ci_lo"`
+		CIHi        float64   `json:"ci_hi"`
+		Perturbed   int       `json:"perturbed"`
+		Batches     int       `json:"batches"`
+		FreqsHz     []float64 `json:"freqs_hz"`
+		InBand      []bool    `json:"in_band"`
+		BinPass     []float64 `json:"bin_pass"`
+		BinLo       []float64 `json:"bin_lo"`
+		BinHi       []float64 `json:"bin_hi"`
+		MarginP05DB float64   `json:"margin_p05_db"`
+		MarginP50DB float64   `json:"margin_p50_db"`
+		MarginP95DB float64   `json:"margin_p95_db"`
+		ElapsedMS   float64   `json:"elapsed_ms"`
+	}{
+		Samples: curve.Samples, Pass: curve.Pass,
+		Yield: curve.Yield, CILo: curve.CILo, CIHi: curve.CIHi,
+		Perturbed: curve.Perturbed, Batches: curve.Batches,
+		FreqsHz: curve.Freqs, InBand: curve.InBand,
+		BinPass: curve.BinPass, BinLo: curve.BinLo, BinHi: curve.BinHi,
+		MarginP05DB: curve.Percentile(0.05),
+		MarginP50DB: curve.Percentile(0.50),
+		MarginP95DB: curve.Percentile(0.95),
+		ElapsedMS:   float64(curve.Elapsed.Milliseconds()),
+	}
+	if a.outPath != "" {
+		if err := writeJSONFile(a.outPath, final); err != nil {
+			return err
+		}
+	}
+	if a.jsonOut {
+		return printJSON(out, final)
+	}
+	fmt.Fprintf(out, "\nEMI yield: %.3f [%.3f, %.3f] (%d/%d builds pass, %d elements perturbed)\n",
+		curve.Yield, curve.CILo, curve.CIHi, curve.Pass, curve.Samples, curve.Perturbed)
+	fmt.Fprintf(out, "worst margin: p05 %.2f dB, p50 %.2f dB, p95 %.2f dB\n",
+		curve.Percentile(0.05), curve.Percentile(0.50), curve.Percentile(0.95))
+	fmt.Fprintf(out, "%-12s\t%-7s\t%s\n", "freq_hz", "in_band", "bin_yield [95% CI]")
+	for i, f := range curve.Freqs {
+		if !curve.InBand[i] {
+			continue
+		}
+		fmt.Fprintf(out, "%-12.4g\t%-7v\t%.3f [%.3f, %.3f]\n",
+			f, curve.InBand[i], curve.BinPass[i], curve.BinLo[i], curve.BinHi[i])
+	}
+	return nil
+}
+
+func unplaced(d *layout.Design) bool {
+	for _, c := range d.Comps {
+		if !c.Preplaced && !c.Placed {
+			return true
+		}
+	}
+	return false
+}
+
+func printJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := printJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExploreMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("placement tournament in -short mode")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "explore", "-project", "buck",
+		"-objectives", "area,net", "-pop", "4", "-gens", "1", "-seed", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"gen", "area", "net", "front"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunYieldModeJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EMI solves in -short mode")
+	}
+	outFile := filepath.Join(t.TempDir(), "yield.json")
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "yield", "-project", "buck",
+		"-samples", "4", "-batch", "2", "-seed", "9", "-maxfreq", "2e6",
+		"-json", "-out", outFile,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `"yield"`) {
+		t.Errorf("JSON output missing yield field:\n%s", out.String())
+	}
+	b, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"samples"`) {
+		t.Errorf("-out file missing samples field:\n%s", b)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-mode", "nope"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-mode", "explore", "-objectives", "speed"}, &out); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if err := run([]string{"-mode", "explore", "-sweep", "CCIN1:bad"}, &out); err == nil {
+		t.Error("malformed sweep accepted")
+	}
+}

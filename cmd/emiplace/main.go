@@ -8,7 +8,11 @@
 //
 //	emiplace -in design.txt -out placed.txt [-svg layout.svg]
 //	         [-baseline] [-skip-rotation] [-partition] [-grid mm] [-timeout 2m]
-//	         [-trace trace.json]
+//	         [-seed n] [-jitter x] [-anneal iters] [-trace trace.json]
+//
+// With -jitter and/or -anneal the placement consumes randomness, all of
+// which flows from the single -seed source — the same seed reproduces the
+// placement byte for byte.
 package main
 
 import (
@@ -33,6 +37,9 @@ func main() {
 	skipRot := flag.Bool("skip-rotation", false, "skip the optimal-rotation step")
 	part := flag.Bool("partition", false, "partition a two-board design")
 	grid := flag.Float64("grid", 0, "candidate raster in mm (0 = auto)")
+	seed := flag.Int64("seed", 0, "seed for all randomized placement steps")
+	jitter := flag.Float64("jitter", 0, "priority order jitter 0..1 (0 = deterministic order)")
+	annealIters := flag.Int("anneal", 0, "seeded annealing refinement proposals per board (0 = off)")
 	compact := flag.Bool("compact", false, "compact the legal layout (volume minimisation)")
 	routes := flag.Bool("routes", false, "print Manhattan star routes with trace inductances")
 	jsonOut := flag.Bool("json", false, "print the DRC report as JSON (for CI pipelines)")
@@ -64,12 +71,19 @@ func main() {
 		SkipRotation: *skipRot,
 		Partition:    *part,
 		GridStep:     *grid * 1e-3,
+		Seed:         *seed,
+		OrderJitter:  *jitter,
+		AnnealIters:  *annealIters,
 	})
 	if res != nil {
 		fmt.Printf("placed %d components in %v", res.Placed, res.Elapsed)
 		if res.RotationPasses > 0 {
 			fmt.Printf(" (rotation: Σ EMD %.0f mm → %.0f mm in %d passes)",
 				res.EMDSumBefore*1e3, res.EMDSumAfter*1e3, res.RotationPasses)
+		}
+		if res.AnnealProposals > 0 {
+			fmt.Printf(" (anneal: %d/%d proposals accepted)",
+				res.AnnealAccepted, res.AnnealProposals)
 		}
 		fmt.Println()
 	}

@@ -16,11 +16,47 @@ import (
 //	mlcc:<farad>                ceramic capacitor
 //	bobbin:<turns>:<radius_mm>  drum-core choke, e.g. bobbin:10:4
 //	cmchoke2 | cmchoke3         common-mode chokes
+//
+// Every form accepts a trailing ":tol=<band>" option — the datasheet
+// tolerance of the component's electrical value, e.g. "x2cap:1.5u:tol=10%"
+// or "mlcc:100n:tol=0.2" — which ParseSpec validates and ignores; use
+// ParseSpecTol to read it (the Monte Carlo yield analysis does).
 func ParseSpec(s string) (Model, error) {
+	m, _, err := ParseSpecTol(s)
+	return m, err
+}
+
+// ParseSpecTol is ParseSpec plus the spec's relative tolerance band: 0.1
+// for ":tol=10%" (or ":tol=0.1"), 0 when the spec carries no tolerance.
+// The model's Name() is the full spec string including the tolerance
+// option, so specs round-trip through the model.
+func ParseSpecTol(s string) (Model, float64, error) {
 	if s == "" {
-		return nil, fmt.Errorf("missing component spec")
+		return nil, 0, fmt.Errorf("missing component spec")
 	}
 	parts := strings.Split(s, ":")
+	tol := 0.0
+	if last := parts[len(parts)-1]; strings.HasPrefix(last, "tol=") {
+		t, err := parseTol(strings.TrimPrefix(last, "tol="))
+		if err != nil {
+			return nil, 0, fmt.Errorf("bad tolerance %q: %v", last, err)
+		}
+		tol = t
+		parts = parts[:len(parts)-1]
+		if len(parts) == 0 {
+			return nil, 0, fmt.Errorf("missing component spec before %q", last)
+		}
+	}
+	m, err := parseSpecCore(s, parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, tol, nil
+}
+
+// parseSpecCore parses the spec vocabulary proper. name is the full
+// original spec (with any tolerance option) so Name() round-trips.
+func parseSpecCore(name string, parts []string) (Model, error) {
 	switch parts[0] {
 	case "x2cap", "tantalum", "mlcc":
 		if len(parts) != 2 {
@@ -32,11 +68,11 @@ func ParseSpec(s string) (Model, error) {
 		}
 		switch parts[0] {
 		case "x2cap":
-			return NewX2Cap(s, c), nil
+			return NewX2Cap(name, c), nil
 		case "tantalum":
-			return NewSMDTantalum(s, c), nil
+			return NewSMDTantalum(name, c), nil
 		default:
-			return NewMLCC(s, c), nil
+			return NewMLCC(name, c), nil
 		}
 	case "bobbin":
 		if len(parts) != 3 {
@@ -50,11 +86,36 @@ func ParseSpec(s string) (Model, error) {
 		if err != nil || rmm <= 0 {
 			return nil, fmt.Errorf("bad radius %q", parts[2])
 		}
-		return NewBobbinChoke(s, turns, rmm*1e-3), nil
+		return NewBobbinChoke(name, turns, rmm*1e-3), nil
 	case "cmchoke2":
-		return NewCMChoke2(s), nil
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("cmchoke2 takes no parameters")
+		}
+		return NewCMChoke2(name), nil
 	case "cmchoke3":
-		return NewCMChoke3(s), nil
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("cmchoke3 takes no parameters")
+		}
+		return NewCMChoke3(name), nil
 	}
-	return nil, fmt.Errorf("unknown component spec %q", s)
+	return nil, fmt.Errorf("unknown component spec %q", name)
+}
+
+// parseTol parses a tolerance band: "10%" or a plain fraction "0.1",
+// valid in [0, 1) — a 100% band would allow zero-valued parts.
+func parseTol(v string) (float64, error) {
+	scale := 1.0
+	if strings.HasSuffix(v, "%") {
+		v = strings.TrimSuffix(v, "%")
+		scale = 0.01
+	}
+	t, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number")
+	}
+	t *= scale
+	if t < 0 || t >= 1 {
+		return 0, fmt.Errorf("tolerance %g out of [0, 1)", t)
+	}
+	return t, nil
 }

@@ -1,0 +1,92 @@
+package components
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParseSpecVocabulary pins the spec grammar: every catalog form
+// parses, the model's Name round-trips the spec, and malformed specs are
+// rejected.
+func TestParseSpecVocabulary(t *testing.T) {
+	t.Parallel()
+	valid := []string{
+		"x2cap:1.5u", "tantalum:100u", "mlcc:100n",
+		"bobbin:10:4", "cmchoke2", "cmchoke3",
+	}
+	for _, s := range valid {
+		m, err := ParseSpec(s)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", s, err)
+			continue
+		}
+		if m.Name() != s {
+			t.Errorf("ParseSpec(%q).Name() = %q, spec does not round-trip", s, m.Name())
+		}
+	}
+	invalid := []string{
+		"", "x2cap", "x2cap:-1u", "x2cap:huge", "bobbin:10",
+		"bobbin:0:4", "bobbin:10:-4", "cmchoke2:5", "resistor:1k",
+	}
+	for _, s := range invalid {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", s)
+		}
+	}
+}
+
+// TestParseSpecTol pins the tolerance option: percent and fraction forms,
+// the zero default, range validation, and Name round-trip including the
+// option.
+func TestParseSpecTol(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		spec string
+		tol  float64
+	}{
+		{"x2cap:1.5u", 0},
+		{"x2cap:1.5u:tol=10%", 0.10},
+		{"mlcc:100n:tol=0.2", 0.20},
+		{"tantalum:100u:tol=5%", 0.05},
+		{"bobbin:10:4:tol=15%", 0.15},
+		{"cmchoke2:tol=0%", 0},
+	}
+	for _, c := range cases {
+		m, tol, err := ParseSpecTol(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpecTol(%q): %v", c.spec, err)
+			continue
+		}
+		if math.Abs(tol-c.tol) > 1e-12 {
+			t.Errorf("ParseSpecTol(%q) tol = %v, want %v", c.spec, tol, c.tol)
+		}
+		if m.Name() != c.spec {
+			t.Errorf("ParseSpecTol(%q).Name() = %q, spec does not round-trip", c.spec, m.Name())
+		}
+		// The tolerance-carrying name re-parses to the same tolerance.
+		m2, tol2, err := ParseSpecTol(m.Name())
+		if err != nil || tol2 != tol || m2.Name() != m.Name() {
+			t.Errorf("re-parse of %q: tol %v err %v", m.Name(), tol2, err)
+		}
+		// ParseSpec accepts the same spec and ignores the band.
+		if _, err := ParseSpec(c.spec); err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+		}
+	}
+
+	invalid := []string{
+		"x2cap:1.5u:tol=",       // empty band
+		"x2cap:1.5u:tol=lots",   // not a number
+		"x2cap:1.5u:tol=-5%",    // negative
+		"x2cap:1.5u:tol=1.0",    // 100% admits zero-valued parts
+		"x2cap:1.5u:tol=150%",   // > 100%
+		"tol=10%",               // tolerance without a component
+		"x2cap:tol=10%",         // option where the value belongs
+		"x2cap:1.5u:tol=10%:5u", // option not last
+	}
+	for _, s := range invalid {
+		if _, _, err := ParseSpecTol(s); err == nil {
+			t.Errorf("ParseSpecTol(%q) accepted a malformed spec", s)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Bound is one gene's closed search interval.
+type Bound struct {
+	Lo, Hi float64
+}
+
+// Evaluator scores one genome. Evaluate returns the objective vector to
+// minimize — one value per ObjectiveNames entry. Implementations must be
+// safe for concurrent calls (candidates fan out over the engine pool)
+// and deterministic: the same genes always yield the same vector.
+// A non-nil error that is not the context's abandons the whole run;
+// implementations should encode infeasible candidates as penalty
+// objectives instead.
+type Evaluator interface {
+	Bounds() []Bound
+	ObjectiveNames() []string
+	Evaluate(ctx context.Context, genes []float64) ([]float64, error)
+}
+
+// Config tunes the NSGA-II run. Zero values take the documented defaults.
+type Config struct {
+	Pop         int   // population size (rounded up to even); 0 = 24
+	Generations int   // offspring generations after the initial one; 0 = 10
+	Seed        int64 // RNG seed — the whole run is deterministic in it
+
+	CrossoverProb float64 // SBX probability per parent pair; 0 = 0.9
+	MutationProb  float64 // polynomial mutation per gene; 0 = 1/genes
+	EtaCrossover  float64 // SBX distribution index; 0 = 15
+	EtaMutation   float64 // mutation distribution index; 0 = 20
+}
+
+func (c Config) pop() int {
+	p := c.Pop
+	if p <= 0 {
+		p = 24
+	}
+	if p%2 == 1 {
+		p++
+	}
+	return p
+}
+
+func (c Config) generations() int {
+	if c.Generations <= 0 {
+		return 10
+	}
+	return c.Generations
+}
+
+// Individual is one evaluated genome.
+type Individual struct {
+	Genes      []float64 `json:"genes"`
+	Objectives []float64 `json:"objectives"`
+
+	rank  int
+	crowd float64
+}
+
+// Generation is the progress snapshot emitted after each evaluation wave:
+// the current non-dominated front sorted by first objective (ties by the
+// remaining ones), plus running counters.
+type Generation struct {
+	Gen         int           `json:"gen"` // 0 = initial population
+	Evaluations int           `json:"evaluations"`
+	Front       []Individual  `json:"front"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+}
+
+// Result is the final state of a run.
+type Result struct {
+	Front       []Individual // non-dominated set of the final population
+	Generations int          // evaluation waves run (incl. the initial one)
+	Evaluations int
+	Elapsed     time.Duration
+}
+
+// Run executes the NSGA-II loop: a seeded random initial population, then
+// cfg.Generations rounds of binary-tournament selection, simulated binary
+// crossover, polynomial mutation, parallel evaluation of the offspring on
+// the engine pool, and elitist environmental selection by non-dominated
+// rank and crowding distance. emit (optional) receives a snapshot of the
+// current front after every wave. The run is bit-reproducible for a fixed
+// seed: all randomness flows from one serial rand.Rand and every parallel
+// evaluation writes only its own slot.
+func Run(ctx context.Context, ev Evaluator, cfg Config, emit func(Generation)) (*Result, error) {
+	bounds := ev.Bounds()
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("explore: evaluator has no genes")
+	}
+	nObj := len(ev.ObjectiveNames())
+	if nObj == 0 {
+		return nil, fmt.Errorf("explore: evaluator has no objectives")
+	}
+	for g, b := range bounds {
+		if !(b.Hi >= b.Lo) {
+			return nil, fmt.Errorf("explore: gene %d bound [%g, %g] is invalid", g, b.Lo, b.Hi)
+		}
+	}
+	pop := cfg.pop()
+	gens := cfg.generations()
+	pc := cfg.CrossoverProb
+	if pc == 0 {
+		pc = 0.9
+	}
+	pm := cfg.MutationProb
+	if pm == 0 {
+		pm = 1 / float64(len(bounds))
+	}
+	etaC := cfg.EtaCrossover
+	if etaC == 0 {
+		etaC = 15
+	}
+	etaM := cfg.EtaMutation
+	if etaM == 0 {
+		etaM = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	res := &Result{}
+
+	// Initial population: uniform in the bounds.
+	cur := make([]Individual, pop)
+	for i := range cur {
+		genes := make([]float64, len(bounds))
+		for g, b := range bounds {
+			genes[g] = b.Lo + rng.Float64()*(b.Hi-b.Lo)
+		}
+		cur[i] = Individual{Genes: genes}
+	}
+	if err := evaluateWave(ctx, ev, cur, nObj, 0, res); err != nil {
+		return nil, err
+	}
+	fronts := rankAndCrowd(cur)
+	res.Generations = 1
+	emitFront(emit, 0, res, cur, fronts[0], start)
+
+	for gen := 1; gen <= gens; gen++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Variation: pop offspring from binary tournaments + SBX + mutation.
+		// All serial on the one rng, so the genome stream is seed-determined.
+		off := make([]Individual, 0, pop)
+		for len(off) < pop {
+			p1 := tournament(rng, cur)
+			p2 := tournament(rng, cur)
+			c1, c2 := crossover(rng, p1.Genes, p2.Genes, bounds, pc, etaC)
+			mutate(rng, c1, bounds, pm, etaM)
+			mutate(rng, c2, bounds, pm, etaM)
+			off = append(off, Individual{Genes: c1})
+			if len(off) < pop {
+				off = append(off, Individual{Genes: c2})
+			}
+		}
+		if err := evaluateWave(ctx, ev, off, nObj, gen, res); err != nil {
+			return nil, err
+		}
+		// Environmental selection over parents + offspring.
+		combined := append(append(make([]Individual, 0, 2*pop), cur...), off...)
+		fronts = rankAndCrowd(combined)
+		cur = selectNext(combined, fronts, pop)
+		fronts = rankAndCrowd(cur)
+		res.Generations++
+		emitFront(emit, gen, res, cur, fronts[0], start)
+	}
+	res.Front = copyFront(cur, fronts[0])
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// evaluateWave scores a population slice in parallel on the engine pool.
+// Each index writes only its own individual, so scheduling cannot change
+// the outcome. NaN objectives are mapped to +Inf so sorting stays total.
+func evaluateWave(ctx context.Context, ev Evaluator, pop []Individual, nObj, gen int, res *Result) error {
+	_, sp := obs.Start(ctx, "explore.generation")
+	sp.Int("gen", int64(gen))
+	sp.Int("candidates", int64(len(pop)))
+	defer sp.End()
+	defer engine.Phase("explore.generation")()
+	objs, err := engine.MapCtx(ctx, len(pop), func(i int) ([]float64, error) {
+		return ev.Evaluate(ctx, pop[i].Genes)
+	})
+	if err != nil {
+		return err
+	}
+	for i, o := range objs {
+		if len(o) != nObj {
+			return fmt.Errorf("explore: evaluator returned %d objectives, want %d", len(o), nObj)
+		}
+		for k, v := range o {
+			if math.IsNaN(v) {
+				o[k] = math.Inf(1)
+			}
+		}
+		pop[i].Objectives = o
+	}
+	res.Evaluations += len(pop)
+	return nil
+}
+
+// rankAndCrowd assigns non-dominated rank and crowding distance to every
+// individual and returns the fronts (indices into pop).
+func rankAndCrowd(pop []Individual) [][]int {
+	objs := make([][]float64, len(pop))
+	for i := range pop {
+		objs[i] = pop[i].Objectives
+	}
+	fronts := NondominatedSort(objs)
+	for r, front := range fronts {
+		dist := CrowdingDistance(objs, front)
+		for k, i := range front {
+			pop[i].rank = r
+			pop[i].crowd = dist[k]
+		}
+	}
+	return fronts
+}
+
+// selectNext keeps the best pop individuals: whole fronts while they fit,
+// then the most crowded-out members of the split front (ties broken by
+// genome order index for determinism).
+func selectNext(combined []Individual, fronts [][]int, pop int) []Individual {
+	next := make([]Individual, 0, pop)
+	for _, front := range fronts {
+		if len(next)+len(front) <= pop {
+			for _, i := range front {
+				next = append(next, combined[i])
+			}
+			continue
+		}
+		rest := append([]int(nil), front...)
+		sort.SliceStable(rest, func(a, b int) bool {
+			ca, cb := combined[rest[a]].crowd, combined[rest[b]].crowd
+			if ca != cb {
+				return ca > cb
+			}
+			return rest[a] < rest[b]
+		})
+		for _, i := range rest[:pop-len(next)] {
+			next = append(next, combined[i])
+		}
+		break
+	}
+	return next
+}
+
+// tournament picks the better of two random individuals: lower rank wins,
+// ties go to the larger crowding distance.
+func tournament(rng *rand.Rand, pop []Individual) *Individual {
+	a := &pop[rng.Intn(len(pop))]
+	b := &pop[rng.Intn(len(pop))]
+	if a.rank != b.rank {
+		if a.rank < b.rank {
+			return a
+		}
+		return b
+	}
+	if b.crowd > a.crowd {
+		return b
+	}
+	return a
+}
+
+// crossover is simulated binary crossover (SBX): with probability pc the
+// parents mix per gene, else they are copied.
+func crossover(rng *rand.Rand, p1, p2 []float64, bounds []Bound, pc, eta float64) ([]float64, []float64) {
+	c1 := append([]float64(nil), p1...)
+	c2 := append([]float64(nil), p2...)
+	if rng.Float64() > pc {
+		return c1, c2
+	}
+	for g := range c1 {
+		if rng.Float64() > 0.5 || math.Abs(p1[g]-p2[g]) < 1e-14 {
+			continue
+		}
+		u := rng.Float64()
+		var beta float64
+		if u <= 0.5 {
+			beta = math.Pow(2*u, 1/(eta+1))
+		} else {
+			beta = math.Pow(1/(2*(1-u)), 1/(eta+1))
+		}
+		x1, x2 := p1[g], p2[g]
+		c1[g] = clamp(0.5*((1+beta)*x1+(1-beta)*x2), bounds[g])
+		c2[g] = clamp(0.5*((1-beta)*x1+(1+beta)*x2), bounds[g])
+	}
+	return c1, c2
+}
+
+// mutate applies polynomial mutation per gene with probability pm.
+func mutate(rng *rand.Rand, genes []float64, bounds []Bound, pm, eta float64) {
+	for g := range genes {
+		if rng.Float64() > pm {
+			continue
+		}
+		b := bounds[g]
+		span := b.Hi - b.Lo
+		if span <= 0 {
+			continue
+		}
+		u := rng.Float64()
+		var delta float64
+		if u < 0.5 {
+			delta = math.Pow(2*u, 1/(eta+1)) - 1
+		} else {
+			delta = 1 - math.Pow(2*(1-u), 1/(eta+1))
+		}
+		genes[g] = clamp(genes[g]+delta*span, b)
+	}
+}
+
+func clamp(v float64, b Bound) float64 {
+	if v < b.Lo {
+		return b.Lo
+	}
+	if v > b.Hi {
+		return b.Hi
+	}
+	return v
+}
+
+// emitFront snapshots the current non-dominated front for a progress
+// callback, sorted by objective vector so the stream is reproducible.
+func emitFront(emit func(Generation), gen int, res *Result, pop []Individual, front []int, start time.Time) {
+	if emit == nil {
+		return
+	}
+	emit(Generation{
+		Gen:         gen,
+		Evaluations: res.Evaluations,
+		Front:       copyFront(pop, front),
+		Elapsed:     time.Since(start),
+	})
+}
+
+// copyFront deep-copies the front members (sorted lexicographically by
+// objectives, then genes) so callers can hold them across generations.
+func copyFront(pop []Individual, front []int) []Individual {
+	out := make([]Individual, 0, len(front))
+	for _, i := range front {
+		out = append(out, Individual{
+			Genes:      append([]float64(nil), pop[i].Genes...),
+			Objectives: append([]float64(nil), pop[i].Objectives...),
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if c := compareVec(out[a].Objectives, out[b].Objectives); c != 0 {
+			return c < 0
+		}
+		return compareVec(out[a].Genes, out[b].Genes) < 0
+	})
+	return out
+}
+
+func compareVec(a, b []float64) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if a[i] != b[i] {
+			if a[i] < b[i] || math.IsNaN(b[i]) {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}

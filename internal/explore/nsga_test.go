@@ -1,0 +1,170 @@
+package explore
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// zdt1 is the classic two-objective benchmark: the Pareto-optimal set is
+// g = 1 (all tail genes 0) with f2 = 1 - sqrt(f1). Cheap and analytic, so
+// the optimizer's machinery is tested without the EMI stack.
+type zdt1 struct{ genes int }
+
+func (z zdt1) Bounds() []Bound {
+	out := make([]Bound, z.genes)
+	for i := range out {
+		out[i] = Bound{0, 1}
+	}
+	return out
+}
+
+func (z zdt1) ObjectiveNames() []string { return []string{"f1", "f2"} }
+
+func (z zdt1) Evaluate(_ context.Context, genes []float64) ([]float64, error) {
+	f1 := genes[0]
+	g := 0.0
+	for _, v := range genes[1:] {
+		g += v
+	}
+	g = 1 + 9*g/float64(len(genes)-1)
+	return []float64{f1, g * (1 - math.Sqrt(f1/g))}, nil
+}
+
+func TestRunConvergesOnZDT1(t *testing.T) {
+	t.Parallel()
+	var gens []Generation
+	res, err := Run(context.Background(), zdt1{genes: 6}, Config{
+		Pop: 20, Generations: 20, Seed: 3,
+	}, func(g Generation) { gens = append(gens, g) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty final front")
+	}
+	if res.Generations != 21 {
+		t.Errorf("generations = %d, want 21", res.Generations)
+	}
+	if res.Evaluations != 21*20 {
+		t.Errorf("evaluations = %d, want %d", res.Evaluations, 21*20)
+	}
+	if len(gens) != 21 {
+		t.Fatalf("emit called %d times, want 21", len(gens))
+	}
+	for i, g := range gens {
+		if g.Gen != i {
+			t.Errorf("emit %d has Gen %d", i, g.Gen)
+		}
+		if len(g.Front) == 0 {
+			t.Errorf("emit %d has empty front", i)
+		}
+	}
+
+	// The final front satisfies the non-dominated invariant.
+	assertNondominated(t, res.Front)
+
+	// Convergence: on ZDT1 the optimum satisfies f2 = 1 - sqrt(f1) (g = 1).
+	// A short run will not reach it, but the whole front must sit clearly
+	// below the g = 4 level and the best aggregate must improve on the
+	// initial random generation.
+	best := func(front []Individual) float64 {
+		b := math.Inf(1)
+		for _, ind := range front {
+			if s := ind.Objectives[0] + ind.Objectives[1]; s < b {
+				b = s
+			}
+		}
+		return b
+	}
+	for _, ind := range res.Front {
+		bound := 4 * (1 - math.Sqrt(ind.Objectives[0]/4))
+		if ind.Objectives[1] > bound+0.5 {
+			t.Errorf("front member (%.3f, %.3f) far from the ZDT1 front",
+				ind.Objectives[0], ind.Objectives[1])
+		}
+	}
+	if best(res.Front) >= best(gens[0].Front) {
+		t.Errorf("no improvement: best sum %v (final) vs %v (initial)",
+			best(res.Front), best(gens[0].Front))
+	}
+}
+
+func assertNondominated(t *testing.T, front []Individual) {
+	t.Helper()
+	for i := range front {
+		for j := range front {
+			if i != j && Dominates(front[i].Objectives, front[j].Objectives) {
+				t.Fatalf("front member %v dominates co-member %v",
+					front[i].Objectives, front[j].Objectives)
+			}
+		}
+	}
+}
+
+// TestRunBitReproducible: identical config twice → identical genomes,
+// objectives, and emitted progress stream.
+func TestRunBitReproducible(t *testing.T) {
+	t.Parallel()
+	run := func() (*Result, []Generation) {
+		var gens []Generation
+		res, err := Run(context.Background(), zdt1{genes: 5}, Config{
+			Pop: 12, Generations: 8, Seed: 99,
+		}, func(g Generation) {
+			g.Elapsed = 0 // wall time is the one legitimately varying field
+			gens = append(gens, g)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Elapsed = 0
+		return res, gens
+	}
+	r1, g1 := run()
+	r2, g2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("same seed produced different results")
+	}
+	if !reflect.DeepEqual(g1, g2) {
+		t.Error("same seed produced different progress streams")
+	}
+
+	r3, _ := run3(t, 100)
+	if reflect.DeepEqual(r1.Front, r3.Front) {
+		t.Error("different seeds produced identical fronts (seed is dead)")
+	}
+}
+
+func run3(t *testing.T, seed int64) (*Result, []Generation) {
+	t.Helper()
+	res, err := Run(context.Background(), zdt1{genes: 5}, Config{
+		Pop: 12, Generations: 8, Seed: seed,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, nil
+}
+
+type noGenes struct{}
+
+func (noGenes) Bounds() []Bound                                        { return nil }
+func (noGenes) ObjectiveNames() []string                               { return []string{"x"} }
+func (noGenes) Evaluate(context.Context, []float64) ([]float64, error) { return []float64{0}, nil }
+
+func TestRunRejectsDegenerateEvaluators(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), noGenes{}, Config{}, nil); err == nil {
+		t.Error("no error for evaluator without genes")
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, zdt1{genes: 4}, Config{Pop: 8, Generations: 4}, nil); err == nil {
+		t.Error("cancelled run returned no error")
+	}
+}

@@ -1,0 +1,218 @@
+package explore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomObjectives draws a population of objective vectors with repeated
+// values (integers quantize them) so domination ties actually occur.
+func randomObjectives(rng *rand.Rand, n, m int) [][]float64 {
+	objs := make([][]float64, n)
+	for i := range objs {
+		v := make([]float64, m)
+		for k := range v {
+			v[k] = float64(rng.Intn(6))
+		}
+		objs[i] = v
+	}
+	return objs
+}
+
+// TestDominatesBasics pins the dominance definition: strictly better in at
+// least one objective, no worse in all.
+func TestDominatesBasics(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict gain
+		{[]float64{1, 1}, []float64{1, 2}, true},
+		{[]float64{1}, []float64{1, 2}, false}, // length mismatch never dominates
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestDominanceAntisymmetry: for random vectors, a dominating b excludes b
+// dominating a, and nothing dominates itself.
+func TestDominanceAntisymmetry(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		m := 1 + rng.Intn(4)
+		objs := randomObjectives(rng, 2, m)
+		a, b := objs[0], objs[1]
+		if Dominates(a, a) {
+			t.Fatalf("vector %v dominates itself", a)
+		}
+		if Dominates(a, b) && Dominates(b, a) {
+			t.Fatalf("mutual domination between %v and %v", a, b)
+		}
+	}
+}
+
+// TestNondominatedSortInvariants: the fronts partition the population; no
+// member of a front is dominated by another member of the same front; and
+// every member of front k+1 is dominated by someone in front k.
+func TestNondominatedSortInvariants(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		m := 1 + rng.Intn(3)
+		objs := randomObjectives(rng, n, m)
+		fronts := NondominatedSort(objs)
+
+		seen := map[int]bool{}
+		for _, front := range fronts {
+			if len(front) == 0 {
+				t.Fatal("empty front")
+			}
+			for _, i := range front {
+				if seen[i] {
+					t.Fatalf("index %d in two fronts", i)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("fronts cover %d of %d individuals", len(seen), n)
+		}
+
+		for r, front := range fronts {
+			// Within a front: mutually non-dominated.
+			for _, i := range front {
+				for _, j := range front {
+					if i != j && Dominates(objs[i], objs[j]) {
+						t.Fatalf("front %d: %v dominates co-member %v", r, objs[i], objs[j])
+					}
+				}
+			}
+			// Front 0 members are dominated by nobody at all.
+			if r == 0 {
+				for _, i := range front {
+					for j := range objs {
+						if Dominates(objs[j], objs[i]) {
+							t.Fatalf("front 0 member %v dominated by %v", objs[i], objs[j])
+						}
+					}
+				}
+				continue
+			}
+			// Deeper fronts: each member dominated by someone one front up.
+			for _, i := range front {
+				dominated := false
+				for _, j := range fronts[r-1] {
+					if Dominates(objs[j], objs[i]) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					t.Fatalf("front %d member %v not dominated by front %d", r, objs[i], r-1)
+				}
+			}
+		}
+	}
+}
+
+// TestCrowdingDistanceBoundaries: extreme points of every objective get
+// +Inf, interior distances are finite and non-negative, and tiny fronts
+// are all-boundary.
+func TestCrowdingDistanceBoundaries(t *testing.T) {
+	t.Parallel()
+	objs := [][]float64{
+		{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0},
+	}
+	front := []int{0, 1, 2, 3, 4}
+	dist := CrowdingDistance(objs, front)
+	if len(dist) != len(front) {
+		t.Fatalf("distance slice has %d entries, want %d", len(dist), len(front))
+	}
+	if !math.IsInf(dist[0], 1) || !math.IsInf(dist[4], 1) {
+		t.Errorf("boundary points not +Inf: %v", dist)
+	}
+	for k := 1; k < 4; k++ {
+		if math.IsInf(dist[k], 0) || dist[k] < 0 {
+			t.Errorf("interior point %d has distance %v", k, dist[k])
+		}
+	}
+
+	// A front of two: both are boundaries.
+	d2 := CrowdingDistance(objs, []int{1, 3})
+	if !math.IsInf(d2[0], 1) || !math.IsInf(d2[1], 1) {
+		t.Errorf("two-point front not all +Inf: %v", d2)
+	}
+	// A singleton front.
+	d1 := CrowdingDistance(objs, []int{2})
+	if !math.IsInf(d1[0], 1) {
+		t.Errorf("singleton front distance = %v, want +Inf", d1[0])
+	}
+}
+
+// TestCrowdingDistanceDegenerateObjective: an objective with zero spread
+// must not produce NaNs.
+func TestCrowdingDistanceDegenerate(t *testing.T) {
+	t.Parallel()
+	objs := [][]float64{{1, 5}, {1, 3}, {1, 4}}
+	dist := CrowdingDistance(objs, []int{0, 1, 2})
+	for k, d := range dist {
+		if math.IsNaN(d) {
+			t.Errorf("distance %d is NaN", k)
+		}
+	}
+}
+
+// TestCrowdingDistanceRandomized: randomized fronts keep distances
+// NaN-free and assign +Inf to every per-objective extreme.
+func TestCrowdingDistanceRandomized(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(3)
+		objs := make([][]float64, n)
+		for i := range objs {
+			v := make([]float64, m)
+			for k := range v {
+				v[k] = rng.Float64()
+			}
+			objs[i] = v
+		}
+		front := make([]int, n)
+		for i := range front {
+			front[i] = i
+		}
+		dist := CrowdingDistance(objs, front)
+		for k, d := range dist {
+			if math.IsNaN(d) || d < 0 {
+				t.Fatalf("bad distance %v at %d", d, k)
+			}
+		}
+		for obj := 0; obj < m; obj++ {
+			// The implementation breaks value ties by index, so the
+			// guaranteed +Inf holders are the first minimum and the last
+			// maximum.
+			lo, hi := 0, 0
+			for i := 1; i < n; i++ {
+				if objs[i][obj] < objs[lo][obj] {
+					lo = i
+				}
+				if objs[i][obj] >= objs[hi][obj] {
+					hi = i
+				}
+			}
+			if !math.IsInf(dist[lo], 1) || !math.IsInf(dist[hi], 1) {
+				t.Fatalf("objective %d extremes (%d, %d) not +Inf: %v", obj, lo, hi, dist)
+			}
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package explore_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/buck"
+	"repro/internal/explore"
+)
+
+func TestDesignProblemValidate(t *testing.T) {
+	t.Parallel()
+	proj := buck.Project()
+	cases := []struct {
+		name string
+		prob explore.DesignProblem
+	}{
+		{"no project", explore.DesignProblem{}},
+		{"unknown objective", explore.DesignProblem{Project: proj, Objectives: []string{"speed"}}},
+		{"duplicate objective", explore.DesignProblem{Project: proj, Objectives: []string{"area", "area"}}},
+		{"unknown sweep element", explore.DesignProblem{Project: proj,
+			Sweep: []explore.SweepParam{{Element: "nope", Lo: 0.5, Hi: 2}}}},
+		{"bad sweep bounds", explore.DesignProblem{Project: proj,
+			Sweep: []explore.SweepParam{{Element: "CCIN1", Lo: 2, Hi: 0.5}}}},
+	}
+	for _, c := range cases {
+		if err := c.prob.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the problem", c.name)
+		}
+	}
+	ok := explore.DesignProblem{Project: proj, Objectives: []string{explore.ObjArea, explore.ObjNet}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+}
+
+// TestExplorePlacementObjectives runs a tiny tournament on the geometric
+// objectives only (no EMI solves): the front must be non-empty, finite,
+// non-dominated, and bit-reproducible for the seed.
+func TestExplorePlacementObjectives(t *testing.T) {
+	t.Parallel()
+	run := func() *explore.Result {
+		prob := &explore.DesignProblem{
+			Project:    buck.Project(),
+			Objectives: []string{explore.ObjArea, explore.ObjNet, explore.ObjViolations},
+			JitterMax:  0.4,
+		}
+		if err := prob.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := explore.Run(context.Background(), prob, explore.Config{
+			Pop: 4, Generations: 1, Seed: 7,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Elapsed = 0
+		return res
+	}
+	res := run()
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if res.Evaluations != 8 {
+		t.Errorf("evaluations = %d, want 8", res.Evaluations)
+	}
+	for i := range res.Front {
+		for _, v := range res.Front[i].Objectives {
+			if v < 0 || v >= 1e9 {
+				t.Errorf("objective %v out of feasible range", v)
+			}
+		}
+		for j := range res.Front {
+			if i != j && explore.Dominates(res.Front[i].Objectives, res.Front[j].Objectives) {
+				t.Fatal("final front violates the non-dominated invariant")
+			}
+		}
+	}
+	if !reflect.DeepEqual(res, run()) {
+		t.Error("same seed produced different exploration results")
+	}
+}
+
+// TestExploreMarginObjective exercises the full EMI evaluation path:
+// placement, coupling extraction, band-limited spectrum, margin.
+func TestExploreMarginObjective(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("EMI evaluations")
+	}
+	prob := &explore.DesignProblem{
+		Project:    buck.Project(),
+		Objectives: []string{explore.ObjMargin, explore.ObjArea},
+		Sweep:      []explore.SweepParam{{Element: "CCIN1", Lo: 0.5, Hi: 2}},
+		MaxFreq:    2e6,
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Run(context.Background(), prob, explore.Config{
+		Pop: 4, Generations: 1, Seed: 5,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ind := range res.Front {
+		if len(ind.Genes) != 6 { // 5 fixed + 1 sweep
+			t.Errorf("genome has %d genes, want 6", len(ind.Genes))
+		}
+		m := ind.Objectives[0]
+		if m < -1000 || m > 1000 {
+			t.Errorf("margin objective %v outside the ±1000 dB cap", m)
+		}
+	}
+
+	// Realize turns a front member back into a fully placed design.
+	d, err := prob.Realize(context.Background(), res.Front[0].Genes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Comps {
+		if !c.Placed {
+			t.Errorf("realized design leaves %s unplaced", c.Ref)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package explore_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/buck"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/place"
+)
+
+// placedBuck returns the buck project with a deterministic placement, the
+// precondition for coupling extraction.
+func placedBuck(t *testing.T) *core.Project {
+	t.Helper()
+	p := buck.Project()
+	if _, err := place.AutoPlace(p.Design, place.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestYieldCurve(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("Monte-Carlo run")
+	}
+	proj := placedBuck(t)
+	opt := explore.YieldOptions{Samples: 12, Batch: 5, Seed: 41, MaxFreq: 2e6}
+
+	var estimates []explore.YieldEstimate
+	curve, err := explore.Yield(context.Background(), proj, opt, func(e explore.YieldEstimate) {
+		estimates = append(estimates, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Samples != 12 || curve.Batches != 3 {
+		t.Errorf("samples/batches = %d/%d, want 12/3", curve.Samples, curve.Batches)
+	}
+	if curve.Perturbed == 0 {
+		t.Error("no elements perturbed")
+	}
+	if len(curve.Freqs) == 0 || len(curve.BinPass) != len(curve.Freqs) ||
+		len(curve.BinLo) != len(curve.Freqs) || len(curve.BinHi) != len(curve.Freqs) {
+		t.Fatalf("bin slices misaligned: %d freqs, %d pass", len(curve.Freqs), len(curve.BinPass))
+	}
+	inBand := 0
+	for i := range curve.Freqs {
+		if curve.InBand[i] {
+			inBand++
+		}
+		if curve.BinPass[i] < 0 || curve.BinPass[i] > 1 {
+			t.Errorf("bin %d pass fraction %v out of [0,1]", i, curve.BinPass[i])
+		}
+		if curve.BinLo[i] > curve.BinPass[i] || curve.BinHi[i] < curve.BinPass[i] {
+			t.Errorf("bin %d CI [%v, %v] excludes the estimate %v",
+				i, curve.BinLo[i], curve.BinHi[i], curve.BinPass[i])
+		}
+	}
+	if inBand == 0 {
+		t.Error("no harmonic in a protected band")
+	}
+	if curve.CILo > curve.Yield || curve.CIHi < curve.Yield || curve.CILo < 0 || curve.CIHi > 1 {
+		t.Errorf("overall CI [%v, %v] inconsistent with yield %v", curve.CILo, curve.CIHi, curve.Yield)
+	}
+	if len(curve.WorstMargins) != 12 {
+		t.Fatalf("%d worst margins, want 12", len(curve.WorstMargins))
+	}
+	for i := 1; i < len(curve.WorstMargins); i++ {
+		if curve.WorstMargins[i-1] > curve.WorstMargins[i] {
+			t.Fatal("worst margins not sorted ascending")
+		}
+	}
+	if curve.Percentile(0) > curve.Percentile(1) {
+		t.Error("percentiles out of order")
+	}
+
+	// The running estimates arrive per batch with monotone progress.
+	if len(estimates) != 3 {
+		t.Fatalf("emit called %d times, want 3", len(estimates))
+	}
+	wantDone := []int{5, 10, 12}
+	for i, e := range estimates {
+		if e.Done != wantDone[i] || e.Total != 12 {
+			t.Errorf("estimate %d progress %d/%d, want %d/12", i, e.Done, e.Total, wantDone[i])
+		}
+	}
+
+	// Bit-reproducible for the seed regardless of worker scheduling.
+	again, err := explore.Yield(context.Background(), proj, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve.Elapsed, again.Elapsed = 0, 0
+	if !reflect.DeepEqual(curve, again) {
+		t.Error("same seed produced a different yield curve")
+	}
+
+	// A different seed draws different builds.
+	opt.Seed = 4242
+	other, err := explore.Yield(context.Background(), proj, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(curve.WorstMargins, other.WorstMargins) {
+		t.Error("different seeds produced identical margin streams")
+	}
+}
+
+func TestYieldValidatesTolOf(t *testing.T) {
+	t.Parallel()
+	proj := placedBuck(t)
+	_, err := explore.Yield(context.Background(), proj,
+		explore.YieldOptions{Samples: 1, MaxFreq: 2e6, TolOf: map[string]float64{"nope": 0.1}}, nil)
+	if err == nil {
+		t.Error("unknown TolOf element accepted")
+	}
+	_, err = explore.Yield(context.Background(), proj,
+		explore.YieldOptions{Samples: 1, MaxFreq: 2e6, TolOf: map[string]float64{"CCIN1": 1.5}}, nil)
+	if err == nil {
+		t.Error("out-of-range tolerance accepted")
+	}
+}
+
+func TestYieldHonoursCancellation(t *testing.T) {
+	t.Parallel()
+	proj := placedBuck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := explore.Yield(ctx, proj, explore.YieldOptions{Samples: 4, MaxFreq: 2e6}, nil); err == nil {
+		t.Error("cancelled yield run returned no error")
+	}
+}

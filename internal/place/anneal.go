@@ -11,10 +11,11 @@ import (
 
 // AnnealOptions tunes the simulated-annealing refinement.
 type AnnealOptions struct {
-	Seed       int64   // RNG seed (deterministic for a given seed)
-	Iterations int     // proposal count; 0 = 400 per movable component
-	StartTemp  float64 // initial temperature in cost units; 0 = auto
-	EndTemp    float64 // final temperature; 0 = StartTemp/1000
+	Seed       int64      // RNG seed (deterministic for a given seed)
+	Rand       *rand.Rand // pre-seeded source shared with the caller; overrides Seed
+	Iterations int        // proposal count; 0 = 400 per movable component
+	StartTemp  float64    // initial temperature in cost units; 0 = auto
+	EndTemp    float64    // final temperature; 0 = StartTemp/1000
 
 	// Weights of the cost terms (defaults as in Options).
 	WirelengthWeight float64
@@ -75,7 +76,10 @@ func Anneal(d *layout.Design, board int, opt AnnealOptions) (*AnnealResult, erro
 		return sum
 	}
 
-	rng := rand.New(rand.NewSource(opt.Seed))
+	rng := opt.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opt.Seed))
+	}
 	cur := cost()
 	res.CostBefore = cur
 

@@ -52,7 +52,7 @@ func LegalizeCtx(ctx context.Context, d *layout.Design, opt Options) ([]string, 
 		for ref := range offenders {
 			ripped = append(ripped, ref)
 		}
-		if _, err := placeUnplaced(ctx, d, opt); err != nil {
+		if _, err := placeUnplaced(ctx, d, opt, opt.rng()); err != nil {
 			return dedupSorted(ripped), err
 		}
 	}

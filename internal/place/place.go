@@ -14,8 +14,10 @@ package place
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -51,6 +53,25 @@ type Options struct {
 	// MaxRefine bounds how often the raster is halved when a component
 	// finds no legal position; 0 = 2.
 	MaxRefine int
+
+	// Seed seeds the run's single rand.Source; every random choice of the
+	// placement (order jitter, annealing proposals) flows from it, so a
+	// fixed seed makes the whole placement byte-reproducible. With
+	// OrderJitter and AnnealIters both zero no randomness is consumed and
+	// the placement is the classic deterministic one regardless of Seed.
+	Seed int64
+
+	// OrderJitter perturbs the sequential-placement priorities
+	// multiplicatively by ±OrderJitter — the knob that turns the single
+	// deterministic placement into a reproducible tournament of
+	// placements (one entry per seed). 0 keeps the exact priority order.
+	OrderJitter float64
+
+	// AnnealIters runs the seeded simulated-annealing refinement for this
+	// many proposals per board after sequential placement succeeds
+	// (skipped for EMD-blind baselines and layouts that are not green).
+	// 0 disables the refinement.
+	AnnealIters int
 }
 
 func (o Options) wWire() float64 {
@@ -88,7 +109,12 @@ type Result struct {
 	EMDSumBefore   float64 // Σ EMD over rule pairs before step 1
 	EMDSumAfter    float64 // Σ EMD after step 1
 	CutNets        int     // nets crossing boards after step 2
-	Elapsed        time.Duration
+
+	// Annealing refinement (AnnealIters > 0).
+	AnnealAccepted  int
+	AnnealProposals int
+
+	Elapsed time.Duration
 }
 
 // AutoPlace runs the automatic placement method on the design, mutating the
@@ -113,6 +139,7 @@ func AutoPlaceCtx(ctx context.Context, d *layout.Design, opt Options) (*Result, 
 	defer func() {
 		sp.Int("placed", int64(res.Placed))
 		sp.Int("rotation_passes", int64(res.RotationPasses))
+		sp.Int("anneal_accepted", int64(res.AnnealAccepted))
 		sp.End()
 	}()
 
@@ -130,16 +157,68 @@ func AutoPlaceCtx(ctx context.Context, d *layout.Design, opt Options) (*Result, 
 		res.CutNets = partition(d)
 	}
 
-	// Step 3: prioritised sequential placement.
+	// Step 3: prioritised sequential placement. One seeded source drives
+	// every random decision of the run (order jitter here, annealing
+	// proposals below) so a fixed Seed reproduces the placement exactly.
+	rng := opt.rng()
 	done := engine.Phase("place.sequential")
-	placed, err := sequentialPlace(ctx, d, opt)
+	placed, err := sequentialPlace(ctx, d, opt, rng)
 	done()
 	res.Placed = placed
-	res.Elapsed = time.Since(start)
 	if err != nil {
+		res.Elapsed = time.Since(start)
 		return res, err
 	}
+
+	// Optional step 4: seeded annealing refinement inside the legal space.
+	// EMD-blind baselines are skipped (their layouts are not green, which
+	// the annealer requires), as are layouts a preplaced violation keeps
+	// from legality — the sequential result stands in both cases.
+	if opt.AnnealIters > 0 && !opt.IgnoreEMD {
+		done := engine.Phase("place.anneal")
+		aerr := annealBoards(ctx, d, opt, rng, res)
+		done()
+		if aerr != nil {
+			res.Elapsed = time.Since(start)
+			return res, aerr
+		}
+	}
+	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// rng builds the run's random source. It is only consumed when a random
+// feature (OrderJitter, AnnealIters) is enabled; otherwise the placement
+// never draws from it.
+func (o Options) rng() *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed))
+}
+
+// annealBoards runs the annealing refinement once per board on the shared
+// rng. A board whose layout is not legal (the annealer's precondition) is
+// left as sequential placement produced it.
+func annealBoards(ctx context.Context, d *layout.Design, opt Options, rng *rand.Rand, res *Result) error {
+	for b := 0; b < d.Boards; b++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ares, err := Anneal(d, b, AnnealOptions{
+			Rand:             rng,
+			Iterations:       opt.AnnealIters,
+			WirelengthWeight: opt.WirelengthWeight,
+			CompactWeight:    opt.CompactWeight,
+		})
+		if err != nil {
+			var perr *PlaceError
+			if errors.As(err, &perr) {
+				return nil
+			}
+			return err
+		}
+		res.AnnealAccepted += ares.Accepted
+		res.AnnealProposals += ares.Proposals
+	}
+	return nil
 }
 
 // emdSum is the rotation objective: Σ EMD over all rule pairs at the

@@ -1,0 +1,170 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// snapshot captures the placement state of a design for bit-exact
+// comparison.
+type placementSnap struct {
+	ref    string
+	placed bool
+	center geom.Vec2
+	rot    float64
+	board  int
+}
+
+func snapshotPlacement(d *layout.Design) []placementSnap {
+	out := make([]placementSnap, 0, len(d.Comps))
+	for _, c := range d.Comps {
+		out = append(out, placementSnap{c.Ref, c.Placed, c.Center, c.Rot, c.Board})
+	}
+	return out
+}
+
+func samePlacement(a, b []placementSnap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSeededPlacementReproducible: with order jitter and annealing
+// enabled, the same seed must reproduce the placement byte for byte, and
+// a different seed should explore a different placement.
+func TestSeededPlacementReproducible(t *testing.T) {
+	t.Parallel()
+	opt := Options{Seed: 42, OrderJitter: 0.5, AnnealIters: 200}
+
+	run := func(o Options) []placementSnap {
+		d := smallDesign()
+		if _, err := AutoPlace(d, o); err != nil {
+			t.Fatalf("AutoPlace: %v", err)
+		}
+		if rep := Verify(d); !rep.Green() {
+			t.Fatalf("seeded placement not legal:\n%s", rep)
+		}
+		return snapshotPlacement(d)
+	}
+
+	first := run(opt)
+	if !samePlacement(first, run(opt)) {
+		t.Error("same seed produced different placements")
+	}
+
+	// Some other seed should land differently — the tournament knob only
+	// matters if seeds actually vary the outcome. Probe a few seeds: at
+	// least one must differ.
+	differs := false
+	for _, seed := range []int64{1, 7, 99} {
+		o := opt
+		o.Seed = seed
+		if !samePlacement(first, run(o)) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("no probed seed changed the placement; the seed knob is dead")
+	}
+}
+
+// TestZeroRandomnessMatchesClassic: with OrderJitter and AnnealIters at
+// zero the placement must be identical to the pre-seed deterministic
+// behaviour regardless of Seed — no randomness may be consumed.
+func TestZeroRandomnessMatchesClassic(t *testing.T) {
+	t.Parallel()
+	base := smallDesign()
+	if _, err := AutoPlace(base, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	seeded := smallDesign()
+	if _, err := AutoPlace(seeded, Options{Seed: 1234567}); err != nil {
+		t.Fatal(err)
+	}
+	if !samePlacement(snapshotPlacement(base), snapshotPlacement(seeded)) {
+		t.Error("Seed changed the placement although no random feature is enabled")
+	}
+}
+
+// TestOrderJitterPerturbsPriorities: the jittered order is a permutation
+// of the deterministic one and is itself deterministic in the seed.
+func TestOrderJitterPerturbsPriorities(t *testing.T) {
+	t.Parallel()
+	d := smallDesign()
+	plain := placementOrder(d)
+
+	refsOf := func(opt Options) []string {
+		rng := opt.rng()
+		var refs []string
+		for _, c := range orderFor(d, opt, rng) {
+			refs = append(refs, c.Ref)
+		}
+		return refs
+	}
+
+	j1 := refsOf(Options{Seed: 5, OrderJitter: 0.9})
+	j2 := refsOf(Options{Seed: 5, OrderJitter: 0.9})
+	if len(j1) != len(plain) {
+		t.Fatalf("jittered order has %d comps, want %d", len(j1), len(plain))
+	}
+	for i := range j1 {
+		if j1[i] != j2[i] {
+			t.Fatalf("jittered order not deterministic: %v vs %v", j1, j2)
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range j1 {
+		if seen[r] {
+			t.Fatalf("ref %s appears twice in jittered order", r)
+		}
+		seen[r] = true
+	}
+	for _, c := range plain {
+		if !seen[c.Ref] {
+			t.Fatalf("ref %s missing from jittered order", c.Ref)
+		}
+	}
+}
+
+// TestAnnealIterationsKeepLegality: the annealing refinement must leave
+// the layout green and report its proposal bookkeeping.
+func TestAnnealIterationsKeepLegality(t *testing.T) {
+	t.Parallel()
+	d := smallDesign()
+	res, err := AutoPlace(d, Options{Seed: 9, AnnealIters: 300})
+	if err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	if rep := Verify(d); !rep.Green() {
+		t.Fatalf("annealed layout not legal:\n%s", rep)
+	}
+	if res.AnnealProposals == 0 {
+		t.Error("AnnealIters > 0 but no proposals recorded")
+	}
+	if res.AnnealAccepted > res.AnnealProposals {
+		t.Errorf("accepted %d > proposals %d", res.AnnealAccepted, res.AnnealProposals)
+	}
+}
+
+// TestAnnealSkippedForBaseline: EMD-blind baselines skip the refinement
+// (their layouts are not legal, the annealer's precondition).
+func TestAnnealSkippedForBaseline(t *testing.T) {
+	t.Parallel()
+	d := smallDesign()
+	res, err := AutoPlace(d, Options{IgnoreEMD: true, AnnealIters: 300})
+	if err != nil {
+		t.Fatalf("AutoPlace: %v", err)
+	}
+	if res.AnnealProposals != 0 {
+		t.Errorf("baseline ran %d anneal proposals, want 0", res.AnnealProposals)
+	}
+}

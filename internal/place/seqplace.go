@@ -3,6 +3,8 @@ package place
 import (
 	"context"
 	"math"
+	"math/rand"
+	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -15,11 +17,46 @@ import (
 // cost of net length, group coherence and compactness picks the position.
 // If the raster yields no legal position it is refined (halved) up to
 // opt.MaxRefine times before the component is reported unplaceable.
-func sequentialPlace(ctx context.Context, d *layout.Design, opt Options) (int, error) {
+func sequentialPlace(ctx context.Context, d *layout.Design, opt Options, rng *rand.Rand) (int, error) {
 	for _, c := range placementOrder(d) {
 		c.Placed = false // re-place movable components from scratch
 	}
-	return placeUnplaced(ctx, d, opt)
+	return placeUnplaced(ctx, d, opt, rng)
+}
+
+// orderFor returns the sequential-placement order: the deterministic
+// priority order, or — with OrderJitter enabled — the same priorities
+// perturbed multiplicatively by the run's seeded rng. The jitters are
+// drawn in design order (one per movable component) so the stream, and
+// with it the placement, depends only on the seed.
+func orderFor(d *layout.Design, opt Options, rng *rand.Rand) []*layout.Component {
+	if opt.OrderJitter <= 0 || rng == nil {
+		return placementOrder(d)
+	}
+	var order []*layout.Component
+	var pri []float64
+	for _, c := range d.Comps {
+		if c.Preplaced {
+			continue
+		}
+		order = append(order, c)
+		pri = append(pri, priority(d, c)*(1+opt.OrderJitter*(2*rng.Float64()-1)))
+	}
+	idx := make([]int, len(order))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if pri[idx[a]] != pri[idx[b]] {
+			return pri[idx[a]] > pri[idx[b]]
+		}
+		return order[idx[a]].Ref < order[idx[b]].Ref
+	})
+	out := make([]*layout.Component, len(order))
+	for i, j := range idx {
+		out[i] = order[j]
+	}
+	return out
 }
 
 // placeUnplaced runs the prioritised sequential search for every movable
@@ -27,7 +64,7 @@ func sequentialPlace(ctx context.Context, d *layout.Design, opt Options) (int, e
 // the shared engine of AutoPlace (which unplaces everything first) and
 // Legalize (which rips up only the offenders). Cancellation is checked
 // between components and between raster rows inside a candidate scan.
-func placeUnplaced(ctx context.Context, d *layout.Design, opt Options) (int, error) {
+func placeUnplaced(ctx context.Context, d *layout.Design, opt Options, rng *rand.Rand) (int, error) {
 	grid := opt.GridStep
 	if grid <= 0 {
 		grid = autoGrid(d)
@@ -35,7 +72,7 @@ func placeUnplaced(ctx context.Context, d *layout.Design, opt Options) (int, err
 	placedCount := 0
 	var failed []string
 
-	for _, c := range placementOrder(d) {
+	for _, c := range orderFor(d, opt, rng) {
 		if c.Placed {
 			continue
 		}

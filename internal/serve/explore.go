@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/buck"
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// Request-size guards for the batch endpoints: the explorer and the Monte
+// Carlo analysis multiply whole EMI predictions, so unbounded parameters
+// would let one request monopolize the workers for hours.
+const (
+	maxExplorePop    = 64
+	maxExploreGens   = 64
+	maxExploreSweep  = 8
+	maxAnnealIters   = 10000
+	maxYieldSamples  = 2048
+	maxRealizedFront = 8
+)
+
+// MapEntry binds one design component to its catalog model in a
+// ProjectSpec (see components.ParseSpec for the spec vocabulary; a
+// trailing ":tol=10%" feeds the Monte Carlo tolerance analysis).
+type MapEntry struct {
+	Spec     string `json:"spec"`               // catalog spec, e.g. "x2cap:1.5u:tol=10%"
+	Inductor string `json:"inductor,omitempty"` // circuit inductor of its magnetic part
+}
+
+// ProjectSpec names or assembles the core.Project a batch job works on:
+// either a builtin example ("buck", the paper's automotive converter) or
+// an explicit design + netlist + component map.
+type ProjectSpec struct {
+	Builtin string              `json:"builtin,omitempty"` // "buck"
+	Design  string              `json:"design,omitempty"`  // ASCII design file text
+	Netlist string              `json:"netlist,omitempty"` // SPICE-style netlist text
+	Map     map[string]MapEntry `json:"map,omitempty"`     // ref → model binding
+	Sources []string            `json:"sources,omitempty"` // switching V/I PULSE elements
+	Measure string              `json:"measure,omitempty"` // measurement node
+}
+
+// build assembles the project. The second return carries the tolerance
+// bands embedded in the component specs, keyed by the mapped circuit
+// inductor — the Monte Carlo analysis folds them into its TolOf unless
+// the request overrides them.
+func (ps *ProjectSpec) build() (*core.Project, map[string]float64, error) {
+	if ps.Builtin != "" {
+		if ps.Design != "" || ps.Netlist != "" || len(ps.Map) > 0 {
+			return nil, nil, fmt.Errorf("project: builtin excludes design/netlist/map")
+		}
+		if ps.Builtin != "buck" {
+			return nil, nil, fmt.Errorf("project: unknown builtin %q", ps.Builtin)
+		}
+		return buck.Project(), nil, nil
+	}
+	if ps.Design == "" || ps.Netlist == "" || ps.Measure == "" || len(ps.Sources) == 0 {
+		return nil, nil, fmt.Errorf("project: design, netlist, sources and measure are required")
+	}
+	d, err := layout.ReadString(ps.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	ckt, err := netlist.Parse(strings.NewReader(ps.Netlist))
+	if err != nil {
+		return nil, nil, err
+	}
+	proj := &core.Project{
+		Design: d, Circuit: ckt,
+		Models:     map[string]components.Model{},
+		InductorOf: map[string]string{},
+		Sources:    ps.Sources, MeasureNode: ps.Measure,
+	}
+	specTols := map[string]float64{}
+	for ref, ent := range ps.Map {
+		if d.Find(ref) == nil {
+			return nil, nil, fmt.Errorf("project: mapped ref %q not in design", ref)
+		}
+		m, tol, err := components.ParseSpecTol(ent.Spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("project: %s: %w", ref, err)
+		}
+		proj.Models[ref] = m
+		if ent.Inductor != "" {
+			if ckt.Find(ent.Inductor) == nil {
+				return nil, nil, fmt.Errorf("project: %s: inductor %q not in netlist", ref, ent.Inductor)
+			}
+			proj.InductorOf[ref] = ent.Inductor
+			if tol > 0 {
+				specTols[ent.Inductor] = tol
+			}
+		}
+	}
+	return proj, specTols, nil
+}
+
+// ExploreRequest asks for a multi-objective design-space exploration: an
+// NSGA-II run over placement tournaments and component-value sweeps,
+// scored on the requested objective vector. Intermediate Pareto fronts
+// stream on GET /v1/jobs/{id}/events as "front" events.
+type ExploreRequest struct {
+	Project     ProjectSpec          `json:"project"`
+	Objectives  []string             `json:"objectives,omitempty"`  // subset of margin|area|net|violations
+	Population  int                  `json:"population,omitempty"`  // 0 = 24, max 64
+	Generations int                  `json:"generations,omitempty"` // 0 = 10, max 64
+	Seed        int64                `json:"seed,omitempty"`        // run is bit-reproducible in it
+	MaxFreq     float64              `json:"max_freq,omitempty"`    // Hz; 0 = CISPR band stop
+	GridMM      float64              `json:"grid_mm,omitempty"`     // placement raster; 0 = auto
+	AnnealIters int                  `json:"anneal_iters,omitempty"`
+	Sweep       []explore.SweepParam `json:"sweep,omitempty"`
+}
+
+// CandidateView is one Pareto-front member in an ExploreResponse.
+type CandidateView struct {
+	Genes      []float64          `json:"genes"`
+	Objectives map[string]float64 `json:"objectives"`
+	Design     string             `json:"design,omitempty"` // placed layout (first few members only)
+}
+
+// ExploreResponse carries the final Pareto front.
+type ExploreResponse struct {
+	Objectives  []string        `json:"objectives"`
+	Front       []CandidateView `json:"front"`
+	Generations int             `json:"generations"`
+	Evaluations int             `json:"evaluations"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+}
+
+func runExplore(ctx context.Context, req []byte) (any, error) {
+	var r ExploreRequest
+	if err := strictUnmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if r.Population > maxExplorePop {
+		return nil, fmt.Errorf("explore: population %d exceeds %d", r.Population, maxExplorePop)
+	}
+	if r.Generations > maxExploreGens {
+		return nil, fmt.Errorf("explore: generations %d exceeds %d", r.Generations, maxExploreGens)
+	}
+	if len(r.Sweep) > maxExploreSweep {
+		return nil, fmt.Errorf("explore: %d sweep axes exceed %d", len(r.Sweep), maxExploreSweep)
+	}
+	if r.AnnealIters > maxAnnealIters {
+		return nil, fmt.Errorf("explore: anneal_iters %d exceeds %d", r.AnnealIters, maxAnnealIters)
+	}
+	proj, _, err := r.Project.build()
+	if err != nil {
+		return nil, err
+	}
+	prob := &explore.DesignProblem{
+		Project:     proj,
+		Objectives:  r.Objectives,
+		Sweep:       r.Sweep,
+		MaxFreq:     r.MaxFreq,
+		GridStep:    r.GridMM * 1e-3,
+		AnnealIters: r.AnnealIters,
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := explore.Run(ctx, prob, explore.Config{
+		Pop:         r.Population,
+		Generations: r.Generations,
+		Seed:        r.Seed,
+	}, func(g explore.Generation) {
+		Publish(ctx, "front", g)
+	})
+	if err != nil {
+		return nil, err
+	}
+	names := prob.ObjectiveNames()
+	resp := &ExploreResponse{
+		Objectives:  names,
+		Generations: res.Generations,
+		Evaluations: res.Evaluations,
+		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for i, ind := range res.Front {
+		cv := CandidateView{Genes: ind.Genes, Objectives: map[string]float64{}}
+		for k, name := range names {
+			cv.Objectives[name] = ind.Objectives[k]
+		}
+		// Realizing a candidate re-runs its placement; bound the work to
+		// the head of the front (sorted best-first by objective vector).
+		if i < maxRealizedFront && feasible(ind.Objectives) {
+			if d, rerr := prob.Realize(ctx, ind.Genes); rerr == nil {
+				var sb strings.Builder
+				if werr := layout.Write(&sb, d); werr == nil {
+					cv.Design = sb.String()
+				}
+			} else if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+		}
+		resp.Front = append(resp.Front, cv)
+	}
+	return resp, nil
+}
+
+// feasible reports whether a candidate's objectives are real scores, not
+// the unplaceable-candidate penalty vector.
+func feasible(objs []float64) bool {
+	for _, v := range objs {
+		if v >= 1e9 || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// YieldRequest asks for a Monte Carlo EMI yield analysis: component
+// values and extracted couplings are perturbed within tolerance bands and
+// the fraction of builds meeting the CISPR mask is estimated, per
+// frequency bin and overall. Running estimates stream on
+// GET /v1/jobs/{id}/events as "yield" events.
+type YieldRequest struct {
+	Project     ProjectSpec        `json:"project"`
+	Samples     int                `json:"samples,omitempty"` // 0 = 200, max 2048
+	Batch       int                `json:"batch,omitempty"`   // emit granularity; 0 = 32
+	Seed        int64              `json:"seed,omitempty"`
+	MaxFreq     float64            `json:"max_freq,omitempty"`
+	DefaultTol  float64            `json:"default_tol,omitempty"`  // 0 = 0.10
+	CouplingTol float64            `json:"coupling_tol,omitempty"` // 0 = 0.20
+	TolOf       map[string]float64 `json:"tol_of,omitempty"`       // element → band, overrides spec tols
+
+	// Autoplace places the design first (required when the project's
+	// design has unplaced movable components, e.g. the buck builtin);
+	// PlaceSeed seeds that placement.
+	Autoplace bool  `json:"autoplace,omitempty"`
+	PlaceSeed int64 `json:"place_seed,omitempty"`
+}
+
+// YieldResponse summarizes the Monte Carlo run.
+type YieldResponse struct {
+	Samples   int     `json:"samples"`
+	Pass      int     `json:"pass"`
+	Yield     float64 `json:"yield"`
+	CILo      float64 `json:"ci_lo"`
+	CIHi      float64 `json:"ci_hi"`
+	Perturbed int     `json:"perturbed"`
+	Batches   int     `json:"batches"`
+
+	FreqsHz []float64 `json:"freqs_hz"`
+	BinPass []float64 `json:"bin_pass"`
+	BinLo   []float64 `json:"bin_lo"`
+	BinHi   []float64 `json:"bin_hi"`
+
+	MarginP05DB float64 `json:"margin_p05_db"` // 5th-percentile worst margin
+	MarginP50DB float64 `json:"margin_p50_db"`
+	MarginP95DB float64 `json:"margin_p95_db"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func runYield(ctx context.Context, req []byte) (any, error) {
+	var r YieldRequest
+	if err := strictUnmarshal(req, &r); err != nil {
+		return nil, err
+	}
+	if r.Samples > maxYieldSamples {
+		return nil, fmt.Errorf("yield: samples %d exceeds %d", r.Samples, maxYieldSamples)
+	}
+	proj, specTols, err := r.Project.build()
+	if err != nil {
+		return nil, err
+	}
+	if r.Autoplace || hasUnplaced(proj.Design) {
+		d := proj.Design.Clone()
+		if _, err := place.AutoPlaceCtx(ctx, d, place.Options{Seed: r.PlaceSeed}); err != nil {
+			return nil, fmt.Errorf("yield: autoplace: %w", err)
+		}
+		p := *proj
+		p.Design = d
+		proj = &p
+	}
+	tolOf := map[string]float64{}
+	for name, tol := range specTols {
+		tolOf[name] = tol
+	}
+	for name, tol := range r.TolOf {
+		tolOf[name] = tol
+	}
+	curve, err := explore.Yield(ctx, proj, explore.YieldOptions{
+		Samples:     r.Samples,
+		Batch:       r.Batch,
+		Seed:        r.Seed,
+		MaxFreq:     r.MaxFreq,
+		DefaultTol:  r.DefaultTol,
+		CouplingTol: r.CouplingTol,
+		TolOf:       tolOf,
+	}, func(e explore.YieldEstimate) {
+		Publish(ctx, "yield", e)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &YieldResponse{
+		Samples: curve.Samples, Pass: curve.Pass, Yield: curve.Yield,
+		CILo: curve.CILo, CIHi: curve.CIHi,
+		Perturbed: curve.Perturbed, Batches: curve.Batches,
+		FreqsHz: curve.Freqs, BinPass: curve.BinPass,
+		BinLo: curve.BinLo, BinHi: curve.BinHi,
+		MarginP05DB: curve.Percentile(0.05),
+		MarginP50DB: curve.Percentile(0.50),
+		MarginP95DB: curve.Percentile(0.95),
+		ElapsedMS:   float64(curve.Elapsed) / float64(time.Millisecond),
+	}, nil
+}
+
+// hasUnplaced reports whether any movable component is still unplaced.
+func hasUnplaced(d *layout.Design) bool {
+	for _, c := range d.Comps {
+		if !c.Preplaced && !c.Placed {
+			return true
+		}
+	}
+	return false
+}

@@ -18,8 +18,11 @@ const maxBodyBytes = 8 << 20
 //	POST   /v1/predict          submit an interference prediction
 //	POST   /v1/place            submit an automatic placement
 //	POST   /v1/couple           submit a coupling-vs-distance extraction
-//	GET    /v1/jobs             list retained jobs (?state=&limit=)
+//	POST   /v1/explore          submit a design-space exploration (streams fronts)
+//	POST   /v1/yield            submit a Monte Carlo EMI yield analysis
+//	GET    /v1/jobs             list retained jobs (?state=&type=&limit=)
 //	GET    /v1/jobs/{id}        job status and result (?wait=1 blocks)
+//	GET    /v1/jobs/{id}/events job progress stream, server-sent events
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /metrics             Prometheus text exposition
@@ -40,8 +43,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.submitHandler(KindPredict))
 	mux.HandleFunc("POST /v1/place", s.submitHandler(KindPlace))
 	mux.HandleFunc("POST /v1/couple", s.submitHandler(KindCouple))
+	mux.HandleFunc("POST /v1/explore", s.submitHandler(KindExplore))
+	mux.HandleFunc("POST /v1/yield", s.submitHandler(KindYield))
 	mux.HandleFunc("GET /v1/jobs", s.listJobsHandler)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobHandler)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEventsHandler)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelHandler)
 	mux.HandleFunc("POST /v1/sessions", s.createSessionHandler)
 	mux.HandleFunc("GET /v1/sessions", s.listSessionsHandler)
@@ -188,6 +194,66 @@ func (s *Server) jobHandler(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, statusOf(j), j.View())
+}
+
+// jobEventsHandler streams a job's intermediate results (per-generation
+// Pareto fronts, running yield estimates) as server-sent events. Each
+// progress event uses its stage as the SSE event name ("front", "yield")
+// and its per-job sequence number as the id; a client reconnecting with
+// Last-Event-ID (or ?after=N) replays what the bounded ring still holds.
+// The stream opens with a "hello" event carrying the job view and — when
+// the job reaches a terminal state — closes with a "done" event carrying
+// the final view (including the result).
+func (s *Server) jobEventsHandler(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	}
+	ch, _, cancel := j.progress.subscribe(after)
+	defer cancel()
+	s.m.jobStreams.Add(1)
+	defer s.m.jobStreams.Add(-1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Job-ID", j.ID)
+	w.WriteHeader(http.StatusOK)
+	last := after
+	writeSSE(w, "hello", last, j.View())
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				// Closed stream: the job is terminal, or this client fell
+				// too far behind (it reconnects with ?after= to resume).
+				if j.State().terminal() {
+					writeSSE(w, "done", last, j.View())
+					fl.Flush()
+				}
+				return
+			}
+			last = ev.Seq
+			writeSSE(w, ev.Stage, ev.Seq, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) cancelHandler(w http.ResponseWriter, r *http.Request) {

@@ -13,11 +13,14 @@ import (
 // Kind names one of the analysis workloads the service runs.
 type Kind string
 
-// The three endpoints of the paper's flow exposed as job kinds.
+// The endpoints of the paper's flow exposed as job kinds: the three
+// one-shot analyses plus the two streaming batch explorations.
 const (
 	KindPredict Kind = "predict" // netlist → conducted-emission spectrum
 	KindPlace   Kind = "place"   // design → placed layout + DRC verdict
 	KindCouple  Kind = "couple"  // component pair → coupling-vs-distance curve
+	KindExplore Kind = "explore" // project → Pareto front over placements and sweeps
+	KindYield   Kind = "yield"   // project → Monte Carlo EMI yield curve
 )
 
 // State is a job's lifecycle state.
@@ -64,14 +67,20 @@ type Job struct {
 
 	trace   *obs.Trace        // per-job span collection; nil for store-answered jobs
 	timings []obs.PhaseTiming // aggregated on completion from trace
+
+	// progress is the job's intermediate-result stream (see progress.go).
+	// Created with the job and closed with it, so subscribers of jobs
+	// that never publish (or never run) still terminate cleanly.
+	progress *progressLog
 }
 
 func newJob(id string, kind Kind, key engine.Key, req []byte, now time.Time) *Job {
 	return &Job{
 		ID: id, Kind: kind, Key: key, Created: now,
-		req:   req,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		req:      req,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+		progress: newProgressLog(),
 	}
 }
 

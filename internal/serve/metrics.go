@@ -25,6 +25,8 @@ type metrics struct {
 	sseClients        atomic.Int64  // open session event streams
 	requeued          atomic.Uint64 // jobs requeued from the store at startup
 	compactions       atomic.Uint64 // session WAL snapshot rewrites
+	progressEvents    atomic.Uint64 // intermediate results published by runners
+	jobStreams        atomic.Int64  // open job progress SSE streams
 }
 
 // WriteMetrics writes the Prometheus text exposition (version 0.0.4) of
@@ -108,6 +110,14 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		"# TYPE emiserve_session_event_streams gauge\nemiserve_session_event_streams %d\n",
 		ss.Active, ss.Created, ss.Evicted,
 		s.m.sessionEdits.Load(), s.m.sseClients.Load()); err != nil {
+		return err
+	}
+
+	if err := p("# HELP emiserve_job_progress_events_total Intermediate results published by batch jobs.\n"+
+		"# TYPE emiserve_job_progress_events_total counter\nemiserve_job_progress_events_total %d\n"+
+		"# HELP emiserve_job_event_streams Open job progress SSE streams.\n"+
+		"# TYPE emiserve_job_event_streams gauge\nemiserve_job_event_streams %d\n",
+		s.m.progressEvents.Load(), s.m.jobStreams.Load()); err != nil {
 		return err
 	}
 

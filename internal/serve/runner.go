@@ -21,14 +21,18 @@ import (
 	"repro/internal/rules"
 )
 
-// DefaultRunners wires the three endpoints to the real compute core. The
+// DefaultRunners wires the endpoints to the real compute core. The
 // runners are pure request → response functions; all shared state (worker
 // pool tokens, field-integral cache, counters) lives in internal/engine.
+// The batch runners (explore, yield, in explore.go) additionally stream
+// intermediate results through Publish.
 func DefaultRunners() map[Kind]Runner {
 	return map[Kind]Runner{
 		KindPredict: runPredict,
 		KindPlace:   runPlace,
 		KindCouple:  runCouple,
+		KindExplore: runExplore,
+		KindYield:   runYield,
 	}
 }
 

@@ -238,6 +238,7 @@ func (s *Server) recover() {
 				j.errMsg = "not requeued after restart: queue full"
 				j.finished = now
 				close(j.done)
+				j.progress.close()
 				s.jobs[j.ID] = j
 				s.finished = append(s.finished, finishedRef{id: j.ID, at: now})
 				s.recovered.LostJobs++
@@ -258,6 +259,7 @@ func (s *Server) recover() {
 			j.errMsg = r.Error
 			j.finished = r.Done
 			close(j.done)
+			j.progress.close()
 			s.jobs[j.ID] = j
 			s.finished = append(s.finished, finishedRef{id: j.ID, at: r.Done})
 			if r.State == store.JobDone && len(r.Req) > 0 {
@@ -409,6 +411,7 @@ func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
 		j.result = res
 		j.finished = now
 		close(j.done)
+		j.progress.close()
 		s.jobs[j.ID] = j
 		s.finished = append(s.finished, finishedRef{id: j.ID, at: now})
 		s.m.finishedDone.Add(1)
@@ -532,6 +535,7 @@ func (s *Server) cancelJob(j *Job, reason string, requeue bool) bool {
 		j.errMsg = reason
 		j.finished = s.now()
 		close(j.done)
+		j.progress.close()
 		j.mu.Unlock()
 		s.finishJob(j, StateCancelled)
 		s.persistJobFinal(j, StateCancelled)
@@ -581,6 +585,13 @@ func (s *Server) run(j *Job) {
 		tr.RecordSpan("queue.wait", 0, tr.Age())
 		ctx = obs.WithTrace(ctx, tr)
 	}
+	// Intermediate results the runner publishes stream to the job's event
+	// subscribers (see progress.go).
+	ctx = withPublisher(ctx, func(stage string, v any) {
+		if j.progress.publish(stage, v, s.now()) {
+			s.m.progressEvents.Add(1)
+		}
+	})
 	s.m.busy.Add(1)
 	t0 := time.Now()
 	kctx, ksp := obs.Start(ctx, string(j.Kind))
@@ -632,6 +643,7 @@ func (s *Server) run(j *Job) {
 	j.state = final
 	result := j.result
 	close(j.done)
+	j.progress.close()
 	j.mu.Unlock()
 
 	s.finishJob(j, final)

@@ -396,8 +396,8 @@ func writeSSE(w io.Writer, event string, id uint64, v any) {
 }
 
 // Jobs returns views of the retained jobs, sorted by ID (submission
-// order), optionally filtered by state and truncated to limit.
-func (s *Server) Jobs(filter State, limit int) []View {
+// order), optionally filtered by state and kind and truncated to limit.
+func (s *Server) Jobs(filter State, kind Kind, limit int) []View {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
@@ -411,6 +411,9 @@ func (s *Server) Jobs(filter State, limit int) []View {
 		if filter != "" && v.State != filter {
 			continue
 		}
+		if kind != "" && v.Kind != kind {
+			continue
+		}
 		out = append(out, v)
 		if limit > 0 && len(out) >= limit {
 			break
@@ -419,8 +422,8 @@ func (s *Server) Jobs(filter State, limit int) []View {
 	return out
 }
 
-// listJobsHandler serves GET /v1/jobs?state=queued&limit=10 — the queue
-// visibility operators previously lacked.
+// listJobsHandler serves GET /v1/jobs?state=queued&type=explore&limit=10
+// — the queue visibility operators previously lacked.
 func (s *Server) listJobsHandler(w http.ResponseWriter, r *http.Request) {
 	filter := State(r.URL.Query().Get("state"))
 	switch filter {
@@ -428,6 +431,13 @@ func (s *Server) listJobsHandler(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown state %q", filter))
 		return
+	}
+	kind := Kind(r.URL.Query().Get("type"))
+	if kind != "" {
+		if _, ok := s.cfg.Runners[kind]; !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown type %q", kind))
+			return
+		}
 	}
 	limit := 0
 	if v := r.URL.Query().Get("limit"); v != "" {
@@ -438,5 +448,5 @@ func (s *Server) listJobsHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	writeJSON(w, http.StatusOK, s.Jobs(filter, limit))
+	writeJSON(w, http.StatusOK, s.Jobs(filter, kind, limit))
 }

@@ -12,13 +12,14 @@
 # the same workload with a span collection attached to the context — and
 # records the spans-disabled vs spans-enabled delta. BENCH_pr5.json in the
 # repo root pins that tracing overhead for the sensitivity ranking and the
-# incremental session edit.
+# incremental session edit. BENCH_pr7.json pins the explorer's
+# per-generation and per-Monte-Carlo-batch throughput.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-bench_report.json}"
 TRACING_OUT="${2:-bench_tracing.json}"
-PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit'
+PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit|BenchmarkExploreGeneration|BenchmarkYieldBatch'
 
 RAW="$(go test -bench "$PATTERN" -benchmem -run=NONE -count=1 .)"
 echo "$RAW"
@@ -28,9 +29,12 @@ echo "$RAW" | awk -v out="$OUT" -v tout="$TRACING_OUT" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix if present
     iters[name] = $2
-    ns[name] = $3
-    bytes[name] = $5
-    allocs[name] = $7
+    # Parse by unit token: custom b.ReportMetric columns shift positions.
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns[name] = $i
+        else if ($(i+1) == "B/op") bytes[name] = $i
+        else if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
     order[n++] = name
 }
 END {
