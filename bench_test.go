@@ -7,6 +7,7 @@ package repro
 import (
 	"context"
 	"math"
+	"strconv"
 	"testing"
 
 	"repro/internal/buck"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/explore"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/linalg"
 	"repro/internal/mna"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/transient"
 	"repro/internal/workload"
+	"repro/internal/workload/board"
 )
 
 // --- Figure benchmarks -------------------------------------------------
@@ -350,6 +353,57 @@ func BenchmarkMNASolve(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkMNALadder measures repeated AC solves of a 450-stage filter
+// ladder (n ≈ 1350 unknowns) under a forced factorization backend — the
+// system shape where the sparse LU's near-linear fill pays off.
+func benchmarkMNALadder(b *testing.B, mode linalg.SolverMode) {
+	c := &netlist.Circuit{}
+	c.AddV("Vin", "n0", "0", netlist.Source{ACMag: 1})
+	prev := "n0"
+	for s := 0; s < 450; s++ {
+		node := "n" + strconv.Itoa(s+1)
+		c.AddL("L"+strconv.Itoa(s), prev, node, 1e-6)
+		c.AddC("C"+strconv.Itoa(s), node, "0", 1e-7)
+		c.AddR("R"+strconv.Itoa(s), node, "0", 1e3)
+		prev = node
+	}
+	c.AddR("RL", prev, "0", 4)
+	an, err := mna.NewAnalyzer(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an.SetSolver(mode)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Solve(1e5 * float64(i%20+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMNASolveDense(b *testing.B)  { benchmarkMNALadder(b, linalg.ModeDense) }
+func BenchmarkMNASolveSparse(b *testing.B) { benchmarkMNALadder(b, linalg.ModeSparse) }
+
+// benchmarkExtractCouplings measures full mutual-coupling extraction on a
+// ~500-segment parametric board, exact all-pairs versus the hierarchical
+// tree evaluator. The engine memo cache is reset every iteration so each
+// run pays the real extraction cost.
+func benchmarkExtractCouplings(b *testing.B, theta float64) {
+	p := board.Project(500)
+	p.CouplingTheta = theta
+	pairs := p.AllPairs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.ResetCache()
+		if _, err := p.ExtractCouplings(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractCouplingsExact(b *testing.B) { benchmarkExtractCouplings(b, 0) }
+func BenchmarkExtractCouplingsHier(b *testing.B)  { benchmarkExtractCouplings(b, 0.3) }
 
 // BenchmarkTransientBuckPeriod measures simulating one switching period of
 // a discrete buck power stage in the time domain.

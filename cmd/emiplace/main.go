@@ -46,7 +46,11 @@ func main() {
 	dumpStats := cli.Stats()
 	mkCtx := cli.Timeout()
 	mkTrace := cli.Trace()
+	applySolver := cli.Solver()
 	flag.Parse()
+	if err := applySolver(); err != nil {
+		fatal(err)
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "emiplace: -in is required")

@@ -9,7 +9,7 @@
 //
 //	emipredict -circuit buck.cir -measure lisn_meas -sources IQ1,VD1
 //	           [-max 108e6] [-no-couplings] [-every 10] [-timeout 30s]
-//	           [-trace trace.json]
+//	           [-trace trace.json] [-solver auto|dense|sparse]
 package main
 
 import (
@@ -34,8 +34,12 @@ func main() {
 	dumpStats := cli.Stats()
 	mkCtx := cli.Timeout()
 	mkTrace := cli.Trace()
+	applySolver := cli.Solver()
 	flag.Parse()
 	defer dumpStats()
+	if err := applySolver(); err != nil {
+		fatal(err)
+	}
 
 	if *circuit == "" || *measure == "" || *sources == "" {
 		fmt.Fprintln(os.Stderr, "emipredict: -circuit, -measure and -sources are required")

@@ -1,0 +1,130 @@
+// Command emiscale runs the scaling workload end-to-end: it generates a
+// parametric EMI-filter board with the requested PEEC segment count,
+// extracts every pairwise coupling (hierarchically when -theta > 0),
+// predicts the conducted spectrum with the selected MNA backend and
+// prints the phase timings. The CI scale-smoke job and
+// scripts/scalebench.sh drive it; -json emits one machine-readable
+// record per run for the crossover curves.
+//
+// Usage:
+//
+//	emiscale -segments 10000 -theta 0.3 [-solver auto|dense|sparse]
+//	         [-pairs-dist 0.05] [-max 5e6] [-json out.json]
+//	         [-timeout 10m] [-stats]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workload/board"
+)
+
+type report struct {
+	Segments   int     `json:"segments"`
+	Stages     int     `json:"stages"`
+	Theta      float64 `json:"theta"`
+	Solver     string  `json:"solver"`
+	Pairs      int     `json:"pairs"`
+	Harmonics  int     `json:"harmonics"`
+	ExtractSec float64 `json:"extract_s"`
+	PredictSec float64 `json:"predict_s"`
+	TotalSec   float64 `json:"total_s"`
+	WorstDB    float64 `json:"worst_margin_db"`
+}
+
+func main() {
+	segments := flag.Int("segments", 10000, "target PEEC segment count of the generated board")
+	theta := flag.Float64("theta", 0.3, "multipole acceptance for coupling extraction; 0 = exact all-pairs")
+	pairsDist := flag.Float64("pairs-dist", 0.05, "insert K elements only for pairs within this distance in m; 0 = all")
+	maxFreq := flag.Float64("max", 5e6, "highest prediction frequency in Hz")
+	jsonOut := flag.String("json", "", "append the run record as one JSON line to this file")
+	dumpStats := cli.Stats()
+	mkCtx := cli.Timeout()
+	applySolver := cli.Solver()
+	flag.Parse()
+	defer dumpStats()
+	if err := applySolver(); err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := mkCtx()
+	defer cancel()
+
+	start := time.Now()
+	p := board.Project(*segments)
+	p.CouplingTheta = *theta
+	rep := report{
+		Segments: board.Segments(p),
+		Stages:   board.Stages(*segments),
+		Theta:    *theta,
+		Solver:   engine.SolverLabel(),
+	}
+	fmt.Printf("board: %d stages, %d segments, %d mapped components\n",
+		rep.Stages, rep.Segments, len(p.InductorOf))
+
+	t0 := time.Now()
+	ks, err := p.ExtractCouplingsCtx(ctx, p.AllPairs())
+	if err != nil {
+		fatal(err)
+	}
+	rep.ExtractSec = time.Since(t0).Seconds()
+	kMax := 0.0
+	for _, k := range ks {
+		if a := math.Abs(k); a > kMax {
+			kMax = a
+		}
+	}
+	fmt.Printf("extract: %d pairs in %.3fs (|k|max %.3g)\n",
+		len(ks), rep.ExtractSec, kMax)
+
+	t0 = time.Now()
+	spec, err := p.PredictCtx(ctx, core.PredictOptions{
+		WithCouplings: true,
+		Pairs:         board.NeighborPairs(p, *pairsDist),
+		MaxFreq:       *maxFreq,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep.PredictSec = time.Since(t0).Seconds()
+	rep.Pairs = len(ks)
+	rep.Harmonics = len(spec.Freqs)
+	rep.TotalSec = time.Since(start).Seconds()
+	rep.WorstDB = spec.WorstMargin()
+	for i, db := range spec.DB {
+		if math.IsNaN(db) || math.IsInf(db, 0) {
+			fatal(fmt.Errorf("harmonic %d: non-finite level %g", i, db))
+		}
+	}
+	fmt.Printf("predict: %d harmonics in %.3fs, worst margin %.1f dB\n",
+		rep.Harmonics, rep.PredictSec, rep.WorstDB)
+	fmt.Printf("total: %.3fs\n", rep.TotalSec)
+
+	if *jsonOut != "" {
+		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(&rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "appended record to", *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emiscale:", err)
+	os.Exit(1)
+}

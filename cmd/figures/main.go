@@ -61,7 +61,11 @@ func main() {
 	dumpStats := cli.Stats()
 	mkCtx := cli.Timeout()
 	mkTrace := cli.Trace()
+	applySolver := cli.Solver()
 	flag.Parse()
+	if err := applySolver(); err != nil {
+		fatal(err)
+	}
 	defer dumpStats()
 
 	if *svgdir != "" {

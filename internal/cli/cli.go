@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/linalg"
 	"repro/internal/obs"
 )
 
@@ -34,6 +35,32 @@ func StatsOn(fs *flag.FlagSet) (dump func()) {
 
 // Stats is StatsOn for the default command-line flag set.
 func Stats() (dump func()) { return StatsOn(flag.CommandLine) }
+
+// SolverOn registers -solver on fs and returns an apply function for use
+// after fs.Parse: it parses the flag (auto | dense | sparse), installs it
+// as the process-wide default MNA factorization backend, and labels the
+// engine statistics so a -stats dump records which backend ran and
+// whether it was forced. An invalid value is returned as an error for the
+// command to report.
+func SolverOn(fs *flag.FlagSet) (apply func() error) {
+	mode := fs.String("solver", "auto", "MNA factorization backend: auto, dense or sparse")
+	return func() error {
+		m, err := linalg.ParseSolverMode(*mode)
+		if err != nil {
+			return err
+		}
+		linalg.SetDefaultSolver(m)
+		label := m.String()
+		if m != linalg.ModeAuto {
+			label += " (forced)"
+		}
+		engine.SetSolverLabel(label)
+		return nil
+	}
+}
+
+// Solver is SolverOn for the default command-line flag set.
+func Solver() (apply func() error) { return SolverOn(flag.CommandLine) }
 
 // TimeoutOn registers -timeout on fs and returns a context factory: after
 // fs.Parse it yields the context every computation should run under — a

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/linalg"
 	"repro/internal/obs"
 )
 
@@ -59,6 +61,58 @@ func TestStatsFlagRegistered(t *testing.T) {
 		t.Fatal(err)
 	}
 	dump() // unset: must be a no-op and not panic
+}
+
+func TestSolverFlag(t *testing.T) {
+	prev := linalg.DefaultSolver()
+	defer func() {
+		linalg.SetDefaultSolver(prev)
+		engine.SetSolverLabel("")
+	}()
+
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	apply := SolverOn(fs)
+	if fs.Lookup("solver") == nil {
+		t.Fatal("-solver not registered")
+	}
+	if err := fs.Parse([]string{"-solver", "sparse"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(); err != nil {
+		t.Fatal(err)
+	}
+	if got := linalg.DefaultSolver(); got != linalg.ModeSparse {
+		t.Fatalf("default solver = %v, want sparse", got)
+	}
+	if got := engine.SolverLabel(); got != "sparse (forced)" {
+		t.Fatalf("stats label = %q, want forced sparse", got)
+	}
+
+	// auto: default backend, label without the forced marker.
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	apply2 := SolverOn(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply2(); err != nil {
+		t.Fatal(err)
+	}
+	if got := linalg.DefaultSolver(); got != linalg.ModeAuto {
+		t.Fatalf("default solver = %v, want auto", got)
+	}
+	if got := engine.SolverLabel(); got != "auto" {
+		t.Fatalf("stats label = %q, want %q", got, "auto")
+	}
+
+	// Invalid values surface as errors, not panics.
+	fs3 := flag.NewFlagSet("t", flag.ContinueOnError)
+	apply3 := SolverOn(fs3)
+	if err := fs3.Parse([]string{"-solver", "cholesky"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := apply3(); err == nil {
+		t.Fatal("invalid -solver value not rejected")
+	}
 }
 
 func TestTraceUnset(t *testing.T) {

@@ -67,6 +67,15 @@ type Project struct {
 	// its image currents modify both mutual and self inductances — the
 	// "GND" part of the paper's Figure 11 PEEC model.
 	GroundPlane *float64
+
+	// CouplingTheta switches mutual-inductance extraction to the
+	// hierarchical (tree-accelerated) evaluator with the given multipole
+	// acceptance parameter θ ∈ (0, 1): far cluster pairs use a moment
+	// expansion, near pairs stay exact (see peec.MutualHier). Smaller is
+	// more accurate; 0 (the default) keeps the exact all-pairs Neumann
+	// sums, bit-for-bit. Self-inductances are always exact — they are
+	// per-component and already cached across placements.
+	CouplingTheta float64
 }
 
 func (p *Project) order() int {
@@ -208,6 +217,8 @@ func (p *Project) ExtractCouplingsCtx(ctx context.Context, pairs [][2]string) (m
 	type refField struct {
 		cond *peec.Conductor
 		l    float64
+		tree *peec.SegTree // hierarchical evaluator (CouplingTheta > 0)
+		img  *peec.SegTree // image across the ground plane, if any
 	}
 	fields, err := engine.MapCtx(ctx, len(refs), func(i int) (refField, error) {
 		inst, err := p.InstanceOf(refs[i])
@@ -215,24 +226,34 @@ func (p *Project) ExtractCouplingsCtx(ctx context.Context, pairs [][2]string) (m
 			return refField{}, err
 		}
 		c := inst.Conductor()
-		var l float64
+		rf := refField{cond: c}
 		if len(c.Segments) > 0 {
 			if p.GroundPlane != nil {
-				l = c.SelfInductanceWithPlane(*p.GroundPlane, p.order())
+				rf.l = c.SelfInductanceWithPlane(*p.GroundPlane, p.order())
 			} else {
-				l = c.SelfInductanceOrder(p.order())
+				rf.l = c.SelfInductanceOrder(p.order())
 			}
 		}
-		return refField{cond: c, l: l}, nil
+		if p.CouplingTheta > 0 {
+			rf.tree = peec.NewSegTree(c)
+			if p.GroundPlane != nil {
+				rf.img = peec.NewSegTree(c.ImageAcross(*p.GroundPlane))
+			}
+		}
+		return rf, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	conds := make(map[string]*peec.Conductor, len(refs))
 	selfL := make(map[string]float64, len(refs))
+	trees := make(map[string]*peec.SegTree, len(refs))
+	imgs := make(map[string]*peec.SegTree, len(refs))
 	for i, ref := range refs {
 		conds[ref] = fields[i].cond
 		selfL[ref] = fields[i].l
+		trees[ref] = fields[i].tree
+		imgs[ref] = fields[i].img
 	}
 
 	// Phase 2: one mutual-inductance integral per pair, in parallel.
@@ -247,9 +268,17 @@ func (p *Project) ExtractCouplingsCtx(ctx context.Context, pairs [][2]string) (m
 			return nil
 		}
 		var m float64
-		if p.GroundPlane != nil {
+		switch {
+		case p.CouplingTheta > 0 && p.GroundPlane != nil:
+			// Mirror MutualWithPlane: direct term plus the image of b
+			// reflected across the plane, both tree-accelerated.
+			m = peec.MutualHier(trees[pair[0]], trees[pair[1]], p.order(), p.CouplingTheta) +
+				peec.MutualHier(trees[pair[0]], imgs[pair[1]], p.order(), p.CouplingTheta)
+		case p.CouplingTheta > 0:
+			m = peec.MutualHier(trees[pair[0]], trees[pair[1]], p.order(), p.CouplingTheta)
+		case p.GroundPlane != nil:
 			m = peec.MutualWithPlane(conds[pair[0]], conds[pair[1]], *p.GroundPlane, p.order())
-		} else {
+		default:
 			m = peec.Mutual(conds[pair[0]], conds[pair[1]], p.order())
 		}
 		k := m / math.Sqrt(la*lb)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -59,6 +60,13 @@ func (y *YieldResult) Percentile(q float64) float64 {
 // margin is evaluated per sample. This turns the paper's "statement on
 // achievable performance with the given components" into a pass yield.
 func (p *Project) ToleranceYield(opt ToleranceOptions) (*YieldResult, error) {
+	return p.ToleranceYieldCtx(context.Background(), opt)
+}
+
+// ToleranceYieldCtx is ToleranceYield with cancellation: the initial
+// coupling extraction and every per-sample spectrum solve stop once ctx
+// is done, and the context's error is returned.
+func (p *Project) ToleranceYieldCtx(ctx context.Context, opt ToleranceOptions) (*YieldResult, error) {
 	n := opt.N
 	if n <= 0 {
 		n = 100
@@ -78,7 +86,7 @@ func (p *Project) ToleranceYield(opt ToleranceOptions) (*YieldResult, error) {
 		}
 	}
 
-	ks, err := p.ExtractCouplings(p.AllPairs())
+	ks, err := p.ExtractCouplingsCtx(ctx, p.AllPairs())
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +127,7 @@ func (p *Project) ToleranceYield(opt ToleranceOptions) (*YieldResult, error) {
 			Sources:     p.Sources,
 			MeasureNode: p.MeasureNode,
 			MaxFreq:     opt.MaxFreq,
-		}).Spectrum()
+		}).SpectrumCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: sample %d: %w", s, err)
 		}

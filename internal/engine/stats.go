@@ -22,7 +22,26 @@ var (
 	ctrAssemblies  atomic.Uint64
 	ctrFactors     atomic.Uint64
 	ctrResolves    atomic.Uint64
+
+	ctrSparseFactors  atomic.Uint64
+	ctrSparseResolves atomic.Uint64
 )
+
+// solverLabel is the human-readable factorization-backend selection the
+// CLIs advertise through -stats (e.g. "auto", "sparse (forced)"). Empty
+// until a command or test sets it.
+var solverLabel atomic.Value
+
+// SetSolverLabel records the solver-selection mode for the -stats report.
+func SetSolverLabel(s string) { solverLabel.Store(s) }
+
+// SolverLabel returns the recorded solver-selection mode ("" if unset).
+func SolverLabel() string {
+	if v := solverLabel.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
 
 // CountMNASolve records one frequency-domain MNA solve.
 func CountMNASolve() { ctrMNASolves.Add(1) }
@@ -38,6 +57,15 @@ func CountFactor() { ctrFactors.Add(1) }
 // factorization. Resolves far in excess of factorizations are the
 // signature of the solver substrate reusing its work.
 func CountResolve() { ctrResolves.Add(1) }
+
+// CountFactorSparse records one sparse LU factorization (numeric refactor
+// or full symbolic+numeric). Sparse factorizations also count as plain
+// factorizations, so the lu totals stay comparable across backends.
+func CountFactorSparse() { ctrFactors.Add(1); ctrSparseFactors.Add(1) }
+
+// CountResolveSparse records one sparse triangular resolve; see
+// CountFactorSparse for the double-count convention.
+func CountResolveSparse() { ctrResolves.Add(1); ctrSparseResolves.Add(1) }
 
 // CountNeumann records one Neumann mutual-inductance integral (one
 // filament-pair double integral, before adaptive subdivision).
@@ -138,6 +166,9 @@ type Stats struct {
 	Assemblies       uint64
 	Factorizations   uint64
 	Resolves         uint64
+	SparseFactors    uint64
+	SparseResolves   uint64
+	Solver           string      // solver-selection label ("" if never set)
 	Phases           []PhaseStat // sorted by name
 }
 
@@ -162,6 +193,9 @@ func Snapshot() Stats {
 		Assemblies:       ctrAssemblies.Load(),
 		Factorizations:   ctrFactors.Load(),
 		Resolves:         ctrResolves.Load(),
+		SparseFactors:    ctrSparseFactors.Load(),
+		SparseResolves:   ctrSparseResolves.Load(),
+		Solver:           SolverLabel(),
 	}
 	phases.Lock()
 	for _, p := range phases.m {
@@ -184,6 +218,8 @@ func ResetStats() {
 	ctrAssemblies.Store(0)
 	ctrFactors.Store(0)
 	ctrResolves.Store(0)
+	ctrSparseFactors.Store(0)
+	ctrSparseResolves.Store(0)
 	phases.Lock()
 	phases.m = map[string]*PhaseStat{}
 	phases.Unlock()
@@ -197,7 +233,12 @@ func ResetStats() {
 //	engine: cache hits <n> misses <n> hit-rate <pct>%
 //	engine: pool batches <n> tasks <n>
 //	engine: lu assemblies <n> factorizations <n> resolves <n>
+//	engine: solver <mode> sparse-factorizations <n> sparse-resolves <n>
 //	engine: phase <name> calls <n> wall <duration>
+//
+// The solver line appears only once a command has recorded its -solver
+// selection (SetSolverLabel), so legacy -stats consumers see the exact
+// historic output.
 func Fprint(w io.Writer) error {
 	s := Snapshot()
 	if _, err := fmt.Fprintf(w,
@@ -206,6 +247,12 @@ func Fprint(w io.Writer) error {
 		100*s.HitRate(), s.PoolBatches, s.PoolTasks,
 		s.Assemblies, s.Factorizations, s.Resolves); err != nil {
 		return err
+	}
+	if s.Solver != "" {
+		if _, err := fmt.Fprintf(w, "engine: solver %s sparse-factorizations %d sparse-resolves %d\n",
+			s.Solver, s.SparseFactors, s.SparseResolves); err != nil {
+			return err
+		}
 	}
 	for _, p := range s.Phases {
 		if _, err := fmt.Fprintf(w, "engine: phase %s calls %d wall %s alloc %s\n",

@@ -1,0 +1,165 @@
+package linalg
+
+import "sort"
+
+// Pattern is an immutable compressed-sparse-column sparsity pattern
+// shared by every matrix and factorization of one stamp plan. The MNA
+// and transient solvers compile their netlists into fixed stamp
+// positions, so the pattern — and the fill-reducing column ordering
+// computed from it — is built once per compiled plan and reused across
+// every frequency point, timestep and sweep worker; only the values
+// array of each SparseReal/SparseComplex changes.
+type Pattern struct {
+	N      int
+	ColPtr []int32 // len N+1
+	RowIdx []int32 // len nnz, ascending within each column
+
+	// q is the fill-reducing column elimination order (q[k] = original
+	// column eliminated at step k), from a minimum-degree pass over the
+	// symmetrized pattern.
+	q []int32
+
+	// estFlops is the projected numeric-factorization work under q (see
+	// minDegreeOrder): the minimum-degree pass simulates the elimination
+	// anyway, so the Schur-update sizes it touches come for free. The
+	// fill-aware auto heuristic compares this against the dense cost.
+	estFlops float64
+}
+
+// Nnz returns the structural nonzero count.
+func (p *Pattern) Nnz() int { return len(p.RowIdx) }
+
+// EstFactorFlops returns the projected sparse factorization work for
+// this pattern under its fill-reducing ordering — a structural estimate
+// (Σ degree² over the simulated elimination, dense-tail cubed), not a
+// flop count of any particular numeric run.
+func (p *Pattern) EstFactorFlops() float64 { return p.estFlops }
+
+// NewPatternFromFlat builds the pattern of an n×n system from flat
+// row-major cell indices (i*n + j), duplicates allowed — exactly the
+// index stream a compiled stamp plan produces. The returned slots map
+// each input entry to its value-array position, so assembly is
+// v[slots[p]] += value in plan order, preserving the dense path's
+// per-cell accumulation order bit for bit.
+func NewPatternFromFlat(n int, flat []int) (*Pattern, []int32) {
+	// Unique cells in column-major order: key = col*n + row.
+	keys := make([]int64, len(flat))
+	for p, idx := range flat {
+		i, j := idx/n, idx%n
+		keys[p] = int64(j)*int64(n) + int64(i)
+	}
+	sorted := append([]int64(nil), keys...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	uniq := sorted[:0]
+	for _, k := range sorted {
+		if len(uniq) == 0 || uniq[len(uniq)-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	pat := &Pattern{
+		N:      n,
+		ColPtr: make([]int32, n+1),
+		RowIdx: make([]int32, len(uniq)),
+	}
+	slotOf := make(map[int64]int32, len(uniq))
+	for s, k := range uniq {
+		col := int(k / int64(n))
+		pat.ColPtr[col+1]++
+		pat.RowIdx[s] = int32(k % int64(n))
+		slotOf[k] = int32(s)
+	}
+	for c := 0; c < n; c++ {
+		pat.ColPtr[c+1] += pat.ColPtr[c]
+	}
+	slots := make([]int32, len(flat))
+	for p, k := range keys {
+		slots[p] = slotOf[k]
+	}
+	pat.q, pat.estFlops = minDegreeOrder(pat)
+	return pat, slots
+}
+
+// mdMaxDegree caps the clique formation of the minimum-degree pass: a
+// node whose elimination would touch more neighbours than this is
+// deferred to the end (its row is effectively dense and ordering it
+// early would fill the whole remainder anyway). This bounds the
+// ordering at O(n·d²) for bounded-degree graphs and keeps pathological
+// dense rows from blowing the pass up quadratically.
+const mdMaxDegree = 48
+
+// minDegreeOrder computes a fill-reducing elimination order by the
+// classic minimum-degree heuristic on the symmetrized pattern A+Aᵀ
+// (row pivoting during the numeric factorization makes the effective
+// pattern unsymmetric, so the symmetric envelope is the right target).
+// Ties break on the original index, keeping the order deterministic.
+//
+// The second return value is the projected factorization work under the
+// computed order: each elimination of a vertex with d remaining
+// neighbours contributes a d×d Schur update (d² operations), and a
+// deferred high-degree tail of m vertices is costed as a dense m³/3
+// block. The estimate is structural and deterministic.
+func minDegreeOrder(p *Pattern) ([]int32, float64) {
+	n := p.N
+	adj := make([]map[int32]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int32]struct{}, 8)
+	}
+	for c := 0; c < n; c++ {
+		for s := p.ColPtr[c]; s < p.ColPtr[c+1]; s++ {
+			r := p.RowIdx[s]
+			if int(r) != c {
+				adj[c][r] = struct{}{}
+				adj[r][int32(c)] = struct{}{}
+			}
+		}
+	}
+	order := make([]int32, 0, n)
+	eliminated := make([]bool, n)
+	deferred := make([]int32, 0)
+	flops := 0.0
+	for len(order)+len(deferred) < n {
+		best, bestDeg := int32(-1), int(^uint(0)>>1)
+		for v := 0; v < n; v++ {
+			if eliminated[v] {
+				continue
+			}
+			if d := len(adj[v]); d < bestDeg {
+				best, bestDeg = int32(v), d
+			}
+		}
+		if bestDeg > mdMaxDegree {
+			// Everything left is high-degree: append in index order.
+			for v := 0; v < n; v++ {
+				if !eliminated[v] {
+					deferred = append(deferred, int32(v))
+					eliminated[v] = true
+				}
+			}
+			m := float64(len(deferred))
+			flops += m * m * m / 3
+			break
+		}
+		v := best
+		eliminated[v] = true
+		order = append(order, v)
+		// Connect the remaining neighbours into a clique and detach v.
+		nbrs := make([]int32, 0, len(adj[v]))
+		for w := range adj[v] {
+			if !eliminated[w] {
+				nbrs = append(nbrs, w)
+			}
+		}
+		flops += float64(len(nbrs)) * float64(len(nbrs))
+		for _, w := range nbrs {
+			delete(adj[w], v)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				adj[nbrs[i]][nbrs[j]] = struct{}{}
+				adj[nbrs[j]][nbrs[i]] = struct{}{}
+			}
+		}
+		adj[v] = nil
+	}
+	return append(order, deferred...), flops
+}

@@ -1,0 +1,139 @@
+package linalg
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RealFactorizer is the retained-factorization contract shared by the
+// dense RealLU and the sparse SparseRealLU: after a Factor call on the
+// owning matrix, SolveFactored resolves right-hand sides without
+// allocating. Holding the factorization by interface lets the circuit
+// solvers pick a backend per system size without duplicating their
+// assemble/factor/resolve plumbing.
+type RealFactorizer interface {
+	SolveFactored(b, x []float64) error
+}
+
+// ComplexFactorizer is the complex counterpart of RealFactorizer,
+// implemented by ComplexLU and SparseComplexLU.
+type ComplexFactorizer interface {
+	SolveFactored(b, x []complex128) error
+}
+
+var (
+	_ RealFactorizer    = (*RealLU)(nil)
+	_ ComplexFactorizer = (*ComplexLU)(nil)
+	_ RealFactorizer    = (*SparseRealLU)(nil)
+	_ ComplexFactorizer = (*SparseComplexLU)(nil)
+)
+
+// SolverMode selects the factorization backend for an MNA-style system.
+type SolverMode int
+
+const (
+	// ModeAuto picks dense or sparse per system from ChooseSparse's
+	// size/density heuristic. It is the zero value and the default.
+	ModeAuto SolverMode = iota
+	// ModeDense forces the flat in-place LU regardless of size.
+	ModeDense
+	// ModeSparse forces the CSC LU regardless of size.
+	ModeSparse
+)
+
+// String implements fmt.Stringer with the CLI flag spelling.
+func (m SolverMode) String() string {
+	switch m {
+	case ModeDense:
+		return "dense"
+	case ModeSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSolverMode parses the -solver flag values "auto", "dense", "sparse".
+func ParseSolverMode(s string) (SolverMode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "dense":
+		return ModeDense, nil
+	case "sparse":
+		return ModeSparse, nil
+	}
+	return ModeAuto, fmt.Errorf("linalg: unknown solver %q (want auto, dense or sparse)", s)
+}
+
+// defaultMode is the process-wide solver selection, set by the CLIs'
+// shared -solver flag and read by solvers whose callers did not pick a
+// mode explicitly. Atomic because sweeps read it from pool workers.
+var defaultMode atomic.Int32
+
+// SetDefaultSolver installs the process-wide solver mode and returns the
+// previous one.
+func SetDefaultSolver(m SolverMode) SolverMode {
+	return SolverMode(defaultMode.Swap(int32(m)))
+}
+
+// DefaultSolver returns the process-wide solver mode.
+func DefaultSolver() SolverMode { return SolverMode(defaultMode.Load()) }
+
+// Auto-selection heuristic. Dense LU is O(n³) but with a tiny constant
+// and perfect locality; the sparse left-looking LU wins once the system
+// is both large enough to amortise its symbolic machinery and sparse
+// enough that fill-in stays bounded. The thresholds bracket the measured
+// crossover on MNA ladder systems (BENCH_pr8.json: sparse overtakes
+// dense between n≈64 and n≈128 at MNA densities); they are deliberately
+// conservative so every small fixture keeps the historic dense path and
+// its bit-exact results.
+const (
+	// SparseAutoMinN is the smallest dimension ModeAuto considers sparse.
+	SparseAutoMinN = 128
+	// sparseAutoMaxDensity is the largest nnz/n² fraction ModeAuto still
+	// treats as sparse; denser systems fill in during elimination and the
+	// flat dense kernel wins on locality.
+	sparseAutoMaxDensity = 0.125
+)
+
+// ChooseSparse reports whether the given mode selects the sparse backend
+// for an n×n system with nnz structural nonzeros. This is the cheap
+// pre-pattern gate; callers that have built the Pattern refine the auto
+// decision with SparseWorthwhile, which sees the projected fill.
+func ChooseSparse(mode SolverMode, n, nnz int) bool {
+	switch mode {
+	case ModeDense:
+		return false
+	case ModeSparse:
+		return true
+	}
+	if n < SparseAutoMinN {
+		return false
+	}
+	return float64(nnz) <= sparseAutoMaxDensity*float64(n)*float64(n)
+}
+
+// sparseFlopPenalty converts the structural work estimate of
+// Pattern.EstFactorFlops into dense-equivalent flops. It is a decision
+// boundary, not a per-op cost: the estimate undercounts the sparse
+// kernel's true indexed gather/scatter work on fill-heavy patterns, and
+// the constant absorbs that bias. Calibrated on two measured MNA
+// systems: a 450-stage ladder (n = 1352, est ≈ 1.4e3, sparse 187×
+// faster than dense — stays sparse for any penalty below ≈ 1e6) and a
+// 2-D K-coupling mesh mirroring the 10k-segment board's predict system
+// (n = 1787, est ≈ 1.7e7, dense cost 2n³/3 ≈ 3.8e9, sparse measured
+// 2.1× slower — flips to dense only above ≈ 222, with the wall-clock
+// ratio implying ≈ 475). 512 sits past the implied crossover with
+// margin while leaving ladders and lightly-filling grids sparse.
+const sparseFlopPenalty = 512.0
+
+// SparseWorthwhile reports whether the projected sparse factorization
+// work (Pattern.EstFactorFlops) beats the dense O(n³) cost for an n×n
+// system. This is the fill-aware half of the auto heuristic: patterns
+// whose nnz passes ChooseSparse can still fill in badly under
+// elimination (2-D coupling meshes), and this comparison catches them.
+func SparseWorthwhile(n int, estFlops float64) bool {
+	fn := float64(n)
+	return estFlops*sparseFlopPenalty < 2.0/3.0*fn*fn*fn
+}

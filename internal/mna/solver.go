@@ -76,6 +76,20 @@ type Analyzer struct {
 	probeIdx   [2]int
 	probeSaved [2]float64
 
+	// Factorization-backend selection (see SetSolver) and the compiled
+	// sparse assembly plan: the CSC pattern of the stamp cells plus the
+	// value-slot index of every G/B plan entry. Built lazily by
+	// prepareSolver and shared read-only by every sweep worker; patGen
+	// invalidates worker-local matrices when a probe append changes the
+	// pattern.
+	mode    linalg.SolverMode
+	sparse  bool // prepareSolver's last decision, read by solve
+	pat     *linalg.Pattern
+	gSlot   []int32
+	bSlot   []int32
+	patBLen int // len(bPlan) the pattern was built for
+	patGen  int
+
 	scr solveScratch // serial-API scratch; SweepNodeCtx workers get their own
 }
 
@@ -86,6 +100,9 @@ type Analyzer struct {
 type solveScratch struct {
 	m   *linalg.Complex
 	lu  linalg.ComplexLU
+	sm  *linalg.SparseComplex
+	slu linalg.SparseComplexLU
+	gen int // pattern generation sm was built against
 	rhs []complex128
 	sol Solution
 }
@@ -240,38 +257,136 @@ func (a *Analyzer) node(name string) int {
 	return a.nodeIdx[name]
 }
 
+// SetSolver overrides the factorization backend for this Analyzer.
+// The default, ModeAuto, defers to the process-wide selection (the CLIs'
+// -solver flag via linalg.SetDefaultSolver) and from there to the
+// size/density heuristic. Call before solving; the choice is re-evaluated
+// on the next Solve or sweep.
+func (a *Analyzer) SetSolver(m linalg.SolverMode) { a.mode = m }
+
+// SolverKind reports which backend the current configuration selects for
+// this system: "dense" or "sparse".
+func (a *Analyzer) SolverKind() string {
+	if a.prepareSolver() {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// prepareSolver decides dense vs sparse for the current mode and system
+// and, when sparse, makes sure the CSC pattern and assembly slots exist.
+// It mutates the Analyzer, so sweeps call it once before fanning out;
+// workers then only read the decision and the immutable pattern.
+func (a *Analyzer) prepareSolver() bool {
+	mode := a.mode
+	if mode == linalg.ModeAuto {
+		mode = linalg.DefaultSolver()
+	}
+	// Plan lengths over-count the unique cells (stamps accumulate), so
+	// this density estimate is conservative: it only ever biases auto
+	// toward the dense path.
+	a.sparse = linalg.ChooseSparse(mode, a.n, len(a.gPlan)+len(a.bPlan))
+	if a.sparse {
+		a.ensureSparsePlan()
+		// Fill-aware refinement: auto falls back to dense when the
+		// pattern's projected elimination fill makes sparse the slower
+		// backend (dense K-coupling meshes); a forced ModeSparse stands.
+		if mode == linalg.ModeAuto && !linalg.SparseWorthwhile(a.n, a.pat.EstFactorFlops()) {
+			a.sparse = false
+		}
+	}
+	return a.sparse
+}
+
+// ensureSparsePlan compiles the stamp plans' cell indices into a shared
+// CSC pattern plus per-entry value slots. A probe append (SetProbeCoupling
+// mode 2) changes the B plan's cells, so the pattern is keyed on the plan
+// length and rebuilt — and patGen bumped — when it no longer matches.
+func (a *Analyzer) ensureSparsePlan() {
+	if a.pat != nil && a.patBLen == len(a.bPlan) {
+		return
+	}
+	flat := make([]int, 0, len(a.gPlan)+len(a.bPlan))
+	for _, e := range a.gPlan {
+		flat = append(flat, e.idx)
+	}
+	for _, e := range a.bPlan {
+		flat = append(flat, e.idx)
+	}
+	pat, slots := linalg.NewPatternFromFlat(a.n, flat)
+	a.pat = pat
+	a.gSlot = slots[:len(a.gPlan):len(a.gPlan)]
+	a.bSlot = slots[len(a.gPlan):]
+	a.patBLen = len(a.bPlan)
+	a.patGen++
+}
+
 // Solve performs one AC analysis at frequency f (Hz). At f = 0 the DC
 // values of the sources drive the circuit (inductors short, capacitors
 // open); otherwise the AC magnitudes and phases do. The returned Solution
 // reuses the Analyzer's buffers and is valid until the next Solve.
 func (a *Analyzer) Solve(f float64) (*Solution, error) {
+	a.prepareSolver()
 	return a.solve(&a.scr, f)
 }
 
 // solve runs one assembly/factor/resolve cycle against the given scratch.
+// The backend decision and (for sparse) the pattern must already be in
+// place via prepareSolver.
 func (a *Analyzer) solve(s *solveScratch, f float64) (*Solution, error) {
 	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 		return nil, fmt.Errorf("mna: invalid frequency %g", f)
 	}
 	engine.CountMNASolve()
 	omega := 2 * math.Pi * f
-	if s.m == nil {
-		s.m = linalg.NewComplex(a.n)
+	if s.rhs == nil {
 		s.rhs = make([]complex128, a.n)
 		s.sol = Solution{a: a, x: make([]complex128, a.n)}
 	}
 
-	// Fused assembly: M = G + jω·B in one pass over the compiled plans.
+	// Fused assembly: M = G + jω·B in one pass over the compiled plans —
+	// into the flat dense buffer or the pattern's value slots. Plan order
+	// is identical either way, so the per-cell accumulation (and thus the
+	// rounding) of both backends matches the historic netlist walk.
 	engine.CountAssembly()
-	buf := s.m.V
-	for i := range buf {
-		buf[i] = 0
+	var solver linalg.ComplexFactorizer
+	var ferr error
+	if a.sparse {
+		if s.sm == nil || s.gen != a.patGen {
+			s.sm = linalg.NewSparseComplex(a.pat)
+			s.gen = a.patGen
+		}
+		v := s.sm.V
+		for i := range v {
+			v[i] = 0
+		}
+		for i, e := range a.gPlan {
+			v[a.gSlot[i]] += complex(e.v, 0)
+		}
+		for i, e := range a.bPlan {
+			v[a.bSlot[i]] += complex(0, omega*e.v)
+		}
+		ferr = s.sm.Factor(&s.slu)
+		solver = &s.slu
+	} else {
+		if s.m == nil {
+			s.m = linalg.NewComplex(a.n)
+		}
+		buf := s.m.V
+		for i := range buf {
+			buf[i] = 0
+		}
+		for _, e := range a.gPlan {
+			buf[e.idx] += complex(e.v, 0)
+		}
+		for _, e := range a.bPlan {
+			buf[e.idx] += complex(0, omega*e.v)
+		}
+		ferr = s.m.Factor(&s.lu)
+		solver = &s.lu
 	}
-	for _, e := range a.gPlan {
-		buf[e.idx] += complex(e.v, 0)
-	}
-	for _, e := range a.bPlan {
-		buf[e.idx] += complex(0, omega*e.v)
+	if ferr != nil {
+		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, ferr)
 	}
 	for i := range s.rhs {
 		s.rhs[i] = 0
@@ -284,11 +399,7 @@ func (a *Analyzer) solve(s *solveScratch, f float64) (*Solution, error) {
 			s.rhs[sl.row] += v
 		}
 	}
-
-	if err := s.m.Factor(&s.lu); err != nil {
-		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, err)
-	}
-	if err := s.lu.SolveFactored(s.rhs, s.sol.x); err != nil {
+	if err := solver.SolveFactored(s.rhs, s.sol.x); err != nil {
 		return nil, fmt.Errorf("mna: f=%g Hz: %w", f, err)
 	}
 	s.sol.Freq = f
@@ -388,6 +499,7 @@ func (a *Analyzer) SweepNode(freqs []float64, node string) ([]complex128, error)
 // the serial sweep under any parallelism. The compiled plans (including
 // any active probe coupling) must not be mutated while the sweep runs.
 func (a *Analyzer) SweepNodeCtx(ctx context.Context, freqs []float64, node string) ([]complex128, error) {
+	a.prepareSolver() // backend decision + shared pattern, before the fan-out
 	ctx, sp := obs.Start(ctx, "mna.sweep")
 	sp.Int("freqs", int64(len(freqs)))
 	var f0, r0 uint64

@@ -21,6 +21,7 @@ import "repro/internal/engine"
 const (
 	tagMutual = iota
 	tagSelfL
+	tagMutualHier
 )
 
 // hashInto feeds the conductor's full field-relevant state to h.
@@ -44,6 +45,19 @@ func mutualKey(a, b *Conductor, order int) engine.Key {
 	h := engine.NewHasher()
 	h.Int(tagMutual)
 	h.Int(order)
+	a.hashInto(h)
+	b.hashInto(h)
+	return h.Sum()
+}
+
+// mutualHierKey builds the cache key for MutualHier at a given theta.
+// theta is part of the key: a different accuracy setting is a different
+// (deterministic) result.
+func mutualHierKey(a, b *Conductor, order int, theta float64) engine.Key {
+	h := engine.NewHasher()
+	h.Int(tagMutualHier)
+	h.Int(order)
+	h.Float64(theta)
 	a.hashInto(h)
 	b.hashInto(h)
 	return h.Sum()

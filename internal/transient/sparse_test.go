@@ -1,0 +1,98 @@
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/netlist"
+)
+
+// buckChain builds a buck converter followed by stages extra LC filter
+// sections, sizing the system for the sparse backend while keeping the
+// switching devices that exercise the conduction-state cache.
+func buckChain(stages int, period float64) *netlist.Circuit {
+	c := &netlist.Circuit{}
+	c.AddV("Vin", "in", "0", netlist.Source{DC: 12})
+	c.AddSwitch("S1", "in", "sw", 0.01, 1e7, netlist.Schedule{Period: period, OnTime: 0.4 * period})
+	c.AddDiode("D1", "0", "sw", 0.01, 1e7)
+	prev := "sw"
+	for s := 0; s < stages; s++ {
+		node := fmt.Sprintf("f%d", s)
+		c.AddL(fmt.Sprintf("L%d", s), prev, node, 47e-6/(1+float64(s)))
+		c.AddC(fmt.Sprintf("C%d", s), node, "0", 47e-6/(1+float64(s)))
+		prev = node
+	}
+	c.AddK("K01", "L0", "L1", 0.1)
+	c.AddR("RL", prev, "0", 4)
+	return c
+}
+
+// TestSparseTransientMatchesDense runs the same switching simulation on
+// both backends and compares the full output waveform. The sparse path
+// factors per conduction state like the dense one, so the
+// factorization-cache accounting must agree too.
+func TestSparseTransientMatchesDense(t *testing.T) {
+	t.Parallel()
+	period := 5e-6
+	c := buckChain(8, period)
+	opt := Options{Step: period / 100, End: 10 * period, InitDC: true}
+
+	optD := opt
+	optD.Solver = linalg.ModeDense
+	rd, err := Simulate(c, optD)
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	optS := opt
+	optS.Solver = linalg.ModeSparse
+	rs, err := Simulate(c, optS)
+	if err != nil {
+		t.Fatalf("sparse: %v", err)
+	}
+	if rd.factorizations != rs.factorizations {
+		t.Errorf("factorization counts differ: dense %d sparse %d",
+			rd.factorizations, rs.factorizations)
+	}
+	vd, vs := rd.Node("f7"), rs.Node("f7")
+	peak := 0.0
+	for _, v := range vd {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	for i := range vd {
+		if math.Abs(vd[i]-vs[i]) > 1e-7*peak {
+			t.Fatalf("step %d: dense %g sparse %g (peak %g)", i, vd[i], vs[i], peak)
+		}
+	}
+	id, is := rd.Branch("L0"), rs.Branch("L0")
+	for i := range id {
+		if math.Abs(id[i]-is[i]) > 1e-6*(math.Abs(id[i])+1) {
+			t.Fatalf("current step %d: dense %g sparse %g", i, id[i], is[i])
+		}
+	}
+}
+
+// TestSparseSingularPropagatesTimestep mirrors the dense singularity test
+// on the forced-sparse backend: typed ErrSingular with t= context.
+func TestSparseSingularPropagatesTimestep(t *testing.T) {
+	t.Parallel()
+	c := &netlist.Circuit{}
+	c.AddV("V1", "n", "0", netlist.Source{DC: 1})
+	c.AddV("V2", "n", "0", netlist.Source{DC: 2})
+	c.AddR("R1", "n", "0", 10)
+	_, err := Simulate(c, Options{Step: 1e-6, End: 1e-5, Solver: linalg.ModeSparse})
+	if err == nil {
+		t.Fatal("conflicting sources should be singular")
+	}
+	if !errors.Is(err, linalg.ErrSingular) {
+		t.Errorf("error %v is not ErrSingular", err)
+	}
+	if !strings.Contains(err.Error(), "t=") {
+		t.Errorf("error %q lacks the timestep context", err)
+	}
+}

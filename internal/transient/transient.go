@@ -35,6 +35,13 @@ type Options struct {
 	// behaviour, which suppresses artificial startup transients in EMI
 	// analyses.
 	InitDC bool
+
+	// Solver selects the factorization backend for the conduction-state
+	// companion matrices. The zero value (ModeAuto) defers to the
+	// process-wide -solver selection and from there to the size/density
+	// heuristic; the DC operating point always uses the dense path (it
+	// runs once per simulation).
+	Solver linalg.SolverMode
 }
 
 // Result holds the simulated waveforms.
@@ -93,6 +100,7 @@ func Simulate(c *netlist.Circuit, opt Options) (*Result, error) {
 	}
 
 	sim := newSim(c)
+	sim.mode = opt.Solver
 	sim.compile(opt.Step)
 	steps := int(math.Floor(opt.End/opt.Step)) + 1
 	nn, nb := len(sim.nodes), len(sim.branches)
@@ -161,6 +169,16 @@ type sim struct {
 	matOps []matOp
 	rhsOps []rhsOp
 
+	// Factorization backend: mode as requested (ModeAuto defers to the
+	// process default), sparse as decided at compile time, and — on the
+	// sparse path — the shared CSC pattern plus the value slot of every
+	// matOp. Conduction states share the pattern; each cached entry owns
+	// its values and factors.
+	mode   linalg.SolverMode
+	sparse bool
+	pat    *linalg.Pattern
+	slots  []int32
+
 	// Conduction-state-keyed factorization cache. Each entry owns its
 	// matrix storage, which after Factor holds the packed LU factors.
 	cache          map[uint64]*factorEntry
@@ -212,11 +230,15 @@ const (
 	rhsL
 )
 
-// factorEntry is one cached factorization: the matrix buffer it was
-// eliminated in plus the pivot record.
+// factorEntry is one cached factorization: the matrix storage of its
+// backend plus the retained factors, resolved through the shared
+// RealFactorizer interface.
 type factorEntry struct {
-	m  *linalg.Real
-	lu linalg.RealLU
+	m   *linalg.Real // dense path
+	lu  linalg.RealLU
+	sm  *linalg.SparseReal // sparse path (values on the sim's shared pattern)
+	slu linalg.SparseRealLU
+	f   linalg.RealFactorizer
 }
 
 // maxCacheEntries bounds the factorization cache; a pathological
@@ -361,6 +383,27 @@ func (s *sim) compile(h float64) {
 			s.rhsOps = append(s.rhsOps, rhsOp{kind: rhsI, n1: n1, n2: n2, src: e.Src})
 		}
 	}
+
+	// Backend decision on the compiled program. The op count over-counts
+	// unique cells, so the auto density estimate only ever errs toward the
+	// dense path.
+	mode := s.mode
+	if mode == linalg.ModeAuto {
+		mode = linalg.DefaultSolver()
+	}
+	s.sparse = linalg.ChooseSparse(mode, s.n, len(s.matOps))
+	if s.sparse {
+		flat := make([]int, len(s.matOps))
+		for i, op := range s.matOps {
+			flat[i] = int(op.idx)
+		}
+		s.pat, s.slots = linalg.NewPatternFromFlat(s.n, flat)
+		// Fill-aware refinement, mirroring mna: auto reverts to dense
+		// when the projected elimination fill favours it.
+		if mode == linalg.ModeAuto && !linalg.SparseWorthwhile(s.n, s.pat.EstFactorFlops()) {
+			s.sparse = false
+		}
+	}
 }
 
 func (s *sim) node(name string) int {
@@ -434,17 +477,34 @@ func (s *sim) factorFor(t float64) (*factorEntry, error) {
 			s.gs[di] = s.gOff[di]
 		}
 	}
-	fe := &factorEntry{m: linalg.NewReal(s.n)}
+	fe := &factorEntry{}
 	engine.CountAssembly()
-	for _, op := range s.matOps {
-		v := op.v
-		if op.dev >= 0 {
-			v = op.v * s.gs[op.dev]
+	if s.sparse {
+		fe.sm = linalg.NewSparseReal(s.pat)
+		for oi, op := range s.matOps {
+			v := op.v
+			if op.dev >= 0 {
+				v = op.v * s.gs[op.dev]
+			}
+			fe.sm.V[s.slots[oi]] += v
 		}
-		fe.m.V[op.idx] += v
-	}
-	if err := fe.m.Factor(&fe.lu); err != nil {
-		return nil, err
+		if err := fe.sm.Factor(&fe.slu); err != nil {
+			return nil, err
+		}
+		fe.f = &fe.slu
+	} else {
+		fe.m = linalg.NewReal(s.n)
+		for _, op := range s.matOps {
+			v := op.v
+			if op.dev >= 0 {
+				v = op.v * s.gs[op.dev]
+			}
+			fe.m.V[op.idx] += v
+		}
+		if err := fe.m.Factor(&fe.lu); err != nil {
+			return nil, err
+		}
+		fe.f = &fe.lu
 	}
 	s.factorizations++
 	if cacheable {
@@ -501,7 +561,7 @@ func (s *sim) solveCandidate(t float64, vPrev, iPrev []float64) error {
 			rhs[op.row] = r
 		}
 	}
-	return fe.lu.SolveFactored(rhs, s.x)
+	return fe.f.SolveFactored(rhs, s.x)
 }
 
 // step advances one trapezoidal step, iterating diode states until they are

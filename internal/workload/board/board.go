@@ -1,0 +1,181 @@
+package board
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/components"
+	"repro/internal/core"
+	"repro/internal/emi"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/rules"
+)
+
+// Scaled EMI-filter board: the scaling workload for the sparse MNA and
+// hierarchical PEEC paths. The generator chains identical LC filter
+// stages — one drum choke plus one tantalum capacitor each — behind a
+// CISPR 25 LISN, placed in a snake over a board sized to fit, and maps
+// every choke winding and capacitor ESL loop for coupling extraction.
+// Everything is deterministic in the target segment count, so two runs
+// (or two solver backends) see bit-identical projects.
+
+// Stage geometry: chokes are 3 turns × 8 ring segments = 24 segments,
+// capacitor loops are 4. boardSegsPerStage is their sum.
+const (
+	boardChokeSegs    = 3 * 8
+	boardCapSegs      = 4
+	boardSegsPerStage = boardChokeSegs + boardCapSegs
+
+	boardCellW  = 0.020 // stage pitch along x
+	boardCellH  = 0.032 // stage pitch along y
+	boardMargin = 0.012
+	boardCapDY  = 0.014 // capacitor offset above its choke
+
+	// SwitchFreq is the switching frequency of the generated
+	// board's equivalent noise source.
+	SwitchFreq = 200e3
+)
+
+// boardChoke returns the per-stage filter choke model: a small drum
+// choke coarsened to 8 segments per turn so the segment budget is spent
+// on stage count, not per-ring resolution.
+func boardChoke() *components.BobbinChoke {
+	ch := components.NewBobbinChoke("DR-SCALE", 3, 3.5e-3)
+	ch.RingSegs = 8
+	return ch
+}
+
+// Stages returns the stage count used for a target total segment
+// count (at least one stage).
+func Stages(targetSegments int) int {
+	stages := (targetSegments + boardSegsPerStage/2) / boardSegsPerStage
+	if stages < 1 {
+		stages = 1
+	}
+	return stages
+}
+
+// Project builds the scaled filter-board project with approximately
+// targetSegments PEEC segments (Stages(targetSegments) LC stages).
+// All components come back placed, so coupling extraction and prediction
+// run directly.
+func Project(targetSegments int) *core.Project {
+	stages := Stages(targetSegments)
+	choke := boardChoke()
+	capm := components.NewSMDTantalum("TAN-SCALE", 10e-6)
+
+	cols := int(math.Ceil(math.Sqrt(float64(stages))))
+	rows := (stages + cols - 1) / cols
+	bw := 2*boardMargin + float64(cols-1)*boardCellW + boardCellW/2
+	bh := 2*boardMargin + float64(rows-1)*boardCellH + boardCellH/2
+
+	d := &layout.Design{
+		Name:      fmt.Sprintf("scale-board-%d", stages),
+		Boards:    1,
+		Clearance: 0.5e-3,
+		Areas: []layout.Area{
+			{Name: "board", Board: 0, Poly: geom.RectPolygon(geom.R(0, 0, bw, bh))},
+		},
+		Rules: rules.NewSet(nil),
+	}
+
+	models := map[string]components.Model{}
+	inductorOf := map[string]string{}
+	c := &netlist.Circuit{Title: d.Name}
+	c.AddV("Vbat", "bat", "0", netlist.Source{DC: 12})
+	emi.AddLISN(c, "lisn", "bat", "n0")
+
+	place := func(ref string, m components.Model, x, y float64) {
+		w, l, h := m.Size()
+		d.Comps = append(d.Comps, &layout.Component{
+			Ref: ref, W: w, L: l, H: h,
+			Axis:   m.MagneticAxis(0),
+			Placed: true,
+			Center: geom.V2(x, y),
+		})
+		models[ref] = m
+	}
+
+	prev := "n0"
+	for s := 0; s < stages; s++ {
+		// Snake placement: even rows left-to-right, odd rows reversed, so
+		// electrically adjacent stages stay geometric neighbours.
+		row := s / cols
+		col := s % cols
+		if row%2 == 1 {
+			col = cols - 1 - col
+		}
+		x := boardMargin + float64(col)*boardCellW
+		y := boardMargin + float64(row)*boardCellH
+
+		lref := fmt.Sprintf("LS%d", s)
+		cref := fmt.Sprintf("CS%d", s)
+		place(lref, choke, x, y)
+		place(cref, capm, x, y+boardCapDY)
+
+		node := fmt.Sprintf("n%d", s+1)
+		c.AddL(fmt.Sprintf("L%d", s), prev, node, choke.Inductance())
+		mid1, mid2 := node+"_ca", node+"_cb"
+		c.AddC(fmt.Sprintf("Cc%d", s), node, mid1, capm.C)
+		c.AddR(fmt.Sprintf("Rc%d", s), mid1, mid2, capm.ESR)
+		c.AddL(fmt.Sprintf("Lc%d", s), mid2, "0", capm.EffectiveESL())
+		inductorOf[lref] = fmt.Sprintf("L%d", s)
+		inductorOf[cref] = fmt.Sprintf("Lc%d", s)
+		prev = node
+	}
+
+	// Switching noise source at the far end of the chain, behind its hot
+	// loop parasitics; the LISN at the near end measures what survives
+	// the filter chain.
+	period := 1 / SwitchFreq
+	c.AddV("Vsw", "sw", "0", netlist.Source{Pulse: &netlist.Pulse{
+		V1: 0, V2: 12, Rise: 30e-9, Fall: 30e-9,
+		Width: 0.4*period - 30e-9, Period: period,
+	}})
+	c.AddL("Lloop", "sw", "swl", 40e-9)
+	c.AddR("Rloop", "swl", prev, 0.2)
+	c.AddR("Rload", prev, "0", 4)
+
+	return &core.Project{
+		Design:      d,
+		Circuit:     c,
+		Models:      models,
+		InductorOf:  inductorOf,
+		Sources:     []string{"Vsw"},
+		MeasureNode: "lisn_meas",
+	}
+}
+
+// Segments counts the total PEEC segments over the project's mapped
+// components — the n the scaling claims are stated in.
+func Segments(p *core.Project) int {
+	total := 0
+	for _, ref := range p.MappedRefs() {
+		total += len(p.Models[ref].Conductor(0).Segments)
+	}
+	return total
+}
+
+// NeighborPairs returns the mapped pairs whose placed centers lie within
+// maxDist of each other — the physically relevant couplings for circuit
+// insertion on a large board, where distant pairs contribute k ≈ 0 but
+// would each still stamp a K element. maxDist ≤ 0 returns all pairs.
+func NeighborPairs(p *core.Project, maxDist float64) [][2]string {
+	all := p.AllPairs()
+	if maxDist <= 0 {
+		return all
+	}
+	out := make([][2]string, 0, len(all))
+	for _, pair := range all {
+		a, b := p.Design.Find(pair[0]), p.Design.Find(pair[1])
+		if a == nil || b == nil {
+			continue
+		}
+		if a.Center.Dist(b.Center) <= maxDist {
+			out = append(out, pair)
+		}
+	}
+	return out
+}

