@@ -1,0 +1,125 @@
+// Command emirouter fronts N emiserve replicas as one logical service:
+// consistent-hash routing of jobs and design sessions, health probing
+// with distinct liveness and readiness, session takeover via WAL
+// replay when a replica dies, and admission control that sheds load
+// with 429 + Retry-After when every replica's queue is full. See
+// DESIGN.md §"Cluster" and the README cluster quickstart.
+//
+// Usage:
+//
+//	emirouter -members a=http://127.0.0.1:7001,b=http://127.0.0.1:7002 \
+//	          [-addr :8090] [-probe-interval 500ms] [-vnodes 64]
+//	          [-retries 3] [-retry-delay 25ms] [-log]
+//
+// Members are name=url pairs; the name is the member's stable ring
+// identity (keep it fixed across restarts — the URL may move, the name
+// must not, or every session and job key rehashes).
+//
+// SIGTERM or SIGINT shuts the router down. The router keeps no durable
+// state: its routing tables rebuild from the replicas (job and session
+// location queries) after a restart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	members := flag.String("members", "", "comma-separated name=url replica list (required)")
+	probeEvery := flag.Duration("probe-interval", 500*time.Millisecond, "health probe period (also the advertised Retry-After)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = default 64)")
+	retries := flag.Int("retries", 0, "max forward attempts per job submission (0 = default 3)")
+	retryDelay := flag.Duration("retry-delay", 0, "backoff base between submit attempts, jittered (0 = default 25ms)")
+	logOn := flag.Bool("log", false, "structured request and takeover logs on stderr")
+	flag.Parse()
+
+	ms, err := parseMembers(*members)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cluster.Config{
+		Members:       ms,
+		Vnodes:        *vnodes,
+		ProbeInterval: *probeEvery,
+		Retries:       *retries,
+		RetryDelay:    *retryDelay,
+	}
+	if *logOn {
+		cfg.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)
+	}
+	rt, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "emirouter: listening on %s, %d members\n", *addr, len(ms))
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emirouter: http shutdown:", err)
+	}
+	<-errc
+}
+
+// parseMembers parses "a=http://host:port,b=..." (bare URLs get
+// positional names m0, m1, ...).
+func parseMembers(s string) ([]cluster.Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("emirouter: -members is required")
+	}
+	var out []cluster.Member
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			name, url = fmt.Sprintf("m%d", i), part
+		}
+		out = append(out, cluster.Member{
+			Name: strings.TrimSpace(name),
+			URL:  strings.TrimRight(strings.TrimSpace(url), "/"),
+		})
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emirouter:", err)
+	os.Exit(1)
+}

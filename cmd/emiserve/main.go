@@ -13,9 +13,15 @@
 //	         [-data-dir DIR] [-fsync off|always] [-compact-every 256]
 //	         [-log] [-slow-op 10s] [-debug-addr 127.0.0.1:8081]
 //
-// SIGTERM or SIGINT starts a graceful drain: intake stops (healthz turns
-// 503 so load balancers stop routing), in-flight jobs finish or are
-// cancelled at -drain-timeout, then the process exits.
+// SIGTERM or SIGINT starts a graceful drain: intake stops (/readyz
+// turns 503 so routers stop sending work, /healthz stays 200), late
+// requests get clean 503 + Retry-After answers while in-flight jobs
+// finish or are cancelled at -drain-timeout, then the process exits.
+//
+// The listener opens before recovery replay: while a -data-dir server
+// rebuilds its jobs and sessions, /healthz answers 200 and /readyz 503
+// ("recovering"), so cluster routers see the replica as alive but not
+// yet routable instead of down.
 //
 // With -data-dir the service is restart-safe: jobs and design sessions
 // are written ahead to WAL files under the directory and recovered on the
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -88,19 +95,19 @@ func main() {
 		cfg.Store = st
 		cfg.CompactEvery = *compactEvery
 	}
-	srv := serve.New(cfg)
-	if cfg.Store != nil {
-		rec := srv.RecoveryReport()
-		fmt.Fprintf(os.Stderr, "emiserve: recovered from %s: %d jobs requeued, %d results restored, %d sessions replayed",
-			*dataDir, rec.Requeued, rec.Restored, rec.Sessions)
-		if rec.LostJobs > 0 || rec.BadReplay > 0 {
-			fmt.Fprintf(os.Stderr, " (%d jobs lost, %d sessions unreplayable)", rec.LostJobs, rec.BadReplay)
-		}
-		fmt.Fprintln(os.Stderr)
-	}
+	// Open the listener before recovery replay, behind a bootstrap
+	// handler: alive (healthz 200) but not ready (readyz 503), every
+	// other route 503 + Retry-After. Recovery of a big WAL can take a
+	// while; a cluster router must be able to tell "restarting" from
+	// "dead" during it.
+	var handler atomic.Pointer[http.Handler]
+	boot := bootstrapHandler()
+	handler.Store(&boot)
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -110,6 +117,19 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintln(os.Stderr, "emiserve: listening on", *addr)
+
+	srv := serve.New(cfg) // runs recovery replay synchronously
+	if cfg.Store != nil {
+		rec := srv.RecoveryReport()
+		fmt.Fprintf(os.Stderr, "emiserve: recovered from %s: %d jobs requeued, %d results restored, %d sessions replayed",
+			*dataDir, rec.Requeued, rec.Restored, rec.Sessions)
+		if rec.LostJobs > 0 || rec.BadReplay > 0 {
+			fmt.Fprintf(os.Stderr, " (%d jobs lost, %d sessions unreplayable)", rec.LostJobs, rec.BadReplay)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	ready := srv.Handler()
+	handler.Store(&ready)
 
 	select {
 	case err := <-errc:
@@ -122,17 +142,42 @@ func main() {
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop intake first so /healthz flips to 503 for the duration of the
-	// HTTP shutdown, then let in-flight requests and jobs finish.
-	drained := make(chan error, 1)
-	go func() { drained <- srv.Drain(dctx) }()
-	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "emiserve: http shutdown:", err)
-	}
-	if err := <-drained; err != nil {
+	// Drain to completion BEFORE closing the listener: a request racing
+	// the shutdown lands on a still-accepting socket and gets a clean
+	// 503 + Retry-After from the draining handlers, instead of a
+	// connection refused or reset from a closed listener.
+	if err := srv.Drain(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "emiserve: forced drain:", err)
 	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "emiserve: http shutdown:", err)
+	}
 	<-errc // ListenAndServe returns ErrServerClosed after Shutdown
+}
+
+// bootstrapHandler serves the pre-recovery window: the process is alive
+// and owns its port, but has not finished rebuilding state.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"recovering"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"recovering, try again shortly"}`)
+	})
+	return mux
 }
 
 func fatal(err error) {

@@ -6,15 +6,22 @@
 // resolves, every acked session edit is present, and each recovered
 // session snapshot is byte-identical to the client-side reference.
 //
+// With -cluster N it becomes the cluster soak instead: N replicas
+// behind an in-process consistent-hash router, rolling SIGKILLs of
+// replicas mid-load (two per cycle, each restarted before the next
+// kill), and the same ledger verification — run through the router, so
+// routing, takeover and admission control are on the hook for every
+// acknowledged byte too.
+//
 // Usage:
 //
 //	emisoak -emiserve ./emiserve [-data-dir DIR] [-cycles 3]
 //	        [-soak 10s] [-verify-timeout 60s] [-sessions 2] [-job-workers 2]
-//	        [-fsync off] [-seed 1]
+//	        [-fsync off] [-seed 1] [-cluster 0] [-probe-interval 200ms]
 //
 // Exit status 0 means every cycle verified clean; 1 means acknowledged
 // state was lost or corrupted (details on stderr). CI runs this as the
-// crash-recovery smoke job.
+// crash-recovery and cluster smoke jobs.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "job submission workers")
 	fsync := flag.String("fsync", "off", "WAL fsync policy passed to emiserve")
 	seed := flag.Int64("seed", 1, "deterministic load seed")
+	clusterN := flag.Int("cluster", 0, "run N replicas behind an in-process router (0 = single server)")
+	probeEvery := flag.Duration("probe-interval", 200*time.Millisecond, "router health-probe period in cluster mode")
 	flag.Parse()
 
 	if *bin == "" {
@@ -52,33 +61,52 @@ func main() {
 		defer os.RemoveAll(dir)
 	}
 
+	opts := soak.SoakOptions{
+		Seed:       *seed,
+		Sessions:   *sessions,
+		JobWorkers: *jobWorkers,
+	}
+	var failed bool
+	if *clusterN > 0 {
+		failed = runCluster(*bin, dir, *clusterN, *fsync, *cycles, *soakDur,
+			*verifyTimeout, *probeEvery, opts)
+	} else {
+		failed = runSingle(*bin, dir, *fsync, *cycles, *soakDur, *verifyTimeout, opts)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "emisoak: FAIL: acknowledged state was lost")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "emisoak: PASS")
+}
+
+// runSingle is the original single-server soak: load, SIGKILL, restart,
+// verify, per cycle.
+func runSingle(bin, dir, fsync string, cycles int, soakDur, verifyTimeout time.Duration,
+	opts soak.SoakOptions) bool {
 	h := &soak.Harness{
-		Bin: *bin, DataDir: dir,
-		Args: []string{"-fsync", *fsync},
+		Bin: bin, DataDir: dir,
+		Args: []string{"-fsync", fsync},
 	}
 	if err := h.Start(); err != nil {
 		fatal(err)
 	}
 	defer h.Kill()
 
-	soaker := soak.NewSoak(soak.SoakOptions{
-		BaseURL:    h.BaseURL(),
-		Seed:       *seed,
-		Sessions:   *sessions,
-		JobWorkers: *jobWorkers,
-	})
+	opts.BaseURL = h.BaseURL()
+	soaker := soak.NewSoak(opts)
 
 	failed := false
-	for cycle := 1; cycle <= *cycles; cycle++ {
+	for cycle := 1; cycle <= cycles; cycle++ {
 		fmt.Fprintf(os.Stderr, "emisoak: cycle %d/%d: %v of load, then SIGKILL\n",
-			cycle, *cycles, *soakDur)
+			cycle, cycles, soakDur)
 		loadCtx, stopLoad := context.WithCancel(context.Background())
 		done := make(chan struct{})
 		go func() {
 			soaker.Run(loadCtx)
 			close(done)
 		}()
-		time.Sleep(*soakDur)
+		time.Sleep(soakDur)
 
 		h.Kill() // mid-load: in-flight requests die on the wire
 		stopLoad()
@@ -87,7 +115,7 @@ func main() {
 		if err := h.Start(); err != nil {
 			fatal(err)
 		}
-		vctx, cancel := context.WithTimeout(context.Background(), *verifyTimeout)
+		vctx, cancel := context.WithTimeout(context.Background(), verifyTimeout)
 		rep := soaker.Verify(vctx)
 		cancel()
 		fmt.Fprintf(os.Stderr, "emisoak: cycle %d verdict: %s\n", cycle, rep)
@@ -100,11 +128,87 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "emisoak: totals: %d jobs acked, %d session ops acked, %d SSE deltas\n",
 		soaker.AckedJobs(), soaker.AckedOps(), soaker.SSEDeltas())
-	if failed {
-		fmt.Fprintln(os.Stderr, "emisoak: FAIL: acknowledged state was lost")
-		os.Exit(1)
+	return failed
+}
+
+// runCluster is the cluster soak: n replicas behind the router, two
+// rolling SIGKILLs per cycle (kill, wait a third of the soak, restart,
+// kill the next), then verification through the router. The replicas
+// die hard mid-load; the router never does — like production, its
+// routing tables outlive every replica.
+func runCluster(bin, dir string, n int, fsync string, cycles int,
+	soakDur, verifyTimeout, probeEvery time.Duration, opts soak.SoakOptions) bool {
+	// Retention must outlast the soak: a replica that is never killed
+	// prunes finished jobs past -result-cap while load still flows, and
+	// the verifier would misread that designed eviction as durability
+	// loss. (The single-server soak never trips this: its verify always
+	// follows a restart, and recovery resurrects the whole WAL.)
+	args := []string{"-fsync", fsync, "-result-cap", "65536"}
+	ch, err := soak.NewClusterHarness(bin, dir, n, args)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "emisoak: PASS")
+	if err := ch.Start(probeEvery); err != nil {
+		fatal(err)
+	}
+	defer ch.Close()
+	fmt.Fprintf(os.Stderr, "emisoak: cluster of %d replicas behind %s\n", n, ch.BaseURL())
+
+	opts.BaseURL = ch.BaseURL()
+	soaker := soak.NewSoak(opts)
+
+	phase := soakDur / 3
+	if phase <= 0 {
+		phase = time.Second
+	}
+	failed := false
+	for cycle := 1; cycle <= cycles; cycle++ {
+		v1 := (cycle - 1) % n
+		v2 := cycle % n
+		fmt.Fprintf(os.Stderr, "emisoak: cycle %d/%d: load with rolling SIGKILL of replica %d then %d\n",
+			cycle, cycles, v1, v2)
+		loadCtx, stopLoad := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			soaker.Run(loadCtx)
+			close(done)
+		}()
+
+		time.Sleep(phase)
+		ch.KillReplica(v1)
+		fmt.Fprintf(os.Stderr, "emisoak:   killed replica %d\n", v1)
+		time.Sleep(phase)
+		if err := ch.RestartReplica(v1); err != nil {
+			fatal(err)
+		}
+		ch.KillReplica(v2)
+		fmt.Fprintf(os.Stderr, "emisoak:   restarted replica %d, killed replica %d\n", v1, v2)
+		time.Sleep(phase)
+		if err := ch.RestartReplica(v2); err != nil {
+			fatal(err)
+		}
+
+		stopLoad()
+		<-done
+
+		vctx, cancel := context.WithTimeout(context.Background(), verifyTimeout)
+		if !ch.AwaitAllReady(vctx) {
+			cancel()
+			fatal(fmt.Errorf("cluster never became fully ready before verify"))
+		}
+		rep := soaker.Verify(vctx)
+		cancel()
+		fmt.Fprintf(os.Stderr, "emisoak: cycle %d verdict: %s\n", cycle, rep)
+		for _, e := range rep.Errors {
+			fmt.Fprintln(os.Stderr, "emisoak:   ", e)
+		}
+		if !rep.OK() {
+			failed = true
+		}
+	}
+	fmt.Fprintf(os.Stderr, "emisoak: totals: %d jobs acked, %d session ops acked, %d SSE deltas\n",
+		soaker.AckedJobs(), soaker.AckedOps(), soaker.SSEDeltas())
+	return failed
 }
 
 func fatal(err error) {

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MemberState is the router's view of one replica. Liveness and
+// readiness are distinct: a draining or recovering replica answers
+// /healthz 200 but /readyz 503 — it must not receive new work, yet its
+// store is (or will shortly be) reachable for session-log fetches, so
+// it is NotReady rather than Down.
+type MemberState int
+
+const (
+	// StateDown: the probe failed at the transport level — the process
+	// is gone or unreachable.
+	StateDown MemberState = iota
+	// StateNotReady: the replica answered /readyz with 503 (recovery
+	// replay or drain in progress).
+	StateNotReady
+	// StateReady: the replica accepts new work.
+	StateReady
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateNotReady:
+		return "notready"
+	default:
+		return "down"
+	}
+}
+
+// Member is one replica in the static member list.
+type Member struct {
+	Name string // ring identity; stable across restarts
+	URL  string // base URL, e.g. http://127.0.0.1:7001
+}
+
+// MemberHealth is one probe-round observation of a member.
+type MemberHealth struct {
+	Member
+	State      MemberState
+	QueueDepth int
+	QueueCap   int
+	// Saturated: the replica reported a full queue (or rejected a
+	// forward with 503) — ready, but not a useful submit target until
+	// the next probe observes headroom.
+	Saturated bool
+	Err       string // probe failure detail, "" when State == StateReady
+}
+
+// readyzPayload is the JSON body of a replica's GET /readyz.
+type readyzPayload struct {
+	Status     string `json:"status"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+}
+
+// Prober polls every member's /readyz on a fixed interval and caches
+// the results; forwards feed back observed failures between rounds
+// (MarkDown, MarkSaturated). All methods are safe for concurrent use.
+type Prober struct {
+	members  []Member
+	interval time.Duration
+	client   *http.Client
+
+	mu     sync.Mutex
+	health map[string]MemberHealth
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewProber builds a prober; interval <= 0 selects 500ms. The initial
+// state of every member is Down until the first probe round — call
+// ProbeNow before routing if the caller cannot wait an interval.
+func NewProber(members []Member, interval time.Duration, client *http.Client) *Prober {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	p := &Prober{
+		members:  append([]Member(nil), members...),
+		interval: interval,
+		client:   client,
+		health:   map[string]MemberHealth{},
+	}
+	for _, m := range p.members {
+		p.health[m.Name] = MemberHealth{Member: m, State: StateDown, Err: "not probed yet"}
+	}
+	return p
+}
+
+// Interval returns the probe interval — the Retry-After the router
+// advertises, since that is when its view refreshes.
+func (p *Prober) Interval() time.Duration { return p.interval }
+
+// Start launches the probe loop. Stop ends it.
+func (p *Prober) Start() {
+	p.mu.Lock()
+	if p.stop != nil {
+		p.mu.Unlock()
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	stop, done := p.stop, p.done
+	p.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		p.ProbeNow()
+		for {
+			select {
+			case <-t.C:
+				p.ProbeNow()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit.
+func (p *Prober) Stop() {
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// ProbeNow runs one synchronous probe round over all members. Exported
+// so tests (and the router's startup) can refresh the view on demand
+// instead of sleeping an interval.
+func (p *Prober) ProbeNow() {
+	var wg sync.WaitGroup
+	for _, m := range p.members {
+		wg.Add(1)
+		go func(m Member) {
+			defer wg.Done()
+			h := p.probeOne(m)
+			p.mu.Lock()
+			p.health[m.Name] = h
+			p.mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probeOne(m Member) MemberHealth {
+	h := MemberHealth{Member: m}
+	resp, err := p.client.Get(m.URL + "/readyz")
+	if err != nil {
+		h.State, h.Err = StateDown, err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var pl readyzPayload
+	_ = json.Unmarshal(body, &pl)
+	h.QueueDepth, h.QueueCap = pl.QueueDepth, pl.QueueCap
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		h.State = StateReady
+		h.Saturated = pl.QueueCap > 0 && pl.QueueDepth >= pl.QueueCap
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		h.State = StateNotReady
+		h.Err = fmt.Sprintf("readyz: %s", pl.Status)
+	default:
+		h.State, h.Err = StateDown, fmt.Sprintf("readyz: HTTP %d", resp.StatusCode)
+	}
+	return h
+}
+
+// Snapshot returns the current view of every member, keyed by name.
+func (p *Prober) Snapshot() map[string]MemberHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]MemberHealth, len(p.health))
+	for k, v := range p.health {
+		out[k] = v
+	}
+	return out
+}
+
+// Ready reports whether a member is ready (saturated members are still
+// ready — they hold sessions and serve reads, they just reject new
+// queue work).
+func (p *Prober) Ready(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.health[name].State == StateReady
+}
+
+// Accepting reports whether a member is a useful submit target: ready
+// and not saturated.
+func (p *Prober) Accepting(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.health[name]
+	return h.State == StateReady && !h.Saturated
+}
+
+// URL returns a member's base URL ("" for unknown names).
+func (p *Prober) URL(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.health[name].URL
+}
+
+// MarkDown records a transport failure observed by a forward, so
+// routing reacts before the next probe round.
+func (p *Prober) MarkDown(name string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[name]
+	if !ok {
+		return
+	}
+	h.State = StateDown
+	if err != nil {
+		h.Err = err.Error()
+	}
+	p.health[name] = h
+}
+
+// MarkSaturated records a 503 queue rejection observed by a forward;
+// the flag clears on the next probe round that sees headroom.
+func (p *Prober) MarkSaturated(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.health[name]
+	if !ok {
+		return
+	}
+	h.Saturated = true
+	p.health[name] = h
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics are the router's monotonic counters, exported on /metrics in
+// the same Prometheus text format (with HELP/TYPE headers) as the
+// replicas' own series, prefixed emiserve_cluster_.
+type metrics struct {
+	forwards    atomic.Int64 // requests proxied to a replica
+	retries     atomic.Int64 // forward attempts after the first, per request
+	shed        atomic.Int64 // 429s: every useful target saturated
+	unavailable atomic.Int64 // 503s: no owner / takeover incomplete
+	badGateway  atomic.Int64 // 502s: transport died mid-forward, fate unknown
+	takeovers   atomic.Int64 // session takeover handshakes completed
+	sessions    atomic.Int64 // sessions created through the router
+}
+
+// WriteMetrics writes the router metrics plus the per-state member
+// gauge derived from the prober snapshot.
+func (rt *Router) WriteMetrics(w io.Writer) error {
+	counts := map[MemberState]int{}
+	var depth, capSum int
+	for _, h := range rt.prober.Snapshot() {
+		counts[h.State]++
+		if h.State == StateReady {
+			depth += h.QueueDepth
+			capSum += h.QueueCap
+		}
+	}
+	bw := &errWriter{w: w}
+	bw.printf("# HELP emiserve_cluster_members Members by probed state.\n")
+	bw.printf("# TYPE emiserve_cluster_members gauge\n")
+	for _, st := range []MemberState{StateReady, StateNotReady, StateDown} {
+		bw.printf("emiserve_cluster_members{state=%q} %d\n", st.String(), counts[st])
+	}
+	bw.printf("# HELP emiserve_cluster_queue_depth Summed queue depth of ready members.\n")
+	bw.printf("# TYPE emiserve_cluster_queue_depth gauge\n")
+	bw.printf("emiserve_cluster_queue_depth %d\n", depth)
+	bw.printf("# HELP emiserve_cluster_queue_cap Summed queue capacity of ready members.\n")
+	bw.printf("# TYPE emiserve_cluster_queue_cap gauge\n")
+	bw.printf("emiserve_cluster_queue_cap %d\n", capSum)
+
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"emiserve_cluster_forwards_total", "Requests proxied to a replica.", &rt.m.forwards},
+		{"emiserve_cluster_retries_total", "Forward attempts beyond the first.", &rt.m.retries},
+		{"emiserve_cluster_shed_total", "Requests shed with 429 (all targets saturated).", &rt.m.shed},
+		{"emiserve_cluster_unavailable_total", "Requests answered 503 (no ready owner).", &rt.m.unavailable},
+		{"emiserve_cluster_bad_gateway_total", "Forwards answered 502 (transport died mid-request).", &rt.m.badGateway},
+		{"emiserve_cluster_takeovers_total", "Session takeover handshakes completed.", &rt.m.takeovers},
+		{"emiserve_cluster_sessions_total", "Sessions created through the router.", &rt.m.sessions},
+	}
+	for _, c := range counters {
+		bw.printf("# HELP %s %s\n", c.name, c.help)
+		bw.printf("# TYPE %s counter\n", c.name)
+		bw.printf("%s %d\n", c.name, c.v.Load())
+	}
+	return bw.err
+}
+
+// errWriter folds the first write error, so WriteMetrics stays a flat
+// list of printf calls.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}

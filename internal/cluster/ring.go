@@ -1,0 +1,125 @@
+// Package cluster turns N emiserve replicas into one logical service: a
+// consistent-hash router spreads content-hash-deduped jobs and pins
+// interactive sessions to their ring owner, health probes separate
+// liveness from readiness, and admission control sheds load with 429 +
+// Retry-After instead of letting queues time out.
+//
+// The membership is static (a fixed list of name → base-URL pairs):
+// replicas neither gossip nor elect; the router is the only component
+// with a cluster-wide view. On owner failure the ring reassigns the
+// failed member's range and the new owner takes over each session by
+// replaying its per-session WAL, fetched from the previous owner's
+// store (see the /cluster handshake in internal/serve).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member. 64 points per
+// member keeps the largest/smallest range ratio within a few percent
+// for the small static clusters this package targets.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over a static member list.
+// Liveness is intentionally not part of the ring: callers pass an
+// "alive" predicate per lookup, so a member flapping never reshuffles
+// the ranges of healthy members — keys owned by live members stay put.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring with vnodes virtual points per member
+// (vnodes <= 0 selects DefaultVnodes). Member names must be unique.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := map[string]bool{}
+	r := &Ring{
+		members: append([]string(nil), members...),
+		points:  make([]ringPoint, 0, len(members)*vnodes),
+	}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Owner returns the first member at or after the key's hash whose
+// alive(name) reports true (nil alive accepts everyone). The second
+// return is false when no member qualifies.
+func (r *Ring) Owner(key string, alive func(string) bool) (string, bool) {
+	for _, m := range r.walk(key) {
+		if alive == nil || alive(m) {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// Sequence returns every member once, in ring-walk order from the key's
+// hash — the preference order for failover and submit retries. The
+// first element is the key's primary owner.
+func (r *Ring) Sequence(key string) []string {
+	return r.walk(key)
+}
+
+// walk returns the distinct members in point order starting at the
+// key's position.
+func (r *Ring) walk(key string) []string {
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// hashKey is 64-bit FNV-1a — stable across processes and runs, which
+// the ring needs so a restarted router routes a session to the same
+// owner it picked before the restart.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

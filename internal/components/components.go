@@ -81,6 +81,18 @@ func CouplingFactor(a, b *Instance, order int) float64 {
 	return peec.CouplingFactor(ca, cb, order)
 }
 
+// CouplingFactorHier is CouplingFactor with the mutual-inductance term
+// hierarchically approximated at accuracy theta ∈ (0, 1); theta ≤ 0 is
+// exact. Useful when a caller sweeps many placements of the same pair
+// and can afford the small controlled error for the speedup.
+func CouplingFactorHier(a, b *Instance, order int, theta float64) float64 {
+	ca, cb := a.Conductor(), b.Conductor()
+	if len(ca.Segments) == 0 || len(cb.Segments) == 0 {
+		return 0
+	}
+	return peec.CouplingFactorHier(peec.NewSegTree(ca), peec.NewSegTree(cb), order, theta)
+}
+
 // AxisAngle returns the acute angle between the magnetic axes of two placed
 // instances (the alpha_ij of the EMD rule). Non-magnetic parts give π/2,
 // i.e. "fully decoupled".

@@ -25,6 +25,7 @@ import (
 	"repro/internal/emi"
 	"repro/internal/engine"
 	"repro/internal/layout"
+	"repro/internal/linalg"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/peec"
@@ -76,6 +77,13 @@ type Project struct {
 	// sums, bit-for-bit. Self-inductances are always exact — they are
 	// per-component and already cached across placements.
 	CouplingTheta float64
+
+	// Solver selects the MNA factorization backend for every prediction
+	// this project runs (linalg.ModeAuto, the zero value, defers to the
+	// process-wide default). Carried per project rather than set globally
+	// so concurrent jobs with different requests never race on a shared
+	// mode switch.
+	Solver linalg.SolverMode
 }
 
 func (p *Project) order() int {
@@ -424,6 +432,7 @@ func (p *Project) PredictCtx(ctx context.Context, opt PredictOptions) (*emi.Spec
 		Sources:     p.Sources,
 		MeasureNode: p.MeasureNode,
 		MaxFreq:     opt.MaxFreq,
+		Solver:      p.Solver,
 	}
 	return pred.SpectrumCtx(ctx)
 }

@@ -7,6 +7,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/engine"
+	"repro/internal/linalg"
 	"repro/internal/mna"
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -35,6 +36,12 @@ type Predictor struct {
 	MeasureNode string
 	Harmonics   int     // number of harmonics; 0 = enough to reach BandStop
 	MaxFreq     float64 // 0 = BandStop
+
+	// Solver overrides the MNA factorization backend for this prediction
+	// only (ModeAuto, the zero value, defers to the process default). It
+	// applies to every analyzer the fan-out compiles, so a per-request
+	// choice never races another job's.
+	Solver linalg.SolverMode
 }
 
 // Spectrum runs the prediction. The circuit is not modified.
@@ -111,6 +118,10 @@ func NewBandSolver(ckt *netlist.Circuit, sources []string, measure string, harmo
 // Analyzer exposes the compiled analyzer, e.g. for probe couplings.
 func (b *BandSolver) Analyzer() *mna.Analyzer { return b.an }
 
+// SetSolver overrides the factorization backend of the compiled analyzer
+// (see mna.Analyzer.SetSolver). ModeAuto restores the default heuristic.
+func (b *BandSolver) SetSolver(m linalg.SolverMode) { b.an.SetSolver(m) }
+
 // Freqs returns the harmonic grid frequencies, ascending.
 func (b *BandSolver) Freqs() []float64 {
 	out := make([]float64, len(b.ks))
@@ -176,6 +187,7 @@ func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
 	if err != nil {
 		return nil, err
 	}
+	proto.SetSolver(p.Solver)
 	ks := proto.ks
 
 	// The harmonics are independent AC solves: fan them out over the
@@ -191,7 +203,12 @@ func (p *Predictor) SpectrumCtx(ctx context.Context) (*Spectrum, error) {
 	dbs := make([]float64, len(ks))
 	err = engine.ForEachStateCtx(ctx, len(ks),
 		func() (*BandSolver, error) {
-			return NewBandSolver(p.Circuit, names, p.MeasureNode, p.Harmonics, p.MaxFreq)
+			bs, err := NewBandSolver(p.Circuit, names, p.MeasureNode, p.Harmonics, p.MaxFreq)
+			if err != nil {
+				return nil, err
+			}
+			bs.SetSolver(p.Solver)
+			return bs, nil
 		},
 		func(s *BandSolver, i int) error {
 			db, err := s.SolveHarmonic(i)

@@ -266,6 +266,7 @@ func (p *DesignProblem) worstMargin(ctx context.Context, d *layout.Design, mults
 	if err != nil {
 		return 0, err
 	}
+	bs.SetSolver(proj.Solver)
 	spec, err := bs.SpectrumCtx(ctx)
 	if err != nil {
 		return 0, err

@@ -233,6 +233,7 @@ func Yield(ctx context.Context, proj *core.Project, opt YieldOptions, emit func(
 			if err != nil {
 				return sampleOut{}, err
 			}
+			bs.SetSolver(proj.Solver)
 			spec, err := bs.SpectrumCtx(ctx)
 			if err != nil {
 				return sampleOut{}, err

@@ -252,3 +252,23 @@ func MutualHier(a, b *SegTree, order int, theta float64) float64 {
 		return math.Sqrt(a.c.muEff()*b.c.muEff()) * a.c.shield() * b.c.shield() * sum
 	})
 }
+
+// CouplingFactorHier is CouplingFactor with the mutual term approximated
+// hierarchically at accuracy theta (theta ≤ 0 delegates to the exact
+// Mutual, matching CouplingFactor bit-for-bit). The self-inductance
+// denominators are always exact: they are O(n²) once per conductor, not
+// per pair, so approximating them buys nothing.
+func CouplingFactorHier(a, b *SegTree, order int, theta float64) float64 {
+	la := a.c.SelfInductanceOrder(order)
+	lb := b.c.SelfInductanceOrder(order)
+	if la <= 0 || lb <= 0 {
+		return 0
+	}
+	k := MutualHier(a, b, order, theta) / math.Sqrt(la*lb)
+	if k > 1 {
+		k = 1
+	} else if k < -1 {
+		k = -1
+	}
+	return k
+}

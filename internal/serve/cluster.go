@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/store"
+)
+
+// The replica half of the cluster protocol (the router half lives in
+// internal/cluster). Three endpoints move a session between replicas
+// using its per-session WAL as the unit of transfer:
+//
+//	GET  /cluster/sessions/{id}/log      serve the durable log (JSON SessionLog)
+//	POST /cluster/sessions/{id}/takeover fetch from {"source"}, replay, adopt
+//	POST /cluster/sessions/{id}/release  drop local copy after a peer adopted it
+//
+// The log endpoint stays up while draining and the takeover endpoint
+// refuses work while draining — a draining replica is a migration
+// source, never a destination. All three require a configured Store
+// (501 otherwise): without WALs there is nothing to transfer.
+
+// ClusterSessionHeader carries a router-minted session ID on create
+// requests (kept in sync with internal/cluster's constant of the same
+// name; the packages stay import-independent on purpose).
+const ClusterSessionHeader = "X-Cluster-Session-ID"
+
+// clusterClient fetches peer session logs during takeover. The timeout
+// bounds the fetch so a wedged source fails the handshake instead of
+// hanging the adopter.
+var clusterClient = &http.Client{Timeout: 15 * time.Second}
+
+// sessionLogHandler serves one session's durable log, straight from the
+// store. The write-ahead contract makes this complete: every
+// acknowledged mutation is already in the WAL, so the log is the full
+// acknowledged state even while the session is live.
+func (s *Server) sessionLogHandler(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, "cluster: no store configured")
+		return
+	}
+	log, err := s.cfg.Store.LoadSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, log)
+}
+
+// TakeoverRequest is the body of POST /cluster/sessions/{id}/takeover.
+type TakeoverRequest struct {
+	// Source is the base URL of the replica whose store holds the
+	// session's log.
+	Source string `json:"source"`
+}
+
+// takeoverHandler adopts a session from a peer: fetch its log, replay
+// it through the normal session entry points, insert it into the live
+// manager, open a local durable log, and ask the source to release its
+// copy. Idempotent: a session already live here answers 200 without
+// refetching, so racing takeover requests converge.
+func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, "cluster: no store configured")
+		return
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	var req TakeoverRequest
+	if err := strictUnmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "cluster: takeover needs a source URL")
+		return
+	}
+
+	// One takeover at a time: two adopters racing the same session
+	// would double-create the durable log.
+	s.takeoverMu.Lock()
+	defer s.takeoverMu.Unlock()
+
+	if _, ok := s.sessions.Get(id); ok {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "local", "session": id})
+		return
+	}
+
+	log, err := fetchSessionLog(r, req.Source, id)
+	if err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("cluster: fetch %s from %s: %v", id, req.Source, err))
+		return
+	}
+	sess, err := store.Replay(log)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := s.sessions.Adopt(sess); err != nil {
+		sess.Close()
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	// Open the local durable log with a compacted snapshot before
+	// answering: an acknowledged takeover must survive a restart of the
+	// new owner. Stale local state from an earlier ownership is
+	// replaced — the fetched log is strictly newer.
+	snap, seq, err := sess.Checkpoint()
+	if err == nil {
+		_ = s.cfg.Store.DeleteSession(id)
+		err = s.cfg.Store.CreateSession(id, seq, snap)
+	}
+	if err != nil {
+		s.sessions.Delete(id)
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("cluster: durable log for %s: %v", id, err))
+		return
+	}
+	s.attachSessionJournal(sess, 0)
+	s.m.takeovers.Add(1)
+
+	// Best-effort release on the source, so the session cannot
+	// resurrect there on its next restart. A failure is survivable:
+	// the router keeps routing here, and a resurrected stale copy is
+	// unreachable until explicitly located.
+	if err := releaseOnPeer(r, req.Source, id); err != nil {
+		s.cfg.Logger.Warn("cluster: release on source failed",
+			"session", id, "source", req.Source, "err", err)
+	}
+	s.cfg.Logger.Info("cluster: adopted session",
+		"session", id, "source", req.Source, "seq", seq, "records", len(log.Records))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "adopted",
+		"session": id,
+		"seq":     seq,
+		"records": len(log.Records),
+	})
+}
+
+// releaseHandler drops the local copy of a session a peer now owns:
+// close the live session if any, delete the durable log. Idempotent.
+func (s *Server) releaseHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sessions.Delete(id)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.DeleteSession(id); err != nil {
+			s.cfg.Logger.Warn("cluster: release delete", "session", id, "err", err)
+		}
+		s.dropDurable(id)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released", "session": id})
+}
+
+func fetchSessionLog(r *http.Request, source, id string) (store.SessionLog, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		source+"/cluster/sessions/"+id+"/log", nil)
+	if err != nil {
+		return store.SessionLog{}, err
+	}
+	resp, err := clusterClient.Do(req)
+	if err != nil {
+		return store.SessionLog{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return store.SessionLog{}, fmt.Errorf("HTTP %d: %s", resp.StatusCode, b)
+	}
+	var log store.SessionLog
+	if err := json.NewDecoder(resp.Body).Decode(&log); err != nil {
+		return store.SessionLog{}, err
+	}
+	if log.ID != id {
+		return store.SessionLog{}, fmt.Errorf("log is for %q, wanted %q", log.ID, id)
+	}
+	return log, nil
+}
+
+func releaseOnPeer(r *http.Request, peer, id string) error {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		peer+"/cluster/sessions/"+id+"/release", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := clusterClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/session"
+	"repro/internal/store"
+)
+
+// clusterPair spins up two Servers with independent stores behind
+// httptest listeners — the two-replica fixture the takeover handshake
+// tests run against.
+func clusterPair(t *testing.T) (src, dst *Server, srcURL, dstURL string) {
+	t.Helper()
+	src = testServer(t, Config{Store: store.NewMemory(), Runners: map[Kind]Runner{}})
+	dst = testServer(t, Config{Store: store.NewMemory(), Runners: map[Kind]Runner{}})
+	ts1 := httptest.NewServer(src.Handler())
+	ts2 := httptest.NewServer(dst.Handler())
+	t.Cleanup(ts1.Close)
+	t.Cleanup(ts2.Close)
+	return src, dst, ts1.URL, ts2.URL
+}
+
+func postWithHeader(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// createClusterSession creates a synthetic durable session under a
+// router-style cs- ID and applies a few edits, returning the final seq.
+func createClusterSession(t *testing.T, baseURL, id string, edits []string) uint64 {
+	t.Helper()
+	resp, body := postWithHeader(t, baseURL+"/v1/sessions",
+		`{"synthetic":{"n":6,"rules":4,"groups":2,"w_mm":120,"h_mm":100}}`,
+		map[string]string{ClusterSessionHeader: id})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %s", resp.StatusCode, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if json.Unmarshal(body, &created); created.ID != id {
+		t.Fatalf("created session %q, want router-minted %q", created.ID, id)
+	}
+	var last struct {
+		Seq uint64 `json:"seq"`
+	}
+	for _, e := range edits {
+		kind := "edits"
+		if e == "undo" || e == "redo" {
+			kind, e = e, `{}`
+		}
+		resp, body := postWithHeader(t, baseURL+"/v1/sessions/"+id+"/"+kind, e, nil)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			json.Unmarshal(body, &last)
+		case http.StatusConflict:
+			// The scripted redo-after-new-edit is rejected by design:
+			// an applied edit clears the redo stack. Nothing journaled.
+		default:
+			t.Fatalf("edit status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return last.Seq
+}
+
+var clusterEdits = []string{
+	`{"op":"param","param":"clearance","value_mm":0.4}`,
+	`{"op":"param","param":"clearance","value_mm":0.8}`,
+	"undo",
+	`{"op":"param","param":"clearance","value_mm":1.2}`,
+	"redo", // rejected (409): redo stack cleared by the new edit — not journaled
+	`{"op":"param","param":"clearance","value_mm":0.6}`,
+}
+
+// ringOf drains a session's replay ring through the public Subscribe
+// API (replayed deltas are pre-buffered; no live edits are flowing).
+func ringOf(t *testing.T, s *Server, id string) []session.Delta {
+	t.Helper()
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		t.Fatalf("session %s not live", id)
+	}
+	ch, cancel := sess.Subscribe(0)
+	defer cancel()
+	var out []session.Delta
+	for {
+		select {
+		case d := <-ch:
+			out = append(out, d)
+		default:
+			return out
+		}
+	}
+}
+
+// TestClusterTakeoverHandshake is the full cross-replica migration:
+// fetch the session's WAL from the source, replay, adopt, journal
+// locally, release the source — and keep accepting edits afterwards.
+func TestClusterTakeoverHandshake(t *testing.T) {
+	srcS, dstS, srcURL, dstURL := clusterPair(t)
+	const id = "cs-takeover01"
+	edits := clusterEdits
+	seq := createClusterSession(t, srcURL, id, edits)
+	if seq == 0 {
+		t.Fatal("no edits applied")
+	}
+	srcSnap := getBody(t, srcURL+"/v1/sessions/"+id+"/snapshot")
+	srcRing := ringOf(t, srcS, id)
+
+	resp, body := postWithHeader(t, dstURL+"/cluster/sessions/"+id+"/takeover",
+		fmt.Sprintf(`{"source":%q}`, srcURL), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover status %d: %s", resp.StatusCode, body)
+	}
+	var tk struct {
+		Status string `json:"status"`
+		Seq    uint64 `json:"seq"`
+	}
+	if json.Unmarshal(body, &tk); tk.Status != "adopted" || tk.Seq != seq {
+		t.Fatalf("takeover answered %s, want adopted at seq %d", body, seq)
+	}
+
+	// The adopted session is byte-identical, ring included.
+	dstSnap := getBody(t, dstURL+"/v1/sessions/"+id+"/snapshot")
+	if !bytes.Equal(srcSnap, dstSnap) {
+		t.Fatalf("adopted snapshot differs:\nsrc:\n%s\ndst:\n%s", srcSnap, dstSnap)
+	}
+	dstRing := ringOf(t, dstS, id)
+	ja, _ := json.Marshal(srcRing)
+	jb, _ := json.Marshal(dstRing)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("adopted SSE replay ring differs:\nsrc: %s\ndst: %s", ja, jb)
+	}
+
+	// The source released its copy: live session and durable log gone.
+	resp, _ = postWithHeader(t, srcURL+"/v1/sessions/"+id+"/edits",
+		`{"op":"param","param":"clearance","value_mm":0.9}`, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("source still serves the session after release: %d", resp.StatusCode)
+	}
+	if _, err := srcS.cfg.Store.LoadSession(id); err == nil {
+		t.Fatal("source store still holds the session log after release")
+	}
+
+	// The new owner keeps working, durably: edit, restart on the same
+	// store, and the edit is still there.
+	var afterEdit struct {
+		Seq uint64 `json:"seq"`
+	}
+	resp, body = postWithHeader(t, dstURL+"/v1/sessions/"+id+"/edits",
+		`{"op":"param","param":"clearance","value_mm":1.5}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-takeover edit status %d: %s", resp.StatusCode, body)
+	}
+	if json.Unmarshal(body, &afterEdit); afterEdit.Seq != seq+1 {
+		t.Fatalf("post-takeover seq %d, want %d", afterEdit.Seq, seq+1)
+	}
+	restarted := testServer(t, Config{Store: dstS.cfg.Store, Runners: map[Kind]Runner{}})
+	if rec := restarted.RecoveryReport(); rec.Sessions != 1 {
+		t.Fatalf("new owner's restart recovered %d sessions, want 1", rec.Sessions)
+	}
+	sess, ok := restarted.sessions.Get(id)
+	if !ok || sess.Seq() != seq+1 {
+		t.Fatalf("post-takeover edit not durable on the new owner (live=%v)", ok)
+	}
+
+	// Adoption shows in the replica metrics.
+	var buf bytes.Buffer
+	if err := dstS.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "emiserve_cluster_adoptions_total 1") {
+		t.Fatal("metrics missing emiserve_cluster_adoptions_total 1")
+	}
+}
+
+// TestClusterTakeoverIdempotent: a takeover for a session already live
+// here answers 200 "local" without refetching — racing adopters
+// converge instead of double-creating logs.
+func TestClusterTakeoverIdempotent(t *testing.T) {
+	_, _, srcURL, dstURL := clusterPair(t)
+	const id = "cs-idem01"
+	createClusterSession(t, srcURL, id, clusterEdits[:2])
+
+	for i, wantStatus := range []string{"adopted", "local"} {
+		resp, body := postWithHeader(t, dstURL+"/cluster/sessions/"+id+"/takeover",
+			fmt.Sprintf(`{"source":%q}`, srcURL), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("takeover %d status %d: %s", i, resp.StatusCode, body)
+		}
+		var tk struct {
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(body, &tk); tk.Status != wantStatus {
+			t.Fatalf("takeover %d status %q, want %q", i, tk.Status, wantStatus)
+		}
+	}
+}
+
+// TestClusterTakeoverUnreachableSource: the handshake must fail with
+// 502 when the source's store is unreachable — the adopter never
+// fabricates an empty session for an ID it cannot fetch.
+func TestClusterTakeoverUnreachableSource(t *testing.T) {
+	_, _, _, dstURL := clusterPair(t)
+	resp, body := postWithHeader(t, dstURL+"/cluster/sessions/cs-ghost01/takeover",
+		`{"source":"http://127.0.0.1:1"}`, nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d: %s, want 502", resp.StatusCode, body)
+	}
+}
+
+// TestClusterTakeoverRefusedWhileDraining: a draining replica is a
+// migration source, never a destination.
+func TestClusterTakeoverRefusedWhileDraining(t *testing.T) {
+	srcS, _, srcURL, dstURL := clusterPair(t)
+	const id = "cs-drain01"
+	createClusterSession(t, srcURL, id, clusterEdits[:2])
+	drainServer(t, srcS)
+
+	// The draining source still serves its log...
+	resp, _ := http.Get(srcURL + "/cluster/sessions/" + id + "/log")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining source log status %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// ...so a takeover FROM it works,
+	resp2, body := postWithHeader(t, dstURL+"/cluster/sessions/"+id+"/takeover",
+		fmt.Sprintf(`{"source":%q}`, srcURL), nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("takeover from draining source: %d %s", resp2.StatusCode, body)
+	}
+	// ...but a takeover ONTO it is refused with Retry-After.
+	resp3, body := postWithHeader(t, srcURL+"/cluster/sessions/"+id+"/takeover",
+		fmt.Sprintf(`{"source":%q}`, dstURL), nil)
+	if resp3.StatusCode != http.StatusServiceUnavailable || resp3.Header.Get("Retry-After") == "" {
+		t.Fatalf("takeover onto draining replica: %d %s Retry-After %q",
+			resp3.StatusCode, body, resp3.Header.Get("Retry-After"))
+	}
+}
+
+// TestClusterEndpointsNeedStore: without WALs there is nothing to
+// transfer — 501, not a silent no-op.
+func TestClusterEndpointsNeedStore(t *testing.T) {
+	s := testServer(t, Config{Runners: map[Kind]Runner{}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/cluster/sessions/cs-x/log")
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("log without store: %d, want 501", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, body := postWithHeader(t, ts.URL+"/cluster/sessions/cs-x/takeover",
+		`{"source":"http://127.0.0.1:1"}`, nil)
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("takeover without store: %d %s, want 501", resp.StatusCode, body)
+	}
+}
+
+// TestCreateSessionClusterIDValidation: the router-minted ID header is
+// honored only in its own cs- namespace, so it can never collide with
+// (or spoof) locally minted s<N> IDs.
+func TestCreateSessionClusterIDValidation(t *testing.T) {
+	s := testServer(t, Config{Runners: map[Kind]Runner{}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := postWithHeader(t, ts.URL+"/v1/sessions",
+		`{"synthetic":{"n":5,"rules":3,"groups":2,"w_mm":100,"h_mm":80}}`,
+		map[string]string{ClusterSessionHeader: "s7"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("s7 cluster ID accepted: %d %s", resp.StatusCode, body)
+	}
+}
+
+// drainServer drains s and fails the test on error.
+func drainServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterKillPointTakeoverSweep kills the session owner at every
+// WAL record boundary and asserts the adopting replica replays the
+// truncated image to exactly the acknowledged state: snapshot bytes
+// and SSE replay ring identical to a reference recovery of the same
+// image. This is the cluster equivalent of the single-node kill-point
+// sweep — the unit of transfer is the per-session WAL, so a takeover
+// from ANY acknowledged prefix must be exact.
+func TestClusterKillPointTakeoverSweep(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir, store.SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := New(Config{Store: fs, Runners: map[Kind]Runner{}})
+	ownerTS := httptest.NewServer(owner.Handler())
+	const id = "cs-killpoint01"
+
+	// Record the WAL size after the snapshot record and after every
+	// acknowledged edit — the kill points.
+	walRel := filepath.Join("sessions", id+".wal")
+	walPath := filepath.Join(dir, walRel)
+	sizeNow := func() int64 {
+		st, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	resp, body := postWithHeader(t, ownerTS.URL+"/v1/sessions",
+		`{"synthetic":{"n":6,"rules":4,"groups":2,"w_mm":120,"h_mm":100}}`,
+		map[string]string{ClusterSessionHeader: id})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	boundaries := []int64{sizeNow()}
+	for _, e := range clusterEdits {
+		kind := "edits"
+		if e == "undo" || e == "redo" {
+			kind, e = e, `{}`
+		}
+		resp, _ := postWithHeader(t, ownerTS.URL+"/v1/sessions/"+id+"/"+kind, e, nil)
+		if resp.StatusCode == http.StatusOK {
+			boundaries = append(boundaries, sizeNow())
+		}
+	}
+	ownerTS.Close()
+	drainServer(t, owner)
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) < 4 {
+		t.Fatalf("only %d kill points", len(boundaries))
+	}
+
+	for i, size := range boundaries {
+		clone := filepath.Join(t.TempDir(), fmt.Sprintf("kill%02d", i))
+		if err := faultfs.CloneTruncated(dir, clone, walRel, size); err != nil {
+			t.Fatal(err)
+		}
+		// Reference: a replica recovering the truncated image directly
+		// (the single-node recovery path, already proven exact).
+		refStore, err := store.OpenFile(clone, store.SyncOff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := testServer(t, Config{Store: refStore, Runners: map[Kind]Runner{}})
+		if rec := ref.RecoveryReport(); rec.Sessions != 1 {
+			t.Fatalf("kill point %d: reference recovered %d sessions", i, rec.Sessions)
+		}
+		refTS := httptest.NewServer(ref.Handler())
+
+		// Capture the reference state now: adoption releases the
+		// source's copy, so there is nothing left to compare afterwards.
+		refSess, ok := ref.sessions.Get(id)
+		if !ok {
+			t.Fatalf("kill point %d: recovered session not live on reference", i)
+		}
+		refSeq := refSess.Seq()
+		refSnap, err := refSess.Snapshot()
+		if err != nil {
+			t.Fatalf("kill point %d: reference snapshot: %v", i, err)
+		}
+		refRing, _ := json.Marshal(ringOf(t, ref, id))
+
+		// Adopter: a second replica taking the session over from the
+		// recovered image via the cluster handshake.
+		adopter := testServer(t, Config{Store: store.NewMemory(), Runners: map[Kind]Runner{}})
+		adopterTS := httptest.NewServer(adopter.Handler())
+		resp, body := postWithHeader(t, adopterTS.URL+"/cluster/sessions/"+id+"/takeover",
+			fmt.Sprintf(`{"source":%q}`, refTS.URL), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kill point %d: takeover %d %s", i, resp.StatusCode, body)
+		}
+
+		adoptSess, ok := adopter.sessions.Get(id)
+		if !ok {
+			t.Fatalf("kill point %d: adopter has no live session", i)
+		}
+		if adoptSess.Seq() != refSeq {
+			t.Fatalf("kill point %d: adopter seq %d, reference %d", i, adoptSess.Seq(), refSeq)
+		}
+		adoptSnap, err := adoptSess.Snapshot()
+		if err != nil {
+			t.Fatalf("kill point %d: adopter snapshot: %v", i, err)
+		}
+		if !bytes.Equal(refSnap, adoptSnap) {
+			t.Fatalf("kill point %d: adopted snapshot differs from reference recovery", i)
+		}
+		adoptRing, _ := json.Marshal(ringOf(t, adopter, id))
+		if !bytes.Equal(refRing, adoptRing) {
+			t.Fatalf("kill point %d: SSE replay ring differs:\nref: %s\nadopt: %s", i, refRing, adoptRing)
+		}
+
+		// The adopted session accepts the next edit at the right seq.
+		seqBefore := adoptSess.Seq()
+		resp, body = postWithHeader(t, adopterTS.URL+"/v1/sessions/"+id+"/edits",
+			`{"op":"param","param":"clearance","value_mm":2.0}`, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kill point %d: post-takeover edit %d %s", i, resp.StatusCode, body)
+		}
+		if adoptSess.Seq() != seqBefore+1 {
+			t.Fatalf("kill point %d: post-takeover seq %d, want %d", i, adoptSess.Seq(), seqBefore+1)
+		}
+
+		adopterTS.Close()
+		refTS.Close()
+		if err := refStore.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

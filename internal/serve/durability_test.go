@@ -111,6 +111,90 @@ func TestDrainRequeuesQueuedJobs(t *testing.T) {
 	}
 }
 
+// TestDrainRejectsRequestsCleanly is the regression test for the
+// drain-vs-forward race: a request that lands AFTER drain has begun but
+// BEFORE it finishes (an in-flight job is still pinning the drain) must
+// get a clean 503 + Retry-After — never hang, never be half-accepted
+// with an ID that won't survive.
+func TestDrainRejectsRequestsCleanly(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s, base := httpFixture(t, Config{
+		Workers:    1,
+		JobTimeout: time.Hour,
+		Runners: map[Kind]Runner{
+			KindPredict: func(ctx context.Context, req []byte) (any, error) {
+				select {
+				case started <- struct{}{}:
+				default:
+				}
+				select {
+				case <-release:
+					return map[string]int{"ok": 1}, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			},
+		},
+	})
+	if resp, body := postJSON(t, base+"/v1/predict", `{"hold":1}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+
+	// Begin the drain; it blocks on the in-flight job.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never entered draining state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-drain: submissions and session creates shed cleanly.
+	for _, c := range []struct{ url, body string }{
+		{base + "/v1/predict", `{"late":1}`},
+		{base + "/v1/sessions", `{"synthetic":{"n":5,"rules":3,"groups":2,"w_mm":100,"h_mm":80}}`},
+	} {
+		resp, body := postJSON(t, c.url, c.body)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s mid-drain status %d: %s, want 503", c.url, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s mid-drain response lacks Retry-After", c.url)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s mid-drain body is not a clean JSON error: %s", c.url, body)
+		}
+	}
+	// Liveness stays up so the supervisor doesn't kill a draining
+	// process; readiness reports the drain so routers stop sending work.
+	if resp, _ := getJSON(t, base+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz mid-drain %d, want 200", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, base+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz mid-drain %d, want 503", resp.StatusCode)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+}
+
 // TestDoneResultsSurviveRestart: a completed job's result must be
 // restored from the store with its identity and original expiry — and be
 // reusable through dedup without re-running the engine.

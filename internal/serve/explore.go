@@ -116,6 +116,7 @@ type ExploreRequest struct {
 	GridMM      float64              `json:"grid_mm,omitempty"`     // placement raster; 0 = auto
 	AnnealIters int                  `json:"anneal_iters,omitempty"`
 	Sweep       []explore.SweepParam `json:"sweep,omitempty"`
+	ComputeOpts
 }
 
 // CandidateView is one Pareto-front member in an ExploreResponse.
@@ -151,10 +152,16 @@ func runExplore(ctx context.Context, req []byte) (any, error) {
 	if r.AnnealIters > maxAnnealIters {
 		return nil, fmt.Errorf("explore: anneal_iters %d exceeds %d", r.AnnealIters, maxAnnealIters)
 	}
+	mode, err := r.resolve()
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
 	proj, _, err := r.Project.build()
 	if err != nil {
 		return nil, err
 	}
+	proj.Solver = mode
+	proj.CouplingTheta = r.Theta
 	prob := &explore.DesignProblem{
 		Project:     proj,
 		Objectives:  r.Objectives,
@@ -236,6 +243,7 @@ type YieldRequest struct {
 	// PlaceSeed seeds that placement.
 	Autoplace bool  `json:"autoplace,omitempty"`
 	PlaceSeed int64 `json:"place_seed,omitempty"`
+	ComputeOpts
 }
 
 // YieldResponse summarizes the Monte Carlo run.
@@ -268,10 +276,16 @@ func runYield(ctx context.Context, req []byte) (any, error) {
 	if r.Samples > maxYieldSamples {
 		return nil, fmt.Errorf("yield: samples %d exceeds %d", r.Samples, maxYieldSamples)
 	}
+	mode, err := r.resolve()
+	if err != nil {
+		return nil, fmt.Errorf("yield: %w", err)
+	}
 	proj, specTols, err := r.Project.build()
 	if err != nil {
 		return nil, err
 	}
+	proj.Solver = mode
+	proj.CouplingTheta = r.Theta
 	if r.Autoplace || hasUnplaced(proj.Design) {
 		d := proj.Design.Clone()
 		if _, err := place.AutoPlaceCtx(ctx, d, place.Options{Seed: r.PlaceSeed}); err != nil {

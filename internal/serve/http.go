@@ -24,9 +24,13 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/jobs/{id}        job status and result (?wait=1 blocks)
 //	GET    /v1/jobs/{id}/events job progress stream, server-sent events
 //	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /healthz             liveness (503 while draining)
+//	GET    /healthz             liveness (always 200 while the process serves)
+//	GET    /readyz              readiness (503 while draining or recovering)
 //	GET    /metrics             Prometheus text exposition
 //	GET    /debug/trace/{job}   job trace, Chrome trace_event JSON
+//
+// plus the replica half of the cluster session-takeover protocol under
+// /cluster (see cluster.go in this package),
 //
 // plus the interactive design-session surface under /v1/sessions (see
 // session.go in this package). Every request passes a structured-logging
@@ -58,7 +62,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/redo", s.redoSessionHandler)
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.sessionEventsHandler)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.snapshotSessionHandler)
+	mux.HandleFunc("GET /cluster/sessions/{id}/log", s.sessionLogHandler)
+	mux.HandleFunc("POST /cluster/sessions/{id}/takeover", s.takeoverHandler)
+	mux.HandleFunc("POST /cluster/sessions/{id}/release", s.releaseHandler)
 	mux.HandleFunc("GET /healthz", s.healthHandler)
+	mux.HandleFunc("GET /readyz", s.readyHandler)
 	mux.HandleFunc("GET /metrics", s.metricsHandler)
 	mux.HandleFunc("GET /debug/trace/{job}", s.traceHandler)
 	return s.withLogging(mux)
@@ -274,15 +282,39 @@ func (s *Server) cancelHandler(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.View())
 }
 
+// healthHandler is pure liveness: 200 for as long as the process can
+// answer HTTP at all, draining included. Routing decisions belong to
+// /readyz — a load balancer that keys on /healthz would take a
+// draining replica out of rotation before its in-flight work finished,
+// which is exactly what drain is for.
 func (s *Server) healthHandler(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
 	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"workers":     s.cfg.Workers,
+		"queue_depth": s.QueueDepth(),
+	})
+}
+
+// readyHandler is readiness: 200 with the queue headroom while the
+// replica accepts new work, 503 + Retry-After while draining. The
+// queue_depth/queue_cap pair feeds the cluster router's admission
+// control.
+func (s *Server) readyHandler(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+		"status":      "ready",
 		"workers":     s.cfg.Workers,
 		"queue_depth": s.QueueDepth(),
+		"queue_cap":   s.QueueCap(),
+		"sessions":    s.sessions.Len(),
 	})
 }
 

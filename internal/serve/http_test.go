@@ -249,6 +249,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"emiserve_submitted_total",
 		"emiserve_dedup_hits_total",
 		"emiserve_result_store_hits_total",
+		"emiserve_cluster_adoptions_total",
 		"engine_cache_hits_total",
 	} {
 		if !strings.Contains(text, want) {
@@ -264,9 +265,19 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 	if err := s.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
+	// Liveness stays 200 while draining (the process is alive and must
+	// not be killed by a liveness-keyed supervisor mid-drain); readiness
+	// flips to 503 so routers stop sending work.
 	resp, body = getJSON(t, base+"/healthz")
-	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "draining") {
 		t.Fatalf("draining healthz %d %s", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, base+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("draining readyz %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining readyz has no Retry-After")
 	}
 	resp, _ = postJSON(t, base+"/v1/predict", `{"m":2}`)
 	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {

@@ -27,6 +27,7 @@ type metrics struct {
 	compactions       atomic.Uint64 // session WAL snapshot rewrites
 	progressEvents    atomic.Uint64 // intermediate results published by runners
 	jobStreams        atomic.Int64  // open job progress SSE streams
+	takeovers         atomic.Uint64 // sessions adopted from a cluster peer
 }
 
 // WriteMetrics writes the Prometheus text exposition (version 0.0.4) of
@@ -118,6 +119,12 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 		"# HELP emiserve_job_event_streams Open job progress SSE streams.\n"+
 		"# TYPE emiserve_job_event_streams gauge\nemiserve_job_event_streams %d\n",
 		s.m.progressEvents.Load(), s.m.jobStreams.Load()); err != nil {
+		return err
+	}
+
+	if err := p("# HELP emiserve_cluster_adoptions_total Sessions adopted from a cluster peer via takeover.\n"+
+		"# TYPE emiserve_cluster_adoptions_total counter\nemiserve_cluster_adoptions_total %d\n",
+		s.m.takeovers.Load()); err != nil {
 		return err
 	}
 

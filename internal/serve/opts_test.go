@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// TestComputeOptsResolve pins the per-job numerics knob validation: the
+// solver names mirror the CLI -solver flag, theta is the hierarchical
+// extraction accuracy in [0, 1).
+func TestComputeOptsResolve(t *testing.T) {
+	cases := []struct {
+		opts ComputeOpts
+		mode linalg.SolverMode
+		ok   bool
+	}{
+		{ComputeOpts{}, linalg.ModeAuto, true},
+		{ComputeOpts{Solver: "auto"}, linalg.ModeAuto, true},
+		{ComputeOpts{Solver: "dense"}, linalg.ModeDense, true},
+		{ComputeOpts{Solver: "sparse"}, linalg.ModeSparse, true},
+		{ComputeOpts{Solver: "dense", Theta: 0.5}, linalg.ModeDense, true},
+		{ComputeOpts{Theta: 0.999}, linalg.ModeAuto, true},
+		{ComputeOpts{Solver: "cholesky"}, 0, false},
+		{ComputeOpts{Theta: -0.1}, 0, false},
+		{ComputeOpts{Theta: 1}, 0, false},
+		{ComputeOpts{Theta: 1.5}, 0, false},
+	}
+	for _, c := range cases {
+		mode, err := c.opts.resolve()
+		if c.ok && (err != nil || mode != c.mode) {
+			t.Errorf("resolve(%+v) = %v, %v; want mode %v", c.opts, mode, err, c.mode)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("resolve(%+v) accepted, want error", c.opts)
+		}
+	}
+}
+
+// TestJobComputeOptsOverHTTP drives the knobs through the real predict
+// pipeline: a valid per-job solver works, an invalid one fails the job
+// with a diagnostic naming the knob — not a hung or half-done job.
+func TestJobComputeOptsOverHTTP(t *testing.T) {
+	_, base := httpFixture(t, Config{Workers: 1})
+	netlist := `V1 in 0 PULSE(0 12 0 1e-8 1e-8 2.5e-6 5e-6)
+R1 in out 10
+C1 out 0 1e-9
+RL out 0 50
+`
+	body := func(extra string) string {
+		return `{"netlist":` + jsonQuote(netlist) + `,"sources":["V1"],"measure":"out"` + extra + `}`
+	}
+
+	for _, solver := range []string{"", `,"solver":"dense"`, `,"solver":"sparse","theta":0.3`} {
+		resp, out := postJSON(t, base+"/v1/predict?wait=1", body(solver))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict with %q: status %d: %s", solver, resp.StatusCode, out)
+		}
+		var v View
+		if err := json.Unmarshal(out, &v); err != nil || v.State != StateDone {
+			t.Fatalf("predict with %q: state %s (%v)", solver, v.State, err)
+		}
+	}
+
+	for _, bad := range []string{`,"solver":"qr"`, `,"theta":1.2`} {
+		resp, out := postJSON(t, base+"/v1/predict?wait=1", body(bad))
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("predict with %q: status %d: %s, want failed job", bad, resp.StatusCode, out)
+		}
+		var v View
+		if err := json.Unmarshal(out, &v); err != nil {
+			t.Fatal(err)
+		}
+		mentionsKnob := strings.Contains(v.Error, "solver") || strings.Contains(v.Error, "theta")
+		if v.State != StateFailed || !mentionsKnob {
+			t.Fatalf("predict with %q: state %s error %q", bad, v.State, v.Error)
+		}
+	}
+}
+
+// jsonQuote JSON-quotes a string (test-local; avoids importing strconv for
+// one call and keeps multi-line netlists readable).
+func jsonQuote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

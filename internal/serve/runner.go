@@ -14,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/layout"
+	"repro/internal/linalg"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/peec"
@@ -36,6 +37,34 @@ func DefaultRunners() map[Kind]Runner {
 	}
 }
 
+// ComputeOpts are the numerics knobs every job request accepts — the
+// HTTP mirror of the CLIs' -solver and -theta flags, but scoped to one
+// job instead of the whole process. A knob a kind's pipeline does not
+// exercise is validated and then ignored, like an unused tolerance:
+// predict runs MNA but extracts no couplings (theta ignored), couple
+// extracts couplings but solves nothing (solver ignored), place does
+// neither, explore and yield do both.
+type ComputeOpts struct {
+	// Solver picks the MNA factorization backend for this job: "auto"
+	// (default; size heuristic), "dense" or "sparse".
+	Solver string `json:"solver,omitempty"`
+	// Theta sets the hierarchical coupling-extraction accuracy,
+	// θ ∈ (0, 1); smaller is more accurate, 0 (default) is exact.
+	Theta float64 `json:"theta,omitempty"`
+}
+
+// resolve validates both knobs and returns the parsed solver mode.
+func (o ComputeOpts) resolve() (linalg.SolverMode, error) {
+	mode, err := linalg.ParseSolverMode(o.Solver)
+	if err != nil {
+		return linalg.ModeAuto, err
+	}
+	if o.Theta < 0 || o.Theta >= 1 {
+		return linalg.ModeAuto, fmt.Errorf("linalg: theta %g out of range [0, 1)", o.Theta)
+	}
+	return mode, nil
+}
+
 // PredictRequest asks for the conducted-emission spectrum of a netlist —
 // the paper's interference prediction as a service.
 type PredictRequest struct {
@@ -45,6 +74,7 @@ type PredictRequest struct {
 	MaxFreq     float64  `json:"max_freq,omitempty"`     // Hz; 0 = CISPR band stop
 	Harmonics   int      `json:"harmonics,omitempty"`    // 0 = enough to reach MaxFreq
 	NoCouplings bool     `json:"no_couplings,omitempty"` // strip K elements first
+	ComputeOpts
 }
 
 // ViolationView is one CISPR limit violation in a response.
@@ -73,6 +103,11 @@ func runPredict(ctx context.Context, req []byte) (any, error) {
 		psp.End()
 		return nil, fmt.Errorf("predict: netlist, sources and measure are required")
 	}
+	mode, err := r.resolve()
+	if err != nil {
+		psp.End()
+		return nil, fmt.Errorf("predict: %w", err)
+	}
 	ckt, err := netlist.Parse(strings.NewReader(r.Netlist))
 	if err != nil {
 		psp.End()
@@ -89,6 +124,7 @@ func runPredict(ctx context.Context, req []byte) (any, error) {
 		MeasureNode: r.Measure,
 		MaxFreq:     r.MaxFreq,
 		Harmonics:   r.Harmonics,
+		Solver:      mode,
 	}
 	s, err := p.SpectrumCtx(ctx)
 	if err != nil {
@@ -114,6 +150,7 @@ type PlaceRequest struct {
 	SkipRotation bool    `json:"skip_rotation,omitempty"` // skip step 1
 	Partition    bool    `json:"partition,omitempty"`     // two-board partitioning
 	GridMM       float64 `json:"grid_mm,omitempty"`       // candidate raster; 0 = auto
+	ComputeOpts
 }
 
 // PlaceResponse carries the placed design and its DRC verdict.
@@ -136,6 +173,10 @@ func runPlace(ctx context.Context, req []byte) (any, error) {
 	if r.Design == "" {
 		psp.End()
 		return nil, fmt.Errorf("place: design is required")
+	}
+	if _, err := r.resolve(); err != nil {
+		psp.End()
+		return nil, fmt.Errorf("place: %w", err)
 	}
 	d, err := layout.ReadString(r.Design)
 	if err != nil {
@@ -178,6 +219,7 @@ type CoupleRequest struct {
 	ToMM   float64 `json:"to_mm,omitempty"`   // sweep end; 0 = 60
 	StepMM float64 `json:"step_mm,omitempty"` // sweep step; 0 = 4
 	KMax   float64 `json:"k_max,omitempty"`   // also derive PEMD when > 0
+	ComputeOpts
 }
 
 // CoupleResponse carries the coupling-vs-distance curve.
@@ -191,6 +233,9 @@ func runCouple(ctx context.Context, req []byte) (any, error) {
 	var r CoupleRequest
 	if err := strictUnmarshal(req, &r); err != nil {
 		return nil, err
+	}
+	if _, err := r.resolve(); err != nil {
+		return nil, fmt.Errorf("couple: %w", err)
 	}
 	a, err := components.ParseSpec(r.A)
 	if err != nil {
@@ -226,6 +271,9 @@ func runCouple(ctx context.Context, req []byte) (any, error) {
 	ia := &components.Instance{Ref: "A", Model: a}
 	ks, err := engine.MapCtx(ctx, len(dists), func(i int) (float64, error) {
 		ib := &components.Instance{Ref: "B", Model: b, Center: geom.V2(0, dists[i]*1e-3)}
+		if r.Theta > 0 {
+			return math.Abs(components.CouplingFactorHier(ia, ib, peec.DefaultOrder, r.Theta)), nil
+		}
 		return math.Abs(components.CouplingFactor(ia, ib, peec.DefaultOrder)), nil
 	})
 	if err != nil {

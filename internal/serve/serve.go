@@ -129,6 +129,11 @@ type Server struct {
 	dmu      sync.Mutex
 	durables map[string]*sessionDurable
 
+	// takeoverMu serializes cluster session adoptions: two racing
+	// takeovers of the same session must not double-create its durable
+	// log (see cluster.go).
+	takeoverMu sync.Mutex
+
 	wg        sync.WaitGroup
 	m         metrics
 	recovered Recovery          // what New rebuilt from the store
@@ -263,7 +268,7 @@ func (s *Server) recover() {
 			s.jobs[j.ID] = j
 			s.finished = append(s.finished, finishedRef{id: j.ID, at: r.Done})
 			if r.State == store.JobDone && len(r.Req) > 0 {
-				s.store.putWithExpiry(hashRequest(kind, r.Req), r.Result, r.Expires)
+				s.store.putWithExpiry(hashRequest(kind, r.Req), r.ID, r.Result, r.Expires)
 			}
 			s.recovered.Restored++
 			keep = append(keep, r)
@@ -403,10 +408,18 @@ func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
 	}
 
 	// Answer from the result store when a byte-identical request
-	// completed within the TTL.
-	if res := s.store.get(key, now); res != nil {
+	// completed within the TTL. The hit re-serves the ORIGINAL job ID:
+	// minting a fresh alias ID here would acknowledge an ID with no
+	// write-ahead record behind it — the original's terminal record is
+	// already durable, an alias would evaporate on restart.
+	if res, origID := s.store.get(key, now); res != nil {
 		s.m.storeHits.Add(1)
-		j := newJob(s.nextIDLocked(key), kind, key, nil, now)
+		if j := s.jobs[origID]; j != nil {
+			return j, nil
+		}
+		// Original pruned from the job map: resurrect it under its own
+		// ID, backed by the stored result.
+		j := newJob(origID, kind, key, nil, now)
 		j.state = StateDone
 		j.result = res
 		j.finished = now
@@ -650,7 +663,7 @@ func (s *Server) run(j *Job) {
 	s.persistJobFinal(j, final)
 	if final == StateDone {
 		s.mu.Lock()
-		s.store.put(j.Key, result, s.now())
+		s.store.put(j.Key, j.ID, result, s.now())
 		s.mu.Unlock()
 	}
 }
@@ -688,6 +701,10 @@ func (s *Server) pruneLocked(now time.Time) {
 
 // QueueDepth returns the number of jobs waiting in the queue.
 func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// QueueCap returns the bounded queue's capacity — with QueueDepth, the
+// saturation signal the cluster router's admission control keys on.
+func (s *Server) QueueCap() int { return s.cfg.QueueDepth }
 
 // Draining reports whether intake has stopped.
 func (s *Server) Draining() bool {

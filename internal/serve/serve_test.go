@@ -267,15 +267,20 @@ func TestStoreLRUEviction(t *testing.T) {
 	st := newResultStore(2, time.Minute)
 	now := time.Now()
 	k := func(i int) engine.Key { return engine.Key{uint64(i), 0} }
-	st.put(k(1), json.RawMessage(`1`), now)
-	st.put(k(2), json.RawMessage(`2`), now)
-	st.get(k(1), now)                       // refresh 1 → LRU is 2
-	st.put(k(3), json.RawMessage(`3`), now) // evicts 2
-	if st.get(k(2), now) != nil {
+	st.put(k(1), "j1", json.RawMessage(`1`), now)
+	st.put(k(2), "j2", json.RawMessage(`2`), now)
+	st.get(k(1), now)                             // refresh 1 → LRU is 2
+	st.put(k(3), "j3", json.RawMessage(`3`), now) // evicts 2
+	if r, _ := st.get(k(2), now); r != nil {
 		t.Fatal("LRU evicted the wrong entry")
 	}
-	if st.get(k(1), now) == nil || st.get(k(3), now) == nil {
+	r1, id1 := st.get(k(1), now)
+	r3, _ := st.get(k(3), now)
+	if r1 == nil || r3 == nil {
 		t.Fatal("recently used entries evicted")
+	}
+	if id1 != "j1" {
+		t.Fatalf("store hit returned job ID %q, want j1", id1)
 	}
 	if st.len() != 2 {
 		t.Fatalf("len = %d, want 2", st.len())

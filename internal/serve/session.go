@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/geom"
@@ -135,7 +136,20 @@ func (s *Server) createSessionHandler(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess, err := s.sessions.Create(d, nil)
+	var sess *session.Session
+	if cid := r.Header.Get(ClusterSessionHeader); cid != "" {
+		// A cluster router minted the ID so the session hashes to a
+		// stable ring owner; the prefix keeps it out of the local
+		// "s%06d" namespace.
+		if !strings.HasPrefix(cid, "cs-") {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("sessions: cluster session ID %q must start with cs-", cid))
+			return
+		}
+		sess, err = s.sessions.CreateWithID(cid, d, nil)
+	} else {
+		sess, err = s.sessions.Create(d, nil)
+	}
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -171,10 +185,28 @@ func (s *Server) listSessionsHandler(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// lookupSession resolves a session for a request, distinguishing "gone"
+// from "draining": once Drain closed the sessions, a 404 would tell
+// clients their session is dead when it is actually a restart (or a
+// cluster takeover) away from living on. 503 + Retry-After invites the
+// retry instead. Writes the error response itself when ok is false.
+func (s *Server) lookupSession(w http.ResponseWriter, id string) (*session.Session, bool) {
+	sess, ok := s.sessions.Get(id)
+	if ok {
+		return sess, true
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return nil, false
+	}
+	writeError(w, http.StatusNotFound, "no such session")
+	return nil, false
+}
+
 func (s *Server) getSessionHandler(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.Get(r.PathValue("id"))
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	view := SessionStateView{State: sess.State()}
@@ -192,6 +224,11 @@ func (s *Server) getSessionHandler(w http.ResponseWriter, r *http.Request) {
 func (s *Server) deleteSessionHandler(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.sessions.Delete(id) {
+		if s.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+			return
+		}
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
@@ -205,9 +242,8 @@ func (s *Server) deleteSessionHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) editSessionHandler(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.Get(r.PathValue("id"))
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
@@ -295,9 +331,8 @@ func (s *Server) redoSessionHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) undoRedo(w http.ResponseWriter, r *http.Request, undo bool) {
-	sess, ok := s.sessions.Get(r.PathValue("id"))
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	w.Header().Set("X-Session-ID", sess.ID)
@@ -321,9 +356,8 @@ func (s *Server) undoRedo(w http.ResponseWriter, r *http.Request, undo bool) {
 }
 
 func (s *Server) snapshotSessionHandler(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.Get(r.PathValue("id"))
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	snap, err := sess.Snapshot()
@@ -344,9 +378,8 @@ func (s *Server) snapshotSessionHandler(w http.ResponseWriter, r *http.Request) 
 // session is deleted, the server drains, or the client falls too far
 // behind.
 func (s *Server) sessionEventsHandler(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.sessions.Get(r.PathValue("id"))
+	sess, ok := s.lookupSession(w, r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	fl, ok := w.(http.Flusher)

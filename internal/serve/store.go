@@ -22,6 +22,7 @@ type resultStore struct {
 
 type storeEntry struct {
 	key     engine.Key
+	id      string // job that produced the result; store hits re-serve it
 	result  json.RawMessage
 	expires time.Time
 }
@@ -30,44 +31,45 @@ func newResultStore(capacity int, ttl time.Duration) *resultStore {
 	return &resultStore{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[engine.Key]*list.Element)}
 }
 
-// get returns the unexpired result for key, refreshing its recency, or
-// nil on miss.
-func (s *resultStore) get(key engine.Key, now time.Time) json.RawMessage {
+// get returns the unexpired result for key and the ID of the job that
+// produced it, refreshing the entry's recency, or nil on miss.
+func (s *resultStore) get(key engine.Key, now time.Time) (json.RawMessage, string) {
 	e, ok := s.m[key]
 	if !ok {
-		return nil
+		return nil, ""
 	}
 	ent := e.Value.(*storeEntry)
 	if now.After(ent.expires) {
 		s.ll.Remove(e)
 		delete(s.m, key)
-		return nil
+		return nil, ""
 	}
 	s.ll.MoveToFront(e)
-	return ent.result
+	return ent.result, ent.id
 }
 
 // put stores a result, evicting the least recently used entry beyond
 // capacity.
-func (s *resultStore) put(key engine.Key, result json.RawMessage, now time.Time) {
-	s.putWithExpiry(key, result, now.Add(s.ttl))
+func (s *resultStore) put(key engine.Key, id string, result json.RawMessage, now time.Time) {
+	s.putWithExpiry(key, id, result, now.Add(s.ttl))
 }
 
 // putWithExpiry stores a result with an explicit expiry — recovery uses
 // it to reload persisted results with their original TTL deadlines
 // rather than granting a fresh window.
-func (s *resultStore) putWithExpiry(key engine.Key, result json.RawMessage, expires time.Time) {
+func (s *resultStore) putWithExpiry(key engine.Key, id string, result json.RawMessage, expires time.Time) {
 	if s.cap <= 0 {
 		return
 	}
 	if e, ok := s.m[key]; ok {
 		ent := e.Value.(*storeEntry)
+		ent.id = id
 		ent.result = result
 		ent.expires = expires
 		s.ll.MoveToFront(e)
 		return
 	}
-	s.m[key] = s.ll.PushFront(&storeEntry{key: key, result: result, expires: expires})
+	s.m[key] = s.ll.PushFront(&storeEntry{key: key, id: id, result: result, expires: expires})
 	for s.ll.Len() > s.cap {
 		back := s.ll.Back()
 		s.ll.Remove(back)

@@ -128,6 +128,62 @@ func (m *Manager) Create(d *layout.Design, proj *core.Project) (*Session, error)
 	return s, nil
 }
 
+// CreateWithID is Create for a caller that supplies the session ID — the
+// cluster router mints IDs itself so a session hashes to the same ring
+// owner on every routing decision. The ID must not collide with the
+// manager's own "s%06d" namespace (router IDs carry a distinct prefix);
+// an ID that is already live is an error.
+func (m *Manager) CreateWithID(id string, d *layout.Design, proj *core.Project) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("session: empty id")
+	}
+	var n uint64
+	if _, err := fmt.Sscanf(id, "s%d", &n); err == nil {
+		return nil, fmt.Errorf("session: id %q collides with the local namespace", id)
+	}
+	m.mu.Lock()
+	now := m.now()
+	m.sweepLocked(now)
+	if _, ok := m.sessions[id]; ok {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: %s already live", id)
+	}
+	if len(m.sessions) >= m.cap {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session: capacity reached (%d live sessions)", m.cap)
+	}
+	m.mu.Unlock()
+
+	var (
+		s   *Session
+		err error
+	)
+	if proj != nil {
+		p := *proj
+		p.Design = d
+		s, err = NewWithProject(id, &p)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s = New(id, d)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; ok {
+		s.Close()
+		return nil, fmt.Errorf("session: %s already live", id)
+	}
+	if len(m.sessions) >= m.cap {
+		s.Close()
+		return nil, fmt.Errorf("session: capacity reached (%d live sessions)", m.cap)
+	}
+	m.sessions[id] = &entry{s: s, lastUsed: m.now()}
+	m.created++
+	return s, nil
+}
+
 // Adopt inserts a recovered session under its existing ID and advances
 // the ID counter past it, so freshly created sessions never collide with
 // recovered ones. It counts against the capacity like Create.

@@ -1,0 +1,154 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterHarness runs N real emiserve replicas (separate processes,
+// separate durable data directories) behind an in-process
+// cluster.Router, for the cluster soak: rolling SIGKILLs of replicas
+// while mixed load flows through the router, then ledger verification
+// against the router URL. The router stays in-process so its routing
+// tables (job owners, session affinity) survive every replica death,
+// the way a production router outlives the replicas it fronts.
+type ClusterHarness struct {
+	Bin      string     // path to the emiserve binary
+	BaseDir  string     // per-replica data dirs are created under here
+	Args     []string   // extra emiserve flags (e.g. -fsync always)
+	Replicas []*Harness // one per member, index-stable
+
+	rt   *cluster.Router
+	hs   *http.Server
+	addr string
+}
+
+// NewClusterHarness lays out n replica harnesses under baseDir
+// (replica0, replica1, ...) with pre-picked localhost ports, so the
+// member list — and with it the hash ring — is fixed before anything
+// starts.
+func NewClusterHarness(bin, baseDir string, n int, args []string) (*ClusterHarness, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("cluster harness: need at least 2 replicas, got %d", n)
+	}
+	c := &ClusterHarness{Bin: bin, BaseDir: baseDir, Args: args}
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(baseDir, fmt.Sprintf("replica%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		h := &Harness{Bin: bin, DataDir: dir, Args: args}
+		if err := h.PickAddr(); err != nil {
+			return nil, err
+		}
+		c.Replicas = append(c.Replicas, h)
+	}
+	return c, nil
+}
+
+// Start launches every replica, then the router on its own localhost
+// port. probeEvery is the router's health-probe period (also its
+// advertised Retry-After); keep it short in tests so takeover and
+// recovery converge quickly.
+func (c *ClusterHarness) Start(probeEvery time.Duration) error {
+	for i, h := range c.Replicas {
+		if err := h.Start(); err != nil {
+			for _, prev := range c.Replicas[:i] {
+				prev.Kill()
+			}
+			return fmt.Errorf("cluster harness: replica %d: %w", i, err)
+		}
+	}
+	members := make([]cluster.Member, len(c.Replicas))
+	for i, h := range c.Replicas {
+		members[i] = cluster.Member{Name: fmt.Sprintf("r%d", i), URL: h.BaseURL()}
+	}
+	rt, err := cluster.New(cluster.Config{Members: members, ProbeInterval: probeEvery})
+	if err != nil {
+		c.killAll()
+		return err
+	}
+	rt.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		c.killAll()
+		return err
+	}
+	c.rt = rt
+	c.addr = ln.Addr().String()
+	c.hs = &http.Server{Handler: rt.Handler()}
+	go c.hs.Serve(ln)
+	return nil
+}
+
+// BaseURL returns the router's base URL — the single address the load
+// and the verifier talk to.
+func (c *ClusterHarness) BaseURL() string { return "http://" + c.addr }
+
+// Router exposes the in-process router (metrics, forced probes).
+func (c *ClusterHarness) Router() *cluster.Router { return c.rt }
+
+// KillReplica SIGKILLs replica i mid-load: no drain, no goodbye.
+func (c *ClusterHarness) KillReplica(i int) { c.Replicas[i].Kill() }
+
+// RestartReplica starts replica i again against its surviving data
+// directory; it recovers from its WALs and rejoins the ring as soon as
+// the next probe sees it ready.
+func (c *ClusterHarness) RestartReplica(i int) error { return c.Replicas[i].Start() }
+
+// AwaitAllReady blocks until every replica answers 200 on its own
+// /readyz and the router has probed them, so a following Verify sees
+// the complete cluster (a still-recovering replica would make its jobs
+// look lost). Returns false when ctx expires first.
+func (c *ClusterHarness) AwaitAllReady(ctx context.Context) bool {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	for _, h := range c.Replicas {
+		for {
+			if ctx.Err() != nil {
+				return false
+			}
+			resp, err := hc.Get(h.BaseURL() + "/readyz")
+			if err == nil {
+				code := resp.StatusCode
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if code == http.StatusOK {
+					break
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+	c.rt.Prober().ProbeNow()
+	return true
+}
+
+// Close stops the router and SIGKILLs every replica.
+func (c *ClusterHarness) Close() {
+	if c.hs != nil {
+		c.hs.Close()
+	}
+	if c.rt != nil {
+		c.rt.Close()
+	}
+	c.killAll()
+}
+
+func (c *ClusterHarness) killAll() {
+	for _, h := range c.Replicas {
+		h.Kill()
+	}
+}

@@ -367,8 +367,12 @@ func (s *Soak) nextOp(ss *soakSession, rng *rand.Rand) *soakOp {
 }
 
 // sendOp posts one op. ok means acknowledged (200); gone means the
-// transport failed — whether the server died or our context was cut,
-// the op may have landed, so it must stay pending until resolved.
+// op's fate is unknown — the transport failed, or a cluster router
+// answered 502 because the forwarded request died mid-flight on the
+// session's owner. Either way the op may have landed, so it must stay
+// pending until resolved against the recovered sequence number. Every
+// other status (429 shed, 503 takeover pending, 409 empty undo stack)
+// is a clean rejection: nothing happened on either side.
 func (s *Soak) sendOp(ctx context.Context, id string, op *soakOp) (ok, gone bool) {
 	path := "/v1/sessions/" + id + "/" + op.kind
 	resp, err := s.post(ctx, path, op.wire)
@@ -377,7 +381,13 @@ func (s *Soak) sendOp(ctx context.Context, id string, op *soakOp) (ok, gone bool
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode == http.StatusOK, false
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, false
+	case http.StatusBadGateway:
+		return false, true
+	}
+	return false, false
 }
 
 // applyLocal mirrors an acknowledged op onto the reference session.
@@ -456,6 +466,12 @@ func (s *Soak) remoteSeq(ctx context.Context, id string) (uint64, bool) {
 		}
 		if code == http.StatusOK && err == nil {
 			return st.Seq, true
+		}
+		// 503: the session's owner is down or a takeover is pending
+		// behind a router. Back off instead of spinning.
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
 		}
 	}
 	return 0, false
@@ -662,6 +678,12 @@ func (s *Soak) jobState(ctx context.Context, id string, wait bool) (string, bool
 		if err == nil && view.State != "" {
 			return view.State, true
 		}
+		// Owner down behind a router (503) or a malformed answer: back
+		// off and retry until the deadline.
+		select {
+		case <-ctx.Done():
+		case <-time.After(100 * time.Millisecond):
+		}
 	}
 	// ctx expired: one last non-blocking look.
 	resp, err := s.get(context.Background(), "/v1/jobs/"+id)
@@ -698,10 +720,13 @@ func (s *Soak) get(ctx context.Context, path string) (*http.Response, error) {
 	return s.hc.Do(req)
 }
 
-// awaitHealthy polls /healthz until the server answers 200 or ctx ends.
+// awaitHealthy polls /readyz until the server answers 200 or ctx ends.
+// Readiness, not liveness: a recovering or draining replica answers 200
+// on /healthz but cannot take work yet, and a cluster router's /readyz
+// is 200 exactly when at least one replica behind it is routable.
 func (s *Soak) awaitHealthy(ctx context.Context) bool {
 	for {
-		resp, err := s.get(ctx, "/healthz")
+		resp, err := s.get(ctx, "/readyz")
 		if err == nil {
 			code := resp.StatusCode
 			io.Copy(io.Discard, resp.Body)

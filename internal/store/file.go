@@ -350,6 +350,31 @@ func loadSessionLog(path string) (SessionLog, int, error) {
 	return log, good, nil
 }
 
+// LoadSession reads one session's WAL, repairing a damaged tail in place
+// exactly like LoadSessions. Appends issued through an already-open
+// handle are flushed by the kernel page cache before ReadFile sees the
+// file, so the log returned here always contains every acknowledged edit.
+func (fs *FileStore) LoadSession(id string) (SessionLog, error) {
+	path, err := fs.sessionPath(id)
+	if err != nil {
+		return SessionLog{}, err
+	}
+	if _, err := os.Stat(path); err != nil {
+		return SessionLog{}, fmt.Errorf("store: no session %s", id)
+	}
+	log, goodOffset, err := loadSessionLog(path)
+	if err != nil {
+		return SessionLog{}, err
+	}
+	if log.Repaired {
+		if err := os.Truncate(path, int64(goodOffset)); err != nil {
+			return SessionLog{}, fmt.Errorf("store: repair %s: %w", id, err)
+		}
+		fs.repairs.Add(1)
+	}
+	return log, nil
+}
+
 func (fs *FileStore) AppendJob(rec JobRecord) error {
 	frame, err := encodeJob(nil, rec)
 	if err != nil {

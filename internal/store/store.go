@@ -37,6 +37,11 @@ type Store interface {
 	// damaged tails (a torn or corrupt record ends the acknowledged
 	// prefix; the damage is truncated away so the next append is clean).
 	LoadSessions() ([]SessionLog, error)
+	// LoadSession returns one session's log with the same repair
+	// semantics as LoadSessions. It is the unit of transfer for
+	// cross-replica session takeover: the owner serves its log, the
+	// adopter replays it. Returns an error when the session is unknown.
+	LoadSession(id string) (SessionLog, error)
 
 	// AppendJob appends one job state transition.
 	AppendJob(rec JobRecord) error
@@ -157,6 +162,21 @@ func (m *Memory) LoadSessions() ([]SessionLog, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+func (m *Memory) LoadSession(id string) (SessionLog, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return SessionLog{}, fmt.Errorf("store: no session %s", id)
+	}
+	return SessionLog{
+		ID:      id,
+		BaseSeq: s.baseSeq,
+		Design:  append([]byte(nil), s.design...),
+		Records: append([]session.JournalRecord(nil), s.records...),
+	}, nil
 }
 
 func (m *Memory) AppendJob(rec JobRecord) error {
