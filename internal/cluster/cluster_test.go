@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -126,8 +128,27 @@ type stubReplica struct {
 	gets    atomic.Int64
 	nextJob atomic.Int64
 
-	mu   sync.Mutex
-	jobs map[string]bool
+	adoptions      atomic.Int64
+	takeoverSource atomic.Value // string: last takeover {"source"}
+
+	mu       sync.Mutex
+	jobs     map[string]bool
+	sessions map[string]string // id → "live" | "sealed"
+}
+
+func (s *stubReplica) putSession(id, state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sessions == nil {
+		s.sessions = map[string]string{}
+	}
+	s.sessions[id] = state
+}
+
+func (s *stubReplica) sessionState(id string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
 }
 
 func (s *stubReplica) putJob(id string) {
@@ -190,6 +211,47 @@ func newStubReplica(t *testing.T, name string) *stubReplica {
 			return
 		}
 		json.NewEncoder(w).Encode(map[string]string{"id": id, "state": "done"})
+	})
+	// Session surface, mirroring the replica contract: a sealed copy
+	// flags every response with X-Session-Sealed and refuses mutations
+	// with 409; takeover installs a live copy and records the source.
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		switch sr.sessionState(id) {
+		case "live":
+			json.NewEncoder(w).Encode(map[string]string{"id": id})
+		case "sealed":
+			w.Header().Set("X-Session-Sealed", "true")
+			json.NewEncoder(w).Encode(map[string]string{"id": id})
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no such session"}`)
+		}
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		id := r.PathValue("id")
+		switch sr.sessionState(id) {
+		case "live":
+			json.NewEncoder(w).Encode(map[string]any{"id": id, "seq": 1})
+		case "sealed":
+			w.Header().Set("X-Session-Sealed", "true")
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintln(w, `{"error":"sealed for migration"}`)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no such session"}`)
+		}
+	})
+	mux.HandleFunc("POST /cluster/sessions/{id}/takeover", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Source string `json:"source"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		sr.takeoverSource.Store(req.Source)
+		sr.adoptions.Add(1)
+		sr.putSession(r.PathValue("id"), "live")
+		json.NewEncoder(w).Encode(map[string]string{"status": "adopted"})
 	})
 	sr.ts = httptest.NewServer(mux)
 	t.Cleanup(sr.ts.Close)
@@ -375,6 +437,140 @@ func TestJobReadsFollowOwner(t *testing.T) {
 	resp, body = get(t, base+"/v1/jobs/j999999-nope")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job status %d body %s", resp.StatusCode, body)
+	}
+}
+
+// ---- health attribution ---------------------------------------------
+
+// TestMarkDownIgnoresClientCancel: a forward error caused by the
+// client's own disconnect (canceled context) must not mark a healthy
+// replica Down — that would trigger spurious session takeovers. A
+// genuine transport failure still does.
+func TestMarkDownIgnoresClientCancel(t *testing.T) {
+	a := newStubReplica(t, "r0")
+	rt := testRouter(t, a)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gone := httptest.NewRequest(http.MethodGet, "/v1/jobs/x", nil).WithContext(ctx)
+	rt.markDown("r0", gone, fmt.Errorf("forward: %w", context.Canceled))
+	if !rt.prober.Ready("r0") {
+		t.Fatal("client disconnect marked a healthy replica down")
+	}
+
+	// Same verdict when only the error says canceled (the inbound
+	// request may already be torn down when the forward returns).
+	live := httptest.NewRequest(http.MethodGet, "/v1/jobs/x", nil)
+	rt.markDown("r0", live, context.Canceled)
+	if !rt.prober.Ready("r0") {
+		t.Fatal("canceled forward marked a healthy replica down")
+	}
+
+	rt.markDown("r0", live, errors.New("connection refused"))
+	if rt.prober.Ready("r0") {
+		t.Fatal("genuine transport failure did not mark the replica down")
+	}
+}
+
+// ---- locate completeness --------------------------------------------
+
+// TestSessionLocate404Vs503: "no such session" is only provable when
+// every member answered the locate scan. With a member unreachable the
+// same request must answer 503 + Retry-After, not 404 — the silent
+// member may hold the session.
+func TestSessionLocate404Vs503(t *testing.T) {
+	a := newStubReplica(t, "r0")
+	b := newStubReplica(t, "r1")
+	rt := testRouter(t, a, b)
+	base := routerServer(t, rt)
+
+	resp, body := get(t, base+"/v1/sessions/cs-nowhere01")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("all members answered: status %d body %s, want 404", resp.StatusCode, body)
+	}
+
+	b.ready.Store(false)
+	rt.Prober().ProbeNow()
+	resp, body = get(t, base+"/v1/sessions/cs-nowhere01")
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("member silent: status %d body %s Retry-After %q, want 503 with Retry-After",
+			resp.StatusCode, body, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestJobLocate503WhenMemberSilent: same contract for jobs — an owner
+// that is down holds its jobs in its WAL, so an unlocatable job is
+// "come back", never "gone", until every member has answered.
+func TestJobLocate503WhenMemberSilent(t *testing.T) {
+	a := newStubReplica(t, "r0")
+	b := newStubReplica(t, "r1")
+	rt := testRouter(t, a, b)
+	base := routerServer(t, rt)
+
+	b.ready.Store(false)
+	rt.Prober().ProbeNow()
+	resp, body := get(t, base+"/v1/jobs/j000042-r1")
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("member silent: status %d body %s Retry-After %q, want 503 with Retry-After",
+			resp.StatusCode, body, resp.Header.Get("Retry-After"))
+	}
+}
+
+// ---- sealed-copy recovery -------------------------------------------
+
+// TestSealedOwnerRecovery: when the recorded owner answers with a
+// sealed copy (the fossil of an interrupted takeover), the router must
+// complete the handover to a fresh owner and retry there — the client
+// sees one normal answer, not the fossil's 409.
+func TestSealedOwnerRecovery(t *testing.T) {
+	a := newStubReplica(t, "r0")
+	b := newStubReplica(t, "r1")
+	rt := testRouter(t, a, b)
+	base := routerServer(t, rt)
+	const id = "cs-sealed01"
+	a.putSession(id, "sealed")
+	rt.mu.Lock()
+	rt.sessOwner[id] = sessRoute{owner: "r0"}
+	rt.mu.Unlock()
+
+	resp, body := post(t, base+"/v1/sessions/"+id+"/edits", `{"op":"param"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit against sealed owner: status %d body %s, want 200 after recovery", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Session-Sealed") != "" {
+		t.Fatal("recovered response still carries the sealed flag")
+	}
+	if n := b.adoptions.Load(); n != 1 {
+		t.Fatalf("successor ran %d takeovers, want 1", n)
+	}
+	if src, _ := b.takeoverSource.Load().(string); src != a.ts.URL {
+		t.Fatalf("takeover source %q, want the sealed owner %q", src, a.ts.URL)
+	}
+	rt.mu.Lock()
+	owner := rt.sessOwner[id].owner
+	rt.mu.Unlock()
+	if owner != "r1" {
+		t.Fatalf("routing table owner %q after recovery, want r1", owner)
+	}
+}
+
+// TestColdLocateRecoversSealedFossil: a router with a cold routing
+// table (restart) whose locate scan finds only a sealed copy must
+// finish the interrupted handover instead of 503ing forever.
+func TestColdLocateRecoversSealedFossil(t *testing.T) {
+	a := newStubReplica(t, "r0")
+	b := newStubReplica(t, "r1")
+	rt := testRouter(t, a, b)
+	base := routerServer(t, rt)
+	const id = "cs-fossil02"
+	a.putSession(id, "sealed")
+
+	resp, body := get(t, base+"/v1/sessions/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold locate of sealed fossil: status %d body %s, want 200 via handover", resp.StatusCode, body)
+	}
+	if n := b.adoptions.Load(); n != 1 {
+		t.Fatalf("successor ran %d takeovers, want 1", n)
 	}
 }
 

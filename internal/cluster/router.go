@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	cryptorand "crypto/rand"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -147,6 +149,19 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
+// markDown feeds a forward failure into the prober — unless the error
+// is the client's own doing. A client that disconnects (or times out)
+// mid-forward cancels the outbound request and surfaces as a transport
+// error here; marking a healthy replica Down for that would trigger
+// spurious session takeovers for up to a probe interval. Cluster health
+// only changes on failures the replica actually caused.
+func (rt *Router) markDown(name string, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || r.Context().Err() != nil {
+		return
+	}
+	rt.prober.MarkDown(name, err)
+}
+
 // retryAfter is the seconds the router tells shed clients to wait: one
 // probe interval, when its view of the cluster refreshes.
 func (rt *Router) retryAfter() string {
@@ -235,7 +250,7 @@ func (rt *Router) submitHandler(w http.ResponseWriter, r *http.Request) {
 		attempts++
 		resp, err := rt.roundTrip(r, name, body)
 		if err != nil {
-			rt.prober.MarkDown(name, err)
+			rt.markDown(name, r, err)
 			rt.log.Warn("submit forward failed", "member", name, "err", err)
 			continue
 		}
@@ -287,8 +302,19 @@ func (rt *Router) jobHandler(mutation bool) http.HandlerFunc {
 		id := r.PathValue("id")
 		owner := rt.jobOwnerOf(id)
 		if owner == "" {
-			owner = rt.locateJob(r, id)
+			var complete bool
+			owner, complete = rt.locateJob(r, id)
 			if owner == "" {
+				if !complete {
+					// A member the scan could not ask (down, draining,
+					// recovering) may hold the job; "not found" is only
+					// provable when every member answered.
+					rt.m.unavailable.Add(1)
+					w.Header().Set("Retry-After", rt.retryAfter())
+					writeError(w, http.StatusServiceUnavailable,
+						"cluster: job "+id+" not located; not every replica answered")
+					return
+				}
 				writeError(w, http.StatusNotFound, "cluster: no replica knows job "+id)
 				return
 			}
@@ -306,7 +332,7 @@ func (rt *Router) jobHandler(mutation bool) http.HandlerFunc {
 		}
 		resp, err := rt.roundTrip(r, owner, nil)
 		if err != nil {
-			rt.prober.MarkDown(owner, err)
+			rt.markDown(owner, r, err)
 			rt.forwardFailure(w, mutation, owner, err)
 			return
 		}
@@ -316,29 +342,35 @@ func (rt *Router) jobHandler(mutation bool) http.HandlerFunc {
 }
 
 // locateJob asks every ready member for the job when the routing table
-// has no entry (router restart, evicted route). First 200 wins.
-func (rt *Router) locateJob(r *http.Request, id string) string {
+// has no entry (router restart, evicted route). First non-404 wins.
+// complete reports whether every member was asked and answered — only
+// then is an empty result proof the job does not exist.
+func (rt *Router) locateJob(r *http.Request, id string) (owner string, complete bool) {
+	complete = true
 	for _, name := range rt.ring.Sequence("job:" + id) {
 		if !rt.prober.Ready(name) {
+			complete = false
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
 			rt.prober.URL(name)+"/v1/jobs/"+id, nil)
 		if err != nil {
+			complete = false
 			continue
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
-			rt.prober.MarkDown(name, err)
+			rt.markDown(name, r, err)
+			complete = false
 			continue
 		}
 		code := resp.StatusCode
 		drainClose(resp)
 		if code != http.StatusNotFound {
-			return name
+			return name, true
 		}
 	}
-	return ""
+	return "", complete
 }
 
 func (rt *Router) jobOwnerOf(id string) string {
@@ -367,6 +399,14 @@ func (rt *Router) recordJobOwner(id, owner string) {
 // later routing decision hashes to the same ring owner.
 const ClusterSessionHeader = "X-Cluster-Session-ID"
 
+// sessionSealedHeader marks a replica response served by a session copy
+// that is sealed for migration (kept in sync with internal/serve's
+// constant of the same name). A sealed copy is the fossil of an
+// interrupted takeover: it refuses mutations and may be stale, so the
+// router completes the handover to a fresh owner instead of relaying
+// the refusal to the client.
+const sessionSealedHeader = "X-Session-Sealed"
+
 // mintSessionID returns a fresh router-scoped session ID. The "cs-"
 // prefix keeps it out of the replicas' local "s%06d" namespace.
 func mintSessionID() string {
@@ -394,7 +434,7 @@ func (rt *Router) createSessionHandler(w http.ResponseWriter, r *http.Request) {
 	r.Header.Set(ClusterSessionHeader, id)
 	resp, err := rt.roundTrip(r, owner, body)
 	if err != nil {
-		rt.prober.MarkDown(owner, err)
+		rt.markDown(owner, r, err)
 		rt.forwardFailure(w, true, owner, err)
 		return
 	}
@@ -427,18 +467,31 @@ func (rt *Router) sessionHandler(mutation bool) http.HandlerFunc {
 		}
 		owner, status, msg := rt.ensureSessionOwner(r, id)
 		if status != 0 {
-			if status == http.StatusServiceUnavailable {
-				rt.m.unavailable.Add(1)
-				w.Header().Set("Retry-After", rt.retryAfter())
-			}
-			writeError(w, status, msg)
+			rt.writeRoutingError(w, status, msg)
 			return
 		}
 		resp, err := rt.roundTrip(r, owner, body)
 		if err != nil {
-			rt.prober.MarkDown(owner, err)
+			rt.markDown(owner, r, err)
 			rt.forwardFailure(w, mutation, owner, err)
 			return
+		}
+		if resp.Header.Get(sessionSealedHeader) != "" {
+			// The owner's copy is sealed — an earlier takeover fenced it
+			// and was interrupted before the handover finished. Complete
+			// the migration to a fresh owner and retry there once.
+			drainClose(resp)
+			owner, status, msg = rt.recoverSealed(r, id, owner)
+			if status != 0 {
+				rt.writeRoutingError(w, status, msg)
+				return
+			}
+			resp, err = rt.roundTrip(r, owner, body)
+			if err != nil {
+				rt.markDown(owner, r, err)
+				rt.forwardFailure(w, mutation, owner, err)
+				return
+			}
 		}
 		if r.Method == http.MethodDelete && resp.StatusCode == http.StatusOK {
 			rt.mu.Lock()
@@ -448,6 +501,17 @@ func (rt *Router) sessionHandler(mutation bool) http.HandlerFunc {
 		rt.m.forwards.Add(1)
 		relay(w, resp)
 	}
+}
+
+// writeRoutingError answers a request the router could not place,
+// counting 503s and attaching Retry-After so clients retry instead of
+// giving up on a session that still exists.
+func (rt *Router) writeRoutingError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusServiceUnavailable {
+		rt.m.unavailable.Add(1)
+		w.Header().Set("Retry-After", rt.retryAfter())
+	}
+	writeError(w, status, msg)
 }
 
 // ensureSessionOwner resolves the member that must serve a session
@@ -460,9 +524,22 @@ func (rt *Router) ensureSessionOwner(r *http.Request, id string) (owner string, 
 	route, known := rt.sessOwner[id]
 	rt.mu.Unlock()
 	if !known {
-		// Router restart or foreign session: find who holds it.
-		name := rt.locateSession(r, id)
+		// Router restart or foreign session: find who holds it. "No such
+		// session" is only provable when every member answered — a
+		// session whose owner is down still exists, it just cannot be
+		// served until the owner's journal is reachable again.
+		name, sealedAt, complete := rt.locateSession(r, id)
 		if name == "" {
+			if sealedAt != "" {
+				// The only copy located is sealed — the fossil of an
+				// interrupted takeover. Finish the handover now and
+				// serve from the adopter.
+				return rt.recoverSealed(r, id, sealedAt)
+			}
+			if !complete {
+				return "", http.StatusServiceUnavailable,
+					"cluster: session " + id + " not located; not every replica answered"
+			}
 			return "", http.StatusNotFound, "no such session"
 		}
 		rt.mu.Lock()
@@ -485,7 +562,13 @@ func (rt *Router) ensureSessionOwner(r *http.Request, id string) (owner string, 
 	if rt.prober.Ready(route.owner) {
 		return route.owner, 0, ""
 	}
-	oldOwner := route.owner
+	return rt.adoptFrom(r, id, route.owner)
+}
+
+// adoptFrom runs the takeover handshake moving a session off oldOwner
+// to its ring successor and updates the routing table on success. The
+// caller holds the session lock.
+func (rt *Router) adoptFrom(r *http.Request, id, oldOwner string) (owner string, status int, msg string) {
 	newOwner, ok := rt.ring.Owner(id, func(n string) bool {
 		return n != oldOwner && rt.prober.Ready(n)
 	})
@@ -504,6 +587,24 @@ func (rt *Router) ensureSessionOwner(r *http.Request, id string) (owner string, 
 	return newOwner, 0, ""
 }
 
+// recoverSealed finishes the migration of a session whose recorded
+// owner answered with a sealed copy (an interrupted earlier takeover).
+// The sealed copy keeps refusing mutations, so until a fresh owner
+// adopts the journal the session is safe but not live.
+func (rt *Router) recoverSealed(r *http.Request, id, sealedOwner string) (owner string, status int, msg string) {
+	lk := rt.sessionLock(id)
+	lk.Lock()
+	defer lk.Unlock()
+	rt.mu.Lock()
+	route := rt.sessOwner[id]
+	rt.mu.Unlock()
+	if route.owner != "" && route.owner != sealedOwner && rt.prober.Ready(route.owner) {
+		// A concurrent request already completed the handover.
+		return route.owner, 0, ""
+	}
+	return rt.adoptFrom(r, id, sealedOwner)
+}
+
 // takeover asks newOwner to adopt the session by fetching and replaying
 // its journal from oldOwner's store. It succeeds only when the adopter
 // has the full acknowledged log — the source must be reachable (a
@@ -520,7 +621,7 @@ func (rt *Router) takeover(r *http.Request, id, newOwner, oldOwner string) error
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		rt.prober.MarkDown(newOwner, err)
+		rt.markDown(newOwner, r, err)
 		return err
 	}
 	defer resp.Body.Close()
@@ -533,28 +634,44 @@ func (rt *Router) takeover(r *http.Request, id, newOwner, oldOwner string) error
 
 // locateSession asks ready members whether they hold the session (used
 // when the routing table has no entry, e.g. after a router restart).
-func (rt *Router) locateSession(r *http.Request, id string) string {
+// Sealed copies are migration fossils, not owners — they are reported
+// via sealedAt so the caller can finish the interrupted handover, and a
+// live copy always wins over a fossil. complete reports whether every
+// member was asked and answered; only then does an empty result prove
+// the session does not exist.
+func (rt *Router) locateSession(r *http.Request, id string) (owner, sealedAt string, complete bool) {
+	complete = true
 	for _, name := range rt.ring.Sequence(id) {
 		if !rt.prober.Ready(name) {
+			complete = false
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
 			rt.prober.URL(name)+"/v1/sessions/"+id, nil)
 		if err != nil {
+			complete = false
 			continue
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
-			rt.prober.MarkDown(name, err)
+			rt.markDown(name, r, err)
+			complete = false
 			continue
 		}
 		code := resp.StatusCode
+		sealed := resp.Header.Get(sessionSealedHeader) != ""
 		drainClose(resp)
+		if sealed {
+			if sealedAt == "" {
+				sealedAt = name
+			}
+			continue
+		}
 		if code == http.StatusOK {
-			return name
+			return name, "", true
 		}
 	}
-	return ""
+	return "", sealedAt, complete
 }
 
 func (rt *Router) sessionLock(id string) *sync.Mutex {
@@ -586,7 +703,7 @@ func (rt *Router) fanoutListHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := rt.client.Do(req)
 		if err != nil {
-			rt.prober.MarkDown(h.Name, err)
+			rt.markDown(h.Name, r, err)
 			continue
 		}
 		if resp.StatusCode == http.StatusOK {

@@ -11,22 +11,41 @@ import (
 )
 
 // The replica half of the cluster protocol (the router half lives in
-// internal/cluster). Three endpoints move a session between replicas
+// internal/cluster). Five endpoints move a session between replicas
 // using its per-session WAL as the unit of transfer:
 //
 //	GET  /cluster/sessions/{id}/log      serve the durable log (JSON SessionLog)
-//	POST /cluster/sessions/{id}/takeover fetch from {"source"}, replay, adopt
+//	POST /cluster/sessions/{id}/seal     fence the live session (mutations rejected)
+//	POST /cluster/sessions/{id}/unseal   lift the fence (takeover abort path)
+//	POST /cluster/sessions/{id}/takeover seal+fetch from {"source"}, replay, adopt
 //	POST /cluster/sessions/{id}/release  drop local copy after a peer adopted it
 //
-// The log endpoint stays up while draining and the takeover endpoint
-// refuses work while draining — a draining replica is a migration
-// source, never a destination. All three require a configured Store
-// (501 otherwise): without WALs there is nothing to transfer.
+// The log, seal and unseal endpoints stay up while draining and the
+// takeover endpoint refuses work while draining — a draining replica is
+// a migration source, never a destination. Log and takeover require a
+// configured Store (501 otherwise): without WALs there is nothing to
+// transfer.
+//
+// Fencing: the adopter seals the source BEFORE fetching the log. Seal
+// synchronizes on the session lock every mutation journals under, so
+// once it returns, no edit can be acknowledged on the source that is
+// not already in the WAL the fetch reads — the release cannot delete an
+// acknowledged record the adopter never saw. A source whose sealed copy
+// outlives an interrupted migration answers mutations with 409 plus the
+// SessionSealedHeader; the router treats that as "complete the handover
+// elsewhere", never as a client error.
 
 // ClusterSessionHeader carries a router-minted session ID on create
 // requests (kept in sync with internal/cluster's constant of the same
 // name; the packages stay import-independent on purpose).
 const ClusterSessionHeader = "X-Cluster-Session-ID"
+
+// SessionSealedHeader marks a response served by a session copy that is
+// sealed for migration (kept in sync with internal/cluster's constant
+// of the same name). The router uses it to distinguish "this copy is a
+// migration fossil — adopt elsewhere and retry" from ordinary 409s like
+// "nothing to undo".
+const SessionSealedHeader = "X-Session-Sealed"
 
 // clusterClient fetches peer session logs during takeover. The timeout
 // bounds the fetch so a wedged source fails the handshake instead of
@@ -93,43 +112,67 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 	s.takeoverMu.Lock()
 	defer s.takeoverMu.Unlock()
 
-	if _, ok := s.sessions.Get(id); ok {
+	if sess, ok := s.sessions.Get(id); ok && !sess.Sealed() {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "local", "session": id})
 		return
 	}
+	// A sealed local copy is the fossil of an interrupted migration and
+	// may be stale — fall through and replace it with the source's log.
 
+	// Fence the source before reading its log: after seal returns, no
+	// mutation can be acknowledged on the source that is not already in
+	// the WAL we fetch next, so the release below can never delete an
+	// acknowledged edit this replica did not replay.
+	if err := sealOnPeer(r, req.Source, id); err != nil {
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("cluster: seal %s on %s: %v", id, req.Source, err))
+		return
+	}
 	log, err := fetchSessionLog(r, req.Source, id)
 	if err != nil {
+		s.unsealSource(r, req.Source, id)
 		writeError(w, http.StatusBadGateway,
 			fmt.Sprintf("cluster: fetch %s from %s: %v", id, req.Source, err))
 		return
 	}
 	sess, err := store.Replay(log)
 	if err != nil {
+		s.unsealSource(r, req.Source, id)
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	if err := s.sessions.Adopt(sess); err != nil {
-		sess.Close()
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
+	// Drop the local sealed fossil (if any) now that the authoritative
+	// log is in hand, then open the local durable log with a compacted
+	// snapshot: an acknowledged takeover must survive a restart of the
+	// new owner.
+	if old, ok := s.sessions.Get(id); ok && old.Sealed() {
+		s.sessions.Delete(id)
+		s.dropDurable(id)
 	}
-	// Open the local durable log with a compacted snapshot before
-	// answering: an acknowledged takeover must survive a restart of the
-	// new owner. Stale local state from an earlier ownership is
-	// replaced — the fetched log is strictly newer.
 	snap, seq, err := sess.Checkpoint()
 	if err == nil {
 		_ = s.cfg.Store.DeleteSession(id)
 		err = s.cfg.Store.CreateSession(id, seq, snap)
 	}
 	if err != nil {
-		s.sessions.Delete(id)
+		s.unsealSource(r, req.Source, id)
 		writeError(w, http.StatusInternalServerError,
 			fmt.Sprintf("cluster: durable log for %s: %v", id, err))
 		return
 	}
+	// The journal hook goes in BEFORE the session becomes reachable via
+	// the live manager: a mutation accepted in the gap between Adopt and
+	// SetJournal would be acknowledged with no WAL record behind it and
+	// silently vanish on the next restart.
 	s.attachSessionJournal(sess, 0)
+	if err := s.sessions.Adopt(sess); err != nil {
+		s.dropDurable(id)
+		_ = s.cfg.Store.DeleteSession(id)
+		sess.Close()
+		s.unsealSource(r, req.Source, id)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	s.m.takeovers.Add(1)
 
 	// Best-effort release on the source, so the session cannot
@@ -148,6 +191,49 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 		"seq":     seq,
 		"records": len(log.Records),
 	})
+}
+
+// sealHandler fences the live session for migration (see the package
+// comment). Answering 200 guarantees no further mutation will be
+// acknowledged here until unseal or release; a session that is not live
+// (recovering replica, drained, never existed) answers 200 "idle" — a
+// copy that is not live cannot acknowledge anything either, and the
+// adopter's log fetch decides existence.
+func (s *Server) sealHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if sess, ok := s.sessions.Get(id); ok {
+		sess.Seal()
+		s.cfg.Logger.Info("cluster: sealed session", "session", id, "seq", sess.Seq())
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "sealed", "session": id, "seq": sess.Seq(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "idle", "session": id})
+}
+
+// unsealHandler lifts the migration fence — the abort path of an
+// adopter that sealed this replica and then failed before adopting.
+// Idempotent; unknown sessions answer 200 like seal.
+func (s *Server) unsealHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if sess, ok := s.sessions.Get(id); ok {
+		sess.Unseal()
+		s.cfg.Logger.Info("cluster: unsealed session", "session", id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "unsealed", "session": id})
+}
+
+// unsealSource best-effort lifts the fence on a source this takeover
+// sealed but failed to adopt from. If the unseal itself fails, the
+// source's sealed copy answers mutations with SessionSealedHeader and
+// the router completes the handover on the next request — sealed is
+// safe, just not live.
+func (s *Server) unsealSource(r *http.Request, source, id string) {
+	if err := unsealOnPeer(r, source, id); err != nil {
+		s.cfg.Logger.Warn("cluster: unseal on source failed",
+			"session", id, "source", source, "err", err)
+	}
 }
 
 // releaseHandler drops the local copy of a session a peer now owns:
@@ -190,8 +276,20 @@ func fetchSessionLog(r *http.Request, source, id string) (store.SessionLog, erro
 }
 
 func releaseOnPeer(r *http.Request, peer, id string) error {
+	return postToPeer(r, peer, id, "release")
+}
+
+func sealOnPeer(r *http.Request, peer, id string) error {
+	return postToPeer(r, peer, id, "seal")
+}
+
+func unsealOnPeer(r *http.Request, peer, id string) error {
+	return postToPeer(r, peer, id, "unseal")
+}
+
+func postToPeer(r *http.Request, peer, id, verb string) error {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		peer+"/cluster/sessions/"+id+"/release", nil)
+		peer+"/cluster/sessions/"+id+"/"+verb, nil)
 	if err != nil {
 		return err
 	}
@@ -201,7 +299,8 @@ func releaseOnPeer(r *http.Request, peer, id string) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("HTTP %d", resp.StatusCode)
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, b)
 	}
 	return nil
 }

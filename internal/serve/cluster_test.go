@@ -298,6 +298,139 @@ func TestCreateSessionClusterIDValidation(t *testing.T) {
 	}
 }
 
+// TestClusterSealFencesEdits: sealing a session stops every mutation
+// with 409 + X-Session-Sealed (so the router can tell a migration
+// fence from an ordinary conflict), keeps reads flagged but served,
+// refuses deletion, and unseal restores normal service. Sealing an
+// unknown session answers 200 "idle" — a copy that is not live cannot
+// acknowledge anything, so the fence is trivially in place.
+func TestClusterSealFencesEdits(t *testing.T) {
+	s := testServer(t, Config{Store: store.NewMemory(), Runners: map[Kind]Runner{}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	const id = "cs-seal01"
+	createClusterSession(t, ts.URL, id, clusterEdits[:2])
+
+	resp, body := postWithHeader(t, ts.URL+"/cluster/sessions/"+id+"/seal", "", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"sealed"`) {
+		t.Fatalf("seal: %d %s", resp.StatusCode, body)
+	}
+
+	edit := `{"op":"param","param":"clearance","value_mm":0.5}`
+	resp, body = postWithHeader(t, ts.URL+"/v1/sessions/"+id+"/edits", edit, nil)
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(SessionSealedHeader) == "" {
+		t.Fatalf("edit on sealed session: %d %s sealed-header %q, want 409 + header",
+			resp.StatusCode, body, resp.Header.Get(SessionSealedHeader))
+	}
+	resp, body = postWithHeader(t, ts.URL+"/v1/sessions/"+id+"/undo", `{}`, nil)
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(SessionSealedHeader) == "" {
+		t.Fatalf("undo on sealed session: %d %s, want 409 + sealed header", resp.StatusCode, body)
+	}
+
+	// Reads still answer, flagged sealed.
+	getResp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK || getResp.Header.Get(SessionSealedHeader) == "" {
+		t.Fatalf("read on sealed session: %d sealed-header %q, want 200 + header",
+			getResp.StatusCode, getResp.Header.Get(SessionSealedHeader))
+	}
+
+	// A sealed copy cannot be deleted through the public API — only the
+	// cluster release endpoint drops it.
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusConflict {
+		t.Fatalf("delete of sealed session: %d, want 409", delResp.StatusCode)
+	}
+
+	resp, body = postWithHeader(t, ts.URL+"/cluster/sessions/"+id+"/unseal", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unseal: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postWithHeader(t, ts.URL+"/v1/sessions/"+id+"/edits", edit, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit after unseal: %d %s, want 200", resp.StatusCode, body)
+	}
+
+	resp, body = postWithHeader(t, ts.URL+"/cluster/sessions/cs-nope01/seal", "", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"idle"`) {
+		t.Fatalf("seal of unknown session: %d %s, want 200 idle", resp.StatusCode, body)
+	}
+}
+
+// TestClusterTakeoverReplacesSealedFossil: a takeover request arriving
+// at a replica that holds a SEALED local copy must not answer "local"
+// — the fossil of an interrupted migration may be stale. It refetches
+// the authoritative log from the source and replaces the fossil.
+func TestClusterTakeoverReplacesSealedFossil(t *testing.T) {
+	srcS, dstS, srcURL, dstURL := clusterPair(t)
+	const id = "cs-fossil01"
+
+	// dst holds a short, sealed copy (what an interrupted earlier
+	// migration leaves behind); src holds the authoritative log.
+	createClusterSession(t, dstURL, id, clusterEdits[:1])
+	resp, body := postWithHeader(t, dstURL+"/cluster/sessions/"+id+"/seal", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seal fossil: %d %s", resp.StatusCode, body)
+	}
+	seq := createClusterSession(t, srcURL, id, clusterEdits)
+
+	resp, body = postWithHeader(t, dstURL+"/cluster/sessions/"+id+"/takeover",
+		fmt.Sprintf(`{"source":%q}`, srcURL), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("takeover: %d %s", resp.StatusCode, body)
+	}
+	var tk struct {
+		Status string `json:"status"`
+		Seq    uint64 `json:"seq"`
+	}
+	if json.Unmarshal(body, &tk); tk.Status != "adopted" || tk.Seq != seq {
+		t.Fatalf("takeover answered %s, want adopted at the source's seq %d — a sealed fossil must be replaced, not resurrected", body, seq)
+	}
+	sess, ok := dstS.sessions.Get(id)
+	if !ok || sess.Sealed() || sess.Seq() != seq {
+		t.Fatalf("adopted session live=%v sealed=%v seq=%d, want live unsealed at %d",
+			ok, ok && sess.Sealed(), sess.Seq(), seq)
+	}
+	if _, err := srcS.cfg.Store.LoadSession(id); err == nil {
+		t.Fatal("source store still holds the session log after release")
+	}
+}
+
+// TestClusterTakeoverAbortUnsealsSource: when the handshake fails after
+// the fence went up (here: the source cannot serve its log), the
+// adopter must lift the fence again — an aborted takeover must not
+// leave the source's session refusing edits forever.
+func TestClusterTakeoverAbortUnsealsSource(t *testing.T) {
+	src := testServer(t, Config{Runners: map[Kind]Runner{}}) // no store: log endpoint 501s
+	dst := testServer(t, Config{Store: store.NewMemory(), Runners: map[Kind]Runner{}})
+	ts1 := httptest.NewServer(src.Handler())
+	ts2 := httptest.NewServer(dst.Handler())
+	t.Cleanup(ts1.Close)
+	t.Cleanup(ts2.Close)
+	const id = "cs-abort01"
+	createClusterSession(t, ts1.URL, id, clusterEdits[:2])
+
+	resp, body := postWithHeader(t, ts2.URL+"/cluster/sessions/"+id+"/takeover",
+		fmt.Sprintf(`{"source":%q}`, ts1.URL), nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("takeover with unreadable source log: %d %s, want 502", resp.StatusCode, body)
+	}
+	// The abort lifted the fence: the source keeps serving edits.
+	resp, body = postWithHeader(t, ts1.URL+"/v1/sessions/"+id+"/edits",
+		`{"op":"param","param":"clearance","value_mm":0.7}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edit on source after aborted takeover: %d %s, want 200", resp.StatusCode, body)
+	}
+}
+
 // drainServer drains s and fails the test on error.
 func drainServer(t *testing.T, s *Server) {
 	t.Helper()

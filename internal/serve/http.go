@@ -63,6 +63,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/events", s.sessionEventsHandler)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.snapshotSessionHandler)
 	mux.HandleFunc("GET /cluster/sessions/{id}/log", s.sessionLogHandler)
+	mux.HandleFunc("POST /cluster/sessions/{id}/seal", s.sealHandler)
+	mux.HandleFunc("POST /cluster/sessions/{id}/unseal", s.unsealHandler)
 	mux.HandleFunc("POST /cluster/sessions/{id}/takeover", s.takeoverHandler)
 	mux.HandleFunc("POST /cluster/sessions/{id}/release", s.releaseHandler)
 	mux.HandleFunc("GET /healthz", s.healthHandler)

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -193,6 +194,12 @@ func (s *Server) listSessionsHandler(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) lookupSession(w http.ResponseWriter, id string) (*session.Session, bool) {
 	sess, ok := s.sessions.Get(id)
 	if ok {
+		// Flag responses served by a migration-sealed copy so the
+		// cluster router (and its cold-table locate scan) treats this
+		// replica as a handover source, not the live owner.
+		if sess.Sealed() {
+			w.Header().Set(SessionSealedHeader, "true")
+		}
 		return sess, true
 	}
 	if s.Draining() {
@@ -223,6 +230,13 @@ func (s *Server) getSessionHandler(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) deleteSessionHandler(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// A sealed copy is possibly stale — deleting it here would not close
+	// the session (the live copy is elsewhere); route the delete there.
+	if sess, ok := s.sessions.Get(id); ok && sess.Sealed() {
+		w.Header().Set(SessionSealedHeader, "true")
+		writeError(w, http.StatusConflict, "session sealed for migration")
+		return
+	}
 	if !s.sessions.Delete(id) {
 		if s.Draining() {
 			w.Header().Set("Retry-After", "1")
@@ -265,6 +279,11 @@ func (s *Server) editSessionHandler(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	delta, err := sess.ApplyCtx(r.Context(), edit)
 	if err != nil {
+		if errors.Is(err, session.ErrSealed) {
+			w.Header().Set(SessionSealedHeader, "true")
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -347,6 +366,9 @@ func (s *Server) undoRedo(w http.ResponseWriter, r *http.Request, undo bool) {
 		delta, err = sess.RedoCtx(r.Context())
 	}
 	if err != nil {
+		if errors.Is(err, session.ErrSealed) {
+			w.Header().Set(SessionSealedHeader, "true")
+		}
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}

@@ -13,6 +13,7 @@ package session
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -131,6 +132,12 @@ type JournalRecord struct {
 // an acknowledged edit is always durable.
 type JournalFunc func(JournalRecord) error
 
+// ErrSealed rejects mutations on a session fenced for migration: a
+// cluster takeover seals the source before fetching its journal, so no
+// edit can be acknowledged after the fetch and then lost to the release.
+// Detect with errors.Is.
+var ErrSealed = errors.New("sealed for migration")
+
 // applied is one journal entry: the forward edit plus everything needed
 // to invert it.
 type applied struct {
@@ -160,6 +167,7 @@ type Session struct {
 	nextSub int
 	ring    []Delta
 	closed  bool
+	sealed  bool
 }
 
 // New creates a session owning a deep copy of the design.
@@ -282,6 +290,33 @@ func (s *Session) SetJournal(fn JournalFunc) {
 	s.persist = fn
 }
 
+// Seal fences the session for migration: every later Apply/Undo/Redo
+// fails with ErrSealed. Seal acquires the session lock — the same lock
+// every mutation journals under — so by the time it returns, any
+// in-flight mutation has either fully journaled and been acknowledged
+// (it is in the WAL an adopter fetches next) or has not started (it
+// will be rejected). Reads keep working. Idempotent.
+func (s *Session) Seal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+}
+
+// Unseal lifts the migration fence — the abort path of a takeover that
+// sealed the source and then failed before adopting.
+func (s *Session) Unseal() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = false
+}
+
+// Sealed reports whether the session is fenced for migration.
+func (s *Session) Sealed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealed
+}
+
 // RestoreSeq fast-forwards the delta sequence counter to seq — the base
 // sequence of the snapshot a recovered session was rebuilt from, so
 // sequence numbers (and SSE event IDs) keep growing across a restart.
@@ -331,6 +366,9 @@ func (s *Session) ApplyCtx(ctx context.Context, e Edit) (*Delta, error) {
 	if s.closed {
 		return nil, fmt.Errorf("session: %s is closed", s.ID)
 	}
+	if s.sealed {
+		return nil, fmt.Errorf("session: %s: %w", s.ID, ErrSealed)
+	}
 	rec, err := s.forward(e)
 	if err != nil {
 		return nil, err
@@ -363,6 +401,9 @@ func (s *Session) UndoCtx(ctx context.Context) (*Delta, error) {
 	if s.closed {
 		return nil, fmt.Errorf("session: %s is closed", s.ID)
 	}
+	if s.sealed {
+		return nil, fmt.Errorf("session: %s: %w", s.ID, ErrSealed)
+	}
 	if len(s.journal) == 0 {
 		return nil, fmt.Errorf("session: nothing to undo")
 	}
@@ -393,6 +434,9 @@ func (s *Session) RedoCtx(ctx context.Context) (*Delta, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("session: %s is closed", s.ID)
+	}
+	if s.sealed {
+		return nil, fmt.Errorf("session: %s: %w", s.ID, ErrSealed)
 	}
 	if len(s.redo) == 0 {
 		return nil, fmt.Errorf("session: nothing to redo")

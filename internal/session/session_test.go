@@ -1,6 +1,7 @@
 package session
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -376,5 +377,47 @@ func TestManagerLifecycle(t *testing.T) {
 	m.CloseAll()
 	if m.Len() != 0 {
 		t.Fatal("CloseAll left sessions behind")
+	}
+}
+
+// TestSealFencesMutations: a sealed session (migration fence, see the
+// cluster takeover handshake) rejects Apply/Undo/Redo with ErrSealed
+// and moves no sequence number; Unseal restores full service with the
+// history intact. Seal acquires the session lock every mutation
+// journals under, so its return is the fencing guarantee the adopter
+// relies on before fetching the WAL.
+func TestSealFencesMutations(t *testing.T) {
+	t.Parallel()
+	s := New("seal", testDesign(3))
+	defer s.Close()
+	if _, err := s.Apply(Edit{Op: OpParam, Param: ParamClearance, Value: 1e-3}); err != nil {
+		t.Fatalf("apply before seal: %v", err)
+	}
+	seq := s.Seq()
+
+	s.Seal()
+	if !s.Sealed() {
+		t.Fatal("Sealed() false after Seal")
+	}
+	if _, err := s.Apply(Edit{Op: OpParam, Param: ParamClearance, Value: 2e-3}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("apply on sealed session: %v, want ErrSealed", err)
+	}
+	if _, err := s.Undo(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("undo on sealed session: %v, want ErrSealed", err)
+	}
+	if _, err := s.Redo(); !errors.Is(err, ErrSealed) {
+		t.Fatalf("redo on sealed session: %v, want ErrSealed", err)
+	}
+	if s.Seq() != seq {
+		t.Fatalf("seq moved %d → %d under the fence", seq, s.Seq())
+	}
+	s.Seal() // idempotent
+
+	s.Unseal()
+	if s.Sealed() {
+		t.Fatal("Sealed() true after Unseal")
+	}
+	if _, err := s.Undo(); err != nil {
+		t.Fatalf("undo after unseal: %v — pre-seal history must survive the fence", err)
 	}
 }

@@ -350,14 +350,32 @@ func loadSessionLog(path string) (SessionLog, int, error) {
 	return log, good, nil
 }
 
-// LoadSession reads one session's WAL, repairing a damaged tail in place
-// exactly like LoadSessions. Appends issued through an already-open
-// handle are flushed by the kernel page cache before ReadFile sees the
-// file, so the log returned here always contains every acknowledged edit.
+// LoadSession reads one session's WAL. Appends issued through an
+// already-open handle are flushed by the kernel page cache before
+// ReadFile sees the file, so the log returned here always contains
+// every acknowledged edit.
+//
+// When the session is live on this replica (open handle — the takeover
+// fetch against a false-down or draining owner), the read holds the
+// session's append lock so it cannot tear an in-progress append, and it
+// NEVER truncates: a "damaged tail" observed while a writer is live
+// could be a write that completes right after the scan, and truncating
+// it would delete an acknowledged record out from under the writer.
+// Only a session with no live handle gets the truncate-repair that
+// LoadSessions applies at startup.
 func (fs *FileStore) LoadSession(id string) (SessionLog, error) {
 	path, err := fs.sessionPath(id)
 	if err != nil {
 		return SessionLog{}, err
+	}
+	fs.smu.Lock()
+	sf := fs.sessions[id]
+	fs.smu.Unlock()
+	if sf != nil {
+		sf.mu.Lock()
+		defer sf.mu.Unlock()
+		log, _, err := loadSessionLog(path)
+		return log, err
 	}
 	if _, err := os.Stat(path); err != nil {
 		return SessionLog{}, fmt.Errorf("store: no session %s", id)

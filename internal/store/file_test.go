@@ -601,3 +601,79 @@ func TestParseSyncPolicy(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadSessionLiveNeverTruncates: while a session is live on this
+// replica (open append handle — a takeover fetch against a false-down
+// or draining owner), LoadSession must serve the good prefix WITHOUT
+// truncating the WAL: an apparently damaged tail could be an append
+// completing right after the scan, and truncating it would delete an
+// acknowledged record out from under the writer. Only after the handle
+// is gone (restart recovery) does the truncate-repair run.
+func TestLoadSessionLiveNeverTruncates(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFile(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "live01"
+	s, acked := journaledSession(t, fs, id, 5, 6)
+	defer s.Close()
+
+	path := filepath.Join(dir, "sessions", id+".wal")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSize := st.Size()
+	// Simulate a torn in-progress append: a partial frame at the tail.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := fs.LoadSession(id)
+	if err != nil {
+		t.Fatalf("live LoadSession: %v", err)
+	}
+	if len(log.Records) != acked {
+		t.Fatalf("live LoadSession served %d records, want the %d acknowledged", len(log.Records), acked)
+	}
+	st, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != goodSize+3 {
+		t.Fatalf("live LoadSession changed the WAL: size %d, want untouched %d", st.Size(), goodSize+3)
+	}
+
+	// No live handle (fresh store over the same dir): the torn tail is
+	// repaired in place, and the same records survive.
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFile(dir, SyncOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	log2, err := fs2.LoadSession(id)
+	if err != nil {
+		t.Fatalf("cold LoadSession: %v", err)
+	}
+	if len(log2.Records) != acked {
+		t.Fatalf("cold LoadSession served %d records, want %d", len(log2.Records), acked)
+	}
+	st, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != goodSize {
+		t.Fatalf("cold LoadSession left the torn tail: size %d, want repaired %d", st.Size(), goodSize)
+	}
+}
