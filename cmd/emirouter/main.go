@@ -10,6 +10,7 @@
 //	emirouter -members a=http://127.0.0.1:7001,b=http://127.0.0.1:7002 \
 //	          [-addr :8090] [-probe-interval 500ms] [-vnodes 64]
 //	          [-retries 3] [-retry-delay 25ms] [-log]
+//	          [-trace router.json] [-debug-addr 127.0.0.1:8091]
 //
 // Members are name=url pairs; the name is the member's stable ring
 // identity (keep it fixed across restarts — the URL may move, the name
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 )
@@ -45,18 +47,26 @@ func main() {
 	retries := flag.Int("retries", 0, "max forward attempts per job submission (0 = default 3)")
 	retryDelay := flag.Duration("retry-delay", 0, "backoff base between submit attempts, jittered (0 = default 25ms)")
 	logOn := flag.Bool("log", false, "structured request and takeover logs on stderr")
+	wrapTrace := cli.Trace()
+	startDebug := cli.DebugAddr()
 	flag.Parse()
+	startDebug()
 
 	ms, err := parseMembers(*members)
 	if err != nil {
 		fatal(err)
 	}
+	// -trace captures one summary span per handled request into a
+	// run-long Chrome trace, written on shutdown.
+	tctx, finishTrace := wrapTrace(context.Background())
+	defer finishTrace()
 	cfg := cluster.Config{
 		Members:       ms,
 		Vnodes:        *vnodes,
 		ProbeInterval: *probeEvery,
 		Retries:       *retries,
 		RetryDelay:    *retryDelay,
+		RunTrace:      obs.TraceOf(tctx),
 	}
 	if *logOn {
 		cfg.Logger = obs.NewLogger(os.Stderr, slog.LevelInfo)

@@ -8,11 +8,14 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ---- ring ----------------------------------------------------------
@@ -130,6 +133,8 @@ type stubReplica struct {
 
 	adoptions      atomic.Int64
 	takeoverSource atomic.Value // string: last takeover {"source"}
+	failTakeover   atomic.Bool  // takeover answers 502 after seal+unseal
+	lastSubmitHdr  atomic.Value // http.Header: last /v1/predict request headers
 
 	mu       sync.Mutex
 	jobs     map[string]bool
@@ -190,6 +195,7 @@ func newStubReplica(t *testing.T, name string) *stubReplica {
 	})
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
 		io.Copy(io.Discard, r.Body)
+		sr.lastSubmitHdr.Store(r.Header.Clone())
 		sr.submits.Add(1)
 		if sr.rejectSub.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -249,9 +255,61 @@ func newStubReplica(t *testing.T, name string) *stubReplica {
 		}
 		json.NewDecoder(r.Body).Decode(&req)
 		sr.takeoverSource.Store(req.Source)
+		if sr.failTakeover.Load() {
+			// An aborted handshake: the fence was raised and lifted again.
+			w.WriteHeader(http.StatusBadGateway)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": "source store unreachable",
+				"phases": []map[string]any{
+					{"phase": "seal", "offset_ms": 0.0, "dur_ms": 1.0},
+					{"phase": "unseal", "offset_ms": 2.0, "dur_ms": 0.5},
+				},
+			})
+			return
+		}
 		sr.adoptions.Add(1)
 		sr.putSession(r.PathValue("id"), "live")
-		json.NewEncoder(w).Encode(map[string]string{"status": "adopted"})
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "adopted",
+			"phases": []map[string]any{
+				{"phase": "seal", "offset_ms": 0.0, "dur_ms": 1.0},
+				{"phase": "fetch", "offset_ms": 1.0, "dur_ms": 2.0},
+				{"phase": "replay", "offset_ms": 3.0, "dur_ms": 4.0},
+				{"phase": "release", "offset_ms": 7.0, "dur_ms": 0.5},
+			},
+		})
+	})
+	// Observability surface: a minimal Prometheus exposition and a
+	// canned per-job Chrome trace fragment that adopts the trace ID the
+	// router injected on the submit forward.
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintf(w, "# HELP emiserve_jobs_total Jobs accepted.\n# TYPE emiserve_jobs_total counter\nemiserve_jobs_total %d\n", sr.submits.Load())
+		fmt.Fprintf(w, "# HELP emiserve_queue_wait_depth Queue depth by queue.\n# TYPE emiserve_queue_wait_depth gauge\nemiserve_queue_wait_depth{queue=\"jobs\"} %d\n", sr.queueDepth.Load())
+	})
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !sr.hasJob(r.PathValue("id")) {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprintln(w, `{"error":"no trace"}`)
+			return
+		}
+		traceID := ""
+		if hdr, ok := sr.lastSubmitHdr.Load().(http.Header); ok {
+			if tid, ok := obs.ParseTraceparent(hdr.Get(obs.TraceparentHeader)); ok {
+				traceID = tid.String()
+			}
+		}
+		doc := obs.ChromeDoc{
+			TraceEvents: []obs.ChromeEvent{
+				{Name: "queue.wait", Ph: "X", Ts: 0, Dur: 500, Pid: 1, Tid: 1},
+				{Name: "job.run", Ph: "X", Ts: 500, Dur: 1500, Pid: 1, Tid: 1},
+			},
+			DisplayTimeUnit: "ms",
+			OtherData: map[string]string{
+				"traceId":     traceID,
+				"startUnixUs": strconv.FormatInt(time.Now().UnixMicro(), 10),
+			},
+		}
+		json.NewEncoder(w).Encode(doc)
 	})
 	sr.ts = httptest.NewServer(mux)
 	t.Cleanup(sr.ts.Close)
@@ -605,17 +663,32 @@ func TestRouterMetricsExposition(t *testing.T) {
 		"emiserve_cluster_bad_gateway_total",
 		"emiserve_cluster_takeovers_total",
 		"emiserve_cluster_sessions_total",
+		`emiserve_cluster_probe_rtt_seconds{member="r0"}`,
+		`emiserve_cluster_probe_rtt_seconds{member="r1"}`,
+		`emiserve_cluster_takeover_outcomes_total{result="adopted"} 0`,
+		`emiserve_cluster_takeover_outcomes_total{result="failed"} 0`,
+		`emiserve_cluster_admission_rejected_total{reason="saturated"} 0`,
+		`emiserve_cluster_admission_rejected_total{reason="no_ready"} 0`,
+		`emiserve_cluster_forward_seconds_bucket{route="predict",outcome="ok",le="+Inf"} 1`,
+		"emiserve_cluster_takeover_phase_seconds",
+		`emiserve_cluster_scrape_ok{replica="r0"}`,
+		`emiserve_cluster_scrape_ok{replica="r1"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
 	}
-	// Every exposed family carries HELP and TYPE.
+	// Every exposed family carries HELP and TYPE (histogram series
+	// belong to the family named without the _bucket/_sum/_count
+	// suffix).
 	for _, line := range strings.Split(text, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fam := line[:strings.IndexAny(line, "{ ")]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			fam = strings.TrimSuffix(fam, suffix)
+		}
 		if !strings.Contains(text, "# HELP "+fam+" ") {
 			t.Errorf("family %s has no HELP line", fam)
 		}

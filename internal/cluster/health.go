@@ -55,6 +55,12 @@ type MemberHealth struct {
 	// the next probe observes headroom.
 	Saturated bool
 	Err       string // probe failure detail, "" when State == StateReady
+	// Status is the replica's self-reported readyz status string
+	// ("ready", "draining", ...); "" when the probe never got a body.
+	Status string
+	// RTT is the round-trip time of the last successful readyz probe
+	// (transport-level failures leave it zero).
+	RTT time.Duration
 }
 
 // readyzPayload is the JSON body of a replica's GET /readyz.
@@ -72,10 +78,11 @@ type Prober struct {
 	interval time.Duration
 	client   *http.Client
 
-	mu     sync.Mutex
-	health map[string]MemberHealth
-	stop   chan struct{}
-	done   chan struct{}
+	mu       sync.Mutex
+	health   map[string]MemberHealth
+	observer func(prev, cur MemberHealth)
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewProber builds a prober; interval <= 0 selects 500ms. The initial
@@ -103,6 +110,30 @@ func NewProber(members []Member, interval time.Duration, client *http.Client) *P
 // Interval returns the probe interval — the Retry-After the router
 // advertises, since that is when its view refreshes.
 func (p *Prober) Interval() time.Duration { return p.interval }
+
+// SetObserver registers fn, called with the previous and new
+// observation every time a member's health is updated (probe rounds
+// and forward-failure feedback alike). The call happens outside the
+// prober's lock, so fn may call back into the prober. Call before
+// Start; one observer only — the router's event timeline.
+func (p *Prober) SetObserver(fn func(prev, cur MemberHealth)) {
+	p.mu.Lock()
+	p.observer = fn
+	p.mu.Unlock()
+}
+
+// setHealth stores a member's new observation and notifies the
+// observer outside the lock.
+func (p *Prober) setHealth(h MemberHealth) {
+	p.mu.Lock()
+	prev := p.health[h.Name]
+	p.health[h.Name] = h
+	fn := p.observer
+	p.mu.Unlock()
+	if fn != nil {
+		fn(prev, h)
+	}
+}
 
 // Start launches the probe loop. Stop ends it.
 func (p *Prober) Start() {
@@ -153,10 +184,7 @@ func (p *Prober) ProbeNow() {
 		wg.Add(1)
 		go func(m Member) {
 			defer wg.Done()
-			h := p.probeOne(m)
-			p.mu.Lock()
-			p.health[m.Name] = h
-			p.mu.Unlock()
+			p.setHealth(p.probeOne(m))
 		}(m)
 	}
 	wg.Wait()
@@ -164,6 +192,7 @@ func (p *Prober) ProbeNow() {
 
 func (p *Prober) probeOne(m Member) MemberHealth {
 	h := MemberHealth{Member: m}
+	t0 := time.Now()
 	resp, err := p.client.Get(m.URL + "/readyz")
 	if err != nil {
 		h.State, h.Err = StateDown, err.Error()
@@ -171,9 +200,11 @@ func (p *Prober) probeOne(m Member) MemberHealth {
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	h.RTT = time.Since(t0)
 	var pl readyzPayload
 	_ = json.Unmarshal(body, &pl)
 	h.QueueDepth, h.QueueCap = pl.QueueDepth, pl.QueueCap
+	h.Status = pl.Status
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		h.State = StateReady
@@ -227,27 +258,39 @@ func (p *Prober) URL(name string) string {
 // routing reacts before the next probe round.
 func (p *Prober) MarkDown(name string, err error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	h, ok := p.health[name]
 	if !ok {
+		p.mu.Unlock()
 		return
 	}
+	prev := h
 	h.State = StateDown
 	if err != nil {
 		h.Err = err.Error()
 	}
 	p.health[name] = h
+	fn := p.observer
+	p.mu.Unlock()
+	if fn != nil {
+		fn(prev, h)
+	}
 }
 
 // MarkSaturated records a 503 queue rejection observed by a forward;
 // the flag clears on the next probe round that sees headroom.
 func (p *Prober) MarkSaturated(name string) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	h, ok := p.health[name]
 	if !ok {
+		p.mu.Unlock()
 		return
 	}
+	prev := h
 	h.Saturated = true
 	p.health[name] = h
+	fn := p.observer
+	p.mu.Unlock()
+	if fn != nil {
+		fn(prev, h)
+	}
 }

@@ -17,14 +17,19 @@ type metrics struct {
 	badGateway  atomic.Int64 // 502s: transport died mid-forward, fate unknown
 	takeovers   atomic.Int64 // session takeover handshakes completed
 	sessions    atomic.Int64 // sessions created through the router
+
+	takeoverFail atomic.Int64 // takeover handshakes that aborted
+	admSaturated atomic.Int64 // submits rejected: every useful target saturated
+	admNoReady   atomic.Int64 // submits rejected: no ready replica at all
 }
 
 // WriteMetrics writes the router metrics plus the per-state member
 // gauge derived from the prober snapshot.
 func (rt *Router) WriteMetrics(w io.Writer) error {
+	snap := rt.prober.Snapshot()
 	counts := map[MemberState]int{}
 	var depth, capSum int
-	for _, h := range rt.prober.Snapshot() {
+	for _, h := range snap {
 		counts[h.State]++
 		if h.State == StateReady {
 			depth += h.QueueDepth
@@ -60,6 +65,28 @@ func (rt *Router) WriteMetrics(w io.Writer) error {
 		bw.printf("# HELP %s %s\n", c.name, c.help)
 		bw.printf("# TYPE %s counter\n", c.name)
 		bw.printf("%s %d\n", c.name, c.v.Load())
+	}
+
+	bw.printf("# HELP emiserve_cluster_probe_rtt_seconds Last successful readyz probe round-trip per member.\n")
+	bw.printf("# TYPE emiserve_cluster_probe_rtt_seconds gauge\n")
+	for _, name := range rt.ring.Members() {
+		bw.printf("emiserve_cluster_probe_rtt_seconds{member=%q} %g\n",
+			name, snap[name].RTT.Seconds())
+	}
+	bw.printf("# HELP emiserve_cluster_takeover_outcomes_total Session takeover handshakes by result.\n")
+	bw.printf("# TYPE emiserve_cluster_takeover_outcomes_total counter\n")
+	bw.printf("emiserve_cluster_takeover_outcomes_total{result=%q} %d\n", "adopted", rt.m.takeovers.Load())
+	bw.printf("emiserve_cluster_takeover_outcomes_total{result=%q} %d\n", "failed", rt.m.takeoverFail.Load())
+	bw.printf("# HELP emiserve_cluster_admission_rejected_total Submissions the router rejected, by reason.\n")
+	bw.printf("# TYPE emiserve_cluster_admission_rejected_total counter\n")
+	bw.printf("emiserve_cluster_admission_rejected_total{reason=%q} %d\n", "saturated", rt.m.admSaturated.Load())
+	bw.printf("emiserve_cluster_admission_rejected_total{reason=%q} %d\n", "no_ready", rt.m.admNoReady.Load())
+
+	if bw.err == nil {
+		bw.err = rt.fwd.WriteProm(w)
+	}
+	if bw.err == nil {
+		bw.err = rt.tkPhase.WriteProm(w)
 	}
 	return bw.err
 }

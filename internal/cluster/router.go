@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes mirrors the replicas' request-body bound.
@@ -47,6 +49,10 @@ type Config struct {
 	Client *http.Client
 	// Logger receives request and takeover logs; nil discards.
 	Logger *slog.Logger
+	// RunTrace, when set, receives one summary span per handled request
+	// (the emirouter -trace flag wires it) — a Chrome trace of the
+	// router's whole run.
+	RunTrace *obs.Trace
 }
 
 type sessRoute struct {
@@ -67,6 +73,12 @@ type Router struct {
 	jobFIFO   []string
 	sessOwner map[string]sessRoute
 	sessLocks map[string]*sync.Mutex
+	jobTrace  map[string]*obs.Trace // request traces by acknowledged job ID
+	traceFIFO []string
+
+	events  *eventLog
+	fwd     *obs.HistogramVec // forward latency by route and outcome
+	tkPhase *obs.HistogramSet // takeover phase durations, from adopter responses
 
 	m metrics
 }
@@ -100,7 +112,7 @@ func New(cfg Config) (*Router, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Router{
+	rt := &Router{
 		cfg:       cfg,
 		ring:      ring,
 		prober:    NewProber(cfg.Members, cfg.ProbeInterval, nil),
@@ -109,15 +121,47 @@ func New(cfg Config) (*Router, error) {
 		jobOwner:  map[string]string{},
 		sessOwner: map[string]sessRoute{},
 		sessLocks: map[string]*sync.Mutex{},
-	}, nil
+		jobTrace:  map[string]*obs.Trace{},
+		events:    newEventLog(),
+		fwd: obs.NewHistogramVec("emiserve_cluster_forward_seconds",
+			"Forward latency by route and outcome.",
+			[]string{"route", "outcome"}, obs.LatencySeconds),
+		tkPhase: obs.NewHistogramSet("emiserve_cluster_takeover_phase_seconds",
+			"Session takeover phase durations, as reported by the adopter.",
+			"phase", obs.LatencySeconds),
+	}
+	// Health transitions feed the cluster event timeline — probe rounds
+	// and forward-failure feedback alike.
+	rt.prober.SetObserver(rt.onHealthChange)
+	return rt, nil
+}
+
+// onHealthChange turns a member-health update into timeline events:
+// one per state transition, plus a drain marker the first time a
+// replica reports itself draining.
+func (rt *Router) onHealthChange(prev, cur MemberHealth) {
+	if prev.State != cur.State {
+		detail := fmt.Sprintf("%s→%s", prev.State, cur.State)
+		if cur.State != StateReady && cur.Err != "" {
+			detail += ": " + cur.Err
+		}
+		rt.events.publish(Event{Type: "member.state", Member: cur.Name, Detail: detail})
+	}
+	if cur.Status == "draining" && prev.Status != "draining" {
+		rt.events.publish(Event{Type: "member.drain", Member: cur.Name,
+			Detail: "replica reports draining"})
+	}
 }
 
 // Start launches the health prober (one synchronous round first, so the
 // router can route immediately).
 func (rt *Router) Start() { rt.prober.ProbeNow(); rt.prober.Start() }
 
-// Close stops the prober.
-func (rt *Router) Close() { rt.prober.Stop() }
+// Close stops the prober and ends live event subscriptions.
+func (rt *Router) Close() {
+	rt.prober.Stop()
+	rt.events.close()
+}
 
 // Prober exposes the health view (tests, status pages).
 func (rt *Router) Prober() *Prober { return rt.prober }
@@ -143,10 +187,95 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/redo", rt.sessionHandler(true))
 	mux.HandleFunc("GET /v1/sessions/{id}/events", rt.sessionHandler(false))
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", rt.sessionHandler(false))
+	mux.HandleFunc("GET /cluster/trace/{id}", rt.clusterTraceHandler)
+	mux.HandleFunc("GET /cluster/events", rt.eventsHandler)
 	mux.HandleFunc("GET /healthz", rt.healthHandler)
 	mux.HandleFunc("GET /readyz", rt.readyHandler)
 	mux.HandleFunc("GET /metrics", rt.metricsHandler)
-	return mux
+	return rt.withRequest(mux)
+}
+
+// requestIDHeader carries the per-request correlation ID (kept in sync
+// with internal/serve's RequestIDHeader — the packages are deliberately
+// import-independent).
+const requestIDHeader = "X-Request-ID"
+
+// mintRequestID returns a fresh correlation ID for a request that
+// arrived without one.
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: crypto/rand: %v", err))
+	}
+	return fmt.Sprintf("%x", b[:])
+}
+
+// statusRecorder captures the status a handler wrote; Flush passes
+// through so relayed SSE streams stay live.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if fl, ok := sr.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// withRequest is the router's outermost middleware: it mints (or
+// adopts) the X-Request-ID, echoes it on the response, stamps it onto
+// the inbound headers so every forward carries it — replica request
+// logs echo the same ID, correlating router and replica log lines —
+// and emits one request log line (plus a -trace run-trace span) when
+// the handler finishes.
+func (rt *Router) withRequest(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(requestIDHeader)
+		if rid == "" {
+			rid = mintRequestID()
+			r.Header.Set(requestIDHeader, rid)
+		}
+		w.Header().Set(requestIDHeader, rid)
+		sr := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r)
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		dur := time.Since(t0)
+		rt.log.Info("request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", status, "dur_ms", float64(dur)/1e6,
+			"request_id", rid)
+		if run := rt.cfg.RunTrace; run != nil {
+			run.RecordSpan("http "+r.Method, t0.Sub(run.Start()), dur,
+				obs.Attr{Key: "path", Val: r.URL.Path},
+				obs.Attr{Key: "status", Val: int64(status)},
+				obs.Attr{Key: "request_id", Val: rid})
+		}
+	})
+}
+
+// startRequestTrace mints the per-request root trace, adopting the
+// caller's traceparent when one arrived, and attaches it to the
+// request context so every forward (roundTrip) injects the header and
+// the replica's job/session trace joins the same trace ID.
+func (rt *Router) startRequestTrace(r *http.Request) (*obs.Trace, *http.Request) {
+	tr := obs.NewTrace("router")
+	if tid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		tr.SetID(tid)
+	}
+	tr.Root().Str("path", r.URL.Path).Str("request_id", r.Header.Get(requestIDHeader))
+	return tr, r.WithContext(obs.WithTrace(r.Context(), tr))
 }
 
 // markDown feeds a forward failure into the prober — unless the error
@@ -207,9 +336,13 @@ func (rt *Router) readyHandler(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-func (rt *Router) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+// metricsHandler is the cluster federation endpoint: the router's own
+// series first, then every reachable member's series re-emitted with a
+// replica="name" label (see federate.go).
+func (rt *Router) metricsHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = rt.WriteMetrics(w)
+	rt.federate(r.Context(), w)
 }
 
 // ---- job submission -------------------------------------------------
@@ -222,12 +355,17 @@ func (rt *Router) metricsHandler(w http.ResponseWriter, _ *http.Request) {
 // harmless for jobs (they are idempotent pure functions), unlike for
 // session mutations, which are never retried across members.
 func (rt *Router) submitHandler(w http.ResponseWriter, r *http.Request) {
+	tr, r := rt.startRequestTrace(r)
+	defer tr.Finish()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
+		tr.Root().Str("verdict", "body_too_large")
 		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 		return
 	}
 	key := fmt.Sprintf("%s:%016x", r.URL.Path, hashBytes(body))
+	rctx, rsp := obs.Start(r.Context(), "route")
+	rsp.Str("key", key)
 	attempts := 0
 	sawReady := false
 	for _, name := range rt.ring.Sequence(key) {
@@ -243,17 +381,25 @@ func (rt *Router) submitHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		if attempts > 0 {
 			rt.m.retries.Add(1)
-			if !sleepJitter(r, rt.cfg.RetryDelay, attempts) {
+			_, bsp := obs.Start(rctx, "retry.backoff")
+			ok := sleepJitter(r, rt.cfg.RetryDelay, attempts)
+			bsp.Int("attempt", int64(attempts)).End()
+			if !ok {
+				rsp.Str("verdict", "client_gone").End()
 				return // client gone
 			}
 		}
 		attempts++
+		_, fsp := obs.Start(rctx, "forward")
+		fsp.Str("member", name).Int("attempt", int64(attempts))
 		resp, err := rt.roundTrip(r, name, body)
 		if err != nil {
+			fsp.Str("outcome", "error").End()
 			rt.markDown(name, r, err)
 			rt.log.Warn("submit forward failed", "member", name, "err", err)
 			continue
 		}
+		fsp.Int("status", int64(resp.StatusCode)).End()
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// The replica's own admission control rejected the job
 			// (queue full or draining): not an error, just no headroom
@@ -264,18 +410,29 @@ func (rt *Router) submitHandler(w http.ResponseWriter, r *http.Request) {
 		}
 		if id := resp.Header.Get("X-Job-ID"); id != "" {
 			rt.recordJobOwner(id, name)
+			rt.recordJobTrace(id, tr)
+			tr.Root().Str("job", id)
 		}
+		rsp.Str("verdict", "forwarded").Str("member", name).End()
 		rt.m.forwards.Add(1)
 		relay(w, resp)
 		return
 	}
 	w.Header().Set("Retry-After", rt.retryAfter())
 	if sawReady {
+		rsp.Str("verdict", "saturated").End()
 		rt.m.shed.Add(1)
+		rt.m.admSaturated.Add(1)
+		rt.events.publish(Event{Type: "admission.reject",
+			Detail: r.URL.Path + ": all replicas saturated"})
 		writeError(w, http.StatusTooManyRequests, "cluster: all replicas saturated")
 		return
 	}
+	rsp.Str("verdict", "no_ready").End()
 	rt.m.unavailable.Add(1)
+	rt.m.admNoReady.Add(1)
+	rt.events.publish(Event{Type: "admission.reject",
+		Detail: r.URL.Path + ": no ready replicas"})
 	writeError(w, http.StatusServiceUnavailable, "cluster: no ready replicas")
 }
 
@@ -418,12 +575,15 @@ func mintSessionID() string {
 }
 
 func (rt *Router) createSessionHandler(w http.ResponseWriter, r *http.Request) {
+	tr, r := rt.startRequestTrace(r)
+	defer tr.Finish()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 		return
 	}
 	id := mintSessionID()
+	tr.Root().Str("session", id)
 	owner, ok := rt.ring.Owner(id, rt.prober.Ready)
 	if !ok {
 		rt.m.unavailable.Add(1)
@@ -456,6 +616,9 @@ func (rt *Router) createSessionHandler(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) sessionHandler(mutation bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		tr, r := rt.startRequestTrace(r)
+		defer tr.Finish()
+		tr.Root().Str("session", id)
 		var body []byte
 		if r.Method != http.MethodGet {
 			var err error
@@ -605,30 +768,88 @@ func (rt *Router) recoverSealed(r *http.Request, id, sealedOwner string) (owner 
 	return rt.adoptFrom(r, id, sealedOwner)
 }
 
+// takeoverPhase mirrors internal/serve's TakeoverPhase: one phase of
+// the adoption handshake as timed by the adopter, returned in both
+// success and error bodies.
+type takeoverPhase struct {
+	Phase    string  `json:"phase"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// recordTakeoverPhases folds the adopter-reported phase timings into
+// the router's observability surfaces: the phase-duration histogram,
+// the cluster event timeline (takeover.seal, .fetch, .replay, .release
+// — and .unseal on an abort), and — when the triggering request carries
+// a trace — spans grafted at the adopter's reported offsets, so an
+// adoption appears inside the request trace that triggered it.
+func (rt *Router) recordTakeoverPhases(tr *obs.Trace, t0 time.Time, member, id string, phases []takeoverPhase) {
+	for _, ph := range phases {
+		rt.tkPhase.Observe(ph.Phase, ph.DurMS/1e3)
+		rt.events.publish(Event{Type: "takeover." + ph.Phase, Member: member, Session: id,
+			Detail: fmt.Sprintf("%.1fms", ph.DurMS)})
+		if tr != nil {
+			tr.RecordSpan("takeover."+ph.Phase,
+				t0.Sub(tr.Start())+time.Duration(ph.OffsetMS*float64(time.Millisecond)),
+				time.Duration(ph.DurMS*float64(time.Millisecond)),
+				obs.Attr{Key: "member", Val: member})
+		}
+	}
+}
+
 // takeover asks newOwner to adopt the session by fetching and replaying
 // its journal from oldOwner's store. It succeeds only when the adopter
 // has the full acknowledged log — the source must be reachable (a
 // draining or recovering replica serves its store; a killed one does
-// not until it restarts).
+// not until it restarts). The adopter's phase timings are folded into
+// the event timeline, the phase histogram and the request trace.
 func (rt *Router) takeover(r *http.Request, id, newOwner, oldOwner string) error {
+	tr := obs.TraceOf(r.Context())
+	t0 := time.Now()
+	rt.events.publish(Event{Type: "takeover.begin", Member: newOwner, Session: id,
+		Detail: "from " + oldOwner})
 	reqBody, _ := json.Marshal(map[string]string{"source": rt.prober.URL(oldOwner)})
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		rt.prober.URL(newOwner)+"/cluster/sessions/"+id+"/takeover",
 		bytes.NewReader(reqBody))
 	if err != nil {
+		rt.m.takeoverFail.Add(1)
+		rt.events.publish(Event{Type: "takeover.abort", Member: newOwner, Session: id,
+			Detail: err.Error()})
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tr != nil {
+		req.Header.Set(obs.TraceparentHeader, tr.Traceparent())
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		rt.markDown(newOwner, r, err)
+		rt.m.takeoverFail.Add(1)
+		rt.events.publish(Event{Type: "takeover.abort", Member: newOwner, Session: id,
+			Detail: err.Error()})
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s: HTTP %d: %s", newOwner, resp.StatusCode, strings.TrimSpace(string(b)))
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var tk struct {
+		Error  string          `json:"error"`
+		Phases []takeoverPhase `json:"phases"`
 	}
+	_ = json.Unmarshal(b, &tk)
+	rt.recordTakeoverPhases(tr, t0, newOwner, id, tk.Phases)
+	if resp.StatusCode != http.StatusOK {
+		rt.m.takeoverFail.Add(1)
+		msg := tk.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(b))
+		}
+		rt.events.publish(Event{Type: "takeover.abort", Member: newOwner, Session: id,
+			Detail: msg})
+		return fmt.Errorf("%s: HTTP %d: %s", newOwner, resp.StatusCode, msg)
+	}
+	rt.events.publish(Event{Type: "takeover.adopted", Member: newOwner, Session: id,
+		Detail: "from " + oldOwner})
 	return nil
 }
 
@@ -751,7 +972,50 @@ func (rt *Router) roundTrip(r *http.Request, member string, body []byte) (*http.
 		return nil, err
 	}
 	copyHeaders(out.Header, r.Header)
-	return rt.client.Do(out)
+	if tr := obs.TraceOf(r.Context()); tr != nil {
+		out.Header.Set(obs.TraceparentHeader, tr.Traceparent())
+	}
+	t0 := time.Now()
+	resp, err := rt.client.Do(out)
+	rt.fwd.Observe(time.Since(t0).Seconds(), routeOf(r.URL.Path), forwardOutcome(resp, err))
+	return resp, err
+}
+
+// routeOf buckets a request path into a low-cardinality route label
+// for the forward-latency histogram.
+func routeOf(path string) string {
+	if strings.HasPrefix(path, "/debug/trace/") {
+		return "trace"
+	}
+	rest := strings.TrimPrefix(path, "/v1/")
+	if rest == path {
+		return "other"
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	switch rest {
+	case "predict", "place", "couple", "explore", "yield", "jobs", "sessions":
+		return rest
+	}
+	return "other"
+}
+
+// forwardOutcome labels one forward attempt for the latency histogram.
+func forwardOutcome(resp *http.Response, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusTooManyRequests:
+		return "rejected"
+	case resp.StatusCode >= 500:
+		return "server_error"
+	case resp.StatusCode >= 400:
+		return "client_error"
+	default:
+		return "ok"
+	}
 }
 
 // forwardFailure answers a forward whose transport died. For mutations

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Cluster trace assembly: GET /cluster/trace/{job} merges the router's
+// per-request trace (route, forwards, backoff, takeover phases) with
+// the owning replica's /debug/trace/{job} fragment into one Chrome
+// trace_event document — one process lane per member, all on the
+// router's clock. The two processes share a trace ID because roundTrip
+// injects the router trace's traceparent and the replica adopts it, so
+// the merged document is one distributed trace, not two glued files.
+
+// routerTraceCap bounds the job → request-trace table. Request traces
+// are small (tens of spans) but keep their span slices alive, so the
+// cap is much lower than the job-route cap; an evicted trace degrades
+// /cluster/trace/{job} to the replica fragment alone.
+const routerTraceCap = 512
+
+// recordJobTrace remembers the request trace that carried a job
+// submission, keyed by the job ID the replica acknowledged.
+func (rt *Router) recordJobTrace(id string, tr *obs.Trace) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.jobTrace[id]; !ok {
+		rt.traceFIFO = append(rt.traceFIFO, id)
+		for len(rt.traceFIFO) > routerTraceCap {
+			delete(rt.jobTrace, rt.traceFIFO[0])
+			rt.traceFIFO = rt.traceFIFO[1:]
+		}
+	}
+	rt.jobTrace[id] = tr
+}
+
+func (rt *Router) jobTraceOf(id string) *obs.Trace {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.jobTrace[id]
+}
+
+// fetchReplicaTrace pulls the owner's /debug/trace fragment for a job;
+// nil when the owner is unknown, unreachable, or has no trace.
+func (rt *Router) fetchReplicaTrace(r *http.Request, owner, id string) *obs.ChromeDoc {
+	if owner == "" || !rt.prober.Ready(owner) {
+		return nil
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+		rt.prober.URL(owner)+"/debug/trace/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		rt.markDown(owner, r, err)
+		return nil
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var d obs.ChromeDoc
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&d); err != nil {
+		return nil
+	}
+	return &d
+}
+
+// clusterTraceHandler assembles the cluster-wide trace of one job. The
+// replica fragment is shifted onto the router's clock using both
+// documents' startUnixUs anchors, then given its own process lane
+// (pid per ring position, process_name = member name); the router's
+// own spans ride on pid 1 as "emirouter".
+func (rt *Router) clusterTraceHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := rt.jobTraceOf(id)
+	owner := rt.jobOwnerOf(id)
+	if owner == "" {
+		owner, _ = rt.locateJob(r, id)
+	}
+	frag := rt.fetchReplicaTrace(r, owner, id)
+	if tr == nil && frag == nil {
+		writeError(w, http.StatusNotFound, "cluster: no trace for job "+id)
+		return
+	}
+	var docs []obs.ChromeDoc
+	var anchorUs int64
+	haveAnchor := false
+	if tr != nil {
+		d := tr.ChromeDoc()
+		if v, ok := d.StartUnixUs(); ok {
+			anchorUs, haveAnchor = v, true
+		}
+		d.SetProcess(1, "emirouter")
+		docs = append(docs, d)
+	}
+	if frag != nil {
+		if v, ok := frag.StartUnixUs(); ok && haveAnchor {
+			frag.Shift(float64(v - anchorUs))
+		}
+		pid := 2
+		for i, name := range rt.ring.Members() {
+			if name == owner {
+				pid = 2 + i
+				break
+			}
+		}
+		frag.SetProcess(pid, owner)
+		docs = append(docs, *frag)
+	}
+	writeJSON(w, http.StatusOK, obs.MergeChromeDocs(docs...))
+}

@@ -14,7 +14,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // fakeClock returns a trace whose clock advances exactly 1 ms per
-// reading, starting at t=0 — every exported timestamp is deterministic.
+// reading, starting at t=0 — every exported timestamp (and the trace
+// ID, normally random) is deterministic.
 func fakeClockTrace(name string) *Trace {
 	tr := NewTrace(name)
 	clk := time.Unix(0, 0)
@@ -24,6 +25,11 @@ func fakeClockTrace(name string) *Trace {
 	}
 	tr.start = time.Unix(0, 0)
 	tr.root.start = tr.start
+	id, err := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if err != nil {
+		panic(err)
+	}
+	tr.SetID(id)
 	return tr
 }
 

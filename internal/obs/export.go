@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -26,8 +27,10 @@ func (t *Trace) sorted() []SpanRecord {
 	return spans
 }
 
-// chromeEvent is one trace_event in the Chrome trace JSON.
-type chromeEvent struct {
+// ChromeEvent is one trace_event in the Chrome trace JSON. Exported so
+// the cluster router can parse a replica's trace fragment and re-emit
+// it on another process lane (see ChromeDoc.SetProcess).
+type ChromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`  // microseconds since trace start
@@ -37,23 +40,34 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// chromeTrace is the JSON-object form of the Chrome trace file format.
-type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+// ChromeDoc is the JSON-object form of the Chrome trace file format.
+// OtherData carries the cross-process merge anchors: "traceId" (the
+// 128-bit trace identity) and "startUnixUs" (the trace's absolute start
+// as Unix microseconds, used to shift fragments onto one clock).
+// Chrome and Perfetto ignore keys they do not know.
+type ChromeDoc struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
 }
 
-// WriteChrome exports the trace in the Chrome trace_event format
-// ("complete" X events) — load the file in chrome://tracing or
-// ui.perfetto.dev. Spans are assigned lanes (tids) greedily so that
-// overlapping concurrent spans land on separate rows while properly
-// nested spans share their ancestors' row.
-func (t *Trace) WriteChrome(w io.Writer) error {
+// ChromeDoc exports the trace as a parsed Chrome trace document on
+// pid 1. Spans are assigned lanes (tids) greedily so that overlapping
+// concurrent spans land on separate rows while properly nested spans
+// share their ancestors' row.
+func (t *Trace) ChromeDoc() ChromeDoc {
 	spans := t.sorted()
 	lanes := assignLanes(spans)
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans))}
+	out := ChromeDoc{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     make([]ChromeEvent, 0, len(spans)),
+		OtherData: map[string]string{
+			"traceId":     t.id.String(),
+			"startUnixUs": strconv.FormatInt(t.start.UnixMicro(), 10),
+		},
+	}
 	for i, s := range spans {
-		ev := chromeEvent{
+		ev := ChromeEvent{
 			Name: s.Name,
 			Ph:   "X",
 			Ts:   float64(s.Start) / float64(time.Microsecond),
@@ -69,9 +83,66 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		}
 		out.TraceEvents = append(out.TraceEvents, ev)
 	}
+	return out
+}
+
+// WriteChrome exports the trace in the Chrome trace_event format
+// ("complete" X events) — load the file in chrome://tracing or
+// ui.perfetto.dev.
+func (t *Trace) WriteChrome(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return enc.Encode(t.ChromeDoc())
+}
+
+// StartUnixUs returns the document's absolute start anchor (Unix
+// microseconds), ok=false when the fragment does not carry one.
+func (d ChromeDoc) StartUnixUs() (int64, bool) {
+	v, err := strconv.ParseInt(d.OtherData["startUnixUs"], 10, 64)
+	return v, err == nil
+}
+
+// SetProcess moves every event onto the given pid and prepends a
+// process_name metadata event so trace viewers label the lane with the
+// process's name (e.g. the cluster member name).
+func (d *ChromeDoc) SetProcess(pid int, name string) {
+	for i := range d.TraceEvents {
+		d.TraceEvents[i].Pid = pid
+	}
+	meta := ChromeEvent{
+		Name: "process_name",
+		Ph:   "M",
+		Pid:  pid,
+		Args: map[string]any{"name": name},
+	}
+	d.TraceEvents = append([]ChromeEvent{meta}, d.TraceEvents...)
+}
+
+// Shift moves every timed event by deltaUs microseconds — how a
+// fragment whose clock starts at its own trace start is aligned onto
+// another trace's clock (deltaUs = fragment start − anchor start).
+// Metadata events carry no time and stay put.
+func (d *ChromeDoc) Shift(deltaUs float64) {
+	for i := range d.TraceEvents {
+		if d.TraceEvents[i].Ph == "M" {
+			continue
+		}
+		d.TraceEvents[i].Ts += deltaUs
+	}
+}
+
+// MergeChromeDocs concatenates per-process fragments into one document.
+// The first fragment's OtherData (trace ID, start anchor) wins — the
+// caller aligns and lanes the fragments first via Shift and SetProcess.
+func MergeChromeDocs(docs ...ChromeDoc) ChromeDoc {
+	out := ChromeDoc{DisplayTimeUnit: "ms"}
+	for _, d := range docs {
+		if out.OtherData == nil && d.OtherData != nil {
+			out.OtherData = d.OtherData
+		}
+		out.TraceEvents = append(out.TraceEvents, d.TraceEvents...)
+	}
+	return out
 }
 
 // assignLanes places start-ordered spans onto the fewest rows such that

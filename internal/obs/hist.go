@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -156,6 +157,113 @@ func (s *HistogramSet) Labels() []string {
 	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// HistogramVec is a histogram family keyed by a fixed tuple of labels
+// (e.g. forward latency by route and outcome) — HistogramSet's shape
+// generalized past one label. Members are created on first Observe.
+type HistogramVec struct {
+	name, help string
+	labels     []string
+	bounds     []float64
+
+	mu sync.RWMutex
+	m  map[string]*Histogram // key: label values joined by \x00
+}
+
+// NewHistogramVec creates an empty family over the given label names.
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label")
+	}
+	return &HistogramVec{
+		name: name, help: help,
+		labels: append([]string(nil), labels...),
+		bounds: append([]float64(nil), bounds...),
+		m:      map[string]*Histogram{},
+	}
+}
+
+const vecKeySep = "\x00"
+
+// Observe records v under the given label values (one per label name;
+// a mismatched count is a programming error and panics).
+func (s *HistogramVec) Observe(v float64, labelVals ...string) {
+	if len(labelVals) != len(s.labels) {
+		panic(fmt.Sprintf("obs: %s needs %d label values, got %d", s.name, len(s.labels), len(labelVals)))
+	}
+	key := strings.Join(labelVals, vecKeySep)
+	s.mu.RLock()
+	h := s.m[key]
+	s.mu.RUnlock()
+	if h == nil {
+		s.mu.Lock()
+		h = s.m[key]
+		if h == nil {
+			h = NewHistogram(s.bounds)
+			s.m[key] = h
+		}
+		s.mu.Unlock()
+	}
+	h.Observe(v)
+}
+
+// Get returns the member histogram for a label tuple, or nil.
+func (s *HistogramVec) Get(labelVals ...string) *Histogram {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[strings.Join(labelVals, vecKeySep)]
+}
+
+// keys returns the observed label tuples, sorted for deterministic
+// exposition.
+func (s *HistogramVec) keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// WriteProm writes the family in the Prometheus text exposition format:
+// one HELP/TYPE header, then per label tuple the cumulative _bucket
+// series, _sum and _count.
+func (s *HistogramVec) WriteProm(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", s.name, s.help, s.name); err != nil {
+		return err
+	}
+	for _, key := range s.keys() {
+		vals := strings.Split(key, vecKeySep)
+		var lb strings.Builder
+		for i, name := range s.labels {
+			fmt.Fprintf(&lb, "%s=%q,", name, vals[i])
+		}
+		labels := lb.String() // trailing comma kept; le= follows
+		s.mu.RLock()
+		h := s.m[key]
+		s.mu.RUnlock()
+		counts := h.BucketCounts()
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", s.name, labels, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", s.name, labels, cum); err != nil {
+			return err
+		}
+		trimmed := strings.TrimSuffix(labels, ",")
+		if _, err := fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n",
+			s.name, trimmed, h.Sum(), s.name, trimmed, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteProm writes the family in the Prometheus text exposition format

@@ -61,6 +61,7 @@ type SpanRecord struct {
 // attach to a context with WithTrace, finish with Finish.
 type Trace struct {
 	name  string
+	id    TraceID // 128-bit identity, shared across processes (see propagate.go)
 	start time.Time
 	now   func() time.Time // injectable clock for deterministic tests
 	cap   int
@@ -82,6 +83,7 @@ type Trace struct {
 func NewTrace(name string) *Trace {
 	t := &Trace{
 		name: name,
+		id:   mintTraceID(),
 		now:  time.Now,
 		cap:  DefaultSpanCap,
 	}

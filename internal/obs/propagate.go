@@ -1,0 +1,106 @@
+package obs
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Cross-process trace propagation: every Trace carries a 128-bit trace
+// ID, rendered on the wire as a W3C Trace Context `traceparent` header
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// (https://www.w3.org/TR/trace-context/). The router mints the ID with
+// the root span of a request and injects the header on every forward;
+// a replica that finds the header adopts the ID into the trace of the
+// work the request creates, so the two processes' span collections
+// merge into one timeline keyed by a single ID. Only the ID crosses
+// the wire — span records stay in their owning process and are fetched
+// separately (see /cluster/trace in internal/cluster).
+
+// TraceparentHeader is the canonical W3C header name (HTTP headers are
+// case-insensitive; the spec spells it lowercase).
+const TraceparentHeader = "traceparent"
+
+// TraceID is a 128-bit trace identity. The zero value means "no ID";
+// NewTrace always mints a non-zero one.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID (the W3C
+// spec forbids it on the wire).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses 32 hex digits into a TraceID. The all-zero ID is
+// rejected, matching the wire spec.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 32 {
+		return id, fmt.Errorf("obs: trace ID must be 32 hex digits, got %d", len(s))
+	}
+	if _, err := hex.Decode(id[:], []byte(strings.ToLower(s))); err != nil {
+		return TraceID{}, fmt.Errorf("obs: bad trace ID %q: %v", s, err)
+	}
+	if id.IsZero() {
+		return TraceID{}, fmt.Errorf("obs: all-zero trace ID is invalid")
+	}
+	return id, nil
+}
+
+// mintTraceID returns a fresh random non-zero ID.
+func mintTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		if _, err := cryptorand.Read(id[:]); err != nil {
+			panic(fmt.Sprintf("obs: crypto/rand: %v", err))
+		}
+	}
+	return id
+}
+
+// ID returns the trace's 128-bit identity.
+func (t *Trace) ID() TraceID { return t.id }
+
+// SetID adopts an inbound trace identity (e.g. parsed from a
+// traceparent header), replacing the minted one so this process's spans
+// join the caller's trace. A zero ID is ignored. Call before handing
+// the trace out.
+func (t *Trace) SetID(id TraceID) {
+	if !id.IsZero() {
+		t.id = id
+	}
+}
+
+// Traceparent renders the trace's wire form: version 00, the trace ID,
+// the root span as parent, flags 01 (sampled — a trace that exists is
+// by definition being recorded).
+func (t *Trace) Traceparent() string {
+	return fmt.Sprintf("00-%s-%016x-01", t.id, t.root.id)
+}
+
+// ParseTraceparent extracts the trace ID from a traceparent header
+// value. ok is false for anything malformed — a propagation header is
+// advisory, so callers fall back to minting locally rather than
+// erroring. Unknown future versions are accepted as long as the first
+// two fields parse, per the spec's version-tolerance rule.
+func ParseTraceparent(v string) (id TraceID, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) < 4 {
+		return TraceID{}, false
+	}
+	if len(parts[0]) != 2 || parts[0] == "ff" {
+		return TraceID{}, false
+	}
+	if len(parts[2]) != 16 || parts[2] == "0000000000000000" {
+		return TraceID{}, false
+	}
+	id, err := ParseTraceID(parts[1])
+	if err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}

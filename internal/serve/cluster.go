@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -76,11 +77,34 @@ type TakeoverRequest struct {
 	Source string `json:"source"`
 }
 
+// TakeoverPhase is one timed step of an adoption handshake, reported in
+// the takeover response (success and abort alike) so the router can
+// graft the adopter's timeline into the request trace that triggered
+// the takeover. Offsets are relative to the handshake's own trace
+// start; the proven success order is seal → fetch → replay → release,
+// and every abort after a successful seal ends with unseal.
+type TakeoverPhase struct {
+	Phase    string  `json:"phase"`
+	OffsetMS float64 `json:"offset_ms"`
+	DurMS    float64 `json:"dur_ms"`
+}
+
+// writeTakeoverError answers a failed handshake with the phases that
+// did run — an aborted takeover still has a timeline worth exporting.
+func writeTakeoverError(w http.ResponseWriter, status int, msg string, phases []TakeoverPhase) {
+	writeJSON(w, status, map[string]any{"error": msg, "phases": phases})
+}
+
 // takeoverHandler adopts a session from a peer: fetch its log, replay
 // it through the normal session entry points, insert it into the live
 // manager, open a local durable log, and ask the source to release its
 // copy. Idempotent: a session already live here answers 200 without
 // refetching, so racing takeover requests converge.
+//
+// The handshake is traced: an inbound traceparent (the router forwards
+// its request trace's identity) is adopted, each step runs under a
+// takeover.* span, and the response carries the ordered phase timings
+// so the caller can reassemble the cross-process timeline.
 func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if s.cfg.Store == nil {
@@ -107,6 +131,27 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := obs.NewTrace("takeover")
+	tr.SetLogger(s.cfg.Logger.With("session", id), s.cfg.SlowOp)
+	if tid, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		tr.SetID(tid)
+	}
+	ctx := obs.WithTrace(r.Context(), tr)
+	var phases []TakeoverPhase
+	step := func(name string, fn func() error) error {
+		_, sp := obs.Start(ctx, "takeover."+name)
+		t0 := time.Now()
+		err := fn()
+		sp.End()
+		phases = append(phases, TakeoverPhase{
+			Phase:    name,
+			OffsetMS: float64(t0.Sub(tr.Start())) / 1e6,
+			DurMS:    float64(time.Since(t0)) / 1e6,
+		})
+		return err
+	}
+	defer tr.Finish()
+
 	// One takeover at a time: two adopters racing the same session
 	// would double-create the durable log.
 	s.takeoverMu.Lock()
@@ -123,54 +168,66 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 	// mutation can be acknowledged on the source that is not already in
 	// the WAL we fetch next, so the release below can never delete an
 	// acknowledged edit this replica did not replay.
-	if err := sealOnPeer(r, req.Source, id); err != nil {
-		writeError(w, http.StatusBadGateway,
-			fmt.Sprintf("cluster: seal %s on %s: %v", id, req.Source, err))
+	if err := step("seal", func() error { return sealOnPeer(r, req.Source, id) }); err != nil {
+		writeTakeoverError(w, http.StatusBadGateway,
+			fmt.Sprintf("cluster: seal %s on %s: %v", id, req.Source, err), phases)
 		return
 	}
-	log, err := fetchSessionLog(r, req.Source, id)
-	if err != nil {
-		s.unsealSource(r, req.Source, id)
-		writeError(w, http.StatusBadGateway,
-			fmt.Sprintf("cluster: fetch %s from %s: %v", id, req.Source, err))
+	// Every abort past this point lifts the fence it placed, and the
+	// unseal shows up in the phase timeline as the abort marker.
+	abortUnseal := func() {
+		_ = step("unseal", func() error { s.unsealSource(r, req.Source, id); return nil })
+	}
+	var log store.SessionLog
+	if err := step("fetch", func() (err error) {
+		log, err = fetchSessionLog(r, req.Source, id)
+		return
+	}); err != nil {
+		abortUnseal()
+		writeTakeoverError(w, http.StatusBadGateway,
+			fmt.Sprintf("cluster: fetch %s from %s: %v", id, req.Source, err), phases)
 		return
 	}
-	sess, err := store.Replay(log)
-	if err != nil {
-		s.unsealSource(r, req.Source, id)
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	// Drop the local sealed fossil (if any) now that the authoritative
-	// log is in hand, then open the local durable log with a compacted
-	// snapshot: an acknowledged takeover must survive a restart of the
-	// new owner.
-	if old, ok := s.sessions.Get(id); ok && old.Sealed() {
-		s.sessions.Delete(id)
-		s.dropDurable(id)
-	}
-	snap, seq, err := sess.Checkpoint()
-	if err == nil {
-		_ = s.cfg.Store.DeleteSession(id)
-		err = s.cfg.Store.CreateSession(id, seq, snap)
-	}
-	if err != nil {
-		s.unsealSource(r, req.Source, id)
-		writeError(w, http.StatusInternalServerError,
-			fmt.Sprintf("cluster: durable log for %s: %v", id, err))
-		return
-	}
-	// The journal hook goes in BEFORE the session becomes reachable via
-	// the live manager: a mutation accepted in the gap between Adopt and
-	// SetJournal would be acknowledged with no WAL record behind it and
-	// silently vanish on the next restart.
-	s.attachSessionJournal(sess, 0)
-	if err := s.sessions.Adopt(sess); err != nil {
-		s.dropDurable(id)
-		_ = s.cfg.Store.DeleteSession(id)
-		sess.Close()
-		s.unsealSource(r, req.Source, id)
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+	// The replay step covers rebuilding the session, dropping any local
+	// sealed fossil, opening the durable log with a compacted snapshot
+	// (an acknowledged takeover must survive a restart of the new
+	// owner), and inserting the session into the live manager.
+	var seq uint64
+	replayStatus := http.StatusInternalServerError
+	if err := step("replay", func() error {
+		sess, err := store.Replay(log)
+		if err != nil {
+			return err
+		}
+		if old, ok := s.sessions.Get(id); ok && old.Sealed() {
+			s.sessions.Delete(id)
+			s.dropDurable(id)
+		}
+		var snap []byte
+		snap, seq, err = sess.Checkpoint()
+		if err == nil {
+			_ = s.cfg.Store.DeleteSession(id)
+			err = s.cfg.Store.CreateSession(id, seq, snap)
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: durable log for %s: %v", id, err)
+		}
+		// The journal hook goes in BEFORE the session becomes reachable
+		// via the live manager: a mutation accepted in the gap between
+		// Adopt and SetJournal would be acknowledged with no WAL record
+		// behind it and silently vanish on the next restart.
+		s.attachSessionJournal(sess, 0)
+		if err := s.sessions.Adopt(sess); err != nil {
+			s.dropDurable(id)
+			_ = s.cfg.Store.DeleteSession(id)
+			sess.Close()
+			replayStatus = http.StatusServiceUnavailable
+			return err
+		}
+		return nil
+	}); err != nil {
+		abortUnseal()
+		writeTakeoverError(w, replayStatus, err.Error(), phases)
 		return
 	}
 	s.m.takeovers.Add(1)
@@ -179,7 +236,7 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 	// resurrect there on its next restart. A failure is survivable:
 	// the router keeps routing here, and a resurrected stale copy is
 	// unreachable until explicitly located.
-	if err := releaseOnPeer(r, req.Source, id); err != nil {
+	if err := step("release", func() error { return releaseOnPeer(r, req.Source, id) }); err != nil {
 		s.cfg.Logger.Warn("cluster: release on source failed",
 			"session", id, "source", req.Source, "err", err)
 	}
@@ -190,6 +247,7 @@ func (s *Server) takeoverHandler(w http.ResponseWriter, r *http.Request) {
 		"session": id,
 		"seq":     seq,
 		"records": len(log.Records),
+		"phases":  phases,
 	})
 }
 

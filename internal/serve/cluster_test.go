@@ -140,11 +140,24 @@ func TestClusterTakeoverHandshake(t *testing.T) {
 		t.Fatalf("takeover status %d: %s", resp.StatusCode, body)
 	}
 	var tk struct {
-		Status string `json:"status"`
-		Seq    uint64 `json:"seq"`
+		Status string          `json:"status"`
+		Seq    uint64          `json:"seq"`
+		Phases []TakeoverPhase `json:"phases"`
 	}
 	if json.Unmarshal(body, &tk); tk.Status != "adopted" || tk.Seq != seq {
 		t.Fatalf("takeover answered %s, want adopted at seq %d", body, seq)
+	}
+
+	// The adopter reports its phases in the proven handshake order.
+	var phaseNames []string
+	for _, ph := range tk.Phases {
+		phaseNames = append(phaseNames, ph.Phase)
+		if ph.DurMS < 0 || ph.OffsetMS < 0 {
+			t.Errorf("phase %s has negative timing: %+v", ph.Phase, ph)
+		}
+	}
+	if strings.Join(phaseNames, ",") != "seal,fetch,replay,release" {
+		t.Fatalf("takeover phases %v, want seal,fetch,replay,release", phaseNames)
 	}
 
 	// The adopted session is byte-identical, ring included.
@@ -422,6 +435,17 @@ func TestClusterTakeoverAbortUnsealsSource(t *testing.T) {
 		fmt.Sprintf(`{"source":%q}`, ts1.URL), nil)
 	if resp.StatusCode != http.StatusBadGateway {
 		t.Fatalf("takeover with unreadable source log: %d %s, want 502", resp.StatusCode, body)
+	}
+	// The error body reports the phases that ran, ending with the
+	// unseal that lifted the fence.
+	var tk struct {
+		Phases []TakeoverPhase `json:"phases"`
+	}
+	if err := json.Unmarshal(body, &tk); err != nil {
+		t.Fatalf("abort body not JSON: %v: %s", err, body)
+	}
+	if n := len(tk.Phases); n == 0 || tk.Phases[n-1].Phase != "unseal" {
+		t.Fatalf("abort phases %+v, want trailing unseal", tk.Phases)
 	}
 	// The abort lifted the fence: the source keeps serving edits.
 	resp, body = postWithHeader(t, ts1.URL+"/v1/sessions/"+id+"/edits",

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies: netlists and designs are text files
@@ -104,11 +106,23 @@ func (w *statusWriter) Flush() {
 // Unwrap lets http.ResponseController reach the underlying writer.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
+// RequestIDHeader correlates log lines across processes: the cluster
+// router mints one ID per inbound request and forwards it; the replica
+// echoes it on the response and tags its request log line with it, so
+// `grep <id>` finds both halves of a routed request.
+const RequestIDHeader = "X-Request-ID"
+
 // withLogging is the request-logging middleware: one structured line per
-// request with method, path, status, duration, and the job or session ID
-// when the handler tagged the response with one.
+// request with method, path, status, duration, the job or session ID
+// when the handler tagged the response with one, and the router-minted
+// request ID when the request carried one.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid != "" {
+			// Echo before the handler commits the header block.
+			w.Header().Set(RequestIDHeader, rid)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		t0 := time.Now()
 		next.ServeHTTP(sw, r)
@@ -121,6 +135,9 @@ func (s *Server) withLogging(next http.Handler) http.Handler {
 			"path", r.URL.Path,
 			"status", status,
 			"dur_ms", float64(time.Since(t0)) / 1e6,
+		}
+		if rid != "" {
+			attrs = append(attrs, "request_id", rid)
 		}
 		if id := sw.Header().Get("X-Job-ID"); id != "" {
 			attrs = append(attrs, "job", id)
@@ -162,12 +179,11 @@ func (s *Server) submitHandler(kind Kind) http.HandlerFunc {
 			return
 		}
 		wait := boolParam(r, "wait")
-		var j *Job
-		if wait {
-			j, err = s.SubmitAttached(kind, body)
-		} else {
-			j, err = s.Submit(kind, body)
-		}
+		// A router in front of this replica propagates its request trace
+		// via traceparent; the job's trace adopts the ID so the two
+		// processes' spans merge under one identity (see /cluster/trace).
+		tid, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		j, err := s.submit(kind, body, !wait, tid)
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 			w.Header().Set("Retry-After", "1")

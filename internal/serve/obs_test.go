@@ -262,3 +262,98 @@ END
 		}
 	}
 }
+
+// TestSubmitAdoptsTraceparent: a submission carrying a W3C traceparent
+// header joins the caller's trace — the job's exported Chrome document
+// anchors itself with the propagated trace ID, so a router-side
+// fragment merge yields one distributed trace.
+func TestSubmitAdoptsTraceparent(t *testing.T) {
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	const tp = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	resp, body := postWithHeader(t, base+"/v1/predict?wait=1", `{"n":7}`,
+		map[string]string{obs.TraceparentHeader: tp})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = getJSON(t, base+"/debug/trace/"+v.ID)
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace status %d body %s", resp.StatusCode, body)
+	}
+	var doc obs.ChromeDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.OtherData["traceId"]; got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("job trace ID %q, want the propagated one", got)
+	}
+	if doc.OtherData["startUnixUs"] == "" {
+		t.Fatal("job trace has no startUnixUs anchor for cross-process merge")
+	}
+
+	// Without the header, the job still gets a trace — a freshly minted,
+	// non-zero ID.
+	resp, body = postJSON(t, base+"/v1/predict?wait=1", `{"n":8}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	_, body = getJSON(t, base+"/debug/trace/"+v.ID)
+	doc = obs.ChromeDoc{}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	id, err := obs.ParseTraceID(doc.OtherData["traceId"])
+	if err != nil || id.IsZero() {
+		t.Fatalf("unpropagated job trace ID %q invalid: %v", doc.OtherData["traceId"], err)
+	}
+	if id.String() == "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatal("fresh job reused the previous trace ID")
+	}
+}
+
+// TestRequestIDEchoAndLog: a replica echoes the router-minted
+// X-Request-ID on the response and tags its request log line with it,
+// so router and replica log lines correlate by ID.
+func TestRequestIDEchoAndLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	_, base := httpFixture(t, Config{
+		Workers: 1,
+		Logger:  logger,
+		Runners: map[Kind]Runner{KindPredict: tracedPredictRunner},
+	})
+	const rid = "deadbeef01020304"
+	resp, body := postWithHeader(t, base+"/v1/predict?wait=1", `{"n":9}`,
+		map[string]string{RequestIDHeader: rid})
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != rid {
+		t.Fatalf("response request ID %q, want %q", got, rid)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var line string
+	for time.Now().Before(deadline) {
+		for _, l := range strings.Split(buf.String(), "\n") {
+			if strings.Contains(l, "msg=request") && strings.Contains(l, "request_id="+rid) {
+				line = l
+			}
+		}
+		if line != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if line == "" {
+		t.Fatalf("no request log line tagged request_id=%s in:\n%s", rid, buf.String())
+	}
+}

@@ -367,7 +367,7 @@ func (s *Server) maybeCompact(sess *session.Session) {
 // (request deduplication); a recently completed identical request returns
 // an already-done job answered from the result store.
 func (s *Server) Submit(kind Kind, body []byte) (*Job, error) {
-	return s.submit(kind, body, true)
+	return s.submit(kind, body, true, obs.TraceID{})
 }
 
 // SubmitAttached is Submit for a caller that waits on the result: the job
@@ -375,10 +375,15 @@ func (s *Server) Submit(kind Kind, body []byte) (*Job, error) {
 // the last waiter of an unpinned job detaches before completion the job
 // is cancelled — the client-abort path.
 func (s *Server) SubmitAttached(kind Kind, body []byte) (*Job, error) {
-	return s.submit(kind, body, false)
+	return s.submit(kind, body, false, obs.TraceID{})
 }
 
-func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
+// submit enqueues one job. A non-zero tid is an inbound trace identity
+// (parsed from the request's traceparent header): the job's trace
+// adopts it, so the replica's spans join the router's request trace.
+// Deduplicated submissions keep the first submitter's trace ID — a
+// trace records what ran, and the work ran once.
+func (s *Server) submit(kind Kind, body []byte, pin bool, tid obs.TraceID) (*Job, error) {
 	if _, ok := s.cfg.Runners[kind]; !ok {
 		return nil, fmt.Errorf("serve: unknown job kind %q", kind)
 	}
@@ -437,6 +442,7 @@ func (s *Server) submit(kind Kind, body []byte, pin bool) (*Job, error) {
 	// wait. The root is named "job", not the job ID — span names feed the
 	// phase histogram labels, which must stay low-cardinality.
 	j.trace = obs.NewTrace("job")
+	j.trace.SetID(tid)
 	j.trace.SetLogger(s.cfg.Logger.With("job", j.ID), s.cfg.SlowOp)
 	if pin {
 		j.pinned = true
